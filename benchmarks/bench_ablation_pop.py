@@ -1,0 +1,62 @@
+"""Ablation: POP client splitting versus the monolithic LP (§4 scaling).
+
+The paper scales the copy-free case with one big LP; POP [21] (cited as an
+alternative scaling family) trades optimality for embarrassingly parallel
+subproblems. This bench quantifies that trade on the ALLTOALL LP: finish
+time degradation and the parallel-solve speedup as the partition count
+grows. The expected shape: quality degrades gently (ALLTOALL is granular —
+POP's sweet spot) while the critical-path solve time drops.
+"""
+
+import pytest
+
+from _common import single_solve_benchmark, write_result
+from repro import collectives, topology
+from repro.analysis import Table
+from repro.core import TecclConfig, solve_lp
+from repro.core.pop import solve_lp_pop
+from repro.solver import SolverOptions
+
+CHUNK_BYTES = 1e6
+PARTITIONS = (2, 4)
+
+
+def _config(num_epochs=None):
+    return TecclConfig(chunk_bytes=CHUNK_BYTES, num_epochs=num_epochs,
+                       solver=SolverOptions(time_limit=60))
+
+
+def test_ablation_pop(benchmark):
+    fabrics = [
+        ("Internal1 2ch", topology.internal1(2)),
+        ("Internal2 4ch", topology.internal2(4)),
+    ]
+    table = Table("POP ablation — ALLTOALL LP, finish time and solve time",
+                  columns=["finish us", "quality x", "solve s",
+                           "parallel s"])
+    quality_ok = True
+    for label, topo in fabrics:
+        demand = collectives.alltoall(topo.gpus, 1)
+        mono = solve_lp(topo, demand, _config())
+        table.add(f"{label} k=1",
+                  **{"finish us": mono.finish_time * 1e6,
+                     "quality x": 1.0,
+                     "solve s": mono.solve_time,
+                     "parallel s": mono.solve_time})
+        for k in PARTITIONS:
+            pop = solve_lp_pop(topo, demand,
+                               _config(mono.plan.num_epochs * k),
+                               num_partitions=k)
+            quality = pop.finish_time / mono.finish_time
+            quality_ok &= quality >= 1.0 - 1e-9
+            table.add(f"{label} k={k}",
+                      **{"finish us": pop.finish_time * 1e6,
+                         "quality x": quality,
+                         "solve s": pop.serial_solve_time,
+                         "parallel s": pop.parallel_solve_time})
+    single_solve_benchmark(
+        benchmark, solve_lp_pop, topology.internal2(4),
+        collectives.alltoall(topology.internal2(4).gpus, 1),
+        _config(), num_partitions=2)
+    write_result("ablation_pop", table.render())
+    assert quality_ok, "POP must never beat the monolithic optimum"

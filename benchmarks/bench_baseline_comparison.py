@@ -1,0 +1,76 @@
+"""Ablation: TE-CCL against the full hand-algorithm baseline zoo.
+
+Not a paper table per se — the paper compares against TACCL and SCCL (its
+synthesizer peers) and discusses rings, trees and Blink in §2.1/§7. This
+bench completes that discussion quantitatively: on the same fabric and
+demand, TE-CCL's MILP must match or beat the ring, shortest-path-first,
+binomial-tree and Blink spanning-tree schedules, all executed through the
+same continuous-time event simulator.
+"""
+
+import pytest
+
+from _common import single_solve_benchmark, write_result
+from repro import collectives, topology
+from repro.analysis import Table
+from repro.baselines import (blink_allgather, ring_allgather,
+                             shortest_path_schedule, tree_allgather)
+from repro.core import TecclConfig, solve_milp
+from repro.errors import TopologyError
+from repro.simulate import run_events
+from repro.solver import SolverOptions
+
+CHUNK_BYTES = 1e6
+
+
+def _teccl_finish(topo, demand):
+    config = TecclConfig(chunk_bytes=CHUNK_BYTES,
+                         solver=SolverOptions(mip_gap=0.1, time_limit=45))
+    outcome = solve_milp(topo, demand, config)
+    return run_events(outcome.schedule, topo, demand).finish_time
+
+
+def _baselines(topo, demand, chunks):
+    config = TecclConfig(chunk_bytes=CHUNK_BYTES)
+    rows = {}
+    rows["shortest-path"] = run_events(
+        shortest_path_schedule(topo, demand, config), topo,
+        demand).finish_time
+    try:
+        rows["ring"] = run_events(
+            ring_allgather(topo, config, chunks), topo, demand).finish_time
+    except TopologyError:
+        rows["ring"] = float("inf")  # no Hamiltonian GPU ring
+    rows["binomial-trees"] = run_events(
+        tree_allgather(topo, config, chunks), topo, demand).finish_time
+    rows["blink-trees"] = run_events(
+        blink_allgather(topo, config, chunks), topo, demand).finish_time
+    return rows
+
+
+def test_baseline_comparison(benchmark):
+    fabrics = [
+        ("DGX1", topology.dgx1()),
+        ("ring8", topology.ring(8, capacity=25e9, alpha=0.7e-6)),
+        ("Internal1 2ch", topology.internal1(2)),
+    ]
+    table = Table(
+        "Baselines — ALLGATHER finish time (event-simulated, us)",
+        columns=["te-ccl", "shortest-path", "ring", "binomial", "blink"])
+    winners_ok = True
+    for label, topo in fabrics:
+        demand = collectives.allgather(topo.gpus, 1)
+        ours = _teccl_finish(topo, demand)
+        rows = _baselines(topo, demand, 1)
+        table.add(label, **{
+            "te-ccl": ours * 1e6,
+            "shortest-path": rows["shortest-path"] * 1e6,
+            "ring": rows["ring"] * 1e6,
+            "binomial": rows["binomial-trees"] * 1e6,
+            "blink": rows["blink-trees"] * 1e6})
+        winners_ok &= all(ours <= v + 1e-9 for v in rows.values())
+    single_solve_benchmark(
+        benchmark, _teccl_finish, topology.dgx1(),
+        collectives.allgather(topology.dgx1().gpus, 1))
+    write_result("baseline_comparison", table.render())
+    assert winners_ok, "a hand algorithm beat the MILP optimum"

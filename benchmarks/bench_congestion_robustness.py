@@ -1,0 +1,61 @@
+"""§6 "Unexplored avenues": the effect of congestion on collective latency.
+
+The paper leaves congestion sensitivity as an open question; this bench
+answers the laptop-scale version of it. A TE-CCL schedule and the classic
+ring schedule are both synthesized against the clean fabric, then executed
+(continuous time, fixed routes — MSCCL programs cannot re-route) across a
+fleet of perturbed fabrics with jittered links and a congested subset. The
+asserted shape: TE-CCL keeps its advantage under congestion — its mean and
+p95 finish times stay at or below the ring's.
+"""
+
+import pytest
+
+from _common import single_solve_benchmark, write_result
+from repro import topology
+from repro.analysis import Table
+from repro.baselines import ring_allgather, ring_demand
+from repro.core import TecclConfig, solve_milp
+from repro.simulate import PerturbationModel, congestion_robustness
+from repro.solver import SolverOptions
+
+CHUNK_BYTES = 1e6
+TRIALS = 25
+MODEL = PerturbationModel(beta_jitter=0.1, alpha_jitter=0.1,
+                          congested_fraction=0.25, congestion_factor=2.0)
+
+
+def _robustness(topo, demand, schedule):
+    return congestion_robustness(schedule, topo, demand, model=MODEL,
+                                 trials=TRIALS, seed=7)
+
+
+def test_congestion_robustness(benchmark):
+    topo = topology.ring(8, capacity=25e9, alpha=0.7e-6)
+    demand = ring_demand(topo)
+    config = TecclConfig(chunk_bytes=CHUNK_BYTES,
+                         solver=SolverOptions(mip_gap=0.1, time_limit=45))
+    teccl = solve_milp(topo, demand, config).schedule
+    ring_sched = ring_allgather(topo, TecclConfig(chunk_bytes=CHUNK_BYTES))
+
+    ours = _robustness(topo, demand, teccl)
+    theirs = _robustness(topo, demand, ring_sched)
+
+    table = Table(
+        f"Congestion robustness — AG on ring8, {TRIALS} perturbed trials "
+        "(25% links at half capacity, 10% jitter)",
+        columns=["clean us", "mean us", "p95 us", "mean slowdown"])
+    for label, report in (("te-ccl", ours), ("ring", theirs)):
+        table.add(label, **{
+            "clean us": report.baseline * 1e6,
+            "mean us": report.mean * 1e6,
+            "p95 us": report.p95 * 1e6,
+            "mean slowdown": report.mean_slowdown})
+    single_solve_benchmark(benchmark, _robustness, topo, demand, teccl)
+    write_result("congestion_robustness", table.render())
+
+    # congestion hurts everyone...
+    assert ours.mean_slowdown >= 1.0
+    # ...but must not erase TE-CCL's advantage
+    assert ours.mean <= theirs.mean * 1.05
+    assert ours.p95 <= theirs.p95 * 1.10

@@ -1,0 +1,47 @@
+"""Figure 2: relative error of an α-blind bandwidth estimate vs transfer size.
+
+Paper setup: a proprietary 2-chassis topology (8 GPUs) with α = 0.6 µs
+GPU–GPU and 0.75 µs GPU–switch; the error reaches ~100× (10,000%) for the
+smallest transfers and vanishes for large ones. We run the Internal-1
+stand-in (same per-chassis shape and α values) over four decades of
+transfer size and assert the same monotone explosion.
+"""
+
+from _common import single_solve_benchmark, write_result
+from repro import collectives, topology
+from repro.analysis import Table, alpha_blind_error, human_bytes
+from repro.core import TecclConfig
+
+#: per-GPU transfer sizes (paper: 10 KB .. 10 MB region shows the knee)
+TRANSFER_SIZES = (1e3, 1e4, 1e5, 1e6, 1e7)
+
+
+def _point(topo, size):
+    demand = collectives.allgather(topo.gpus, 1)
+    config = TecclConfig(chunk_bytes=size, num_epochs=10)
+    return alpha_blind_error(topo, demand, config)
+
+
+def test_fig2_alpha_error_curve(benchmark):
+    topo = topology.internal1(2)  # 8 GPUs, α = 0.6/0.75 µs (Table 2/Fig 2)
+    points = []
+    for size in TRANSFER_SIZES:
+        points.append(_point(topo, size))
+    single_solve_benchmark(benchmark, _point, topo, TRANSFER_SIZES[2])
+
+    table = Table("Figure 2 — α-blind relative error in algo bandwidth",
+                  columns=["est us", "actual us", "error %"])
+    for size, point in zip(TRANSFER_SIZES, points):
+        table.add(f"transfer {human_bytes(size)}",
+                  **{"est us": point.estimated_finish * 1e6,
+                     "actual us": point.actual_finish * 1e6,
+                     "error %": point.relative_error_pct})
+    write_result("fig2_alpha_error", table.render())
+
+    errors = [p.relative_error_pct for p in points]
+    # paper shape: error decays monotonically with transfer size...
+    assert all(a >= b - 1e-6 for a, b in zip(errors, errors[1:]))
+    # ...explodes for tiny transfers (paper: up to ~10,000%)...
+    assert errors[0] > 100.0
+    # ...and is negligible once β·S dominates α.
+    assert errors[-1] < 10.0

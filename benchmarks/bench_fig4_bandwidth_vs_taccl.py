@@ -1,0 +1,55 @@
+"""Figure 4: algorithmic-bandwidth improvement of TE-CCL over TACCL.
+
+Paper claim: TE-CCL matches or beats TACCL everywhere (minimum −5% on one
+Internal-1 cell, typically ≥ 0%), with improvements exploding into the
+hundreds/thousands of percent for small output buffers, where TACCL's
+α-blind routing and split scheduling fall apart. TACCL is also infeasible
+on some cells (the X marks). Downscaling (DESIGN.md): three topology
+families, three buffer decades.
+"""
+
+from _common import (single_solve_benchmark, taccl_comparison_grid,
+                     teccl_allgather, write_result)
+from repro import topology
+from repro.analysis import Table, human_bytes, improvement_pct
+
+
+def test_fig4_bandwidth_improvement(benchmark):
+    grid = taccl_comparison_grid()
+    single_solve_benchmark(
+        benchmark, teccl_allgather, topology.internal2(2), 1e6)
+
+    table = Table("Figure 4 — algo bandwidth improvement over TACCL-like "
+                  "(100·(TECCL−TACCL)/TACCL %)",
+                  columns=["TECCL GB/s", "TACCL GB/s", "improv %"])
+    improvements = {}
+    for cell in grid:
+        label = (f"{cell.topo_label} "
+                 f"{'AG' if cell.collective == 'allgather' else 'AtoA'} "
+                 f"{human_bytes(cell.output_buffer)}")
+        if cell.taccl.infeasible:
+            table.add(label,
+                      **{"TECCL GB/s": cell.teccl.algo_bandwidth / 1e9,
+                         "TACCL GB/s": None, "improv %": None})
+            continue
+        pct = improvement_pct(cell.teccl.algo_bandwidth,
+                              cell.taccl.algo_bandwidth)
+        improvements[(cell.topo_label, cell.collective,
+                      cell.output_buffer)] = pct
+        table.add(label,
+                  **{"TECCL GB/s": cell.teccl.algo_bandwidth / 1e9,
+                     "TACCL GB/s": cell.taccl.algo_bandwidth / 1e9,
+                     "improv %": pct})
+    write_result("fig4_bandwidth_vs_taccl", table.render())
+
+    assert improvements, "TACCL-like failed on every cell"
+    # paper shape 1: the LP (run to completion) never loses materially on
+    # ALLTOALL (paper min 0.18%; a few % of event-executor noise allowed)
+    atoa = [pct for (_, coll, _), pct in improvements.items()
+            if coll == "alltoall"]
+    assert atoa and min(atoa) >= -10.0
+    # paper shape 2: ALLGATHER uses the paper's 30% early stop, whose own
+    # Table 8 shows cells as low as -20% — bound the loss accordingly
+    assert min(improvements.values()) >= -30.0
+    # paper shape 3: somewhere the win is large (paper: 100s-1000s %)
+    assert max(improvements.values()) >= 40.0

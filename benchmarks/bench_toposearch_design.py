@@ -1,0 +1,58 @@
+"""§1's design loop: topology search with TE-CCL as the inner optimizer.
+
+The paper motivates TE-CCL partly as the optimizer that co-design tools
+(TopoOpt-style) call many times inside their searches. This bench runs that
+outer loop end to end: greedy link augmentation of a degraded base fabric
+and what-if upgrade ranking, every candidate scored by an actual synthesis.
+The asserted shape: the search strictly improves the base design, and the
+upgrade ranking puts a bottleneck link first.
+"""
+
+import pytest
+
+from _common import single_solve_benchmark, write_result
+from repro import collectives, topology
+from repro.analysis import Table
+from repro.core import TecclConfig
+from repro.solver import SolverOptions
+from repro.toposearch import (DesignSpec, evaluate_topology, greedy_augment,
+                              rank_link_upgrades)
+
+CHUNK_BYTES = 1e6
+
+
+def _config():
+    return TecclConfig(chunk_bytes=CHUNK_BYTES,
+                       solver=SolverOptions(mip_gap=0.1, time_limit=20))
+
+
+def _augment():
+    base = topology.line(6, capacity=25e9, alpha=0.7e-6, name="line6")
+    spec = DesignSpec(num_gpus=6, capacity=25e9, alpha=0.7e-6)
+    demand = collectives.broadcast(0, list(range(6)), 1)
+    return base, greedy_augment(base, spec, demand, _config(),
+                                extra_links=2), demand
+
+
+def test_toposearch_design(benchmark):
+    base, result, demand = _augment()
+    baseline = evaluate_topology(base, demand, _config())
+
+    table = Table("Topology design — greedy augmentation of a 6-GPU line "
+                  "(broadcast)", columns=["links", "finish us"])
+    table.add("base line6", **{"links": len(base.links),
+                               "finish us": baseline * 1e6})
+    table.add("augmented", **{"links": len(result.topology.links),
+                              "finish us": result.finish_time * 1e6})
+
+    upgrades = rank_link_upgrades(base, demand, _config(), factor=2.0)
+    for option in upgrades[:3]:
+        table.add(f"upgrade {option.link[0]}->{option.link[1]} x2",
+                  **{"links": len(base.links),
+                     "finish us": option.finish_time * 1e6})
+    single_solve_benchmark(benchmark, _augment)
+    write_result("toposearch_design", table.render())
+
+    assert result.finish_time < baseline, \
+        "greedy augmentation failed to improve the line"
+    assert upgrades[0].improvement >= upgrades[-1].improvement

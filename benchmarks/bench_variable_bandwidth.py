@@ -1,0 +1,72 @@
+"""§5 "Modeling variable bandwidth": planning through a known outage.
+
+The paper's variable-bandwidth hook takes a per-epoch capacity matrix. The
+operationally interesting case is a *scheduled* outage: a link is known to
+go away at epoch F (maintenance, a draining tenant). Three strategies:
+
+* **anticipate** — one synthesis with the §5 capacity function (full
+  capacity before F, zero after): the schedule rushes traffic over the
+  doomed link while it lasts;
+* **restart** — synthesize obliviously on the clean fabric, hit the
+  failure, and checkpoint-restart repair (:mod:`repro.failures`);
+* **conservative** — pretend the link never existed and synthesize on the
+  statically degraded fabric.
+
+Asserted shape: anticipate ≤ both alternatives — knowing the future in the
+model beats both reacting to it and over-provisioning for it.
+"""
+
+import pytest
+
+from _common import single_solve_benchmark, write_result
+from repro import collectives, topology
+from repro.analysis import Table
+from repro.core import TecclConfig, solve_milp
+from repro.failures import (FailureEvent, degraded_capacity_fn,
+                            degraded_topology, repair_schedule)
+from repro.solver import SolverOptions
+
+CHUNK_BYTES = 1.0
+FAIL_EPOCH = 2
+DEAD = [FailureEvent(FAIL_EPOCH, (0, 1)), FailureEvent(FAIL_EPOCH, (1, 0))]
+
+
+def _cfg(topo=None, capacity_fn=None, num_epochs=12):
+    return TecclConfig(chunk_bytes=CHUNK_BYTES, num_epochs=num_epochs,
+                       capacity_fn=capacity_fn,
+                       solver=SolverOptions(time_limit=30))
+
+
+def _scenario():
+    topo = topology.ring(4, capacity=1.0)
+    demand = collectives.allgather(topo.gpus, 2)  # 2 chunks: ~6 epochs
+
+    anticipate = solve_milp(
+        topo, demand, _cfg(capacity_fn=degraded_capacity_fn(topo, DEAD)))
+
+    oblivious = solve_milp(topo, demand, _cfg())
+    from repro.core.solve import Method
+
+    restart = repair_schedule(topo, demand, _cfg(num_epochs=None),
+                              oblivious.schedule, oblivious.plan, DEAD,
+                              method=Method.MILP)
+
+    conservative = solve_milp(degraded_topology(topo, DEAD), demand, _cfg())
+    return anticipate, restart, conservative
+
+
+def test_variable_bandwidth(benchmark):
+    anticipate, restart, conservative = _scenario()
+    table = Table(
+        f"Variable bandwidth — AG on ring4, cable (0,1) dies at epoch "
+        f"{FAIL_EPOCH}", columns=["finish s"])
+    table.add("anticipate (§5 capacity fn)",
+              **{"finish s": anticipate.finish_time})
+    table.add("restart (fail + repair)", **{"finish s": restart.total_time})
+    table.add("conservative (never use it)",
+              **{"finish s": conservative.finish_time})
+    single_solve_benchmark(benchmark, _scenario)
+    write_result("variable_bandwidth", table.render())
+
+    assert anticipate.finish_time <= restart.total_time + 1e-9
+    assert anticipate.finish_time <= conservative.finish_time + 1e-9

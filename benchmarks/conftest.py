@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+The benches live outside ``testpaths`` and are invoked explicitly::
+
+    pytest benchmarks/ --benchmark-only
+
+Each bench prints its paper-shaped table and also writes it under
+``benchmarks/results/`` so EXPERIMENTS.md can reference stable artifacts.
+"""
+
+import sys
+from pathlib import Path
+
+# make `import _common` work regardless of invocation directory
+sys.path.insert(0, str(Path(__file__).parent))

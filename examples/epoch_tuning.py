@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Tuning epoch duration and chunk size (§5 "Important Considerations").
+
+The MILP's schedule quality and solve time both hinge on the epoch grid:
+fastest-link epochs give finer schedules but more variables; the epoch
+multiplier (Table 4's "EM") coarsens the grid to trade quality for speed.
+This example sweeps both knobs on a two-chassis NDv2 ALLGATHER and prints
+the trade-off table.
+
+Run:  python examples/epoch_tuning.py
+"""
+
+from repro import collectives, topology
+from repro.analysis import Table, human_bytes
+from repro.core import TecclConfig
+from repro.core.config import EpochMode
+from repro.core.solve import Method, synthesize
+from repro.solver import SolverOptions
+
+topo = topology.ndv2(2)
+gpus = topo.gpus[:6]  # a slice keeps the sweep interactive
+demand = collectives.allgather(gpus, 1)
+
+table = Table("Epoch granularity on NDv2 (paper: Figure 8 / Table 4's EM)",
+              columns=["tau us", "K", "solve s", "finish us"])
+
+for label, mode, em, epochs in [
+        ("fastest, EM=1", EpochMode.FASTEST_LINK, 1.0, 28),
+        ("fastest, EM=2", EpochMode.FASTEST_LINK, 2.0, 14),
+        ("slowest, EM=1", EpochMode.SLOWEST_LINK, 1.0, 8),
+]:
+    config = TecclConfig(chunk_bytes=1e6, num_epochs=epochs,
+                         epoch_mode=mode, epoch_multiplier=em,
+                         solver=SolverOptions(mip_gap=0.1, time_limit=120))
+    result = synthesize(topo, demand, config, method=Method.MILP)
+    table.add(label,
+              **{"tau us": result.plan.tau * 1e6,
+                 "K": result.plan.num_epochs,
+                 "solve s": result.solve_time,
+                 "finish us": result.finish_time * 1e6})
+
+table.show()
+
+print("Chunk-size sweep (1 MB output buffer, chunks per GPU varied):")
+for chunks in (1, 2, 4):
+    per_gpu = 1e6 / len(gpus)
+    config = TecclConfig(chunk_bytes=per_gpu / chunks, num_epochs=30,
+                         solver=SolverOptions(mip_gap=0.1, time_limit=120))
+    demand_c = collectives.allgather(gpus, chunks)
+    result = synthesize(topo, demand_c, config, method=Method.MILP)
+    print(f"  {chunks} chunk(s) of {human_bytes(per_gpu / chunks):<6}"
+          f" finish {result.finish_time * 1e6:8.2f} us"
+          f"   solve {result.solve_time:6.2f} s")

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""The full deployment pipeline: synthesize → lower → execute → inspect.
+
+Mirrors the paper's §6 "Platform" flow. The schedule is synthesized for a
+DGX1, lowered to an MSCCL-style program (threadblocks + FIFO channels +
+dependencies), executed by the runtime *interpreter* — which validates the
+lowering independently of the solver — and finally rendered as a wall-clock
+Gantt chart of wire occupancy.
+
+Run:  python examples/msccl_pipeline.py
+"""
+
+from repro import collectives, topology
+from repro.analysis import render_gantt, render_progress
+from repro.core import TecclConfig, solve_milp
+from repro.msccl import load_program, to_msccl_xml, verify_program
+from repro.simulate import run_events
+
+topo = topology.dgx1()
+demand = collectives.allgather(topo.gpus, chunks_per_gpu=1)
+config = TecclConfig(chunk_bytes=25e3, num_epochs=10)
+
+# synthesize and lower
+outcome = solve_milp(topo, demand, config)
+document = to_msccl_xml(outcome.schedule, topo, demand,
+                        name="dgx1-allgather", collective="allgather")
+program = load_program(document)
+print(f"schedule      : {outcome.schedule!r}")
+print(f"program       : {program.num_instructions} instructions over "
+      f"{len(program.blocks)} threadblocks on {len(program.gpus)} ranks")
+
+# execute the program the way the MSCCL runtime would
+report = verify_program(document, topo, demand, chunk_bytes=25e3)
+print(f"interpreter   : {report.fired}/{report.total} instructions fired, "
+      f"finish {report.finish_time * 1e6:.2f} us")
+print("delivery      : every demanded chunk delivered\n")
+
+# wall-clock view of what the wires did
+events = run_events(outcome.schedule, topo, demand)
+print("wire occupancy (event-simulated):")
+print(render_gantt(events, width=56, links=sorted(
+    events.link_busy, key=lambda k: -events.link_busy[k])[:6]))
+print("\ndelivery progress per GPU:")
+print(render_progress(events, demand, width=56))

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Multi-tenant scheduling on a shared NDv2 fabric (§5).
+
+Two training jobs share one two-chassis NDv2 cluster: a production job
+running an ALLGATHER (priority 5) and a best-effort job running an
+ALLTOALL (priority 1). TE-CCL merges the demands into one optimization —
+the capacity constraints arbitrate the shared links, and the weighted
+objective finishes the production tenant first.
+
+Run:  python examples/multi_tenant_cluster.py
+"""
+
+from repro import collectives, topology
+from repro.collectives import TenantDemand
+from repro.core import TecclConfig
+from repro.core.solve import Method, synthesize_multi_tenant
+from repro.solver import SolverOptions
+
+topo = topology.ndv2(2)
+# keep the example snappy: 2 GPUs per chassis participate in each job
+production_gpus = [0, 1, 8, 9]
+besteffort_gpus = [2, 3, 10, 11]
+
+tenants = [
+    TenantDemand(collectives.allgather(production_gpus, 1),
+                 priority=5.0, name="production"),
+    TenantDemand(collectives.alltoall(besteffort_gpus, 1),
+                 priority=1.0, name="best-effort"),
+]
+
+config = TecclConfig(chunk_bytes=1e6, num_epochs=24,
+                     solver=SolverOptions(mip_gap=0.1, time_limit=120))
+result = synthesize_multi_tenant(topo, tenants, config, method=Method.MILP)
+
+print(f"fabric          : {topo!r}")
+print(f"merged schedule : {result.schedule!r}")
+print(f"overall finish  : {result.finish_time * 1e6:.1f} us")
+
+# per-tenant completion: the last delivery epoch of each tenant's chunks
+outcome = result.outcome
+by_tenant = {"production": 0.0, "best-effort": 0.0}
+for (s, c, d), epoch in outcome.delivered_epoch.items():
+    tenant = "production" if s in production_gpus else "best-effort"
+    finish = (epoch + 1) * result.plan.tau
+    by_tenant[tenant] = max(by_tenant[tenant], finish)
+for tenant, finish in by_tenant.items():
+    print(f"  {tenant:<12}: done by {finish * 1e6:.1f} us")
+if by_tenant["production"] <= by_tenant["best-effort"]:
+    print("priority honoured: production finishes no later than best-effort")

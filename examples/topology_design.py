@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Topology design with TE-CCL in the loop (the paper's §1 design loop).
+
+An operator has a 6-GPU pod wired as a line and budget for two more cables.
+Where should they go? Every candidate is scored by actually synthesizing the
+collective — the workload TE-CCL's scalability argument targets (TopoOpt-
+style co-design calls the optimizer many times per search).
+
+The script runs three levels of the loop:
+
+1. what-if: which *existing* cable, upgraded 2x, buys the most?
+2. greedy augmentation: spend 2 new cables, one at a time;
+3. local search: redesign the whole fabric under the same link budget.
+
+Run:  python examples/topology_design.py
+"""
+
+from repro import collectives, topology
+from repro.core import TecclConfig
+from repro.solver import SolverOptions
+from repro.toposearch import (DesignSpec, evaluate_topology, greedy_augment,
+                              local_search, rank_link_upgrades)
+
+CAPACITY = 25e9        # 200 Gbps cables
+ALPHA = 0.7e-6
+config = TecclConfig(chunk_bytes=1e6,
+                     solver=SolverOptions(mip_gap=0.1, time_limit=20))
+
+base = topology.line(6, capacity=CAPACITY, alpha=ALPHA, name="pod-line6")
+demand = collectives.broadcast(0, base.gpus, 1)
+baseline = evaluate_topology(base, demand, config)
+print(f"base fabric   : {base!r}")
+print(f"broadcast time: {baseline * 1e6:.2f} us\n")
+
+# 1. what-if upgrades of existing cables
+print("what-if: upgrade one existing cable 2x")
+for option in rank_link_upgrades(base, demand, config, factor=2.0)[:3]:
+    print(f"  {option.link[0]}->{option.link[1]}: "
+          f"{option.finish_time * 1e6:.2f} us "
+          f"({100 * option.improvement:+.1f}%)")
+
+# 2. greedy augmentation: two extra cables
+spec = DesignSpec(num_gpus=6, capacity=CAPACITY, alpha=ALPHA)
+augmented = greedy_augment(base, spec, demand, config, extra_links=2)
+added = sorted(set(augmented.topology.links) - set(base.links))
+print(f"\ngreedy augmentation (+2 cables): {added}")
+print(f"  broadcast time: {augmented.finish_time * 1e6:.2f} us "
+      f"({100 * augmented.improvement_over(baseline):.1f}% faster)")
+
+# 3. full redesign under the same link budget as the augmented fabric
+spec = DesignSpec(num_gpus=6, capacity=CAPACITY, alpha=ALPHA,
+                  link_budget=len(augmented.topology.links))
+searched = local_search(spec, demand, config, seed=0, max_iters=12,
+                        patience=6, start=augmented.topology)
+print(f"\nlocal search ({searched.evaluations} synthesizer calls): "
+      f"{searched.finish_time * 1e6:.2f} us")
+assert searched.finish_time <= augmented.finish_time + 1e-12
+print("search never degraded the design: ok")

@@ -1,0 +1,32 @@
+"""Cost-model analysis and evaluation metrics."""
+
+from repro.analysis.alpha_error import AlphaErrorPoint, alpha_blind_error
+from repro.analysis.calibration import (DEFAULT_PROBE_SIZES, AlphaBetaFit,
+                                        Measurement, apply_calibration,
+                                        calibrate_topology,
+                                        calibration_error, fit_alpha_beta,
+                                        probe_link)
+from repro.analysis.gantt import (render_gantt, render_progress,
+                                  utilisation_summary)
+from repro.analysis.costmodel import (allgather_bandwidth_lower_bound,
+                                      alltoall_bandwidth_lower_bound,
+                                      path_time, pipelined_path_time)
+from repro.analysis.metrics import (Row, Table, human_bytes, improvement_pct,
+                                    speedup_pct)
+from repro.analysis.sweeps import (SweepPoint, SweepResult, chunk_size_sweep,
+                                   epoch_multiplier_sweep, horizon_sweep)
+from repro.analysis.timeline import occupancy_histogram, render_timeline
+
+__all__ = [
+    "alpha_blind_error", "AlphaErrorPoint",
+    "path_time", "pipelined_path_time",
+    "allgather_bandwidth_lower_bound", "alltoall_bandwidth_lower_bound",
+    "improvement_pct", "speedup_pct", "Row", "Table", "human_bytes",
+    "chunk_size_sweep", "epoch_multiplier_sweep", "horizon_sweep",
+    "SweepPoint", "SweepResult",
+    "render_timeline", "occupancy_histogram",
+    "Measurement", "AlphaBetaFit", "fit_alpha_beta", "probe_link",
+    "calibrate_topology", "apply_calibration", "calibration_error",
+    "DEFAULT_PROBE_SIZES",
+    "render_gantt", "render_progress", "utilisation_summary",
+]

@@ -1,0 +1,164 @@
+"""α–β calibration: fitting the cost model from timing measurements.
+
+TE-CCL "takes the topology and the values for α and β as input. We do not
+provide an independent method for computing these values" (§5). This module
+is that missing method for users of this package: probe a link with
+transfers of several sizes, least-squares fit ``t = α + β·S``, and write the
+fitted parameters back into a topology. A synthetic measurement generator
+stands in for the hardware probe (per the substitution rules in DESIGN.md),
+so the full calibrate → synthesize loop is exercisable offline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.topology.topology import Link, Topology
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One timed transfer: ``size_bytes`` took ``seconds`` on the link."""
+
+    size_bytes: float
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ModelError("measurement size must be positive")
+        if self.seconds <= 0:
+            raise ModelError("measurement time must be positive")
+
+
+@dataclass(frozen=True)
+class AlphaBetaFit:
+    """A fitted α–β model for one link.
+
+    Attributes:
+        alpha: fixed latency, seconds (clamped at 0 — a negative intercept
+            is measurement noise, not physics).
+        beta: seconds per byte.
+        r_squared: goodness of fit on the input measurements.
+    """
+
+    alpha: float
+    beta: float
+    r_squared: float
+
+    @property
+    def capacity(self) -> float:
+        """Bytes/second (1/β), the units :class:`Link` carries."""
+        if self.beta <= 0:
+            raise ModelError("fit has non-positive beta; no finite capacity")
+        return 1.0 / self.beta
+
+    def predict(self, size_bytes: float) -> float:
+        return self.alpha + self.beta * size_bytes
+
+
+def fit_alpha_beta(measurements: list[Measurement]) -> AlphaBetaFit:
+    """Ordinary least squares of ``t = α + β·S``.
+
+    Requires at least two distinct transfer sizes (the model has two
+    parameters). The α estimate is clamped at zero; β must come out
+    positive or the data is inconsistent with a transfer-time model.
+    """
+    if len(measurements) < 2:
+        raise ModelError("need at least 2 measurements to fit α and β")
+    sizes = np.array([m.size_bytes for m in measurements])
+    times = np.array([m.seconds for m in measurements])
+    if np.unique(sizes).size < 2:
+        raise ModelError("need at least 2 distinct sizes to fit α and β")
+    design = np.column_stack([np.ones_like(sizes), sizes])
+    (alpha, beta), *_ = np.linalg.lstsq(design, times, rcond=None)
+    if beta <= 0:
+        raise ModelError(
+            f"fitted β = {beta:.3g} ≤ 0; transfer times do not grow with "
+            "size — the measurements are not an α–β link")
+    predicted = design @ np.array([alpha, beta])
+    ss_res = float(np.sum((times - predicted) ** 2))
+    ss_tot = float(np.sum((times - times.mean()) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return AlphaBetaFit(alpha=max(0.0, float(alpha)), beta=float(beta),
+                        r_squared=r_squared)
+
+
+def probe_link(link: Link, sizes: list[float], *, noise: float = 0.0,
+               seed: int = 0) -> list[Measurement]:
+    """Synthetic hardware probe: time ``sizes`` transfers on one link.
+
+    Gaussian multiplicative noise with standard deviation ``noise`` models
+    measurement jitter; times are floored at a nanosecond so noise cannot
+    produce non-physical values.
+    """
+    if noise < 0:
+        raise ModelError("noise must be non-negative")
+    rng = random.Random(seed)
+    measurements = []
+    for size in sizes:
+        truth = link.transfer_time(size)
+        jitter = rng.gauss(1.0, noise) if noise else 1.0
+        measurements.append(Measurement(
+            size_bytes=size, seconds=max(1e-9, truth * jitter)))
+    return measurements
+
+
+DEFAULT_PROBE_SIZES = [1e3, 4e3, 16e3, 64e3, 256e3, 1e6, 4e6]
+"""The probe ladder: the same decade sweep as the paper's Figure 2."""
+
+
+def calibrate_topology(topology: Topology, *,
+                       sizes: list[float] | None = None,
+                       noise: float = 0.0, seed: int = 0,
+                       ) -> dict[tuple[int, int], AlphaBetaFit]:
+    """Probe and fit every link; returns fits keyed like ``topology.links``."""
+    sizes = sizes if sizes is not None else list(DEFAULT_PROBE_SIZES)
+    fits = {}
+    for key, link in sorted(topology.links.items()):
+        measurements = probe_link(link, sizes, noise=noise,
+                                  seed=seed + hash(key) % 65536)
+        fits[key] = fit_alpha_beta(measurements)
+    return fits
+
+
+def apply_calibration(topology: Topology,
+                      fits: dict[tuple[int, int], AlphaBetaFit],
+                      name: str | None = None) -> Topology:
+    """A topology whose link parameters come from the fits.
+
+    Links without a fit keep their declared parameters (partial
+    calibration is normal: probe what you can reach).
+    """
+    out = Topology(name=name or f"{topology.name}-calibrated",
+                   num_nodes=topology.num_nodes,
+                   switches=topology.switches)
+    for (src, dst), link in topology.links.items():
+        fit = fits.get((src, dst))
+        if fit is None:
+            out.links[(src, dst)] = link
+        else:
+            out.links[(src, dst)] = Link(src, dst, capacity=fit.capacity,
+                                         alpha=fit.alpha)
+    return out
+
+
+def calibration_error(topology: Topology,
+                      fits: dict[tuple[int, int], AlphaBetaFit],
+                      ) -> dict[tuple[int, int], tuple[float, float]]:
+    """Per-link relative error of the fits: ``(α error, capacity error)``.
+
+    Only meaningful against synthetic probes (where ground truth exists);
+    used by tests and the calibration example to show the loop closes.
+    """
+    errors = {}
+    for key, fit in fits.items():
+        link = topology.link(*key)
+        alpha_err = (abs(fit.alpha - link.alpha) / link.alpha
+                     if link.alpha > 0 else abs(fit.alpha))
+        cap_err = abs(fit.capacity - link.capacity) / link.capacity
+        errors[key] = (alpha_err, cap_err)
+    return errors

@@ -1,0 +1,56 @@
+"""α–β cost-model helpers (§2.1) and theoretical reference bounds."""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.topology.topology import Topology
+
+
+def path_time(topology: Topology, path: list[int], size_bytes: float) -> float:
+    """Naïve path delay: the per-hop α + β·S summed (store-and-forward)."""
+    if len(path) < 2:
+        return 0.0
+    return sum(topology.link(i, j).transfer_time(size_bytes)
+               for i, j in zip(path, path[1:]))
+
+
+def pipelined_path_time(topology: Topology, path: list[int],
+                        size_bytes: float, chunk_bytes: float) -> float:
+    """Path delay when the transfer is chunked and pipelined.
+
+    Total ≈ Σ α + bottleneck·S + (hops−1)·chunk on bottleneck: the quantity
+    TE-CCL's epoch model converges to as chunks shrink, and the reason it
+    beats barrier schedulers on multi-chunk transfers (Table 3).
+    """
+    if len(path) < 2:
+        return 0.0
+    if chunk_bytes <= 0 or chunk_bytes > size_bytes:
+        raise ModelError("chunk size must be in (0, size]")
+    links = [topology.link(i, j) for i, j in zip(path, path[1:])]
+    alphas = sum(l.alpha for l in links)
+    slowest = max(l.beta for l in links)
+    return alphas + slowest * size_bytes + (len(links) - 1) * slowest * chunk_bytes
+
+
+def allgather_bandwidth_lower_bound(topology: Topology,
+                                    per_gpu_bytes: float) -> float:
+    """A capacity lower bound on ALLGATHER time: the tightest node cut.
+
+    Every GPU must *receive* (N−1)·S bytes, so its total ingress capacity
+    bounds the finish time from below. Used as a sanity anchor in tests and
+    benches (no schedule may beat it).
+    """
+    gpus = topology.gpus
+    worst = 0.0
+    for g in gpus:
+        ingress = sum(l.capacity for l in topology.in_edges(g))
+        if ingress <= 0:
+            raise ModelError(f"GPU {g} has no ingress capacity")
+        worst = max(worst, (len(gpus) - 1) * per_gpu_bytes / ingress)
+    return worst
+
+
+def alltoall_bandwidth_lower_bound(topology: Topology,
+                                   per_pair_bytes: float) -> float:
+    """Same node-cut bound for ALLTOALL (each GPU receives (N−1)·S)."""
+    return allgather_bandwidth_lower_bound(topology, per_pair_bytes)

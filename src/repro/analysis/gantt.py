@@ -1,0 +1,117 @@
+"""Continuous-time Gantt rendering of executed schedules.
+
+:mod:`repro.analysis.timeline` shows the epoch grid the solver reasoned
+about; this module shows what the *event executor* actually did with it —
+per-link wire occupancy and per-destination delivery progress in wall-clock
+seconds. Reading the two side by side is how one sees quantisation slack
+(grid cell occupied, wire mostly idle) and pipelining (overlapping bars on
+consecutive links of a path).
+
+All output is plain text: the repo is terminal-first, like the tables the
+paper prints.
+"""
+
+from __future__ import annotations
+
+from repro.collectives.demand import Demand
+from repro.errors import ScheduleError
+from repro.simulate.events import EventReport
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def render_gantt(report: EventReport, *, width: int = 64,
+                 links: list[tuple[int, int]] | None = None) -> str:
+    """Per-link wire occupancy bars over the collective's duration.
+
+    Each row is one link; each character covers ``finish/width`` seconds
+    and is shaded by the fraction of that slice the wire was busy
+    (space = idle, full block = saturated). The right column shows the
+    overall busy percentage.
+    """
+    if not report.transmissions:
+        raise ScheduleError("report has no transmissions to render")
+    if width < 8:
+        raise ScheduleError("width must be at least 8 columns")
+    horizon = max(report.finish_time,
+                  max(t.end for t in report.transmissions))
+    if horizon <= 0:
+        raise ScheduleError("report has a non-positive horizon")
+    used = sorted({t.link for t in report.transmissions})
+    if links is not None:
+        wanted = set(links)
+        used = [l for l in used if l in wanted]
+        if not used:
+            raise ScheduleError(f"none of {links} carried traffic")
+    slice_width = horizon / width
+    label_width = max(len(f"{i}->{j}") for i, j in used) + 2
+
+    lines = [f"0.0s{'':{width - 8}}{horizon:.3g}s".rjust(label_width + width)]
+    for link in used:
+        busy = [0.0] * width
+        total = 0.0
+        for t in (t for t in report.transmissions if t.link == link):
+            total += t.end - t.start
+            first = min(width - 1, int(t.start / slice_width))
+            last = min(width - 1, int(max(t.start, t.end - 1e-15)
+                                      / slice_width))
+            for cell in range(first, last + 1):
+                lo = cell * slice_width
+                hi = lo + slice_width
+                overlap = min(hi, t.end) - max(lo, t.start)
+                busy[cell] += max(0.0, overlap)
+        bar = "".join(
+            _BLOCKS[min(len(_BLOCKS) - 1,
+                        int(round(b / slice_width * (len(_BLOCKS) - 1))))]
+            for b in busy)
+        pct = 100.0 * total / horizon
+        lines.append(f"{link[0]}->{link[1]}".ljust(label_width)
+                     + bar + f"  {pct:5.1f}%")
+    return "\n".join(lines)
+
+
+def render_progress(report: EventReport, demand: Demand, *,
+                    width: int = 64) -> str:
+    """Per-destination delivery progress over time (0–9 deciles).
+
+    Each row is one destination GPU; each character shows how many of its
+    demanded triples have landed by that time slice, as a decile digit
+    (``9``/``#`` = everything).
+    """
+    if width < 8:
+        raise ScheduleError("width must be at least 8 columns")
+    horizon = report.finish_time
+    if horizon <= 0:
+        raise ScheduleError("report has a non-positive horizon")
+    wants: dict[int, int] = {}
+    for s, c, d in demand.triples():
+        wants[d] = wants.get(d, 0) + 1
+    label_width = max(len(f"gpu {d}") for d in wants) + 2
+    slice_width = horizon / width
+
+    lines = [f"0.0s{'':{width - 8}}{horizon:.3g}s".rjust(label_width + width)]
+    for d in sorted(wants):
+        deliveries = sorted(t for (s, c, dst), t in report.delivered.items()
+                            if dst == d)
+        row = []
+        done = 0
+        for cell in range(width):
+            cutoff = (cell + 1) * slice_width
+            while done < len(deliveries) and deliveries[done] <= cutoff + 1e-12:
+                done += 1
+            fraction = done / wants[d]
+            row.append("#" if fraction >= 1.0 else str(int(fraction * 10)))
+        lines.append(f"gpu {d}".ljust(label_width) + "".join(row))
+    return "\n".join(lines)
+
+
+def utilisation_summary(report: EventReport, *, top: int = 10) -> str:
+    """The busiest links, as ``link  busy-seconds  share-of-makespan``."""
+    if report.finish_time <= 0:
+        raise ScheduleError("report has a non-positive horizon")
+    rows = sorted(report.link_busy.items(), key=lambda kv: -kv[1])[:top]
+    lines = ["link        busy(s)   of makespan"]
+    for (i, j), busy in rows:
+        lines.append(f"{i}->{j}".ljust(10)
+                     + f"{busy:9.3g}   {100 * busy / report.finish_time:6.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Comparison metrics and table formatting for the evaluation harness.
+
+Every benchmark prints rows through these helpers so the output matches the
+paper's tables: epoch duration (ED), collective time (CT), solver time (ST),
+algorithmic bandwidth (AB), and the percentage improvements of Figures 4-6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+
+
+def improvement_pct(ours: float, theirs: float) -> float:
+    """The paper's headline metric: 100·(TECCL − TACCL)/TACCL.
+
+    For bandwidth, positive means TE-CCL is better; for solver time the
+    benches negate the ratio so positive always reads "TE-CCL wins".
+    """
+    if theirs == 0:
+        raise ModelError("cannot compute improvement against zero")
+    return 100.0 * (ours - theirs) / theirs
+
+
+def speedup_pct(ours_time: float, theirs_time: float) -> float:
+    """100·(theirs − ours)/ours: Figure 5's 'speedup in solver time (%)'."""
+    if ours_time <= 0:
+        raise ModelError("our time must be positive")
+    return 100.0 * (theirs_time - ours_time) / ours_time
+
+
+@dataclass
+class Row:
+    """One experiment row; renders like the paper's tables."""
+
+    label: str
+    values: dict[str, float | str | None] = field(default_factory=dict)
+
+    def formatted(self, columns: list[str]) -> str:
+        cells = [f"{self.label:<26}"]
+        for col in columns:
+            value = self.values.get(col)
+            if value is None:
+                cells.append(f"{'X':>12}")
+            elif isinstance(value, str):
+                cells.append(f"{value:>12}")
+            else:
+                cells.append(f"{value:>12.4g}")
+        return " ".join(cells)
+
+
+@dataclass
+class Table:
+    """A printable experiment table with a paper reference in the header."""
+
+    title: str
+    columns: list[str]
+    rows: list[Row] = field(default_factory=list)
+
+    def add(self, label: str, **values) -> Row:
+        row = Row(label=label, values=values)
+        self.rows.append(row)
+        return row
+
+    def render(self) -> str:
+        header = (f"{'scenario':<26} "
+                  + " ".join(f"{c:>12}" for c in self.columns))
+        lines = [self.title, "=" * len(header), header, "-" * len(header)]
+        lines.extend(row.formatted(self.columns) for row in self.rows)
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print("\n" + self.render() + "\n")
+
+
+def human_bytes(num: float) -> str:
+    """1073741824 → '1G' (the paper's output-buffer axis labels)."""
+    for unit, scale in (("G", 1e9), ("M", 1e6), ("K", 1e3)):
+        if num >= scale:
+            value = num / scale
+            return f"{value:.0f}{unit}" if value == int(value) \
+                else f"{value:.3g}{unit}"
+    return f"{num:.0f}B"

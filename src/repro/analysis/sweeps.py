@@ -1,0 +1,108 @@
+"""Parameter-sweep utilities (§5 "Important Considerations").
+
+The paper's guidance for choosing chunk sizes and horizons is operational:
+"To find the best chunk size we can sweep a range of values to find the best
+one quickly", and Algorithm 1 sweeps candidate completion times. These
+helpers package those loops behind one call each, returning full sweep
+records so callers (and the benches) can plot trade-off curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.collectives.demand import Demand
+from repro.core.config import TecclConfig
+from repro.core.solve import Method, SynthesisResult, synthesize
+from repro.errors import InfeasibleError, ModelError
+from repro.topology.topology import Topology
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: the knob value and what it bought."""
+
+    value: float
+    finish_time: float
+    solve_time: float
+    num_epochs: int
+    infeasible: bool = False
+
+
+@dataclass
+class SweepResult:
+    """All samples plus the argmin by finish time."""
+
+    points: list[SweepPoint]
+
+    @property
+    def best(self) -> SweepPoint:
+        feasible = [p for p in self.points if not p.infeasible]
+        if not feasible:
+            raise InfeasibleError("every sweep point was infeasible")
+        return min(feasible, key=lambda p: (p.finish_time, p.value))
+
+    def feasible_values(self) -> list[float]:
+        return [p.value for p in self.points if not p.infeasible]
+
+
+def chunk_size_sweep(topology: Topology, demand: Demand,
+                     base_config: TecclConfig,
+                     chunk_sizes: list[float], *,
+                     method: Method = Method.AUTO) -> SweepResult:
+    """Re-synthesize the collective across candidate chunk sizes.
+
+    Smaller chunks give the solver finer schedules but more variables (§5);
+    the returned records expose both sides of that trade.
+    """
+    if not chunk_sizes:
+        raise ModelError("no chunk sizes to sweep")
+    points = []
+    for size in chunk_sizes:
+        config = replace(base_config, chunk_bytes=size, num_epochs=None)
+        points.append(_run(topology, demand, config, method, value=size))
+    return SweepResult(points=points)
+
+
+def epoch_multiplier_sweep(topology: Topology, demand: Demand,
+                           base_config: TecclConfig,
+                           multipliers: list[float], *,
+                           method: Method = Method.AUTO) -> SweepResult:
+    """Sweep the EM knob of Table 4: grid coarseness vs schedule quality."""
+    if not multipliers:
+        raise ModelError("no multipliers to sweep")
+    points = []
+    for em in multipliers:
+        config = replace(base_config, epoch_multiplier=em, num_epochs=None)
+        points.append(_run(topology, demand, config, method, value=em))
+    return SweepResult(points=points)
+
+
+def horizon_sweep(topology: Topology, demand: Demand,
+                  base_config: TecclConfig, horizons: list[int], *,
+                  method: Method = Method.AUTO) -> SweepResult:
+    """Solve at explicit horizons K (the manual version of Algorithm 1).
+
+    Infeasible horizons are recorded rather than raised, so the caller can
+    see exactly where feasibility begins.
+    """
+    if not horizons:
+        raise ModelError("no horizons to sweep")
+    points = []
+    for k in horizons:
+        config = replace(base_config, num_epochs=int(k))
+        points.append(_run(topology, demand, config, method, value=float(k)))
+    return SweepResult(points=points)
+
+
+def _run(topology: Topology, demand: Demand, config: TecclConfig,
+         method: Method, value: float) -> SweepPoint:
+    try:
+        result: SynthesisResult = synthesize(topology, demand, config,
+                                             method=method)
+    except InfeasibleError:
+        return SweepPoint(value=value, finish_time=float("inf"),
+                          solve_time=0.0, num_epochs=0, infeasible=True)
+    return SweepPoint(value=value, finish_time=result.finish_time,
+                      solve_time=result.solve_time,
+                      num_epochs=result.plan.num_epochs)

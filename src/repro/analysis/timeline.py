@@ -1,0 +1,77 @@
+"""ASCII schedule timelines: per-link occupancy, epoch by epoch.
+
+Debugging a synthesized collective means answering "what is link (i, j)
+doing at epoch k?" — this module renders exactly that, in the terminal,
+for any integral :class:`~repro.core.schedule.Schedule`:
+
+    link      0    1    2    3
+    0->1    0.0  0.1    .    .
+    1->2      .  0.0  0.1    .
+
+Each cell shows the (source.chunk) transmitting on the link in that epoch
+(``.`` = idle, ``*`` = more than one chunk).
+"""
+
+from __future__ import annotations
+
+from repro.core.schedule import Schedule
+from repro.errors import ScheduleError
+
+
+def render_timeline(schedule: Schedule, *, max_epochs: int = 64,
+                    links: list[tuple[int, int]] | None = None) -> str:
+    """Render the schedule as a per-link/per-epoch grid.
+
+    Args:
+        max_epochs: truncate very long schedules (a trailing marker shows
+            how many epochs were cut).
+        links: restrict to specific links (default: every used link).
+    """
+    if not schedule.sends:
+        raise ScheduleError("cannot render an empty schedule")
+    used = sorted(schedule.links_used())
+    if links is not None:
+        missing = [l for l in links if l not in set(used)]
+        used = [l for l in used if l in set(links)]
+        if not used:
+            raise ScheduleError(f"none of {links} appear in the schedule "
+                                f"(missing: {missing})")
+    last_epoch = schedule.finish_epoch
+    cut = max(0, last_epoch + 1 - max_epochs)
+    epochs = range(min(last_epoch + 1, max_epochs))
+
+    cells: dict[tuple[tuple[int, int], int], list[str]] = {}
+    for send in schedule.sends:
+        if send.epoch >= max_epochs or send.link not in set(used):
+            continue
+        cells.setdefault((send.link, send.epoch), []).append(
+            f"{send.source}.{send.chunk}")
+
+    link_width = max(len(f"{i}->{j}") for i, j in used) + 2
+    cell_width = max([5] + [len(v[0]) + 1
+                            for v in cells.values() if len(v) == 1])
+    header = "link".ljust(link_width) + "".join(
+        str(k).rjust(cell_width) for k in epochs)
+    lines = [header]
+    for link in used:
+        row = f"{link[0]}->{link[1]}".ljust(link_width)
+        for k in epochs:
+            content = cells.get((link, k))
+            if content is None:
+                row += ".".rjust(cell_width)
+            elif len(content) == 1:
+                row += content[0].rjust(cell_width)
+            else:
+                row += f"*{len(content)}".rjust(cell_width)
+        lines.append(row)
+    if cut:
+        lines.append(f"... {cut} more epoch(s) truncated")
+    return "\n".join(lines)
+
+
+def occupancy_histogram(schedule: Schedule) -> dict[tuple[int, int], int]:
+    """Chunks carried per link over the whole schedule (load balance view)."""
+    counts: dict[tuple[int, int], int] = {}
+    for send in schedule.sends:
+        counts[send.link] = counts.get(send.link, 0) + 1
+    return counts

@@ -1,0 +1,31 @@
+"""Baseline schedulers the paper compares TE-CCL against."""
+
+from repro.baselines.blink_like import (Arborescence, blink_allgather,
+                                        blink_broadcast, pack_arborescences,
+                                        split_chunks)
+from repro.baselines.common import GreedyScheduler, LinkLedger
+from repro.baselines.ring import (find_ring, ring_allgather,
+                                  ring_allgather_time, ring_demand)
+from repro.baselines.sccl_like import (ScclOutcome, barrier_finish_time,
+                                       sccl_instance, sccl_least_steps)
+from repro.baselines.shortest_path import (shortest_path,
+                                           shortest_path_schedule)
+from repro.baselines.taccl_like import TacclOutcome, taccl_like
+from repro.baselines.trees import (LogicalTree, binomial_broadcast,
+                                   binomial_tree, chain_tree,
+                                   double_binary_trees, double_tree_broadcast,
+                                   schedule_tree_broadcast, tree_allgather)
+
+__all__ = [
+    "GreedyScheduler", "LinkLedger",
+    "find_ring", "ring_allgather", "ring_allgather_time", "ring_demand",
+    "shortest_path", "shortest_path_schedule",
+    "taccl_like", "TacclOutcome",
+    "sccl_least_steps", "sccl_instance", "ScclOutcome",
+    "barrier_finish_time",
+    "LogicalTree", "binomial_tree", "chain_tree", "double_binary_trees",
+    "binomial_broadcast", "double_tree_broadcast", "tree_allgather",
+    "schedule_tree_broadcast",
+    "Arborescence", "pack_arborescences", "split_chunks",
+    "blink_broadcast", "blink_allgather",
+]

@@ -1,0 +1,243 @@
+"""Blink-style spanning-tree packing (the [29] baseline, §7).
+
+Blink builds collectives by *packing directed spanning trees* (arborescences)
+rooted at the broadcast source and streaming data down all of them
+concurrently, splitting the buffer across trees in proportion to each tree's
+bottleneck bandwidth. It is bandwidth-efficient on heterogeneous fabrics but
+— as the paper notes — models neither α-delay nor store-and-forward, which
+is where TE-CCL wins on small transfers.
+
+The packing here is the greedy arc-disjoint variant: Prim-style growth over
+residual link budgets, repeated until no further spanning arborescence
+exists. Switches may appear inside a tree as relays; they are compressed
+away before scheduling so the zero-buffer switch rule is honoured by the
+shared :class:`~repro.baselines.common.GreedyScheduler`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.baselines.common import GreedyScheduler
+from repro.baselines.trees import LogicalTree, _horizon
+from repro.core.config import TecclConfig
+from repro.core.schedule import Schedule
+from repro.errors import DemandError, TopologyError
+from repro.topology.topology import Topology
+
+
+@dataclass(frozen=True)
+class Arborescence:
+    """One packed spanning tree over the fabric (switches included).
+
+    ``parent`` maps every covered node except the root to the node it
+    receives from; ``rate`` is the bottleneck capacity (bytes/s) along the
+    tree's arcs, Blink's proportional-split weight.
+    """
+
+    root: int
+    parent: dict[int, int]
+    rate: float
+
+    @property
+    def arcs(self) -> list[tuple[int, int]]:
+        return sorted((p, child) for child, p in self.parent.items())
+
+    def covered_gpus(self, topology: Topology) -> set[int]:
+        nodes = {self.root} | set(self.parent)
+        return {n for n in nodes if not topology.is_switch(n)}
+
+    def to_logical(self, topology: Topology,
+                   ) -> tuple[LogicalTree, dict[tuple[int, int], list[int]]]:
+        """Compress switch relays into GPU-level logical edges.
+
+        Returns the GPU-only logical tree plus, per logical edge, the
+        physical node path (which may thread one or more switches).
+        """
+        children: dict[int, list[int]] = {}
+        for child, parent in self.parent.items():
+            children.setdefault(parent, []).append(child)
+
+        logical_children: dict[int, list[int]] = {self.root: []}
+        paths: dict[tuple[int, int], list[int]] = {}
+
+        def descend(gpu_anchor: int, node: int, trail: list[int]) -> None:
+            for nxt in sorted(children.get(node, ())):
+                if topology.is_switch(nxt):
+                    descend(gpu_anchor, nxt, trail + [nxt])
+                else:
+                    logical_children.setdefault(gpu_anchor, []).append(nxt)
+                    logical_children.setdefault(nxt, [])
+                    paths[(gpu_anchor, nxt)] = trail + [nxt]
+                    descend(nxt, nxt, [nxt])
+
+        if topology.is_switch(self.root):
+            raise TopologyError("arborescence rooted at a switch")
+        descend(self.root, self.root, [self.root])
+        tree = LogicalTree(
+            root=self.root,
+            children={u: tuple(v) for u, v in logical_children.items()})
+        return tree, paths
+
+
+def _grow_arborescence(topology: Topology, root: int,
+                       residual: dict[tuple[int, int], int],
+                       chunk_bytes: float) -> Arborescence | None:
+    """Prim-style growth of one spanning arborescence on residual arcs.
+
+    Arc weight is the α+β transfer time, so cheap fat links are taken first
+    (what Blink's packing heuristic does). Ties go to arcs leaving the most
+    recently covered node — depth-first growth, which on uniform fabrics
+    produces chain-like trees that leave the root's other out-arcs free for
+    the *next* tree (a star would exhaust them in one packing round).
+    Returns ``None`` when the residual graph no longer spans every GPU.
+    """
+    gpus = set(topology.gpus)
+    parent: dict[int, int] = {}
+    covered = {root}
+    recency = {root: 0}
+    heap: list[tuple[float, int, int, int]] = []
+
+    def push_frontier(node: int) -> None:
+        for link in topology.out_edges(node):
+            if residual[(link.src, link.dst)] > 0:
+                heapq.heappush(heap, (link.transfer_time(chunk_bytes),
+                                      -recency[node], link.src, link.dst))
+
+    push_frontier(root)
+    while gpus - covered:
+        while heap:
+            _, _, u, v = heapq.heappop(heap)
+            if v not in covered and residual[(u, v)] > 0:
+                break
+        else:
+            return None
+        parent[v] = u
+        covered.add(v)
+        recency[v] = len(recency)
+        push_frontier(v)
+
+    _prune_switch_leaves(topology, parent)
+    rate = min(topology.link(p, c).capacity for c, p in parent.items())
+    return Arborescence(root=root, parent=dict(parent), rate=rate)
+
+
+def _prune_switch_leaves(topology: Topology, parent: dict[int, int]) -> None:
+    """Drop switches that relay to nobody (they consume arcs for nothing)."""
+    while True:
+        children_of = set(parent.values())
+        dead = [n for n in parent
+                if topology.is_switch(n) and n not in children_of]
+        if not dead:
+            return
+        for n in dead:
+            del parent[n]
+
+
+def pack_arborescences(topology: Topology, root: int, *,
+                       chunk_bytes: float, link_budget: int = 1,
+                       max_trees: int = 8) -> list[Arborescence]:
+    """Greedy arc-disjoint spanning-tree packing from ``root``.
+
+    Args:
+        link_budget: how many trees may share one arc (1 = strictly
+            arc-disjoint, Blink's integral packing).
+        max_trees: stop after this many trees even if more would fit.
+    """
+    if topology.is_switch(root):
+        raise DemandError(f"root {root} is a switch")
+    if max_trees < 1:
+        raise DemandError("max_trees must be at least 1")
+    if link_budget < 1:
+        raise DemandError("link_budget must be at least 1")
+    residual = {key: link_budget for key in topology.links}
+    trees: list[Arborescence] = []
+    while len(trees) < max_trees:
+        tree = _grow_arborescence(topology, root, residual, chunk_bytes)
+        if tree is None:
+            break
+        for (u, v) in tree.arcs:
+            residual[(u, v)] -= 1
+        trees.append(tree)
+    if not trees:
+        raise TopologyError(
+            f"no spanning arborescence from {root} in {topology.name}")
+    return trees
+
+
+def split_chunks(num_chunks: int, rates: list[float]) -> list[int]:
+    """Blink's proportional split with largest-remainder rounding.
+
+    Every tree with a positive rate gets an integral share of the chunks;
+    shares sum exactly to ``num_chunks``.
+    """
+    if num_chunks < 1:
+        raise DemandError("num_chunks must be at least 1")
+    if not rates or any(r <= 0 for r in rates):
+        raise DemandError("rates must be positive")
+    total = sum(rates)
+    exact = [num_chunks * r / total for r in rates]
+    shares = [int(x) for x in exact]
+    remainders = sorted(range(len(rates)),
+                        key=lambda i: exact[i] - shares[i], reverse=True)
+    leftover = num_chunks - sum(shares)
+    for i in remainders[:leftover]:
+        shares[i] += 1
+    return shares
+
+
+def blink_broadcast(topology: Topology, config: TecclConfig, root: int,
+                    num_chunks: int = 4,
+                    max_trees: int = 8) -> Schedule:
+    """Broadcast by streaming chunk shares down packed spanning trees."""
+    trees = pack_arborescences(topology, root,
+                               chunk_bytes=config.chunk_bytes,
+                               max_trees=max_trees)
+    plan, max_epochs = _horizon(topology, config, factor=4.0 * num_chunks)
+    scheduler = GreedyScheduler(topology, plan, max_epochs)
+    _book_trees(topology, config, scheduler, root, trees,
+                list(range(num_chunks)))
+    return scheduler.to_schedule()
+
+
+def blink_allgather(topology: Topology, config: TecclConfig,
+                    chunks_per_gpu: int = 1,
+                    max_trees: int = 4) -> Schedule:
+    """ALLGATHER as per-source tree packings on a shared link ledger.
+
+    Each source packs its trees against the *full* fabric (Blink packs per
+    collective, not jointly), then all trees contend greedily for epoch
+    slots — reproducing the coordination gap the paper exploits.
+    """
+    gpus = topology.gpus
+    if len(gpus) < 2:
+        raise DemandError("allgather needs at least 2 GPUs")
+    plan, max_epochs = _horizon(
+        topology, config, factor=6.0 * chunks_per_gpu * len(gpus))
+    scheduler = GreedyScheduler(topology, plan, max_epochs)
+    for s in gpus:
+        trees = pack_arborescences(topology, s,
+                                   chunk_bytes=config.chunk_bytes,
+                                   max_trees=max_trees)
+        _book_trees(topology, config, scheduler, s, trees,
+                    list(range(chunks_per_gpu)))
+    return scheduler.to_schedule()
+
+
+def _book_trees(topology: Topology, config: TecclConfig,
+                scheduler: GreedyScheduler, source: int,
+                trees: list[Arborescence], chunks: list[int]) -> None:
+    shares = split_chunks(len(chunks), [t.rate for t in trees])
+    cursor = 0
+    for tree, share in zip(trees, shares):
+        assigned = chunks[cursor:cursor + share]
+        cursor += share
+        if not assigned:
+            continue
+        logical, paths = tree.to_logical(topology)
+        for c in assigned:
+            scheduler.hold(source, c, source, 0)
+        for u, v in logical.edges_bfs():
+            for c in assigned:
+                scheduler.send_path(source, c, paths[(u, v)])

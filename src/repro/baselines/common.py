@@ -1,0 +1,156 @@
+"""Shared machinery for baseline schedulers: greedy link-slot allocation.
+
+Every heuristic baseline (shortest-path-first, the TACCL-like two-phase
+scheduler, ring schedules) books link capacity epoch by epoch against the
+same :class:`~repro.core.epochs.EpochPlan` discretisation TE-CCL uses, so
+their schedules validate under the same simulator and their finish times are
+directly comparable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.epochs import EpochPlan
+from repro.core.schedule import Schedule, Send
+from repro.errors import InfeasibleError
+from repro.topology.topology import Topology
+
+_EPS = 1e-9
+
+
+@dataclass
+class LinkLedger:
+    """Per-link, per-epoch chunk bookings under the plan's capacity rules."""
+
+    topology: Topology
+    plan: EpochPlan
+    max_epochs: int
+    usage: dict[tuple[int, int, int], int] = field(default_factory=dict)
+
+    def _limit(self, link: tuple[int, int]) -> tuple[int, int]:
+        """(window, chunks per window) for the link."""
+        kappa = self.plan.occupancy[link]
+        cap = self.plan.cap_chunks[link]
+        if kappa == 1:
+            return 1, max(0, math.floor(cap + _EPS))
+        return kappa, max(1, math.floor(kappa * cap + _EPS))
+
+    def fits(self, src: int, dst: int, epoch: int) -> bool:
+        window, limit = self._limit((src, dst))
+        lo = max(0, epoch - window + 1)
+        for start in range(lo, epoch + 1):
+            used = sum(self.usage.get((src, dst, k), 0)
+                       for k in range(start, start + window))
+            if used + 1 > limit:
+                return False
+        return True
+
+    def earliest(self, src: int, dst: int, ready_epoch: int) -> int:
+        """First epoch ≥ ready_epoch with a free slot on (src, dst)."""
+        epoch = max(0, ready_epoch)
+        while epoch < self.max_epochs:
+            if self.fits(src, dst, epoch):
+                return epoch
+            epoch += 1
+        raise InfeasibleError(
+            f"no capacity left on link ({src},{dst}) within "
+            f"{self.max_epochs} epochs", status="horizon")
+
+    def reserve(self, src: int, dst: int, epoch: int) -> None:
+        self.usage[(src, dst, epoch)] = self.usage.get(
+            (src, dst, epoch), 0) + 1
+
+
+@dataclass
+class GreedyScheduler:
+    """Walks chunk paths hop by hop, booking the earliest feasible slots.
+
+    Handles the zero-buffer switch rule: a hop *into* a switch is only booked
+    together with the hop *out of* it, in consecutive epochs, retrying later
+    start epochs until both slots are free.
+    """
+
+    topology: Topology
+    plan: EpochPlan
+    max_epochs: int
+
+    def __post_init__(self) -> None:
+        self.ledger = LinkLedger(self.topology, self.plan, self.max_epochs)
+        self.sends: list[Send] = []
+        #: (source, chunk, node) -> earliest buffer epoch the chunk is held
+        self.available: dict[tuple[int, int, int], int] = {}
+
+    def hold(self, source: int, chunk: int, node: int, epoch: int = 0) -> None:
+        key = (source, chunk, node)
+        if key not in self.available or epoch < self.available[key]:
+            self.available[key] = epoch
+
+    def ready_epoch(self, source: int, chunk: int, node: int) -> int | None:
+        return self.available.get((source, chunk, node))
+
+    def send_path(self, source: int, chunk: int, path: list[int]) -> int:
+        """Book the whole path; returns the buffer epoch at the final node.
+
+        The path starts at a node that already holds the chunk. Hops through
+        switches are booked atomically with their exit hop.
+        """
+        ready = self.available.get((source, chunk, path[0]))
+        if ready is None:
+            raise InfeasibleError(
+                f"chunk ({source},{chunk}) not present at path start "
+                f"{path[0]}")
+        position = 0
+        while position < len(path) - 1:
+            here, there = path[position], path[position + 1]
+            if self.topology.is_switch(there):
+                if position + 2 >= len(path):
+                    raise InfeasibleError(
+                        f"path ends at switch {there}; switches cannot sink")
+                beyond = path[position + 2]
+                ready = self._book_through_switch(
+                    source, chunk, here, there, beyond, ready)
+                position += 2
+            else:
+                ready = self._book_hop(source, chunk, here, there, ready)
+                position += 1
+        return ready
+
+    def _book_hop(self, source: int, chunk: int, src: int, dst: int,
+                  ready: int) -> int:
+        epoch = self.ledger.earliest(src, dst, ready)
+        self.ledger.reserve(src, dst, epoch)
+        self.sends.append(Send(epoch=epoch, source=source, chunk=chunk,
+                               src=src, dst=dst))
+        arrival = epoch + self.plan.arrival_offset(src, dst) + 1
+        self.hold(source, chunk, dst, arrival)
+        return arrival
+
+    def _book_through_switch(self, source: int, chunk: int, src: int,
+                             switch: int, dst: int, ready: int) -> int:
+        """Book (src→switch, switch→dst) with the forced one-epoch relay."""
+        epoch_in = max(0, ready)
+        while epoch_in < self.max_epochs:
+            epoch_in = self.ledger.earliest(src, switch, epoch_in)
+            relay = epoch_in + self.plan.arrival_offset(src, switch) + 1
+            if relay < self.max_epochs and self.ledger.fits(switch, dst, relay):
+                self.ledger.reserve(src, switch, epoch_in)
+                self.ledger.reserve(switch, dst, relay)
+                self.sends.append(Send(epoch=epoch_in, source=source,
+                                       chunk=chunk, src=src, dst=switch))
+                self.sends.append(Send(epoch=relay, source=source,
+                                       chunk=chunk, src=switch, dst=dst))
+                arrival = relay + self.plan.arrival_offset(switch, dst) + 1
+                self.hold(source, chunk, dst, arrival)
+                return arrival
+            epoch_in += 1
+        raise InfeasibleError(
+            f"cannot relay through switch {switch} within "
+            f"{self.max_epochs} epochs", status="horizon")
+
+    def to_schedule(self) -> Schedule:
+        num_epochs = max((s.epoch for s in self.sends), default=0) + 1
+        return Schedule(sends=sorted(self.sends), tau=self.plan.tau,
+                        chunk_bytes=self.plan.chunk_bytes,
+                        num_epochs=num_epochs)

@@ -1,0 +1,120 @@
+"""Ring collectives: the NCCL-style baseline.
+
+The classic ring ALLGATHER moves each chunk around an N-node ring in N−1
+synchronous steps; it is bandwidth-optimal on a homogeneous ring but ignores
+topology heterogeneity, which is where TE-CCL wins. The ring order can be
+given explicitly or searched for (small topologies) with a backtracking
+Hamiltonian-cycle finder over existing links.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import GreedyScheduler
+from repro.collectives.demand import Demand
+from repro.core.config import TecclConfig
+from repro.core.epochs import build_epoch_plan
+from repro.core.schedule import Schedule
+from repro.errors import InfeasibleError, TopologyError
+from repro.topology.topology import Topology
+
+
+def find_ring(topology: Topology) -> list[int]:
+    """A Hamiltonian cycle over the GPU-to-GPU links (backtracking search).
+
+    Only direct GPU links participate (a ring through a switch is not a ring
+    NCCL would build). Exponential in the worst case — intended for the
+    paper-scale chassis topologies.
+    """
+    gpus = topology.gpus
+    if len(gpus) < 2:
+        raise TopologyError("need at least 2 GPUs for a ring")
+    adjacency = {g: [l.dst for l in topology.out_edges(g)
+                     if not topology.is_switch(l.dst)]
+                 for g in gpus}
+    start = gpus[0]
+    path = [start]
+    visited = {start}
+
+    def extend() -> bool:
+        if len(path) == len(gpus):
+            return path[0] in adjacency[path[-1]]
+        for nxt in adjacency[path[-1]]:
+            if nxt not in visited:
+                visited.add(nxt)
+                path.append(nxt)
+                if extend():
+                    return True
+                path.pop()
+                visited.remove(nxt)
+        return False
+
+    if not extend():
+        raise TopologyError(
+            f"{topology.name} has no GPU-only Hamiltonian ring")
+    return path
+
+
+def ring_allgather(topology: Topology, config: TecclConfig,
+                   chunks_per_gpu: int = 1,
+                   ring: list[int] | None = None) -> Schedule:
+    """The N−1-step ring ALLGATHER on an explicit or discovered ring."""
+    ring = ring or find_ring(topology)
+    n = len(ring)
+    for i in range(n):
+        if not topology.has_link(ring[i], ring[(i + 1) % n]):
+            raise TopologyError(
+                f"ring hop ({ring[i]},{ring[(i + 1) % n]}) has no link")
+    plan = build_epoch_plan(topology, config, num_epochs=1)
+    # One ring step = the slowest hop's occupancy + delay, so all steps align.
+    step_epochs = max(
+        plan.arrival_offset(ring[i], ring[(i + 1) % n]) + 1
+        for i in range(n))
+    total_epochs = step_epochs * (n - 1) * chunks_per_gpu + 1
+    plan = plan.with_num_epochs(total_epochs)
+    scheduler = GreedyScheduler(topology, plan, total_epochs)
+    for idx, gpu in enumerate(ring):
+        for c in range(chunks_per_gpu):
+            scheduler.hold(gpu, c, gpu, 0)
+    for c in range(chunks_per_gpu):
+        for step in range(n - 1):
+            epoch = (c * (n - 1) + step) * step_epochs
+            for idx, gpu in enumerate(ring):
+                # forward the chunk originated by the GPU `step` hops back
+                origin = ring[(idx - step) % n]
+                nxt = ring[(idx + 1) % n]
+                scheduler.sends.append(
+                    _ring_send(epoch, origin, c, gpu, nxt))
+                scheduler.ledger.reserve(gpu, nxt, epoch)
+                scheduler.hold(origin, c, nxt,
+                               epoch + plan.arrival_offset(gpu, nxt) + 1)
+    return scheduler.to_schedule()
+
+
+def _ring_send(epoch: int, origin: int, chunk: int, src: int, dst: int):
+    from repro.core.schedule import Send
+
+    return Send(epoch=epoch, source=origin, chunk=chunk, src=src, dst=dst)
+
+
+def ring_allgather_time(topology: Topology, chunk_bytes: float,
+                        chunks_per_gpu: int = 1,
+                        ring: list[int] | None = None) -> float:
+    """Closed-form α–β finish time of the ring ALLGATHER.
+
+    (N−1)·C barrier steps, each paced by the slowest ring hop — the textbook
+    (N−1)(α + S/B) cost the paper's §2.1 background assumes.
+    """
+    ring = ring or find_ring(topology)
+    n = len(ring)
+    step = max(topology.link(ring[i], ring[(i + 1) % n])
+               .transfer_time(chunk_bytes) for i in range(n))
+    return (n - 1) * chunks_per_gpu * step
+
+
+def ring_demand(topology: Topology, chunks_per_gpu: int = 1,
+                ring: list[int] | None = None) -> Demand:
+    """The ALLGATHER demand over the ring participants (for validation)."""
+    from repro.collectives.patterns import allgather
+
+    ring = ring or find_ring(topology)
+    return allgather(ring, chunks_per_gpu)

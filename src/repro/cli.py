@@ -1,0 +1,400 @@
+"""Command-line interface: ``teccl synth ...`` / ``python -m repro ...``.
+
+Examples::
+
+    teccl topologies
+    teccl synth --topology ndv2 --chassis 2 --collective allgather \
+        --chunk-size 1e6 --method auto
+    teccl synth --topology dgx1 --collective allgather --export algo.xml
+    teccl verify --xml algo.xml --topology dgx1 --collective allgather
+    teccl compare --topology dgx1 --collective allgather
+    teccl impact --topology ndv2 --chassis 2 --top 5
+    teccl upgrade --topology dgx1 --factor 2 --top 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import collectives, topology
+from repro.core import TecclConfig
+from repro.core.config import EpochMode, SwitchModel
+from repro.core.solve import Method, synthesize
+from repro.errors import ReproError, TopologyError
+
+_TOPOLOGIES = {
+    # size = the --chassis/--size argument; each entry documents its meaning
+    "dgx1": lambda size: topology.dgx1(),
+    "ndv2": topology.ndv2,
+    "dgx2": topology.dgx2,
+    "internal1": topology.internal1,
+    "internal2": topology.internal2,
+    "fattree": lambda size: topology.fat_tree(2 * size),
+    "torus": lambda size: topology.torus2d(max(2, size), max(2, size)),
+    "hypercube": topology.hypercube,
+    "leafspine": lambda size: topology.leaf_spine(size, 4, 2),
+}
+
+_COLLECTIVES = {
+    "allgather": lambda gpus, chunks: collectives.allgather(gpus, chunks),
+    "alltoall": lambda gpus, chunks: collectives.alltoall(gpus, chunks),
+    "broadcast": lambda gpus, chunks: collectives.broadcast(
+        gpus[0], gpus[1:], chunks),
+    "reducescatter": lambda gpus, chunks: collectives.reduce_scatter(
+        gpus, chunks),
+}
+
+_WORKLOADS = {
+    "bert": lambda gpus: collectives.bert_like_job(gpus),
+    "dlrm": lambda gpus: collectives.dlrm_like_job(gpus),
+    "moe": lambda gpus: collectives.moe_job(gpus, skew=0.5),
+    "pipeline": lambda gpus: collectives.pipeline_job(gpus),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="teccl",
+        description="TE-CCL: collective communication schedule synthesis")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("topologies", help="list built-in topologies")
+
+    synth = sub.add_parser("synth", help="synthesize a schedule")
+    synth.add_argument("--topology", choices=sorted(_TOPOLOGIES),
+                       required=True)
+    synth.add_argument("--chassis", type=int, default=1)
+    synth.add_argument("--collective", choices=sorted(_COLLECTIVES),
+                       default="allgather")
+    synth.add_argument("--chunks", type=int, default=1,
+                       help="chunks per source (or per pair for alltoall)")
+    synth.add_argument("--chunk-size", type=float, default=1e6,
+                       help="bytes per chunk")
+    synth.add_argument("--epochs", type=int, default=None,
+                       help="horizon K (default: auto upper bound)")
+    synth.add_argument("--method",
+                       choices=[m.value for m in Method], default="auto")
+    synth.add_argument("--epoch-mode",
+                       choices=[m.value for m in EpochMode],
+                       default=EpochMode.FASTEST_LINK.value)
+    synth.add_argument("--switch-model",
+                       choices=[m.value for m in SwitchModel],
+                       default=SwitchModel.COPY.value)
+    synth.add_argument("--time-limit", type=float, default=None)
+    synth.add_argument("--mip-gap", type=float, default=0.0)
+    synth.add_argument("--export", metavar="FILE", default=None,
+                       help="write the schedule as MSCCL XML")
+    synth.add_argument("--timeline", action="store_true",
+                       help="print the per-link ASCII timeline")
+    synth.add_argument("--events", action="store_true",
+                       help="also report the continuous-time (event) finish")
+
+    sweep = sub.add_parser("sweep", help="sweep chunk sizes (§5)")
+    sweep.add_argument("--topology", choices=sorted(_TOPOLOGIES),
+                       required=True)
+    sweep.add_argument("--chassis", type=int, default=1)
+    sweep.add_argument("--collective", choices=sorted(_COLLECTIVES),
+                       default="allgather")
+    sweep.add_argument("--chunk-sizes", type=str, required=True,
+                       help="comma-separated byte counts, e.g. 1e5,1e6,1e7")
+    sweep.add_argument("--mip-gap", type=float, default=0.1)
+    sweep.add_argument("--time-limit", type=float, default=60.0)
+
+    compare = sub.add_parser(
+        "compare", help="TE-CCL vs baselines on one collective")
+    compare.add_argument("--topology", choices=sorted(_TOPOLOGIES),
+                         required=True)
+    compare.add_argument("--chassis", type=int, default=1)
+    compare.add_argument("--collective", choices=sorted(_COLLECTIVES),
+                         default="allgather")
+    compare.add_argument("--chunks", type=int, default=1)
+    compare.add_argument("--chunk-size", type=float, default=1e6)
+    compare.add_argument("--mip-gap", type=float, default=0.1)
+    compare.add_argument("--time-limit", type=float, default=60.0)
+
+    verify_cmd = sub.add_parser(
+        "verify", help="execute an exported MSCCL program (interpreter)")
+    verify_cmd.add_argument("--xml", metavar="FILE", required=True)
+    verify_cmd.add_argument("--topology", choices=sorted(_TOPOLOGIES),
+                            required=True)
+    verify_cmd.add_argument("--chassis", type=int, default=1)
+    verify_cmd.add_argument("--collective", choices=sorted(_COLLECTIVES),
+                            default="allgather")
+    verify_cmd.add_argument("--chunks", type=int, default=1)
+    verify_cmd.add_argument("--chunk-size", type=float, default=1e6)
+
+    impact = sub.add_parser(
+        "impact", help="per-link failure criticality (re-synthesis cost)")
+    impact.add_argument("--topology", choices=sorted(_TOPOLOGIES),
+                        required=True)
+    impact.add_argument("--chassis", type=int, default=1)
+    impact.add_argument("--collective", choices=sorted(_COLLECTIVES),
+                        default="allgather")
+    impact.add_argument("--chunk-size", type=float, default=1e6)
+    impact.add_argument("--top", type=int, default=10)
+    impact.add_argument("--mip-gap", type=float, default=0.1)
+    impact.add_argument("--time-limit", type=float, default=30.0)
+
+    upgrade = sub.add_parser(
+        "upgrade", help="what-if link upgrades (toposearch)")
+    upgrade.add_argument("--topology", choices=sorted(_TOPOLOGIES),
+                         required=True)
+    upgrade.add_argument("--chassis", type=int, default=1)
+    upgrade.add_argument("--collective", choices=sorted(_COLLECTIVES),
+                         default="allgather")
+    upgrade.add_argument("--chunk-size", type=float, default=1e6)
+    upgrade.add_argument("--factor", type=float, default=2.0)
+    upgrade.add_argument("--top", type=int, default=10)
+    upgrade.add_argument("--mip-gap", type=float, default=0.1)
+    upgrade.add_argument("--time-limit", type=float, default=30.0)
+
+    workload = sub.add_parser(
+        "workload", help="schedule a whole training step's communication")
+    workload.add_argument("--topology", choices=sorted(_TOPOLOGIES),
+                          required=True)
+    workload.add_argument("--chassis", type=int, default=1)
+    workload.add_argument("--job", choices=sorted(_WORKLOADS),
+                          required=True)
+    workload.add_argument("--mip-gap", type=float, default=0.2)
+    workload.add_argument("--time-limit", type=float, default=30.0)
+    return parser
+
+
+def _cmd_topologies() -> int:
+    for name, builder in sorted(_TOPOLOGIES.items()):
+        topo = builder(2) if name != "dgx1" else builder(1)
+        print(f"{name:<10} e.g. {topo!r}")
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from repro.solver import SolverOptions
+
+    builder = _TOPOLOGIES[args.topology]
+    topo = builder(args.chassis) if args.topology != "dgx1" else builder(1)
+    demand = _COLLECTIVES[args.collective](topo.gpus, args.chunks)
+    config = TecclConfig(
+        chunk_bytes=args.chunk_size,
+        num_epochs=args.epochs,
+        epoch_mode=EpochMode(args.epoch_mode),
+        switch_model=SwitchModel(args.switch_model),
+        solver=SolverOptions(time_limit=args.time_limit,
+                             mip_gap=args.mip_gap))
+    result = synthesize(topo, demand, config, method=Method(args.method))
+    print(f"topology     : {topo!r}")
+    print(f"demand       : {demand!r}")
+    print(f"method       : {result.method.value}")
+    print(f"epoch (tau)  : {result.plan.tau * 1e6:.3f} us")
+    print(f"horizon (K)  : {result.plan.num_epochs} epochs")
+    print(f"solver time  : {result.solve_time:.3f} s")
+    print(f"finish time  : {result.finish_time * 1e6:.3f} us")
+    schedule = result.schedule
+    print(f"schedule     : {schedule!r}")
+    from repro.core.schedule import Schedule as _IntegralSchedule
+
+    if args.events and isinstance(schedule, _IntegralSchedule):
+        from repro.simulate import run_events
+
+        report = run_events(schedule, result.topology_used,
+                            result.demand_used)
+        print(f"event finish : {report.finish_time * 1e6:.3f} us")
+    if args.timeline and isinstance(schedule, _IntegralSchedule):
+        from repro.analysis.timeline import render_timeline
+
+        print(render_timeline(schedule))
+    if args.export:
+        from repro.msccl import to_msccl_xml
+
+        work = result.hyper.topology if result.hyper else topo
+        xml = to_msccl_xml(schedule, work, demand,
+                           name=f"{args.topology}-{args.collective}",
+                           collective=args.collective)
+        with open(args.export, "w", encoding="utf-8") as handle:
+            handle.write(xml)
+        print(f"exported     : {args.export}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.sweeps import chunk_size_sweep
+    from repro.solver import SolverOptions
+
+    builder = _TOPOLOGIES[args.topology]
+    topo = builder(args.chassis) if args.topology != "dgx1" else builder(1)
+    demand = _COLLECTIVES[args.collective](topo.gpus, 1)
+    sizes = [float(s) for s in args.chunk_sizes.split(",") if s.strip()]
+    base = TecclConfig(
+        chunk_bytes=sizes[0],
+        solver=SolverOptions(mip_gap=args.mip_gap,
+                             time_limit=args.time_limit))
+    result = chunk_size_sweep(topo, demand, base, sizes)
+    print(f"{'chunk bytes':>14} {'finish us':>12} {'solve s':>10} {'K':>5}")
+    for point in result.points:
+        if point.infeasible:
+            print(f"{point.value:>14.4g} {'X':>12} {'X':>10} {'X':>5}")
+        else:
+            print(f"{point.value:>14.4g} {point.finish_time * 1e6:>12.3f} "
+                  f"{point.solve_time:>10.3f} {point.num_epochs:>5}")
+    best = result.best
+    print(f"best chunk size: {best.value:g} bytes "
+          f"({best.finish_time * 1e6:.3f} us)")
+    return 0
+
+
+def _build_instance(args: argparse.Namespace):
+    """(topology, demand) from the shared --topology/--collective flags."""
+    builder = _TOPOLOGIES[args.topology]
+    size = getattr(args, "chassis", 1)
+    topo = builder(size) if args.topology != "dgx1" else builder(1)
+    chunks = getattr(args, "chunks", 1)
+    demand = _COLLECTIVES[args.collective](topo.gpus, chunks)
+    return topo, demand
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.baselines import (blink_allgather, ring_allgather,
+                                 shortest_path_schedule, tree_allgather)
+    from repro.core.schedule import Schedule as _IntegralSchedule
+    from repro.simulate import run_events
+    from repro.solver import SolverOptions
+
+    topo, demand = _build_instance(args)
+    config = TecclConfig(
+        chunk_bytes=args.chunk_size,
+        solver=SolverOptions(time_limit=args.time_limit,
+                             mip_gap=args.mip_gap))
+
+    rows: list[tuple[str, float]] = []
+
+    def measure(name: str, schedule) -> None:
+        try:
+            finish = run_events(schedule, topo, demand).finish_time
+        except ReproError as exc:
+            print(f"{name:<16} failed: {exc}", file=sys.stderr)
+            return
+        rows.append((name, finish))
+
+    result = synthesize(topo, demand, config)
+    if isinstance(result.schedule, _IntegralSchedule) and not result.hyper:
+        measure("te-ccl", result.schedule)
+    else:
+        rows.append(("te-ccl", result.finish_time))
+
+    measure("shortest-path", shortest_path_schedule(topo, demand, config))
+    if args.collective == "allgather":
+        try:
+            measure("ring", ring_allgather(topo, config, args.chunks))
+        except TopologyError as exc:
+            print(f"{'ring':<16} skipped: {exc}", file=sys.stderr)
+        measure("binomial-trees", tree_allgather(topo, config, args.chunks))
+        measure("blink-trees", blink_allgather(topo, config, args.chunks))
+
+    rows.sort(key=lambda r: r[1])
+    best = rows[0][1]
+    print(f"{'scheduler':<16} {'finish us':>12} {'vs best':>9}")
+    for name, finish in rows:
+        print(f"{name:<16} {finish * 1e6:>12.3f} {finish / best:>8.2f}x")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.msccl import verify_program
+
+    topo, demand = _build_instance(args)
+    with open(args.xml, "r", encoding="utf-8") as handle:
+        document = handle.read()
+    report = verify_program(document, topo, demand,
+                            chunk_bytes=args.chunk_size)
+    print(f"program      : {args.xml}")
+    print(f"instructions : {report.fired}/{report.total} fired")
+    print(f"finish time  : {report.finish_time * 1e6:.3f} us")
+    print("delivery     : all demanded chunks delivered")
+    return 0
+
+
+def _cmd_impact(args: argparse.Namespace) -> int:
+    from repro.failures import failure_impact
+    from repro.solver import SolverOptions
+
+    topo, demand = _build_instance(args)
+    config = TecclConfig(
+        chunk_bytes=args.chunk_size,
+        solver=SolverOptions(time_limit=args.time_limit,
+                             mip_gap=args.mip_gap))
+    rows = failure_impact(topo, demand, config)
+    print(f"{'failed link':<14} {'finish us':>12} {'slowdown':>9} "
+          f"{'survivable':>11}")
+    for row in rows[:args.top]:
+        finish = ("inf" if row.finish_time == float("inf")
+                  else f"{row.finish_time * 1e6:.3f}")
+        print(f"{row.link[0]}->{row.link[1]:<11} {finish:>12} "
+              f"{row.slowdown:>8.2f}x {str(row.survivable):>11}")
+    return 0
+
+
+def _cmd_upgrade(args: argparse.Namespace) -> int:
+    from repro.solver import SolverOptions
+    from repro.toposearch import rank_link_upgrades
+
+    topo, demand = _build_instance(args)
+    config = TecclConfig(
+        chunk_bytes=args.chunk_size,
+        solver=SolverOptions(time_limit=args.time_limit,
+                             mip_gap=args.mip_gap))
+    options = rank_link_upgrades(topo, demand, config, factor=args.factor)
+    print(f"{'upgraded link':<14} {'finish us':>12} {'improvement':>12}")
+    for option in options[:args.top]:
+        print(f"{option.link[0]}->{option.link[1]:<11} "
+              f"{option.finish_time * 1e6:>12.3f} "
+              f"{100 * option.improvement:>11.2f}%")
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.collectives import synthesize_workload
+    from repro.solver import SolverOptions
+
+    builder = _TOPOLOGIES[args.topology]
+    topo = builder(args.chassis) if args.topology != "dgx1" else builder(1)
+    job = _WORKLOADS[args.job](topo.gpus)
+    config = TecclConfig(
+        chunk_bytes=1.0,  # per-call sizes override this
+        solver=SolverOptions(mip_gap=args.mip_gap,
+                             time_limit=args.time_limit))
+    report = synthesize_workload(topo, job, config)
+    print(f"{'collective':<18} {'phase':<9} {'MB':>9} {'method':<6} "
+          f"{'finish us':>11} {'reused':>7}")
+    for item in report.scheduled:
+        print(f"{item.call.name:<18} {item.call.phase:<9} "
+              f"{item.call.total_bytes / 1e6:>9.2f} "
+              f"{item.synthesis.method.value:<6} "
+              f"{item.finish_time * 1e6:>11.2f} "
+              f"{'yes' if item.reused else 'no':>7}")
+    print(f"step total   : {report.total_time * 1e6:.2f} us")
+    print(f"solver time  : {report.solve_time:.2f} s "
+          f"({100 * report.dedup_ratio:.0f}% of calls reused a synthesis)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "topologies": lambda: _cmd_topologies(),
+        "synth": lambda: _cmd_synth(args),
+        "sweep": lambda: _cmd_sweep(args),
+        "compare": lambda: _cmd_compare(args),
+        "verify": lambda: _cmd_verify(args),
+        "impact": lambda: _cmd_impact(args),
+        "upgrade": lambda: _cmd_upgrade(args),
+        "workload": lambda: _cmd_workload(args),
+    }
+    try:
+        return handlers[args.command]()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

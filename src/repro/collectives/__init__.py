@@ -1,0 +1,34 @@
+"""Collective communication demands and chunk-size arithmetic."""
+
+from repro.collectives.allreduce import (AllReduceOutcome,
+                                         ring_allreduce_time,
+                                         synthesize_allreduce)
+from repro.collectives.chunking import (KB, MB, ChunkPlan,
+                                        algorithmic_bandwidth, allgather_plan,
+                                        alltoall_plan, from_transfer_size)
+from repro.collectives.demand import (Demand, TenantDemand, Triple,
+                                      merge_tenants)
+from repro.collectives.extended import (alltoallv, halo_exchange,
+                                        hierarchical_allgather)
+from repro.collectives.steptime import (ScheduledCall, StepReport,
+                                        synthesize_workload)
+from repro.collectives.workloads import (CollectiveCall, Workload,
+                                          bert_like_job, data_parallel_job,
+                                          dlrm_like_job, gradient_buckets,
+                                          moe_job, pipeline_job)
+from repro.collectives.patterns import (allgather, allreduce_phases, alltoall,
+                                        broadcast, gather, reduce_scatter,
+                                        scatter, scatter_gather)
+
+__all__ = [
+    "Demand", "TenantDemand", "Triple", "merge_tenants",
+    "allgather", "alltoall", "broadcast", "gather", "scatter",
+    "reduce_scatter", "allreduce_phases", "scatter_gather",
+    "alltoallv", "halo_exchange", "hierarchical_allgather",
+    "ChunkPlan", "allgather_plan", "alltoall_plan", "from_transfer_size",
+    "algorithmic_bandwidth", "KB", "MB",
+    "AllReduceOutcome", "synthesize_allreduce", "ring_allreduce_time",
+    "Workload", "CollectiveCall", "gradient_buckets", "data_parallel_job",
+    "bert_like_job", "moe_job", "dlrm_like_job", "pipeline_job",
+    "synthesize_workload", "StepReport", "ScheduledCall",
+]

@@ -1,0 +1,98 @@
+"""ALLREDUCE as a scheduled two-phase composition (REDUCESCATTER + ALLGATHER).
+
+The paper treats ALLREDUCE "the same way, via its constituent collectives"
+(see :func:`repro.collectives.patterns.allreduce_phases`); this module turns
+that remark into an executable pipeline: synthesize both phases with TE-CCL,
+stitch them back to back (the reduction arithmetic is a barrier — every
+reducer must hold all contributions before the gather of results can start),
+and report the combined cost against the textbook ring ALLREDUCE.
+
+The arithmetic itself stays outside the flow model, as in the paper: what is
+scheduled is the traffic, with phase-1 chunk ``(s, d·C + r)`` standing for
+source ``s``'s contribution to the block reduced at the d-th GPU, and
+phase-2 chunk ``(d, r)`` standing for that reduced block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.patterns import allgather, reduce_scatter
+from repro.core.config import TecclConfig
+from repro.core.solve import Method, SynthesisResult, synthesize
+from repro.errors import DemandError
+from repro.topology.topology import Topology
+
+
+@dataclass
+class AllReduceOutcome:
+    """Both synthesized phases of one ALLREDUCE plus the combined cost."""
+
+    reduce_scatter: SynthesisResult
+    allgather: SynthesisResult
+    chunks_per_pair: int
+    chunk_bytes: float
+
+    @property
+    def finish_time(self) -> float:
+        """End-to-end time with the reduction barrier between phases."""
+        return self.reduce_scatter.finish_time + self.allgather.finish_time
+
+    @property
+    def solve_time(self) -> float:
+        return (self.reduce_scatter.solve_time
+                + self.allgather.solve_time)
+
+    def bus_bandwidth(self, num_gpus: int, input_bytes: float) -> float:
+        """The standard ALLREDUCE bus-bandwidth metric.
+
+        ``2·(N−1)/N · S / t`` — the factor normalises for the minimum
+        traffic any ALLREDUCE algorithm must move, making numbers
+        comparable across GPU counts (NCCL reports this metric).
+        """
+        if num_gpus < 2:
+            raise DemandError("bus bandwidth needs at least 2 GPUs")
+        if self.finish_time <= 0:
+            raise DemandError("finish time is not positive")
+        return (2.0 * (num_gpus - 1) / num_gpus
+                * input_bytes / self.finish_time)
+
+
+def synthesize_allreduce(topology: Topology, config: TecclConfig, *,
+                         chunks_per_pair: int = 1,
+                         method: Method = Method.AUTO) -> AllReduceOutcome:
+    """Synthesize both ALLREDUCE phases on the same fabric.
+
+    The REDUCESCATTER phase is ALLTOALL-shaped (each GPU contributes a
+    distinct block to each reducer) and under AUTO routes to the scalable
+    LP; the ALLGATHER phase is multicast and routes to the MILP. Phases
+    are solved independently — the reduction barrier means neither can
+    borrow the other's idle capacity, so per-phase optimality composes.
+    """
+    gpus = topology.gpus
+    if len(gpus) < 2:
+        raise DemandError("allreduce needs at least 2 GPUs")
+    rs_demand = reduce_scatter(gpus, chunks_per_pair)
+    ag_demand = allgather(gpus, 1)
+    rs = synthesize(topology, rs_demand, config, method=method)
+    ag = synthesize(topology, ag_demand, config, method=method)
+    return AllReduceOutcome(reduce_scatter=rs, allgather=ag,
+                            chunks_per_pair=chunks_per_pair,
+                            chunk_bytes=config.chunk_bytes)
+
+
+def ring_allreduce_time(topology: Topology, chunk_bytes: float,
+                        ring: list[int] | None = None) -> float:
+    """Closed-form ring ALLREDUCE: 2·(N−1) steps paced by the slowest hop.
+
+    The classic baseline every synthesized ALLREDUCE must beat or match;
+    (N−1) reduce-scatter steps plus (N−1) allgather steps, each costing
+    the worst ring hop's ``α + S/B``.
+    """
+    from repro.baselines.ring import find_ring
+
+    ring = ring or find_ring(topology)
+    n = len(ring)
+    step = max(topology.link(ring[i], ring[(i + 1) % n])
+               .transfer_time(chunk_bytes) for i in range(n))
+    return 2 * (n - 1) * step

@@ -1,0 +1,98 @@
+"""Chunk-size arithmetic shared by the evaluation harness.
+
+The paper reports results against *output buffer size* (borrowed from TACCL,
+§6 "Metrics"): the bytes each GPU holds once the collective completes. These
+helpers convert between output buffer size, per-GPU transfer size, and the
+chunk size the solver schedules, for each collective's geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DemandError
+
+KB = 1e3
+MB = 1e6
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """The byte-level geometry of one collective run.
+
+    Attributes:
+        chunk_bytes: size of the unit the solver schedules.
+        chunks_per_source: chunk count each source contributes (per commodity
+            granularity, not per destination).
+        output_buffer_bytes: bytes each GPU ends up with (TACCL's metric).
+        transfer_bytes: bytes each GPU contributes ("transfer size", §6).
+    """
+
+    chunk_bytes: float
+    chunks_per_source: int
+    output_buffer_bytes: float
+    transfer_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.chunk_bytes <= 0:
+            raise DemandError("chunk size must be positive")
+
+
+def allgather_plan(num_gpus: int, output_buffer_bytes: float,
+                   chunks_per_gpu: int = 1) -> ChunkPlan:
+    """ALLGATHER geometry: output buffer = N × per-GPU input.
+
+    Each GPU contributes ``output/num_gpus`` bytes split into
+    ``chunks_per_gpu`` chunks.
+    """
+    _check(num_gpus, output_buffer_bytes, chunks_per_gpu)
+    transfer = output_buffer_bytes / num_gpus
+    return ChunkPlan(chunk_bytes=transfer / chunks_per_gpu,
+                     chunks_per_source=chunks_per_gpu,
+                     output_buffer_bytes=output_buffer_bytes,
+                     transfer_bytes=transfer)
+
+
+def alltoall_plan(num_gpus: int, output_buffer_bytes: float,
+                  chunks_per_pair: int = 1) -> ChunkPlan:
+    """ALLTOALL geometry: output buffer = N × per-pair block.
+
+    Each GPU receives one block from every GPU (including keeping its own
+    diagonal block locally), so the per-pair block is ``output/num_gpus`` and
+    each source emits ``(num_gpus - 1) * chunks_per_pair`` distinct chunks.
+    """
+    _check(num_gpus, output_buffer_bytes, chunks_per_pair)
+    per_pair = output_buffer_bytes / num_gpus
+    return ChunkPlan(chunk_bytes=per_pair / chunks_per_pair,
+                     chunks_per_source=(num_gpus - 1) * chunks_per_pair,
+                     output_buffer_bytes=output_buffer_bytes,
+                     transfer_bytes=per_pair * (num_gpus - 1))
+
+
+def from_transfer_size(num_gpus: int, transfer_bytes: float,
+                       collective: str, chunks: int = 1) -> ChunkPlan:
+    """Build a plan from the *transfer size* axis used by Figures 2 and 7."""
+    if collective == "allgather":
+        return allgather_plan(num_gpus, transfer_bytes * num_gpus, chunks)
+    if collective == "alltoall":
+        return alltoall_plan(
+            num_gpus,
+            transfer_bytes * num_gpus / max(num_gpus - 1, 1), chunks)
+    raise DemandError(f"unknown collective {collective!r}")
+
+
+def algorithmic_bandwidth(output_buffer_bytes: float,
+                          finish_time_s: float) -> float:
+    """TACCL's algorithmic bandwidth: output buffer / collective time."""
+    if finish_time_s <= 0:
+        raise DemandError("finish time must be positive")
+    return output_buffer_bytes / finish_time_s
+
+
+def _check(num_gpus: int, output_buffer_bytes: float, chunks: int) -> None:
+    if num_gpus < 2:
+        raise DemandError("need at least 2 GPUs")
+    if output_buffer_bytes <= 0:
+        raise DemandError("output buffer size must be positive")
+    if chunks < 1:
+        raise DemandError("chunk count must be at least 1")

@@ -1,0 +1,115 @@
+"""Extended collective patterns for real training workloads.
+
+Beyond the paper's headline ALLGATHER/ALLTOALL, production ML jobs schedule
+variants the multi-commodity model handles for free: uneven ALLTOALLV (MoE
+token routing), halo exchanges (pipeline/tensor-parallel neighbours), and
+hierarchical collectives that stage intra-chassis aggregation before the
+cross-fabric phase. They all reduce to demand matrices, which is the point
+of the formulation — §1's "opportunity to improve other aspects of machine
+learning collectives".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.collectives.demand import Demand
+from repro.errors import DemandError
+
+
+def alltoallv(chunk_counts: Mapping[tuple[int, int], int]) -> Demand:
+    """Uneven all-to-all: ``chunk_counts[(src, dst)]`` chunks per pair.
+
+    The MoE dispatch pattern: each expert shard receives a different token
+    volume from each rank. Pairs with zero count may be omitted.
+    """
+    triples = []
+    next_chunk: dict[int, int] = {}
+    for (src, dst), count in sorted(chunk_counts.items()):
+        if src == dst:
+            raise DemandError(f"pair ({src},{dst}) is a self-transfer")
+        if count < 0:
+            raise DemandError(f"pair ({src},{dst}) has negative count")
+        for _ in range(count):
+            chunk = next_chunk.get(src, 0)
+            next_chunk[src] = chunk + 1
+            triples.append((src, chunk, dst))
+    if not triples:
+        raise DemandError("alltoallv demand is empty")
+    return Demand.from_triples(triples)
+
+
+def halo_exchange(gpus: Sequence[int], chunks_per_neighbor: int = 1,
+                  wrap: bool = True) -> Demand:
+    """Neighbour exchange along a 1-D decomposition (pipeline parallelism).
+
+    Each rank sends a distinct boundary block to its predecessor and its
+    successor; with ``wrap`` the ends exchange too (ring decomposition).
+    """
+    gpus = list(gpus)
+    if len(gpus) < 2:
+        raise DemandError("halo exchange needs at least 2 ranks")
+    if chunks_per_neighbor < 1:
+        raise DemandError("chunk count must be at least 1")
+    triples = []
+    n = len(gpus)
+    for idx, rank in enumerate(gpus):
+        neighbors = []
+        if wrap or idx + 1 < n:
+            neighbors.append(gpus[(idx + 1) % n])
+        if wrap or idx > 0:
+            neighbors.append(gpus[(idx - 1) % n])
+        for n_index, neighbor in enumerate(neighbors):
+            for r in range(chunks_per_neighbor):
+                triples.append(
+                    (rank, n_index * chunks_per_neighbor + r, neighbor))
+    return Demand.from_triples(triples)
+
+
+def hierarchical_allgather(chassis: Sequence[Sequence[int]],
+                           chunks_per_gpu: int = 1,
+                           ) -> tuple[Demand, Demand]:
+    """Two-phase ALLGATHER: within each chassis, then leaders across.
+
+    Returns ``(intra, inter)`` demands. Phase 1 gathers each chassis's
+    chunks onto every member; phase 2 exchanges the per-chassis aggregate
+    between chassis leaders (the first GPU of each group), after which a
+    final intra broadcast is a re-run of phase 1's schedule. The staging
+    mirrors how NCCL exploits NVLink before touching the scale-out fabric.
+    """
+    groups = [list(g) for g in chassis]
+    if len(groups) < 2:
+        raise DemandError("need at least two chassis for the hierarchy")
+    flat = [g for group in groups for g in group]
+    if len(set(flat)) != len(flat):
+        raise DemandError("chassis groups must be disjoint")
+    if any(len(g) < 1 for g in groups):
+        raise DemandError("every chassis needs at least one GPU")
+    if chunks_per_gpu < 1:
+        raise DemandError("chunk count must be at least 1")
+
+    intra_triples = []
+    for group in groups:
+        if len(group) < 2:
+            continue
+        for s in group:
+            for c in range(chunks_per_gpu):
+                for d in group:
+                    if d != s:
+                        intra_triples.append((s, c, d))
+    if not intra_triples:
+        raise DemandError("no chassis has more than one GPU; "
+                          "the hierarchy is pointless")
+
+    leaders = [group[0] for group in groups]
+    inter_triples = []
+    # each leader forwards its chassis's aggregate: one chunk per member
+    for group in groups:
+        leader = group[0]
+        aggregate_chunks = chunks_per_gpu * len(group)
+        for c in range(aggregate_chunks):
+            for other in leaders:
+                if other != leader:
+                    inter_triples.append((leader, c, other))
+    return (Demand.from_triples(intra_triples),
+            Demand.from_triples(inter_triples))

@@ -1,0 +1,138 @@
+"""Standard collective communication patterns as demand matrices.
+
+Each builder takes the participating GPUs (pass ``topology.gpus``) and a chunk
+granularity and returns a :class:`~repro.collectives.demand.Demand`. Chunk ids
+are per-source; what a chunk *means* differs per collective and is documented
+on each builder (this mirrors SCCL/TACCL conventions, see Table 3's caption).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.collectives.demand import Demand
+from repro.errors import DemandError
+
+
+def _check_gpus(gpus: Sequence[int], minimum: int = 2) -> list[int]:
+    gpus = list(gpus)
+    if len(gpus) < minimum:
+        raise DemandError(f"collective needs at least {minimum} GPUs")
+    if len(set(gpus)) != len(gpus):
+        raise DemandError("duplicate GPU ids")
+    return gpus
+
+
+def allgather(gpus: Sequence[int], chunks_per_gpu: int = 1) -> Demand:
+    """Every GPU sends all its chunks to every other GPU (multicast).
+
+    Chunk ``(s, c)`` is the c-th block of source s's input buffer; every other
+    GPU wants every ``(s, c)`` — the demand that benefits most from copy.
+    """
+    gpus = _check_gpus(gpus)
+    _check_chunks(chunks_per_gpu)
+    return Demand.from_triples(
+        (s, c, d)
+        for s in gpus for c in range(chunks_per_gpu)
+        for d in gpus if d != s)
+
+
+def alltoall(gpus: Sequence[int], chunks_per_pair: int = 1) -> Demand:
+    """Every GPU sends a *distinct* block to every other GPU.
+
+    Chunk ids follow our notation from Table 7's caption: chunk
+    ``(s, d_index * chunks_per_pair + r)`` is the r-th block source ``s``
+    sends to the d_index-th other GPU; no chunk has two destinations, so the
+    demand never benefits from copy and the LP form applies (§4.1).
+    """
+    gpus = _check_gpus(gpus)
+    _check_chunks(chunks_per_pair)
+    triples = []
+    for s in gpus:
+        others = [d for d in gpus if d != s]
+        for d_index, d in enumerate(others):
+            for r in range(chunks_per_pair):
+                triples.append((s, d_index * chunks_per_pair + r, d))
+    return Demand.from_triples(triples)
+
+
+def broadcast(source: int, destinations: Sequence[int],
+              num_chunks: int = 1) -> Demand:
+    """One source multicasts its buffer to all destinations."""
+    destinations = [d for d in destinations if d != source]
+    if not destinations:
+        raise DemandError("broadcast needs at least one destination")
+    _check_chunks(num_chunks)
+    return Demand.from_triples(
+        (source, c, d) for c in range(num_chunks) for d in destinations)
+
+
+def gather(root: int, sources: Sequence[int], chunks_per_gpu: int = 1) -> Demand:
+    """Every source sends its buffer to one root."""
+    sources = [s for s in sources if s != root]
+    if not sources:
+        raise DemandError("gather needs at least one non-root source")
+    _check_chunks(chunks_per_gpu)
+    return Demand.from_triples(
+        (s, c, root) for s in sources for c in range(chunks_per_gpu))
+
+
+def scatter(root: int, destinations: Sequence[int],
+            chunks_per_dst: int = 1) -> Demand:
+    """The root sends a distinct block to each destination."""
+    destinations = [d for d in destinations if d != root]
+    if not destinations:
+        raise DemandError("scatter needs at least one destination")
+    _check_chunks(chunks_per_dst)
+    triples = []
+    for d_index, d in enumerate(destinations):
+        for r in range(chunks_per_dst):
+            triples.append((root, d_index * chunks_per_dst + r, d))
+    return Demand.from_triples(triples)
+
+
+def reduce_scatter(gpus: Sequence[int], chunks_per_pair: int = 1) -> Demand:
+    """REDUCESCATTER's traffic pattern.
+
+    Communication-wise identical to ALLTOALL (each GPU contributes a distinct
+    block toward each reducer); the arithmetic reduction itself is outside the
+    paper's flow model, which we follow (see DESIGN.md deviations).
+    """
+    return alltoall(gpus, chunks_per_pair)
+
+
+def allreduce_phases(gpus: Sequence[int],
+                     chunks_per_pair: int = 1) -> tuple[Demand, Demand]:
+    """ALLREDUCE as the canonical REDUCESCATTER + ALLGATHER pair.
+
+    Returns the two phase demands; schedule each phase separately and run
+    them back-to-back (the paper treats ALLREDUCE the same way, via its
+    constituent collectives).
+    """
+    gpus = _check_gpus(gpus)
+    return reduce_scatter(gpus, chunks_per_pair), allgather(gpus, 1)
+
+
+def scatter_gather(root: int, gpus: Sequence[int],
+                   num_chunks: int = 1) -> Demand:
+    """SCATTER-GATHER (halving-doubling building block): the root scatters
+    distinct blocks, then every GPU gathers all blocks — expressed as a single
+    demand where every non-root GPU wants every root chunk plus its distinct
+    block."""
+    gpus = _check_gpus(gpus)
+    if root not in gpus:
+        raise DemandError("root must be one of the GPUs")
+    _check_chunks(num_chunks)
+    triples = []
+    others = [g for g in gpus if g != root]
+    for d_index, d in enumerate(others):
+        for r in range(num_chunks):
+            chunk = d_index * num_chunks + r
+            for want in others:
+                triples.append((root, chunk, want))
+    return Demand.from_triples(triples)
+
+
+def _check_chunks(count: int) -> None:
+    if count < 1:
+        raise DemandError("chunk count must be at least 1")

@@ -1,0 +1,110 @@
+"""Whole-training-step synthesis: schedule every collective a job issues.
+
+Takes a :class:`~repro.collectives.workloads.Workload` and synthesizes each
+of its calls on one fabric, deduplicating identical (demand, chunk-size)
+calls — a bucketed ALLREDUCE issues dozens of *identical* collectives per
+step, and the schedule for one bucket is the schedule for all of them. The
+result aggregates the numbers an operator actually budgets: per-call and
+per-phase communication time, and the step's total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.collectives.workloads import CollectiveCall, Workload
+from repro.core.config import TecclConfig
+from repro.core.solve import Method, SynthesisResult, synthesize
+from repro.errors import DemandError
+from repro.topology.topology import Topology
+
+
+@dataclass
+class ScheduledCall:
+    """One workload call with its synthesized schedule.
+
+    ``reused`` marks calls that shared another call's synthesis (identical
+    demand and chunk size) — their solve cost was paid once.
+    """
+
+    call: CollectiveCall
+    synthesis: SynthesisResult
+    reused: bool
+
+    @property
+    def finish_time(self) -> float:
+        return self.synthesis.finish_time
+
+
+@dataclass
+class StepReport:
+    """Every collective of one training step, scheduled on one fabric."""
+
+    workload_name: str
+    scheduled: list[ScheduledCall]
+
+    @property
+    def total_time(self) -> float:
+        """Serial communication time of the step (calls back to back).
+
+        An upper bound: overlapping independent calls (e.g. bucket i+1's
+        reduce-scatter behind bucket i's allgather) needs the multi-tenant
+        merge, which :func:`synthesize_workload` deliberately leaves to the
+        caller — buckets arrive over time, not at once.
+        """
+        return sum(s.finish_time for s in self.scheduled)
+
+    @property
+    def solve_time(self) -> float:
+        """Total solver investment (deduplicated calls paid once)."""
+        return sum(s.synthesis.solve_time
+                   for s in self.scheduled if not s.reused)
+
+    def phase_time(self, phase: str) -> float:
+        return sum(s.finish_time for s in self.scheduled
+                   if s.call.phase == phase)
+
+    def slowest_call(self) -> ScheduledCall:
+        return max(self.scheduled, key=lambda s: s.finish_time)
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of calls served by a reused synthesis."""
+        if not self.scheduled:
+            raise DemandError("empty step report")
+        reused = sum(1 for s in self.scheduled if s.reused)
+        return reused / len(self.scheduled)
+
+
+def _call_key(call: CollectiveCall) -> tuple:
+    return (tuple(call.demand.triples()), call.chunk_bytes)
+
+
+def synthesize_workload(topology: Topology, workload: Workload,
+                        config: TecclConfig, *,
+                        method: Method = Method.AUTO,
+                        dedupe: bool = True) -> StepReport:
+    """Synthesize every collective of a workload on one fabric.
+
+    ``config.chunk_bytes`` is overridden per call (each call carries its
+    own size); ``config.num_epochs`` is cleared so each call sizes its own
+    horizon. With ``dedupe`` (default), calls with identical demand and
+    chunk size share one synthesis.
+    """
+    cache: dict[tuple, SynthesisResult] = {}
+    scheduled: list[ScheduledCall] = []
+    for call in workload.calls:
+        key = _call_key(call)
+        cached = cache.get(key) if dedupe else None
+        if cached is not None:
+            scheduled.append(ScheduledCall(call=call, synthesis=cached,
+                                           reused=True))
+            continue
+        call_config = replace(config, chunk_bytes=call.chunk_bytes,
+                              num_epochs=None)
+        synthesis = synthesize(topology, call.demand, call_config,
+                               method=method)
+        cache[key] = synthesis
+        scheduled.append(ScheduledCall(call=call, synthesis=synthesis,
+                                       reused=False))
+    return StepReport(workload_name=workload.name, scheduled=scheduled)

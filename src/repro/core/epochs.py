@@ -1,0 +1,264 @@
+"""Epoch machinery: τ selection, per-link discretisation, horizon estimation.
+
+Implements §5 ("Epoch durations and chunk sizes", "Number of epochs") and the
+fastest-link mechanics of Appendix F. All formulations consume an
+:class:`EpochPlan` — the per-link view of the world after time is discretised:
+
+* ``cap_chunks``  — chunks the link carries per epoch (T·τ in paper units);
+* ``occupancy``   — κ, epochs one chunk occupies the link (1 unless τ was set
+  from a faster link, App. F);
+* ``delay``       — ⌈α/τ⌉, extra epochs before the receiver may forward;
+* ``arrival_offset`` — Δ = (κ−1) + ⌈α/τ⌉: a chunk sent at epoch k is in the
+  receiver's buffer at the start of epoch k + Δ + 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.collectives.demand import Demand
+from repro.core.config import EpochMode, TecclConfig
+from repro.errors import ModelError
+from repro.topology.topology import Topology
+
+_EPS = 1e-9
+
+#: §6: "In the cases where α > 200 × τ we increase the epoch duration by 5×
+#: to avoid large models."
+ALPHA_TAU_RATIO_LIMIT = 200.0
+ALPHA_TAU_STRETCH = 5.0
+
+
+@dataclass(frozen=True)
+class EpochPlan:
+    """Discretised time for one (topology, chunk size, τ) combination."""
+
+    tau: float
+    num_epochs: int
+    chunk_bytes: float
+    cap_chunks: dict[tuple[int, int], float]
+    occupancy: dict[tuple[int, int], int]
+    delay: dict[tuple[int, int], int]
+
+    def arrival_offset(self, src: int, dst: int) -> int:
+        """Δ: epochs between send start and presence in the receiver buffer."""
+        key = (src, dst)
+        return self.occupancy[key] - 1 + self.delay[key]
+
+    @property
+    def horizon(self) -> float:
+        """Wall-clock length of the modelled window."""
+        return self.tau * self.num_epochs
+
+    def with_num_epochs(self, num_epochs: int) -> "EpochPlan":
+        return EpochPlan(tau=self.tau, num_epochs=num_epochs,
+                         chunk_bytes=self.chunk_bytes,
+                         cap_chunks=self.cap_chunks,
+                         occupancy=self.occupancy, delay=self.delay)
+
+
+def epoch_duration(topology: Topology, chunk_bytes: float,
+                   mode: EpochMode = EpochMode.FASTEST_LINK,
+                   multiplier: float = 1.0) -> float:
+    """Pick τ per §5: chunk time on the slowest or fastest link, times EM.
+
+    Applies the paper's guard: if max α exceeds 200·τ, stretch τ by 5×
+    (α dominates, a finer grid only bloats the model).
+    """
+    if chunk_bytes <= 0:
+        raise ModelError("chunk_bytes must be positive")
+    times = [chunk_bytes / link.capacity for link in topology.links.values()]
+    if not times:
+        raise ModelError("topology has no links")
+    base = max(times) if mode is EpochMode.SLOWEST_LINK else min(times)
+    tau = base * multiplier
+    if topology.max_alpha > ALPHA_TAU_RATIO_LIMIT * tau:
+        tau *= ALPHA_TAU_STRETCH
+    return tau
+
+
+def build_epoch_plan(topology: Topology, config: TecclConfig,
+                     num_epochs: int) -> EpochPlan:
+    """Materialise the per-link discretisation for a fixed horizon."""
+    tau = epoch_duration(topology, config.chunk_bytes, config.epoch_mode,
+                         config.epoch_multiplier)
+    return plan_with_tau(topology, config.chunk_bytes, tau, num_epochs)
+
+
+def plan_with_tau(topology: Topology, chunk_bytes: float, tau: float,
+                  num_epochs: int) -> EpochPlan:
+    """Build a plan for an explicitly chosen τ (Algorithm 1's coarse grids)."""
+    if tau <= 0:
+        raise ModelError("tau must be positive")
+    if num_epochs < 1:
+        raise ModelError("num_epochs must be at least 1")
+    cap_chunks: dict[tuple[int, int], float] = {}
+    occupancy: dict[tuple[int, int], int] = {}
+    delay: dict[tuple[int, int], int] = {}
+    for key, link in topology.links.items():
+        per_epoch = link.capacity * tau / chunk_bytes
+        cap_chunks[key] = per_epoch
+        occupancy[key] = max(1, math.ceil(1.0 / per_epoch - _EPS))
+        delay[key] = math.ceil(link.alpha / tau - _EPS) if link.alpha > 0 else 0
+    return EpochPlan(tau=tau, num_epochs=num_epochs, chunk_bytes=chunk_bytes,
+                     cap_chunks=cap_chunks, occupancy=occupancy, delay=delay)
+
+
+# ----------------------------------------------------------------------
+# reachability (used for variable tightening and for horizon estimation)
+# ----------------------------------------------------------------------
+def earliest_arrival_epochs(topology: Topology,
+                            plan: EpochPlan) -> dict[int, dict[int, int]]:
+    """All-pairs earliest arrival, in epochs, over the discretised graph.
+
+    Edge cost is Δ + 1 (send one epoch, appear in the buffer Δ epochs later);
+    a Bellman-Ford/Dijkstra pass per node. Used to eliminate variables that
+    cannot be non-zero (a chunk cannot reach node n before this bound) and to
+    lower-bound the horizon.
+    """
+    import heapq
+
+    out_adj, _ = topology.adjacency()
+    dist: dict[int, dict[int, int]] = {}
+    for src in topology.nodes:
+        d = {src: 0}
+        heap = [(0, src)]
+        while heap:
+            cost, node = heapq.heappop(heap)
+            if cost > d.get(node, 1 << 30):
+                continue
+            for link in out_adj[node]:
+                step = plan.arrival_offset(link.src, link.dst) + 1
+                new = cost + step
+                if new < d.get(link.dst, 1 << 30):
+                    d[link.dst] = new
+                    heapq.heappush(heap, (new, link.dst))
+        dist[src] = d
+    return dist
+
+
+def min_time_seconds(topology: Topology, chunk_bytes: float) -> dict[int, dict[int, float]]:
+    """All-pairs fastest single-chunk delivery time (α + β·S per hop)."""
+    import heapq
+
+    out_adj, _ = topology.adjacency()
+    dist: dict[int, dict[int, float]] = {}
+    for src in topology.nodes:
+        d = {src: 0.0}
+        heap = [(0.0, src)]
+        while heap:
+            cost, node = heapq.heappop(heap)
+            if cost > d.get(node, float("inf")):
+                continue
+            for link in out_adj[node]:
+                new = cost + link.transfer_time(chunk_bytes)
+                if new < d.get(link.dst, float("inf")):
+                    d[link.dst] = new
+                    heapq.heappush(heap, (new, link.dst))
+        dist[src] = d
+    return dist
+
+
+def path_based_epoch_bound(topology: Topology, demand: Demand,
+                           plan: EpochPlan) -> int:
+    """A cheap, generous upper bound on the horizon K.
+
+    Routes every demanded triple along its shortest path (in epoch units),
+    accumulates the per-link load, and bounds the finish by the longest path
+    plus the worst per-link queueing delay. Deliberately loose: the
+    optimization finds the true finish; a loose K only costs variables
+    (the paper's Algorithm 1 has the same contract).
+    """
+    import heapq
+
+    out_adj, _ = topology.adjacency()
+
+    def paths_from(src: int) -> dict[int, list[int]]:
+        dist = {src: 0}
+        prev: dict[int, int] = {}
+        heap = [(0, src)]
+        while heap:
+            cost, node = heapq.heappop(heap)
+            if cost > dist.get(node, 1 << 30):
+                continue
+            for link in out_adj[node]:
+                step = plan.arrival_offset(link.src, link.dst) + 1
+                new = cost + step
+                if new < dist.get(link.dst, 1 << 30):
+                    dist[link.dst] = new
+                    prev[link.dst] = node
+                    heapq.heappush(heap, (new, link.dst))
+        paths: dict[int, list[int]] = {}
+        for node in dist:
+            path = [node]
+            while path[-1] != src:
+                path.append(prev[path[-1]])
+            path.reverse()
+            paths[node] = path
+        return paths
+
+    max_path = 0
+    load: dict[tuple[int, int], int] = {}
+    path_cache: dict[int, dict[int, list[int]]] = {}
+    dist = earliest_arrival_epochs(topology, plan)
+    for s, c in demand.commodities():
+        if s not in path_cache:
+            path_cache[s] = paths_from(s)
+        for d in demand.destinations(s, c):
+            if d not in dist[s]:
+                raise ModelError(
+                    f"destination {d} unreachable from source {s}")
+            max_path = max(max_path, dist[s][d])
+            path = path_cache[s][d]
+            for i, j in zip(path, path[1:]):
+                load[(i, j)] = load.get((i, j), 0) + 1
+
+    def rate(key: tuple[int, int]) -> float:
+        window = max(
+            1, math.floor(plan.cap_chunks[key] * plan.occupancy[key] + _EPS))
+        return window / plan.occupancy[key]
+
+    queueing = max(
+        (math.ceil(count / rate(key)) for key, count in load.items()),
+        default=1)
+    return max(2, max_path + queueing)
+
+
+def candidate_completion_times(topology: Topology, demand: Demand,
+                               chunk_bytes: float,
+                               count: int = 8) -> list[float]:
+    """The Cτ sweep of Algorithm 1: geometric candidates from a lower bound."""
+    seconds = min_time_seconds(topology, chunk_bytes)
+    lower = 0.0
+    for s, c in demand.commodities():
+        for d in demand.destinations(s, c):
+            lower = max(lower, seconds[s].get(d, 0.0))
+    if lower <= 0:
+        raise ModelError("demand has no reachable destinations")
+    return [lower * (2 ** i) for i in range(count)]
+
+
+def algorithm1_num_epochs(topology: Topology, demand: Demand,
+                          config: TecclConfig,
+                          coarse_epochs: tuple[int, ...] = (4, 8, 12)) -> int:
+    """Algorithm 1 (Appendix E): find an epoch-count upper bound.
+
+    Sweeps candidate completion times; for each, tries coarse epoch grids and
+    solves the *LP relaxation* of the general form for feasibility (fast, and
+    feasibility at a coarse grid implies the horizon suffices). Returns
+    ``feasible_time / τ_opt`` converted to epochs of the configured τ.
+    """
+    from repro.core.lp import lp_feasible_horizon
+
+    tau_opt = epoch_duration(topology, config.chunk_bytes, config.epoch_mode,
+                             config.epoch_multiplier)
+    for total_time in candidate_completion_times(
+            topology, demand, config.chunk_bytes):
+        for ne in coarse_epochs:
+            if lp_feasible_horizon(topology, demand, config,
+                                   tau=total_time / ne, num_epochs=ne):
+                return max(2, math.ceil(total_time / tau_opt))
+    # Fall back to the generous path bound rather than failing.
+    plan = build_epoch_plan(topology, config, num_epochs=1)
+    return path_based_epoch_bound(topology, demand, plan)

@@ -1,0 +1,254 @@
+"""Hierarchical collective synthesis: divide by chassis, conquer by phase.
+
+A third scaling lever besides the LP (§4.1) and A* (§4.2): exploit the
+fabric's chassis structure the way production collectives do (NCCL's
+hierarchical ALLREDUCE, TACCL's per-chassis sketches). An ALLGATHER over
+``G`` chassis of ``g`` GPUs decomposes into three phases:
+
+1. **local gather** — each chassis runs an internal ALLGATHER of its own
+   chunks (G independent, laptop-sized MILPs that would be one big one);
+2. **leader exchange** — one leader per chassis ALLGATHERs the chassis
+   aggregates across the inter-chassis fabric;
+3. **local broadcast** — each leader broadcasts the remote aggregates
+   inside its chassis.
+
+Phases are barriers; chassis within a phase run concurrently (their
+subfabrics are disjoint up to shared uplinks, which phase-1/3 traffic does
+not need). The price of the decomposition is the leader bottleneck — every
+remote byte enters a chassis through one GPU — which is exactly the
+suboptimality the flat formulations avoid; the ablation bench measures it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.demand import Demand
+from repro.collectives.patterns import allgather, broadcast
+from repro.core.config import TecclConfig
+from repro.core.solve import Method, SynthesisResult, synthesize
+from repro.errors import DemandError, TopologyError
+from repro.topology.topology import Topology
+
+
+@dataclass(frozen=True)
+class ChassisPlan:
+    """One chassis: its GPUs (original ids) and the designated leader."""
+
+    gpus: tuple[int, ...]
+    leader: int
+
+    def __post_init__(self) -> None:
+        if self.leader not in self.gpus:
+            raise DemandError(
+                f"leader {self.leader} is not one of the chassis GPUs")
+
+
+def chassis_groups(topology: Topology, gpus_per_chassis: int,
+                   ) -> list[ChassisPlan]:
+    """Slice the GPU id space into consecutive chassis (builder convention).
+
+    Every builder in :mod:`repro.topology` numbers GPUs chassis-major, so
+    consecutive slices recover the physical grouping. The first GPU of
+    each chassis becomes the leader (the uplink-attached GPU in NDv2).
+    """
+    gpus = topology.gpus
+    if gpus_per_chassis < 1 or len(gpus) % gpus_per_chassis:
+        raise TopologyError(
+            f"{len(gpus)} GPUs do not divide into chassis of "
+            f"{gpus_per_chassis}")
+    plans = []
+    for start in range(0, len(gpus), gpus_per_chassis):
+        members = tuple(gpus[start:start + gpus_per_chassis])
+        plans.append(ChassisPlan(gpus=members, leader=members[0]))
+    return plans
+
+
+@dataclass(frozen=True)
+class _SubFabric:
+    """An induced subtopology plus the id maps to talk to it."""
+
+    topology: Topology
+    to_sub: dict[int, int]
+    to_full: dict[int, int]
+
+
+def _induce(topology: Topology, gpus: list[int], name: str) -> _SubFabric:
+    """Induced subfabric on ``gpus`` plus every switch (with id maps)."""
+    keep = sorted(set(gpus) | set(topology.switches))
+    to_sub = {old: new for new, old in enumerate(keep)}
+    sub = Topology(name=name, num_nodes=len(keep),
+                   switches=frozenset(to_sub[s] for s in topology.switches))
+    for (src, dst), link in topology.links.items():
+        if src in to_sub and dst in to_sub:
+            sub.add_link(to_sub[src], to_sub[dst], link.capacity, link.alpha)
+    # Switches with no surviving links would fail validation; drop them.
+    dead = [s for s in sub.switches
+            if not sub.out_edges(s) and not sub.in_edges(s)]
+    if dead:
+        alive = [n for n in range(sub.num_nodes) if n not in dead]
+        remap = {old: new for new, old in enumerate(alive)}
+        rebuilt = Topology(
+            name=name, num_nodes=len(alive),
+            switches=frozenset(remap[s] for s in sub.switches
+                               if s not in dead))
+        for (src, dst), link in sub.links.items():
+            rebuilt.add_link(remap[src], remap[dst], link.capacity,
+                             link.alpha)
+        old_keep = {to_sub[o]: o for o in keep}
+        to_full = {remap[s]: old_keep[s] for s in alive}
+        return _SubFabric(topology=rebuilt,
+                          to_sub={o: remap[s] for o, s in to_sub.items()
+                                  if s in remap},
+                          to_full=to_full)
+    return _SubFabric(topology=sub, to_sub=to_sub,
+                      to_full={n: o for o, n in to_sub.items()})
+
+
+@dataclass
+class PhaseResult:
+    """One synthesized phase on one subfabric."""
+
+    label: str
+    fabric: _SubFabric
+    demand: Demand
+    synthesis: SynthesisResult
+
+    @property
+    def finish_time(self) -> float:
+        return self.synthesis.finish_time
+
+    @property
+    def solve_time(self) -> float:
+        return self.synthesis.solve_time
+
+
+@dataclass
+class HierarchicalOutcome:
+    """All three phases of a hierarchical ALLGATHER.
+
+    Attributes:
+        local_gather: one result per chassis (phase 1).
+        leader_exchange: the single cross-chassis result (phase 2).
+        local_broadcast: one result per chassis (phase 3).
+    """
+
+    local_gather: list[PhaseResult]
+    leader_exchange: PhaseResult
+    local_broadcast: list[PhaseResult]
+
+    @property
+    def finish_time(self) -> float:
+        """Barrier composition: slowest chassis per phase, phases summed."""
+        phase1 = max(p.finish_time for p in self.local_gather)
+        phase3 = max(p.finish_time for p in self.local_broadcast)
+        return phase1 + self.leader_exchange.finish_time + phase3
+
+    @property
+    def parallel_solve_time(self) -> float:
+        """Critical-path solver time (chassis solves run concurrently)."""
+        phase1 = max(p.solve_time for p in self.local_gather)
+        phase3 = max(p.solve_time for p in self.local_broadcast)
+        return phase1 + self.leader_exchange.solve_time + phase3
+
+    @property
+    def serial_solve_time(self) -> float:
+        return (sum(p.solve_time for p in self.local_gather)
+                + self.leader_exchange.solve_time
+                + sum(p.solve_time for p in self.local_broadcast))
+
+    def phases(self) -> list[PhaseResult]:
+        return (list(self.local_gather) + [self.leader_exchange]
+                + list(self.local_broadcast))
+
+
+def hierarchical_allgather(topology: Topology, config: TecclConfig, *,
+                           chassis: list[ChassisPlan],
+                           chunks_per_gpu: int = 1,
+                           method: Method = Method.AUTO,
+                           ) -> HierarchicalOutcome:
+    """Synthesize an ALLGATHER hierarchically over the given chassis.
+
+    Every phase is an independent TE-CCL synthesis with an automatically
+    estimated horizon; chunk size is uniform across phases (the phase-2/3
+    payloads are *more chunks*, not bigger ones, so one τ fits all).
+    """
+    _check_chassis(topology, chassis)
+    if chunks_per_gpu < 1:
+        raise DemandError("chunks_per_gpu must be at least 1")
+    config = _auto_horizon(config)
+
+    local_gather: list[PhaseResult] = []
+    for index, plan in enumerate(chassis):
+        if len(plan.gpus) < 2:
+            continue  # single-GPU chassis has nothing to gather locally
+        fabric = _induce(topology, list(plan.gpus), f"chassis-{index}")
+        demand = allgather([fabric.to_sub[g] for g in plan.gpus],
+                           chunks_per_gpu)
+        synthesis = synthesize(fabric.topology, demand, config,
+                               method=method)
+        local_gather.append(PhaseResult(
+            label=f"gather@{index}", fabric=fabric, demand=demand,
+            synthesis=synthesis))
+
+    leaders = [plan.leader for plan in chassis]
+    leader_fabric = _induce(topology, leaders, "leaders")
+    # each leader forwards its whole chassis aggregate
+    exchange_chunks = max(len(plan.gpus) for plan in chassis) \
+        * chunks_per_gpu
+    exchange_demand = allgather([leader_fabric.to_sub[l] for l in leaders],
+                                exchange_chunks)
+    leader_exchange = PhaseResult(
+        label="leader-exchange", fabric=leader_fabric,
+        demand=exchange_demand,
+        synthesis=synthesize(leader_fabric.topology, exchange_demand,
+                             config, method=method))
+
+    remote_chunks = (len(chassis) - 1) * exchange_chunks
+    local_broadcast: list[PhaseResult] = []
+    for index, plan in enumerate(chassis):
+        if len(plan.gpus) < 2:
+            continue
+        fabric = _induce(topology, list(plan.gpus), f"chassis-{index}")
+        demand = broadcast(fabric.to_sub[plan.leader],
+                           [fabric.to_sub[g] for g in plan.gpus],
+                           remote_chunks)
+        synthesis = synthesize(fabric.topology, demand, config,
+                               method=method)
+        local_broadcast.append(PhaseResult(
+            label=f"broadcast@{index}", fabric=fabric, demand=demand,
+            synthesis=synthesis))
+
+    if not local_gather or not local_broadcast:
+        raise DemandError(
+            "hierarchical synthesis needs at least one multi-GPU chassis")
+    return HierarchicalOutcome(local_gather=local_gather,
+                               leader_exchange=leader_exchange,
+                               local_broadcast=local_broadcast)
+
+
+def _check_chassis(topology: Topology, chassis: list[ChassisPlan]) -> None:
+    if len(chassis) < 2:
+        raise DemandError("hierarchical synthesis needs at least 2 chassis")
+    seen: set[int] = set()
+    for plan in chassis:
+        members = set(plan.gpus)
+        if members & seen:
+            raise DemandError("chassis overlap: "
+                              f"{sorted(members & seen)}")
+        seen |= members
+    gpus = set(topology.gpus)
+    if seen != gpus:
+        raise DemandError(
+            f"chassis cover {len(seen)} GPUs but the fabric has "
+            f"{len(gpus)}")
+
+
+def _auto_horizon(config: TecclConfig) -> TecclConfig:
+    """Phases size their own horizons; a user K meant for the flat problem
+    would be wrong for every phase."""
+    from dataclasses import replace
+
+    if config.num_epochs is None:
+        return config
+    return replace(config, num_epochs=None)

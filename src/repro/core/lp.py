@@ -1,0 +1,421 @@
+"""The LP form of TE-CCL (§4.1): optimal and scalable for copy-free demands.
+
+When no chunk is wanted by two destinations (ALLTOALL-like demands), copy
+buys nothing, flows may be fractional, and the whole problem is a linear
+program. Flow conservation reverts to the traditional *equality* form — a
+node buffers, forwards, or consumes what it receives — and chunks of one
+source collapse into a single fungible commodity, shrinking the model by a
+factor of |C|.
+
+The same machinery doubles as the paper's "no copy" ablation (Figure 7): a
+multicast demand is modelled by giving the commodity a *supply multiplicity*
+(the source injects one physical copy per destination). Conservation then
+guarantees no in-network duplication, which is exactly what "without copy"
+means; per-chunk commodities keep content distinct so Figure 3's
+half-chunk confusion cannot arise (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.collectives.demand import Demand
+from repro.core.config import TecclConfig
+from repro.core.epochs import (EpochPlan, build_epoch_plan,
+                               earliest_arrival_epochs,
+                               path_based_epoch_bound, plan_with_tau)
+from repro.core.postprocess import prune_fractional
+from repro.core.schedule import FlowSchedule
+from repro.errors import InfeasibleError, ModelError
+from repro.solver import Model, Sense, SolveResult, SolverOptions, quicksum
+from repro.topology.topology import Topology
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class LpCommodity:
+    """One commodity of the LP: fungible mass originating at one node.
+
+    ``key`` is either a bare source id (chunks aggregated, the fast path for
+    ALLTOALL) or a ``(source, chunk)`` pair (needed when a chunk has several
+    destinations, i.e. the no-copy multicast mode).
+    """
+
+    key: object
+    origin: int
+    supply: float
+    sinks: dict[int, float]
+
+
+def build_commodities(demand: Demand, aggregate: bool = True,
+                      ) -> list[LpCommodity]:
+    """Group the demand into LP commodities.
+
+    Aggregation by source applies only when every chunk has exactly one
+    destination (then bytes of one source are mutually fungible — flow
+    decomposition assigns distinct content per path).
+    """
+    single_dest = not demand.benefits_from_copy()
+    if aggregate and single_dest:
+        commodities = []
+        for s in demand.sources:
+            sinks: dict[int, float] = {}
+            supply = 0.0
+            for c in demand.chunks_of(s):
+                for d in demand.destinations(s, c):
+                    sinks[d] = sinks.get(d, 0.0) + 1.0
+                    supply += 1.0
+            commodities.append(LpCommodity(key=s, origin=s, supply=supply,
+                                           sinks=sinks))
+        return commodities
+    commodities = []
+    for s, c in demand.commodities():
+        dests = demand.destinations(s, c)
+        commodities.append(LpCommodity(
+            key=(s, c), origin=s, supply=float(len(dests)),
+            sinks={d: 1.0 for d in dests}))
+    return commodities
+
+
+@dataclass
+class LpProblem:
+    model: Model
+    plan: EpochPlan
+    topology: Topology
+    commodities: list[LpCommodity]
+    f_vars: dict[tuple, object] = field(default_factory=dict)
+    b_vars: dict[tuple, object] = field(default_factory=dict)
+    r_vars: dict[tuple, object] = field(default_factory=dict)
+
+
+@dataclass
+class LpOutcome:
+    """A solved LP instance with the pruned fractional schedule."""
+
+    schedule: FlowSchedule
+    raw_schedule: FlowSchedule
+    result: SolveResult
+    plan: EpochPlan
+    finish_time: float
+
+    @property
+    def solve_time(self) -> float:
+        return self.result.solve_time
+
+
+class LpBuilder:
+    """Builds the §4.1 linear program over one horizon."""
+
+    def __init__(self, topology: Topology, demand: Demand,
+                 config: TecclConfig, plan: EpochPlan, *,
+                 aggregate: bool = True):
+        demand.validate(topology)
+        topology.validate()
+        if config.priorities is not None:
+            aggregate = False  # per-chunk weights need per-chunk commodities
+        self.topology = topology
+        self.demand = demand
+        self.config = config
+        self.plan = plan
+        self.commodities = build_commodities(demand, aggregate=aggregate)
+        self._earliest = earliest_arrival_epochs(topology, plan)
+
+    # ------------------------------------------------------------------
+    def build(self) -> LpProblem:
+        model = Model("teccl-lp", sense=Sense.MAXIMIZE)
+        problem = LpProblem(model=model, plan=self.plan,
+                            topology=self.topology,
+                            commodities=self.commodities)
+        self._check_horizon()
+        self._make_vars(problem)
+        self._initialization(problem)
+        self._conservation(problem)
+        self._switch_conservation(problem)
+        self._capacity(problem)
+        self._demand_met(problem)
+        self._buffer_limit(problem)
+        self._objective(problem)
+        return problem
+
+    def _check_horizon(self) -> None:
+        K = self.plan.num_epochs
+        for q in self.commodities:
+            for d in q.sinks:
+                earliest = self._earliest[q.origin].get(d)
+                if earliest is None:
+                    raise ModelError(
+                        f"sink {d} unreachable from origin {q.origin}")
+                if earliest > K:
+                    raise InfeasibleError(
+                        f"horizon K={K} below earliest arrival ({earliest}) "
+                        f"for commodity {q.key}->{d}", status="horizon")
+
+    def _reachable(self, q: LpCommodity, node: int, k: int) -> bool:
+        earliest = self._earliest[q.origin].get(node)
+        return earliest is not None and k >= earliest
+
+    def _make_vars(self, problem: LpProblem) -> None:
+        model = problem.model
+        K = self.plan.num_epochs
+        sf = self.config.store_and_forward
+        for q in self.commodities:
+            for (i, j) in self.topology.links:
+                offset = self.plan.arrival_offset(i, j)
+                for k in range(K):
+                    if not self._reachable(q, i, k):
+                        continue
+                    arrival_pool = k + offset + 1
+                    if arrival_pool > K:
+                        continue  # cannot contribute within the horizon
+                    problem.f_vars[(q.key, i, j, k)] = model.add_var(
+                        name=f"F[{q.key},{i},{j},{k}]")
+            for n in self.topology.gpus:
+                if not sf and n != q.origin:
+                    continue  # Figure 9 ablation: no intermediate buffering
+                for k in range(K + 1):
+                    if n != q.origin and not self._reachable(q, n, k):
+                        continue
+                    problem.b_vars[(q.key, n, k)] = model.add_var(
+                        name=f"B[{q.key},{n},{k}]")
+            for d in q.sinks:
+                for k in range(K):
+                    if not self._reachable(q, d, k + 1):
+                        continue
+                    problem.r_vars[(q.key, d, k)] = model.add_var(
+                        name=f"R[{q.key},{d},{k}]")
+
+    # ------------------------------------------------------------------
+    def _out_flow(self, problem: LpProblem, q: LpCommodity, n: int, k: int):
+        return quicksum(
+            problem.f_vars[(q.key, n, l.dst, k)]
+            for l in self.topology.out_edges(n)
+            if (q.key, n, l.dst, k) in problem.f_vars)
+
+    def _arrivals(self, problem: LpProblem, q: LpCommodity, n: int, k: int):
+        """Flow arriving at n during epoch k (sent Δ epochs earlier)."""
+        terms = []
+        for link in self.topology.in_edges(n):
+            send_epoch = k - self.plan.arrival_offset(link.src, link.dst)
+            var = problem.f_vars.get((q.key, link.src, link.dst, send_epoch))
+            if var is not None:
+                terms.append(var)
+        return quicksum(terms)
+
+    def _initialization(self, problem: LpProblem) -> None:
+        """Appendix A first-epoch constraints (with the n = s typo fixed)."""
+        model = problem.model
+        for q in self.commodities:
+            b0 = problem.b_vars.get((q.key, q.origin, 0), 0.0)
+            out0 = self._out_flow(problem, q, q.origin, 0)
+            model.add_constr(b0 + out0 == q.supply,
+                             name=f"init[{q.key}]")
+
+    def _conservation(self, problem: LpProblem) -> None:
+        """arrivals(k) + B[k] = B[k+1] + R[k] + sends(k+1), per GPU."""
+        model = problem.model
+        K = self.plan.num_epochs
+        for q in self.commodities:
+            for n in self.topology.gpus:
+                for k in range(K):
+                    if n == q.origin and k == 0:
+                        continue  # epoch 0 at the origin is _initialization
+                    b_k = problem.b_vars.get((q.key, n, k))
+                    b_next = problem.b_vars.get((q.key, n, k + 1))
+                    read = problem.r_vars.get((q.key, n, k))
+                    lhs = self._arrivals(problem, q, n, k)
+                    if b_k is not None:
+                        lhs = lhs + b_k
+                    rhs = (self._out_flow(problem, q, n, k + 1)
+                           if k + 1 < K else quicksum([]))
+                    if b_next is not None:
+                        rhs = rhs + b_next
+                    if read is not None:
+                        rhs = rhs + read
+                    # Skip trivial 0 == 0 rows for unreachable node-epochs.
+                    if lhs.is_constant() and rhs.is_constant():
+                        continue
+                    model.add_constr(lhs == rhs, name=f"cons[{q.key},{n},{k}]")
+
+    def _switch_conservation(self, problem: LpProblem) -> None:
+        """Switches neither buffer nor consume: in(k) == out(k+1)."""
+        model = problem.model
+        K = self.plan.num_epochs
+        for q in self.commodities:
+            for sw in self.topology.switches:
+                for k in range(K):
+                    arrivals = self._arrivals(problem, q, sw, k)
+                    sends_next = (self._out_flow(problem, q, sw, k + 1)
+                                  if k + 1 < K else quicksum([]))
+                    if arrivals.is_constant() and sends_next.is_constant():
+                        continue
+                    model.add_constr(arrivals == sends_next,
+                                     name=f"swc[{q.key},{sw},{k}]")
+
+    def _capacity(self, problem: LpProblem) -> None:
+        model = problem.model
+        K = self.plan.num_epochs
+        tau = self.plan.tau
+        by_link_epoch: dict[tuple[int, int, int], list] = {}
+        for (key, i, j, k), var in problem.f_vars.items():
+            by_link_epoch.setdefault((i, j, k), []).append(var)
+        for (i, j) in self.topology.links:
+            for k in range(K):
+                vars_k = by_link_epoch.get((i, j, k))
+                if not vars_k:
+                    continue
+                if self.config.capacity_fn is not None:
+                    cap = (self.config.capacity_fn(i, j, k) * tau
+                           / self.config.chunk_bytes)
+                else:
+                    cap = self.plan.cap_chunks[(i, j)]
+                model.add_constr(quicksum(vars_k) <= cap,
+                                 name=f"cap[{i},{j},{k}]")
+
+    def _demand_met(self, problem: LpProblem) -> None:
+        model = problem.model
+        K = self.plan.num_epochs
+        for q in self.commodities:
+            for d, amount in q.sinks.items():
+                reads = [problem.r_vars[(q.key, d, k)] for k in range(K)
+                         if (q.key, d, k) in problem.r_vars]
+                if not reads:
+                    raise InfeasibleError(
+                        f"sink {d} cannot be reached within the horizon",
+                        status="horizon")
+                model.add_constr(quicksum(reads) == amount,
+                                 name=f"met[{q.key},{d}]")
+
+    def _buffer_limit(self, problem: LpProblem) -> None:
+        limit = self.config.buffer_limit_chunks
+        if limit is None:
+            return
+        model = problem.model
+        K = self.plan.num_epochs
+        for n in self.topology.gpus:
+            for k in range(K + 1):
+                bufs = [problem.b_vars[(q.key, n, k)]
+                        for q in self.commodities
+                        if (q.key, n, k) in problem.b_vars
+                        and n != q.origin]
+                if bufs:
+                    model.add_constr(quicksum(bufs) <= limit,
+                                     name=f"buflim[{n},{k}]")
+
+    def _objective(self, problem: LpProblem) -> None:
+        terms = []
+        for (key, d, k), r in problem.r_vars.items():
+            weight = 1.0
+            if self.config.priorities is not None and isinstance(key, tuple):
+                weight = self.config.weight(key[0], key[1], d)
+            terms.append(r * (weight / (k + 1)))
+        problem.model.set_objective(quicksum(terms))
+
+
+# ----------------------------------------------------------------------
+# facades
+# ----------------------------------------------------------------------
+def solve_lp(topology: Topology, demand: Demand, config: TecclConfig,
+             *, aggregate: bool = True) -> LpOutcome:
+    """Build and solve the LP; returns a pruned fractional schedule.
+
+    Like :func:`repro.core.milp.solve_milp`, an automatically estimated
+    horizon is retried with a doubled K if it proves infeasible (the bound
+    is a heuristic).
+    """
+    auto = config.num_epochs is None
+    if auto:
+        probe = build_epoch_plan(topology, config, num_epochs=1)
+        num_epochs = path_based_epoch_bound(topology, demand, probe)
+    else:
+        num_epochs = config.num_epochs
+    attempts = 3 if auto else 1
+    last_error: InfeasibleError | None = None
+    for _ in range(attempts):
+        plan = build_epoch_plan(topology, config, num_epochs=num_epochs)
+        builder = LpBuilder(topology, demand, config, plan,
+                            aggregate=aggregate)
+        problem = builder.build()
+        result = problem.model.solve(config.solver)
+        if result.status.has_solution:
+            return extract_lp_outcome(problem, result)
+        from repro.solver import SolveStatus
+
+        if result.status is not SolveStatus.INFEASIBLE:
+            result.require_solution()
+        last_error = InfeasibleError(
+            f"infeasible at horizon K={num_epochs}", status="horizon")
+        num_epochs *= 2
+    raise last_error
+
+
+def extract_lp_outcome(problem: LpProblem, result: SolveResult) -> LpOutcome:
+    flows = {key: result.value(var)
+             for key, var in problem.f_vars.items()}
+    reads = {key: result.value(var)
+             for key, var in problem.r_vars.items()}
+    raw = FlowSchedule(flows=flows, reads=reads, tau=problem.plan.tau,
+                       chunk_bytes=problem.plan.chunk_bytes,
+                       num_epochs=problem.plan.num_epochs)
+    buffers = {key: result.value(var) for key, var in problem.b_vars.items()}
+    pruned = prune_fractional(raw, problem.topology, problem.plan,
+                              buffers=buffers)
+    return LpOutcome(schedule=pruned, raw_schedule=raw, result=result,
+                     plan=problem.plan,
+                     finish_time=pruned.finish_time(problem.topology))
+
+
+def lp_feasible_horizon(topology: Topology, demand: Demand,
+                        config: TecclConfig, *, tau: float,
+                        num_epochs: int) -> bool:
+    """Feasibility probe used by Algorithm 1 (coarse grid, custom τ)."""
+    plan = plan_with_tau(topology, config.chunk_bytes, tau, num_epochs)
+    try:
+        builder = LpBuilder(topology, demand, config, plan)
+        problem = builder.build()
+    except InfeasibleError:
+        return False
+    result = problem.model.solve(SolverOptions(time_limit=60))
+    return result.status.has_solution
+
+
+def minimize_epochs_lp(topology: Topology, demand: Demand,
+                       config: TecclConfig, *, max_epochs: int | None = None,
+                       ) -> LpOutcome:
+    """Binary search for the smallest feasible horizon (§6 "TE-CCL variants").
+
+    The paper runs the ALLTOALL solver in a loop, binary-searching the number
+    of epochs; the returned schedule is the optimum for the minimal K.
+    """
+    if max_epochs is None:
+        probe = build_epoch_plan(topology, config, num_epochs=1)
+        max_epochs = path_based_epoch_bound(topology, demand, probe)
+    lo, hi = 1, max_epochs
+    best: LpOutcome | None = None
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        try:
+            outcome = _try_horizon(topology, demand, config, mid)
+        except InfeasibleError:
+            outcome = None
+        if outcome is not None:
+            best = outcome
+            hi = mid - 1
+        else:
+            lo = mid + 1
+    if best is None:
+        raise InfeasibleError(
+            f"no feasible horizon up to K={max_epochs}", status="horizon")
+    return best
+
+
+def _try_horizon(topology: Topology, demand: Demand, config: TecclConfig,
+                 num_epochs: int) -> LpOutcome | None:
+    plan = build_epoch_plan(topology, config, num_epochs=num_epochs)
+    builder = LpBuilder(topology, demand, config, plan)
+    problem = builder.build()
+    result = problem.model.solve(config.solver)
+    if not result.status.has_solution:
+        return None
+    return extract_lp_outcome(problem, result)

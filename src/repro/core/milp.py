@@ -1,0 +1,499 @@
+"""The general TE-CCL formulation (§3.1): a MILP with copy and buffering.
+
+Decision variables (per commodity ``q = (source, chunk)``):
+
+* ``F[q, i, j, k] ∈ {0,1}`` — chunk crosses link (i, j) starting at epoch k;
+* ``B[q, n, k] ∈ {0,1}`` — chunk sits in GPU n's buffer at the start of k;
+* ``R[q, d, k] ∈ [0,1]`` — chunk has been read by destination d by epoch k.
+
+Integrality of ``F``/``B`` is what makes copy sound (Figure 3: fractional
+chunks plus copy lets the model double-count halves). The flow-conservation-
+with-copy constraint ``B[k] + arrivals(k) ≥ out(k+1)`` appears here in the
+equivalent per-edge form ``F[·,k] ≤ B[·,k]`` because the buffer recurrence
+already folds arrivals into the next buffer state (see DESIGN.md).
+
+The builder also implements the paper's optional machinery: zero-buffer
+switches with or without copy (§3.1), hyper-edge switches (Appendix C),
+limited buffers (Appendix B), fastest-link epochs with windowed capacity
+(Appendix F), time-varying capacity and per-triple priorities (§5), and a
+reachability-based variable elimination that preserves optimality.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+from repro.collectives.demand import Demand
+from repro.core.config import SwitchModel, TecclConfig
+from repro.core.epochs import (EpochPlan, build_epoch_plan,
+                               earliest_arrival_epochs,
+                               path_based_epoch_bound)
+from repro.core.postprocess import prune_sends
+from repro.core.schedule import Schedule, Send
+from repro.errors import InfeasibleError, ModelError
+from repro.solver import (Model, Sense, SolveResult, VarType, quicksum)
+from repro.topology.topology import Topology
+from repro.topology.transforms import HyperEdgeGroup
+
+_EPS = 1e-9
+
+Commodity = tuple[int, int]
+
+
+@dataclass
+class MilpProblem:
+    """A built (not yet solved) instance; A* reuses this to add its terms."""
+
+    model: Model
+    plan: EpochPlan
+    topology: Topology
+    demand: Demand
+    config: TecclConfig
+    f_vars: dict[tuple, object] = field(default_factory=dict)
+    b_vars: dict[tuple, object] = field(default_factory=dict)
+    r_vars: dict[tuple, object] = field(default_factory=dict)
+    #: earliest buffer epoch per (commodity, node)
+    earliest: dict[tuple[Commodity, int], int] = field(default_factory=dict)
+
+
+@dataclass
+class MilpOutcome:
+    """A solved instance: the pruned schedule plus solver diagnostics."""
+
+    schedule: Schedule
+    raw_schedule: Schedule
+    result: SolveResult
+    plan: EpochPlan
+    delivered_epoch: dict[tuple[int, int, int], int]
+    finish_time: float
+
+    @property
+    def solve_time(self) -> float:
+        return self.result.solve_time
+
+
+def _commodity_earliest(topology: Topology, plan: EpochPlan,
+                        holders: dict[Commodity, list[tuple[int, int]]],
+                        tighten: bool = True,
+                        ) -> dict[tuple[Commodity, int], int]:
+    """Multi-source earliest-arrival (in buffer epochs) per commodity.
+
+    With ``tighten=False`` only reachability is kept (every reachable node
+    gets bound 0) — the dense model of a naive implementation, used by the
+    variable-elimination ablation bench.
+    """
+    per_node = earliest_arrival_epochs(topology, plan)
+    earliest: dict[tuple[Commodity, int], int] = {}
+    for q, starts in holders.items():
+        for node in topology.nodes:
+            best = min((offset + per_node[h].get(node, 1 << 30)
+                        for h, offset in starts), default=1 << 30)
+            if best < (1 << 30):
+                earliest[(q, node)] = best if tighten else 0
+    return earliest
+
+
+class MilpBuilder:
+    """Builds the §3.1 MILP for one (topology, demand, horizon) instance.
+
+    A* drives the same builder with per-round state: ``initial_holders``
+    overrides where each commodity starts, ``injections`` models chunks that
+    arrive mid-horizon from the previous round, and
+    ``require_completion=False`` relaxes the final-epoch demand constraint.
+    """
+
+    def __init__(self, topology: Topology, demand: Demand,
+                 config: TecclConfig, plan: EpochPlan, *,
+                 initial_holders: dict[Commodity, set[int]] | None = None,
+                 injections: dict[tuple[int, int, int, int], int] | None = None,
+                 require_completion: bool = True,
+                 allow_overhang: bool = False,
+                 hyper_groups: list[HyperEdgeGroup] | None = None,
+                 capacity_carry: dict[tuple[int, int, int], int] | None = None):
+        demand.validate(topology)
+        topology.validate()
+        self.topology = topology
+        self.demand = demand
+        self.config = config
+        self.plan = plan
+        self.injections = injections or {}
+        self.require_completion = require_completion
+        self.allow_overhang = allow_overhang
+        self.hyper_groups = hyper_groups or []
+        #: transmissions still occupying a link from a *previous* horizon
+        #: (A* rounds): key (i, j, negative virtual epoch), value chunk count
+        self.capacity_carry = capacity_carry or {}
+        if config.switch_model is SwitchModel.HYPER_EDGE and topology.switches:
+            raise ModelError(
+                "hyper-edge mode expects a transformed topology without "
+                "switches; use repro.topology.to_hyper_edges first "
+                "(the solve facade does this automatically)")
+        if config.capacity_fn is not None:
+            if any(k > 1 for k in plan.occupancy.values()):
+                raise ModelError(
+                    "time-varying capacity requires slowest-link epochs "
+                    "(per-link occupancy must be 1)")
+        self.commodities = demand.commodities()
+        if initial_holders is None:
+            self.initial_holders = {q: {q[0]} for q in self.commodities}
+        else:
+            self.initial_holders = initial_holders
+        holders = {
+            q: ([(h, 0) for h in self.initial_holders.get(q, set())]
+                + [(n, k) for (s, c, n, k) in self.injections
+                   if (s, c) == q])
+            for q in self.commodities}
+        self.earliest = _commodity_earliest(topology, plan, holders,
+                                            tighten=config.tighten)
+
+    # ------------------------------------------------------------------
+    def build(self) -> MilpProblem:
+        K = self.plan.num_epochs
+        self._precheck_horizon()
+        model = Model("teccl-milp", sense=Sense.MAXIMIZE)
+        problem = MilpProblem(model=model, plan=self.plan,
+                              topology=self.topology, demand=self.demand,
+                              config=self.config, earliest=self.earliest)
+        self._make_flow_vars(problem)
+        self._make_buffer_vars(problem)
+        self._buffer_recurrence(problem)
+        self._availability(problem)
+        self._switch_constraints(problem)
+        self._capacity(problem)
+        self._destination(problem)
+        self._buffer_limit(problem)
+        self._hyper_edge_limits(problem)
+        self._objective(problem)
+        return problem
+
+    def _precheck_horizon(self) -> None:
+        if not self.require_completion:
+            return
+        K = self.plan.num_epochs
+        for s, c in self.commodities:
+            for d in self.demand.destinations(s, c):
+                earliest = self.earliest.get(((s, c), d))
+                if earliest is None:
+                    raise ModelError(
+                        f"destination {d} unreachable for commodity ({s},{c})")
+                if earliest > K:
+                    raise InfeasibleError(
+                        f"horizon K={K} below the earliest possible arrival "
+                        f"({earliest} epochs) for ({s},{c})->{d}",
+                        status="horizon")
+
+    # ------------------------------------------------------------------
+    # variables
+    # ------------------------------------------------------------------
+    def _f_exists(self, q: Commodity, i: int, j: int, k: int) -> bool:
+        earliest = self.earliest.get((q, i))
+        if earliest is None or k < earliest:
+            return False
+        offset = self.plan.arrival_offset(i, j)
+        arrival = k + offset + 1
+        K = self.plan.num_epochs
+        if self.topology.is_switch(j):
+            # the switch must forward at epoch `arrival`, which must exist
+            return arrival <= K - 1
+        if self.allow_overhang:
+            return k <= K - 1
+        return arrival <= K
+
+    def _make_flow_vars(self, problem: MilpProblem) -> None:
+        model = problem.model
+        K = self.plan.num_epochs
+        self._link_epoch_vars: dict[tuple[int, int, int], list] = {}
+        for q in self.commodities:
+            for (i, j) in self.topology.links:
+                for k in range(K):
+                    if not self._f_exists(q, i, j, k):
+                        continue
+                    var = model.add_var(vtype=VarType.BINARY,
+                                        name=f"F[{q},{i},{j},{k}]")
+                    problem.f_vars[(q, i, j, k)] = var
+                    self._link_epoch_vars.setdefault((i, j, k), []).append(var)
+
+    def _make_buffer_vars(self, problem: MilpProblem) -> None:
+        model = problem.model
+        K = self.plan.num_epochs
+        for q in self.commodities:
+            holders = self.initial_holders.get(q, set())
+            for n in self.topology.nodes:
+                if self.topology.is_switch(n):
+                    continue
+                earliest = self.earliest.get((q, n))
+                if earliest is None:
+                    continue
+                for k in range(max(0, earliest), K + 1):
+                    if k == 0 and n in holders:
+                        var = model.add_var(lb=1.0, ub=1.0,
+                                            vtype=VarType.BINARY,
+                                            name=f"B[{q},{n},0]")
+                    elif k == 0:
+                        # nothing has arrived yet: non-holders start empty
+                        # (reachable only when tightening is disabled)
+                        var = model.add_var(lb=0.0, ub=0.0,
+                                            vtype=VarType.BINARY,
+                                            name=f"B[{q},{n},0]")
+                    else:
+                        var = model.add_var(vtype=VarType.BINARY,
+                                            name=f"B[{q},{n},{k}]")
+                    problem.b_vars[(q, n, k)] = var
+
+    # ------------------------------------------------------------------
+    # constraints
+    # ------------------------------------------------------------------
+    def _arrivals_expr(self, problem: MilpProblem, q: Commodity, n: int,
+                       buffer_epoch: int):
+        """Sends (plus injections) that appear in n's buffer at that epoch."""
+        terms = []
+        for link in self.topology.in_edges(n):
+            send_epoch = buffer_epoch - 1 - self.plan.arrival_offset(
+                link.src, link.dst)
+            var = problem.f_vars.get((q, link.src, link.dst, send_epoch))
+            if var is not None:
+                terms.append(var)
+        constant = self.injections.get((q[0], q[1], n, buffer_epoch), 0)
+        expr = quicksum(terms)
+        if constant:
+            expr = expr + constant
+        return expr
+
+    def _buffer_recurrence(self, problem: MilpProblem) -> None:
+        model = problem.model
+        for (q, n, k), var in problem.b_vars.items():
+            if k == 0:
+                continue
+            prev = problem.b_vars.get((q, n, k - 1), 0.0)
+            arrivals = self._arrivals_expr(problem, q, n, k)
+            model.add_constr(var.to_expr() <= arrivals + prev,
+                             name=f"buf[{q},{n},{k}]")
+
+    def _availability(self, problem: MilpProblem) -> None:
+        """Flow conservation with copy at GPUs: send only what you hold."""
+        model = problem.model
+        sf = self.config.store_and_forward
+        for (q, i, j, k), f in problem.f_vars.items():
+            if self.topology.is_switch(i):
+                continue  # handled by _switch_constraints
+            holds_initially = i in self.initial_holders.get(q, set())
+            if sf or holds_initially:
+                b = problem.b_vars.get((q, i, k))
+                if b is None:
+                    model.add_constr(f.to_expr() <= 0.0)
+                else:
+                    model.add_constr(f <= b, name=f"avail[{q},{i},{j},{k}]")
+            else:
+                # Figure 9 ablation: relay immediately, like a switch.
+                arrivals = self._arrivals_expr(problem, q, i, k)
+                model.add_constr(f.to_expr() <= arrivals,
+                                 name=f"relay[{q},{i},{j},{k}]")
+
+    def _switch_constraints(self, problem: MilpProblem) -> None:
+        model = problem.model
+        copy_ok = self.config.switch_model is SwitchModel.COPY
+        K = self.plan.num_epochs
+        for sw in self.topology.switches:
+            out_links = self.topology.out_edges(sw)
+            for q in self.commodities:
+                for k in range(K):
+                    outs = [problem.f_vars[(q, sw, l.dst, k)]
+                            for l in out_links
+                            if (q, sw, l.dst, k) in problem.f_vars]
+                    if not outs:
+                        continue
+                    arrivals = self._arrivals_expr(problem, q, sw, k)
+                    if copy_ok:
+                        for f in outs:
+                            model.add_constr(f.to_expr() <= arrivals,
+                                             name=f"sw[{q},{sw},{k}]")
+                    else:
+                        model.add_constr(quicksum(outs) <= arrivals,
+                                         name=f"sw[{q},{sw},{k}]")
+
+    def _capacity(self, problem: MilpProblem) -> None:
+        model = problem.model
+        K = self.plan.num_epochs
+        tau = self.plan.tau
+        for (i, j) in self.topology.links:
+            kappa = self.plan.occupancy[(i, j)]
+            for k in range(K):
+                if self.config.capacity_fn is not None:
+                    cap = (self.config.capacity_fn(i, j, k) * tau
+                           / self.config.chunk_bytes)
+                else:
+                    cap = self.plan.cap_chunks[(i, j)]
+                if kappa == 1:
+                    vars_k = self._link_epoch_vars.get((i, j, k), [])
+                    if vars_k:
+                        model.add_constr(
+                            quicksum(vars_k) <= math.floor(cap + _EPS),
+                            name=f"cap[{i},{j},{k}]")
+                else:
+                    window: list = []
+                    carry = 0
+                    for kk in range(k - kappa + 1, k + 1):
+                        if kk < 0:
+                            carry += self.capacity_carry.get((i, j, kk), 0)
+                        else:
+                            window.extend(
+                                self._link_epoch_vars.get((i, j, kk), []))
+                    if window:
+                        limit = max(1, math.floor(kappa * cap + _EPS))
+                        model.add_constr(quicksum(window) <= limit - carry,
+                                         name=f"capw[{i},{j},{k}]")
+
+    def _destination(self, problem: MilpProblem) -> None:
+        model = problem.model
+        K = self.plan.num_epochs
+        for s, c in self.commodities:
+            q = (s, c)
+            for d in self.demand.destinations(s, c):
+                earliest = self.earliest.get((q, d), 1 << 30)
+                first_k = max(0, earliest - 1)
+                for k in range(first_k, K):
+                    lb = 1.0 if (self.require_completion and k == K - 1) else 0.0
+                    r = model.add_var(lb=lb, ub=1.0,
+                                      name=f"R[{q},{d},{k}]")
+                    problem.r_vars[(q, d, k)] = r
+                    b_next = problem.b_vars.get((q, d, k + 1))
+                    if b_next is None:
+                        model.add_constr(r.to_expr() <= 0.0)
+                    else:
+                        model.add_constr(r <= b_next,
+                                         name=f"read[{q},{d},{k}]")
+
+    def _buffer_limit(self, problem: MilpProblem) -> None:
+        limit = self.config.buffer_limit_chunks
+        if limit is None:
+            return
+        model = problem.model
+        K = self.plan.num_epochs
+        for n in self.topology.gpus:
+            for k in range(K + 1):
+                relay_bufs = []
+                for q in self.commodities:
+                    # A GPU's own input/output buffers are exempt: sources
+                    # hold their data and destinations must keep theirs
+                    # (they store it anyway, §3.1); the limit governs the
+                    # relay buffer.
+                    if n in self.initial_holders.get(q, set()):
+                        continue
+                    if n in self.demand.destinations(*q):
+                        continue
+                    var = problem.b_vars.get((q, n, k))
+                    if var is not None:
+                        relay_bufs.append(var)
+                if relay_bufs:
+                    model.add_constr(quicksum(relay_bufs) <= limit,
+                                     name=f"buflim[{n},{k}]")
+
+    def _hyper_edge_limits(self, problem: MilpProblem) -> None:
+        if not self.hyper_groups:
+            return
+        model = problem.model
+        K = self.plan.num_epochs
+        for group in self.hyper_groups:
+            edges = group.edges
+            out_by_node: dict[int, list[tuple[int, int]]] = {}
+            in_by_node: dict[int, list[tuple[int, int]]] = {}
+            for (i, j) in edges:
+                out_by_node.setdefault(i, []).append((i, j))
+                in_by_node.setdefault(j, []).append((i, j))
+            for k in range(K):
+                total = []
+                for (i, j) in edges:
+                    total.extend(self._link_epoch_vars.get((i, j, k), []))
+                if total:
+                    model.add_constr(quicksum(total) <= group.usage_limit,
+                                     name=f"hyper[{group.switch},{k}]")
+                for node, node_edges in out_by_node.items():
+                    vars_out = []
+                    for (i, j) in node_edges:
+                        vars_out.extend(self._link_epoch_vars.get((i, j, k), []))
+                    if vars_out:
+                        model.add_constr(quicksum(vars_out) <= 1,
+                                         name=f"hout[{group.switch},{node},{k}]")
+                for node, node_edges in in_by_node.items():
+                    vars_in = []
+                    for (i, j) in node_edges:
+                        vars_in.extend(self._link_epoch_vars.get((i, j, k), []))
+                    if vars_in:
+                        model.add_constr(quicksum(vars_in) <= 1,
+                                         name=f"hin[{group.switch},{node},{k}]")
+
+    def _objective(self, problem: MilpProblem) -> None:
+        terms = []
+        for ((s, c), d, k), r in problem.r_vars.items():
+            weight = self.config.weight(s, c, d)
+            terms.append(r * (weight / (k + 1)))
+        problem.model.set_objective(quicksum(terms))
+
+
+# ----------------------------------------------------------------------
+# solve facade
+# ----------------------------------------------------------------------
+def solve_milp(topology: Topology, demand: Demand, config: TecclConfig,
+               *, hyper_groups: list[HyperEdgeGroup] | None = None,
+               ) -> MilpOutcome:
+    """Build and solve the general formulation; returns a pruned schedule.
+
+    With an explicit ``num_epochs`` an infeasible horizon raises
+    :class:`InfeasibleError`. With the automatic horizon, the path-based
+    bound is a heuristic (side constraints such as hyper-edge usage limits
+    can invalidate it), so the solve retries with a doubled horizon before
+    giving up.
+    """
+    auto = config.num_epochs is None
+    if auto:
+        probe = build_epoch_plan(topology, config, num_epochs=1)
+        num_epochs = path_based_epoch_bound(topology, demand, probe)
+    else:
+        num_epochs = config.num_epochs
+    attempts = 3 if auto else 1
+    last_error: InfeasibleError | None = None
+    for _ in range(attempts):
+        plan = build_epoch_plan(topology, config, num_epochs=num_epochs)
+        builder = MilpBuilder(topology, demand, config, plan,
+                              hyper_groups=hyper_groups)
+        problem = builder.build()
+        result = problem.model.solve(config.solver)
+        if result.status.has_solution:
+            return extract_outcome(problem, result)
+        from repro.solver import SolveStatus
+
+        if result.status is not SolveStatus.INFEASIBLE:
+            result.require_solution()  # raises with the backend message
+        last_error = InfeasibleError(
+            f"infeasible at horizon K={num_epochs}", status="horizon")
+        num_epochs *= 2
+    raise last_error
+
+
+def extract_outcome(problem: MilpProblem, result: SolveResult) -> MilpOutcome:
+    """Turn a solved MILP into a pruned :class:`Schedule`."""
+    plan = problem.plan
+    sends = []
+    for (q, i, j, k), var in problem.f_vars.items():
+        if result.value(var) > 0.5:
+            sends.append(Send(epoch=k, source=q[0], chunk=q[1], src=i, dst=j))
+    raw = Schedule(sends=sorted(sends), tau=plan.tau,
+                   chunk_bytes=plan.chunk_bytes, num_epochs=plan.num_epochs)
+
+    delivered: dict[tuple[int, int, int], int] = {}
+    for ((s, c), d, k), r in sorted(problem.r_vars.items(),
+                                    key=lambda item: item[0][2]):
+        if result.value(r) > 0.5 and (s, c, d) not in delivered:
+            delivered[(s, c, d)] = k
+
+    def holds(s: int, c: int, n: int, k: int) -> bool:
+        var = problem.b_vars.get(((s, c), n, k))
+        return var is not None and result.value(var) > 0.5
+
+    pruned = prune_sends(raw, problem.demand, problem.topology, plan,
+                         delivered, buffer_values=holds)
+    return MilpOutcome(schedule=pruned, raw_schedule=raw, result=result,
+                       plan=plan, delivered_epoch=delivered,
+                       finish_time=pruned.finish_time(problem.topology))

@@ -1,0 +1,201 @@
+"""POP-style partitioned LP solving (client-side scaling, after [21]).
+
+POP ("Partitioned Optimization Problems", Narayanan et al., SOSP'21 — the
+paper's citation [21]) scales granular allocation problems by splitting the
+*clients* into k groups, giving each group 1/k of every resource, solving
+the k subproblems independently, and summing the allocations. Granular here
+means no single commodity dominates — exactly the shape of an ALLTOALL,
+where every GPU sources the same volume.
+
+This module applies POP to the TE-CCL LP (§4.1): commodities (sources) are
+partitioned, each subproblem sees the fabric with capacities scaled by its
+demand share, and the merged flow schedule is feasible by construction
+(shares sum to 1, so summed flows respect every original capacity). The
+price is optimality: a subproblem cannot borrow the capacity another
+partition left idle. The ablation bench quantifies that gap against the
+monolithic LP.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.collectives.demand import Demand
+from repro.core.config import TecclConfig
+from repro.core.epochs import EpochPlan, build_epoch_plan, path_based_epoch_bound
+from repro.core.lp import LpBuilder, LpOutcome, extract_lp_outcome
+from repro.core.schedule import FlowSchedule
+from repro.errors import InfeasibleError, ModelError
+from repro.topology.topology import Topology
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One POP client group: a slice of the demand plus its capacity share."""
+
+    index: int
+    demand: Demand
+    share: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.share <= 1:
+            raise ModelError(f"partition share {self.share} not in (0, 1]")
+
+
+@dataclass
+class PopOutcome:
+    """The merged result of the k independent sub-LPs.
+
+    ``serial_solve_time`` sums the subproblem times (one machine);
+    ``parallel_solve_time`` takes their maximum (POP's headline number —
+    the subproblems are embarrassingly parallel).
+    """
+
+    schedule: FlowSchedule
+    partitions: list[Partition]
+    sub_outcomes: list[LpOutcome]
+    plan: EpochPlan
+    finish_time: float
+
+    @property
+    def serial_solve_time(self) -> float:
+        return sum(o.solve_time for o in self.sub_outcomes)
+
+    @property
+    def parallel_solve_time(self) -> float:
+        return max(o.solve_time for o in self.sub_outcomes)
+
+    @property
+    def solve_time(self) -> float:
+        return self.parallel_solve_time
+
+
+def partition_demand(demand: Demand, num_partitions: int, *,
+                     seed: int = 0) -> list[Partition]:
+    """Split the demand's sources into balanced client groups.
+
+    Sources are shuffled (deterministically per seed, POP's randomised
+    split) and greedily assigned to the lightest group by triple count.
+    Shares are proportional to each group's triple load, so heterogeneous
+    splits still sum to exactly 1.
+    """
+    if num_partitions < 1:
+        raise ModelError("num_partitions must be at least 1")
+    sources = list(demand.sources)
+    if num_partitions > len(sources):
+        raise ModelError(
+            f"cannot split {len(sources)} sources into {num_partitions} "
+            "partitions")
+    rng = random.Random(seed)
+    loads = {s: sum(len(demand.destinations(s, c))
+                    for c in demand.chunks_of(s)) for s in sources}
+    rng.shuffle(sources)
+    sources.sort(key=lambda s: -loads[s])  # stable: heavy first
+    groups: list[list[int]] = [[] for _ in range(num_partitions)]
+    group_load = [0] * num_partitions
+    for s in sources:
+        lightest = min(range(num_partitions), key=lambda g: group_load[g])
+        groups[lightest].append(s)
+        group_load[lightest] += loads[s]
+    total = sum(group_load)
+    partitions = []
+    for idx, members in enumerate(groups):
+        member_set = set(members)
+        sub = Demand.from_triples(
+            t for t in demand.triples() if t[0] in member_set)
+        partitions.append(Partition(index=idx, demand=sub,
+                                    share=group_load[idx] / total))
+    return partitions
+
+
+def _scaled_capacity_fn(topology: Topology, config: TecclConfig,
+                        share: float):
+    """The subproblem's fabric: every capacity scaled by the demand share."""
+    base = config.capacity_fn
+
+    def capacity(i: int, j: int, k: int) -> float:
+        full = base(i, j, k) if base is not None else \
+            topology.link(i, j).capacity
+        return full * share
+
+    return capacity
+
+
+def solve_lp_pop(topology: Topology, demand: Demand, config: TecclConfig, *,
+                 num_partitions: int = 2, seed: int = 0) -> PopOutcome:
+    """Solve the LP via POP partitioning and merge the sub-schedules.
+
+    All subproblems share one epoch plan (same τ, same horizon) so their
+    flow variables line up for the merge. An automatically estimated
+    horizon is doubled and retried when any subproblem is infeasible —
+    capacity splitting can stretch a partition past the joint optimum.
+    """
+    demand.validate(topology)
+    topology.validate()
+    if demand.benefits_from_copy():
+        raise ModelError(
+            "POP partitioning applies to the LP form only; multicast "
+            "demands need the MILP (use solve_milp or A*)")
+    partitions = partition_demand(demand, num_partitions, seed=seed)
+
+    auto = config.num_epochs is None
+    if auto:
+        probe = build_epoch_plan(topology, config, num_epochs=1)
+        # Partitioned capacity stretches completion by ~1/share; be generous.
+        num_epochs = path_based_epoch_bound(topology, demand, probe)
+        num_epochs = max(num_epochs, int(num_epochs * num_partitions * 0.5))
+    else:
+        num_epochs = config.num_epochs
+
+    attempts = 3 if auto else 1
+    last_error: InfeasibleError | None = None
+    for _ in range(attempts):
+        try:
+            return _solve_at_horizon(topology, config, partitions, num_epochs)
+        except InfeasibleError as err:
+            last_error = err
+            num_epochs *= 2
+    raise last_error
+
+
+def _solve_at_horizon(topology: Topology, config: TecclConfig,
+                      partitions: list[Partition],
+                      num_epochs: int) -> PopOutcome:
+    plan = build_epoch_plan(topology, config, num_epochs=num_epochs)
+    sub_outcomes: list[LpOutcome] = []
+    for part in partitions:
+        sub_config = replace(
+            config, num_epochs=num_epochs,
+            capacity_fn=_scaled_capacity_fn(topology, config, part.share))
+        builder = LpBuilder(topology, part.demand, sub_config, plan)
+        problem = builder.build()
+        result = problem.model.solve(sub_config.solver)
+        if not result.status.has_solution:
+            raise InfeasibleError(
+                f"POP partition {part.index} infeasible at K={num_epochs}",
+                status="horizon")
+        sub_outcomes.append(extract_lp_outcome(problem, result))
+    merged = merge_flow_schedules([o.schedule for o in sub_outcomes])
+    return PopOutcome(schedule=merged, partitions=partitions,
+                      sub_outcomes=sub_outcomes, plan=plan,
+                      finish_time=merged.finish_time(topology))
+
+
+def merge_flow_schedules(schedules: list[FlowSchedule]) -> FlowSchedule:
+    """Sum fractional schedules (commodity keys must not collide)."""
+    if not schedules:
+        raise ModelError("nothing to merge")
+    first = schedules[0]
+    flows: dict[tuple, float] = {}
+    reads: dict[tuple, float] = {}
+    for sched in schedules:
+        if abs(sched.tau - first.tau) > 1e-15:
+            raise ModelError("cannot merge schedules with different τ")
+        for key, value in sched.flows.items():
+            flows[key] = flows.get(key, 0.0) + value
+        for key, value in sched.reads.items():
+            reads[key] = reads.get(key, 0.0) + value
+    return FlowSchedule(flows=flows, reads=reads, tau=first.tau,
+                        chunk_bytes=first.chunk_bytes,
+                        num_epochs=max(s.num_epochs for s in schedules))

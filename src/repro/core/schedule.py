@@ -1,0 +1,194 @@
+"""Schedule objects: the output of every synthesizer in this package.
+
+Two flavors exist, mirroring the paper's two solution classes:
+
+* :class:`Schedule` — integral: a list of ``Send`` records (chunk c of source
+  s crosses link (i, j) starting at epoch k). Produced by the MILP, A*, and
+  all baselines.
+* :class:`FlowSchedule` — fractional: per-epoch chunk *amounts* per commodity
+  per link, produced by the LP form (§4.1), plus the read (consumption)
+  profile at each sink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ScheduleError
+from repro.topology.topology import Topology
+
+
+@dataclass(frozen=True, order=True)
+class Send:
+    """One chunk crossing one link, starting at one epoch."""
+
+    epoch: int
+    source: int
+    chunk: int
+    src: int
+    dst: int
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise ScheduleError("send epoch must be non-negative")
+
+    @property
+    def commodity(self) -> tuple[int, int]:
+        return (self.source, self.chunk)
+
+    @property
+    def link(self) -> tuple[int, int]:
+        return (self.src, self.dst)
+
+
+@dataclass
+class Schedule:
+    """An integral collective schedule.
+
+    Attributes:
+        sends: the transfers, in no particular order.
+        tau: epoch duration in seconds.
+        chunk_bytes: bytes per chunk.
+        num_epochs: the horizon the schedule was synthesised under.
+    """
+
+    sends: list[Send]
+    tau: float
+    chunk_bytes: float
+    num_epochs: int
+
+    def __post_init__(self) -> None:
+        if self.tau <= 0:
+            raise ScheduleError("tau must be positive")
+        if self.chunk_bytes <= 0:
+            raise ScheduleError("chunk_bytes must be positive")
+        for send in self.sends:
+            if send.epoch >= self.num_epochs:
+                raise ScheduleError(
+                    f"send at epoch {send.epoch} beyond horizon {self.num_epochs}")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_sends(self) -> int:
+        return len(self.sends)
+
+    @property
+    def finish_epoch(self) -> int:
+        """Last epoch with any activity (−1 for an empty schedule)."""
+        return max((s.epoch for s in self.sends), default=-1)
+
+    def sends_by_epoch(self) -> dict[int, list[Send]]:
+        out: dict[int, list[Send]] = {}
+        for send in self.sends:
+            out.setdefault(send.epoch, []).append(send)
+        return out
+
+    def sends_on_link(self, src: int, dst: int) -> list[Send]:
+        return [s for s in self.sends if s.src == src and s.dst == dst]
+
+    def links_used(self) -> set[tuple[int, int]]:
+        return {s.link for s in self.sends}
+
+    def total_bytes(self) -> float:
+        """Total bytes placed on the wire (the paper's 'fewer bytes' metric)."""
+        return self.num_sends * self.chunk_bytes
+
+    def finish_time(self, topology: Topology) -> float:
+        """Continuous completion estimate: latest α + β·S arrival.
+
+        A send starting at epoch k on link (i, j) completes at
+        ``k·τ + S/capacity + α`` — the α–β model the paper uses to report
+        collective times. On a pruned schedule the last arrival *is* the
+        collective finish (every send serves a demand).
+        """
+        finish = 0.0
+        for send in self.sends:
+            link = topology.link(send.src, send.dst)
+            finish = max(finish,
+                         send.epoch * self.tau
+                         + link.transfer_time(self.chunk_bytes))
+        return finish
+
+    def shifted(self, epoch_offset: int) -> "Schedule":
+        """The same schedule displaced in time (used to stitch A* rounds)."""
+        if epoch_offset < 0:
+            raise ScheduleError("epoch offset must be non-negative")
+        return Schedule(
+            sends=[Send(epoch=s.epoch + epoch_offset, source=s.source,
+                        chunk=s.chunk, src=s.src, dst=s.dst)
+                   for s in self.sends],
+            tau=self.tau, chunk_bytes=self.chunk_bytes,
+            num_epochs=self.num_epochs + epoch_offset)
+
+    def merged_with(self, other: "Schedule") -> "Schedule":
+        if abs(other.tau - self.tau) > 1e-15:
+            raise ScheduleError("cannot merge schedules with different τ")
+        if abs(other.chunk_bytes - self.chunk_bytes) > 1e-9:
+            raise ScheduleError("cannot merge schedules with different chunks")
+        return Schedule(sends=self.sends + other.sends, tau=self.tau,
+                        chunk_bytes=self.chunk_bytes,
+                        num_epochs=max(self.num_epochs, other.num_epochs))
+
+    def __repr__(self) -> str:
+        return (f"Schedule(sends={self.num_sends}, "
+                f"epochs<={self.num_epochs}, tau={self.tau:g}s)")
+
+
+@dataclass
+class FlowSchedule:
+    """A fractional (rate-based) schedule from the LP form.
+
+    ``flows[(commodity, src, dst, epoch)]`` is the chunk *amount* of that
+    commodity crossing the link during the epoch; ``reads[(commodity, dst,
+    epoch)]`` is the amount the destination consumes at the end of the epoch.
+    Commodity keys are whatever the LP used — ``(source, chunk)`` pairs or
+    aggregated ``source`` ids.
+    """
+
+    flows: dict[tuple, float]
+    reads: dict[tuple, float]
+    tau: float
+    chunk_bytes: float
+    num_epochs: int
+    tolerance: float = 1e-7
+
+    def __post_init__(self) -> None:
+        if self.tau <= 0:
+            raise ScheduleError("tau must be positive")
+        self.flows = {k: v for k, v in self.flows.items()
+                      if v > self.tolerance}
+        self.reads = {k: v for k, v in self.reads.items()
+                      if v > self.tolerance}
+
+    @property
+    def finish_epoch(self) -> int:
+        last_flow = max((k[3] for k in self.flows), default=-1)
+        last_read = max((k[2] for k in self.reads), default=-1)
+        return max(last_flow, last_read)
+
+    def link_load(self, src: int, dst: int, epoch: int) -> float:
+        return sum(v for (_, i, j, k), v in self.flows.items()
+                   if i == src and j == dst and k == epoch)
+
+    def total_bytes(self) -> float:
+        return sum(self.flows.values()) * self.chunk_bytes
+
+    def finish_time(self, topology: Topology) -> float:
+        """Continuous completion estimate (last α + serialized-β arrival)."""
+        finish = 0.0
+        loads: dict[tuple[int, int, int], float] = {}
+        for (_, i, j, k), amount in self.flows.items():
+            loads[(i, j, k)] = loads.get((i, j, k), 0.0) + amount
+        for (i, j, k), amount in loads.items():
+            link = topology.link(i, j)
+            finish = max(finish, k * self.tau
+                         + link.transfer_time(amount * self.chunk_bytes))
+        return finish
+
+    def delivered(self, commodity, dst: int) -> float:
+        return sum(v for (q, d, _), v in self.reads.items()
+                   if q == commodity and d == dst)
+
+    def __repr__(self) -> str:
+        return (f"FlowSchedule(flows={len(self.flows)}, "
+                f"epochs<={self.num_epochs}, tau={self.tau:g}s)")

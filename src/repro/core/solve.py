@@ -1,0 +1,153 @@
+"""The synthesis facade: one entry point over MILP, LP and A*.
+
+Implements the paper's method-selection logic (§4): demands that do not
+benefit from copy (ALLTOALL-like) go to the LP — optimal and scalable;
+multicast demands (ALLGATHER-like) go to the general MILP, or to A* when the
+instance is declared large. The facade also owns the Appendix C hyper-edge
+transformation and the multi-tenant merge of §5.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.collectives.demand import Demand, TenantDemand, merge_tenants
+from repro.core.astar import AStarOutcome, solve_astar
+from repro.core.config import AStarConfig, SwitchModel, TecclConfig
+from repro.core.epochs import EpochPlan
+from repro.core.lp import LpOutcome, minimize_epochs_lp, solve_lp
+from repro.core.milp import MilpOutcome, solve_milp
+from repro.core.schedule import FlowSchedule, Schedule
+from repro.errors import ModelError
+from repro.topology.topology import Topology
+from repro.topology.transforms import HyperEdgeTopology, to_hyper_edges
+
+
+class Method(enum.Enum):
+    """Which formulation produced a result."""
+
+    AUTO = "auto"
+    MILP = "milp"
+    LP = "lp"
+    ASTAR = "astar"
+
+
+@dataclass
+class SynthesisResult:
+    """A solved collective, whichever formulation produced it."""
+
+    method: Method
+    schedule: Schedule | FlowSchedule
+    finish_time: float
+    solve_time: float
+    plan: EpochPlan
+    outcome: MilpOutcome | LpOutcome | AStarOutcome
+    #: set when the Appendix C transform rewrote the topology; schedules are
+    #: expressed in this transformed space.
+    hyper: HyperEdgeTopology | None = None
+    #: the topology the schedule is expressed over (transformed when hyper)
+    topology_used: Topology | None = None
+    #: the demand in the schedule's node-id space (remapped when hyper)
+    demand_used: Demand | None = None
+
+    def algorithmic_bandwidth(self, output_buffer_bytes: float) -> float:
+        """TACCL's metric: output buffer size / collective finish time."""
+        if self.finish_time <= 0:
+            raise ModelError("finish time is not positive")
+        return output_buffer_bytes / self.finish_time
+
+
+def synthesize(topology: Topology, demand: Demand, config: TecclConfig, *,
+               method: Method = Method.AUTO,
+               astar_config: AStarConfig | None = None,
+               minimize_epochs: bool = False) -> SynthesisResult:
+    """Synthesize routes and a schedule for one collective demand.
+
+    Args:
+        method: force a formulation, or AUTO for the paper's selection rule
+            (LP when copy cannot help, MILP otherwise).
+        minimize_epochs: for the LP, binary-search the smallest feasible
+            horizon instead of solving one fixed horizon (§6's procedure for
+            the numerically tricky large ALLTOALLs).
+    """
+    work_topology = topology
+    work_demand = demand
+    hyper: HyperEdgeTopology | None = None
+    hyper_groups = None
+    if (config.switch_model is SwitchModel.HYPER_EDGE
+            and topology.switches):
+        if config.priorities is not None:
+            raise ModelError(
+                "per-triple priorities are keyed by original node ids and "
+                "are not supported together with the hyper-edge transform")
+        hyper = to_hyper_edges(topology)
+        work_topology = hyper.topology
+        hyper_groups = hyper.groups
+        old_to_new = {old: new for new, old in hyper.node_map.items()}
+        work_demand = Demand.from_triples(
+            (old_to_new[s], c, old_to_new[d])
+            for s, c, d in demand.triples())
+
+    if method is Method.AUTO:
+        method = Method.LP if not demand.benefits_from_copy() else Method.MILP
+
+    if method is Method.LP:
+        if work_demand.benefits_from_copy():
+            # Sound but deliberately weaker: LP == the no-copy ablation.
+            outcome = solve_lp(work_topology, work_demand, config,
+                               aggregate=False)
+        elif minimize_epochs:
+            outcome = minimize_epochs_lp(work_topology, work_demand, config)
+        else:
+            outcome = solve_lp(work_topology, work_demand, config)
+        return SynthesisResult(
+            method=Method.LP, schedule=outcome.schedule,
+            finish_time=outcome.finish_time,
+            solve_time=outcome.solve_time, plan=outcome.plan,
+            outcome=outcome, hyper=hyper, topology_used=work_topology,
+            demand_used=work_demand)
+
+    if method is Method.MILP:
+        outcome = solve_milp(work_topology, work_demand, config,
+                             hyper_groups=hyper_groups)
+        return SynthesisResult(
+            method=Method.MILP, schedule=outcome.schedule,
+            finish_time=outcome.finish_time,
+            solve_time=outcome.solve_time, plan=outcome.plan,
+            outcome=outcome, hyper=hyper, topology_used=work_topology,
+            demand_used=work_demand)
+
+    if method is Method.ASTAR:
+        if hyper_groups:
+            raise ModelError(
+                "the A* decomposition does not support hyper-edge switches; "
+                "use the COPY or NO_COPY switch model")
+        outcome = solve_astar(work_topology, work_demand, config,
+                              astar_config)
+        return SynthesisResult(
+            method=Method.ASTAR, schedule=outcome.schedule,
+            finish_time=outcome.finish_time,
+            solve_time=outcome.solve_time, plan=outcome.plan,
+            outcome=outcome, hyper=hyper, topology_used=work_topology,
+            demand_used=work_demand)
+
+    raise ModelError(f"unknown method {method!r}")
+
+
+def synthesize_multi_tenant(topology: Topology, tenants: list[TenantDemand],
+                            config: TecclConfig, *,
+                            method: Method = Method.AUTO,
+                            astar_config: AStarConfig | None = None,
+                            ) -> SynthesisResult:
+    """Multi-tenant synthesis (§5): merge demands, weight completion times.
+
+    The merged demand shares the capacity constraints (no tenant can exceed
+    the fabric) while per-tenant priorities weight the objective's read
+    rewards, biasing the schedule toward finishing high-priority tenants
+    first.
+    """
+    merged, weights = merge_tenants(tenants)
+    config = replace(config, priorities=weights)
+    return synthesize(topology, merged, config, method=method,
+                      astar_config=astar_config)

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the TE-CCL reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch package failures with a single ``except`` clause while
+letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class TopologyError(ReproError):
+    """The topology is malformed (bad link, unknown node, disconnected...)."""
+
+
+class DemandError(ReproError):
+    """The demand matrix is malformed or inconsistent with the topology."""
+
+
+class ModelError(ReproError):
+    """An optimization model was built or used incorrectly."""
+
+
+class InfeasibleError(ReproError):
+    """The optimization (or a heuristic) could not find a feasible solution."""
+
+    def __init__(self, message: str, *, status: str | None = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ScheduleError(ReproError):
+    """A schedule is invalid (capacity violated, chunk sent before arrival...)."""
+
+
+class ExportError(ReproError):
+    """A schedule could not be exported (e.g. to MSCCL XML)."""

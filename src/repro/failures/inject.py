@@ -1,0 +1,91 @@
+"""Failure events and their immediate consequences on fabric and schedule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.demand import Demand
+from repro.core.schedule import Schedule, Send
+from repro.errors import TopologyError
+from repro.topology.topology import Topology
+from repro.topology.transforms import without_links
+
+
+@dataclass(frozen=True, order=True)
+class FailureEvent:
+    """A directed link that stops carrying traffic from ``epoch`` onward.
+
+    Sends already in flight when the link dies (started strictly before
+    ``epoch``) are assumed to complete — the fail-stop model at epoch
+    granularity. Pass two events to kill a full-duplex cable.
+    """
+
+    epoch: int
+    link: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise TopologyError("failure epoch must be non-negative")
+
+    def kills(self, send: Send) -> bool:
+        return send.link == self.link and send.epoch >= self.epoch
+
+
+def degraded_topology(topology: Topology,
+                      failures: list[FailureEvent],
+                      name: str | None = None) -> Topology:
+    """The fabric with every failed link removed (post-failure steady state)."""
+    if not failures:
+        return topology.copy(name=name)
+    return without_links(topology, [f.link for f in failures], name=name)
+
+
+def degraded_capacity_fn(topology: Topology, failures: list[FailureEvent],
+                         *, dead_capacity: float = 1e-9):
+    """A §5 variable-bandwidth hook modelling the failures in-model.
+
+    Returns a ``(src, dst, epoch) -> bytes/s`` function suitable for
+    :attr:`repro.core.config.TecclConfig.capacity_fn`: full capacity before
+    each link's failure epoch, (numerically) zero afterwards. This lets a
+    *single* synthesis anticipate a known maintenance window instead of
+    re-solving — the paper's variable-bandwidth machinery applied to
+    failures.
+    """
+    dead_from: dict[tuple[int, int], int] = {}
+    for event in failures:
+        current = dead_from.get(event.link)
+        if current is None or event.epoch < current:
+            dead_from[event.link] = event.epoch
+
+    def capacity(i: int, j: int, k: int) -> float:
+        full = topology.link(i, j).capacity
+        cutoff = dead_from.get((i, j))
+        if cutoff is not None and k >= cutoff:
+            return dead_capacity
+        return full
+
+    return capacity
+
+
+def affected_sends(schedule: Schedule,
+                   failures: list[FailureEvent]) -> list[Send]:
+    """Sends the failures invalidate *directly* (they use a dead link).
+
+    The causal cascade — sends that lose their input because an upstream
+    send died — is computed by :func:`repro.failures.repair
+    .network_state_at`, which replays the schedule.
+    """
+    return sorted(s for s in schedule.sends
+                  if any(f.kills(s) for f in failures))
+
+
+def is_survivable(topology: Topology, demand: Demand,
+                  failures: list[FailureEvent]) -> bool:
+    """Whether the demand remains satisfiable on the degraded fabric."""
+    try:
+        degraded = degraded_topology(topology, failures)
+        degraded.validate()
+        demand.validate(degraded)
+    except TopologyError:
+        return False
+    return True

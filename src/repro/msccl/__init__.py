@@ -1,0 +1,18 @@
+"""Lowering schedules to MSCCL-style XML (and back), plus a runtime model.
+
+:mod:`repro.msccl.export` turns schedules into MSCCL algorithm documents;
+:mod:`repro.msccl.interpreter` executes those documents the way the MSCCL
+runtime would (threadblocks, FIFO channels, dependencies), independently
+validating the whole synthesis → lowering pipeline.
+"""
+
+from repro.msccl.export import (collapse_switch_hops, parse_msccl_xml,
+                                schedule_from_msccl_xml, to_msccl_xml)
+from repro.msccl.interpreter import (Instruction, InterpretationReport,
+                                     Program, interpret, load_program,
+                                     verify_program)
+
+__all__ = ["to_msccl_xml", "parse_msccl_xml", "schedule_from_msccl_xml",
+           "collapse_switch_hops",
+           "Program", "Instruction", "InterpretationReport",
+           "load_program", "interpret", "verify_program"]

@@ -1,0 +1,230 @@
+"""Export schedules to MSCCL-style XML (§6: "We convert our solution into
+MSCCL, which can then port it into a schedule that runs on the hardware").
+
+The emitted document follows the MSCCL algorithm format: one ``<gpu>`` per
+rank, one ``<tb>`` (threadblock) per peer/direction, ordered ``<step>``
+entries of type send (``s``), receive (``r``) or receive-copy-send (``rcs``),
+with cross-threadblock dependencies expressing the chunk-availability order
+the schedule requires.
+
+Switch hops are collapsed first: MSCCL programs run on GPUs, so a relay
+``gpu → switch → gpu`` becomes a single logical send at the first hop's epoch
+(the switch is the transport, not a rank) — the same lowering the paper's
+pipeline performs.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+from xml.dom import minidom
+
+from repro.collectives.demand import Demand
+from repro.core.schedule import Schedule, Send
+from repro.errors import ExportError
+from repro.topology.topology import Topology
+
+
+@dataclass(frozen=True)
+class _Step:
+    epoch: int
+    kind: str  # "s" send, "r" recv
+    peer: int
+    source: int
+    chunk: int
+
+
+def collapse_switch_hops(schedule: Schedule, topology: Topology) -> Schedule:
+    """Merge (gpu→switch, switch→gpu) send pairs into direct logical sends."""
+    if not topology.switches:
+        return schedule
+    into_switch: dict[tuple[int, int, int, int], list[Send]] = {}
+    out_of_switch: list[Send] = []
+    direct: list[Send] = []
+    for send in schedule.sends:
+        if topology.is_switch(send.dst):
+            into_switch.setdefault(
+                (send.source, send.chunk, send.dst, send.epoch), []
+            ).append(send)
+        elif topology.is_switch(send.src):
+            out_of_switch.append(send)
+        else:
+            direct.append(send)
+    merged: list[Send] = list(direct)
+    for out in sorted(out_of_switch):
+        # find the matching inbound hop: same commodity, into this switch,
+        # at the latest epoch strictly before the relay epoch
+        candidates = [
+            s for (src_s, c, sw, k), sends in into_switch.items()
+            if (src_s, c, sw) == (out.source, out.chunk, out.src)
+            and k < out.epoch
+            for s in sends]
+        if not candidates:
+            raise ExportError(
+                f"relay {out} has no inbound hop to collapse")
+        inbound = max(candidates, key=lambda s: s.epoch)
+        merged.append(Send(epoch=inbound.epoch, source=out.source,
+                           chunk=out.chunk, src=inbound.src, dst=out.dst))
+    return Schedule(sends=sorted(merged), tau=schedule.tau,
+                    chunk_bytes=schedule.chunk_bytes,
+                    num_epochs=schedule.num_epochs)
+
+
+def to_msccl_xml(schedule: Schedule, topology: Topology, demand: Demand,
+                 *, name: str = "teccl", collective: str = "custom",
+                 ) -> str:
+    """Serialize a schedule as an MSCCL algorithm document."""
+    flat = collapse_switch_hops(schedule, topology)
+    gpus = sorted({s.src for s in flat.sends} | {s.dst for s in flat.sends}
+                  | set(demand.endpoints))
+    for g in gpus:
+        if topology.is_switch(g):
+            raise ExportError(f"node {g} is a switch; cannot emit a rank")
+
+    chunks_per_source = {s: max(demand.chunks_of(s), default=0) + 1
+                         for s in demand.sources}
+    chunk_index: dict[tuple[int, int], int] = {}
+    offset = 0
+    for s in sorted(chunks_per_source):
+        for c in range(chunks_per_source[s]):
+            chunk_index[(s, c)] = offset + c
+        offset += chunks_per_source[s]
+    total_chunks = offset
+
+    # steps per gpu per peer/direction
+    steps: dict[int, dict[tuple[str, int], list[_Step]]] = {
+        g: {} for g in gpus}
+    for send in sorted(flat.sends):
+        steps[send.src].setdefault(("s", send.dst), []).append(
+            _Step(send.epoch, "s", send.dst, send.source, send.chunk))
+        steps[send.dst].setdefault(("r", send.src), []).append(
+            _Step(send.epoch, "r", send.src, send.source, send.chunk))
+
+    algo = ET.Element("algo", {
+        "name": name, "proto": "Simple", "nchannels": "1",
+        "nchunksperloop": str(max(total_chunks, 1)),
+        "ngpus": str(len(gpus)), "coll": collective,
+        "inplace": "0",
+    })
+    for g in gpus:
+        gpu_el = ET.SubElement(algo, "gpu", {
+            "id": str(g),
+            "i_chunks": str(chunks_per_source.get(g, 0)),
+            "o_chunks": str(max(total_chunks, 1)),
+            "s_chunks": "0",
+        })
+        # map (kind, peer) -> tb id, deterministic order
+        tb_ids = {key: tb for tb, key in enumerate(sorted(steps[g]))}
+        # Where does this gpu first hold each chunk? A gpu may receive the
+        # same chunk on several threadblocks (transit copies); a forwarding
+        # send must depend on the EARLIEST-epoch receive — depending on a
+        # later one can create a circular wait (send→recv→peer→this send),
+        # which the repro.msccl.interpreter surfaces as a deadlock.
+        first_recv: dict[tuple[int, int], tuple[int, int, int]] = {}
+        for key, tb in sorted(tb_ids.items(), key=lambda kv: kv[1]):
+            if key[0] != "r":
+                continue
+            for idx, step in enumerate(sorted(steps[g][key],
+                                              key=lambda st: st.epoch)):
+                candidate = (step.epoch, tb_ids[key], idx)
+                current = first_recv.get((step.source, step.chunk))
+                if current is None or candidate < current:
+                    first_recv[(step.source, step.chunk)] = candidate
+        recv_location = {chunk: (tb, idx)
+                         for chunk, (_, tb, idx) in first_recv.items()}
+        for key, tb in sorted(tb_ids.items(), key=lambda kv: kv[1]):
+            kind, peer = key
+            tb_el = ET.SubElement(gpu_el, "tb", {
+                "id": str(tb),
+                "send": str(peer) if kind == "s" else "-1",
+                "recv": str(peer) if kind == "r" else "-1",
+                "chan": "0",
+            })
+            ordered = sorted(steps[g][key], key=lambda st: st.epoch)
+            for idx, step in enumerate(ordered):
+                dep_tb, dep_step = -1, -1
+                if kind == "s" and step.source != g:
+                    loc = recv_location.get((step.source, step.chunk))
+                    if loc is None:
+                        raise ExportError(
+                            f"gpu {g} sends chunk ({step.source},"
+                            f"{step.chunk}) it never receives")
+                    dep_tb, dep_step = loc
+                ET.SubElement(tb_el, "step", {
+                    "s": str(idx),
+                    "type": kind,
+                    "srcbuf": "o", "srcoff": str(
+                        chunk_index.get((step.source, step.chunk), 0)),
+                    "dstbuf": "o", "dstoff": str(
+                        chunk_index.get((step.source, step.chunk), 0)),
+                    "cnt": "1",
+                    "depid": str(dep_tb), "deps": str(dep_step),
+                    "hasdep": "1" if dep_tb >= 0 else "0",
+                    # extension attributes (ignored by MSCCL runtimes) that
+                    # make the document round-trippable back to a Schedule
+                    "x_epoch": str(step.epoch),
+                    "x_source": str(step.source),
+                    "x_chunk": str(step.chunk),
+                })
+    rough = ET.tostring(algo, encoding="unicode")
+    return minidom.parseString(rough).toprettyxml(indent="  ")
+
+
+def schedule_from_msccl_xml(document: str, *, tau: float,
+                            chunk_bytes: float) -> Schedule:
+    """Rebuild a :class:`Schedule` from a document this module exported.
+
+    Relies on the ``x_epoch``/``x_source``/``x_chunk`` extension attributes;
+    foreign MSCCL files (which carry no timing) are rejected. The returned
+    schedule is in the same (switch-collapsed) node space as the export.
+    """
+    root = ET.fromstring(document)
+    if root.tag != "algo":
+        raise ExportError(f"expected <algo>, got <{root.tag}>")
+    sends: list[Send] = []
+    for gpu_el in root.findall("gpu"):
+        gpu = int(gpu_el.get("id"))
+        for tb_el in gpu_el.findall("tb"):
+            peer = int(tb_el.get("send"))
+            if peer < 0:
+                continue  # receive threadblocks mirror the send side
+            for st in tb_el.findall("step"):
+                epoch = st.get("x_epoch")
+                if epoch is None:
+                    raise ExportError(
+                        "document lacks x_epoch timing attributes; only "
+                        "documents exported by repro.msccl round-trip")
+                sends.append(Send(
+                    epoch=int(epoch),
+                    source=int(st.get("x_source")),
+                    chunk=int(st.get("x_chunk")),
+                    src=gpu, dst=peer))
+    if not sends:
+        raise ExportError("document contains no send steps")
+    num_epochs = max(s.epoch for s in sends) + 1
+    return Schedule(sends=sorted(sends), tau=tau, chunk_bytes=chunk_bytes,
+                    num_epochs=num_epochs)
+
+
+def parse_msccl_xml(document: str) -> dict:
+    """Parse an exported document back into a comparable structure.
+
+    Used by round-trip tests; returns ``{gpu: [(tb, kind, peer, steps)]}``
+    plus the algorithm attributes.
+    """
+    root = ET.fromstring(document)
+    if root.tag != "algo":
+        raise ExportError(f"expected <algo>, got <{root.tag}>")
+    gpus = {}
+    for gpu_el in root.findall("gpu"):
+        tbs = []
+        for tb_el in gpu_el.findall("tb"):
+            kind = "s" if tb_el.get("send") != "-1" else "r"
+            peer = int(tb_el.get("send") if kind == "s" else tb_el.get("recv"))
+            steps = [(int(st.get("s")), st.get("type"),
+                      int(st.get("srcoff")), int(st.get("depid")),
+                      int(st.get("deps")))
+                     for st in tb_el.findall("step")]
+            tbs.append((int(tb_el.get("id")), kind, peer, steps))
+        gpus[int(gpu_el.get("id"))] = tbs
+    return {"attrs": dict(root.attrib), "gpus": gpus}

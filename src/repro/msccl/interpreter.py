@@ -1,0 +1,301 @@
+"""An MSCCL program interpreter: the runtime half of the paper's pipeline.
+
+The paper lowers TE-CCL schedules into MSCCL programs and lets the MSCCL
+runtime execute them on hardware (§6 "Platform"). This module is a model of
+that runtime: it executes an exported XML document *as a program* — per-GPU
+threadblocks stepping through send/receive instructions, FIFO channel
+matching, cross-threadblock dependencies — rather than replaying the
+schedule's epoch grid. That makes it an independent validation of the
+lowering itself: a bug in threadblock assignment, step ordering, or
+dependency emission shows up here as a deadlock or a missing chunk even
+when the source schedule was perfectly valid.
+
+Execution semantics (mirroring the MSCCL runtime):
+
+* steps within one threadblock execute strictly in order;
+* a send fires once its threadblock reaches it, its declared dependency
+  (``depid``/``deps``) has fired, and the chunk is locally present;
+* each connection (sender GPU → receiver GPU) is a FIFO: the k-th receive
+  on it consumes the k-th send, and transfers on one connection serialize;
+* a receive fires once its threadblock reaches it and its matched send's
+  data has arrived.
+
+Timing uses the α–β model over the physical path between the peers (direct
+link, or the shortest path when the export collapsed a switch relay).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+
+from repro.baselines.shortest_path import shortest_path
+from repro.collectives.demand import Demand
+from repro.errors import ExportError, ScheduleError
+from repro.topology.topology import Topology
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded MSCCL step."""
+
+    gpu: int
+    tb: int
+    index: int
+    kind: str  # "s" or "r"
+    peer: int
+    source: int
+    chunk: int
+    dep_tb: int
+    dep_step: int
+
+    @property
+    def key(self) -> tuple[int, int, int]:
+        return (self.gpu, self.tb, self.index)
+
+
+@dataclass
+class Program:
+    """A decoded MSCCL program: instructions grouped per threadblock."""
+
+    name: str
+    collective: str
+    blocks: dict[tuple[int, int], list[Instruction]]
+
+    @property
+    def gpus(self) -> list[int]:
+        return sorted({gpu for gpu, _ in self.blocks})
+
+    @property
+    def num_instructions(self) -> int:
+        return sum(len(steps) for steps in self.blocks.values())
+
+    def instructions(self) -> list[Instruction]:
+        return [ins for _, steps in sorted(self.blocks.items())
+                for ins in steps]
+
+
+def load_program(document: str) -> Program:
+    """Decode an MSCCL XML document into an executable :class:`Program`.
+
+    Only the runtime-relevant attributes are read (the ``x_*`` timing
+    extensions are deliberately ignored — the interpreter must not peek at
+    the schedule it is supposed to validate).
+    """
+    root = ET.fromstring(document)
+    if root.tag != "algo":
+        raise ExportError(f"expected <algo>, got <{root.tag}>")
+    blocks: dict[tuple[int, int], list[Instruction]] = {}
+    for gpu_el in root.findall("gpu"):
+        gpu = int(gpu_el.get("id"))
+        for tb_el in gpu_el.findall("tb"):
+            tb = int(tb_el.get("id"))
+            send_peer = int(tb_el.get("send", "-1"))
+            recv_peer = int(tb_el.get("recv", "-1"))
+            steps: list[Instruction] = []
+            for st in sorted(tb_el.findall("step"),
+                             key=lambda e: int(e.get("s"))):
+                kind = st.get("type")
+                if kind not in ("s", "r"):
+                    raise ExportError(f"unsupported step type {kind!r}")
+                peer = send_peer if kind == "s" else recv_peer
+                if peer < 0:
+                    raise ExportError(
+                        f"step of type {kind!r} in tb {tb} of gpu {gpu} "
+                        "has no matching peer")
+                source = st.get("x_source")
+                chunk = st.get("x_chunk")
+                if source is None or chunk is None:
+                    raise ExportError(
+                        "step lacks chunk identity attributes; only "
+                        "documents exported by repro.msccl are executable")
+                steps.append(Instruction(
+                    gpu=gpu, tb=tb, index=int(st.get("s")), kind=kind,
+                    peer=peer, source=int(source), chunk=int(chunk),
+                    dep_tb=int(st.get("depid", "-1")),
+                    dep_step=int(st.get("deps", "-1"))))
+            blocks[(gpu, tb)] = steps
+    if not blocks:
+        raise ExportError("document has no threadblocks")
+    return Program(name=root.get("name", "msccl"),
+                   collective=root.get("coll", "custom"), blocks=blocks)
+
+
+@dataclass
+class InterpretationReport:
+    """What one program execution produced."""
+
+    finish_time: float
+    fired: int
+    total: int
+    #: per GPU, the set of (source, chunk) pairs it holds at the end
+    holdings: dict[int, set[tuple[int, int]]]
+    #: instructions that could not fire (non-empty means deadlock)
+    stuck: list[Instruction] = field(default_factory=list)
+
+    @property
+    def deadlocked(self) -> bool:
+        return bool(self.stuck)
+
+    def delivered(self, source: int, chunk: int, dst: int) -> bool:
+        return (source, chunk) in self.holdings.get(dst, set())
+
+
+class _Connection:
+    """FIFO channel between one ordered GPU pair.
+
+    Entries are ``(arrival_time, source, chunk)``; the chunk identity lets
+    the receiver detect a mis-ordered lowering (k-th receive expecting a
+    different chunk than the k-th send shipped).
+    """
+
+    def __init__(self, alpha: float, beta_time: float):
+        self.alpha = alpha
+        self.beta_time = beta_time
+        self.free_at = 0.0
+        self.sent: list[tuple[float, int, int]] = []
+        self.consumed = 0
+
+    def transmit(self, ready: float, source: int, chunk: int) -> float:
+        """Serialize a send; returns its data arrival time."""
+        start = max(ready, self.free_at)
+        self.free_at = start + self.beta_time  # next send may pipeline β
+        arrival = start + self.beta_time + self.alpha
+        self.sent.append((arrival, source, chunk))
+        return arrival
+
+    def head(self) -> tuple[float, int, int] | None:
+        if self.consumed >= len(self.sent):
+            return None
+        return self.sent[self.consumed]
+
+    def consume(self) -> None:
+        self.consumed += 1
+
+
+def _path_costs(topology: Topology, src: int, dst: int,
+                chunk_bytes: float) -> tuple[float, float]:
+    """(α, β·S) along the physical route between two ranks."""
+    if topology.has_link(src, dst):
+        link = topology.link(src, dst)
+        return link.alpha, chunk_bytes / link.capacity
+    path = shortest_path(topology, src, dst, chunk_bytes)
+    alpha = sum(topology.link(a, b).alpha for a, b in zip(path, path[1:]))
+    beta_time = sum(chunk_bytes / topology.link(a, b).capacity
+                    for a, b in zip(path, path[1:]))
+    return alpha, beta_time
+
+
+def interpret(program: Program, topology: Topology, demand: Demand, *,
+              chunk_bytes: float) -> InterpretationReport:
+    """Execute the program to completion (or deadlock).
+
+    Fixpoint loop: repeatedly fire every enabled instruction, tracking per-
+    threadblock progress, per-connection FIFOs, chunk availability times
+    and the completion time of every instruction. Terminates because each
+    pass either fires at least one instruction or stops.
+    """
+    holdings: dict[int, set[tuple[int, int]]] = {
+        g: set() for g in program.gpus}
+    available: dict[tuple[int, int, int], float] = {}
+    for s in demand.sources:
+        if s in holdings:
+            for c in demand.chunks_of(s):
+                holdings[s].add((s, c))
+                available[(s, s, c)] = 0.0
+
+    connections: dict[tuple[int, int], _Connection] = {}
+
+    def connection(src: int, dst: int) -> _Connection:
+        if (src, dst) not in connections:
+            alpha, beta_time = _path_costs(topology, src, dst, chunk_bytes)
+            connections[(src, dst)] = _Connection(alpha, beta_time)
+        return connections[(src, dst)]
+
+    pc: dict[tuple[int, int], int] = {key: 0 for key in program.blocks}
+    finish: dict[tuple[int, int, int], float] = {}
+    fired = 0
+    finish_time = 0.0
+
+    def dep_ready(ins: Instruction) -> float | None:
+        """Finish time of the declared dependency; None when unmet."""
+        if ins.dep_tb < 0:
+            return 0.0
+        return finish.get((ins.gpu, ins.dep_tb, ins.dep_step))
+
+    progress = True
+    while progress:
+        progress = False
+        for key, steps in sorted(program.blocks.items()):
+            while pc[key] < len(steps):
+                ins = steps[pc[key]]
+                prev_done = (finish[(ins.gpu, ins.tb, ins.index - 1)]
+                             if ins.index > 0 else 0.0)
+                dep_done = dep_ready(ins)
+                if dep_done is None:
+                    break
+                if ins.kind == "s":
+                    data = available.get((ins.gpu, ins.source, ins.chunk))
+                    if data is None:
+                        break
+                    ready = max(prev_done, dep_done, data)
+                    arrival = connection(ins.gpu, ins.peer).transmit(
+                        ready, ins.source, ins.chunk)
+                    finish[ins.key] = arrival
+                else:
+                    chan = connection(ins.peer, ins.gpu)
+                    head = chan.head()
+                    if head is None:
+                        break
+                    arrival, sent_source, sent_chunk = head
+                    if (sent_source, sent_chunk) != (ins.source, ins.chunk):
+                        raise ScheduleError(
+                            f"FIFO mismatch on {ins.peer}->{ins.gpu}: "
+                            f"receive expects chunk ({ins.source},"
+                            f"{ins.chunk}) but the channel delivers "
+                            f"({sent_source},{sent_chunk})")
+                    chan.consume()
+                    done = max(prev_done, dep_done, arrival)
+                    finish[ins.key] = done
+                    holdings[ins.gpu].add((ins.source, ins.chunk))
+                    current = available.get(
+                        (ins.gpu, ins.source, ins.chunk))
+                    if current is None or done < current:
+                        available[(ins.gpu, ins.source, ins.chunk)] = done
+                finish_time = max(finish_time, finish[ins.key])
+                pc[key] += 1
+                fired += 1
+                progress = True
+
+    stuck = [steps[pc[key]]
+             for key, steps in sorted(program.blocks.items())
+             if pc[key] < len(steps)]
+    return InterpretationReport(finish_time=finish_time, fired=fired,
+                                total=program.num_instructions,
+                                holdings=holdings, stuck=stuck)
+
+
+def verify_program(document: str, topology: Topology, demand: Demand, *,
+                   chunk_bytes: float) -> InterpretationReport:
+    """Execute an exported program and check it satisfies the demand.
+
+    Raises :class:`ScheduleError` on deadlock or on any demanded triple the
+    execution failed to deliver — the end-to-end check of the synthesis →
+    export → runtime pipeline.
+    """
+    program = load_program(document)
+    report = interpret(program, topology, demand, chunk_bytes=chunk_bytes)
+    if report.deadlocked:
+        preview = ", ".join(
+            f"gpu{i.gpu}/tb{i.tb}/step{i.index}:{i.kind}"
+            for i in report.stuck[:5])
+        raise ScheduleError(
+            f"program deadlocked with {len(report.stuck)} blocked "
+            f"threadblocks ({preview}, ...)")
+    missing = [(s, c, d) for s, c, d in demand.triples()
+               if not report.delivered(s, c, d)]
+    if missing:
+        raise ScheduleError(
+            f"program left {len(missing)} triples undelivered, e.g. "
+            f"{missing[:5]}")
+    return report

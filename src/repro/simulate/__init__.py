@@ -1,0 +1,15 @@
+"""Schedule execution and validation (the repo's stand-in for hardware runs)."""
+
+from repro.simulate.events import (ChunkArrival, EventReport,
+                                   quantisation_gap, run_events)
+from repro.simulate.perturb import (PerturbationModel, RobustnessReport,
+                                    congestion_robustness,
+                                    perturbed_topology)
+from repro.simulate.simulator import SimulationReport, simulate, verify
+
+__all__ = [
+    "SimulationReport", "simulate", "verify",
+    "run_events", "EventReport", "ChunkArrival", "quantisation_gap",
+    "PerturbationModel", "RobustnessReport", "congestion_robustness",
+    "perturbed_topology",
+]

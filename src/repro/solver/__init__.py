@@ -1,0 +1,23 @@
+"""LP/MILP modeling layer (the repo's stand-in for gurobipy).
+
+Public surface::
+
+    Model, Sense, VarType, Variable, LinExpr, Constraint, quicksum
+    SolverOptions, DEFAULT_OPTIONS, EARLY_STOP_30
+    SolveResult, SolveStatus
+"""
+
+from repro.solver.expr import (Constraint, LinExpr, Relation, Sense, Variable,
+                               VarType, quicksum)
+from repro.solver.io import lp_statistics, save_lp, write_lp
+from repro.solver.model import Model
+from repro.solver.options import DEFAULT_OPTIONS, EARLY_STOP_30, SolverOptions
+from repro.solver.result import SolveResult, SolveStatus
+
+__all__ = [
+    "Model", "Sense", "VarType", "Variable", "LinExpr", "Constraint",
+    "Relation", "quicksum",
+    "SolverOptions", "DEFAULT_OPTIONS", "EARLY_STOP_30",
+    "SolveResult", "SolveStatus",
+    "write_lp", "save_lp", "lp_statistics",
+]

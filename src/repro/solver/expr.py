@@ -1,0 +1,263 @@
+"""Linear expressions over solver variables.
+
+This is the algebra half of the modeling layer that stands in for the paper's
+use of ``gurobipy``: :class:`Variable` handles are created by
+:class:`repro.solver.model.Model`, and arithmetic on them produces
+:class:`LinExpr` objects that the model compiles to sparse matrices for HiGHS.
+
+The representation is deliberately simple — a ``dict`` from variable index to
+coefficient plus a float constant — because TE-CCL formulations build hundreds
+of thousands of small expressions and the dominant cost is Python-level
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections.abc import Iterable
+from typing import Union
+
+from repro.errors import ModelError
+
+Number = Union[int, float]
+ExprLike = Union["Variable", "LinExpr", int, float]
+
+
+class VarType(enum.Enum):
+    """Domain of a decision variable."""
+
+    CONTINUOUS = "continuous"
+    INTEGER = "integer"
+    BINARY = "binary"
+
+
+class Sense(enum.Enum):
+    """Optimization direction."""
+
+    MINIMIZE = "min"
+    MAXIMIZE = "max"
+
+
+class Relation(enum.Enum):
+    """Constraint relation, normalised as ``expr REL 0``."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class Variable:
+    """A handle to a decision variable owned by a :class:`Model`.
+
+    Variables are value objects identified by ``(model id, index)``; all
+    arithmetic promotes them to :class:`LinExpr`.
+    """
+
+    __slots__ = ("index", "name", "vtype", "lb", "ub", "_model_id")
+
+    def __init__(self, index: int, name: str, vtype: VarType,
+                 lb: float, ub: float, model_id: int):
+        self.index = index
+        self.name = name
+        self.vtype = vtype
+        self.lb = lb
+        self.ub = ub
+        self._model_id = model_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Variable({self.name!r})"
+
+    def __hash__(self) -> int:
+        return hash((self._model_id, self.index))
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        # ``==`` builds a constraint, mirroring gurobipy/pulp ergonomics.
+        if isinstance(other, (Variable, LinExpr, int, float)):
+            return self.to_expr().__eq__(other)
+        return NotImplemented
+
+    def to_expr(self) -> "LinExpr":
+        return LinExpr({self.index: 1.0}, 0.0)
+
+    # -- arithmetic --------------------------------------------------------
+    def __add__(self, other: ExprLike) -> "LinExpr":
+        return self.to_expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ExprLike) -> "LinExpr":
+        return self.to_expr() - other
+
+    def __rsub__(self, other: ExprLike) -> "LinExpr":
+        return (-self.to_expr()) + other
+
+    def __mul__(self, other: Number) -> "LinExpr":
+        return self.to_expr() * other
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Number) -> "LinExpr":
+        return self.to_expr() / other
+
+    def __neg__(self) -> "LinExpr":
+        return -self.to_expr()
+
+    # -- relations ---------------------------------------------------------
+    def __le__(self, other: ExprLike) -> "Constraint":
+        return self.to_expr() <= other
+
+    def __ge__(self, other: ExprLike) -> "Constraint":
+        return self.to_expr() >= other
+
+
+class LinExpr:
+    """An affine expression ``sum(coef_i * var_i) + const``."""
+
+    __slots__ = ("terms", "const")
+
+    def __init__(self, terms: dict[int, float] | None = None, const: float = 0.0):
+        self.terms: dict[int, float] = terms if terms is not None else {}
+        self.const = float(const)
+
+    # -- construction helpers ---------------------------------------------
+    @staticmethod
+    def _coerce(value: ExprLike) -> "LinExpr":
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, Variable):
+            return value.to_expr()
+        if isinstance(value, (int, float)):
+            return LinExpr({}, float(value))
+        raise ModelError(f"cannot use {type(value).__name__} in a linear expression")
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(dict(self.terms), self.const)
+
+    # -- in-place accumulation (used by quicksum for speed) ----------------
+    def _iadd_expr(self, other: "LinExpr", scale: float = 1.0) -> None:
+        terms = self.terms
+        for idx, coef in other.terms.items():
+            new = terms.get(idx, 0.0) + scale * coef
+            if new == 0.0:
+                terms.pop(idx, None)
+            else:
+                terms[idx] = new
+        self.const += scale * other.const
+
+    def add_term(self, var: Variable, coef: float) -> None:
+        """Accumulate ``coef * var`` in place."""
+        new = self.terms.get(var.index, 0.0) + coef
+        if new == 0.0:
+            self.terms.pop(var.index, None)
+        else:
+            self.terms[var.index] = new
+
+    # -- arithmetic ---------------------------------------------------------
+    def __add__(self, other: ExprLike) -> "LinExpr":
+        result = self.copy()
+        result._iadd_expr(self._coerce(other))
+        return result
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ExprLike) -> "LinExpr":
+        result = self.copy()
+        result._iadd_expr(self._coerce(other), scale=-1.0)
+        return result
+
+    def __rsub__(self, other: ExprLike) -> "LinExpr":
+        result = self._coerce(other).copy()
+        result._iadd_expr(self, scale=-1.0)
+        return result
+
+    def __mul__(self, other: Number) -> "LinExpr":
+        if not isinstance(other, (int, float)):
+            raise ModelError("expressions can only be scaled by numbers "
+                             "(the model is linear)")
+        scale = float(other)
+        if scale == 0.0:
+            return LinExpr({}, 0.0)
+        return LinExpr({i: c * scale for i, c in self.terms.items()},
+                       self.const * scale)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Number) -> "LinExpr":
+        if not isinstance(other, (int, float)) or other == 0:
+            raise ModelError("expressions can only be divided by nonzero numbers")
+        return self * (1.0 / other)
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # -- relations ----------------------------------------------------------
+    def __le__(self, other: ExprLike) -> "Constraint":
+        return Constraint(self - self._coerce(other), Relation.LE)
+
+    def __ge__(self, other: ExprLike) -> "Constraint":
+        return Constraint(self - self._coerce(other), Relation.GE)
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if isinstance(other, (Variable, LinExpr, int, float)):
+            return Constraint(self - self._coerce(other), Relation.EQ)
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    # -- inspection ----------------------------------------------------------
+    def is_constant(self) -> bool:
+        return not self.terms
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{c:+g}*x{i}" for i, c in sorted(self.terms.items())]
+        if self.const or not parts:
+            parts.append(f"{self.const:+g}")
+        return "LinExpr(" + " ".join(parts) + ")"
+
+
+class Constraint:
+    """A linear constraint normalised to ``expr REL 0``."""
+
+    __slots__ = ("expr", "relation", "name")
+
+    def __init__(self, expr: LinExpr, relation: Relation, name: str = ""):
+        if expr.is_constant():
+            # Constant constraints are either trivially true or a modeling bug;
+            # we keep them and let the model decide (it raises on violation).
+            if not _constant_holds(expr.const, relation):
+                raise ModelError(
+                    f"constraint is constant and violated: {expr.const} {relation.value} 0")
+        self.expr = expr
+        self.relation = relation
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Constraint({self.expr!r} {self.relation.value} 0, name={self.name!r})"
+
+
+def _constant_holds(const: float, relation: Relation) -> bool:
+    tol = 1e-9
+    if relation is Relation.LE:
+        return const <= tol
+    if relation is Relation.GE:
+        return const >= -tol
+    return math.isclose(const, 0.0, abs_tol=tol)
+
+
+def quicksum(items: Iterable[ExprLike]) -> LinExpr:
+    """Sum expressions efficiently (avoids quadratic dict copying).
+
+    The name follows the gurobipy convention the paper's implementation uses.
+    """
+    total = LinExpr()
+    for item in items:
+        if isinstance(item, Variable):
+            total.add_term(item, 1.0)
+        elif isinstance(item, LinExpr):
+            total._iadd_expr(item)
+        elif isinstance(item, (int, float)):
+            total.const += float(item)
+        else:
+            raise ModelError(f"cannot sum {type(item).__name__}")
+    return total

@@ -1,0 +1,128 @@
+"""Model export in CPLEX LP format.
+
+Debugging a mis-behaving formulation usually means looking at the actual
+constraints; every industrial solver (Gurobi included — the paper's tooling)
+writes ``.lp`` files for that. This module does the same for our models so a
+TE-CCL instance can be inspected by eye or loaded into any external solver.
+
+Only the features the modeling layer produces are emitted: a linear
+objective, (in)equality rows, finite bounds, binary/general integer markers.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.errors import ModelError
+from repro.solver.expr import Relation, Sense, VarType
+from repro.solver.model import Model
+
+_INF = float("inf")
+
+_NAME_RE = re.compile(r"[^A-Za-z0-9_]")
+
+
+def _lp_name(raw: str, index: int) -> str:
+    """LP-format identifiers cannot contain brackets/commas; sanitise."""
+    cleaned = _NAME_RE.sub("_", raw).strip("_")
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = f"x{index}_{cleaned}" if cleaned else f"x{index}"
+    return cleaned
+
+
+def _terms(expr_terms: dict[int, float], names: list[str]) -> str:
+    parts = []
+    for idx in sorted(expr_terms):
+        coef = expr_terms[idx]
+        if coef == 0:
+            continue
+        sign = "-" if coef < 0 else "+"
+        magnitude = abs(coef)
+        if parts or sign == "-":
+            parts.append(f"{sign} {magnitude:g} {names[idx]}")
+        else:
+            parts.append(f"{magnitude:g} {names[idx]}")
+    return " ".join(parts) if parts else "0 " + names[0]
+
+
+def write_lp(model: Model) -> str:
+    """Serialise the model as LP-format text."""
+    if not model._vars:
+        raise ModelError("cannot export a model with no variables")
+    names = [_lp_name(v.name, v.index) for v in model._vars]
+    if len(set(names)) != len(names):  # collisions after sanitising
+        names = [f"{n}_{i}" for i, n in enumerate(names)]
+
+    lines = [f"\\ {model.name}"]
+    lines.append("Maximize" if model.sense is Sense.MAXIMIZE else "Minimize")
+    lines.append(" obj: " + _terms(model._objective.terms, names))
+    lines.append("Subject To")
+    for row, constraint in enumerate(model._constraints):
+        rhs = -constraint.expr.const
+        op = {Relation.LE: "<=", Relation.GE: ">=",
+              Relation.EQ: "="}[constraint.relation]
+        label = _lp_name(constraint.name, row) if constraint.name \
+            else f"c{row}"
+        lines.append(f" {label}: "
+                     f"{_terms(constraint.expr.terms, names)} {op} {rhs:g}")
+    lines.append("Bounds")
+    for var, name in zip(model._vars, names):
+        if var.vtype is VarType.BINARY:
+            continue  # implied 0/1
+        lower = f"{var.lb:g}" if var.lb != -_INF else "-inf"
+        upper = f"{var.ub:g}" if var.ub != _INF else "+inf"
+        if var.lb == 0.0 and var.ub == _INF:
+            continue  # the LP-format default
+        lines.append(f" {lower} <= {name} <= {upper}")
+    binaries = [name for var, name in zip(model._vars, names)
+                if var.vtype is VarType.BINARY]
+    if binaries:
+        lines.append("Binaries")
+        lines.extend(f" {name}" for name in binaries)
+    generals = [name for var, name in zip(model._vars, names)
+                if var.vtype is VarType.INTEGER]
+    if generals:
+        lines.append("Generals")
+        lines.extend(f" {name}" for name in generals)
+    lines.append("End")
+    return "\n".join(lines) + "\n"
+
+
+def save_lp(model: Model, path: str | Path) -> None:
+    """Write the model to an ``.lp`` file."""
+    Path(path).write_text(write_lp(model), encoding="utf-8")
+
+
+def lp_statistics(document: str) -> dict:
+    """Parse an LP document's coarse structure (used by round-trip tests).
+
+    Returns counts of constraints, binaries, generals, and the objective
+    sense — enough to verify an export matches its model without a full LP
+    parser.
+    """
+    lines = [line.strip() for line in document.splitlines() if line.strip()]
+    if not lines or not lines[-1].startswith("End"):
+        raise ModelError("not a complete LP document")
+    sense = None
+    sections: dict[str, list[str]] = {}
+    current = None
+    for line in lines:
+        if line in ("Maximize", "Minimize"):
+            sense = line.lower()
+            current = "objective"
+            sections[current] = []
+        elif line in ("Subject To", "Bounds", "Binaries", "Generals", "End"):
+            current = line
+            sections.setdefault(current, [])
+        elif current is not None:
+            sections[current].append(line)
+    if sense is None:
+        raise ModelError("LP document lacks an objective sense")
+    return {
+        "sense": sense,
+        "num_constraints": len(sections.get("Subject To", [])),
+        "num_binaries": len(sections.get("Binaries", [])),
+        "num_generals": len(sections.get("Generals", [])),
+        "num_bounds": len(sections.get("Bounds", [])),
+    }

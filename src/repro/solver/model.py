@@ -1,0 +1,307 @@
+"""A small LP/MILP modeling layer compiled to HiGHS.
+
+The paper implements TE-CCL with ``gurobipy``; this module is the offline
+substitute. It offers the subset of the gurobipy surface the formulations
+need — named variables, linear constraints, a linear objective, time limits
+and relative-gap early stop — and compiles to sparse matrices consumed by
+:func:`scipy.optimize.milp` (the HiGHS branch-and-bound solver). Pure LPs are
+routed through :func:`scipy.optimize.linprog` (HiGHS simplex/IPM), which is
+noticeably faster for the LP formulation of §4.1.
+
+Example:
+    >>> from repro.solver import Model, Sense, VarType
+    >>> m = Model("toy", sense=Sense.MAXIMIZE)
+    >>> x = m.add_var(name="x", ub=4)
+    >>> y = m.add_var(name="y", ub=4)
+    >>> _ = m.add_constr(x + 2 * y <= 6, name="cap")
+    >>> m.set_objective(x + y)
+    >>> result = m.solve()
+    >>> round(result.objective, 6)
+    5.0
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, linprog, milp
+
+from repro.errors import ModelError
+from repro.solver.expr import (Constraint, LinExpr, Relation, Sense, Variable,
+                               VarType, quicksum)
+from repro.solver.options import DEFAULT_OPTIONS, SolverOptions
+from repro.solver.result import SolveResult, SolveStatus
+
+_MODEL_COUNTER = itertools.count()
+
+_INF = float("inf")
+
+
+class Model:
+    """A linear optimization model.
+
+    Variables and constraints are appended incrementally; :meth:`solve`
+    compiles the model once into sparse matrix form and invokes HiGHS.
+    """
+
+    def __init__(self, name: str = "model", sense: Sense = Sense.MINIMIZE):
+        self.name = name
+        self.sense = sense
+        self._model_id = next(_MODEL_COUNTER)
+        self._vars: list[Variable] = []
+        self._constraints: list[Constraint] = []
+        self._objective: LinExpr = LinExpr()
+        self._names: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        return len(self._vars)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    @property
+    def num_integer_vars(self) -> int:
+        return sum(1 for v in self._vars if v.vtype is not VarType.CONTINUOUS)
+
+    def add_var(self, lb: float = 0.0, ub: float = _INF,
+                vtype: VarType = VarType.CONTINUOUS,
+                name: str | None = None) -> Variable:
+        """Create a decision variable.
+
+        Args:
+            lb: lower bound (default 0, matching flow variables).
+            ub: upper bound (default +inf; binaries are clamped to [0, 1]).
+            vtype: variable domain.
+            name: optional unique name (auto-generated when omitted).
+        """
+        if vtype is VarType.BINARY:
+            lb, ub = max(lb, 0.0), min(ub, 1.0)
+        if lb > ub:
+            raise ModelError(f"variable {name!r}: lower bound {lb} > upper bound {ub}")
+        index = len(self._vars)
+        if name is None:
+            name = f"x{index}"
+        var = Variable(index, name, vtype, float(lb), float(ub), self._model_id)
+        self._vars.append(var)
+        return var
+
+    def add_vars(self, keys: Iterable, lb: float = 0.0, ub: float = _INF,
+                 vtype: VarType = VarType.CONTINUOUS,
+                 name: str = "x") -> dict:
+        """Create one variable per key, named ``name[key]`` (gurobipy-style)."""
+        return {key: self.add_var(lb=lb, ub=ub, vtype=vtype,
+                                  name=f"{name}[{key}]")
+                for key in keys}
+
+    def add_constr(self, constraint: Constraint, name: str | None = None) -> Constraint:
+        """Register a constraint built with ``<=``, ``>=`` or ``==``."""
+        if not isinstance(constraint, Constraint):
+            raise ModelError(
+                "add_constr expects a Constraint (build one with <=, >= or ==); "
+                f"got {type(constraint).__name__}")
+        self._check_ownership(constraint.expr)
+        if name:
+            constraint.name = name
+        self._constraints.append(constraint)
+        return constraint
+
+    def add_constrs(self, constraints: Iterable[Constraint], name: str = "") -> list[Constraint]:
+        """Register a batch of constraints; names get a running suffix."""
+        added = []
+        for i, constraint in enumerate(constraints):
+            added.append(self.add_constr(
+                constraint, name=f"{name}[{i}]" if name else None))
+        return added
+
+    def set_objective(self, expr: LinExpr | Variable | float,
+                      sense: Sense | None = None) -> None:
+        """Set the (linear) objective; replaces any previous objective."""
+        if isinstance(expr, Variable):
+            expr = expr.to_expr()
+        elif isinstance(expr, (int, float)):
+            expr = LinExpr({}, float(expr))
+        if not isinstance(expr, LinExpr):
+            raise ModelError(f"objective must be linear, got {type(expr).__name__}")
+        self._check_ownership(expr)
+        self._objective = expr
+        if sense is not None:
+            self.sense = sense
+
+    def _check_ownership(self, expr: LinExpr) -> None:
+        n = len(self._vars)
+        for idx in expr.terms:
+            if idx >= n:
+                raise ModelError("expression references a variable from another model")
+
+    # ------------------------------------------------------------------
+    # compilation + solve
+    # ------------------------------------------------------------------
+    def _compile_constraints(self) -> tuple[sparse.csr_matrix, np.ndarray, np.ndarray]:
+        """Stack all constraints into ``lb <= A x <= ub`` form."""
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        lower = np.empty(len(self._constraints))
+        upper = np.empty(len(self._constraints))
+        for r, constraint in enumerate(self._constraints):
+            expr = constraint.expr
+            rhs = -expr.const
+            if constraint.relation is Relation.LE:
+                lower[r], upper[r] = -_INF, rhs
+            elif constraint.relation is Relation.GE:
+                lower[r], upper[r] = rhs, _INF
+            else:
+                lower[r], upper[r] = rhs, rhs
+            for idx, coef in expr.terms.items():
+                rows.append(r)
+                cols.append(idx)
+                data.append(coef)
+        matrix = sparse.csr_matrix(
+            (data, (rows, cols)),
+            shape=(len(self._constraints), len(self._vars)))
+        return matrix, lower, upper
+
+    def _objective_vector(self) -> np.ndarray:
+        c = np.zeros(len(self._vars))
+        for idx, coef in self._objective.terms.items():
+            c[idx] = coef
+        if self.sense is Sense.MAXIMIZE:
+            c = -c
+        return c
+
+    def solve(self, options: SolverOptions = DEFAULT_OPTIONS) -> SolveResult:
+        """Compile and solve; never raises on infeasibility (check status)."""
+        if not self._vars:
+            raise ModelError("model has no variables")
+        start = time.perf_counter()
+        if self.num_integer_vars:
+            result = self._solve_milp(options)
+        else:
+            result = self._solve_lp(options)
+        result.solve_time = time.perf_counter() - start
+        result.stats.setdefault("num_vars", self.num_vars)
+        result.stats.setdefault("num_constraints", self.num_constraints)
+        result.stats.setdefault("num_integer_vars", self.num_integer_vars)
+        return result
+
+    def _solve_milp(self, options: SolverOptions) -> SolveResult:
+        c = self._objective_vector()
+        integrality = np.array(
+            [0 if v.vtype is VarType.CONTINUOUS else 1 for v in self._vars])
+        bounds = Bounds(np.array([v.lb for v in self._vars]),
+                        np.array([v.ub for v in self._vars]))
+        constraints = None
+        if self._constraints:
+            matrix, lower, upper = self._compile_constraints()
+            constraints = LinearConstraint(matrix, lower, upper)
+        res = milp(c, constraints=constraints, integrality=integrality,
+                   bounds=bounds, options=options.to_scipy())
+        return self._wrap(res, options, is_mip=True)
+
+    def _solve_lp(self, options: SolverOptions) -> SolveResult:
+        c = self._objective_vector()
+        a_ub_rows, b_ub, a_eq_rows, b_eq = [], [], [], []
+        ub_idx, eq_idx = [], []
+        for r, constraint in enumerate(self._constraints):
+            expr = constraint.expr
+            rhs = -expr.const
+            if constraint.relation is Relation.LE:
+                a_ub_rows.append((expr.terms, 1.0))
+                b_ub.append(rhs)
+                ub_idx.append(r)
+            elif constraint.relation is Relation.GE:
+                a_ub_rows.append((expr.terms, -1.0))
+                b_ub.append(-rhs)
+                ub_idx.append(r)
+            else:
+                a_eq_rows.append((expr.terms, 1.0))
+                b_eq.append(rhs)
+                eq_idx.append(r)
+
+        def build(rows: list) -> sparse.csr_matrix | None:
+            if not rows:
+                return None
+            ri, ci, di = [], [], []
+            for r, (terms, sign) in enumerate(rows):
+                for idx, coef in terms.items():
+                    ri.append(r)
+                    ci.append(idx)
+                    di.append(sign * coef)
+            return sparse.csr_matrix((di, (ri, ci)),
+                                     shape=(len(rows), len(self._vars)))
+
+        lp_options: dict = {"disp": options.verbose,
+                            "presolve": options.presolve}
+        if options.time_limit is not None:
+            lp_options["time_limit"] = float(options.time_limit)
+        res = linprog(c, A_ub=build(a_ub_rows),
+                      b_ub=np.array(b_ub) if b_ub else None,
+                      A_eq=build(a_eq_rows),
+                      b_eq=np.array(b_eq) if b_eq else None,
+                      bounds=[(v.lb, None if v.ub == _INF else v.ub)
+                              for v in self._vars],
+                      method=options.resolve_lp_method(len(self._vars)),
+                      options=lp_options)
+        return self._wrap(res, options, is_mip=False)
+
+    def _wrap(self, res, options: SolverOptions, is_mip: bool) -> SolveResult:
+        values = np.asarray(res.x) if res.x is not None else None
+        objective = None
+        if values is not None:
+            objective = self._objective.const + sum(
+                coef * float(values[idx])
+                for idx, coef in self._objective.terms.items())
+        gap = getattr(res, "mip_gap", None)
+        if gap is not None:
+            gap = float(gap)
+        status = _map_status(res.status, values is not None,
+                             is_mip=is_mip, gap=gap, options=options)
+        return SolveResult(status=status, objective=objective, values=values,
+                           solve_time=0.0, mip_gap=gap,
+                           message=str(getattr(res, "message", "")),
+                           stats={"backend_status": int(res.status)})
+
+    # ------------------------------------------------------------------
+    # debugging helpers
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """One-line description of the model size (useful in logs)."""
+        return (f"{self.name}: {self.num_vars} vars "
+                f"({self.num_integer_vars} integer), "
+                f"{self.num_constraints} constraints, {self.sense.value}")
+
+
+def _map_status(code: int, has_values: bool, *, is_mip: bool,
+                gap: float | None, options: SolverOptions) -> SolveStatus:
+    """Map scipy/HiGHS status codes onto :class:`SolveStatus`.
+
+    scipy code 0 = optimal, 1 = iteration/time/node limit, 2 = infeasible,
+    3 = unbounded, 4 = other.
+    """
+    if code == 0:
+        # HiGHS reports code 0 when it stops at the requested mip_rel_gap too;
+        # distinguish a genuine proof from a gap-limited stop for callers that
+        # care (the paper reports "early stop" results separately).
+        if is_mip and gap is not None and options.mip_gap > 0 and gap > 1e-9:
+            return SolveStatus.GAP_LIMIT
+        return SolveStatus.OPTIMAL
+    if code == 1:
+        return SolveStatus.TIME_LIMIT if has_values else SolveStatus.ERROR
+    if code == 2:
+        return SolveStatus.INFEASIBLE
+    if code == 3:
+        return SolveStatus.UNBOUNDED
+    return SolveStatus.ERROR
+
+
+__all__ = ["Model", "Sense", "VarType", "Variable", "LinExpr", "Constraint",
+           "quicksum", "SolverOptions", "SolveResult", "SolveStatus"]

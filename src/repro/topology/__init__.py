@@ -1,0 +1,26 @@
+"""Topology substrate: fabrics, evaluation topologies, and transforms."""
+
+from repro.topology.builders import (alpha_motivation_line, copy_star,
+                                     full_mesh, line, ring, star,
+                                     store_and_forward_star, switch_cluster)
+from repro.topology.dgx import dgx1, dgx2, ndv2
+from repro.topology.fabrics import (dragonfly, fat_tree, hypercube,
+                                    leaf_spine, torus2d)
+from repro.topology.internal import internal1, internal2
+from repro.topology.io import (from_dict, from_edge_list, load_json,
+                               save_json, to_dict)
+from repro.topology.topology import GB, US, Link, Topology
+from repro.topology.transforms import (HyperEdgeGroup, HyperEdgeTopology,
+                                       scale_capacity, subset_gpus,
+                                       to_hyper_edges, without_links)
+
+__all__ = [
+    "Topology", "Link", "GB", "US",
+    "line", "ring", "star", "full_mesh", "switch_cluster",
+    "alpha_motivation_line", "store_and_forward_star", "copy_star",
+    "dgx1", "ndv2", "dgx2", "internal1", "internal2",
+    "leaf_spine", "fat_tree", "torus2d", "hypercube", "dragonfly",
+    "to_hyper_edges", "HyperEdgeGroup", "HyperEdgeTopology",
+    "scale_capacity", "subset_gpus", "without_links",
+    "from_edge_list", "from_dict", "to_dict", "save_json", "load_json",
+]

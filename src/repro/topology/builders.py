@@ -1,0 +1,159 @@
+"""Generic topology builders (lines, rings, stars, meshes, switch fabrics).
+
+These are the small synthetic fabrics used throughout the tests and the
+motivating examples of Figure 1; the paper's evaluation topologies live in
+:mod:`repro.topology.dgx` and :mod:`repro.topology.internal`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.topology import GB, Topology
+
+
+def line(num_nodes: int, capacity: float = GB, alpha: float = 0.0,
+         bidirectional: bool = True, name: str | None = None) -> Topology:
+    """A path ``0 - 1 - ... - n-1``."""
+    if num_nodes < 2:
+        raise TopologyError("line needs at least 2 nodes")
+    topo = Topology(name=name or f"line{num_nodes}", num_nodes=num_nodes)
+    for i in range(num_nodes - 1):
+        if bidirectional:
+            topo.add_bidirectional(i, i + 1, capacity, alpha)
+        else:
+            topo.add_link(i, i + 1, capacity, alpha)
+    return topo
+
+
+def ring(num_nodes: int, capacity: float = GB, alpha: float = 0.0,
+         bidirectional: bool = True, name: str | None = None) -> Topology:
+    """A cycle ``0 → 1 → ... → n-1 → 0`` (both directions by default)."""
+    if num_nodes < 2:
+        raise TopologyError("ring needs at least 2 nodes")
+    topo = Topology(name=name or f"ring{num_nodes}", num_nodes=num_nodes)
+    for i in range(num_nodes):
+        j = (i + 1) % num_nodes
+        if bidirectional:
+            topo.add_bidirectional(i, j, capacity, alpha)
+        else:
+            topo.add_link(i, j, capacity, alpha)
+    return topo
+
+
+def full_mesh(num_nodes: int, capacity: float = GB, alpha: float = 0.0,
+              name: str | None = None) -> Topology:
+    """Every ordered pair directly connected."""
+    if num_nodes < 2:
+        raise TopologyError("mesh needs at least 2 nodes")
+    topo = Topology(name=name or f"mesh{num_nodes}", num_nodes=num_nodes)
+    for i in range(num_nodes):
+        for j in range(num_nodes):
+            if i != j:
+                topo.add_link(i, j, capacity, alpha)
+    return topo
+
+
+def star(num_leaves: int, capacity: float = GB, alpha: float = 0.0,
+         hub_is_switch: bool = True, name: str | None = None) -> Topology:
+    """``num_leaves`` GPUs around a hub (node id ``num_leaves``).
+
+    With ``hub_is_switch`` the hub is a zero-buffer switch — the shape of
+    Figure 1(b)/(c)'s examples and of every chassis-to-chassis fabric in the
+    paper.
+    """
+    if num_leaves < 2:
+        raise TopologyError("star needs at least 2 leaves")
+    hub = num_leaves
+    switches = frozenset({hub}) if hub_is_switch else frozenset()
+    topo = Topology(name=name or f"star{num_leaves}",
+                    num_nodes=num_leaves + 1, switches=switches)
+    for leaf in range(num_leaves):
+        topo.add_bidirectional(leaf, hub, capacity, alpha)
+    return topo
+
+
+def switch_cluster(num_gpus: int, gpu_capacity: float = GB,
+                   switch_capacity: float | None = None,
+                   alpha_gpu: float = 0.0, alpha_switch: float = 0.0,
+                   gpus_per_chassis: int | None = None,
+                   name: str | None = None) -> Topology:
+    """Chassis of fully-meshed GPUs hanging off one global switch.
+
+    A generic stand-in for the cloud topologies of §6: GPUs within a chassis
+    are meshed at ``gpu_capacity``; every GPU also connects to a single global
+    switch at ``switch_capacity``.
+
+    Args:
+        num_gpus: total GPU count (must divide evenly into chassis).
+        gpus_per_chassis: chassis size; defaults to all GPUs in one chassis.
+    """
+    if num_gpus < 2:
+        raise TopologyError("cluster needs at least 2 GPUs")
+    per = gpus_per_chassis or num_gpus
+    if num_gpus % per:
+        raise TopologyError(
+            f"{num_gpus} GPUs do not divide into chassis of {per}")
+    switch_capacity = switch_capacity or gpu_capacity
+    switch = num_gpus
+    topo = Topology(name=name or f"cluster{num_gpus}",
+                    num_nodes=num_gpus + 1, switches=frozenset({switch}))
+    for chassis_start in range(0, num_gpus, per):
+        members = range(chassis_start, chassis_start + per)
+        for i in members:
+            for j in members:
+                if i != j:
+                    topo.add_link(i, j, gpu_capacity, alpha_gpu)
+    for gpu in range(num_gpus):
+        topo.add_bidirectional(gpu, switch, switch_capacity, alpha_switch)
+    return topo
+
+
+def alpha_motivation_line() -> Topology:
+    """The 5-node example of Figure 1(a).
+
+    ``s1 - h1 - h2 - h3 - d`` with per-link α = α1, plus a direct slow-α link
+    ``s2 → h3`` with α2 = 2β + 3α1 and a zero-α final hop ``h3 → d``. Node
+    ids: s1=0, h1=1, h2=2, h3=3, d=4, s2=5.
+    """
+    capacity = GB            # β = 1 s/GB → 1 chunk of 1 GB per second
+    alpha1 = 1.0             # exactly one epoch at τ = 1 s: no quantization
+    beta_chunk = 1.0         # transmission time of the unit chunk
+    alpha2 = 2 * beta_chunk + 3 * alpha1
+    topo = Topology(name="fig1a", num_nodes=6)
+    topo.add_link(0, 1, capacity, alpha1)
+    topo.add_link(1, 2, capacity, alpha1)
+    topo.add_link(2, 3, capacity, alpha1)
+    topo.add_link(3, 4, capacity, 0.0)
+    topo.add_link(5, 3, capacity, alpha2)
+    # Return paths so validate() sees a strongly-connected GPU set.
+    topo.add_link(4, 3, capacity, 0.0)
+    topo.add_link(3, 2, capacity, alpha1)
+    topo.add_link(2, 1, capacity, alpha1)
+    topo.add_link(1, 0, capacity, alpha1)
+    topo.add_link(3, 5, capacity, alpha2)
+    return topo
+
+
+def store_and_forward_star() -> Topology:
+    """Figure 1(b): three unit-capacity sources into ``h``, 2-unit link to d.
+
+    Node ids: s1=0, s2=1, s3=2, h=3, d=4. ``h`` is a GPU (it can buffer) —
+    the example is precisely about exploiting that buffer.
+    """
+    topo = Topology(name="fig1b", num_nodes=5)
+    for s in (0, 1, 2):
+        topo.add_bidirectional(s, 3, 1.0, 0.0)
+    topo.add_bidirectional(3, 4, 2.0, 0.0)
+    return topo
+
+
+def copy_star() -> Topology:
+    """Figure 1(c): one source, hub, three destinations, unit links.
+
+    Node ids: s=0, h=1, d1=2, d2=3, d3=4. The hub is a GPU that can copy.
+    """
+    topo = Topology(name="fig1c", num_nodes=5)
+    topo.add_bidirectional(0, 1, 1.0, 0.0)
+    for d in (2, 3, 4):
+        topo.add_bidirectional(1, d, 1.0, 0.0)
+    return topo

@@ -1,0 +1,203 @@
+"""Datacenter-scale fabric builders: fat-tree, leaf-spine, torus, hypercube.
+
+The paper evaluates on chassis fabrics (DGX/NDv2/Internal); operators also
+run collectives across *cluster* fabrics when a job spans racks. These
+builders produce the standard families so the scaling experiments and the
+topology-design search (:mod:`repro.toposearch`) have realistic cluster
+shapes to work with. Capacity/α defaults are typical 2023-era datacenter
+numbers (100 Gbps-class NICs, 400 Gbps-class fabric links, microsecond-scale
+switch latencies); every number is overridable.
+
+Conventions match :mod:`repro.topology.dgx`: GPUs get the low node ids,
+switches the high ones; all links are created in opposing pairs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.topology import GB, US, Topology
+
+NIC_CAPACITY = 12.5 * GB      # 100 Gbps host NIC
+FABRIC_CAPACITY = 50 * GB     # 400 Gbps switch-to-switch link
+NIC_ALPHA = 1.5 * US
+FABRIC_ALPHA = 1.0 * US
+TORUS_CAPACITY = 25 * GB      # 200 Gbps direct-connect cable
+TORUS_ALPHA = 0.7 * US
+
+
+def leaf_spine(num_leaves: int, gpus_per_leaf: int, num_spines: int, *,
+               nic_capacity: float = NIC_CAPACITY,
+               fabric_capacity: float = FABRIC_CAPACITY,
+               nic_alpha: float = NIC_ALPHA,
+               fabric_alpha: float = FABRIC_ALPHA,
+               name: str | None = None) -> Topology:
+    """A two-tier folded Clos: GPUs under leaves, leaves meshed to spines.
+
+    Node layout: GPUs ``0 .. L·G−1`` (leaf-major), then leaf switches, then
+    spine switches. Every GPU uplinks to its leaf; every leaf connects to
+    every spine.
+    """
+    if num_leaves < 1 or gpus_per_leaf < 1 or num_spines < 1:
+        raise TopologyError("leaf/spine/gpu counts must be positive")
+    num_gpus = num_leaves * gpus_per_leaf
+    first_leaf = num_gpus
+    first_spine = num_gpus + num_leaves
+    switches = frozenset(range(first_leaf, first_spine + num_spines))
+    topo = Topology(
+        name=name or f"leafspine-{num_leaves}x{gpus_per_leaf}+{num_spines}",
+        num_nodes=first_spine + num_spines, switches=switches)
+    for leaf in range(num_leaves):
+        leaf_id = first_leaf + leaf
+        for g in range(gpus_per_leaf):
+            gpu = leaf * gpus_per_leaf + g
+            topo.add_bidirectional(gpu, leaf_id, nic_capacity, nic_alpha)
+        for spine in range(num_spines):
+            topo.add_bidirectional(leaf_id, first_spine + spine,
+                                   fabric_capacity, fabric_alpha)
+    return topo
+
+
+def fat_tree(k: int, *, nic_capacity: float = NIC_CAPACITY,
+             fabric_capacity: float = FABRIC_CAPACITY,
+             nic_alpha: float = NIC_ALPHA,
+             fabric_alpha: float = FABRIC_ALPHA,
+             name: str | None = None) -> Topology:
+    """The classic k-ary fat-tree (three-tier folded Clos).
+
+    ``k`` pods, each with k/2 edge and k/2 aggregation switches; (k/2)²
+    cores; k/2 GPUs per edge switch — ``k³/4`` GPUs total (k = 4 → 16 GPUs
+    and 20 switches). Node layout: GPUs first (pod-major, edge-major),
+    then per-pod edge switches, per-pod aggregation switches, then cores.
+    """
+    if k < 2 or k % 2:
+        raise TopologyError("fat-tree arity k must be even and ≥ 2")
+    half = k // 2
+    num_gpus = k * half * half
+    first_edge = num_gpus
+    first_agg = first_edge + k * half
+    first_core = first_agg + k * half
+    num_nodes = first_core + half * half
+    topo = Topology(name=name or f"fattree-k{k}", num_nodes=num_nodes,
+                    switches=frozenset(range(first_edge, num_nodes)))
+
+    def edge_switch(pod: int, e: int) -> int:
+        return first_edge + pod * half + e
+
+    def agg_switch(pod: int, a: int) -> int:
+        return first_agg + pod * half + a
+
+    for pod in range(k):
+        for e in range(half):
+            edge = edge_switch(pod, e)
+            for g in range(half):
+                gpu = (pod * half + e) * half + g
+                topo.add_bidirectional(gpu, edge, nic_capacity, nic_alpha)
+            for a in range(half):
+                topo.add_bidirectional(edge, agg_switch(pod, a),
+                                       fabric_capacity, fabric_alpha)
+        for a in range(half):
+            for c in range(half):
+                core = first_core + a * half + c
+                topo.add_bidirectional(agg_switch(pod, a), core,
+                                       fabric_capacity, fabric_alpha)
+    return topo
+
+
+def torus2d(rows: int, cols: int, *, capacity: float = TORUS_CAPACITY,
+            alpha: float = TORUS_ALPHA,
+            name: str | None = None) -> Topology:
+    """A 2-D torus of GPUs (wrap-around grid, no switches).
+
+    The direct-connect shape TopoOpt-style designs favour; every GPU links
+    to its four grid neighbours. Degenerate dimensions (a single row or
+    column) collapse the wrap-around duplicate links automatically.
+    """
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise TopologyError("torus needs at least 2 GPUs")
+    topo = Topology(name=name or f"torus-{rows}x{cols}",
+                    num_nodes=rows * cols)
+
+    def node(r: int, c: int) -> int:
+        return (r % rows) * cols + (c % cols)
+
+    for r in range(rows):
+        for c in range(cols):
+            here = node(r, c)
+            if cols > 1:
+                topo.add_bidirectional(here, node(r, c + 1), capacity, alpha)
+            if rows > 1:
+                topo.add_bidirectional(here, node(r + 1, c), capacity, alpha)
+    return topo
+
+
+def hypercube(dimension: int, *, capacity: float = TORUS_CAPACITY,
+              alpha: float = TORUS_ALPHA,
+              name: str | None = None) -> Topology:
+    """A binary hypercube of 2^dimension GPUs (links along bit flips).
+
+    The textbook fabric for recursive-halving collectives; every GPU has
+    ``dimension`` neighbours.
+    """
+    if dimension < 1:
+        raise TopologyError("hypercube dimension must be at least 1")
+    n = 1 << dimension
+    topo = Topology(name=name or f"hypercube-{dimension}", num_nodes=n)
+    for node in range(n):
+        for bit in range(dimension):
+            peer = node ^ (1 << bit)
+            if peer > node:
+                topo.add_bidirectional(node, peer, capacity, alpha)
+    return topo
+
+
+def dragonfly(num_groups: int, routers_per_group: int, gpus_per_router: int,
+              *, nic_capacity: float = NIC_CAPACITY,
+              local_capacity: float = FABRIC_CAPACITY,
+              global_capacity: float = TORUS_CAPACITY,
+              nic_alpha: float = NIC_ALPHA,
+              local_alpha: float = FABRIC_ALPHA,
+              global_alpha: float = 5.0 * US,
+              name: str | None = None) -> Topology:
+    """A single-global-link dragonfly: groups of meshed routers.
+
+    Routers within a group form a full mesh; each ordered group pair gets
+    one global link, assigned round-robin over the source group's routers.
+    Node layout: GPUs first (group-major, router-major), then routers.
+    """
+    if num_groups < 2 or routers_per_group < 1 or gpus_per_router < 1:
+        raise TopologyError(
+            "dragonfly needs ≥ 2 groups and positive router/gpu counts")
+    num_gpus = num_groups * routers_per_group * gpus_per_router
+    first_router = num_gpus
+    num_routers = num_groups * routers_per_group
+    topo = Topology(
+        name=name or (f"dragonfly-{num_groups}g{routers_per_group}r"
+                      f"{gpus_per_router}"),
+        num_nodes=num_gpus + num_routers,
+        switches=frozenset(range(first_router, first_router + num_routers)))
+
+    def router(group: int, r: int) -> int:
+        return first_router + group * routers_per_group + r
+
+    for group in range(num_groups):
+        for r in range(routers_per_group):
+            this = router(group, r)
+            for g in range(gpus_per_router):
+                gpu = (group * routers_per_group + r) * gpus_per_router + g
+                topo.add_bidirectional(gpu, this, nic_capacity, nic_alpha)
+            for other in range(r + 1, routers_per_group):
+                topo.add_bidirectional(this, router(group, other),
+                                       local_capacity, local_alpha)
+    for src_group in range(num_groups):
+        for dst_group in range(num_groups):
+            if src_group == dst_group:
+                continue
+            out_index = (dst_group - src_group - 1) % num_groups
+            src_router = router(src_group,
+                                out_index % routers_per_group)
+            dst_router = router(dst_group,
+                                ((src_group - dst_group - 1) % num_groups)
+                                % routers_per_group)
+            topo.add_link(src_router, dst_router,
+                          global_capacity, global_alpha)
+    return topo

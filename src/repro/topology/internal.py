@@ -1,0 +1,74 @@
+"""Synthetic stand-ins for the paper's proprietary cloud topologies.
+
+Table 2 discloses only the per-chassis shape:
+
+* **Internal 1** — 4 GPUs and 8 intra-chassis directed edges per chassis;
+* **Internal 2** — 2 GPUs and 2 intra-chassis directed edges per chassis;
+
+and the α values (0.6 µs GPU–GPU, 0.75 µs GPU–switch; Figure 2's caption).
+Everything else is proprietary, so these builders synthesize the disclosed
+shape: a ring of GPUs inside each chassis (a 4-ring has exactly 8 directed
+edges; a 2-ring has exactly 2) and a global switch that every GPU uplinks to,
+matching how NDv2/DGX2 attach chassis to the cloud fabric.
+
+Bandwidths are chosen at NVLink-class rates (100 GBps intra-chassis,
+25 GBps uplink) so that, like the real targets, the fabric is heterogeneous
+with a 4× intra/inter gap. The substitution is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.topology import GB, US, Topology
+
+INTERNAL_GPU_GPU = 100 * GB
+INTERNAL_UPLINK = 25 * GB
+INTERNAL_GPU_ALPHA = 0.6 * US
+INTERNAL_SWITCH_ALPHA = 0.75 * US
+
+
+def _chassis_ring(topo: Topology, base: int, size: int,
+                  capacity: float, alpha: float) -> None:
+    if size == 2:
+        topo.add_bidirectional(base, base + 1, capacity, alpha)
+        return
+    for i in range(size):
+        j = (i + 1) % size
+        topo.add_bidirectional(base + i, base + j, capacity, alpha)
+
+
+def _internal(num_chassis: int, gpus_per_chassis: int, name: str,
+              gpu_capacity: float, uplink_capacity: float) -> Topology:
+    if num_chassis < 1:
+        raise TopologyError("need at least one chassis")
+    num_gpus = num_chassis * gpus_per_chassis
+    if num_chassis == 1:
+        topo = Topology(name=name, num_nodes=num_gpus)
+        _chassis_ring(topo, 0, gpus_per_chassis, gpu_capacity,
+                      INTERNAL_GPU_ALPHA)
+        return topo
+    switch = num_gpus
+    topo = Topology(name=name, num_nodes=num_gpus + 1,
+                    switches=frozenset({switch}))
+    for c in range(num_chassis):
+        base = c * gpus_per_chassis
+        _chassis_ring(topo, base, gpus_per_chassis, gpu_capacity,
+                      INTERNAL_GPU_ALPHA)
+        for local in range(gpus_per_chassis):
+            topo.add_bidirectional(base + local, switch, uplink_capacity,
+                                   INTERNAL_SWITCH_ALPHA)
+    return topo
+
+
+def internal1(num_chassis: int = 2, name: str | None = None) -> Topology:
+    """Internal 1 stand-in: 4-GPU chassis (ring, 8 directed edges each)."""
+    return _internal(num_chassis, 4,
+                     name or f"Internal1x{num_chassis}",
+                     INTERNAL_GPU_GPU, INTERNAL_UPLINK)
+
+
+def internal2(num_chassis: int = 2, name: str | None = None) -> Topology:
+    """Internal 2 stand-in: 2-GPU chassis (one link pair each)."""
+    return _internal(num_chassis, 2,
+                     name or f"Internal2x{num_chassis}",
+                     INTERNAL_GPU_GPU, INTERNAL_UPLINK)

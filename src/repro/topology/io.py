@@ -1,0 +1,95 @@
+"""Topology serialisation: JSON round-trips and edge-list construction.
+
+Cloud operators describe fabrics in inventory files, not Python; TE-CCL's
+only inputs are "the topology and the demand matrix" (§3.1), so the library
+must accept fabrics from data. The JSON dialect is deliberately plain::
+
+    {
+      "name": "my-fabric",
+      "num_nodes": 3,
+      "switches": [2],
+      "links": [
+        {"src": 0, "dst": 2, "capacity": 25e9, "alpha": 7.5e-7},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.errors import TopologyError
+from repro.topology.topology import Topology
+
+
+def from_edge_list(num_nodes: int,
+                   edges: Iterable[tuple[int, int, float, float]],
+                   switches: Iterable[int] = (),
+                   name: str = "custom") -> Topology:
+    """Build a topology from ``(src, dst, capacity, alpha)`` tuples."""
+    topo = Topology(name=name, num_nodes=num_nodes,
+                    switches=frozenset(switches))
+    count = 0
+    for src, dst, capacity, alpha in edges:
+        topo.add_link(src, dst, capacity, alpha)
+        count += 1
+    if not count:
+        raise TopologyError("edge list is empty")
+    return topo
+
+
+def to_dict(topo: Topology) -> dict:
+    """The JSON-ready representation of a topology."""
+    return {
+        "name": topo.name,
+        "num_nodes": topo.num_nodes,
+        "switches": sorted(topo.switches),
+        "links": [
+            {"src": link.src, "dst": link.dst,
+             "capacity": link.capacity, "alpha": link.alpha}
+            for link in sorted(topo.links.values(),
+                               key=lambda l: (l.src, l.dst))
+        ],
+    }
+
+
+def from_dict(data: dict) -> Topology:
+    """Parse the :func:`to_dict` representation, validating as it goes."""
+    try:
+        name = data["name"]
+        num_nodes = int(data["num_nodes"])
+        switches = [int(s) for s in data.get("switches", [])]
+        links = data["links"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TopologyError(f"malformed topology document: {exc}") from exc
+    topo = Topology(name=name, num_nodes=num_nodes,
+                    switches=frozenset(switches))
+    for entry in links:
+        try:
+            topo.add_link(int(entry["src"]), int(entry["dst"]),
+                          float(entry["capacity"]),
+                          float(entry.get("alpha", 0.0)))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TopologyError(f"malformed link entry {entry}: {exc}") \
+                from exc
+    if not topo.links:
+        raise TopologyError("topology document has no links")
+    return topo
+
+
+def save_json(topo: Topology, path: str | Path) -> None:
+    """Write the topology to a JSON file."""
+    Path(path).write_text(json.dumps(to_dict(topo), indent=2),
+                          encoding="utf-8")
+
+
+def load_json(path: str | Path) -> Topology:
+    """Read a topology from a JSON file (raises TopologyError on garbage)."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise TopologyError(f"invalid JSON in {path}: {exc}") from exc
+    return from_dict(data)

@@ -1,0 +1,152 @@
+"""Topology transforms: hyper-edge (legacy switch) rewriting and rescaling.
+
+The hyper-edge transform implements Appendix C / TACCL's switch model: a
+switch that cannot copy is deleted and replaced by direct "hyper-edges"
+between every (in-neighbor, out-neighbor) pair, with side constraints limiting
+how many hyper-edges of one switch may be active per epoch. It is also the
+model used for apples-to-apples TACCL comparisons (§6.1): traffic then pays a
+single transmission delay to cross the switch instead of two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+from repro.topology.topology import Link, Topology
+
+
+@dataclass(frozen=True)
+class HyperEdgeGroup:
+    """Hyper-edges that stand in for one removed switch (Appendix C).
+
+    Attributes:
+        switch: the original switch node id (in the *original* topology).
+        edges: the (src, dst) pairs (ids in the transformed topology) routed
+            through this switch.
+        usage_limit: ``min(in-degree, out-degree)`` of the switch — the bound
+            on simultaneously active hyper-edges per epoch.
+    """
+
+    switch: int
+    edges: tuple[tuple[int, int], ...]
+    usage_limit: int
+
+
+@dataclass
+class HyperEdgeTopology:
+    """Result of :func:`to_hyper_edges`: the rewritten topology plus the
+    constraint groups the MILP must honor."""
+
+    topology: Topology
+    groups: list[HyperEdgeGroup] = field(default_factory=list)
+    #: maps transformed node id -> original node id
+    node_map: dict[int, int] = field(default_factory=dict)
+
+    def hyper_edge_pairs(self) -> set[tuple[int, int]]:
+        pairs: set[tuple[int, int]] = set()
+        for group in self.groups:
+            pairs.update(group.edges)
+        return pairs
+
+
+def to_hyper_edges(topo: Topology) -> HyperEdgeTopology:
+    """Replace every switch with TACCL-style hyper-edges.
+
+    For each switch ``s`` and every (i, s), (s, j) pair with ``i != j`` and no
+    existing direct (i, j) link, a hyper-edge (i, j) is added with
+    ``capacity = min`` of the two hops and ``alpha = sum`` of the two hops.
+    Per Appendix C the per-epoch number of active hyper-edges of one switch is
+    capped at ``min(in-degree, out-degree)``.
+    """
+    if not topo.switches:
+        return HyperEdgeTopology(topology=topo.copy(),
+                                 node_map={n: n for n in topo.nodes})
+
+    keep = [n for n in topo.nodes if n not in topo.switches]
+    new_id = {old: new for new, old in enumerate(keep)}
+    node_map = {new: old for old, new in new_id.items()}
+    out = Topology(name=f"{topo.name}-hyper", num_nodes=len(keep))
+
+    for (src, dst), link in topo.links.items():
+        if src in topo.switches or dst in topo.switches:
+            continue
+        out.add_link(new_id[src], new_id[dst], link.capacity, link.alpha)
+
+    groups: list[HyperEdgeGroup] = []
+    for switch in sorted(topo.switches):
+        in_links = [l for l in topo.in_edges(switch)
+                    if l.src not in topo.switches]
+        out_links = [l for l in topo.out_edges(switch)
+                     if l.dst not in topo.switches]
+        if not in_links or not out_links:
+            raise TopologyError(
+                f"switch {switch} lacks in or out links; cannot form hyper-edges")
+        edges: list[tuple[int, int]] = []
+        for lin in in_links:
+            for lout in out_links:
+                if lin.src == lout.dst:
+                    continue
+                i, j = new_id[lin.src], new_id[lout.dst]
+                if out.has_link(i, j):
+                    # A faster direct link already exists; keep the better one.
+                    existing = out.link(i, j)
+                    capacity = min(lin.capacity, lout.capacity)
+                    if capacity <= existing.capacity:
+                        continue
+                out.add_link(i, j, min(lin.capacity, lout.capacity),
+                             lin.alpha + lout.alpha)
+                edges.append((i, j))
+        groups.append(HyperEdgeGroup(
+            switch=switch, edges=tuple(edges),
+            usage_limit=min(len(in_links), len(out_links))))
+    return HyperEdgeTopology(topology=out, groups=groups, node_map=node_map)
+
+
+def scale_capacity(topo: Topology, factor: float,
+                   name: str | None = None) -> Topology:
+    """Uniformly scale all link capacities (used for what-if sweeps)."""
+    if factor <= 0:
+        raise TopologyError("capacity scale factor must be positive")
+    out = Topology(name=name or f"{topo.name}-x{factor:g}",
+                   num_nodes=topo.num_nodes, switches=topo.switches)
+    for (src, dst), link in topo.links.items():
+        out.links[(src, dst)] = Link(src, dst, link.capacity * factor,
+                                     link.alpha)
+    return out
+
+
+def without_links(topo: Topology, failed: list[tuple[int, int]],
+                  name: str | None = None) -> Topology:
+    """The fabric after link failures (the intro's "adapting to failures").
+
+    Removes each directed link in ``failed``; pass both directions to model
+    a fully dead cable. The result is validated lazily by the solvers (a
+    partition surfaces as a :class:`~repro.errors.TopologyError`).
+    """
+    out = Topology(name=name or f"{topo.name}-degraded",
+                   num_nodes=topo.num_nodes, switches=topo.switches)
+    for (src, dst), link in topo.links.items():
+        if (src, dst) in failed:
+            continue
+        out.links[(src, dst)] = link
+    if len(out.links) == len(topo.links):
+        raise TopologyError(f"none of the links {failed} exist in {topo.name}")
+    return out
+
+
+def subset_gpus(topo: Topology, gpus: list[int],
+                name: str | None = None) -> Topology:
+    """Induced sub-topology on ``gpus`` plus every switch (for ablations)."""
+    keep = sorted(set(gpus) | set(topo.switches))
+    for node in keep:
+        if not 0 <= node < topo.num_nodes:
+            raise TopologyError(f"node {node} not in topology")
+    new_id = {old: new for new, old in enumerate(keep)}
+    out = Topology(name=name or f"{topo.name}-sub{len(gpus)}",
+                   num_nodes=len(keep),
+                   switches=frozenset(new_id[s] for s in topo.switches))
+    for (src, dst), link in topo.links.items():
+        if src in new_id and dst in new_id:
+            out.add_link(new_id[src], new_id[dst], link.capacity, link.alpha)
+    return out

@@ -1,0 +1,20 @@
+"""Topology design search on top of the TE-CCL synthesizer.
+
+The paper's introduction argues that a fast, reliable collective optimizer
+unlocks *other* design loops — "topology design and adapting to failures"
+(§1) — because tools like TopoOpt [30] call the collective optimizer many
+times inside their search. This subpackage is that outer loop: local search
+and greedy augmentation over fabric designs, scoring every candidate with an
+actual TE-CCL synthesis.
+"""
+
+from repro.toposearch.design import (DesignResult, DesignSpec,
+                                     UpgradeOption, evaluate_topology,
+                                     greedy_augment, local_search,
+                                     random_topology, rank_link_upgrades)
+
+__all__ = [
+    "DesignSpec", "DesignResult", "UpgradeOption", "evaluate_topology",
+    "local_search", "greedy_augment", "rank_link_upgrades",
+    "random_topology",
+]

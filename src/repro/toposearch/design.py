@@ -1,0 +1,262 @@
+"""Search over GPU fabric designs, scored by TE-CCL synthesis.
+
+Three entry points, in increasing ambition:
+
+* :func:`rank_link_upgrades` — what-if analysis: which existing link, made
+  faster, buys the most collective time? (The operator's "where do I spend
+  my next optics dollar" question.)
+* :func:`greedy_augment` — start from a base fabric and spend a budget of
+  extra links one at a time, always adding the link with the best measured
+  improvement.
+* :func:`local_search` — seeded hill-climbing over fixed-degree fabrics:
+  move one link at a time, keep the move iff the synthesized finish time
+  improves. This is the inner loop TopoOpt-style co-design tools run; the
+  paper positions TE-CCL as the optimizer that makes it affordable (§1, §7).
+
+Every candidate is scored by actually synthesizing the collective
+(:func:`repro.core.solve.synthesize`), not by a proxy metric — the whole
+point of having a fast optimizer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.collectives.demand import Demand
+from repro.core.config import TecclConfig
+from repro.core.solve import Method, synthesize
+from repro.errors import InfeasibleError, ModelError, TopologyError
+from repro.topology.topology import Topology
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """The degrees of freedom of the design search.
+
+    Attributes:
+        num_gpus: fabric size (no switches in the searched designs; switch
+            placement is a different search).
+        capacity: bytes/s of every candidate link (homogeneous fabrics).
+        alpha: fixed latency of every candidate link.
+        link_budget: number of *directed* links a design may use.
+    """
+
+    num_gpus: int
+    capacity: float
+    alpha: float = 0.0
+    link_budget: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 2:
+            raise ModelError("need at least 2 GPUs to design a fabric")
+        if self.capacity <= 0:
+            raise ModelError("capacity must be positive")
+        if self.alpha < 0:
+            raise ModelError("alpha must be non-negative")
+        min_links = 2 * self.num_gpus - 2  # weakly sufficient for a cycle
+        if self.link_budget is not None and self.link_budget < self.num_gpus:
+            raise ModelError(
+                f"link budget {self.link_budget} cannot strongly connect "
+                f"{self.num_gpus} GPUs (needs at least {self.num_gpus}, "
+                f"comfortably {min_links})")
+
+    @property
+    def budget(self) -> int:
+        if self.link_budget is not None:
+            return self.link_budget
+        return 2 * self.num_gpus  # a bidirectional ring plus two spare links
+
+
+@dataclass
+class DesignResult:
+    """A searched design and the trace that produced it."""
+
+    topology: Topology
+    finish_time: float
+    evaluations: int
+    history: list[float] = field(default_factory=list)
+
+    def improvement_over(self, baseline_finish: float) -> float:
+        """Relative improvement (0.25 = 25% faster than the baseline)."""
+        if baseline_finish <= 0:
+            raise ModelError("baseline finish time must be positive")
+        return (baseline_finish - self.finish_time) / baseline_finish
+
+
+def evaluate_topology(topo: Topology, demand: Demand, config: TecclConfig,
+                      *, method: Method = Method.AUTO) -> float:
+    """Score one candidate fabric: the synthesized collective finish time.
+
+    Returns ``inf`` for designs the synthesizer proves infeasible within
+    the configured horizon — the search treats those as maximally bad
+    rather than erroring out.
+    """
+    try:
+        topo.validate()
+        result = synthesize(topo, demand, config, method=method)
+    except (InfeasibleError, TopologyError):
+        return float("inf")
+    return result.finish_time
+
+
+def random_topology(spec: DesignSpec, seed: int = 0,
+                    name: str = "design") -> Topology:
+    """A random strongly-connected design within the link budget.
+
+    Always starts from a directed Hamiltonian cycle (guaranteeing strong
+    connectivity), then spends the remaining budget on uniformly random
+    extra links.
+    """
+    rng = random.Random(seed)
+    order = list(range(spec.num_gpus))
+    rng.shuffle(order)
+    topo = Topology(name=name, num_nodes=spec.num_gpus)
+    for a, b in zip(order, order[1:] + order[:1]):
+        topo.add_link(a, b, spec.capacity, spec.alpha)
+    candidates = [(a, b) for a in order for b in order
+                  if a != b and not topo.has_link(a, b)]
+    rng.shuffle(candidates)
+    for (a, b) in candidates[:max(0, spec.budget - spec.num_gpus)]:
+        topo.add_link(a, b, spec.capacity, spec.alpha)
+    return topo
+
+
+def _neighbour(topo: Topology, spec: DesignSpec,
+               rng: random.Random) -> Topology | None:
+    """One local move: drop a random link, add a random absent link.
+
+    Returns ``None`` when the move broke strong connectivity (the caller
+    just draws another move).
+    """
+    links = sorted(topo.links)
+    absent = [(a, b) for a in range(spec.num_gpus)
+              for b in range(spec.num_gpus)
+              if a != b and not topo.has_link(a, b)]
+    if not absent:
+        return None  # complete graph: no move possible
+    drop = rng.choice(links)
+    add = rng.choice(absent)
+    candidate = topo.copy(name=topo.name)
+    del candidate.links[drop]
+    candidate.add_link(add[0], add[1], spec.capacity, spec.alpha)
+    try:
+        candidate.validate()
+    except TopologyError:
+        return None
+    return candidate
+
+
+def local_search(spec: DesignSpec, demand: Demand, config: TecclConfig, *,
+                 seed: int = 0, max_iters: int = 40, patience: int = 12,
+                 method: Method = Method.AUTO,
+                 start: Topology | None = None) -> DesignResult:
+    """Hill-climb over fixed-budget fabrics, scoring with TE-CCL.
+
+    Args:
+        max_iters: total candidate evaluations allowed.
+        patience: stop after this many consecutive non-improving moves.
+        start: initial design; defaults to :func:`random_topology`.
+    """
+    if max_iters < 1:
+        raise ModelError("max_iters must be at least 1")
+    rng = random.Random(seed)
+    current = start.copy() if start is not None else random_topology(
+        spec, seed=seed)
+    best_time = evaluate_topology(current, demand, config, method=method)
+    if best_time == float("inf"):
+        raise InfeasibleError("initial design is infeasible; raise the "
+                              "horizon or the link budget")
+    history = [best_time]
+    evaluations = 1
+    stale = 0
+    while evaluations < max_iters and stale < patience:
+        candidate = _neighbour(current, spec, rng)
+        if candidate is None:
+            stale += 1
+            continue
+        time = evaluate_topology(candidate, demand, config, method=method)
+        evaluations += 1
+        if time < best_time - 1e-12:
+            current, best_time = candidate, time
+            stale = 0
+        else:
+            stale += 1
+        history.append(best_time)
+    return DesignResult(topology=current, finish_time=best_time,
+                        evaluations=evaluations, history=history)
+
+
+def greedy_augment(base: Topology, spec: DesignSpec, demand: Demand,
+                   config: TecclConfig, *, extra_links: int,
+                   method: Method = Method.AUTO) -> DesignResult:
+    """Spend ``extra_links`` one at a time on the best measured addition.
+
+    Each round evaluates every absent link as a candidate addition and
+    commits the one with the smallest synthesized finish time. O(extra ×
+    |absent|) synthesizer calls — this is exactly the workload the paper's
+    scalability argument targets.
+    """
+    if extra_links < 1:
+        raise ModelError("extra_links must be at least 1")
+    current = base.copy()
+    best_time = evaluate_topology(current, demand, config, method=method)
+    history = [best_time]
+    evaluations = 1
+    for _ in range(extra_links):
+        best_candidate: Topology | None = None
+        round_best = best_time
+        for a in range(spec.num_gpus):
+            for b in range(spec.num_gpus):
+                if a == b or current.has_link(a, b):
+                    continue
+                candidate = current.copy()
+                candidate.add_link(a, b, spec.capacity, spec.alpha)
+                time = evaluate_topology(candidate, demand, config,
+                                         method=method)
+                evaluations += 1
+                if time < round_best - 1e-12:
+                    round_best, best_candidate = time, candidate
+        if best_candidate is None:
+            break  # no addition helps; stop spending
+        current, best_time = best_candidate, round_best
+        history.append(best_time)
+    return DesignResult(topology=current, finish_time=best_time,
+                        evaluations=evaluations, history=history)
+
+
+@dataclass(frozen=True)
+class UpgradeOption:
+    """One what-if result: scale this link's capacity, gain this much."""
+
+    link: tuple[int, int]
+    finish_time: float
+    improvement: float
+
+
+def rank_link_upgrades(topo: Topology, demand: Demand, config: TecclConfig,
+                       *, factor: float = 2.0,
+                       method: Method = Method.AUTO) -> list[UpgradeOption]:
+    """Rank every link by the collective speedup its upgrade would buy.
+
+    Re-synthesizes the collective once per link with that link's capacity
+    scaled by ``factor``; returns options sorted by improvement, best
+    first. Ties (links off the critical path buy nothing) sort by link id
+    for determinism.
+    """
+    if factor <= 1.0:
+        raise ModelError("upgrade factor must exceed 1")
+    baseline = evaluate_topology(topo, demand, config, method=method)
+    if baseline == float("inf"):
+        raise InfeasibleError("baseline design is infeasible")
+    options = []
+    for (a, b), link in sorted(topo.links.items()):
+        candidate = topo.copy()
+        candidate.links[(a, b)] = type(link)(
+            src=a, dst=b, capacity=link.capacity * factor, alpha=link.alpha)
+        time = evaluate_topology(candidate, demand, config, method=method)
+        options.append(UpgradeOption(
+            link=(a, b), finish_time=time,
+            improvement=(baseline - time) / baseline))
+    options.sort(key=lambda o: (-o.improvement, o.link))
+    return options

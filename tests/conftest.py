@@ -1,0 +1,55 @@
+"""Shared fixtures: small fabrics and configs every test module reuses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import collectives, topology
+from repro.core import TecclConfig
+
+
+@pytest.fixture
+def ring4() -> topology.Topology:
+    """Bidirectional 4-ring, unit capacity, zero alpha."""
+    return topology.ring(4, capacity=1.0, alpha=0.0)
+
+
+@pytest.fixture
+def line3() -> topology.Topology:
+    return topology.line(3, capacity=1.0, alpha=0.0)
+
+
+@pytest.fixture
+def star3() -> topology.Topology:
+    """3 GPUs around a switch hub."""
+    return topology.star(3, capacity=1.0, alpha=0.0, hub_is_switch=True)
+
+
+@pytest.fixture
+def dgx1() -> topology.Topology:
+    return topology.dgx1()
+
+
+@pytest.fixture
+def internal2x2() -> topology.Topology:
+    return topology.internal2(2)
+
+
+@pytest.fixture
+def unit_config() -> TecclConfig:
+    """Chunk = 1 byte on unit-capacity links: tau = 1 s, cap = 1 chunk."""
+    return TecclConfig(chunk_bytes=1.0)
+
+
+def unit_cfg(num_epochs: int | None = None, **kwargs) -> TecclConfig:
+    return TecclConfig(chunk_bytes=1.0, num_epochs=num_epochs, **kwargs)
+
+
+@pytest.fixture
+def ag_ring4(ring4):
+    return collectives.allgather(ring4.gpus, 1)
+
+
+@pytest.fixture
+def atoa_ring4(ring4):
+    return collectives.alltoall(ring4.gpus, 1)

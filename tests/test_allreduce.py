@@ -1,0 +1,75 @@
+"""Tests for the two-phase ALLREDUCE composition."""
+
+import pytest
+
+from repro import topology
+from repro.collectives import ring_allreduce_time, synthesize_allreduce
+from repro.core import Method, TecclConfig
+from repro.errors import DemandError
+
+
+def cfg(num_epochs=None, **kwargs):
+    return TecclConfig(chunk_bytes=1.0, num_epochs=num_epochs, **kwargs)
+
+
+class TestSynthesizeAllreduce:
+    def test_phases_route_to_right_formulations(self, ring4):
+        out = synthesize_allreduce(ring4, cfg(12))
+        assert out.reduce_scatter.method is Method.LP
+        assert out.allgather.method is Method.MILP
+
+    def test_finish_time_is_sum_of_phases(self, ring4):
+        out = synthesize_allreduce(ring4, cfg(12))
+        assert out.finish_time == pytest.approx(
+            out.reduce_scatter.finish_time + out.allgather.finish_time)
+        assert out.finish_time > 0
+
+    def test_beats_or_matches_ring_allreduce(self, ring4):
+        out = synthesize_allreduce(ring4, cfg(12))
+        # per-GPU input = N−1 distinct blocks of one chunk each
+        ring_time = ring_allreduce_time(ring4, 1.0)
+        # the two-phase barrier composition may not beat the ring on a
+        # homogeneous ring (the ring *is* optimal there), but must be in
+        # the same regime — and each phase individually is optimal
+        assert out.finish_time <= 2 * ring_time + 1e-9
+
+    def test_bus_bandwidth_positive(self, ring4):
+        out = synthesize_allreduce(ring4, cfg(12))
+        bw = out.bus_bandwidth(num_gpus=4, input_bytes=3.0)
+        assert bw > 0
+
+    def test_bus_bandwidth_validates(self, ring4):
+        out = synthesize_allreduce(ring4, cfg(12))
+        with pytest.raises(DemandError):
+            out.bus_bandwidth(num_gpus=1, input_bytes=3.0)
+
+    def test_single_gpu_rejected(self):
+        topo = topology.line(2, capacity=1.0)
+        from repro.topology.transforms import subset_gpus
+
+        single = subset_gpus(topo, [0])
+        with pytest.raises(DemandError):
+            synthesize_allreduce(single, cfg(8))
+
+    def test_dgx1_allreduce(self, dgx1):
+        config = TecclConfig(chunk_bytes=1e6, num_epochs=10)
+        out = synthesize_allreduce(dgx1, config)
+        assert out.finish_time > 0
+        assert out.solve_time > 0
+
+    def test_multiple_chunks_per_pair(self, ring4):
+        small = synthesize_allreduce(ring4, cfg(16), chunks_per_pair=1)
+        large = synthesize_allreduce(ring4, cfg(16), chunks_per_pair=2)
+        # more data cannot finish faster
+        assert large.finish_time >= small.finish_time - 1e-9
+
+
+class TestRingAllreduceTime:
+    def test_closed_form(self):
+        topo = topology.ring(5, capacity=2.0, alpha=0.5)
+        t = ring_allreduce_time(topo, 4.0)
+        assert t == pytest.approx(2 * 4 * (0.5 + 2.0))
+
+    def test_explicit_ring_order(self, ring4):
+        t = ring_allreduce_time(ring4, 1.0, ring=[0, 1, 2, 3])
+        assert t == pytest.approx(2 * 3 * 1.0)

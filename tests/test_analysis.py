@@ -1,0 +1,96 @@
+"""Tests for the cost model, the Figure 2 α-error pipeline, and metrics."""
+
+import pytest
+
+from repro import collectives, topology
+from repro.analysis import (Table, allgather_bandwidth_lower_bound,
+                            alpha_blind_error, human_bytes, improvement_pct,
+                            path_time, pipelined_path_time, speedup_pct)
+from repro.core import TecclConfig, solve_milp
+from repro.errors import ModelError
+
+
+class TestCostModel:
+    def test_path_time_sums_hops(self):
+        topo = topology.line(3, capacity=2.0, alpha=0.5)
+        assert path_time(topo, [0, 1, 2], 4.0) == pytest.approx(5.0)
+
+    def test_trivial_path(self):
+        topo = topology.line(2)
+        assert path_time(topo, [0], 1.0) == 0.0
+
+    def test_pipelined_beats_store_and_forward(self):
+        topo = topology.line(4, capacity=1.0, alpha=0.1)
+        size = 8.0
+        naive = path_time(topo, [0, 1, 2, 3], size)
+        piped = pipelined_path_time(topo, [0, 1, 2, 3], size, chunk_bytes=1.0)
+        assert piped < naive
+
+    def test_pipelined_validates_chunk(self):
+        topo = topology.line(3)
+        with pytest.raises(ModelError):
+            pipelined_path_time(topo, [0, 1, 2], 4.0, chunk_bytes=8.0)
+
+    def test_allgather_lower_bound(self):
+        topo = topology.ring(4, capacity=1.0)
+        bound = allgather_bandwidth_lower_bound(topo, per_gpu_bytes=1.0)
+        # each GPU ingests 3 bytes over 2 in-links of 1 B/s
+        assert bound == pytest.approx(1.5)
+
+    def test_lower_bound_holds_for_milp(self, ring4, ag_ring4):
+        out = solve_milp(ring4, ag_ring4,
+                         TecclConfig(chunk_bytes=1.0, num_epochs=8))
+        bound = allgather_bandwidth_lower_bound(ring4, per_gpu_bytes=1.0)
+        assert out.finish_time >= bound - 1e-9
+
+
+class TestAlphaError:
+    def test_error_grows_as_transfers_shrink(self):
+        """Figure 2's monotone trend on a small two-chassis fabric."""
+        topo = topology.internal2(2)
+        errors = []
+        for chunk in (1e7, 1e5, 1e3):
+            demand = collectives.allgather(topo.gpus, 1)
+            config = TecclConfig(chunk_bytes=chunk, num_epochs=10)
+            point = alpha_blind_error(topo, demand, config)
+            errors.append(point.relative_error_pct)
+        assert errors[0] < errors[-1]
+        assert errors[-1] > 50.0  # alpha dominates tiny transfers
+
+    def test_zero_alpha_topology_has_zero_error(self, ring4, ag_ring4):
+        point = alpha_blind_error(ring4, ag_ring4,
+                                  TecclConfig(chunk_bytes=1.0, num_epochs=8))
+        assert point.relative_error_pct == pytest.approx(0.0, abs=1e-6)
+
+    def test_point_validation(self):
+        from repro.analysis import AlphaErrorPoint
+
+        with pytest.raises(ModelError):
+            AlphaErrorPoint(1.0, 0.0, 1.0).relative_error_pct
+
+
+class TestMetrics:
+    def test_improvement_pct(self):
+        assert improvement_pct(3.0, 2.0) == pytest.approx(50.0)
+        with pytest.raises(ModelError):
+            improvement_pct(1.0, 0.0)
+
+    def test_speedup_pct(self):
+        assert speedup_pct(1.0, 3.0) == pytest.approx(200.0)
+        with pytest.raises(ModelError):
+            speedup_pct(0.0, 1.0)
+
+    def test_table_rendering(self):
+        table = Table("Demo", columns=["CT", "AB"])
+        table.add("2 ch AG", CT=12.5, AB=3.14)
+        table.add("4 ch AG", CT=None, AB="n/a")
+        text = table.render()
+        assert "2 ch AG" in text
+        assert "X" in text  # None renders as the paper's infeasible mark
+        assert "n/a" in text
+
+    def test_human_bytes(self):
+        assert human_bytes(1e9) == "1G"
+        assert human_bytes(256e6) == "256M"
+        assert human_bytes(25e3) == "25K"
+        assert human_bytes(12) == "12B"

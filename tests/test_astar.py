@@ -1,0 +1,120 @@
+"""Integration tests for the A* round decomposition (§4.2, Appendix D)."""
+
+import pytest
+
+from repro import collectives, topology
+from repro.core import TecclConfig, solve_milp
+from repro.core.astar import solve_astar
+from repro.core.config import AStarConfig
+from repro.errors import ModelError
+from repro.simulate import verify
+
+
+def cfg(**kwargs) -> TecclConfig:
+    return TecclConfig(chunk_bytes=1.0, **kwargs)
+
+
+class TestCorrectness:
+    def test_ring_allgather_valid(self, ring4, ag_ring4):
+        out = solve_astar(ring4, ag_ring4, cfg(),
+                          AStarConfig(epochs_per_round=3))
+        report = verify(out.schedule, ring4, ag_ring4, out.plan)
+        assert report.ok
+        assert out.num_rounds >= 1
+
+    def test_multi_round_line(self):
+        """A 6-node line forces multiple rounds at 3 epochs per round."""
+        topo = topology.line(6, capacity=1.0)
+        demand = collectives.broadcast(0, [5], 1)
+        out = solve_astar(topo, demand, cfg(),
+                          AStarConfig(epochs_per_round=3))
+        assert out.num_rounds >= 2
+        verify(out.schedule, topo, demand, out.plan)
+
+    def test_progress_carries_across_rounds(self):
+        topo = topology.line(5, capacity=1.0)
+        demand = collectives.broadcast(0, [3, 4], 1)
+        out = solve_astar(topo, demand, cfg(),
+                          AStarConfig(epochs_per_round=2))
+        verify(out.schedule, topo, demand, out.plan)
+        # the chunk advances at least one hop per round
+        assert out.num_rounds <= 5
+
+    def test_with_alpha_delays(self):
+        topo = topology.line(4, capacity=1.0, alpha=1.2)
+        demand = collectives.broadcast(0, [3], 1)
+        out = solve_astar(topo, demand, cfg(),
+                          AStarConfig(epochs_per_round=4))
+        verify(out.schedule, topo, demand, out.plan)
+
+    def test_switch_topology(self, internal2x2):
+        demand = collectives.allgather(internal2x2.gpus, 1)
+        out = solve_astar(internal2x2, demand, TecclConfig(chunk_bytes=1e6))
+        report = verify(out.schedule, internal2x2, demand, out.plan)
+        assert report.ok
+
+    def test_slow_link_occupancy_respected_across_rounds(self):
+        """Regression: κ>1 transmissions must not overlap round boundaries.
+
+        Found by hypothesis: a chunk occupying a slow link for 2 epochs at
+        the end of round r collided with a round r+1 send on the same link.
+        """
+        topo = topology.Topology("mixed", num_nodes=3)
+        topo.add_bidirectional(0, 1, 2.0)   # fast: sets tau
+        topo.add_bidirectional(1, 2, 1.0)   # slow: kappa = 2
+        demand = collectives.Demand.from_triples(
+            [(0, c, 2) for c in range(4)])
+        out = solve_astar(topo, demand, TecclConfig(chunk_bytes=2.0),
+                          AStarConfig(epochs_per_round=3, max_rounds=32))
+        report = verify(out.schedule, topo, demand, out.plan)
+        assert report.ok, report.violations
+
+
+class TestQualityVsOptimal:
+    def test_astar_close_to_milp(self, ring4, ag_ring4):
+        """§6.3: the optimal is better, but only by a bounded factor."""
+        opt = solve_milp(ring4, ag_ring4, cfg(num_epochs=6))
+        approx = solve_astar(ring4, ag_ring4, cfg(),
+                             AStarConfig(epochs_per_round=3))
+        assert approx.finish_time >= opt.finish_time - 1e-9
+        assert approx.finish_time <= 3 * opt.finish_time
+
+    def test_single_round_matches_milp_when_horizon_suffices(
+            self, ring4, ag_ring4):
+        opt = solve_milp(ring4, ag_ring4, cfg(num_epochs=6))
+        one_round = solve_astar(ring4, ag_ring4, cfg(),
+                                AStarConfig(epochs_per_round=6))
+        assert one_round.num_rounds == 1
+        assert one_round.schedule.finish_epoch <= 6
+        assert one_round.finish_time <= opt.finish_time * 1.5 + 1e-9
+
+
+class TestConfig:
+    def test_round_must_exceed_link_delay(self):
+        topo = topology.line(3, capacity=1.0, alpha=5.0)
+        demand = collectives.broadcast(0, [2], 1)
+        with pytest.raises(ModelError, match="epochs_per_round"):
+            solve_astar(topo, demand, cfg(),
+                        AStarConfig(epochs_per_round=2))
+
+    def test_default_round_size_adapts(self):
+        topo = topology.line(3, capacity=1.0, alpha=3.0)
+        demand = collectives.broadcast(0, [2], 1)
+        out = solve_astar(topo, demand, cfg())
+        assert out.plan.num_epochs >= 4
+
+    def test_config_validation(self):
+        with pytest.raises(ModelError):
+            AStarConfig(epochs_per_round=1)
+        with pytest.raises(ModelError):
+            AStarConfig(gamma=0.0)
+        with pytest.raises(ModelError):
+            AStarConfig(max_rounds=0)
+
+    def test_round_stats_recorded(self, ring4, ag_ring4):
+        out = solve_astar(ring4, ag_ring4, cfg(),
+                          AStarConfig(epochs_per_round=3))
+        assert len(out.rounds) == out.num_rounds
+        assert all(r.solve_time >= 0 for r in out.rounds)
+        assert out.solve_time == pytest.approx(
+            sum(r.solve_time for r in out.rounds))

@@ -1,0 +1,108 @@
+"""Tests for α–β calibration (fit, probe, round-trip)."""
+
+import pytest
+
+from repro import topology
+from repro.analysis.calibration import (AlphaBetaFit, Measurement,
+                                        apply_calibration,
+                                        calibrate_topology,
+                                        calibration_error, fit_alpha_beta,
+                                        probe_link)
+from repro.errors import ModelError
+from repro.topology.topology import Link
+
+
+class TestMeasurement:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ModelError):
+            Measurement(size_bytes=0, seconds=1.0)
+        with pytest.raises(ModelError):
+            Measurement(size_bytes=1.0, seconds=0)
+
+
+class TestFit:
+    def test_exact_fit_recovers_parameters(self):
+        link = Link(0, 1, capacity=2e9, alpha=1e-6)
+        measurements = probe_link(link, [1e3, 1e5, 1e6, 1e7])
+        fit = fit_alpha_beta(measurements)
+        assert fit.alpha == pytest.approx(1e-6, rel=1e-6)
+        assert fit.capacity == pytest.approx(2e9, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_fit_close(self):
+        link = Link(0, 1, capacity=1e9, alpha=5e-6)
+        measurements = probe_link(link, [1e4 * 2 ** i for i in range(10)],
+                                  noise=0.02, seed=1)
+        fit = fit_alpha_beta(measurements)
+        assert fit.capacity == pytest.approx(1e9, rel=0.15)
+        assert fit.r_squared > 0.95
+
+    def test_negative_alpha_clamped(self):
+        # times that extrapolate to a negative intercept
+        measurements = [Measurement(10.0, 0.9), Measurement(20.0, 2.0)]
+        fit = fit_alpha_beta(measurements)
+        assert fit.alpha == 0.0
+
+    def test_decreasing_times_rejected(self):
+        measurements = [Measurement(10.0, 2.0), Measurement(20.0, 1.0)]
+        with pytest.raises(ModelError):
+            fit_alpha_beta(measurements)
+
+    def test_single_size_rejected(self):
+        measurements = [Measurement(10.0, 1.0), Measurement(10.0, 1.1)]
+        with pytest.raises(ModelError):
+            fit_alpha_beta(measurements)
+
+    def test_too_few_rejected(self):
+        with pytest.raises(ModelError):
+            fit_alpha_beta([Measurement(10.0, 1.0)])
+
+    def test_predict(self):
+        fit = AlphaBetaFit(alpha=1.0, beta=0.5, r_squared=1.0)
+        assert fit.predict(4.0) == pytest.approx(3.0)
+
+    def test_capacity_requires_positive_beta(self):
+        fit = AlphaBetaFit(alpha=1.0, beta=0.0, r_squared=1.0)
+        with pytest.raises(ModelError):
+            _ = fit.capacity
+
+
+class TestProbe:
+    def test_noise_free_probe_is_exact(self):
+        link = Link(0, 1, capacity=1e9, alpha=1e-6)
+        for m in probe_link(link, [1e3, 1e6]):
+            assert m.seconds == pytest.approx(link.transfer_time(m.size_bytes))
+
+    def test_deterministic_per_seed(self):
+        link = Link(0, 1, capacity=1e9, alpha=1e-6)
+        a = probe_link(link, [1e3, 1e6], noise=0.1, seed=5)
+        b = probe_link(link, [1e3, 1e6], noise=0.1, seed=5)
+        assert [m.seconds for m in a] == [m.seconds for m in b]
+
+    def test_negative_noise_rejected(self):
+        link = Link(0, 1, capacity=1e9)
+        with pytest.raises(ModelError):
+            probe_link(link, [1e3], noise=-0.1)
+
+
+class TestTopologyCalibration:
+    def test_round_trip_noise_free(self, dgx1):
+        fits = calibrate_topology(dgx1)
+        calibrated = apply_calibration(dgx1, fits)
+        for key, link in dgx1.links.items():
+            fitted = calibrated.link(*key)
+            assert fitted.capacity == pytest.approx(link.capacity, rel=1e-6)
+            assert fitted.alpha == pytest.approx(link.alpha, abs=1e-12)
+
+    def test_errors_small_under_noise(self):
+        topo = topology.ndv2(1)
+        fits = calibrate_topology(topo, noise=0.01, seed=2)
+        errors = calibration_error(topo, fits)
+        for alpha_err, cap_err in errors.values():
+            assert cap_err < 0.2
+
+    def test_partial_calibration_keeps_declared(self, ring4):
+        fits = calibrate_topology(ring4)
+        del fits[(0, 1)]
+        calibrated = apply_calibration(ring4, fits)
+        assert calibrated.link(0, 1).capacity == ring4.link(0, 1).capacity

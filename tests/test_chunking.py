@@ -1,0 +1,70 @@
+"""Unit tests for chunk-size arithmetic (output buffer ↔ chunk geometry)."""
+
+import pytest
+
+from repro.collectives import (algorithmic_bandwidth, allgather_plan,
+                               alltoall_plan, from_transfer_size)
+from repro.errors import DemandError
+
+
+class TestAllgatherPlan:
+    def test_geometry(self):
+        plan = allgather_plan(num_gpus=8, output_buffer_bytes=8e9,
+                              chunks_per_gpu=4)
+        assert plan.transfer_bytes == pytest.approx(1e9)
+        assert plan.chunk_bytes == pytest.approx(0.25e9)
+        assert plan.chunks_per_source == 4
+        assert plan.output_buffer_bytes == 8e9
+
+    def test_single_chunk(self):
+        plan = allgather_plan(2, 1e6)
+        assert plan.chunk_bytes == pytest.approx(0.5e6)
+
+    def test_validation(self):
+        with pytest.raises(DemandError):
+            allgather_plan(1, 1e6)
+        with pytest.raises(DemandError):
+            allgather_plan(4, 0)
+        with pytest.raises(DemandError):
+            allgather_plan(4, 1e6, 0)
+
+
+class TestAlltoallPlan:
+    def test_geometry(self):
+        plan = alltoall_plan(num_gpus=4, output_buffer_bytes=4e6,
+                             chunks_per_pair=2)
+        assert plan.chunk_bytes == pytest.approx(0.5e6)
+        assert plan.chunks_per_source == 6  # 3 peers x 2 chunks
+        assert plan.transfer_bytes == pytest.approx(3e6)
+
+    def test_paper_notation_footnote(self):
+        # Table 7 caption: "chunks" = chunks per destination, so the source
+        # emits (N-1) x chunks distinct chunks in our ids.
+        plan = alltoall_plan(8, 8e6, chunks_per_pair=1)
+        assert plan.chunks_per_source == 7
+
+
+class TestTransferSizeAxis:
+    def test_allgather_axis(self):
+        plan = from_transfer_size(4, 1e6, "allgather", chunks=2)
+        assert plan.transfer_bytes == pytest.approx(1e6)
+        assert plan.output_buffer_bytes == pytest.approx(4e6)
+
+    def test_alltoall_axis(self):
+        plan = from_transfer_size(4, 3e6, "alltoall", chunks=1)
+        # transfer = per-pair x (N-1) -> per-pair = 1e6, output = N x per-pair
+        assert plan.transfer_bytes == pytest.approx(3e6)
+        assert plan.output_buffer_bytes == pytest.approx(4e6)
+
+    def test_unknown_collective(self):
+        with pytest.raises(DemandError):
+            from_transfer_size(4, 1e6, "allfoo")
+
+
+class TestAlgorithmicBandwidth:
+    def test_definition(self):
+        assert algorithmic_bandwidth(2e9, 0.5) == pytest.approx(4e9)
+
+    def test_rejects_zero_time(self):
+        with pytest.raises(DemandError):
+            algorithmic_bandwidth(1e9, 0.0)

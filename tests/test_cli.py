@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.msccl import parse_msccl_xml
+
+
+class TestTopologies:
+    def test_listing(self, capsys):
+        assert main(["topologies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("dgx1", "ndv2", "dgx2", "internal1", "internal2"):
+            assert name in out
+
+
+class TestSynth:
+    def test_dgx1_allgather(self, capsys):
+        code = main(["synth", "--topology", "dgx1",
+                     "--collective", "allgather",
+                     "--chunk-size", "25e3", "--epochs", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "method       : milp" in out
+        assert "finish time" in out
+
+    def test_alltoall_routes_to_lp(self, capsys):
+        code = main(["synth", "--topology", "internal2", "--chassis", "2",
+                     "--collective", "alltoall", "--chunk-size", "1e6"])
+        assert code == 0
+        assert "method       : lp" in capsys.readouterr().out
+
+    def test_explicit_method_astar(self, capsys):
+        code = main(["synth", "--topology", "internal2", "--chassis", "2",
+                     "--collective", "allgather", "--chunk-size", "1e6",
+                     "--method", "astar"])
+        assert code == 0
+        assert "method       : astar" in capsys.readouterr().out
+
+    def test_export_writes_xml(self, tmp_path, capsys):
+        target = tmp_path / "algo.xml"
+        code = main(["synth", "--topology", "dgx1",
+                     "--collective", "allgather",
+                     "--chunk-size", "25e3", "--epochs", "10",
+                     "--export", str(target)])
+        assert code == 0
+        parsed = parse_msccl_xml(target.read_text())
+        assert parsed["attrs"]["coll"] == "allgather"
+
+    def test_infeasible_reports_error(self, capsys):
+        code = main(["synth", "--topology", "dgx1",
+                     "--collective", "allgather",
+                     "--chunk-size", "25e3", "--epochs", "1"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["synth", "--topology", "nonsense"])
+
+    def test_timeline_and_events_flags(self, capsys):
+        code = main(["synth", "--topology", "dgx1",
+                     "--collective", "allgather",
+                     "--chunk-size", "25e3", "--epochs", "10",
+                     "--timeline", "--events"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "event finish" in out
+        assert "link" in out and "->" in out
+
+
+class TestSweep:
+    def test_chunk_size_sweep(self, capsys):
+        code = main(["sweep", "--topology", "dgx1",
+                     "--collective", "allgather",
+                     "--chunk-sizes", "12.5e3,25e3",
+                     "--time-limit", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best chunk size" in out
+        assert out.count("\n") >= 4  # header + 2 rows + best line

@@ -1,0 +1,114 @@
+"""Tests for the compare/verify/impact/upgrade CLI subcommands."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTopologyCatalog:
+    def test_new_fabrics_listed(self, capsys):
+        assert main(["topologies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fattree", "torus", "hypercube", "leafspine"):
+            assert name in out
+
+    def test_synth_on_hypercube(self, capsys):
+        code = main(["synth", "--topology", "hypercube", "--chassis", "2",
+                     "--collective", "allgather", "--chunk-size", "1e6"])
+        assert code == 0
+        assert "finish time" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_allgather_table(self, capsys):
+        code = main(["compare", "--topology", "dgx1",
+                     "--collective", "allgather", "--chunk-size", "1e6",
+                     "--time-limit", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("te-ccl", "shortest-path", "ring", "binomial-trees",
+                     "blink-trees"):
+            assert name in out
+        # te-ccl must top the table (smallest finish = first data row)
+        first_row = out.splitlines()[1]
+        assert first_row.startswith("te-ccl")
+
+    def test_alltoall_table(self, capsys):
+        code = main(["compare", "--topology", "torus", "--chassis", "2",
+                     "--collective", "alltoall", "--chunk-size", "1e6",
+                     "--time-limit", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "te-ccl" in out and "shortest-path" in out
+        assert "ring" not in out  # allgather-only baselines excluded
+
+
+class TestVerify:
+    def test_export_then_verify(self, tmp_path, capsys):
+        target = tmp_path / "algo.xml"
+        assert main(["synth", "--topology", "dgx1",
+                     "--collective", "allgather",
+                     "--chunk-size", "25e3", "--epochs", "10",
+                     "--export", str(target)]) == 0
+        capsys.readouterr()
+        code = main(["verify", "--xml", str(target), "--topology", "dgx1",
+                     "--collective", "allgather", "--chunk-size", "25e3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all demanded chunks delivered" in out
+
+    def test_verify_against_wrong_collective_fails(self, tmp_path, capsys):
+        target = tmp_path / "algo.xml"
+        assert main(["synth", "--topology", "dgx1",
+                     "--collective", "broadcast",
+                     "--chunk-size", "25e3", "--epochs", "10",
+                     "--export", str(target)]) == 0
+        capsys.readouterr()
+        code = main(["verify", "--xml", str(target), "--topology", "dgx1",
+                     "--collective", "allgather", "--chunk-size", "25e3"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestImpact:
+    def test_hypercube_impact_table(self, capsys):
+        code = main(["impact", "--topology", "hypercube", "--chassis", "2",
+                     "--collective", "allgather", "--chunk-size", "1e6",
+                     "--top", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slowdown" in out
+        assert out.count("\n") == 4  # header + 3 rows
+
+
+class TestUpgrade:
+    def test_upgrade_table(self, capsys):
+        code = main(["upgrade", "--topology", "hypercube", "--chassis", "2",
+                     "--collective", "allgather", "--chunk-size", "1e6",
+                     "--factor", "2", "--top", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "improvement" in out
+        assert out.count("%") >= 4
+
+
+class TestWorkload:
+    def test_pipeline_job_on_hypercube(self, capsys):
+        code = main(["workload", "--topology", "hypercube", "--chassis",
+                     "2", "--job", "pipeline"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "step total" in out
+        assert "activations" in out and "gradients" in out
+
+    def test_dlrm_job_on_dgx1(self, capsys):
+        code = main(["workload", "--topology", "dgx1", "--job", "dlrm",
+                     "--time-limit", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "emb-forward" in out
+        assert "solver time" in out
+
+    def test_unknown_job_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["workload", "--topology", "dgx1", "--job", "nonsense"])

@@ -1,0 +1,151 @@
+"""Unit tests for epoch duration, discretisation and horizon estimation."""
+
+import pytest
+
+from repro.collectives import allgather, alltoall
+from repro.core import TecclConfig
+from repro.core.config import EpochMode
+from repro.core.epochs import (algorithm1_num_epochs, build_epoch_plan,
+                               candidate_completion_times,
+                               earliest_arrival_epochs, epoch_duration,
+                               min_time_seconds, path_based_epoch_bound,
+                               plan_with_tau)
+from repro.errors import ModelError
+from repro.topology import Topology, line, ndv2, ring
+
+
+def hetero_topo() -> Topology:
+    """Two links: 4 B/s fast and 1 B/s slow."""
+    topo = Topology("hetero", num_nodes=3)
+    topo.add_bidirectional(0, 1, 4.0)
+    topo.add_bidirectional(1, 2, 1.0)
+    return topo
+
+
+class TestEpochDuration:
+    def test_slowest_link(self):
+        tau = epoch_duration(hetero_topo(), 4.0, EpochMode.SLOWEST_LINK)
+        assert tau == pytest.approx(4.0)  # 4 B / 1 B/s
+
+    def test_fastest_link(self):
+        tau = epoch_duration(hetero_topo(), 4.0, EpochMode.FASTEST_LINK)
+        assert tau == pytest.approx(1.0)  # 4 B / 4 B/s
+
+    def test_multiplier(self):
+        tau = epoch_duration(hetero_topo(), 4.0, EpochMode.FASTEST_LINK,
+                             multiplier=2.0)
+        assert tau == pytest.approx(2.0)
+
+    def test_alpha_stretch_guard(self):
+        # alpha = 300 s vs tau = 1 s -> ratio > 200 -> stretch by 5
+        topo = Topology("a", num_nodes=2)
+        topo.add_bidirectional(0, 1, 1.0, alpha=300.0)
+        tau = epoch_duration(topo, 1.0, EpochMode.FASTEST_LINK)
+        assert tau == pytest.approx(5.0)
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(ModelError):
+            epoch_duration(hetero_topo(), 0.0)
+
+
+class TestEpochPlan:
+    def test_fastest_mode_occupancy(self):
+        cfg = TecclConfig(chunk_bytes=4.0, epoch_mode=EpochMode.FASTEST_LINK)
+        plan = build_epoch_plan(hetero_topo(), cfg, num_epochs=8)
+        assert plan.occupancy[(0, 1)] == 1
+        assert plan.occupancy[(1, 2)] == 4  # slow link: 4 epochs per chunk
+        assert plan.cap_chunks[(1, 2)] == pytest.approx(0.25)
+
+    def test_slowest_mode_all_unit(self):
+        cfg = TecclConfig(chunk_bytes=4.0, epoch_mode=EpochMode.SLOWEST_LINK)
+        plan = build_epoch_plan(hetero_topo(), cfg, num_epochs=8)
+        assert all(k == 1 for k in plan.occupancy.values())
+        assert plan.cap_chunks[(0, 1)] == pytest.approx(4.0)
+
+    def test_delay_epochs(self):
+        topo = Topology("d", num_nodes=2)
+        topo.add_bidirectional(0, 1, 1.0, alpha=2.5)
+        plan = plan_with_tau(topo, 1.0, tau=1.0, num_epochs=4)
+        assert plan.delay[(0, 1)] == 3  # ceil(2.5 / 1.0)
+        assert plan.arrival_offset(0, 1) == 3
+
+    def test_arrival_offset_combines(self):
+        cfg = TecclConfig(chunk_bytes=4.0, epoch_mode=EpochMode.FASTEST_LINK)
+        topo = hetero_topo()
+        topo.links[(1, 2)] = topo.link(1, 2).with_alpha(2.0)
+        plan = build_epoch_plan(topo, cfg, num_epochs=8)
+        # kappa - 1 = 3 plus ceil(2/1) = 2
+        assert plan.arrival_offset(1, 2) == 5
+
+    def test_horizon_and_resize(self):
+        plan = plan_with_tau(line(3), 1.0, tau=0.5, num_epochs=4)
+        assert plan.horizon == pytest.approx(2.0)
+        bigger = plan.with_num_epochs(10)
+        assert bigger.num_epochs == 10
+        assert bigger.tau == plan.tau
+
+    def test_plan_with_tau_validation(self):
+        with pytest.raises(ModelError):
+            plan_with_tau(line(3), 1.0, tau=0.0, num_epochs=4)
+        with pytest.raises(ModelError):
+            plan_with_tau(line(3), 1.0, tau=1.0, num_epochs=0)
+
+
+class TestReachability:
+    def test_earliest_arrival_line(self):
+        plan = plan_with_tau(line(4), 1.0, tau=1.0, num_epochs=8)
+        dist = earliest_arrival_epochs(line(4), plan)
+        assert dist[0][0] == 0
+        assert dist[0][3] == 3
+
+    def test_earliest_arrival_with_delay(self):
+        topo = Topology("d", num_nodes=3)
+        topo.add_bidirectional(0, 1, 1.0, alpha=1.5)
+        topo.add_bidirectional(1, 2, 1.0)
+        plan = plan_with_tau(topo, 1.0, tau=1.0, num_epochs=8)
+        dist = earliest_arrival_epochs(topo, plan)
+        assert dist[0][1] == 3  # Delta = 2, +1
+        assert dist[0][2] == 4
+
+    def test_min_time_seconds(self):
+        topo = line(3, capacity=2.0, alpha=0.5)
+        seconds = min_time_seconds(topo, 4.0)
+        assert seconds[0][2] == pytest.approx(2 * (0.5 + 2.0))
+
+
+class TestHorizonBounds:
+    def test_path_bound_dominates_distance(self):
+        topo = ring(6, capacity=1.0)
+        demand = allgather(topo.gpus, 1)
+        plan = plan_with_tau(topo, 1.0, tau=1.0, num_epochs=1)
+        bound = path_based_epoch_bound(topo, demand, plan)
+        assert bound >= 3  # farthest node on a 6-ring
+
+    def test_bound_grows_with_demand(self):
+        topo = ring(4, capacity=1.0)
+        plan = plan_with_tau(topo, 1.0, tau=1.0, num_epochs=1)
+        small = path_based_epoch_bound(topo, alltoall(topo.gpus, 1), plan)
+        large = path_based_epoch_bound(topo, alltoall(topo.gpus, 4), plan)
+        assert large > small
+
+    def test_candidates_geometric(self):
+        topo = ring(4, capacity=1.0)
+        times = candidate_completion_times(topo, allgather(topo.gpus, 1), 1.0,
+                                           count=4)
+        assert len(times) == 4
+        assert times[1] == pytest.approx(2 * times[0])
+
+    def test_algorithm1_feasible_bound(self):
+        topo = ring(4, capacity=1.0)
+        demand = alltoall(topo.gpus, 1)
+        cfg = TecclConfig(chunk_bytes=1.0)
+        bound = algorithm1_num_epochs(topo, demand, cfg)
+        # the optimum is 2 epochs; Algorithm 1 must return at least that
+        assert bound >= 2
+
+    def test_algorithm1_on_switch_topology(self):
+        topo = ndv2(2)
+        demand = allgather(topo.gpus[:4], 1)
+        cfg = TecclConfig(chunk_bytes=1e6)
+        bound = algorithm1_num_epochs(topo, demand, cfg)
+        assert bound >= 1

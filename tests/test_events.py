@@ -1,0 +1,94 @@
+"""Tests for the continuous-time event simulator."""
+
+import pytest
+
+from repro import collectives, topology
+from repro.core import TecclConfig, solve_milp
+from repro.core.schedule import Schedule, Send
+from repro.errors import ScheduleError
+from repro.simulate.events import quantisation_gap, run_events
+
+
+def send(epoch, src, dst, source=0, chunk=0):
+    return Send(epoch=epoch, source=source, chunk=chunk, src=src, dst=dst)
+
+
+def sched(sends, num_epochs=8, chunk_bytes=1.0, tau=1.0):
+    return Schedule(sends=sends, tau=tau, chunk_bytes=chunk_bytes,
+                    num_epochs=num_epochs)
+
+
+class TestEventExecution:
+    def test_single_hop_timing(self):
+        topo = topology.line(2, capacity=2.0, alpha=0.5)
+        demand = collectives.Demand.from_triples([(0, 0, 1)])
+        report = run_events(sched([send(0, 0, 1)], chunk_bytes=4.0),
+                            topo, demand)
+        # transmit 2 s + alpha 0.5 s
+        assert report.finish_time == pytest.approx(2.5)
+
+    def test_relay_pipelines_without_epoch_rounding(self):
+        topo = topology.line(3, capacity=1.0, alpha=0.25)
+        demand = collectives.Demand.from_triples([(0, 0, 2)])
+        # epoch grid forces the relay to epoch 2 (Delta = 1), but in
+        # continuous time the chunk is ready at 1.25 s
+        schedule = sched([send(0, 0, 1), send(2, 1, 2)])
+        report = run_events(schedule, topo, demand)
+        assert report.finish_time == pytest.approx(1.25 + 1.25)
+        grid = schedule.finish_time(topo)
+        assert report.finish_time <= grid + 1e-9
+
+    def test_link_serialisation(self):
+        topo = topology.line(2, capacity=1.0)
+        demand = collectives.Demand.from_triples([(0, 0, 1), (0, 1, 1)])
+        schedule = sched([send(0, 0, 1), send(0, 0, 1, chunk=1)])
+        report = run_events(schedule, topo, demand)
+        # two unit chunks share one 1 B/s link: 2 s total
+        assert report.finish_time == pytest.approx(2.0)
+        assert report.link_busy[(0, 1)] == pytest.approx(2.0)
+
+    def test_epoch_order_preserved_on_link(self):
+        topo = topology.line(2, capacity=1.0)
+        demand = collectives.Demand.from_triples([(0, 0, 1), (0, 1, 1)])
+        schedule = sched([send(3, 0, 1), send(0, 0, 1, chunk=1)])
+        report = run_events(schedule, topo, demand)
+        # chunk 1 (epoch 0) transmits before chunk 0 (epoch 3)
+        first = min(report.arrivals, key=lambda a: a.time)
+        assert first.chunk == 1
+
+    def test_deadlock_detected(self):
+        topo = topology.line(3, capacity=1.0)
+        demand = collectives.Demand.from_triples([(0, 0, 2)])
+        # relay hop references a chunk that never reaches node 1
+        with pytest.raises(ScheduleError, match="deadlock"):
+            run_events(sched([send(0, 1, 2)]), topo, demand)
+
+    def test_unmet_demand_detected(self):
+        topo = topology.line(3, capacity=1.0)
+        demand = collectives.Demand.from_triples([(0, 0, 2)])
+        with pytest.raises(ScheduleError, match="unmet"):
+            run_events(sched([send(0, 0, 1)]), topo, demand)
+
+    def test_utilisation_fractions(self):
+        topo = topology.line(2, capacity=1.0)
+        demand = collectives.Demand.from_triples([(0, 0, 1)])
+        report = run_events(sched([send(0, 0, 1)]), topo, demand)
+        util = report.utilisation(topo)
+        assert util[(0, 1)] == pytest.approx(1.0)
+        assert util[(1, 0)] == pytest.approx(0.0)
+
+
+class TestAgainstSolver:
+    def test_event_time_never_exceeds_grid_estimate(self, dgx1):
+        demand = collectives.allgather(dgx1.gpus, 1)
+        out = solve_milp(dgx1, demand,
+                         TecclConfig(chunk_bytes=25e3, num_epochs=10))
+        gap = quantisation_gap(out.schedule, dgx1, demand)
+        assert gap >= -1e-9  # events can only beat the rounded grid
+        assert gap <= 0.9    # and the grid estimate is not wildly loose
+
+    def test_event_delivery_matches_demand(self, ring4, ag_ring4):
+        out = solve_milp(ring4, ag_ring4,
+                         TecclConfig(chunk_bytes=1.0, num_epochs=6))
+        report = run_events(out.schedule, ring4, ag_ring4)
+        assert set(report.delivered) == set(ag_ring4.triples())

@@ -1,0 +1,182 @@
+"""Tests for the datacenter fabric builders."""
+
+import pytest
+
+from repro import collectives, topology
+from repro.core import TecclConfig, synthesize
+from repro.errors import TopologyError
+from repro.topology.fabrics import (dragonfly, fat_tree, hypercube,
+                                    leaf_spine, torus2d)
+
+
+class TestLeafSpine:
+    def test_shape(self):
+        topo = leaf_spine(num_leaves=3, gpus_per_leaf=4, num_spines=2)
+        assert topo.num_gpus == 12
+        assert len(topo.switches) == 5
+        topo.validate()
+
+    def test_gpu_single_homed(self):
+        topo = leaf_spine(2, 3, 2)
+        for gpu in topo.gpus:
+            assert len(topo.out_edges(gpu)) == 1
+
+    def test_leaf_connects_all_spines(self):
+        topo = leaf_spine(2, 2, 3)
+        first_leaf = topo.num_gpus
+        spine_peers = [l.dst for l in topo.out_edges(first_leaf)
+                       if topo.is_switch(l.dst)]
+        assert len(spine_peers) == 3
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            leaf_spine(0, 4, 2)
+
+
+class TestFatTree:
+    def test_k4_shape(self):
+        topo = fat_tree(4)
+        assert topo.num_gpus == 16       # k^3/4
+        assert len(topo.switches) == 20  # 8 edge + 8 agg + 4 core
+        topo.validate()
+
+    def test_k2_shape(self):
+        topo = fat_tree(2)
+        assert topo.num_gpus == 2
+        assert len(topo.switches) == 5
+        topo.validate()
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(TopologyError):
+            fat_tree(3)
+
+    def test_full_bisection(self):
+        """Every edge switch has equal up- and down-link counts."""
+        topo = fat_tree(4)
+        first_edge = topo.num_gpus
+        for e in range(8):
+            edge = first_edge + e
+            down = [l for l in topo.out_edges(edge)
+                    if not topo.is_switch(l.dst)]
+            up = [l for l in topo.out_edges(edge)
+                  if topo.is_switch(l.dst)]
+            assert len(down) == len(up) == 2
+
+    def test_allgather_synthesis_on_subtree(self):
+        """The synthesizer must route through two switch tiers."""
+        from repro.topology.transforms import subset_gpus
+
+        topo = subset_gpus(fat_tree(2), [0, 1])
+        demand = collectives.allgather(topo.gpus, 1)
+        config = TecclConfig(chunk_bytes=1e6)  # auto horizon: two tiers
+        result = synthesize(topo, demand, config)
+        assert result.finish_time > 0
+
+
+class TestTorus2d:
+    def test_shape_and_degree(self):
+        topo = torus2d(3, 4)
+        assert topo.num_gpus == 12
+        for gpu in topo.gpus:
+            assert len(topo.out_edges(gpu)) == 4
+        topo.validate()
+
+    def test_single_row_is_ring(self):
+        topo = torus2d(1, 5)
+        for gpu in topo.gpus:
+            assert len(topo.out_edges(gpu)) == 2
+
+    def test_2x2_no_duplicate_links(self):
+        topo = torus2d(2, 2)
+        # wrap-around and direct neighbour coincide: 2 distinct peers each
+        for gpu in topo.gpus:
+            assert len(topo.out_edges(gpu)) == 2
+
+    def test_too_small_rejected(self):
+        with pytest.raises(TopologyError):
+            torus2d(1, 1)
+
+
+class TestHypercube:
+    def test_shape_and_degree(self):
+        topo = hypercube(3)
+        assert topo.num_gpus == 8
+        for gpu in topo.gpus:
+            assert len(topo.out_edges(gpu)) == 3
+        topo.validate()
+
+    def test_dimension_one(self):
+        topo = hypercube(1)
+        assert topo.num_gpus == 2
+
+    def test_neighbours_differ_by_one_bit(self):
+        topo = hypercube(4)
+        for (a, b) in topo.links:
+            assert bin(a ^ b).count("1") == 1
+
+    def test_bad_dimension_rejected(self):
+        with pytest.raises(TopologyError):
+            hypercube(0)
+
+
+class TestDragonfly:
+    def test_shape(self):
+        topo = dragonfly(num_groups=3, routers_per_group=2,
+                         gpus_per_router=2)
+        assert topo.num_gpus == 12
+        assert len(topo.switches) == 6
+        topo.validate()
+
+    def test_local_mesh(self):
+        topo = dragonfly(2, 3, 1)
+        first_router = topo.num_gpus
+        local_peers = [l.dst for l in topo.out_edges(first_router)
+                       if topo.is_switch(l.dst)
+                       and l.dst < first_router + 3]
+        assert len(local_peers) == 2  # meshed to the other two in-group
+
+    def test_every_group_pair_has_global_link(self):
+        groups, routers = 3, 2
+        topo = dragonfly(groups, routers, 1)
+        first_router = topo.num_gpus
+
+        def group_of(router: int) -> int:
+            return (router - first_router) // routers
+
+        seen = set()
+        for (a, b) in topo.links:
+            if (topo.is_switch(a) and topo.is_switch(b)
+                    and group_of(a) != group_of(b)):
+                seen.add((group_of(a), group_of(b)))
+        expected = {(g, h) for g in range(groups) for h in range(groups)
+                    if g != h}
+        assert seen == expected
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            dragonfly(1, 2, 2)
+
+
+class TestSynthesisOnFabrics:
+    """The builders must produce fabrics the solvers accept end to end."""
+
+    def test_torus_alltoall(self):
+        topo = torus2d(2, 2)
+        demand = collectives.alltoall(topo.gpus, 1)
+        config = TecclConfig(chunk_bytes=1e6, num_epochs=10)
+        result = synthesize(topo, demand, config)
+        assert result.finish_time > 0
+
+    def test_hypercube_allgather(self):
+        topo = hypercube(2)
+        demand = collectives.allgather(topo.gpus, 1)
+        config = TecclConfig(chunk_bytes=1e6, num_epochs=8)
+        result = synthesize(topo, demand, config)
+        assert result.finish_time > 0
+
+    def test_leaf_spine_broadcast(self):
+        topo = leaf_spine(2, 2, 1)
+        demand = collectives.broadcast(0, topo.gpus, 1)
+        config = TecclConfig(chunk_bytes=1e6)  # auto horizon: two tiers
+        result = synthesize(topo, demand, config)
+        assert result.finish_time > 0

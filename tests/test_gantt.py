@@ -1,0 +1,97 @@
+"""Tests for the continuous-time Gantt rendering."""
+
+import pytest
+
+from repro import collectives
+from repro.analysis import render_gantt, render_progress, utilisation_summary
+from repro.core import TecclConfig, solve_milp
+from repro.errors import ScheduleError
+from repro.simulate import run_events
+
+
+def cfg(num_epochs=None, **kwargs):
+    return TecclConfig(chunk_bytes=1.0, num_epochs=num_epochs, **kwargs)
+
+
+@pytest.fixture
+def report(ring4, ag_ring4):
+    outcome = solve_milp(ring4, ag_ring4, cfg(8))
+    return run_events(outcome.schedule, ring4, ag_ring4)
+
+
+class TestTransmissions:
+    def test_intervals_recorded(self, report):
+        assert report.transmissions
+        for t in report.transmissions:
+            assert t.start <= t.end <= t.arrival + 1e-12
+
+    def test_fifo_per_link(self, report):
+        by_link: dict[tuple, list] = {}
+        for t in report.transmissions:
+            by_link.setdefault(t.link, []).append(t)
+        for entries in by_link.values():
+            for a, b in zip(entries, entries[1:]):
+                assert b.start >= a.end - 1e-12  # the wire never overlaps
+
+    def test_busy_matches_intervals(self, report):
+        for link, busy in report.link_busy.items():
+            interval_sum = sum(t.end - t.start
+                               for t in report.transmissions
+                               if t.link == link)
+            assert busy == pytest.approx(interval_sum)
+
+
+class TestRenderGantt:
+    def test_renders_all_used_links(self, report, ring4):
+        art = render_gantt(report, width=32)
+        lines = art.splitlines()
+        used = {t.link for t in report.transmissions}
+        assert len(lines) == len(used) + 1  # header + one row per link
+        for (i, j) in used:
+            assert any(line.startswith(f"{i}->{j}") for line in lines)
+
+    def test_busy_percent_in_range(self, report):
+        art = render_gantt(report, width=32)
+        for line in art.splitlines()[1:]:
+            pct = float(line.rstrip("%").split()[-1])
+            assert 0.0 <= pct <= 100.0 + 1e-9
+
+    def test_link_filter(self, report):
+        art = render_gantt(report, width=32, links=[(0, 1)])
+        assert len(art.splitlines()) == 2
+
+    def test_unknown_link_rejected(self, report):
+        with pytest.raises(ScheduleError):
+            render_gantt(report, links=[(99, 98)])
+
+    def test_narrow_width_rejected(self, report):
+        with pytest.raises(ScheduleError):
+            render_gantt(report, width=4)
+
+
+class TestRenderProgress:
+    def test_rows_per_destination(self, report, ag_ring4):
+        art = render_progress(report, ag_ring4, width=24)
+        destinations = {d for _, _, d in ag_ring4.triples()}
+        assert len(art.splitlines()) == len(destinations) + 1
+
+    def test_ends_complete(self, report, ag_ring4):
+        art = render_progress(report, ag_ring4, width=24)
+        for line in art.splitlines()[1:]:
+            assert line.rstrip().endswith("#")
+
+    def test_monotone_deciles(self, report, ag_ring4):
+        art = render_progress(report, ag_ring4, width=24)
+        for line in art.splitlines()[1:]:
+            row = line.split(None, 2)[-1]
+            digits = [10 if ch == "#" else int(ch) for ch in row]
+            assert digits == sorted(digits)
+
+
+class TestUtilisationSummary:
+    def test_lists_busiest_first(self, report):
+        art = utilisation_summary(report, top=3)
+        lines = art.splitlines()[1:]
+        shares = [float(line.rstrip("%").split()[-1]) for line in lines]
+        assert shares == sorted(shares, reverse=True)
+        assert len(lines) <= 3

@@ -1,0 +1,128 @@
+"""Tests for hierarchical (chassis-decomposed) synthesis."""
+
+import pytest
+
+from repro import collectives, topology
+from repro.core import (Method, TecclConfig, chassis_groups,
+                        hierarchical_allgather, synthesize)
+from repro.core.hierarchical import ChassisPlan, _induce
+from repro.errors import DemandError, TopologyError
+from repro.simulate import verify
+from repro.solver import SolverOptions
+
+
+def cfg(**kwargs):
+    return TecclConfig(chunk_bytes=1e6,
+                       solver=SolverOptions(mip_gap=0.2, time_limit=30),
+                       **kwargs)
+
+
+class TestChassisGroups:
+    def test_consecutive_slices(self):
+        topo = topology.internal2(3)
+        plans = chassis_groups(topo, 2)
+        assert len(plans) == 3
+        assert plans[0].gpus == (0, 1)
+        assert plans[0].leader == 0
+
+    def test_indivisible_rejected(self):
+        topo = topology.internal2(3)
+        with pytest.raises(TopologyError):
+            chassis_groups(topo, 4)
+
+    def test_leader_must_be_member(self):
+        with pytest.raises(DemandError):
+            ChassisPlan(gpus=(0, 1), leader=5)
+
+
+class TestInduce:
+    def test_chassis_subfabric_keeps_local_links(self):
+        topo = topology.ndv2(2)
+        fabric = _induce(topo, list(range(8)), "c0")
+        # all 32 intra-chassis NVLinks survive; the uplink switch keeps
+        # only this chassis's two uplink pairs
+        sub_gpu_links = [
+            (a, b) for (a, b) in fabric.topology.links
+            if not fabric.topology.is_switch(a)
+            and not fabric.topology.is_switch(b)]
+        assert len(sub_gpu_links) == 32
+
+    def test_id_maps_are_inverse(self):
+        topo = topology.internal2(2)
+        fabric = _induce(topo, [0, 1], "c0")
+        for old, new in fabric.to_sub.items():
+            assert fabric.to_full[new] == old
+
+    def test_dead_switch_dropped(self):
+        # inducing on one GPU pair of a leaf-spine drops unreachable spines
+        topo = topology.leaf_spine(2, 2, 1)
+        fabric = _induce(topo, [0, 1], "pod0")
+        fabric.topology.validate()
+
+
+class TestHierarchicalAllgather:
+    def test_phases_and_composition(self):
+        topo = topology.internal2(2)
+        plans = chassis_groups(topo, 2)
+        out = hierarchical_allgather(topo, cfg(), chassis=plans)
+        assert len(out.local_gather) == 2
+        assert len(out.local_broadcast) == 2
+        assert out.finish_time > 0
+        assert out.parallel_solve_time <= out.serial_solve_time + 1e-12
+        expected = (max(p.finish_time for p in out.local_gather)
+                    + out.leader_exchange.finish_time
+                    + max(p.finish_time for p in out.local_broadcast))
+        assert out.finish_time == pytest.approx(expected)
+
+    def test_every_phase_schedule_verifies(self):
+        topo = topology.internal2(2)
+        plans = chassis_groups(topo, 2)
+        out = hierarchical_allgather(topo, cfg(), chassis=plans,
+                                     method=Method.MILP)
+        for phase in out.phases():
+            schedule = phase.synthesis.schedule
+            verify(schedule, phase.fabric.topology, phase.demand,
+                   phase.synthesis.plan)
+
+    def test_never_beats_flat_optimum(self):
+        """The leader bottleneck must cost something (or tie)."""
+        topo = topology.internal2(2)
+        plans = chassis_groups(topo, 2)
+        hier = hierarchical_allgather(topo, cfg(), chassis=plans)
+        flat = synthesize(topo, collectives.allgather(topo.gpus, 1),
+                          cfg(), method=Method.MILP)
+        assert hier.finish_time >= flat.finish_time - 1e-9
+
+    def test_explicit_leaders(self):
+        topo = topology.internal2(2)
+        plans = [ChassisPlan(gpus=(0, 1), leader=1),
+                 ChassisPlan(gpus=(2, 3), leader=3)]
+        out = hierarchical_allgather(topo, cfg(), chassis=plans)
+        assert out.finish_time > 0
+
+    def test_overlapping_chassis_rejected(self):
+        topo = topology.internal2(2)
+        plans = [ChassisPlan(gpus=(0, 1), leader=0),
+                 ChassisPlan(gpus=(1, 2, 3), leader=1)]
+        with pytest.raises(DemandError):
+            hierarchical_allgather(topo, cfg(), chassis=plans)
+
+    def test_partial_cover_rejected(self):
+        topo = topology.internal2(2)
+        plans = [ChassisPlan(gpus=(0, 1), leader=0),
+                 ChassisPlan(gpus=(2,), leader=2)]
+        with pytest.raises(DemandError):
+            hierarchical_allgather(topo, cfg(), chassis=plans)
+
+    def test_single_chassis_rejected(self):
+        topo = topology.internal2(2)
+        plans = [ChassisPlan(gpus=tuple(topo.gpus), leader=0)]
+        with pytest.raises(DemandError):
+            hierarchical_allgather(topo, cfg(), chassis=plans)
+
+    def test_user_horizon_is_ignored_per_phase(self):
+        """A flat-problem K must not poison the phase solves."""
+        topo = topology.internal2(2)
+        plans = chassis_groups(topo, 2)
+        out = hierarchical_allgather(topo, cfg(num_epochs=3), chassis=plans)
+        assert out.finish_time > 0

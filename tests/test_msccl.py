@@ -1,0 +1,145 @@
+"""Tests for the MSCCL XML export and switch-hop collapsing."""
+
+import pytest
+
+from repro import collectives, topology
+from repro.core import TecclConfig, solve_milp
+from repro.errors import ExportError
+from repro.msccl import (collapse_switch_hops, parse_msccl_xml,
+                         schedule_from_msccl_xml, to_msccl_xml)
+
+
+def dgx1_outcome():
+    topo = topology.dgx1()
+    demand = collectives.allgather(topo.gpus, 1)
+    out = solve_milp(topo, demand, TecclConfig(chunk_bytes=25e3,
+                                               num_epochs=10))
+    return topo, demand, out
+
+
+class TestCollapse:
+    def test_no_switches_identity(self, ring4):
+        demand = collectives.allgather(ring4.gpus, 1)
+        out = solve_milp(ring4, demand, TecclConfig(chunk_bytes=1.0,
+                                                    num_epochs=6))
+        collapsed = collapse_switch_hops(out.schedule, ring4)
+        assert collapsed.sends == out.schedule.sends
+
+    def test_switch_hops_merged(self, star3):
+        demand = collectives.allgather(star3.gpus, 1)
+        out = solve_milp(star3, demand, TecclConfig(chunk_bytes=1.0,
+                                                    num_epochs=8))
+        collapsed = collapse_switch_hops(out.schedule, star3)
+        assert all(not star3.is_switch(s.src) and not star3.is_switch(s.dst)
+                   for s in collapsed.sends)
+        # every demanded triple still has an arrival
+        arrived = {(s.source, s.chunk, s.dst) for s in collapsed.sends}
+        for t in demand.triples():
+            assert t in arrived
+
+    def test_orphan_relay_rejected(self, star3):
+        from repro.core.schedule import Schedule, Send
+
+        orphan = Schedule(
+            sends=[Send(epoch=2, source=0, chunk=0, src=3, dst=1)],
+            tau=1.0, chunk_bytes=1.0, num_epochs=4)
+        with pytest.raises(ExportError):
+            collapse_switch_hops(orphan, star3)
+
+
+class TestExport:
+    def test_well_formed_document(self):
+        topo, demand, out = dgx1_outcome()
+        xml = to_msccl_xml(out.schedule, topo, demand, name="t",
+                           collective="allgather")
+        parsed = parse_msccl_xml(xml)
+        assert parsed["attrs"]["name"] == "t"
+        assert parsed["attrs"]["coll"] == "allgather"
+        assert int(parsed["attrs"]["ngpus"]) == 8
+
+    def test_every_gpu_has_threadblocks(self):
+        topo, demand, out = dgx1_outcome()
+        parsed = parse_msccl_xml(to_msccl_xml(out.schedule, topo, demand))
+        assert set(parsed["gpus"]) == set(range(8))
+        for tbs in parsed["gpus"].values():
+            assert tbs  # ALLGATHER: everybody sends and receives
+
+    def test_send_recv_steps_balance(self):
+        topo, demand, out = dgx1_outcome()
+        parsed = parse_msccl_xml(to_msccl_xml(out.schedule, topo, demand))
+        sends = recvs = 0
+        for tbs in parsed["gpus"].values():
+            for _tb, kind, _peer, steps in tbs:
+                if kind == "s":
+                    sends += len(steps)
+                else:
+                    recvs += len(steps)
+        assert sends == recvs == out.schedule.num_sends
+
+    def test_forward_steps_depend_on_receives(self):
+        topo, demand, out = dgx1_outcome()
+        parsed = parse_msccl_xml(to_msccl_xml(out.schedule, topo, demand))
+        dependent = 0
+        for gpu, tbs in parsed["gpus"].items():
+            for _tb, kind, _peer, steps in tbs:
+                if kind != "s":
+                    continue
+                for (_s, _type, srcoff, depid, deps) in steps:
+                    # sending someone else's chunk requires a dependency
+                    if srcoff != gpu and depid >= 0:
+                        dependent += 1
+        assert dependent > 0
+
+    def test_switch_topology_export(self, star3):
+        demand = collectives.allgather(star3.gpus, 1)
+        out = solve_milp(star3, demand, TecclConfig(chunk_bytes=1.0,
+                                                    num_epochs=8))
+        xml = to_msccl_xml(out.schedule, star3, demand)
+        parsed = parse_msccl_xml(xml)
+        assert set(parsed["gpus"]) == {0, 1, 2}
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ExportError):
+            parse_msccl_xml("<foo/>")
+
+    def test_chunk_offsets_unique_per_source(self):
+        topo, demand, out = dgx1_outcome()
+        xml = to_msccl_xml(out.schedule, topo, demand)
+        parsed = parse_msccl_xml(xml)
+        offsets = set()
+        for tbs in parsed["gpus"].values():
+            for _tb, kind, _peer, steps in tbs:
+                for step in steps:
+                    offsets.add(step[2])
+        assert len(offsets) == 8  # 8 sources x 1 chunk
+
+
+class TestRoundTrip:
+    def test_schedule_round_trips_exactly(self):
+        topo, demand, out = dgx1_outcome()
+        xml = to_msccl_xml(out.schedule, topo, demand)
+        back = schedule_from_msccl_xml(xml, tau=out.plan.tau,
+                                       chunk_bytes=out.plan.chunk_bytes)
+        assert sorted(back.sends) == sorted(out.schedule.sends)
+
+    def test_round_trip_simulates_identically(self):
+        from repro.simulate import run_events
+
+        topo, demand, out = dgx1_outcome()
+        xml = to_msccl_xml(out.schedule, topo, demand)
+        back = schedule_from_msccl_xml(xml, tau=out.plan.tau,
+                                       chunk_bytes=out.plan.chunk_bytes)
+        original = run_events(out.schedule, topo, demand).finish_time
+        reloaded = run_events(back, topo, demand).finish_time
+        assert reloaded == pytest.approx(original)
+
+    def test_foreign_document_rejected(self):
+        foreign = ("<algo name='x' ngpus='2'><gpu id='0'>"
+                   "<tb id='0' send='1' recv='-1'>"
+                   "<step s='0' type='s' srcoff='0'/></tb></gpu></algo>")
+        with pytest.raises(ExportError, match="x_epoch"):
+            schedule_from_msccl_xml(foreign, tau=1.0, chunk_bytes=1.0)
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(ExportError):
+            schedule_from_msccl_xml("<algo/>", tau=1.0, chunk_bytes=1.0)

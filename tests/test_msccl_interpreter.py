@@ -1,0 +1,132 @@
+"""Tests for the MSCCL program interpreter (the runtime model)."""
+
+import pytest
+
+from repro import collectives, topology
+from repro.core import TecclConfig, solve_milp
+from repro.errors import ExportError, ScheduleError
+from repro.msccl import (interpret, load_program, to_msccl_xml,
+                         verify_program)
+
+
+def cfg(num_epochs=None, **kwargs):
+    return TecclConfig(chunk_bytes=1.0, num_epochs=num_epochs, **kwargs)
+
+
+def exported_allgather(topo, config, num_epochs):
+    demand = collectives.allgather(topo.gpus, 1)
+    outcome = solve_milp(topo, demand, config)
+    doc = to_msccl_xml(outcome.schedule, topo, demand)
+    return demand, outcome, doc
+
+
+class TestLoadProgram:
+    def test_decodes_blocks_and_steps(self, ring4):
+        demand, outcome, doc = exported_allgather(ring4, cfg(8), 8)
+        program = load_program(doc)
+        assert program.gpus == ring4.gpus
+        assert program.num_instructions == 2 * outcome.schedule.num_sends
+
+    def test_instructions_well_formed(self, ring4):
+        _, _, doc = exported_allgather(ring4, cfg(8), 8)
+        program = load_program(doc)
+        for ins in program.instructions():
+            assert ins.kind in ("s", "r")
+            assert ins.peer >= 0
+            assert ins.gpu != ins.peer
+
+    def test_rejects_non_algo_document(self):
+        with pytest.raises(ExportError):
+            load_program("<notalgo/>")
+
+    def test_rejects_foreign_document_without_identity(self):
+        doc = ("<algo name='x' coll='c'><gpu id='0'>"
+               "<tb id='0' send='1' recv='-1' chan='0'>"
+               "<step s='0' type='s' depid='-1' deps='-1'/>"
+               "</tb></gpu></algo>")
+        with pytest.raises(ExportError):
+            load_program(doc)
+
+
+class TestInterpret:
+    def test_allgather_executes_to_completion(self, ring4):
+        demand, _, doc = exported_allgather(ring4, cfg(8), 8)
+        program = load_program(doc)
+        report = interpret(program, ring4, demand, chunk_bytes=1.0)
+        assert not report.deadlocked
+        assert report.fired == report.total
+        for s, c, d in demand.triples():
+            assert report.delivered(s, c, d)
+
+    def test_finish_time_positive_and_plausible(self, ring4):
+        demand, outcome, doc = exported_allgather(ring4, cfg(8), 8)
+        program = load_program(doc)
+        report = interpret(program, ring4, demand, chunk_bytes=1.0)
+        # the runtime is event-driven (no epoch padding): it can only be
+        # as fast or faster than the epoch-quantized schedule estimate
+        assert 0 < report.finish_time <= outcome.finish_time + 1e-9
+
+    def test_broadcast_on_switch_topology(self, star3):
+        demand = collectives.broadcast(0, star3.gpus, 1)
+        outcome = solve_milp(star3, demand, cfg(8))
+        doc = to_msccl_xml(outcome.schedule, star3, demand)
+        program = load_program(doc)
+        report = interpret(program, star3, demand, chunk_bytes=1.0)
+        assert not report.deadlocked
+        for s, c, d in demand.triples():
+            assert report.delivered(s, c, d)
+
+    def test_alltoall_program(self, ring4, atoa_ring4):
+        outcome = solve_milp(ring4, atoa_ring4, cfg(8))
+        doc = to_msccl_xml(outcome.schedule, ring4, atoa_ring4)
+        report = verify_program(doc, ring4, atoa_ring4, chunk_bytes=1.0)
+        assert report.fired == report.total
+
+    def test_deadlock_detected(self):
+        """A receive whose send never fires must be reported, not hang."""
+        doc = ("<algo name='x' coll='c' ngpus='2'>"
+               "<gpu id='0'>"
+               "<tb id='0' send='-1' recv='1' chan='0'>"
+               "<step s='0' type='r' depid='-1' deps='-1'"
+               " x_source='1' x_chunk='0'/>"
+               "</tb></gpu>"
+               "<gpu id='1'></gpu>"
+               "</algo>")
+        topo = topology.line(2, capacity=1.0)
+        demand = collectives.Demand.from_triples([(1, 0, 0)])
+        program = load_program(doc)
+        report = interpret(program, topo, demand, chunk_bytes=1.0)
+        assert report.deadlocked
+        with pytest.raises(ScheduleError):
+            verify_program(doc, topo, demand, chunk_bytes=1.0)
+
+    def test_missing_delivery_detected(self, ring4):
+        """Verifying against a *larger* demand than the program implements
+        must fail."""
+        demand_small = collectives.broadcast(0, [1], 1)
+        outcome = solve_milp(ring4, demand_small, cfg(6))
+        doc = to_msccl_xml(outcome.schedule, ring4, demand_small)
+        demand_big = collectives.broadcast(0, [1, 2], 1)
+        with pytest.raises(ScheduleError):
+            verify_program(doc, ring4, demand_big, chunk_bytes=1.0)
+
+
+class TestEndToEndPipeline:
+    def test_dgx1_allgather_pipeline(self, dgx1):
+        """synthesize → export → interpret on a real chassis."""
+        config = TecclConfig(chunk_bytes=25e3, num_epochs=10)
+        demand = collectives.allgather(dgx1.gpus, 1)
+        outcome = solve_milp(dgx1, demand, config)
+        doc = to_msccl_xml(outcome.schedule, dgx1, demand)
+        report = verify_program(doc, dgx1, demand, chunk_bytes=25e3)
+        assert report.finish_time > 0
+
+    def test_heterogeneous_alpha_line(self):
+        topo = topology.line(3, capacity=1.0, alpha=0.5)
+        demand = collectives.allgather(topo.gpus, 1)
+        outcome = solve_milp(topo, demand, cfg(10))
+        doc = to_msccl_xml(outcome.schedule, topo, demand)
+        report = verify_program(doc, topo, demand, chunk_bytes=1.0)
+        # α must appear in the runtime estimate: 2 hops minimum for the
+        # end-to-end chunks, each paying 0.5 s of latency plus 1 s of wire
+        assert report.finish_time >= 3.0 - 1e-9

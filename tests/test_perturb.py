@@ -1,0 +1,104 @@
+"""Tests for congestion-perturbation robustness (simulate.perturb)."""
+
+import pytest
+
+from repro import collectives, topology
+from repro.baselines import ring_allgather, ring_demand
+from repro.core import TecclConfig, solve_milp
+from repro.errors import ModelError
+from repro.simulate import (PerturbationModel, congestion_robustness,
+                            perturbed_topology, run_events)
+
+
+def cfg(num_epochs=None, **kwargs):
+    return TecclConfig(chunk_bytes=1.0, num_epochs=num_epochs, **kwargs)
+
+
+class TestPerturbationModel:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            PerturbationModel(beta_jitter=-0.1)
+        with pytest.raises(ModelError):
+            PerturbationModel(congested_fraction=1.5)
+        with pytest.raises(ModelError):
+            PerturbationModel(congestion_factor=0.5)
+
+
+class TestPerturbedTopology:
+    def test_structure_preserved(self, dgx1):
+        model = PerturbationModel(beta_jitter=0.1, congested_fraction=0.25)
+        fabric = perturbed_topology(dgx1, model, seed=0)
+        assert sorted(fabric.links) == sorted(dgx1.links)
+        assert fabric.switches == dgx1.switches
+
+    def test_deterministic_per_seed(self, dgx1):
+        model = PerturbationModel(beta_jitter=0.1)
+        a = perturbed_topology(dgx1, model, seed=4)
+        b = perturbed_topology(dgx1, model, seed=4)
+        for key in dgx1.links:
+            assert a.link(*key).capacity == b.link(*key).capacity
+
+    def test_zero_jitter_identity(self, ring4):
+        model = PerturbationModel(beta_jitter=0.0, alpha_jitter=0.0)
+        fabric = perturbed_topology(ring4, model, seed=0)
+        for key, link in ring4.links.items():
+            assert fabric.link(*key).capacity == pytest.approx(link.capacity)
+
+    def test_congestion_slows_some_links(self, ring4):
+        model = PerturbationModel(beta_jitter=0.0, alpha_jitter=0.0,
+                                  congested_fraction=0.5,
+                                  congestion_factor=4.0)
+        fabric = perturbed_topology(ring4, model, seed=0)
+        slowed = [key for key in ring4.links
+                  if fabric.link(*key).capacity
+                  < ring4.link(*key).capacity * 0.9]
+        assert len(slowed) == round(0.5 * len(ring4.links))
+
+
+class TestRobustness:
+    def test_report_statistics(self, ring4, ag_ring4):
+        outcome = solve_milp(ring4, ag_ring4, cfg(8))
+        model = PerturbationModel(beta_jitter=0.1, congested_fraction=0.25,
+                                  congestion_factor=2.0)
+        report = congestion_robustness(outcome.schedule, ring4, ag_ring4,
+                                       model=model, trials=10)
+        assert len(report.times) == 10
+        assert report.p50 <= report.p95 <= report.worst + 1e-12
+        assert report.baseline > 0
+
+    def test_congestion_slows_collectives(self, ring4, ag_ring4):
+        outcome = solve_milp(ring4, ag_ring4, cfg(8))
+        model = PerturbationModel(beta_jitter=0.0, alpha_jitter=0.0,
+                                  congested_fraction=0.5,
+                                  congestion_factor=4.0)
+        report = congestion_robustness(outcome.schedule, ring4, ag_ring4,
+                                       model=model, trials=8)
+        assert report.mean_slowdown > 1.0
+
+    def test_zero_perturbation_zero_spread(self, ring4, ag_ring4):
+        outcome = solve_milp(ring4, ag_ring4, cfg(8))
+        model = PerturbationModel(beta_jitter=0.0, alpha_jitter=0.0)
+        report = congestion_robustness(outcome.schedule, ring4, ag_ring4,
+                                       model=model, trials=3)
+        for t in report.times:
+            assert t == pytest.approx(report.baseline)
+
+    def test_trials_validated(self, ring4, ag_ring4):
+        outcome = solve_milp(ring4, ag_ring4, cfg(8))
+        with pytest.raises(ModelError):
+            congestion_robustness(outcome.schedule, ring4, ag_ring4,
+                                  model=PerturbationModel(), trials=0)
+
+    def test_ring_schedule_robustness_comparable(self):
+        """The TE-CCL schedule must stay at least as fast as the ring
+        baseline *under congestion*, not only on the clean fabric."""
+        topo = topology.ring(4, capacity=1.0)
+        demand = ring_demand(topo)
+        teccl = solve_milp(topo, demand, cfg(8)).schedule
+        ring_sched = ring_allgather(topo, cfg())
+        model = PerturbationModel(beta_jitter=0.1, congested_fraction=0.25)
+        ours = congestion_robustness(teccl, topo, demand, model=model,
+                                     trials=10, seed=3)
+        theirs = congestion_robustness(ring_sched, topo, demand, model=model,
+                                       trials=10, seed=3)
+        assert ours.mean <= theirs.mean * 1.05

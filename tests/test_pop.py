@@ -1,0 +1,136 @@
+"""Tests for POP-style partitioned LP solving."""
+
+import pytest
+
+from repro import collectives, topology
+from repro.core import TecclConfig, solve_lp
+from repro.core.pop import (merge_flow_schedules, partition_demand,
+                            solve_lp_pop)
+from repro.core.schedule import FlowSchedule
+from repro.errors import ModelError
+
+
+def cfg(num_epochs=None, **kwargs):
+    return TecclConfig(chunk_bytes=1.0, num_epochs=num_epochs, **kwargs)
+
+
+class TestPartitionDemand:
+    def test_partitions_cover_demand(self):
+        demand = collectives.alltoall(list(range(6)), 1)
+        parts = partition_demand(demand, 3)
+        together = sorted(
+            t for p in parts for t in p.demand.triples())
+        assert together == demand.triples()
+
+    def test_shares_sum_to_one(self):
+        demand = collectives.alltoall(list(range(5)), 2)
+        parts = partition_demand(demand, 2)
+        assert sum(p.share for p in parts) == pytest.approx(1.0)
+
+    def test_sources_not_split_across_partitions(self):
+        demand = collectives.alltoall(list(range(6)), 1)
+        parts = partition_demand(demand, 3)
+        seen: set[int] = set()
+        for p in parts:
+            sources = set(p.demand.sources)
+            assert not (sources & seen)
+            seen |= sources
+
+    def test_balanced_loads(self):
+        demand = collectives.alltoall(list(range(8)), 1)
+        parts = partition_demand(demand, 4)
+        loads = [p.demand.num_triples for p in parts]
+        assert max(loads) - min(loads) <= 7  # one source's worth
+
+    def test_deterministic_per_seed(self):
+        demand = collectives.alltoall(list(range(6)), 1)
+        a = partition_demand(demand, 2, seed=3)
+        b = partition_demand(demand, 2, seed=3)
+        assert [p.demand.triples() for p in a] == \
+            [p.demand.triples() for p in b]
+
+    def test_more_partitions_than_sources_rejected(self):
+        demand = collectives.alltoall([0, 1], 1)
+        with pytest.raises(ModelError):
+            partition_demand(demand, 3)
+
+    def test_single_partition_is_identity(self):
+        demand = collectives.alltoall(list(range(4)), 1)
+        parts = partition_demand(demand, 1)
+        assert len(parts) == 1
+        assert parts[0].share == pytest.approx(1.0)
+        assert parts[0].demand.triples() == demand.triples()
+
+
+class TestSolveLpPop:
+    def test_delivers_full_demand(self, ring4, atoa_ring4):
+        out = solve_lp_pop(ring4, atoa_ring4, cfg(12), num_partitions=2)
+        for s, c, d in atoa_ring4.triples():
+            commodity_mass = sum(
+                v for (q, dst, _), v in out.schedule.reads.items()
+                if q in (s, (s, c)) and dst == d)
+            assert commodity_mass > 0
+
+    def test_capacity_respected_after_merge(self, ring4, atoa_ring4):
+        out = solve_lp_pop(ring4, atoa_ring4, cfg(12), num_partitions=2)
+        plan = out.plan
+        for (i, j) in ring4.links:
+            for k in range(plan.num_epochs):
+                load = out.schedule.link_load(i, j, k)
+                assert load <= plan.cap_chunks[(i, j)] + 1e-6
+
+    def test_never_better_than_monolithic(self, ring4, atoa_ring4):
+        pop = solve_lp_pop(ring4, atoa_ring4, cfg(12), num_partitions=2)
+        mono = solve_lp(ring4, atoa_ring4, cfg(12))
+        assert pop.finish_time >= mono.finish_time - 1e-9
+
+    def test_single_partition_matches_monolithic(self, ring4, atoa_ring4):
+        pop = solve_lp_pop(ring4, atoa_ring4, cfg(12), num_partitions=1)
+        mono = solve_lp(ring4, atoa_ring4, cfg(12))
+        assert pop.finish_time == pytest.approx(mono.finish_time, rel=1e-6)
+
+    def test_multicast_rejected(self, ring4, ag_ring4):
+        with pytest.raises(ModelError):
+            solve_lp_pop(ring4, ag_ring4, cfg(12))
+
+    def test_auto_horizon(self, ring4, atoa_ring4):
+        out = solve_lp_pop(ring4, atoa_ring4, cfg(), num_partitions=2)
+        assert out.finish_time > 0
+
+    def test_solve_times_reported(self, ring4, atoa_ring4):
+        out = solve_lp_pop(ring4, atoa_ring4, cfg(12), num_partitions=2)
+        assert out.parallel_solve_time <= out.serial_solve_time + 1e-12
+        assert out.solve_time == out.parallel_solve_time
+
+    def test_internal1_alltoall(self):
+        topo = topology.internal1(2)
+        demand = collectives.alltoall(topo.gpus, 1)
+        config = TecclConfig(chunk_bytes=1e6)
+        out = solve_lp_pop(topo, demand, config, num_partitions=2)
+        mono = solve_lp(topo, demand, config)
+        assert out.finish_time >= mono.finish_time - 1e-9
+        # POP's promise: the quality gap stays moderate on granular demands
+        assert out.finish_time <= 4 * mono.finish_time
+
+
+class TestMergeFlowSchedules:
+    def test_merge_sums_overlapping_keys(self):
+        a = FlowSchedule(flows={("q", 0, 1, 0): 1.0}, reads={},
+                         tau=1.0, chunk_bytes=1.0, num_epochs=2)
+        b = FlowSchedule(flows={("q", 0, 1, 0): 0.5}, reads={},
+                         tau=1.0, chunk_bytes=1.0, num_epochs=3)
+        merged = merge_flow_schedules([a, b])
+        assert merged.flows[("q", 0, 1, 0)] == pytest.approx(1.5)
+        assert merged.num_epochs == 3
+
+    def test_mismatched_tau_rejected(self):
+        a = FlowSchedule(flows={}, reads={}, tau=1.0, chunk_bytes=1.0,
+                         num_epochs=1)
+        b = FlowSchedule(flows={}, reads={}, tau=2.0, chunk_bytes=1.0,
+                         num_epochs=1)
+        with pytest.raises(ModelError):
+            merge_flow_schedules([a, b])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ModelError):
+            merge_flow_schedules([])

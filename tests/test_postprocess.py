@@ -1,0 +1,126 @@
+"""Unit tests for the reverse-DFS flow pruning (§3.1's post-processing)."""
+
+import pytest
+
+from repro import collectives, topology
+from repro.core import TecclConfig
+from repro.core.epochs import plan_with_tau
+from repro.core.postprocess import prune_fractional, prune_sends
+from repro.core.schedule import FlowSchedule, Schedule, Send
+from repro.errors import ScheduleError
+
+
+def send(epoch, src, dst, source=0, chunk=0):
+    return Send(epoch=epoch, source=source, chunk=chunk, src=src, dst=dst)
+
+
+@pytest.fixture
+def line4():
+    return topology.line(4, capacity=1.0)
+
+
+@pytest.fixture
+def plan(line4):
+    return plan_with_tau(line4, 1.0, tau=1.0, num_epochs=8)
+
+
+class TestPruneSends:
+    def test_drops_useless_send(self, line4, plan):
+        demand = collectives.Demand.from_triples([(0, 0, 1)])
+        sched = Schedule(
+            sends=[send(0, 0, 1), send(1, 1, 2)],  # second hop serves nobody
+            tau=1.0, chunk_bytes=1.0, num_epochs=8)
+        pruned = prune_sends(sched, demand, line4, plan,
+                             delivered_epoch={(0, 0, 1): 0})
+        assert pruned.num_sends == 1
+        assert pruned.sends[0].dst == 1
+
+    def test_keeps_relay_chain(self, line4, plan):
+        demand = collectives.Demand.from_triples([(0, 0, 3)])
+        sched = Schedule(
+            sends=[send(0, 0, 1), send(1, 1, 2), send(2, 2, 3)],
+            tau=1.0, chunk_bytes=1.0, num_epochs=8)
+        pruned = prune_sends(sched, demand, line4, plan,
+                             delivered_epoch={(0, 0, 3): 2})
+        assert pruned.num_sends == 3
+
+    def test_copy_shares_one_provider(self, plan):
+        topo = topology.copy_star()
+        demand = collectives.broadcast(0, [2, 3], 1)
+        p = plan_with_tau(topo, 1.0, tau=1.0, num_epochs=8)
+        sched = Schedule(
+            sends=[send(0, 0, 1), send(1, 1, 2), send(1, 1, 3),
+                   send(2, 0, 1)],  # duplicate injection is useless
+            tau=1.0, chunk_bytes=1.0, num_epochs=8)
+        pruned = prune_sends(sched, demand, topo, p,
+                             delivered_epoch={(0, 0, 2): 1, (0, 0, 3): 1})
+        assert pruned.num_sends == 3
+
+    def test_missing_provider_raises(self, line4, plan):
+        demand = collectives.Demand.from_triples([(0, 0, 3)])
+        sched = Schedule(sends=[send(0, 0, 1)], tau=1.0, chunk_bytes=1.0,
+                         num_epochs=8)
+        with pytest.raises(ScheduleError, match="never arrives"):
+            prune_sends(sched, demand, line4, plan,
+                        delivered_epoch={(0, 0, 3): 5})
+
+    def test_switch_relay_must_be_exact(self, plan):
+        topo = topology.star(3)  # hub 3 is a switch
+        demand = collectives.Demand.from_triples([(0, 0, 1)])
+        p = plan_with_tau(topo, 1.0, tau=1.0, num_epochs=8)
+        # relay leaves the switch two epochs after arrival: invalid chain
+        sched = Schedule(sends=[send(0, 0, 3), send(3, 3, 1)],
+                         tau=1.0, chunk_bytes=1.0, num_epochs=8)
+        with pytest.raises(ScheduleError, match="switch"):
+            prune_sends(sched, demand, topo, p,
+                        delivered_epoch={(0, 0, 1): 4})
+
+    def test_respects_buffer_eviction(self, line4, plan):
+        demand = collectives.Demand.from_triples([(0, 0, 2)])
+        sched = Schedule(
+            sends=[send(0, 0, 1), send(5, 1, 2)],
+            tau=1.0, chunk_bytes=1.0, num_epochs=8)
+
+        def holds(s, c, n, k):
+            return not (n == 1 and k >= 4)  # evicted from node 1 at epoch 4
+
+        with pytest.raises(ScheduleError):
+            prune_sends(sched, demand, line4, plan,
+                        delivered_epoch={(0, 0, 2): 6},
+                        buffer_values=holds)
+
+
+class TestPruneFractional:
+    def test_drops_unread_flow(self, line4, plan):
+        flows = {(0, 0, 1, 0): 1.0, (0, 1, 2, 1): 0.5}
+        reads = {(0, 1, 0): 1.0}
+        fs = FlowSchedule(flows=flows, reads=reads, tau=1.0, chunk_bytes=1.0,
+                          num_epochs=8)
+        pruned = prune_fractional(fs, line4, plan)
+        assert (0, 1, 2, 1) not in pruned.flows
+        assert pruned.flows[(0, 0, 1, 0)] == pytest.approx(1.0)
+
+    def test_keeps_partial_flow(self, line4, plan):
+        flows = {(0, 0, 1, 0): 1.0}
+        reads = {(0, 1, 0): 0.5}  # only half the flow is consumed
+        fs = FlowSchedule(flows=flows, reads=reads, tau=1.0, chunk_bytes=1.0,
+                          num_epochs=8)
+        pruned = prune_fractional(fs, line4, plan)
+        assert pruned.flows[(0, 0, 1, 0)] == pytest.approx(0.5)
+
+    def test_hold_capped_by_buffers(self, line4, plan):
+        # flow arrives at pool 1 but is read at epoch 3 (pool 4): the hold
+        # chain needs B > 0 at pools 1..3
+        flows = {(0, 0, 1, 0): 1.0}
+        reads = {(0, 1, 3): 1.0}
+        fs = FlowSchedule(flows=flows, reads=reads, tau=1.0, chunk_bytes=1.0,
+                          num_epochs=8)
+        buffers = {(0, 1, k): 1.0 for k in range(1, 4)}
+        pruned = prune_fractional(fs, line4, plan, buffers=buffers)
+        assert pruned.flows[(0, 0, 1, 0)] == pytest.approx(1.0)
+
+    def test_insufficient_supply_raises(self, line4, plan):
+        fs = FlowSchedule(flows={}, reads={(0, 1, 0): 1.0}, tau=1.0,
+                          chunk_bytes=1.0, num_epochs=8)
+        with pytest.raises(ScheduleError, match="cannot supply"):
+            prune_fractional(fs, line4, plan, buffers={})

@@ -1,0 +1,282 @@
+"""Property-based tests over the extension subsystems.
+
+Same philosophy as :mod:`tests.test_properties`: random small instances,
+invariants that must hold structurally — tree spans, packing disjointness,
+partition covers, fit round-trips, perturbation sanity.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import collectives, topology
+from repro.analysis.calibration import fit_alpha_beta, probe_link
+from repro.baselines.blink_like import pack_arborescences, split_chunks
+from repro.baselines.trees import binomial_tree, chain_tree, double_binary_trees
+from repro.core.pop import merge_flow_schedules, partition_demand
+from repro.core.schedule import FlowSchedule
+from repro.simulate import PerturbationModel, perturbed_topology
+from repro.topology.fabrics import hypercube, torus2d
+from repro.topology.topology import Link
+
+SETTINGS = settings(max_examples=25, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+# ----------------------------------------------------------------------
+# logical trees
+# ----------------------------------------------------------------------
+@st.composite
+def member_lists(draw):
+    n = draw(st.integers(min_value=2, max_value=16))
+    offset = draw(st.integers(min_value=0, max_value=10))
+    return [offset + i for i in range(n)]
+
+
+class TestTreeProperties:
+    @SETTINGS
+    @given(member_lists(), st.integers(0, 15))
+    def test_binomial_tree_spans_members(self, members, root_index):
+        root = members[root_index % len(members)]
+        tree = binomial_tree(root, members)
+        assert sorted(tree.nodes) == sorted(members)
+        assert len(tree.edges_bfs()) == len(members) - 1
+
+    @SETTINGS
+    @given(member_lists())
+    def test_binomial_depth_logarithmic(self, members):
+        tree = binomial_tree(members[0], members)
+        assert tree.depth() <= math.ceil(math.log2(len(members)))
+
+    @SETTINGS
+    @given(member_lists())
+    def test_chain_tree_is_path(self, members):
+        tree = chain_tree(members[0], members)
+        assert tree.depth() == len(members) - 1
+        assert len(tree.edges_bfs()) == len(members) - 1
+
+    @SETTINGS
+    @given(member_lists())
+    def test_double_trees_span(self, members):
+        tree_a, tree_b = double_binary_trees(members)
+        assert sorted(tree_a.nodes) == sorted(members)
+        assert sorted(tree_b.nodes) == sorted(members)
+
+    @SETTINGS
+    @given(st.integers(min_value=1, max_value=8))
+    def test_double_trees_complementary_for_even_counts(self, half):
+        members = list(range(2 * half))
+        tree_a, tree_b = double_binary_trees(members)
+        assert not (set(tree_a.leaves()) & set(tree_b.leaves()))
+
+
+# ----------------------------------------------------------------------
+# Blink packing
+# ----------------------------------------------------------------------
+class TestPackingProperties:
+    @SETTINGS
+    @given(st.integers(min_value=1, max_value=40),
+           st.lists(st.floats(min_value=0.1, max_value=10.0),
+                    min_size=1, max_size=6))
+    def test_split_chunks_sums_and_bounds(self, n, rates):
+        shares = split_chunks(n, rates)
+        assert sum(shares) == n
+        assert all(s >= 0 for s in shares)
+        assert len(shares) == len(rates)
+
+    @SETTINGS
+    @given(st.integers(min_value=3, max_value=7), st.integers(0, 100))
+    def test_packing_disjoint_on_meshes(self, n, seed):
+        topo = topology.full_mesh(n, capacity=1.0 + (seed % 3))
+        trees = pack_arborescences(topo, seed % n, chunk_bytes=1.0,
+                                   max_trees=4)
+        used: set[tuple[int, int]] = set()
+        for tree in trees:
+            arcs = set(tree.arcs)
+            assert not (arcs & used)
+            used |= arcs
+            assert tree.covered_gpus(topo) == set(topo.gpus)
+
+
+# ----------------------------------------------------------------------
+# POP partitioning
+# ----------------------------------------------------------------------
+@st.composite
+def alltoall_demands(draw):
+    n = draw(st.integers(min_value=3, max_value=8))
+    chunks = draw(st.integers(min_value=1, max_value=2))
+    return collectives.alltoall(list(range(n)), chunks)
+
+
+class TestPopProperties:
+    @SETTINGS
+    @given(alltoall_demands(), st.integers(min_value=1, max_value=3),
+           st.integers(0, 50))
+    def test_partitions_exactly_cover(self, demand, k, seed):
+        parts = partition_demand(demand, k, seed=seed)
+        together = sorted(t for p in parts for t in p.demand.triples())
+        assert together == demand.triples()
+        assert sum(p.share for p in parts) == pytest.approx(1.0)
+
+    @SETTINGS
+    @given(st.lists(st.floats(min_value=0.0, max_value=5.0),
+                    min_size=1, max_size=8),
+           st.lists(st.floats(min_value=0.0, max_value=5.0),
+                    min_size=1, max_size=8))
+    def test_merge_sums_mass(self, amounts_a, amounts_b):
+        def sched(amounts, tag):
+            flows = {(tag, 0, 1, k): v for k, v in enumerate(amounts)}
+            return FlowSchedule(flows=flows, reads={}, tau=1.0,
+                                chunk_bytes=1.0,
+                                num_epochs=len(amounts) + 1)
+
+        a, b = sched(amounts_a, "a"), sched(amounts_b, "b")
+        merged = merge_flow_schedules([a, b])
+        # FlowSchedule drops sub-tolerance entries; compare surviving mass
+        assert sum(merged.flows.values()) == pytest.approx(
+            sum(a.flows.values()) + sum(b.flows.values()))
+
+
+# ----------------------------------------------------------------------
+# calibration
+# ----------------------------------------------------------------------
+class TestCalibrationProperties:
+    @SETTINGS
+    @given(st.floats(min_value=1e6, max_value=1e11),
+           st.floats(min_value=0.0, max_value=1e-3))
+    def test_exact_probe_round_trips(self, capacity, alpha):
+        link = Link(0, 1, capacity=capacity, alpha=alpha)
+        fit = fit_alpha_beta(probe_link(link, [1e3, 1e5, 1e7]))
+        assert fit.capacity == pytest.approx(capacity, rel=1e-6)
+        assert fit.alpha == pytest.approx(alpha, rel=1e-3, abs=1e-12)
+
+
+# ----------------------------------------------------------------------
+# perturbation
+# ----------------------------------------------------------------------
+class TestPerturbationProperties:
+    @SETTINGS
+    @given(st.integers(min_value=3, max_value=8), st.integers(0, 1000),
+           st.floats(min_value=0.0, max_value=0.3))
+    def test_perturbed_fabric_stays_sane(self, n, seed, jitter):
+        topo = topology.ring(n, capacity=1e9, alpha=1e-6)
+        model = PerturbationModel(beta_jitter=jitter, alpha_jitter=jitter,
+                                  congested_fraction=0.25)
+        fabric = perturbed_topology(topo, model, seed=seed)
+        assert sorted(fabric.links) == sorted(topo.links)
+        for link in fabric.links.values():
+            assert link.capacity > 0
+            assert link.alpha >= 0
+
+
+# ----------------------------------------------------------------------
+# whole-pipeline properties (the most valuable invariants in the repo)
+# ----------------------------------------------------------------------
+@st.composite
+def solvable_instances(draw):
+    """A small strongly-connected fabric plus a modest demand."""
+    n = draw(st.integers(min_value=3, max_value=5))
+    topo = topology.ring(n, capacity=1.0)
+    extra = draw(st.lists(st.tuples(st.integers(0, n - 1),
+                                    st.integers(0, n - 1)), max_size=3))
+    for (i, j) in extra:
+        if i != j and not topo.has_link(i, j):
+            topo.add_link(i, j, 1.0)
+    kind = draw(st.sampled_from(["allgather", "broadcast", "alltoall"]))
+    if kind == "allgather":
+        demand = collectives.allgather(topo.gpus, 1)
+    elif kind == "broadcast":
+        demand = collectives.broadcast(0, topo.gpus, 1)
+    else:
+        demand = collectives.alltoall(topo.gpus, 1)
+    return topo, demand
+
+
+PIPE_SETTINGS = settings(max_examples=8, deadline=None,
+                         suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestPipelineProperties:
+    @PIPE_SETTINGS
+    @given(solvable_instances())
+    def test_export_then_interpret_always_delivers(self, case):
+        """synthesize → lower → execute-as-program never deadlocks and
+        always satisfies the demand (the end-to-end §6 pipeline)."""
+        from repro.core import TecclConfig, solve_milp
+        from repro.msccl import to_msccl_xml, verify_program
+        from repro.solver import SolverOptions
+
+        topo, demand = case
+        cfg = TecclConfig(chunk_bytes=1.0, num_epochs=4 * topo.num_gpus,
+                          solver=SolverOptions(time_limit=20))
+        outcome = solve_milp(topo, demand, cfg)
+        document = to_msccl_xml(outcome.schedule, topo, demand)
+        report = verify_program(document, topo, demand, chunk_bytes=1.0)
+        assert report.fired == report.total
+
+    @PIPE_SETTINGS
+    @given(solvable_instances(), st.integers(0, 3), st.integers(0, 10))
+    def test_repair_after_random_failure_completes(self, case, fail_epoch,
+                                                   link_index):
+        """fail → re-home → re-synthesize always covers the residual
+        demand whenever the degraded fabric is survivable."""
+        from repro.core import Method, TecclConfig, solve_milp
+        from repro.errors import InfeasibleError
+        from repro.failures import (FailureEvent, is_survivable,
+                                    repair_schedule)
+        from repro.simulate import run_events
+        from repro.solver import SolverOptions
+
+        topo, demand = case
+        cfg = TecclConfig(chunk_bytes=1.0, num_epochs=4 * topo.num_gpus,
+                          solver=SolverOptions(time_limit=20))
+        outcome = solve_milp(topo, demand, cfg)
+        link = sorted(topo.links)[link_index % len(topo.links)]
+        failures = [FailureEvent(fail_epoch, link)]
+        if not is_survivable(topo, demand, failures):
+            return  # partitioned: repair correctly refuses (tested elsewhere)
+        repair = repair_schedule(topo, demand, cfg, outcome.schedule,
+                                 outcome.plan, failures,
+                                 method=Method.MILP)
+        if repair.synthesis is None:
+            assert repair.residual_demand.is_empty()
+            return
+        report = run_events(repair.synthesis.schedule, repair.degraded,
+                            repair.residual_demand)
+        for triple in repair.residual_demand.triples():
+            assert triple in report.delivered
+
+
+# ----------------------------------------------------------------------
+# fabrics
+# ----------------------------------------------------------------------
+class TestFabricProperties:
+    @SETTINGS
+    @given(st.integers(min_value=1, max_value=5),
+           st.integers(min_value=1, max_value=5))
+    def test_torus_degree(self, rows, cols):
+        if rows * cols < 2:
+            return
+        topo = torus2d(rows, cols)
+        expected = (2 if rows > 1 else 0) + (2 if cols > 1 else 0)
+        # a dimension of exactly 2 merges the wrap link with the direct one
+        if rows == 2:
+            expected -= 1
+        if cols == 2:
+            expected -= 1
+        for gpu in topo.gpus:
+            assert len(topo.out_edges(gpu)) == expected
+        topo.validate()
+
+    @SETTINGS
+    @given(st.integers(min_value=1, max_value=5))
+    def test_hypercube_structure(self, dim):
+        topo = hypercube(dim)
+        assert topo.num_gpus == 2 ** dim
+        for (a, b) in topo.links:
+            assert bin(a ^ b).count("1") == 1
+        assert len(topo.links) == dim * 2 ** dim

@@ -1,0 +1,119 @@
+"""Unit tests for Schedule / FlowSchedule invariants and cost math."""
+
+import pytest
+
+from repro.core.schedule import FlowSchedule, Schedule, Send
+from repro.errors import ScheduleError
+from repro.topology import line
+
+
+def send(epoch, src, dst, source=0, chunk=0):
+    return Send(epoch=epoch, source=source, chunk=chunk, src=src, dst=dst)
+
+
+class TestSend:
+    def test_ordering_by_epoch(self):
+        assert send(0, 0, 1) < send(1, 0, 1)
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ScheduleError):
+            send(-1, 0, 1)
+
+    def test_accessors(self):
+        s = send(2, 3, 4, source=1, chunk=5)
+        assert s.commodity == (1, 5)
+        assert s.link == (3, 4)
+
+
+class TestSchedule:
+    def test_beyond_horizon_rejected(self):
+        with pytest.raises(ScheduleError):
+            Schedule(sends=[send(5, 0, 1)], tau=1.0, chunk_bytes=1.0,
+                     num_epochs=3)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ScheduleError):
+            Schedule(sends=[], tau=0.0, chunk_bytes=1.0, num_epochs=1)
+        with pytest.raises(ScheduleError):
+            Schedule(sends=[], tau=1.0, chunk_bytes=0.0, num_epochs=1)
+
+    def test_finish_epoch(self):
+        sched = Schedule(sends=[send(0, 0, 1), send(3, 1, 2)], tau=1.0,
+                         chunk_bytes=1.0, num_epochs=5)
+        assert sched.finish_epoch == 3
+        assert Schedule(sends=[], tau=1.0, chunk_bytes=1.0,
+                        num_epochs=1).finish_epoch == -1
+
+    def test_finish_time_alpha_beta(self):
+        topo = line(3, capacity=2.0, alpha=0.5)
+        sched = Schedule(sends=[send(1, 0, 1)], tau=1.0, chunk_bytes=4.0,
+                         num_epochs=3)
+        # 1 * tau + 4/2 + 0.5
+        assert sched.finish_time(topo) == pytest.approx(3.5)
+
+    def test_groupings(self):
+        sends = [send(0, 0, 1), send(0, 1, 2), send(1, 0, 1)]
+        sched = Schedule(sends=sends, tau=1.0, chunk_bytes=1.0, num_epochs=3)
+        assert len(sched.sends_by_epoch()[0]) == 2
+        assert len(sched.sends_on_link(0, 1)) == 2
+        assert sched.links_used() == {(0, 1), (1, 2)}
+
+    def test_total_bytes(self):
+        sched = Schedule(sends=[send(0, 0, 1)] * 1, tau=1.0,
+                         chunk_bytes=7.0, num_epochs=1)
+        assert sched.total_bytes() == pytest.approx(7.0)
+
+    def test_shift_and_merge(self):
+        a = Schedule(sends=[send(0, 0, 1)], tau=1.0, chunk_bytes=1.0,
+                     num_epochs=2)
+        b = a.shifted(3)
+        assert b.sends[0].epoch == 3
+        merged = a.merged_with(b)
+        assert merged.num_sends == 2
+        assert merged.num_epochs == 5
+
+    def test_merge_rejects_mismatched(self):
+        a = Schedule(sends=[], tau=1.0, chunk_bytes=1.0, num_epochs=1)
+        b = Schedule(sends=[], tau=2.0, chunk_bytes=1.0, num_epochs=1)
+        with pytest.raises(ScheduleError):
+            a.merged_with(b)
+
+    def test_shift_rejects_negative(self):
+        a = Schedule(sends=[], tau=1.0, chunk_bytes=1.0, num_epochs=1)
+        with pytest.raises(ScheduleError):
+            a.shifted(-1)
+
+
+class TestFlowSchedule:
+    def test_tolerance_filter(self):
+        fs = FlowSchedule(flows={(0, 0, 1, 0): 1e-12, (0, 0, 1, 1): 0.5},
+                          reads={(0, 1, 1): 0.5}, tau=1.0, chunk_bytes=1.0,
+                          num_epochs=3)
+        assert len(fs.flows) == 1
+
+    def test_finish_epoch(self):
+        fs = FlowSchedule(flows={(0, 0, 1, 2): 1.0}, reads={(0, 1, 3): 1.0},
+                          tau=1.0, chunk_bytes=1.0, num_epochs=5)
+        assert fs.finish_epoch == 3
+
+    def test_link_load_sums_commodities(self):
+        fs = FlowSchedule(flows={(0, 0, 1, 0): 0.5, (1, 0, 1, 0): 0.25},
+                          reads={}, tau=1.0, chunk_bytes=1.0, num_epochs=2)
+        assert fs.link_load(0, 1, 0) == pytest.approx(0.75)
+
+    def test_finish_time_serialises_link_load(self):
+        topo = line(3, capacity=2.0, alpha=0.0)
+        fs = FlowSchedule(flows={(0, 0, 1, 0): 0.5, (1, 0, 1, 0): 0.5},
+                          reads={}, tau=1.0, chunk_bytes=4.0, num_epochs=2)
+        # both half-chunks share epoch 0: 0 + (1.0 * 4)/2 = 2.0
+        assert fs.finish_time(topo) == pytest.approx(2.0)
+
+    def test_delivered(self):
+        fs = FlowSchedule(flows={}, reads={(0, 1, 0): 0.5, (0, 1, 2): 0.5},
+                          tau=1.0, chunk_bytes=1.0, num_epochs=3)
+        assert fs.delivered(0, 1) == pytest.approx(1.0)
+
+    def test_total_bytes(self):
+        fs = FlowSchedule(flows={(0, 0, 1, 0): 1.5}, reads={}, tau=1.0,
+                          chunk_bytes=2.0, num_epochs=1)
+        assert fs.total_bytes() == pytest.approx(3.0)

@@ -1,0 +1,75 @@
+"""Tests for the synthesize() facade: method routing, hyper remap, guards."""
+
+import pytest
+
+from repro import collectives, topology
+from repro.core import TecclConfig
+from repro.core.config import SwitchModel
+from repro.core.solve import Method, synthesize
+from repro.errors import ModelError
+
+
+class TestHyperRemap:
+    def test_demand_remapped_into_hyper_space(self):
+        """With a switch in the middle of the id space, the transform
+        renumbers GPUs; the facade must remap the demand accordingly."""
+        topo = topology.Topology("mid-switch", num_nodes=4, switches={1})
+        topo.add_bidirectional(0, 1, 1.0)
+        topo.add_bidirectional(2, 1, 1.0)
+        topo.add_bidirectional(3, 1, 1.0)
+        demand = collectives.allgather([0, 2, 3], 1)
+        cfg = TecclConfig(chunk_bytes=1.0, num_epochs=8,
+                          switch_model=SwitchModel.HYPER_EDGE)
+        result = synthesize(topo, demand, cfg, method=Method.MILP)
+        assert result.hyper is not None
+        work = result.topology_used
+        assert work.num_nodes == 3
+        # schedules use hyper-space ids 0..2
+        for send in result.schedule.sends:
+            assert 0 <= send.src < 3 and 0 <= send.dst < 3
+        # demand_used endpoints live in hyper space too
+        assert result.demand_used.endpoints <= {0, 1, 2}
+
+    def test_priorities_with_hyper_rejected(self):
+        topo = topology.internal2(2)
+        demand = collectives.allgather(topo.gpus, 1)
+        cfg = TecclConfig(chunk_bytes=1.0, num_epochs=8,
+                          switch_model=SwitchModel.HYPER_EDGE,
+                          priorities={(0, 0, 1): 2.0})
+        with pytest.raises(ModelError, match="priorities"):
+            synthesize(topo, demand, cfg, method=Method.MILP)
+
+    def test_no_switches_means_no_transform(self, ring4):
+        demand = collectives.allgather(ring4.gpus, 1)
+        cfg = TecclConfig(chunk_bytes=1.0, num_epochs=8,
+                          switch_model=SwitchModel.HYPER_EDGE)
+        result = synthesize(ring4, demand, cfg, method=Method.MILP)
+        assert result.hyper is None
+        assert result.topology_used is ring4
+        assert result.demand_used is demand
+
+
+class TestMethodRouting:
+    def test_lp_on_multicast_is_nocopy_mode(self, ring4):
+        demand = collectives.allgather(ring4.gpus, 1)
+        result = synthesize(ring4, demand,
+                            TecclConfig(chunk_bytes=1.0, num_epochs=8),
+                            method=Method.LP)
+        # no-copy: total bytes strictly exceed the copy-enabled optimum
+        milp = synthesize(ring4, demand,
+                          TecclConfig(chunk_bytes=1.0, num_epochs=8),
+                          method=Method.MILP)
+        assert result.schedule.total_bytes() >= \
+            milp.schedule.total_bytes() - 1e-9
+
+    def test_unknown_method_rejected(self, ring4):
+        demand = collectives.allgather(ring4.gpus, 1)
+        with pytest.raises((ModelError, AttributeError)):
+            synthesize(ring4, demand, TecclConfig(chunk_bytes=1.0),
+                       method="nonsense")  # type: ignore[arg-type]
+
+    def test_minimize_epochs_path(self, ring4):
+        demand = collectives.alltoall(ring4.gpus, 1)
+        result = synthesize(ring4, demand, TecclConfig(chunk_bytes=1.0),
+                            method=Method.LP, minimize_epochs=True)
+        assert result.plan.num_epochs == 2  # the known ring-4 optimum

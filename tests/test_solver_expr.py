@@ -1,0 +1,150 @@
+"""Unit tests for the linear-expression algebra."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.solver import Model, Relation, Sense, VarType, quicksum
+from repro.solver.expr import LinExpr
+
+
+@pytest.fixture
+def model():
+    return Model("t")
+
+
+@pytest.fixture
+def xy(model):
+    return model.add_var(name="x"), model.add_var(name="y")
+
+
+class TestVariableArithmetic:
+    def test_add_two_vars(self, xy):
+        x, y = xy
+        expr = x + y
+        assert expr.terms == {x.index: 1.0, y.index: 1.0}
+        assert expr.const == 0.0
+
+    def test_scale(self, xy):
+        x, _ = xy
+        expr = 3 * x
+        assert expr.terms == {x.index: 3.0}
+
+    def test_negate(self, xy):
+        x, _ = xy
+        assert (-x).terms == {x.index: -1.0}
+
+    def test_subtract_constant(self, xy):
+        x, _ = xy
+        expr = x - 2
+        assert expr.const == -2.0
+
+    def test_rsub(self, xy):
+        x, _ = xy
+        expr = 5 - x
+        assert expr.const == 5.0
+        assert expr.terms == {x.index: -1.0}
+
+    def test_division(self, xy):
+        x, _ = xy
+        assert (x / 4).terms == {x.index: 0.25}
+
+    def test_divide_by_zero_rejected(self, xy):
+        x, _ = xy
+        with pytest.raises(ModelError):
+            x.to_expr() / 0
+
+    def test_nonlinear_rejected(self, xy):
+        x, y = xy
+        with pytest.raises(ModelError):
+            x.to_expr() * y  # type: ignore[arg-type]
+
+
+class TestLinExpr:
+    def test_terms_cancel(self, xy):
+        x, _ = xy
+        expr = x - x
+        assert expr.is_constant()
+
+    def test_chained_sum(self, xy):
+        x, y = xy
+        expr = 2 * x + 3 * y + 1 + x
+        assert expr.terms[x.index] == 3.0
+        assert expr.terms[y.index] == 3.0
+        assert expr.const == 1.0
+
+    def test_copy_is_independent(self, xy):
+        x, _ = xy
+        a = x + 1
+        b = a.copy()
+        b.add_term(x, 1.0)
+        assert a.terms[x.index] == 1.0
+        assert b.terms[x.index] == 2.0
+
+    def test_scale_by_zero_empties(self, xy):
+        x, _ = xy
+        assert ((x + 1) * 0).is_constant()
+
+    def test_coerce_rejects_strings(self):
+        with pytest.raises(ModelError):
+            LinExpr._coerce("nope")  # type: ignore[arg-type]
+
+
+class TestConstraints:
+    def test_le_normalisation(self, xy):
+        x, y = xy
+        constraint = x + y <= 3
+        assert constraint.relation is Relation.LE
+        assert constraint.expr.const == -3.0
+
+    def test_ge(self, xy):
+        x, _ = xy
+        constraint = x >= 1
+        assert constraint.relation is Relation.GE
+
+    def test_eq_builds_constraint(self, xy):
+        x, y = xy
+        constraint = (x + y == 2)
+        assert constraint.relation is Relation.EQ
+
+    def test_constant_violated_raises(self):
+        with pytest.raises(ModelError):
+            _ = LinExpr({}, 5.0) <= LinExpr({}, 1.0)
+
+    def test_constant_satisfied_ok(self):
+        constraint = LinExpr({}, 1.0) <= LinExpr({}, 5.0)
+        assert constraint.expr.is_constant()
+
+
+class TestQuicksum:
+    def test_mixed_items(self, xy):
+        x, y = xy
+        total = quicksum([x, 2 * y, 3, x + 1])
+        assert total.terms[x.index] == 2.0
+        assert total.terms[y.index] == 2.0
+        assert total.const == 4.0
+
+    def test_empty(self):
+        assert quicksum([]).is_constant()
+
+    def test_rejects_bad_type(self, xy):
+        with pytest.raises(ModelError):
+            quicksum(["x"])  # type: ignore[list-item]
+
+    def test_matches_builtin_sum(self, model):
+        xs = [model.add_var() for _ in range(10)]
+        a = quicksum(xs)
+        b = sum((x.to_expr() for x in xs), LinExpr())
+        assert a.terms == b.terms
+
+
+class TestVarTypes:
+    def test_binary_bounds_clamped(self, model):
+        v = model.add_var(lb=-5, ub=7, vtype=VarType.BINARY)
+        assert (v.lb, v.ub) == (0.0, 1.0)
+
+    def test_bad_bounds(self, model):
+        with pytest.raises(ModelError):
+            model.add_var(lb=2, ub=1)
+
+    def test_sense_enum(self):
+        assert Sense.MAXIMIZE.value == "max"

@@ -1,0 +1,86 @@
+"""Tests for LP-format model export."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.solver import Model, Sense, VarType, quicksum
+from repro.solver.io import lp_statistics, save_lp, write_lp
+
+
+@pytest.fixture
+def toy_model():
+    m = Model("toy", sense=Sense.MAXIMIZE)
+    x = m.add_var(ub=4, name="x")
+    y = m.add_var(vtype=VarType.BINARY, name="F[(0,0),0,1,2]")
+    z = m.add_var(vtype=VarType.INTEGER, lb=1, ub=5, name="z")
+    m.add_constr(x + 2 * y <= 6, name="cap[0,1]")
+    m.add_constr(x - z >= -1)
+    m.add_constr(y + z == 3)
+    m.set_objective(x + 3 * y + z)
+    return m
+
+
+class TestWriteLp:
+    def test_structure(self, toy_model):
+        text = write_lp(toy_model)
+        stats = lp_statistics(text)
+        assert stats["sense"] == "maximize"
+        assert stats["num_constraints"] == 3
+        assert stats["num_binaries"] == 1
+        assert stats["num_generals"] == 1
+
+    def test_names_sanitised(self, toy_model):
+        text = write_lp(toy_model)
+        assert "[" not in text and "(" not in text
+
+    def test_relations_rendered(self, toy_model):
+        text = write_lp(toy_model)
+        assert "<= 6" in text
+        assert ">= -1" in text
+        assert "= 3" in text
+
+    def test_bounds_section(self, toy_model):
+        text = write_lp(toy_model)
+        assert "0 <= x <= 4" in text
+        assert "1 <= z <= 5" in text
+
+    def test_minimise_header(self):
+        m = Model("min")
+        x = m.add_var()
+        m.set_objective(x)
+        assert "Minimize" in write_lp(m)
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ModelError):
+            write_lp(Model("empty"))
+
+    def test_save_to_file(self, toy_model, tmp_path):
+        path = tmp_path / "model.lp"
+        save_lp(toy_model, path)
+        assert lp_statistics(path.read_text())["num_constraints"] == 3
+
+    def test_teccl_model_exports(self, ring4):
+        from repro import collectives
+        from repro.core import TecclConfig
+        from repro.core.epochs import build_epoch_plan
+        from repro.core.milp import MilpBuilder
+
+        demand = collectives.allgather(ring4.gpus, 1)
+        cfg = TecclConfig(chunk_bytes=1.0, num_epochs=6)
+        plan = build_epoch_plan(ring4, cfg, 6)
+        problem = MilpBuilder(ring4, demand, cfg, plan).build()
+        stats = lp_statistics(write_lp(problem.model))
+        assert stats["num_constraints"] == problem.model.num_constraints
+        assert stats["num_binaries"] == sum(
+            1 for v in problem.model._vars
+            if v.vtype is VarType.BINARY)
+
+
+class TestLpStatistics:
+    def test_garbage_rejected(self):
+        with pytest.raises(ModelError):
+            lp_statistics("hello world")
+
+    def test_missing_sense_rejected(self):
+        with pytest.raises(ModelError):
+            lp_statistics("Subject To\n c0: x <= 1\nEnd")

@@ -1,0 +1,182 @@
+"""Unit tests for the Model → HiGHS compile-and-solve path."""
+
+import pytest
+
+from repro.errors import InfeasibleError, ModelError
+from repro.solver import (Model, Sense, SolverOptions, SolveStatus, VarType,
+                          quicksum)
+
+
+class TestLpSolve:
+    def test_simple_maximise(self):
+        m = Model(sense=Sense.MAXIMIZE)
+        x = m.add_var(ub=4)
+        y = m.add_var(ub=4)
+        m.add_constr(x + 2 * y <= 6)
+        m.set_objective(x + y)
+        res = m.solve()
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(5.0)
+        assert res.value(x) == pytest.approx(4.0)
+
+    def test_simple_minimise(self):
+        m = Model()
+        x = m.add_var(lb=1)
+        y = m.add_var(lb=2)
+        m.set_objective(x + y)
+        res = m.solve()
+        assert res.objective == pytest.approx(3.0)
+
+    def test_equality_constraint(self):
+        m = Model(sense=Sense.MAXIMIZE)
+        x = m.add_var(ub=10)
+        y = m.add_var(ub=10)
+        m.add_constr(x + y == 7)
+        m.set_objective(x)
+        res = m.solve()
+        assert res.value(x) == pytest.approx(7.0)
+        assert res.value(y) == pytest.approx(0.0)
+
+    def test_infeasible(self):
+        m = Model()
+        x = m.add_var(ub=1)
+        m.add_constr(x >= 2)
+        m.set_objective(x)
+        res = m.solve()
+        assert res.status is SolveStatus.INFEASIBLE
+        with pytest.raises(InfeasibleError):
+            res.require_solution()
+
+    def test_unbounded(self):
+        m = Model(sense=Sense.MAXIMIZE)
+        x = m.add_var()
+        m.set_objective(x)
+        res = m.solve()
+        assert res.status in (SolveStatus.UNBOUNDED, SolveStatus.ERROR)
+
+    def test_expression_evaluation(self):
+        m = Model(sense=Sense.MAXIMIZE)
+        x = m.add_var(ub=3)
+        m.set_objective(x)
+        res = m.solve()
+        assert res.value(2 * x + 1) == pytest.approx(7.0)
+
+
+class TestMilpSolve:
+    def test_knapsack(self):
+        m = Model(sense=Sense.MAXIMIZE)
+        values = [10, 13, 7]
+        weights = [3, 4, 2]
+        xs = [m.add_var(vtype=VarType.BINARY) for _ in range(3)]
+        m.add_constr(quicksum(w * x for w, x in zip(weights, xs)) <= 6)
+        m.set_objective(quicksum(v * x for v, x in zip(values, xs)))
+        res = m.solve()
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(20.0)  # items 1 and 2
+
+    def test_integer_rounding_matters(self):
+        m = Model(sense=Sense.MAXIMIZE)
+        x = m.add_var(vtype=VarType.INTEGER, ub=10)
+        m.add_constr(2 * x <= 7)
+        m.set_objective(x)
+        res = m.solve()
+        assert res.objective == pytest.approx(3.0)
+
+    def test_mip_gap_early_stop_accepts_incumbent(self):
+        # with a huge allowed gap any incumbent is acceptable
+        m = Model(sense=Sense.MAXIMIZE)
+        xs = [m.add_var(vtype=VarType.BINARY) for _ in range(12)]
+        m.add_constr(quicksum(xs) <= 6)
+        m.set_objective(quicksum((i + 1) * x for i, x in enumerate(xs)))
+        res = m.solve(SolverOptions(mip_gap=0.5))
+        assert res.status in (SolveStatus.OPTIMAL, SolveStatus.GAP_LIMIT)
+        assert res.objective is not None
+        # optimum is 7+8+...+12 = 57; incumbent must be within 50%
+        assert res.objective >= 57 * 0.5
+
+    def test_milp_infeasible(self):
+        m = Model()
+        x = m.add_var(vtype=VarType.BINARY)
+        y = m.add_var(vtype=VarType.BINARY)
+        m.add_constr(x + y >= 3)
+        m.set_objective(x)
+        assert m.solve().status is SolveStatus.INFEASIBLE
+
+
+class TestModelHygiene:
+    def test_no_vars_raises(self):
+        with pytest.raises(ModelError):
+            Model().solve()
+
+    def test_foreign_variable_rejected(self):
+        # ownership is index-based: an out-of-range index is always caught
+        m1, m2 = Model(), Model()
+        m1.add_var()
+        x2 = m1.add_var()
+        m2.add_var()
+        with pytest.raises(ModelError):
+            m2.add_constr(x2 <= 1)
+
+    def test_add_constr_requires_constraint(self):
+        m = Model()
+        x = m.add_var()
+        with pytest.raises(ModelError):
+            m.add_constr(x)  # type: ignore[arg-type]
+
+    def test_add_vars_names(self):
+        m = Model()
+        vs = m.add_vars([(0, 1), (0, 2)], name="F")
+        assert set(vs) == {(0, 1), (0, 2)}
+        assert vs[(0, 1)].name == "F[(0, 1)]"
+
+    def test_summary_counts(self):
+        m = Model("demo")
+        m.add_var(vtype=VarType.BINARY)
+        m.add_var()
+        text = m.summary()
+        assert "2 vars" in text and "1 integer" in text
+
+    def test_options_validation(self):
+        with pytest.raises(ModelError):
+            SolverOptions(time_limit=-1)
+        with pytest.raises(ModelError):
+            SolverOptions(mip_gap=1.5)
+        with pytest.raises(ModelError):
+            SolverOptions(node_limit=0)
+
+    def test_options_to_scipy(self):
+        opts = SolverOptions(time_limit=10, mip_gap=0.3, node_limit=5)
+        payload = opts.to_scipy()
+        assert payload["time_limit"] == 10.0
+        assert payload["mip_rel_gap"] == 0.3
+        assert payload["node_limit"] == 5
+
+    def test_lp_method_validation(self):
+        with pytest.raises(ModelError):
+            SolverOptions(lp_method="simplex")
+        assert SolverOptions(lp_method="highs-ipm").lp_method == "highs-ipm"
+
+    def test_lp_method_auto_switches_on_size(self):
+        opts = SolverOptions()
+        assert opts.resolve_lp_method(100) == "highs"
+        assert opts.resolve_lp_method(10 ** 6) == "highs-ipm"
+        forced = SolverOptions(lp_method="highs-ds")
+        assert forced.resolve_lp_method(10 ** 6) == "highs-ds"
+
+    def test_forced_ipm_still_solves(self):
+        m = Model(sense=Sense.MAXIMIZE)
+        x = m.add_var(ub=4)
+        y = m.add_var(ub=4)
+        m.add_constr(x + 2 * y <= 6)
+        m.set_objective(x + y)
+        res = m.solve(SolverOptions(lp_method="highs-ipm"))
+        assert res.objective == pytest.approx(5.0, abs=1e-6)
+
+    def test_stats_populated(self):
+        m = Model()
+        x = m.add_var(ub=1)
+        m.add_constr(x <= 1)
+        m.set_objective(x)
+        res = m.solve()
+        assert res.stats["num_vars"] == 1
+        assert res.stats["num_constraints"] == 1

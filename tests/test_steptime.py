@@ -1,0 +1,77 @@
+"""Tests for whole-step workload synthesis (steptime)."""
+
+import pytest
+
+from repro import topology
+from repro.collectives import (data_parallel_job, pipeline_job,
+                               synthesize_workload)
+from repro.core import TecclConfig
+from repro.solver import SolverOptions
+
+
+def cfg():
+    return TecclConfig(chunk_bytes=1.0,  # overridden per call
+                       solver=SolverOptions(mip_gap=0.2, time_limit=30))
+
+
+@pytest.fixture
+def bucketed_job():
+    # 3 identical 25 MB buckets → 3 RS + 3 AG, only 2 distinct syntheses
+    return data_parallel_job(list(range(4)), model_params=37.5e6,
+                             dtype_bytes=2, bucket_bytes=25e6)
+
+
+class TestSynthesizeWorkload:
+    def test_all_calls_scheduled(self, ring4, bucketed_job):
+        report = synthesize_workload(ring4, bucketed_job, cfg())
+        assert len(report.scheduled) == len(bucketed_job.calls)
+        assert report.total_time > 0
+
+    def test_dedup_identical_buckets(self, ring4, bucketed_job):
+        report = synthesize_workload(ring4, bucketed_job, cfg())
+        fresh = [s for s in report.scheduled if not s.reused]
+        # full buckets share a synthesis; the ragged last bucket differs
+        assert len(fresh) < len(report.scheduled)
+        assert report.dedup_ratio > 0
+
+    def test_dedup_off_solves_everything(self, ring4, bucketed_job):
+        report = synthesize_workload(ring4, bucketed_job, cfg(),
+                                     dedupe=False)
+        assert all(not s.reused for s in report.scheduled)
+        assert report.dedup_ratio == 0
+
+    def test_reused_calls_share_synthesis_object(self, ring4, bucketed_job):
+        report = synthesize_workload(ring4, bucketed_job, cfg())
+        rs_calls = [s for s in report.scheduled
+                    if s.call.name.endswith("-rs")
+                    and s.call.chunk_bytes == report.scheduled[0]
+                    .call.chunk_bytes]
+        if len(rs_calls) >= 2:
+            assert rs_calls[1].synthesis is rs_calls[0].synthesis
+
+    def test_phase_accounting(self, ring4):
+        job = pipeline_job(list(ring4.gpus), num_microbatches=2)
+        report = synthesize_workload(ring4, job, cfg())
+        assert report.phase_time("forward") > 0
+        assert report.phase_time("backward") > 0
+        assert report.phase_time("forward") + report.phase_time(
+            "backward") == pytest.approx(report.total_time)
+
+    def test_solve_time_counts_fresh_only(self, ring4, bucketed_job):
+        report = synthesize_workload(ring4, bucketed_job, cfg())
+        fresh_sum = sum(s.synthesis.solve_time
+                        for s in report.scheduled if not s.reused)
+        assert report.solve_time == pytest.approx(fresh_sum)
+
+    def test_slowest_call(self, ring4, bucketed_job):
+        report = synthesize_workload(ring4, bucketed_job, cfg())
+        slowest = report.slowest_call()
+        assert slowest.finish_time == max(
+            s.finish_time for s in report.scheduled)
+
+    def test_on_dgx1(self, dgx1):
+        job = data_parallel_job(dgx1.gpus, model_params=10e6,
+                                bucket_bytes=100e6)
+        report = synthesize_workload(dgx1, job, cfg())
+        assert report.total_time > 0
+        assert report.workload_name == "data-parallel"

@@ -1,0 +1,64 @@
+"""Tests for the §5 parameter-sweep utilities."""
+
+import pytest
+
+from repro import collectives, topology
+from repro.analysis.sweeps import (chunk_size_sweep, epoch_multiplier_sweep,
+                                   horizon_sweep)
+from repro.core import TecclConfig
+from repro.core.solve import Method
+from repro.errors import InfeasibleError, ModelError
+
+
+@pytest.fixture
+def setup():
+    topo = topology.ring(4, capacity=1.0)
+    demand = collectives.alltoall(topo.gpus, 1)
+    return topo, demand, TecclConfig(chunk_bytes=1.0)
+
+
+class TestChunkSweep:
+    def test_records_every_point(self, setup):
+        topo, demand, cfg = setup
+        result = chunk_size_sweep(topo, demand, cfg, [0.5, 1.0, 2.0],
+                                  method=Method.LP)
+        assert len(result.points) == 3
+        assert result.best.value in (0.5, 1.0, 2.0)
+
+    def test_empty_sweep_rejected(self, setup):
+        topo, demand, cfg = setup
+        with pytest.raises(ModelError):
+            chunk_size_sweep(topo, demand, cfg, [])
+
+
+class TestMultiplierSweep:
+    def test_coarser_never_faster_transfer(self, setup):
+        topo, demand, cfg = setup
+        result = epoch_multiplier_sweep(topo, demand, cfg, [1.0, 2.0],
+                                        method=Method.LP)
+        fine, coarse = result.points
+        assert coarse.finish_time >= fine.finish_time - 1e-9
+
+    def test_best_prefers_smaller_value_on_ties(self, setup):
+        topo, demand, cfg = setup
+        result = epoch_multiplier_sweep(topo, demand, cfg, [2.0, 1.0],
+                                        method=Method.LP)
+        # ties broken toward the smaller knob value
+        if result.points[0].finish_time == result.points[1].finish_time:
+            assert result.best.value == 1.0
+
+
+class TestHorizonSweep:
+    def test_infeasible_horizons_recorded(self, setup):
+        topo, demand, cfg = setup
+        result = horizon_sweep(topo, demand, cfg, [1, 2, 4],
+                               method=Method.LP)
+        assert result.points[0].infeasible       # K=1 cannot work
+        assert not result.points[1].infeasible   # K=2 is the optimum
+        assert result.feasible_values() == [2.0, 4.0]
+
+    def test_all_infeasible_raises_on_best(self, setup):
+        topo, demand, cfg = setup
+        result = horizon_sweep(topo, demand, cfg, [1], method=Method.LP)
+        with pytest.raises(InfeasibleError):
+            _ = result.best

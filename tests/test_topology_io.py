@@ -1,0 +1,82 @@
+"""Tests for topology JSON serialisation and edge-list construction."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (dgx1, from_dict, from_edge_list, internal2,
+                            load_json, ndv2, save_json, to_dict)
+
+
+class TestEdgeList:
+    def test_basic_construction(self):
+        topo = from_edge_list(3, [(0, 1, 1e9, 0.0), (1, 0, 1e9, 0.0),
+                                  (1, 2, 2e9, 1e-6), (2, 1, 2e9, 1e-6)])
+        topo.validate()
+        assert topo.link(1, 2).capacity == 2e9
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            from_edge_list(3, [])
+
+    def test_switches_carried(self):
+        topo = from_edge_list(3, [(0, 2, 1.0, 0.0), (2, 1, 1.0, 0.0),
+                                  (1, 2, 1.0, 0.0), (2, 0, 1.0, 0.0)],
+                              switches=[2])
+        assert topo.is_switch(2)
+
+
+class TestDictRoundTrip:
+    @pytest.mark.parametrize("builder", [dgx1, lambda: ndv2(2),
+                                         lambda: internal2(3)])
+    def test_round_trip_preserves_everything(self, builder):
+        topo = builder()
+        clone = from_dict(to_dict(topo))
+        assert clone.name == topo.name
+        assert clone.num_nodes == topo.num_nodes
+        assert clone.switches == topo.switches
+        assert set(clone.links) == set(topo.links)
+        for key, link in topo.links.items():
+            assert clone.links[key].capacity == pytest.approx(link.capacity)
+            assert clone.links[key].alpha == pytest.approx(link.alpha)
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(TopologyError):
+            from_dict({"name": "x"})
+        with pytest.raises(TopologyError):
+            from_dict({"name": "x", "num_nodes": 2,
+                       "links": [{"src": 0}]})
+        with pytest.raises(TopologyError):
+            from_dict({"name": "x", "num_nodes": 2, "links": []})
+
+    def test_alpha_defaults_to_zero(self):
+        topo = from_dict({"name": "x", "num_nodes": 2,
+                          "links": [{"src": 0, "dst": 1, "capacity": 1.0},
+                                    {"src": 1, "dst": 0, "capacity": 1.0}]})
+        assert topo.link(0, 1).alpha == 0.0
+
+
+class TestJsonFiles:
+    def test_file_round_trip(self, tmp_path):
+        topo = ndv2(2)
+        path = tmp_path / "fabric.json"
+        save_json(topo, path)
+        clone = load_json(path)
+        assert set(clone.links) == set(topo.links)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(TopologyError):
+            load_json(path)
+
+    def test_loaded_topology_solves(self, tmp_path):
+        from repro import collectives
+        from repro.core import TecclConfig, solve_milp
+
+        path = tmp_path / "fabric.json"
+        save_json(dgx1(), path)
+        topo = load_json(path)
+        demand = collectives.allgather(topo.gpus, 1)
+        out = solve_milp(topo, demand,
+                         TecclConfig(chunk_bytes=25e3, num_epochs=10))
+        assert out.result.status.has_solution

@@ -1,0 +1,128 @@
+"""Unit tests for the hyper-edge (Appendix C) and rescaling transforms."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (Topology, internal2, ndv2, ring, scale_capacity,
+                            star, subset_gpus, to_hyper_edges, without_links)
+
+
+class TestHyperEdges:
+    def test_no_switches_is_identity(self):
+        topo = ring(4)
+        hyper = to_hyper_edges(topo)
+        assert hyper.topology.num_nodes == 4
+        assert not hyper.groups
+        assert hyper.node_map == {n: n for n in range(4)}
+
+    def test_star_becomes_mesh(self):
+        topo = star(3)  # 3 GPUs + hub switch
+        hyper = to_hyper_edges(topo)
+        out = hyper.topology
+        assert out.num_nodes == 3
+        assert not out.switches
+        # every ordered GPU pair gets a hyper-edge
+        assert len(out.links) == 6
+        assert len(hyper.groups) == 1
+        group = hyper.groups[0]
+        assert group.usage_limit == 3  # min(in-degree, out-degree)
+        assert len(group.edges) == 6
+
+    def test_hyper_edge_parameters(self):
+        topo = Topology("t", num_nodes=3, switches={2})
+        topo.add_link(0, 2, capacity=4.0, alpha=0.1)
+        topo.add_link(2, 1, capacity=2.0, alpha=0.2)
+        topo.add_link(1, 2, capacity=8.0, alpha=0.1)
+        topo.add_link(2, 0, capacity=8.0, alpha=0.1)
+        hyper = to_hyper_edges(topo)
+        link = hyper.topology.link(0, 1)
+        assert link.capacity == pytest.approx(2.0)  # min of the two hops
+        assert link.alpha == pytest.approx(0.3)     # sum of the two hops
+
+    def test_existing_direct_link_kept_when_faster(self):
+        topo = Topology("t", num_nodes=3, switches={2})
+        topo.add_bidirectional(0, 1, capacity=100.0)
+        topo.add_bidirectional(0, 2, capacity=1.0)
+        topo.add_bidirectional(1, 2, capacity=1.0)
+        hyper = to_hyper_edges(topo)
+        assert hyper.topology.link(0, 1).capacity == pytest.approx(100.0)
+
+    def test_ndv2_hyper_edges(self):
+        hyper = to_hyper_edges(ndv2(2))
+        out = hyper.topology
+        assert not out.switches
+        assert out.num_nodes == 16
+        # uplinked GPUs (0, 1 of each chassis) are now directly meshed
+        pairs = hyper.hyper_edge_pairs()
+        assert pairs  # non-empty
+        for (i, j) in pairs:
+            assert out.has_link(i, j)
+
+    def test_node_map_round_trip(self):
+        topo = internal2(2)
+        hyper = to_hyper_edges(topo)
+        for new, old in hyper.node_map.items():
+            assert not topo.is_switch(old)
+            assert 0 <= new < hyper.topology.num_nodes
+
+    def test_switch_without_outputs_rejected(self):
+        topo = Topology("t", num_nodes=3, switches={2})
+        topo.add_bidirectional(0, 1, 1.0)
+        topo.add_link(0, 2, 1.0)
+        with pytest.raises(TopologyError):
+            to_hyper_edges(topo)
+
+
+class TestRescaling:
+    def test_scale_capacity(self):
+        topo = ring(3, capacity=2.0, alpha=0.5)
+        scaled = scale_capacity(topo, 2.0)
+        assert scaled.link(0, 1).capacity == pytest.approx(4.0)
+        assert scaled.link(0, 1).alpha == pytest.approx(0.5)
+
+    def test_scale_rejects_nonpositive(self):
+        with pytest.raises(TopologyError):
+            scale_capacity(ring(3), 0.0)
+
+    def test_subset_gpus(self):
+        topo = internal2(3)  # 6 GPUs + switch
+        sub = subset_gpus(topo, [0, 1, 2, 3])
+        sub.validate()
+        assert sub.num_gpus == 4
+        assert len(sub.switches) == 1
+
+    def test_subset_rejects_unknown_node(self):
+        with pytest.raises(TopologyError):
+            subset_gpus(ring(3), [0, 7])
+
+
+class TestLinkFailures:
+    def test_without_links_removes_only_requested(self):
+        topo = ring(4)
+        degraded = without_links(topo, [(0, 1)])
+        assert not degraded.has_link(0, 1)
+        assert degraded.has_link(1, 0)
+        assert len(degraded.links) == len(topo.links) - 1
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(TopologyError):
+            without_links(ring(4), [(0, 2)])
+
+    def test_partition_surfaces_in_validate(self):
+        topo = ring(3)
+        degraded = without_links(
+            topo, [(0, 1), (1, 0), (0, 2), (2, 0)])
+        with pytest.raises(TopologyError):
+            degraded.validate()
+
+    def test_solver_routes_around_failure(self):
+        from repro import collectives
+        from repro.core import TecclConfig, solve_milp
+
+        topo = ring(4)
+        degraded = without_links(topo, [(0, 1), (1, 0)])
+        demand = collectives.broadcast(0, [1], 1)
+        out = solve_milp(degraded, demand,
+                         TecclConfig(chunk_bytes=1.0, num_epochs=6))
+        # the only remaining route is the long way round
+        assert out.schedule.num_sends == 3

@@ -1,0 +1,162 @@
+"""Tests for the topology design search (toposearch)."""
+
+import pytest
+
+from repro import collectives, topology
+from repro.core import TecclConfig
+from repro.errors import InfeasibleError, ModelError
+from repro.toposearch import (DesignSpec, evaluate_topology, greedy_augment,
+                              local_search, random_topology,
+                              rank_link_upgrades)
+
+
+def cfg(num_epochs=None, **kwargs):
+    return TecclConfig(chunk_bytes=1.0, num_epochs=num_epochs, **kwargs)
+
+
+class TestDesignSpec:
+    def test_budget_default_is_ring_plus_slack(self):
+        spec = DesignSpec(num_gpus=4, capacity=1.0)
+        assert spec.budget == 8
+
+    def test_too_small_budget_rejected(self):
+        with pytest.raises(ModelError):
+            DesignSpec(num_gpus=4, capacity=1.0, link_budget=3)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ModelError):
+            DesignSpec(num_gpus=4, capacity=0.0)
+
+    def test_one_gpu_rejected(self):
+        with pytest.raises(ModelError):
+            DesignSpec(num_gpus=1, capacity=1.0)
+
+
+class TestRandomTopology:
+    def test_strongly_connected(self):
+        spec = DesignSpec(num_gpus=5, capacity=1.0, link_budget=10)
+        topo = random_topology(spec, seed=1)
+        topo.validate()  # raises if not strongly connected
+
+    def test_respects_budget(self):
+        spec = DesignSpec(num_gpus=5, capacity=1.0, link_budget=8)
+        topo = random_topology(spec, seed=2)
+        assert len(topo.links) <= 8
+
+    def test_deterministic_per_seed(self):
+        spec = DesignSpec(num_gpus=5, capacity=1.0)
+        a = random_topology(spec, seed=9)
+        b = random_topology(spec, seed=9)
+        assert sorted(a.links) == sorted(b.links)
+
+
+class TestEvaluateTopology:
+    def test_ring_alltoall_scores_finite(self, ring4, atoa_ring4):
+        score = evaluate_topology(ring4, atoa_ring4, cfg(12))
+        assert 0 < score < float("inf")
+
+    def test_infeasible_scores_infinite(self, ring4, atoa_ring4):
+        # horizon of 1 epoch cannot finish a 4-ring alltoall
+        score = evaluate_topology(ring4, atoa_ring4, cfg(1))
+        assert score == float("inf")
+
+    def test_more_capacity_never_worse(self, ring4, atoa_ring4):
+        from repro.topology.transforms import scale_capacity
+
+        slow = evaluate_topology(ring4, atoa_ring4, cfg(12))
+        fast = evaluate_topology(scale_capacity(ring4, 2.0), atoa_ring4,
+                                 cfg(12))
+        assert fast <= slow + 1e-9
+
+
+class TestLocalSearch:
+    def test_search_never_degrades(self):
+        spec = DesignSpec(num_gpus=4, capacity=1.0, link_budget=8)
+        demand = collectives.alltoall(list(range(4)), 1)
+        result = local_search(spec, demand, cfg(10), seed=0, max_iters=6,
+                              patience=3)
+        assert result.history[-1] <= result.history[0] + 1e-12
+        assert result.evaluations <= 6
+
+    def test_history_is_monotone(self):
+        spec = DesignSpec(num_gpus=4, capacity=1.0, link_budget=8)
+        demand = collectives.alltoall(list(range(4)), 1)
+        result = local_search(spec, demand, cfg(10), seed=1, max_iters=6)
+        for earlier, later in zip(result.history, result.history[1:]):
+            assert later <= earlier + 1e-12
+
+    def test_explicit_start(self, ring4):
+        spec = DesignSpec(num_gpus=4, capacity=1.0, link_budget=8)
+        demand = collectives.alltoall(list(range(4)), 1)
+        result = local_search(spec, demand, cfg(10), seed=0, max_iters=3,
+                              start=ring4)
+        assert result.finish_time <= evaluate_topology(
+            ring4, demand, cfg(10)) + 1e-12
+
+    def test_bad_iters_rejected(self):
+        spec = DesignSpec(num_gpus=4, capacity=1.0)
+        demand = collectives.alltoall(list(range(4)), 1)
+        with pytest.raises(ModelError):
+            local_search(spec, demand, cfg(10), max_iters=0)
+
+
+class TestGreedyAugment:
+    def test_adding_links_helps_line_broadcast(self):
+        """A 4-line broadcast improves when the search adds a shortcut
+        from the root past the chain (0→3 halves the critical path)."""
+        base = topology.line(4, capacity=1.0)
+        spec = DesignSpec(num_gpus=4, capacity=1.0)
+        demand = collectives.broadcast(0, list(range(4)), 1)
+        result = greedy_augment(base, spec, demand, cfg(8), extra_links=1)
+        baseline = evaluate_topology(base, demand, cfg(8))
+        assert result.finish_time < baseline
+        assert len(result.topology.links) == len(base.links) + 1
+
+    def test_alltoall_never_degrades(self):
+        """Symmetric ALLTOALL on a line: single directed additions cannot
+        beat the in/out-degree bound at the chain ends, and greedy must
+        recognise that and add nothing."""
+        base = topology.line(4, capacity=1.0)
+        spec = DesignSpec(num_gpus=4, capacity=1.0)
+        demand = collectives.alltoall(list(range(4)), 1)
+        result = greedy_augment(base, spec, demand, cfg(12), extra_links=2)
+        baseline = evaluate_topology(base, demand, cfg(12))
+        assert result.finish_time <= baseline + 1e-12
+
+    def test_stops_when_nothing_helps(self, ring4):
+        # a complete graph cannot be augmented
+        full = topology.full_mesh(3, capacity=1.0)
+        spec = DesignSpec(num_gpus=3, capacity=1.0)
+        demand = collectives.alltoall(list(range(3)), 1)
+        result = greedy_augment(full, spec, demand, cfg(8), extra_links=2)
+        assert sorted(result.topology.links) == sorted(full.links)
+
+    def test_zero_budget_rejected(self, ring4):
+        spec = DesignSpec(num_gpus=4, capacity=1.0)
+        demand = collectives.alltoall(list(range(4)), 1)
+        with pytest.raises(ModelError):
+            greedy_augment(ring4, spec, demand, cfg(10), extra_links=0)
+
+
+class TestRankLinkUpgrades:
+    def test_bottleneck_ranks_first(self):
+        """On a line, the middle links carry all transit traffic — upgrading
+        one of them must beat upgrading nothing-critical."""
+        topo = topology.line(3, capacity=1.0)
+        demand = collectives.alltoall(list(range(3)), 1)
+        options = rank_link_upgrades(topo, demand, cfg(10), factor=4.0)
+        assert len(options) == len(topo.links)
+        assert options[0].improvement >= options[-1].improvement
+
+    def test_improvements_bounded(self, ring4, atoa_ring4):
+        options = rank_link_upgrades(ring4, atoa_ring4, cfg(12))
+        for option in options:
+            assert option.improvement <= 1.0 + 1e-9
+
+    def test_bad_factor_rejected(self, ring4, atoa_ring4):
+        with pytest.raises(ModelError):
+            rank_link_upgrades(ring4, atoa_ring4, cfg(12), factor=1.0)
+
+    def test_infeasible_baseline_raises(self, ring4, atoa_ring4):
+        with pytest.raises(InfeasibleError):
+            rank_link_upgrades(ring4, atoa_ring4, cfg(1))

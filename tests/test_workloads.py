@@ -1,0 +1,159 @@
+"""Tests for the training-job workload generators."""
+
+import pytest
+
+from repro import collectives, topology
+from repro.collectives.workloads import (CollectiveCall, bert_like_job,
+                                         data_parallel_job, dlrm_like_job,
+                                         gradient_buckets, moe_job,
+                                         pipeline_job)
+from repro.core import TecclConfig, synthesize
+from repro.errors import DemandError
+from repro.solver import SolverOptions
+
+GPUS = list(range(4))
+
+
+class TestGradientBuckets:
+    def test_sizes_sum_to_model(self):
+        sizes = gradient_buckets(340e6, dtype_bytes=2, bucket_bytes=25e6)
+        assert sum(sizes) == pytest.approx(680e6)
+        assert all(s > 0 for s in sizes)
+
+    def test_all_but_last_full(self):
+        sizes = gradient_buckets(100e6, dtype_bytes=2, bucket_bytes=30e6)
+        assert sizes[:-1] == [30e6] * (len(sizes) - 1)
+        assert sizes[-1] <= 30e6
+
+    def test_small_model_single_bucket(self):
+        assert gradient_buckets(1e6, dtype_bytes=4,
+                                bucket_bytes=25e6) == [4e6]
+
+    def test_validation(self):
+        with pytest.raises(DemandError):
+            gradient_buckets(0)
+
+
+class TestDataParallel:
+    def test_rs_ag_pairs_per_bucket(self):
+        job = data_parallel_job(GPUS, model_params=30e6, dtype_bytes=2,
+                                bucket_bytes=25e6)
+        assert len(job.calls) == 2 * 3  # 60 MB → 3 buckets
+        names = [c.name for c in job.calls]
+        assert names[0].endswith("-rs") and names[1].endswith("-ag")
+
+    def test_chunk_is_per_gpu_shard(self):
+        job = data_parallel_job(GPUS, model_params=50e6, dtype_bytes=2,
+                                bucket_bytes=100e6)
+        [rs, ag] = job.calls
+        assert rs.chunk_bytes == pytest.approx(100e6 / 4)
+
+    def test_rs_has_no_copy_ag_has_copy(self):
+        job = data_parallel_job(GPUS, model_params=10e6,
+                                bucket_bytes=100e6)
+        [rs, ag] = job.calls
+        assert not rs.demand.benefits_from_copy()
+        assert ag.demand.benefits_from_copy()
+
+    def test_bert_preset(self):
+        job = bert_like_job(GPUS)
+        # 680 MB of gradients in 25 MB buckets → 28 buckets, 56 calls
+        assert len(job.calls) == 56
+        assert all(c.phase == "backward" for c in job.calls)
+
+    def test_single_gpu_rejected(self):
+        with pytest.raises(DemandError):
+            data_parallel_job([0], model_params=1e6)
+
+
+class TestMoe:
+    def test_dispatch_and_combine_mirror(self):
+        job = moe_job(GPUS, skew=0.3)
+        dispatch, combine = job.calls
+        fwd = {(s, d) for s, _, d in dispatch.demand.triples()}
+        back = {(d, s) for s, _, d in combine.demand.triples()}
+        assert fwd == back
+
+    def test_skew_creates_imbalance(self):
+        job = moe_job(GPUS, skew=0.8)
+        dispatch = job.calls[0].demand
+        loads = {}
+        for s, c, d in dispatch.triples():
+            loads[d] = loads.get(d, 0) + 1
+        assert max(loads.values()) > min(loads.values())
+
+    def test_uniform_when_no_skew(self):
+        job = moe_job(GPUS, skew=0.0)
+        dispatch = job.calls[0].demand
+        loads = {}
+        for s, c, d in dispatch.triples():
+            loads[d] = loads.get(d, 0) + 1
+        assert max(loads.values()) == min(loads.values())
+
+    def test_validation(self):
+        with pytest.raises(DemandError):
+            moe_job(GPUS, skew=1.0)
+        with pytest.raises(DemandError):
+            moe_job([0])
+
+
+class TestDlrm:
+    def test_alltoall_heavy(self):
+        job = dlrm_like_job(GPUS)
+        assert [c.name for c in job.calls] == [
+            "emb-forward", "emb-backward", "dense-rs", "dense-ag"]
+        forward = job.by_phase("forward")
+        assert len(forward) == 1
+        assert not forward[0].demand.benefits_from_copy()
+
+    def test_total_bytes_positive(self):
+        job = dlrm_like_job(GPUS)
+        assert job.total_bytes > 0
+
+
+class TestPipeline:
+    def test_stage_streams(self):
+        job = pipeline_job([0, 1, 2], num_microbatches=3)
+        activations, gradients = job.calls
+        assert activations.demand.num_triples == 2 * 3
+        # forward goes up the chain, backward down
+        assert (0, 0, 1) in activations.demand.triples()
+        assert (1, 0, 0) in gradients.demand.triples()
+
+    def test_validation(self):
+        with pytest.raises(DemandError):
+            pipeline_job([0])
+        with pytest.raises(DemandError):
+            pipeline_job([0, 1], num_microbatches=0)
+
+
+class TestWorkloadsSynthesize:
+    """Every generated demand must be solvable on a real fabric."""
+
+    def test_moe_dispatch_on_dgx1(self, dgx1):
+        job = moe_job(dgx1.gpus, skew=0.5)
+        call = job.calls[0]
+        config = TecclConfig(chunk_bytes=call.chunk_bytes,
+                             solver=SolverOptions(time_limit=30))
+        result = synthesize(dgx1, call.demand, config)
+        assert result.finish_time > 0
+
+    def test_pipeline_on_line(self):
+        topo = topology.line(4, capacity=1e9)
+        job = pipeline_job(topo.gpus, num_microbatches=2)
+        call = job.calls[0]
+        config = TecclConfig(chunk_bytes=call.chunk_bytes)
+        result = synthesize(topo, call.demand, config)
+        assert result.finish_time > 0
+
+    def test_workload_requires_calls(self):
+        from repro.collectives.workloads import Workload
+
+        with pytest.raises(DemandError):
+            Workload(name="empty", calls=())
+
+    def test_call_validates_chunk(self):
+        with pytest.raises(DemandError):
+            CollectiveCall(name="x",
+                           demand=collectives.allgather(GPUS, 1),
+                           chunk_bytes=0)

@@ -14,15 +14,15 @@ Quickstart::
 __version__ = "1.1.0"
 
 from repro import (analysis, baselines, collectives, core, failures, msccl,
-                   simulate, solver, toposearch, topology)
+                   service, simulate, solver, toposearch, topology)
 from repro.errors import (DemandError, ExportError, InfeasibleError,
-                          ModelError, ReproError, ScheduleError,
+                          ModelError, ReproError, ScheduleError, ServiceError,
                           TopologyError)
 
 __all__ = [
-    "collectives", "core", "simulate", "solver", "topology",
+    "collectives", "core", "service", "simulate", "solver", "topology",
     "analysis", "baselines", "failures", "msccl", "toposearch",
     "ReproError", "TopologyError", "DemandError", "ModelError",
-    "InfeasibleError", "ScheduleError", "ExportError",
+    "InfeasibleError", "ScheduleError", "ExportError", "ServiceError",
     "__version__",
 ]

@@ -158,6 +158,28 @@ def _build_parser() -> argparse.ArgumentParser:
                           required=True)
     workload.add_argument("--mip-gap", type=float, default=0.2)
     workload.add_argument("--time-limit", type=float, default=30.0)
+
+    serve = sub.add_parser(
+        "serve-batch",
+        help="serve a batch of plan requests through the planner service")
+    serve.add_argument("--requests", metavar="FILE", required=True,
+                       help="JSON file: a list of request specs (compact "
+                            "named-topology form or full PlanRequest dicts)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="enable the on-disk schedule cache")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="solve-pool width (default: cpu count)")
+    serve.add_argument("--pool", dest="pool_kind", default="process",
+                       choices=["process", "thread", "inline"],
+                       help="solve-pool executor kind")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-request wall-clock budget in seconds")
+
+    cache = sub.add_parser(
+        "cache", help="inspect or purge an on-disk schedule cache")
+    cache.add_argument("--dir", dest="cache_dir", required=True)
+    cache.add_argument("--action", choices=["stats", "list", "purge"],
+                       default="stats")
     return parser
 
 
@@ -377,6 +399,123 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _request_from_spec(spec: dict, index: int):
+    """One serve-batch spec → PlanRequest.
+
+    Two dialects: a *full* spec (``topology`` is a dict) is parsed as a
+    serialised PlanRequest; a *compact* spec names a built-in topology and
+    collective the way ``teccl synth`` flags do.
+    """
+    from repro.errors import ServiceError
+    from repro.service import PlanRequest
+    from repro.solver import SolverOptions
+
+    if not isinstance(spec, dict):
+        raise ServiceError(f"request #{index}: spec must be an object")
+    if isinstance(spec.get("topology"), dict):
+        return PlanRequest.from_dict(spec)
+    try:
+        topo_name = spec["topology"]
+        builder = _TOPOLOGIES[topo_name]
+    except KeyError:
+        raise ServiceError(
+            f"request #{index}: unknown topology "
+            f"{spec.get('topology')!r}") from None
+    topo = builder(int(spec.get("chassis", 1))) if topo_name != "dgx1" \
+        else builder(1)
+    collective = spec.get("collective", "allgather")
+    if collective not in _COLLECTIVES:
+        raise ServiceError(
+            f"request #{index}: unknown collective {collective!r}")
+    demand = _COLLECTIVES[collective](topo.gpus, int(spec.get("chunks", 1)))
+    config = TecclConfig(
+        chunk_bytes=float(spec.get("chunk_size", 1e6)),
+        num_epochs=(None if spec.get("epochs") is None
+                    else int(spec["epochs"])),
+        epoch_mode=EpochMode(spec.get("epoch_mode",
+                                      EpochMode.FASTEST_LINK.value)),
+        switch_model=SwitchModel(spec.get("switch_model",
+                                          SwitchModel.COPY.value)),
+        solver=SolverOptions(
+            time_limit=(None if spec.get("time_limit") is None
+                        else float(spec["time_limit"])),
+            mip_gap=float(spec.get("mip_gap", 0.0))))
+    tag = str(spec.get("tag", f"{topo_name}/{collective}#{index}"))
+    return PlanRequest(topology=topo, demand=demand, config=config,
+                       method=Method(spec.get("method", "auto")), tag=tag)
+
+
+def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ServiceError
+    from repro.service import Planner
+
+    try:
+        with open(args.requests, "r", encoding="utf-8") as handle:
+            specs = json.load(handle)
+    except OSError as exc:
+        raise ServiceError(f"cannot read --requests file: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ServiceError(
+            f"invalid JSON in {args.requests}: {exc}") from exc
+    if not isinstance(specs, list):
+        raise ServiceError("--requests file must hold a JSON list")
+    requests = [_request_from_spec(spec, i) for i, spec in enumerate(specs)]
+    with Planner(executor=args.pool_kind, max_workers=args.workers,
+                 cache_dir=args.cache_dir, timeout=args.timeout) as planner:
+        responses = planner.plan_batch(requests)
+        stats = planner.stats()
+    print(f"{'tag':<28} {'served':<9} {'finish us':>12} {'serve ms':>9}")
+    failures = 0
+    for response in responses:
+        served = ("cache" if response.cache_hit
+                  else "coalesce" if response.coalesced else "solve")
+        if response.ok:
+            finish = f"{response.result.finish_time * 1e6:.3f}"
+        else:
+            finish, served, failures = "X", "error", failures + 1
+        print(f"{response.tag:<28} {served:<9} {finish:>12} "
+              f"{response.serve_time * 1e3:>9.2f}")
+        if not response.ok:
+            print(f"  error: {response.error}", file=sys.stderr)
+    print(f"requests     : {stats['requests']}")
+    print(f"cache        : {stats['hits']} hits / {stats['misses']} misses")
+    print(f"solves       : {stats['solves']} "
+          f"({stats['coalesced']} coalesced)")
+    return 1 if failures else 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.errors import ServiceError
+    from repro.service import ScheduleCache
+
+    # An inspection verb must not invent the directory it is inspecting
+    # (ScheduleCache creates missing directories for serving use).
+    if not Path(args.cache_dir).expanduser().is_dir():
+        raise ServiceError(
+            f"cache directory {args.cache_dir!r} does not exist")
+    cache = ScheduleCache(directory=args.cache_dir)
+    if args.action == "purge":
+        print(f"purged       : {cache.purge()} entries")
+        return 0
+    entries = cache.entries()
+    if args.action == "list":
+        print(f"{'fingerprint':<16} {'bytes':>10} {'stale':>6}  meta")
+        for entry in entries:
+            print(f"{entry.fingerprint[:16]:<16} {entry.size_bytes:>10} "
+                  f"{str(entry.stale):>6}  {entry.meta}")
+        return 0
+    total = sum(e.size_bytes for e in entries)
+    stale = sum(1 for e in entries if e.stale)
+    print(f"directory    : {args.cache_dir}")
+    print(f"entries      : {len(entries)} ({stale} stale)")
+    print(f"total bytes  : {total}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -388,6 +527,8 @@ def main(argv: list[str] | None = None) -> int:
         "impact": lambda: _cmd_impact(args),
         "upgrade": lambda: _cmd_upgrade(args),
         "workload": lambda: _cmd_workload(args),
+        "serve-batch": lambda: _cmd_serve_batch(args),
+        "cache": lambda: _cmd_cache(args),
     }
     try:
         return handlers[args.command]()

@@ -105,6 +105,23 @@ class Demand:
         return any(len(dsts) > 1 for dsts in self._wants.values())
 
     # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready representation; triples sorted for stable output."""
+        return {"triples": [list(t) for t in self.triples()]}
+
+    @staticmethod
+    def from_dict(data: dict) -> "Demand":
+        """Parse the :meth:`to_dict` representation."""
+        try:
+            triples = [(int(s), int(c), int(d))
+                       for s, c, d in data["triples"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DemandError(f"malformed demand document: {exc}") from exc
+        return Demand.from_triples(triples)
+
+    # ------------------------------------------------------------------
     # validation & algebra
     # ------------------------------------------------------------------
     def validate(self, topology: Topology) -> None:

@@ -90,6 +90,63 @@ class TecclConfig:
             return 1.0
         return self.priorities.get((s, c, d), 1.0)
 
+    def to_dict(self) -> dict:
+        """JSON-ready representation (round-trips via :meth:`from_dict`).
+
+        ``capacity_fn`` is a Python callable and cannot be serialised; a
+        config carrying one is rejected rather than silently dropped.
+        """
+        if self.capacity_fn is not None:
+            raise ModelError(
+                "capacity_fn is a callable and cannot be serialised; "
+                "configs with time-varying capacity are not representable "
+                "as documents")
+        return {
+            "chunk_bytes": float(self.chunk_bytes),
+            "num_epochs": (None if self.num_epochs is None
+                           else int(self.num_epochs)),
+            "epoch_mode": self.epoch_mode.value,
+            "epoch_multiplier": float(self.epoch_multiplier),
+            "switch_model": self.switch_model.value,
+            "store_and_forward": bool(self.store_and_forward),
+            "buffer_limit_chunks": (
+                None if self.buffer_limit_chunks is None
+                else float(self.buffer_limit_chunks)),
+            "tighten": bool(self.tighten),
+            "solver": self.solver.to_dict(),
+            "priorities": (
+                None if self.priorities is None
+                else [[int(s), int(c), int(d), float(w)]
+                      for (s, c, d), w in sorted(self.priorities.items())]),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "TecclConfig":
+        """Parse the :meth:`to_dict` representation, validating as it goes."""
+        try:
+            priorities = data.get("priorities")
+            if priorities is not None:
+                priorities = {(int(s), int(c), int(d)): float(w)
+                              for s, c, d, w in priorities}
+            return TecclConfig(
+                chunk_bytes=float(data["chunk_bytes"]),
+                num_epochs=(None if data.get("num_epochs") is None
+                            else int(data["num_epochs"])),
+                epoch_mode=EpochMode(
+                    data.get("epoch_mode", EpochMode.FASTEST_LINK.value)),
+                epoch_multiplier=float(data.get("epoch_multiplier", 1.0)),
+                switch_model=SwitchModel(
+                    data.get("switch_model", SwitchModel.COPY.value)),
+                store_and_forward=bool(data.get("store_and_forward", True)),
+                buffer_limit_chunks=(
+                    None if data.get("buffer_limit_chunks") is None
+                    else float(data["buffer_limit_chunks"])),
+                tighten=bool(data.get("tighten", True)),
+                solver=SolverOptions.from_dict(data.get("solver", {})),
+                priorities=priorities)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ModelError(f"malformed config document: {exc}") from exc
+
 
 @dataclass(frozen=True)
 class AStarConfig:
@@ -115,3 +172,25 @@ class AStarConfig:
             raise ModelError("max_rounds must be at least 1")
         if not 0 < self.gamma < 1:
             raise ModelError("gamma must be in (0, 1)")
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "epochs_per_round": (None if self.epochs_per_round is None
+                                 else int(self.epochs_per_round)),
+            "max_rounds": int(self.max_rounds),
+            "gamma": float(self.gamma),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "AStarConfig":
+        """Parse the :meth:`to_dict` representation."""
+        try:
+            return AStarConfig(
+                epochs_per_round=(
+                    None if data.get("epochs_per_round") is None
+                    else int(data["epochs_per_round"])),
+                max_rounds=int(data.get("max_rounds", 64)),
+                gamma=float(data.get("gamma", 0.25)))
+        except (TypeError, ValueError) as exc:
+            raise ModelError(f"malformed A* config document: {exc}") from exc

@@ -57,6 +57,37 @@ class EpochPlan:
                          cap_chunks=self.cap_chunks,
                          occupancy=self.occupancy, delay=self.delay)
 
+    def to_dict(self) -> dict:
+        """JSON-ready representation; per-link rows sorted by (src, dst)."""
+        return {
+            "tau": self.tau,
+            "num_epochs": self.num_epochs,
+            "chunk_bytes": self.chunk_bytes,
+            "links": [[src, dst, self.cap_chunks[(src, dst)],
+                       self.occupancy[(src, dst)], self.delay[(src, dst)]]
+                      for src, dst in sorted(self.cap_chunks)],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "EpochPlan":
+        """Parse the :meth:`to_dict` representation."""
+        try:
+            cap_chunks: dict[tuple[int, int], float] = {}
+            occupancy: dict[tuple[int, int], int] = {}
+            delay: dict[tuple[int, int], int] = {}
+            for src, dst, cap, occ, dly in data["links"]:
+                key = (int(src), int(dst))
+                cap_chunks[key] = float(cap)
+                occupancy[key] = int(occ)
+                delay[key] = int(dly)
+            return EpochPlan(tau=float(data["tau"]),
+                             num_epochs=int(data["num_epochs"]),
+                             chunk_bytes=float(data["chunk_bytes"]),
+                             cap_chunks=cap_chunks, occupancy=occupancy,
+                             delay=delay)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ModelError(f"malformed epoch plan document: {exc}") from exc
+
 
 def epoch_duration(topology: Topology, chunk_bytes: float,
                    mode: EpochMode = EpochMode.FASTEST_LINK,

@@ -129,6 +129,30 @@ class Schedule:
                         chunk_bytes=self.chunk_bytes,
                         num_epochs=max(self.num_epochs, other.num_epochs))
 
+    def to_dict(self) -> dict:
+        """JSON-ready representation; sends sorted for stable output."""
+        return {
+            "kind": "integral",
+            "tau": self.tau,
+            "chunk_bytes": self.chunk_bytes,
+            "num_epochs": self.num_epochs,
+            "sends": [[s.epoch, s.source, s.chunk, s.src, s.dst]
+                      for s in sorted(self.sends)],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Schedule":
+        """Parse the :meth:`to_dict` representation."""
+        try:
+            sends = [Send(epoch=int(k), source=int(s), chunk=int(c),
+                          src=int(i), dst=int(j))
+                     for k, s, c, i, j in data["sends"]]
+            return Schedule(sends=sends, tau=float(data["tau"]),
+                            chunk_bytes=float(data["chunk_bytes"]),
+                            num_epochs=int(data["num_epochs"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ScheduleError(f"malformed schedule document: {exc}") from exc
+
     def __repr__(self) -> str:
         return (f"Schedule(sends={self.num_sends}, "
                 f"epochs<={self.num_epochs}, tau={self.tau:g}s)")
@@ -188,6 +212,49 @@ class FlowSchedule:
     def delivered(self, commodity, dst: int) -> float:
         return sum(v for (q, d, _), v in self.reads.items()
                    if q == commodity and d == dst)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation.
+
+        Commodity keys are ``(source, chunk)`` tuples or bare source ids
+        (the aggregated LP); both survive the round-trip — tuples become
+        two-element lists, ints stay ints.
+        """
+        def q_out(q):
+            return list(q) if isinstance(q, tuple) else q
+
+        return {
+            "kind": "flow",
+            "tau": self.tau,
+            "chunk_bytes": self.chunk_bytes,
+            "num_epochs": self.num_epochs,
+            "tolerance": self.tolerance,
+            "flows": sorted(
+                [q_out(q), i, j, k, v]
+                for (q, i, j, k), v in self.flows.items()),
+            "reads": sorted(
+                [q_out(q), d, k, v]
+                for (q, d, k), v in self.reads.items()),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "FlowSchedule":
+        """Parse the :meth:`to_dict` representation."""
+        def q_in(q):
+            return tuple(int(x) for x in q) if isinstance(q, list) else int(q)
+
+        try:
+            flows = {(q_in(q), int(i), int(j), int(k)): float(v)
+                     for q, i, j, k, v in data["flows"]}
+            reads = {(q_in(q), int(d), int(k)): float(v)
+                     for q, d, k, v in data["reads"]}
+            return FlowSchedule(
+                flows=flows, reads=reads, tau=float(data["tau"]),
+                chunk_bytes=float(data["chunk_bytes"]),
+                num_epochs=int(data["num_epochs"]),
+                tolerance=float(data.get("tolerance", 1e-7)))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ScheduleError(f"malformed schedule document: {exc}") from exc
 
     def __repr__(self) -> str:
         return (f"FlowSchedule(flows={len(self.flows)}, "

@@ -42,9 +42,12 @@ class SynthesisResult:
     finish_time: float
     solve_time: float
     plan: EpochPlan
-    outcome: MilpOutcome | LpOutcome | AStarOutcome
+    #: the raw formulation outcome; ``None`` on results deserialised from a
+    #: cache entry (the solver internals do not survive serialisation).
+    outcome: MilpOutcome | LpOutcome | AStarOutcome | None = None
     #: set when the Appendix C transform rewrote the topology; schedules are
-    #: expressed in this transformed space.
+    #: expressed in this transformed space. Not serialised (``topology_used``
+    #: carries the transformed fabric itself).
     hyper: HyperEdgeTopology | None = None
     #: the topology the schedule is expressed over (transformed when hyper)
     topology_used: Topology | None = None
@@ -53,9 +56,62 @@ class SynthesisResult:
 
     def algorithmic_bandwidth(self, output_buffer_bytes: float) -> float:
         """TACCL's metric: output buffer size / collective finish time."""
+        if output_buffer_bytes <= 0:
+            raise ModelError(
+                f"output_buffer_bytes must be positive, got "
+                f"{output_buffer_bytes!r}")
         if self.finish_time <= 0:
             raise ModelError("finish time is not positive")
         return output_buffer_bytes / self.finish_time
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (round-trips via :meth:`from_dict`).
+
+        Serialises everything downstream consumers need — the schedule, the
+        epoch plan, and the (possibly hyper-transformed) topology and demand
+        the schedule is expressed over. The raw solver ``outcome`` and the
+        ``hyper`` transform record are dropped: they hold solver internals
+        (variable tables, incumbent traces) that no replay path needs.
+        """
+        return {
+            "method": self.method.value,
+            "finish_time": self.finish_time,
+            "solve_time": self.solve_time,
+            "schedule": self.schedule.to_dict(),
+            "plan": self.plan.to_dict(),
+            "was_hyper": self.hyper is not None,
+            "topology_used": (None if self.topology_used is None
+                              else self.topology_used.to_dict()),
+            "demand_used": (None if self.demand_used is None
+                            else self.demand_used.to_dict()),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "SynthesisResult":
+        """Parse the :meth:`to_dict` representation (``outcome`` is None)."""
+        try:
+            sched_doc = data["schedule"]
+            if sched_doc.get("kind") == "flow":
+                schedule: Schedule | FlowSchedule = \
+                    FlowSchedule.from_dict(sched_doc)
+            else:
+                schedule = Schedule.from_dict(sched_doc)
+            return SynthesisResult(
+                method=Method(data["method"]),
+                schedule=schedule,
+                finish_time=float(data["finish_time"]),
+                solve_time=float(data["solve_time"]),
+                plan=EpochPlan.from_dict(data["plan"]),
+                outcome=None,
+                topology_used=(
+                    None if data.get("topology_used") is None
+                    else Topology.from_dict(data["topology_used"])),
+                demand_used=(
+                    None if data.get("demand_used") is None
+                    else Demand.from_dict(data["demand_used"])))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ModelError(
+                f"malformed synthesis result document: {exc}") from exc
 
 
 def synthesize(topology: Topology, demand: Demand, config: TecclConfig, *,

@@ -38,3 +38,7 @@ class ScheduleError(ReproError):
 
 class ExportError(ReproError):
     """A schedule could not be exported (e.g. to MSCCL XML)."""
+
+
+class ServiceError(ReproError):
+    """The planner service failed (timeout, uncacheable request, bad spec)."""

@@ -1,0 +1,131 @@
+"""Canonical serialisation and SHA-256 fingerprints for plan requests.
+
+The planner service's whole premise (amortisation, §1 and §6 of the paper:
+synthesise once, reuse across millions of iterations) rests on recognising
+that two requests are *the same instance*. Python object identity is useless
+for that — two ``Topology`` objects built by different code paths, or the
+same edge list inserted in a different order, must hash identically.
+
+This module defines the canonical form: a pure-JSON document with
+
+* **sorted collections** — links by ``(src, dst)``, demand triples and
+  priority entries lexicographically, switches ascending — so insertion
+  order never leaks into the hash;
+* **normalised numbers** — every numeric field passes through ``float()``
+  so ``TecclConfig(chunk_bytes=1)`` and ``chunk_bytes=1.0`` agree
+  (``json.dumps`` renders ``1`` and ``1.0`` differently); NaN/inf are
+  rejected because they do not round-trip;
+* **a version salt** — :data:`FINGERPRINT_VERSION` is hashed into every
+  fingerprint, so changing the canonical form (or solver semantics that the
+  form cannot see) invalidates every old fingerprint at once.
+
+Topology *names* are deliberately excluded: a fabric renamed is the same
+fabric, and cache keys must not fragment on labels.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+
+from repro.collectives.demand import Demand
+from repro.core.config import AStarConfig, TecclConfig
+from repro.core.solve import Method
+from repro.errors import ServiceError
+from repro.topology.topology import Topology
+
+#: Bump when the canonical form changes or when solver semantics change in a
+#: way that makes previously cached schedules stale. Hashed into every
+#: fingerprint, so a bump invalidates all existing cache entries.
+FINGERPRINT_VERSION = 1
+
+
+def _normalize(value, path: str):
+    """Recursively normalise a ``to_dict()`` document for hashing.
+
+    Every number (bool excepted) becomes a finite float, so documents
+    that differ only in int-vs-float representation hash identically;
+    containers are normalised element-wise. The ``path`` names the field
+    in error messages.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, (int, float)):
+        out = float(value)
+        if not math.isfinite(out):
+            raise ServiceError(f"{path} is not finite ({value!r}); "
+                               "the request cannot be fingerprinted")
+        return out
+    if isinstance(value, dict):
+        return {k: _normalize(v, f"{path}.{k}") for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_normalize(v, f"{path}[{i}]") for i, v in enumerate(value)]
+    raise ServiceError(
+        f"{path} has unhashable type {type(value).__name__}")
+
+
+def canonical_topology(topology: Topology) -> dict:
+    """Order-insensitive, name-free canonical form of a topology.
+
+    Derived from :meth:`Topology.to_dict` (links already sorted there)
+    rather than a hand-kept field list, so a field added to the
+    serialisation automatically reaches the fingerprint too.
+    """
+    document = topology.to_dict()
+    del document["name"]  # a renamed fabric is the same fabric
+    return _normalize(document, "topology")
+
+
+def canonical_demand(demand: Demand) -> dict:
+    """Order-insensitive canonical form of a demand matrix."""
+    return _normalize(demand.to_dict(), "demand")
+
+
+def canonical_config(config: TecclConfig) -> dict:
+    """Canonical form of a config; rejects non-serialisable hooks."""
+    if config.capacity_fn is not None:
+        raise ServiceError(
+            "configs with a capacity_fn hook cannot be fingerprinted "
+            "(a Python callable has no canonical form); solve such "
+            "instances directly via synthesize()")
+    document = config.to_dict()
+    # log verbosity cannot change the solution; keep it out of the key
+    del document["solver"]["verbose"]
+    return _normalize(document, "config")
+
+
+def canonical_request(topology: Topology, demand: Demand,
+                      config: TecclConfig, *,
+                      method: Method = Method.AUTO,
+                      astar_config: AStarConfig | None = None,
+                      minimize_epochs: bool = False) -> dict:
+    """The full canonical document for one ``synthesize()`` invocation."""
+    return {
+        "version": FINGERPRINT_VERSION,
+        "topology": canonical_topology(topology),
+        "demand": canonical_demand(demand),
+        "config": canonical_config(config),
+        "method": method.value,
+        "astar": (None if astar_config is None
+                  else _normalize(astar_config.to_dict(), "astar")),
+        "minimize_epochs": bool(minimize_epochs),
+    }
+
+
+def fingerprint_canonical(document: dict) -> str:
+    """SHA-256 hex digest of a canonical document."""
+    payload = json.dumps(document, sort_keys=True,
+                         separators=(",", ":"), allow_nan=False)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def fingerprint_request(topology: Topology, demand: Demand,
+                        config: TecclConfig, *,
+                        method: Method = Method.AUTO,
+                        astar_config: AStarConfig | None = None,
+                        minimize_epochs: bool = False) -> str:
+    """Stable fingerprint: equivalent requests hash identically."""
+    return fingerprint_canonical(canonical_request(
+        topology, demand, config, method=method, astar_config=astar_config,
+        minimize_epochs=minimize_epochs))

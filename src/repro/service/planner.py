@@ -1,0 +1,207 @@
+"""The ``Planner``: cache → coalesce → pool → ``synthesize``, as one API.
+
+This is the serving layer the ROADMAP's north star asks for. A caller hands
+over a :class:`~repro.service.schema.PlanRequest`; the planner
+
+1. **fingerprints** it (canonical form, §fingerprint) so equivalent
+   requests are recognised regardless of how their objects were built;
+2. serves **cache hits** without touching a solver — the paper's
+   amortisation (one synthesis, millions of iterations) as a lookup;
+3. **coalesces** concurrent identical misses onto one in-flight solve;
+4. dispatches distinct misses to the **solve pool**, which runs them in
+   parallel, and archives every fresh result in the cache on the way out.
+
+``plan()`` raises on failure; ``plan_batch()`` captures per-request errors
+in the responses so one infeasible instance cannot sink a batch; ``warm()``
+is ``plan_batch`` for pre-populating the cache before traffic arrives.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.solve import SynthesisResult
+from repro.errors import ReproError, ServiceError
+from repro.service.cache import ScheduleCache
+from repro.service.fingerprint import fingerprint_request
+from repro.service.pool import SolvePool
+from repro.service.schema import PlanRequest, PlanResponse
+
+
+@dataclass
+class PlannerStats:
+    """Aggregated serving counters (cumulative since construction)."""
+
+    requests: int = 0
+    timeouts: int = 0
+
+    def to_dict(self) -> dict:
+        return {"requests": self.requests, "timeouts": self.timeouts}
+
+
+class Planner:
+    """Schedule-planning service over the synthesis facade.
+
+    Args:
+        executor: solve-pool kind — ``"process"`` (default), ``"thread"``,
+            or ``"inline"``; see :class:`~repro.service.pool.SolvePool`.
+        max_workers: pool width.
+        cache_dir: enables the on-disk cache tier when set.
+        cache_capacity: in-memory LRU size.
+        timeout: default per-request wall-clock budget in seconds
+            (``None`` = wait forever); overridable per call.
+        cache / pool: inject pre-built components (tests, shared caches).
+    """
+
+    def __init__(self, *, executor: str = "process",
+                 max_workers: int | None = None,
+                 cache_dir: str | Path | None = None,
+                 cache_capacity: int = 128,
+                 timeout: float | None = None,
+                 cache: ScheduleCache | None = None,
+                 pool: SolvePool | None = None) -> None:
+        self.cache = cache if cache is not None else ScheduleCache(
+            capacity=cache_capacity, directory=cache_dir)
+        self.pool = pool if pool is not None else SolvePool(
+            max_workers=max_workers, executor=executor)
+        self.default_timeout = timeout
+        self._stats = PlannerStats()
+        # Guards the cache-probe → pool-submit step and the archive callback
+        # as one atomic unit (RLock: the inline executor archives on the
+        # submitting thread, re-entering while _start still holds the lock).
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def plan(self, request: PlanRequest, *,
+             timeout: float | None = None) -> PlanResponse:
+        """Serve one request; raises :class:`ReproError` on failure."""
+        fingerprint, pending = self._start(request)
+        return self._finish(request, fingerprint, pending,
+                            timeout=self._budget(timeout), raise_errors=True)
+
+    def plan_batch(self, requests: list[PlanRequest], *,
+                   timeout: float | None = None) -> list[PlanResponse]:
+        """Serve many requests; errors land in ``response.error``.
+
+        All misses are submitted before any result is awaited, so distinct
+        instances overlap across the pool and identical ones coalesce.
+        """
+        budget = self._budget(timeout)
+        deadline = None if budget is None else time.perf_counter() + budget
+        started = [self._start(request) for request in requests]
+        responses = []
+        for request, (fingerprint, pending) in zip(requests, started):
+            remaining = None if deadline is None \
+                else max(0.0, deadline - time.perf_counter())
+            responses.append(self._finish(request, fingerprint, pending,
+                                          timeout=remaining,
+                                          raise_errors=False))
+        return responses
+
+    def warm(self, requests: list[PlanRequest], *,
+             timeout: float | None = None) -> int:
+        """Pre-populate the cache; returns the number of fresh solves."""
+        responses = self.plan_batch(requests, timeout=timeout)
+        return sum(1 for r in responses if r.ok and not r.cache_hit
+                   and not r.coalesced)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _budget(self, timeout: float | None) -> float | None:
+        return self.default_timeout if timeout is None else timeout
+
+    def _start(self, request: PlanRequest):
+        """Fingerprint + cache probe + (on miss) pool submission.
+
+        Returns ``(fingerprint, pending)`` where pending is either a ready
+        :class:`PlanResponse` (cache hit) or ``(future, coalesced, t0)``.
+        """
+        t0 = time.perf_counter()
+        with self._lock:
+            self._stats.requests += 1
+        fingerprint = fingerprint_request(
+            request.topology, request.demand, request.config,
+            method=request.method, astar_config=request.astar_config,
+            minimize_epochs=request.minimize_epochs)
+        with self._lock:
+            payload = self.cache.get(fingerprint)
+            if payload is not None:
+                response = PlanResponse(
+                    fingerprint=fingerprint,
+                    result=SynthesisResult.from_dict(payload),
+                    cache_hit=True, tag=request.tag,
+                    serve_time=time.perf_counter() - t0)
+                return fingerprint, response
+            # Atomic with the probe above: the pool either coalesces onto an
+            # in-flight solve or starts one; _archive (which runs before the
+            # pool retires the fingerprint) also serialises on self._lock, so
+            # no request can fall between "not cached" and "not in flight".
+            future, coalesced = self.pool.submit(
+                fingerprint, request.to_dict(), on_complete=self._archive)
+        return fingerprint, (future, coalesced, t0)
+
+    def _archive(self, fingerprint: str, future) -> None:
+        """Store a completed solve in the cache (runs on the pool's thread)."""
+        if future.cancelled() or future.exception() is not None:
+            return
+        with self._lock:
+            self.cache.put(fingerprint, future.result())
+
+    def _finish(self, request: PlanRequest, fingerprint: str, pending,
+                *, timeout: float | None,
+                raise_errors: bool) -> PlanResponse:
+        if isinstance(pending, PlanResponse):
+            return pending
+        future, coalesced, t0 = pending
+        try:
+            payload = self.pool.wait(future, timeout)
+        except ServiceError as exc:  # timeout
+            self._stats.timeouts += 1
+            if raise_errors:
+                raise
+            return PlanResponse(fingerprint=fingerprint, error=str(exc),
+                                coalesced=coalesced, tag=request.tag,
+                                serve_time=time.perf_counter() - t0)
+        except ReproError as exc:  # solver-side failure (infeasible, ...)
+            if raise_errors:
+                raise
+            return PlanResponse(fingerprint=fingerprint, error=str(exc),
+                                coalesced=coalesced, tag=request.tag,
+                                serve_time=time.perf_counter() - t0)
+        return PlanResponse(
+            fingerprint=fingerprint,
+            result=SynthesisResult.from_dict(payload),
+            coalesced=coalesced, tag=request.tag,
+            serve_time=time.perf_counter() - t0)
+
+    # ------------------------------------------------------------------
+    # introspection & lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """One dict with the planner, cache, and pool counters."""
+        cache = self.cache.stats
+        pool = self.pool.stats
+        return {
+            **self._stats.to_dict(),
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "solves": pool.solves,
+            "coalesced": pool.coalesced,
+            "cache": cache.to_dict(),
+            "pool": pool.to_dict(),
+        }
+
+    def close(self) -> None:
+        self.pool.shutdown()
+
+    def __enter__(self) -> "Planner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,185 @@
+"""The solve pool: concurrent synthesis with request coalescing.
+
+Distinct instances solve in parallel across a ``ProcessPoolExecutor``
+(TE-CCL solves are CPU-bound MILP/LP runs — separate processes sidestep the
+GIL and isolate solver memory); *identical* concurrent requests coalesce
+onto one in-flight future, so a thundering herd of equivalent requests costs
+exactly one solve. That pairing — coalesce the identical, parallelise the
+distinct — is what lets one planner serve many tenants whose training jobs
+all start at the same time.
+
+Work crosses the process boundary as plain dicts (``PlanRequest.to_dict`` /
+``SynthesisResult.to_dict``), never as live solver objects: dicts are
+trivially picklable and are exactly what the schedule cache stores, so the
+pool's output can be archived without another conversion.
+
+Three executor kinds are supported:
+
+* ``"process"`` — the production default, true parallelism;
+* ``"thread"``  — cheaper startup; fine for tests and for I/O-dominated
+  mixes (scipy's HiGHS calls release the GIL for long stretches);
+* ``"inline"``  — no concurrency, solves on the calling thread; useful for
+  debugging and deterministic tests.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as _futures
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ServiceError
+
+_EXECUTOR_KINDS = ("process", "thread", "inline")
+
+
+def solve_request(request_dict: dict) -> dict:
+    """Solve one serialised request; module-level so workers can pickle it."""
+    from repro.core.solve import synthesize
+    from repro.service.schema import PlanRequest
+
+    request = PlanRequest.from_dict(request_dict)
+    result = synthesize(request.topology, request.demand, request.config,
+                        method=request.method,
+                        astar_config=request.astar_config,
+                        minimize_epochs=request.minimize_epochs)
+    return result.to_dict()
+
+
+@dataclass
+class PoolStats:
+    """Counters for one pool instance (cumulative since construction)."""
+
+    submitted: int = 0
+    coalesced: int = 0
+    completed: int = 0
+    errors: int = 0
+
+    @property
+    def solves(self) -> int:
+        """Underlying solver invocations (submissions, not coalesced joins)."""
+        return self.submitted
+
+    def to_dict(self) -> dict:
+        return {
+            "solves": self.solves,
+            "coalesced": self.coalesced,
+            "completed": self.completed,
+            "errors": self.errors,
+        }
+
+
+class SolvePool:
+    """A bounded executor with per-fingerprint request coalescing.
+
+    Args:
+        max_workers: executor width (ignored for ``"inline"``).
+        executor: one of ``"process"``, ``"thread"``, ``"inline"``.
+        solve_fn: the worker function; overridable for tests. Must be
+            picklable (module-level) when ``executor="process"``.
+    """
+
+    def __init__(self, max_workers: int | None = None,
+                 executor: str = "process",
+                 solve_fn=solve_request) -> None:
+        if executor not in _EXECUTOR_KINDS:
+            raise ServiceError(
+                f"unknown executor kind {executor!r}; "
+                f"expected one of {_EXECUTOR_KINDS}")
+        self.executor_kind = executor
+        self._solve_fn = solve_fn
+        self._lock = threading.Lock()
+        self._inflight: dict[str, _futures.Future] = {}
+        self.stats = PoolStats()
+        if executor == "process":
+            self._executor: _futures.Executor | None = \
+                _futures.ProcessPoolExecutor(max_workers=max_workers)
+        elif executor == "thread":
+            self._executor = _futures.ThreadPoolExecutor(
+                max_workers=max_workers,
+                thread_name_prefix="teccl-solve")
+        else:
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    def submit(self, fingerprint: str, request_dict: dict,
+               on_complete=None) -> tuple[_futures.Future, bool]:
+        """Submit a solve, or join the identical one already in flight.
+
+        Returns ``(future, coalesced)``: the future resolves to the
+        serialised :class:`~repro.core.solve.SynthesisResult` dict, and
+        ``coalesced`` is True when the request piggybacked on an in-flight
+        solve instead of starting its own.
+
+        ``on_complete(fingerprint, future)``, if given, runs *before* the
+        fingerprint leaves the in-flight registry. The planner archives the
+        result there: because archival strictly precedes deregistration, a
+        concurrent identical request always finds the solve either still in
+        flight (coalesces) or already in the cache — never neither.
+        """
+        with self._lock:
+            existing = self._inflight.get(fingerprint)
+            if existing is not None:
+                self.stats.coalesced += 1
+                return existing, True
+            self.stats.submitted += 1
+            if self._executor is None:
+                future: _futures.Future = _futures.Future()
+            else:
+                future = self._executor.submit(self._solve_fn, request_dict)
+            self._inflight[fingerprint] = future
+        if self._executor is None:
+            # Inline: solve on the calling thread. The future is already
+            # registered, so re-entrant submits from a solve_fn still coalesce.
+            try:
+                future.set_result(self._solve_fn(request_dict))
+            except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+                future.set_exception(exc)
+        # Done-callbacks fire in registration order (immediately, in this
+        # thread, when the future already completed) — archive, then retire.
+        if on_complete is not None:
+            future.add_done_callback(
+                lambda f, fp=fingerprint: on_complete(fp, f))
+        future.add_done_callback(
+            lambda f, fp=fingerprint: self._on_done(fp, f))
+        return future, False
+
+    def _on_done(self, fingerprint: str, future: _futures.Future) -> None:
+        with self._lock:
+            if self._inflight.get(fingerprint) is future:
+                del self._inflight[fingerprint]
+            if future.cancelled() or future.exception() is not None:
+                self.stats.errors += 1
+            else:
+                self.stats.completed += 1
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def wait(future: _futures.Future, timeout: float | None = None) -> dict:
+        """Block for a result; maps executor timeouts onto ServiceError.
+
+        The underlying solve is *not* cancelled on timeout — it may be
+        shared with coalesced waiters, and its result still warms the cache.
+        """
+        try:
+            return future.result(timeout=timeout)
+        except _futures.TimeoutError:
+            raise ServiceError(
+                f"solve did not finish within {timeout} s "
+                "(the solve keeps running and will populate the cache)"
+            ) from None
+
+    @property
+    def inflight_count(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "SolvePool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

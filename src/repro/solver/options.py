@@ -59,6 +59,36 @@ class SolverOptions:
         return "highs-ipm" if num_vars >= self.AUTO_IPM_THRESHOLD \
             else "highs"
 
+    def to_dict(self) -> dict:
+        """JSON-ready representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "time_limit": (None if self.time_limit is None
+                           else float(self.time_limit)),
+            "mip_gap": float(self.mip_gap),
+            "node_limit": (None if self.node_limit is None
+                           else int(self.node_limit)),
+            "verbose": bool(self.verbose),
+            "presolve": bool(self.presolve),
+            "lp_method": self.lp_method,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "SolverOptions":
+        """Parse the :meth:`to_dict` representation."""
+        try:
+            return SolverOptions(
+                time_limit=(None if data.get("time_limit") is None
+                            else float(data["time_limit"])),
+                mip_gap=float(data.get("mip_gap", 0.0)),
+                node_limit=(None if data.get("node_limit") is None
+                            else int(data["node_limit"])),
+                verbose=bool(data.get("verbose", False)),
+                presolve=bool(data.get("presolve", True)),
+                lp_method=str(data.get("lp_method", "auto")))
+        except (TypeError, ValueError) as exc:
+            raise ModelError(
+                f"malformed solver options document: {exc}") from exc
+
     def to_scipy(self) -> dict:
         """Translate to the ``options`` dict of :func:`scipy.optimize.milp`."""
         options: dict = {"disp": self.verbose, "presolve": self.presolve}

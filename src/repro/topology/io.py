@@ -43,41 +43,12 @@ def from_edge_list(num_nodes: int,
 
 def to_dict(topo: Topology) -> dict:
     """The JSON-ready representation of a topology."""
-    return {
-        "name": topo.name,
-        "num_nodes": topo.num_nodes,
-        "switches": sorted(topo.switches),
-        "links": [
-            {"src": link.src, "dst": link.dst,
-             "capacity": link.capacity, "alpha": link.alpha}
-            for link in sorted(topo.links.values(),
-                               key=lambda l: (l.src, l.dst))
-        ],
-    }
+    return topo.to_dict()
 
 
 def from_dict(data: dict) -> Topology:
     """Parse the :func:`to_dict` representation, validating as it goes."""
-    try:
-        name = data["name"]
-        num_nodes = int(data["num_nodes"])
-        switches = [int(s) for s in data.get("switches", [])]
-        links = data["links"]
-    except (KeyError, TypeError, ValueError) as exc:
-        raise TopologyError(f"malformed topology document: {exc}") from exc
-    topo = Topology(name=name, num_nodes=num_nodes,
-                    switches=frozenset(switches))
-    for entry in links:
-        try:
-            topo.add_link(int(entry["src"]), int(entry["dst"]),
-                          float(entry["capacity"]),
-                          float(entry.get("alpha", 0.0)))
-        except (KeyError, TypeError, ValueError) as exc:
-            raise TopologyError(f"malformed link entry {entry}: {exc}") \
-                from exc
-    if not topo.links:
-        raise TopologyError("topology document has no links")
-    return topo
+    return Topology.from_dict(data)
 
 
 def save_json(topo: Topology, path: str | Path) -> None:

@@ -236,6 +236,44 @@ class Topology:
                 f"GPUs {cannot_reach} cannot reach GPU {start}; "
                 "collective demands would be infeasible")
 
+    def to_dict(self) -> dict:
+        """JSON-ready representation; links sorted for stable output."""
+        return {
+            "name": self.name,
+            "num_nodes": self.num_nodes,
+            "switches": sorted(self.switches),
+            "links": [
+                {"src": link.src, "dst": link.dst,
+                 "capacity": link.capacity, "alpha": link.alpha}
+                for link in sorted(self.links.values(),
+                                   key=lambda l: (l.src, l.dst))
+            ],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Topology":
+        """Parse the :meth:`to_dict` representation, validating as it goes."""
+        try:
+            name = data["name"]
+            num_nodes = int(data["num_nodes"])
+            switches = [int(s) for s in data.get("switches", [])]
+            links = data["links"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TopologyError(f"malformed topology document: {exc}") from exc
+        topo = Topology(name=name, num_nodes=num_nodes,
+                        switches=frozenset(switches))
+        for entry in links:
+            try:
+                topo.add_link(int(entry["src"]), int(entry["dst"]),
+                              float(entry["capacity"]),
+                              float(entry.get("alpha", 0.0)))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise TopologyError(f"malformed link entry {entry}: {exc}") \
+                    from exc
+        if not topo.links:
+            raise TopologyError("topology document has no links")
+        return topo
+
     def copy(self, name: str | None = None) -> "Topology":
         return Topology(name=name or self.name,
                         num_nodes=self.num_nodes,

@@ -68,12 +68,19 @@ class TestExamples:
         assert "== dlrm:" in out and "== moe:" in out
         assert out.count("step total") == 2
 
+    def test_planner_service(self):
+        out = run_example("planner_service.py")
+        assert "cold solve" in out
+        assert "hit=True" in out
+        assert "1 hits" not in out  # two hits: the warm call + the rebuild
+        assert "2 hits / 1 misses / 1 solves" in out
+
     @pytest.mark.parametrize("name", [
         "quickstart.py", "motivating_examples.py", "failure_adaptation.py",
         "multi_tenant_cluster.py", "large_scale_astar.py", "epoch_tuning.py",
         "topology_design.py", "msccl_pipeline.py", "calibration_loop.py",
         "congestion_study.py", "allreduce_composition.py",
-        "training_job_scheduling.py",
+        "training_job_scheduling.py", "planner_service.py",
     ])
     def test_examples_compile(self, name):
         source = (EXAMPLES / name).read_text(encoding="utf-8")

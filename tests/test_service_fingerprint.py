@@ -1,0 +1,143 @@
+"""Fingerprinting: order-insensitivity, normalisation, version salting."""
+
+import pytest
+
+from repro import collectives, topology
+from repro.collectives.demand import Demand
+from repro.core import TecclConfig
+from repro.core.config import AStarConfig, SwitchModel
+from repro.core.solve import Method
+from repro.errors import ServiceError
+from repro.service import fingerprint_request
+from repro.service.fingerprint import (FINGERPRINT_VERSION,
+                                       canonical_request)
+from repro.solver import SolverOptions
+
+
+def _fp(topo, demand, config, **kwargs):
+    return fingerprint_request(topo, demand, config, **kwargs)
+
+
+@pytest.fixture
+def config():
+    return TecclConfig(chunk_bytes=1e6, num_epochs=8)
+
+
+class TestOrderInsensitivity:
+    def test_link_insertion_order_is_irrelevant(self, config):
+        edges = [(0, 1, 2.0, 1e-6), (1, 2, 3.0, 0.0), (2, 0, 1.0, 5e-7),
+                 (1, 0, 2.0, 1e-6), (2, 1, 3.0, 0.0), (0, 2, 1.0, 5e-7)]
+        demand = collectives.allgather([0, 1, 2], 1)
+
+        def build(order):
+            topo = topology.Topology("t", num_nodes=3)
+            for src, dst, cap, alpha in order:
+                topo.add_link(src, dst, cap, alpha)
+            return topo
+
+        forward = build(edges)
+        backward = build(list(reversed(edges)))
+        assert _fp(forward, demand, config) == _fp(backward, demand, config)
+
+    def test_triple_insertion_order_is_irrelevant(self, ring4, config):
+        triples = [(0, 0, 1), (0, 0, 2), (1, 0, 3), (2, 0, 0)]
+        fwd = Demand.from_triples(triples)
+        rev = Demand.from_triples(reversed(triples))
+        assert _fp(ring4, fwd, config) == _fp(ring4, rev, config)
+
+    def test_permutation_property(self, ring4, config):
+        """Any permutation of links and triples hashes identically."""
+        import itertools
+        import random
+
+        rng = random.Random(7)
+        triples = [(s, 0, d) for s, d in itertools.permutations(range(4), 2)]
+        edges = [(a, b, 1.0, 0.0) for a in range(4) for b in range(4)
+                 if abs(a - b) in (1, 3)]
+        reference = None
+        for _ in range(5):
+            rng.shuffle(triples)
+            rng.shuffle(edges)
+            topo = topology.Topology("p", num_nodes=4)
+            for src, dst, cap, alpha in edges:
+                topo.add_link(src, dst, cap, alpha)
+            fp = _fp(topo, Demand.from_triples(triples), config)
+            if reference is None:
+                reference = fp
+            assert fp == reference
+
+    def test_priorities_dict_order_is_irrelevant(self, ring4):
+        demand = collectives.allgather(ring4.gpus, 1)
+        a = TecclConfig(chunk_bytes=1.0,
+                        priorities={(0, 0, 1): 2.0, (1, 0, 2): 3.0})
+        b = TecclConfig(chunk_bytes=1.0,
+                        priorities={(1, 0, 2): 3.0, (0, 0, 1): 2.0})
+        assert _fp(ring4, demand, a) == _fp(ring4, demand, b)
+
+
+class TestNormalisation:
+    def test_int_and_float_fields_agree(self, ring4):
+        demand = collectives.allgather(ring4.gpus, 1)
+        assert _fp(ring4, demand, TecclConfig(chunk_bytes=1)) == \
+            _fp(ring4, demand, TecclConfig(chunk_bytes=1.0))
+
+    def test_topology_name_is_excluded(self, config):
+        demand = collectives.allgather(list(range(4)), 1)
+        a = topology.ring(4, capacity=1.0)
+        b = a.copy(name="totally-different")
+        assert _fp(a, demand, config) == _fp(b, demand, config)
+
+    def test_nonfinite_values_rejected(self, ring4, config):
+        demand = collectives.allgather(ring4.gpus, 1)
+        bad = TecclConfig(chunk_bytes=float("inf"))
+        with pytest.raises(ServiceError, match="finite"):
+            _fp(ring4, demand, bad)
+
+    def test_capacity_fn_rejected(self, ring4, config):
+        demand = collectives.allgather(ring4.gpus, 1)
+        hooked = TecclConfig(chunk_bytes=1.0,
+                             capacity_fn=lambda s, d, k: 1.0)
+        with pytest.raises(ServiceError, match="capacity_fn"):
+            _fp(ring4, demand, hooked)
+
+
+class TestSensitivity:
+    """Anything that changes the instance must change the fingerprint."""
+
+    def test_distinct_requests_differ(self, ring4):
+        demand = collectives.allgather(ring4.gpus, 1)
+        base = TecclConfig(chunk_bytes=1.0, num_epochs=8)
+        fp = _fp(ring4, demand, base)
+        variants = [
+            _fp(ring4, demand, TecclConfig(chunk_bytes=2.0, num_epochs=8)),
+            _fp(ring4, demand, TecclConfig(chunk_bytes=1.0, num_epochs=9)),
+            _fp(ring4, demand, TecclConfig(
+                chunk_bytes=1.0, num_epochs=8,
+                switch_model=SwitchModel.NO_COPY)),
+            _fp(ring4, demand, TecclConfig(
+                chunk_bytes=1.0, num_epochs=8,
+                solver=SolverOptions(mip_gap=0.3))),
+            _fp(ring4, collectives.alltoall(ring4.gpus, 1), base),
+            _fp(topology.ring(5, capacity=1.0),
+                collectives.allgather(list(range(5)), 1), base),
+            _fp(ring4, demand, base, method=Method.LP),
+            _fp(ring4, demand, base, minimize_epochs=True),
+            _fp(ring4, demand, base, astar_config=AStarConfig(gamma=0.5)),
+        ]
+        assert len({fp, *variants}) == len(variants) + 1
+
+    def test_version_salt_present(self, ring4):
+        demand = collectives.allgather(ring4.gpus, 1)
+        doc = canonical_request(ring4, demand, TecclConfig(chunk_bytes=1.0))
+        assert doc["version"] == FINGERPRINT_VERSION
+
+    def test_fingerprint_is_sha256_hex(self, ring4):
+        demand = collectives.allgather(ring4.gpus, 1)
+        fp = _fp(ring4, demand, TecclConfig(chunk_bytes=1.0))
+        assert len(fp) == 64
+        assert set(fp) <= set("0123456789abcdef")
+
+    def test_stable_across_calls(self, ring4):
+        demand = collectives.allgather(ring4.gpus, 1)
+        cfg = TecclConfig(chunk_bytes=1.0, num_epochs=8)
+        assert _fp(ring4, demand, cfg) == _fp(ring4, demand, cfg)

@@ -1,0 +1,126 @@
+"""Model construction micro-benchmark: expression path vs COO bulk path.
+
+The scale claim of Table 4 depends on model *construction* staying cheap
+relative to the HiGHS solve — the term-by-term ``LinExpr``/``quicksum``
+build is exactly the Python-object wall that pushed TACCL to sketches and
+the paper to Gurobi's batch APIs. This bench times both construction paths
+of the LP/MILP builders on the (downscaled) Table-4 instances, asserts the
+vectorized path's ≥5× advantage, checks objective parity end-to-end, and
+writes ``benchmarks/results/BENCH_model_build.json`` so future PRs can
+track construction-time regressions.
+"""
+
+import json
+import math
+import time
+
+from _common import RESULTS_DIR, write_result
+from repro import collectives, topology
+from repro.analysis import Table
+from repro.core import TecclConfig
+from repro.core.epochs import build_epoch_plan, path_based_epoch_bound
+from repro.core.lp import LpBuilder
+from repro.core.milp import MilpBuilder
+from repro.solver import SolverOptions
+from repro.solver.model import compiled_equal
+
+#: (label, topology factory, collective, formulation, solve for parity?)
+CELLS = (
+    ("Internal1 AtoA LP", lambda: topology.internal1(4), "alltoall", "lp",
+     True),
+    ("Internal2 AtoA LP", lambda: topology.internal2(8), "alltoall", "lp",
+     False),
+    ("Internal2 AG MILP", lambda: topology.internal2(4), "allgather", "milp",
+     False),
+    ("Ring16 AG MILP", lambda: topology.ring(16, capacity=1.0, alpha=0.0),
+     "allgather", "milp", False),
+)
+
+
+def _build_pair(kind, topo, demand, config, plan):
+    cls = LpBuilder if kind == "lp" else MilpBuilder
+    start = time.perf_counter()
+    expr_problem = cls(topo, demand, config, plan,
+                       construction="expr").build()
+    expr_time = time.perf_counter() - start
+    start = time.perf_counter()
+    coo_problem = cls(topo, demand, config, plan, construction="coo").build()
+    coo_time = time.perf_counter() - start
+    return expr_problem, expr_time, coo_problem, coo_time
+
+
+def test_model_build_speed(benchmark):
+    table = Table("Model construction — expression vs vectorized COO path",
+                  columns=["vars", "rows", "expr s", "coo s", "speedup",
+                           "solve s"])
+    records = []
+    speedups = {}
+    for label, factory, collective, kind, solve_parity in CELLS:
+        topo = factory()
+        chunk_bytes = 1.0 if topo.max_alpha == 0 else 1e6
+        demand = (collectives.alltoall(topo.gpus, 1)
+                  if collective == "alltoall"
+                  else collectives.allgather(topo.gpus, 1))
+        config = TecclConfig(chunk_bytes=chunk_bytes,
+                             solver=SolverOptions(time_limit=120))
+        probe = build_epoch_plan(topo, config, num_epochs=1)
+        horizon = path_based_epoch_bound(topo, demand, probe)
+        plan = build_epoch_plan(topo, config, num_epochs=horizon)
+
+        expr_problem, expr_time, coo_problem, coo_time = _build_pair(
+            kind, topo, demand, config, plan)
+        assert compiled_equal(expr_problem.model.compile(),
+                              coo_problem.model.compile()), label
+
+        solve_time = float("nan")
+        if solve_parity:
+            expr_result = expr_problem.model.solve(config.solver)
+            start = time.perf_counter()
+            coo_result = coo_problem.model.solve(config.solver)
+            solve_time = time.perf_counter() - start
+            assert abs(expr_result.objective
+                       - coo_result.objective) < 1e-6, label
+
+        speedup = expr_time / coo_time if coo_time else float("inf")
+        speedups[label] = speedup
+        table.add(f"{label} x{topo.num_gpus}",
+                  **{"vars": coo_problem.model.num_vars,
+                     "rows": coo_problem.model.num_constraints,
+                     "expr s": expr_time, "coo s": coo_time,
+                     "speedup": speedup, "solve s": solve_time})
+        records.append({
+            "instance": label, "gpus": topo.num_gpus,
+            "formulation": kind,
+            "num_vars": coo_problem.model.num_vars,
+            "num_rows": coo_problem.model.num_constraints,
+            "build_expr_s": expr_time, "build_coo_s": coo_time,
+            "speedup": speedup,
+            "solve_s": None if math.isnan(solve_time) else solve_time,
+        })
+
+    write_result("model_build", table.render())
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_model_build.json").write_text(
+        json.dumps({"instances": records,
+                    "note": "build/solve split for construction-time "
+                            "regression tracking (PR 2)"}, indent=2) + "\n",
+        encoding="utf-8")
+
+    # the acceptance claim: ≥5× faster construction on the Table-4 sizes
+    assert max(speedups.values()) >= 5.0, speedups
+    # and every large instance must improve substantially
+    assert all(s >= 2.0 for label, s in speedups.items()
+               if "Internal2" in label), speedups
+
+    # representative build for pytest-benchmark tracking
+    topo = topology.internal2(4)
+    demand = collectives.allgather(topo.gpus, 1)
+    config = TecclConfig(chunk_bytes=1e6)
+    probe = build_epoch_plan(topo, config, num_epochs=1)
+    plan = build_epoch_plan(
+        topo, config,
+        num_epochs=path_based_epoch_bound(topo, demand, probe))
+    benchmark.pedantic(
+        lambda: MilpBuilder(topo, demand, config, plan,
+                            construction="coo").build(),
+        rounds=3, iterations=1)

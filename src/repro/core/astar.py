@@ -178,11 +178,14 @@ def _solve_round(topology: Topology, remaining: Demand, config: TecclConfig,
                  weights: dict[int, dict[int, float]], gamma: float,
                  carry: dict[tuple[int, int, int], int],
                  ) -> tuple[MilpProblem, SolveResult]:
+    # Round models stay on the expression path: A* bolts its potential terms
+    # onto the built model (quicksum over b/f handles below), and the round
+    # extras (injections, carry, relaxed completion) are expression-only.
     builder = MilpBuilder(
         topology, remaining, config, plan,
         initial_holders=holders, injections=injections,
         require_completion=False, allow_overhang=True,
-        capacity_carry=carry)
+        capacity_carry=carry, construction="expr")
     problem = builder.build()
     _add_potential(problem, remaining, weights, gamma)
     result = problem.model.solve(config.solver).require_solution()

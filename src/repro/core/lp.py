@@ -18,7 +18,10 @@ half-chunk confusion cannot arise (see DESIGN.md).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.collectives.demand import Demand
 from repro.core.config import TecclConfig
@@ -32,6 +35,9 @@ from repro.solver import Model, Sense, SolveResult, SolverOptions, quicksum
 from repro.topology.topology import Topology
 
 _EPS = 1e-9
+
+#: sentinel "unreachable" epoch, far beyond any horizon
+_FAR = 1 << 30
 
 
 @dataclass(frozen=True)
@@ -81,6 +87,14 @@ def build_commodities(demand: Demand, aggregate: bool = True,
 
 @dataclass
 class LpProblem:
+    """A built LP instance.
+
+    The ``*_vars`` dicts map formulation keys to solver columns: values are
+    :class:`repro.solver.Variable` handles on the expression path and raw
+    ``int`` column indices on the bulk (COO) path; both are accepted by
+    :meth:`repro.solver.SolveResult.value`.
+    """
+
     model: Model
     plan: EpochPlan
     topology: Topology
@@ -88,6 +102,8 @@ class LpProblem:
     f_vars: dict[tuple, object] = field(default_factory=dict)
     b_vars: dict[tuple, object] = field(default_factory=dict)
     r_vars: dict[tuple, object] = field(default_factory=dict)
+    #: which construction path built this model ("expr" or "coo")
+    construction: str = "expr"
 
 
 @dataclass
@@ -106,11 +122,20 @@ class LpOutcome:
 
 
 class LpBuilder:
-    """Builds the §4.1 linear program over one horizon."""
+    """Builds the §4.1 linear program over one horizon.
+
+    Two construction paths produce bit-identical compiled models (enforced
+    by ``tests/test_model_equivalence.py``): the legacy gurobipy-style
+    expression path, and a vectorized bulk path that computes variable
+    existence masks with NumPy index arithmetic and appends COO blocks
+    straight into the compiled-matrix buffers. ``construction`` overrides
+    ``config.solver.construction`` ("auto" → bulk; the LP has no
+    expression-only features).
+    """
 
     def __init__(self, topology: Topology, demand: Demand,
                  config: TecclConfig, plan: EpochPlan, *,
-                 aggregate: bool = True):
+                 aggregate: bool = True, construction: str | None = None):
         demand.validate(topology)
         topology.validate()
         if config.priorities is not None:
@@ -121,14 +146,22 @@ class LpBuilder:
         self.plan = plan
         self.commodities = build_commodities(demand, aggregate=aggregate)
         self._earliest = earliest_arrival_epochs(topology, plan)
+        requested = construction or config.solver.construction
+        if requested not in ("auto", "coo", "expr"):
+            raise ModelError(f"unknown construction {requested!r}")
+        self.construction = "expr" if requested == "expr" else "coo"
 
     # ------------------------------------------------------------------
     def build(self) -> LpProblem:
         model = Model("teccl-lp", sense=Sense.MAXIMIZE)
         problem = LpProblem(model=model, plan=self.plan,
                             topology=self.topology,
-                            commodities=self.commodities)
+                            commodities=self.commodities,
+                            construction=self.construction)
         self._check_horizon()
+        if self.construction == "coo":
+            self._build_coo(problem)
+            return problem
         self._make_vars(problem)
         self._initialization(problem)
         self._conservation(problem)
@@ -312,6 +345,289 @@ class LpBuilder:
             terms.append(r * (weight / (k + 1)))
         problem.model.set_objective(quicksum(terms))
 
+    # ------------------------------------------------------------------
+    # vectorized (COO) construction — same model, no per-term Python objects
+    # ------------------------------------------------------------------
+    def _capacity_value(self, i: int, j: int, k: int) -> float:
+        if self.config.capacity_fn is not None:
+            return (self.config.capacity_fn(i, j, k) * self.plan.tau
+                    / self.config.chunk_bytes)
+        return self.plan.cap_chunks[(i, j)]
+
+    def _build_coo(self, problem: LpProblem) -> None:
+        """Emit the whole LP as COO blocks via NumPy index arithmetic.
+
+        Variable existence masks replicate the expression path's gating
+        exactly (same reachability and horizon tests, same iteration
+        order), so both paths compile to identical matrices.
+        """
+        model = problem.model
+        plan, topo, K = self.plan, self.topology, self.plan.num_epochs
+        links = list(topo.links)
+        E = len(links)
+        src = np.fromiter((i for i, _ in links), dtype=np.int64, count=E)
+        dst = np.fromiter((j for _, j in links), dtype=np.int64, count=E)
+        offs = np.fromiter((plan.arrival_offset(i, j) for i, j in links),
+                           dtype=np.int64, count=E)
+        gpus = list(topo.gpus)
+        G = len(gpus)
+        gpu_ids = np.asarray(gpus, dtype=np.int64)
+        switches = list(topo.switches)
+        SW = len(switches)
+        num_nodes = len(topo.nodes)
+        node_pos = np.full(num_nodes, -1, dtype=np.int64)
+        node_pos[gpu_ids] = np.arange(G)
+        sw_pos = np.full(num_nodes, -1, dtype=np.int64)
+        if SW:
+            sw_pos[np.asarray(switches, dtype=np.int64)] = np.arange(SW)
+        sf = self.config.store_and_forward
+        k_send = np.arange(K, dtype=np.int64)
+
+        # -- variable index grids, in the expression path's creation order
+        per_q = []
+        base = 0
+        for q in self.commodities:
+            earliest = np.full(num_nodes, _FAR, dtype=np.int64)
+            for node, epoch in self._earliest[q.origin].items():
+                earliest[node] = epoch
+            f_mask = ((earliest[src][:, None] <= k_send[None, :])
+                      & (k_send[None, :] + offs[:, None] + 1 <= K))
+            f_idx = np.full((E, K), -1, dtype=np.int64)
+            nf = int(np.count_nonzero(f_mask))
+            f_idx[f_mask] = base + np.arange(nf)
+            base += nf
+
+            origin_row = int(node_pos[q.origin])
+            b_mask = earliest[gpu_ids][:, None] <= np.arange(K + 1)[None, :]
+            b_mask[origin_row, :] = True
+            if not sf:
+                only_origin = np.zeros(G, dtype=bool)
+                only_origin[origin_row] = True
+                b_mask &= only_origin[:, None]
+            b_idx = np.full((G, K + 1), -1, dtype=np.int64)
+            nb = int(np.count_nonzero(b_mask))
+            b_idx[b_mask] = base + np.arange(nb)
+            base += nb
+
+            sinks = list(q.sinks)
+            S = len(sinks)
+            sink_ids = np.asarray(sinks, dtype=np.int64)
+            r_mask = (earliest[sink_ids][:, None] <= k_send[None, :] + 1) \
+                if S else np.zeros((0, K), dtype=bool)
+            r_idx = np.full((S, K), -1, dtype=np.int64)
+            nr = int(np.count_nonzero(r_mask))
+            r_idx[r_mask] = base + np.arange(nr)
+            base += nr
+            per_q.append((q, f_mask, f_idx, b_mask, b_idx, sinks, r_mask,
+                          r_idx))
+        model.add_var_array(base, name="lpvar")
+
+        # -- handle dicts for extraction (raw column indices as values)
+        for q, f_mask, f_idx, b_mask, b_idx, sinks, r_mask, r_idx in per_q:
+            key = q.key
+            ls, ks = np.nonzero(f_mask)
+            problem.f_vars.update(
+                ((key, links[l][0], links[l][1], k), v)
+                for l, k, v in zip(ls.tolist(), ks.tolist(),
+                                   f_idx[f_mask].tolist()))
+            ns, ks = np.nonzero(b_mask)
+            problem.b_vars.update(
+                ((key, gpus[n], k), v)
+                for n, k, v in zip(ns.tolist(), ks.tolist(),
+                                   b_idx[b_mask].tolist()))
+            ss, ks = np.nonzero(r_mask)
+            problem.r_vars.update(
+                ((key, sinks[s], k), v)
+                for s, k, v in zip(ss.tolist(), ks.tolist(),
+                                   r_idx[r_mask].tolist()))
+
+        self._coo_initialization(model, per_q, src, node_pos)
+        self._coo_conservation(model, per_q, src, dst, offs, node_pos, G, K)
+        if SW:
+            self._coo_switch_conservation(model, per_q, src, dst, offs,
+                                          sw_pos, SW, K)
+        self._coo_capacity(model, per_q, links, E, K)
+        self._coo_demand_met(model, per_q, K)
+        self._coo_buffer_limit(model, per_q, gpus, G, K)
+        self._coo_objective(model, per_q)
+
+    def _coo_initialization(self, model: Model, per_q, src, node_pos) -> None:
+        """``B[origin,0] + out(origin,0) == supply``, one row per commodity."""
+        rows, cols = [], []
+        lower = []
+        for r, (q, _f_mask, f_idx, _b_mask, b_idx, *_rest) in enumerate(per_q):
+            cols.append(int(b_idx[int(node_pos[q.origin]), 0]))
+            rows.append(r)
+            out0 = f_idx[(src == q.origin), 0]
+            out0 = out0[out0 >= 0]
+            cols.extend(out0.tolist())
+            rows.extend([r] * len(out0))
+            lower.append(q.supply)
+        bounds = np.asarray(lower, dtype=float)
+        model.add_constr_coo(rows, cols, np.ones(len(cols)), bounds, bounds,
+                             num_rows=len(per_q))
+
+    def _coo_conservation(self, model: Model, per_q, src, dst, offs,
+                          node_pos, G: int, K: int) -> None:
+        """arrivals(k) + B[k] − B[k+1] − R[k] − sends(k+1) == 0 per GPU."""
+        for q, f_mask, f_idx, b_mask, b_idx, sinks, r_mask, r_idx in per_q:
+            origin_flat = int(node_pos[q.origin]) * K  # (origin, k=0)
+            row_parts, col_parts, dat_parts = [], [], []
+
+            ls, ks = np.nonzero(f_mask)
+            vs = f_idx[f_mask]
+            # arrivals: a send on (i, j) at k' lands in row (j, k' + Δ)
+            at_gpu = node_pos[dst[ls]] >= 0
+            row_parts.append(node_pos[dst[ls[at_gpu]]] * K
+                             + ks[at_gpu] + offs[ls[at_gpu]])
+            col_parts.append(vs[at_gpu])
+            dat_parts.append(np.ones(int(at_gpu.sum())))
+            # sends(k+1): a send at k' ≥ 1 leaves through row (i, k' − 1)
+            out = (ks >= 1) & (node_pos[src[ls]] >= 0)
+            row_parts.append(node_pos[src[ls[out]]] * K + ks[out] - 1)
+            col_parts.append(vs[out])
+            dat_parts.append(-np.ones(int(out.sum())))
+
+            ns, ks = np.nonzero(b_mask)
+            vs = b_idx[b_mask]
+            held = ks <= K - 1  # B[k] on the left of row (n, k)
+            row_parts.append(ns[held] * K + ks[held])
+            col_parts.append(vs[held])
+            dat_parts.append(np.ones(int(held.sum())))
+            nxt = ks >= 1  # B[k+1] on the right of row (n, k)
+            row_parts.append(ns[nxt] * K + ks[nxt] - 1)
+            col_parts.append(vs[nxt])
+            dat_parts.append(-np.ones(int(nxt.sum())))
+
+            ss, ks = np.nonzero(r_mask)
+            sink_rows = np.fromiter((int(node_pos[d]) for d in sinks),
+                                    dtype=np.int64, count=len(sinks))
+            row_parts.append(sink_rows[ss] * K + ks)
+            col_parts.append(r_idx[r_mask])
+            dat_parts.append(-np.ones(int(r_mask.sum())))
+
+            flat = np.concatenate(row_parts)
+            cols = np.concatenate(col_parts)
+            data = np.concatenate(dat_parts)
+            # epoch 0 at the origin is the initialization row, not this one
+            keep = flat != origin_flat
+            flat, cols, data = flat[keep], cols[keep], data[keep]
+            present = np.zeros(G * K, dtype=bool)
+            present[flat] = True  # trivial 0 == 0 rows never materialise
+            row_of = np.cumsum(present) - 1
+            model.add_constr_coo(row_of[flat], cols, data, 0.0, 0.0,
+                                 num_rows=int(present.sum()))
+
+    def _coo_switch_conservation(self, model: Model, per_q, src, dst, offs,
+                                 sw_pos, SW: int, K: int) -> None:
+        """Switches neither buffer nor consume: in(k) == out(k+1)."""
+        for q, f_mask, f_idx, *_rest in per_q:
+            ls, ks = np.nonzero(f_mask)
+            vs = f_idx[f_mask]
+            into = sw_pos[dst[ls]] >= 0
+            rows_in = sw_pos[dst[ls[into]]] * K + ks[into] + offs[ls[into]]
+            out = (ks >= 1) & (sw_pos[src[ls]] >= 0)
+            rows_out = sw_pos[src[ls[out]]] * K + ks[out] - 1
+            flat = np.concatenate([rows_in, rows_out])
+            cols = np.concatenate([vs[into], vs[out]])
+            data = np.concatenate([np.ones(len(rows_in)),
+                                   -np.ones(len(rows_out))])
+            present = np.zeros(SW * K, dtype=bool)
+            present[flat] = True
+            row_of = np.cumsum(present) - 1
+            model.add_constr_coo(row_of[flat], cols, data, 0.0, 0.0,
+                                 num_rows=int(present.sum()))
+
+    def _coo_capacity(self, model: Model, per_q, links, E: int, K: int,
+                      ) -> None:
+        """Per (link, epoch): total flow across commodities ≤ capacity."""
+        present = np.zeros((E, K), dtype=bool)
+        for _q, f_mask, *_rest in per_q:
+            present |= f_mask
+        flat_present = present.ravel()
+        row_of = np.cumsum(flat_present) - 1
+        row_parts, col_parts = [], []
+        for _q, f_mask, f_idx, *_rest in per_q:
+            ls, ks = np.nonzero(f_mask)
+            row_parts.append(row_of[ls * K + ks])
+            col_parts.append(f_idx[f_mask])
+        rows = np.concatenate(row_parts)
+        cols = np.concatenate(col_parts)
+        caps = np.empty(int(flat_present.sum()))
+        if self.config.capacity_fn is None:
+            per_link = np.fromiter((self.plan.cap_chunks[link]
+                                    for link in links),
+                                   dtype=float, count=E)
+            caps[:] = np.repeat(per_link, K)[flat_present]
+        else:
+            ls, ks = np.nonzero(present)
+            for out, (l, k) in enumerate(zip(ls.tolist(), ks.tolist())):
+                i, j = links[l]
+                caps[out] = self._capacity_value(i, j, k)
+        model.add_constr_coo(rows, cols, np.ones(len(rows)),
+                             -np.inf, caps, num_rows=len(caps))
+
+    def _coo_demand_met(self, model: Model, per_q, K: int) -> None:
+        """Each sink reads exactly its demanded amount over the horizon."""
+        rows, cols, amounts = [], [], []
+        r = 0
+        for q, _f_mask, _f_idx, _b_mask, _b_idx, sinks, r_mask, r_idx \
+                in per_q:
+            for s, d in enumerate(sinks):
+                reads = r_idx[s][r_mask[s]]
+                if not len(reads):
+                    raise InfeasibleError(
+                        f"sink {d} cannot be reached within the horizon",
+                        status="horizon")
+                cols.extend(reads.tolist())
+                rows.extend([r] * len(reads))
+                amounts.append(q.sinks[d])
+                r += 1
+        bounds = np.asarray(amounts, dtype=float)
+        model.add_constr_coo(rows, cols, np.ones(len(cols)), bounds, bounds,
+                             num_rows=r)
+
+    def _coo_buffer_limit(self, model: Model, per_q, gpus, G: int, K: int,
+                          ) -> None:
+        limit = self.config.buffer_limit_chunks
+        if limit is None:
+            return
+        row_parts, col_parts = [], []
+        present = np.zeros(G * (K + 1), dtype=bool)
+        for q, _f_mask, _f_idx, b_mask, b_idx, *_rest in per_q:
+            relay = b_mask.copy()
+            relay[gpus.index(q.origin), :] = False  # sources are exempt
+            ns, ks = np.nonzero(relay)
+            flat = ns * (K + 1) + ks
+            present[flat] = True
+            row_parts.append(flat)
+            col_parts.append(b_idx[relay])
+        row_of = np.cumsum(present) - 1
+        rows = np.concatenate([row_of[flat] for flat in row_parts])
+        cols = np.concatenate(col_parts)
+        model.add_constr_coo(rows, cols, np.ones(len(rows)),
+                             -np.inf, float(limit),
+                             num_rows=int(present.sum()))
+
+    def _coo_objective(self, model: Model, per_q) -> None:
+        """Maximise weighted reads, earlier epochs worth more (1/(k+1))."""
+        idx_parts, coef_parts = [], []
+        priorities = self.config.priorities is not None
+        for q, _f_mask, _f_idx, _b_mask, _b_idx, sinks, r_mask, r_idx \
+                in per_q:
+            ss, ks = np.nonzero(r_mask)
+            if priorities and isinstance(q.key, tuple):
+                s_id, chunk = q.key
+                weights = np.fromiter(
+                    (self.config.weight(s_id, chunk, d) for d in sinks),
+                    dtype=float, count=len(sinks))
+                coef_parts.append(weights[ss] / (ks + 1))
+            else:
+                coef_parts.append(1.0 / (ks + 1))
+            idx_parts.append(r_idx[r_mask])
+        model.set_objective_array(np.concatenate(idx_parts),
+                                  np.concatenate(coef_parts))
+
 
 # ----------------------------------------------------------------------
 # facades
@@ -336,8 +652,12 @@ def solve_lp(topology: Topology, demand: Demand, config: TecclConfig,
         plan = build_epoch_plan(topology, config, num_epochs=num_epochs)
         builder = LpBuilder(topology, demand, config, plan,
                             aggregate=aggregate)
+        start = time.perf_counter()
         problem = builder.build()
+        build_time = time.perf_counter() - start
         result = problem.model.solve(config.solver)
+        result.stats["build_time"] = build_time
+        result.stats["construction"] = problem.construction
         if result.status.has_solution:
             return extract_lp_outcome(problem, result)
         from repro.solver import SolveStatus

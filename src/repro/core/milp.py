@@ -23,7 +23,10 @@ from __future__ import annotations
 
 import heapq
 import math
+import time
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.collectives.demand import Demand
 from repro.core.config import SwitchModel, TecclConfig
@@ -39,12 +42,36 @@ from repro.topology.transforms import HyperEdgeGroup
 
 _EPS = 1e-9
 
+#: sentinel "unreachable" epoch, far beyond any horizon
+_FAR = 1 << 30
+
 Commodity = tuple[int, int]
+
+
+def _ranges_take(left: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Indices covering ``[left[i], left[i] + counts[i])`` for every i.
+
+    The standard vectorized expansion of per-row ranges — used to join flow
+    variables onto the constraint rows they arrive in without Python loops.
+    """
+    total = int(counts.sum())
+    if not total:
+        return np.empty(0, dtype=np.int64)
+    stops = np.cumsum(counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(stops - counts,
+                                                           counts)
+    return np.repeat(left, counts) + offsets
 
 
 @dataclass
 class MilpProblem:
-    """A built (not yet solved) instance; A* reuses this to add its terms."""
+    """A built (not yet solved) instance; A* reuses this to add its terms.
+
+    The ``*_vars`` dicts map formulation keys to solver columns: values are
+    :class:`repro.solver.Variable` handles on the expression path and raw
+    ``int`` column indices on the bulk (COO) path; both are accepted by
+    :meth:`repro.solver.SolveResult.value`.
+    """
 
     model: Model
     plan: EpochPlan
@@ -56,6 +83,8 @@ class MilpProblem:
     r_vars: dict[tuple, object] = field(default_factory=dict)
     #: earliest buffer epoch per (commodity, node)
     earliest: dict[tuple[Commodity, int], int] = field(default_factory=dict)
+    #: which construction path built this model ("expr" or "coo")
+    construction: str = "expr"
 
 
 @dataclass
@@ -111,7 +140,8 @@ class MilpBuilder:
                  require_completion: bool = True,
                  allow_overhang: bool = False,
                  hyper_groups: list[HyperEdgeGroup] | None = None,
-                 capacity_carry: dict[tuple[int, int, int], int] | None = None):
+                 capacity_carry: dict[tuple[int, int, int], int] | None = None,
+                 construction: str | None = None):
         demand.validate(topology)
         topology.validate()
         self.topology = topology
@@ -147,6 +177,21 @@ class MilpBuilder:
             for q in self.commodities}
         self.earliest = _commodity_earliest(topology, plan, holders,
                                             tighten=config.tighten)
+        # The A* round models (mid-horizon injections, carried-over capacity,
+        # relaxed completion, overhanging sends) stay on the expression path;
+        # everything else can take the vectorized bulk path.
+        requested = construction or config.solver.construction
+        if requested not in ("auto", "coo", "expr"):
+            raise ModelError(f"unknown construction {requested!r}")
+        eligible = (not self.injections and not self.capacity_carry
+                    and self.require_completion and not self.allow_overhang)
+        if requested == "coo" and not eligible:
+            raise ModelError(
+                "construction='coo' does not support A* round models "
+                "(injections / capacity carry / relaxed completion); "
+                "use 'expr' or 'auto'")
+        self.construction = "coo" if (requested != "expr" and eligible) \
+            else "expr"
 
     # ------------------------------------------------------------------
     def build(self) -> MilpProblem:
@@ -155,7 +200,11 @@ class MilpBuilder:
         model = Model("teccl-milp", sense=Sense.MAXIMIZE)
         problem = MilpProblem(model=model, plan=self.plan,
                               topology=self.topology, demand=self.demand,
-                              config=self.config, earliest=self.earliest)
+                              config=self.config, earliest=self.earliest,
+                              construction=self.construction)
+        if self.construction == "coo":
+            self._build_coo(problem)
+            return problem
         self._make_flow_vars(problem)
         self._make_buffer_vars(problem)
         self._buffer_recurrence(problem)
@@ -431,6 +480,431 @@ class MilpBuilder:
             terms.append(r * (weight / (k + 1)))
         problem.model.set_objective(quicksum(terms))
 
+    # ------------------------------------------------------------------
+    # vectorized (COO) construction — same model, no per-term Python objects
+    # ------------------------------------------------------------------
+    def _capacity_value(self, i: int, j: int, k: int) -> float:
+        if self.config.capacity_fn is not None:
+            return (self.config.capacity_fn(i, j, k) * self.plan.tau
+                    / self.config.chunk_bytes)
+        return self.plan.cap_chunks[(i, j)]
+
+    def _build_coo(self, problem: MilpProblem) -> None:
+        """Emit the §3.1 MILP as COO blocks via NumPy index arithmetic.
+
+        Variable gating, bounds, and constraint-row ordering replicate the
+        expression path exactly (``tests/test_model_equivalence.py`` holds
+        the two compiled matrices bit-identical); only the banded families'
+        Python-object churn is gone.
+        """
+        model = problem.model
+        topo, plan, K = self.topology, self.plan, self.plan.num_epochs
+        links = list(topo.links)
+        E = len(links)
+        src = np.fromiter((i for i, _ in links), dtype=np.int64, count=E)
+        dst = np.fromiter((j for _, j in links), dtype=np.int64, count=E)
+        offs = np.fromiter((plan.arrival_offset(i, j) for i, j in links),
+                           dtype=np.int64, count=E)
+        switch_dst = np.fromiter((topo.is_switch(j) for _, j in links),
+                                 dtype=bool, count=E)
+        gpus = list(topo.gpus)
+        G = len(gpus)
+        gpu_ids = np.asarray(gpus, dtype=np.int64)
+        num_nodes = len(topo.nodes)
+        node_pos = np.full(num_nodes, -1, dtype=np.int64)
+        node_pos[gpu_ids] = np.arange(G)
+        k_send = np.arange(K, dtype=np.int64)
+        sf = self.config.store_and_forward
+        # a send into a switch must be forwardable at its arrival epoch
+        arrival_cap = np.where(switch_dst, K - 1, K)
+
+        # -- flow variables, all commodities first (== _make_flow_vars)
+        f_grids = []
+        base = 0
+        for q in self.commodities:
+            earliest = np.full(num_nodes, _FAR, dtype=np.int64)
+            for node in topo.nodes:
+                found = self.earliest.get((q, node))
+                if found is not None:
+                    earliest[node] = found
+            f_mask = ((earliest[src][:, None] <= k_send[None, :])
+                      & (k_send[None, :] + offs[:, None] + 1
+                         <= arrival_cap[:, None]))
+            f_idx = np.full((E, K), -1, dtype=np.int64)
+            nf = int(np.count_nonzero(f_mask))
+            f_idx[f_mask] = base + np.arange(nf)
+            base += nf
+            f_grids.append((earliest, f_mask, f_idx))
+        model.add_var_array(base, vtype=VarType.BINARY, name="F")
+
+        # -- buffer variables (== _make_buffer_vars): B[q,n,0] is fixed to
+        #    1 for initial holders and 0 otherwise
+        b_grids = []
+        b_lb_parts, b_ub_parts = [], []
+        b_base = base
+        for q, (earliest, _f_mask, _f_idx) in zip(self.commodities, f_grids):
+            start = np.maximum(earliest[gpu_ids], 0)
+            b_mask = np.arange(K + 1)[None, :] >= start[:, None]
+            b_idx = np.full((G, K + 1), -1, dtype=np.int64)
+            nb = int(np.count_nonzero(b_mask))
+            b_idx[b_mask] = base + np.arange(nb)
+            base += nb
+            holder = np.zeros(G, dtype=bool)
+            for n in self.initial_holders.get(q, set()):
+                if node_pos[n] >= 0:  # switch holders never buffer
+                    holder[int(node_pos[n])] = True
+            lb = np.zeros((G, K + 1))
+            ub = np.ones((G, K + 1))
+            lb[:, 0] = np.where(holder, 1.0, 0.0)
+            ub[:, 0] = np.where(holder, 1.0, 0.0)
+            b_lb_parts.append(lb[b_mask])
+            b_ub_parts.append(ub[b_mask])
+            b_grids.append((b_mask, b_idx))
+        model.add_var_array(
+            base - b_base,
+            lb=(np.concatenate(b_lb_parts) if b_lb_parts
+                else np.empty(0)),
+            ub=(np.concatenate(b_ub_parts) if b_ub_parts
+                else np.empty(0)),
+            vtype=VarType.BINARY, name="B")
+
+        # -- read variables (allocated by _destination on the legacy path;
+        #    indices are contiguous in (q, d, k) order either way)
+        r_meta = []  # (q, d, first_k, index array)
+        r_lb_parts = []
+        r_base = base
+        for q in self.commodities:
+            for d in self.demand.destinations(*q):
+                first_k = max(0, self.earliest.get((q, d), _FAR) - 1)
+                count = max(0, K - first_k)
+                idx = base + np.arange(count)
+                base += count
+                lb = np.zeros(count)
+                if count:  # require_completion is always True on this path
+                    lb[-1] = 1.0
+                r_lb_parts.append(lb)
+                r_meta.append((q, d, first_k, idx))
+        model.add_var_array(
+            base - r_base,
+            lb=(np.concatenate(r_lb_parts) if r_lb_parts
+                else np.empty(0)),
+            ub=1.0, name="R")
+
+        # -- handle dicts for extraction (raw column indices as values)
+        for q, (_e, f_mask, f_idx), (b_mask, b_idx) in zip(
+                self.commodities, f_grids, b_grids):
+            ls, ks = np.nonzero(f_mask)
+            problem.f_vars.update(
+                ((q, links[l][0], links[l][1], k), v)
+                for l, k, v in zip(ls.tolist(), ks.tolist(),
+                                   f_idx[f_mask].tolist()))
+            ns, ks = np.nonzero(b_mask)
+            problem.b_vars.update(
+                ((q, gpus[n], k), v)
+                for n, k, v in zip(ns.tolist(), ks.tolist(),
+                                   b_idx[b_mask].tolist()))
+        for q, d, first_k, idx in r_meta:
+            problem.r_vars.update(
+                ((q, d, k), v)
+                for k, v in zip(range(first_k, K), idx.tolist()))
+
+        self._coo_buffer_recurrence(model, f_grids, b_grids, src, dst, offs,
+                                    node_pos, G, K)
+        self._coo_availability(model, f_grids, b_grids, src, dst, offs,
+                               node_pos, num_nodes, K, sf)
+        self._coo_switch_constraints(model, f_grids, links, src, dst, offs, K)
+        self._coo_capacity(model, f_grids, links, E, K)
+        self._coo_destination(model, r_meta, b_grids, node_pos, K)
+        self._coo_buffer_limit(model, b_grids, node_pos, G, K)
+        self._coo_hyper_edge_limits(model, f_grids, links, K)
+        self._coo_objective(model, r_meta, K)
+
+    def _coo_buffer_recurrence(self, model, f_grids, b_grids, src, dst, offs,
+                               node_pos, G: int, K: int) -> None:
+        """``B[k] ≤ arrivals(k) + B[k−1]`` for every buffer var with k ≥ 1."""
+        for (q, (_e, f_mask, f_idx)), (b_mask, b_idx) in zip(
+                zip(self.commodities, f_grids), b_grids):
+            rec_mask = b_mask.copy()
+            rec_mask[:, 0] = False
+            n_rows = int(np.count_nonzero(rec_mask))
+            row_grid = np.full((G, K + 1), -1, dtype=np.int64)
+            row_grid[rec_mask] = np.arange(n_rows)
+            rows = [row_grid[rec_mask]]
+            cols = [b_idx[rec_mask]]
+            data = [np.ones(n_rows)]
+            # B[k-1], where it exists
+            prev = rec_mask[:, 1:] & b_mask[:, :-1]
+            ns, ks = np.nonzero(prev)
+            rows.append(row_grid[ns, ks + 1])
+            cols.append(b_idx[ns, ks])
+            data.append(-np.ones(len(ns)))
+            # arrivals: a send on (i, j) at k' reaches j's buffer at k'+Δ+1
+            ls, ks = np.nonzero(f_mask)
+            vs = f_idx[f_mask]
+            at_gpu = node_pos[dst[ls]] >= 0
+            ls, ks, vs = ls[at_gpu], ks[at_gpu], vs[at_gpu]
+            target = row_grid[node_pos[dst[ls]], ks + offs[ls] + 1]
+            landed = target >= 0
+            rows.append(target[landed])
+            cols.append(vs[landed])
+            data.append(-np.ones(int(landed.sum())))
+            model.add_constr_coo(np.concatenate(rows), np.concatenate(cols),
+                                 np.concatenate(data), -np.inf, 0.0,
+                                 num_rows=n_rows)
+
+    def _coo_availability(self, model, f_grids, b_grids, src, dst, offs,
+                          node_pos, num_nodes: int, K: int, sf: bool) -> None:
+        """GPU sends need the chunk buffered (or, without store-and-forward,
+        arriving) — one row per flow variable leaving a GPU."""
+        for (q, (_e, f_mask, f_idx)), (b_mask, b_idx) in zip(
+                zip(self.commodities, f_grids), b_grids):
+            ls, ks = np.nonzero(f_mask)
+            vs = f_idx[f_mask]
+            from_gpu = node_pos[src[ls]] >= 0
+            lo, ko, vo = ls[from_gpu], ks[from_gpu], vs[from_gpu]
+            n_rows = len(vo)
+            row_ids = np.arange(n_rows)
+            rows = [row_ids]
+            cols = [vo]
+            data = [np.ones(n_rows)]
+            held = np.zeros(num_nodes, dtype=bool)
+            for n in self.initial_holders.get(q, set()):
+                held[n] = True
+            avail = np.full(n_rows, True) if sf else held[src[lo]]
+            if avail.any():
+                bb = b_idx[node_pos[src[lo[avail]]], ko[avail]]
+                okb = bb >= 0
+                rows.append(row_ids[avail][okb])
+                cols.append(bb[okb])
+                data.append(-np.ones(int(okb.sum())))
+            relay = ~avail
+            if relay.any():
+                # Figure 9 ablation: forward only what arrives this epoch
+                land_gpu = node_pos[dst[ls]] >= 0
+                key_in = (node_pos[dst[ls[land_gpu]]] * (K + 1)
+                          + ks[land_gpu] + offs[ls[land_gpu]] + 1)
+                order = np.argsort(key_in, kind="stable")
+                sorted_key = key_in[order]
+                sorted_col = vs[land_gpu][order]
+                key_out = node_pos[src[lo[relay]]] * (K + 1) + ko[relay]
+                left = np.searchsorted(sorted_key, key_out, "left")
+                counts = np.searchsorted(sorted_key, key_out, "right") - left
+                take = _ranges_take(left, counts)
+                rows.append(np.repeat(row_ids[relay], counts))
+                cols.append(sorted_col[take])
+                data.append(-np.ones(len(take)))
+            model.add_constr_coo(np.concatenate(rows), np.concatenate(cols),
+                                 np.concatenate(data), -np.inf, 0.0,
+                                 num_rows=n_rows)
+
+    def _coo_switch_constraints(self, model, f_grids, links, src, dst, offs,
+                                K: int) -> None:
+        """Zero-buffer switches: out(k+1) bounded by in(k), with or without
+        copy; row order matches the nested (switch, commodity, epoch) loops
+        of the expression path."""
+        switches = list(self.topology.switches)
+        if not switches:
+            return
+        copy_ok = self.config.switch_model is SwitchModel.COPY
+        link_pos = {link: l for l, link in enumerate(links)}
+        for sw in switches:
+            out_rank = np.full(len(links), 1 << 20, dtype=np.int64)
+            for rank, link in enumerate(self.topology.out_edges(sw)):
+                out_rank[link_pos[(sw, link.dst)]] = rank
+            for q, (_e, f_mask, f_idx) in zip(self.commodities, f_grids):
+                ls, ks = np.nonzero(f_mask)
+                vs = f_idx[f_mask]
+                souts = src[ls] == sw
+                lo, ko, vo = ls[souts], ks[souts], vs[souts]
+                if not len(vo):
+                    continue
+                order = np.lexsort((out_rank[lo], ko))
+                lo, ko, vo = lo[order], ko[order], vo[order]
+                ins = dst[ls] == sw
+                key_in = ks[ins] + offs[ls[ins]] + 1
+                order_in = np.argsort(key_in, kind="stable")
+                sorted_key = key_in[order_in]
+                sorted_col = vs[ins][order_in]
+                if copy_ok:
+                    n_rows = len(vo)
+                    row_of_out = np.arange(n_rows)
+                    row_key = ko
+                else:
+                    epochs = np.unique(ko)
+                    n_rows = len(epochs)
+                    row_map = np.full(K, -1, dtype=np.int64)
+                    row_map[epochs] = np.arange(n_rows)
+                    row_of_out = row_map[ko]
+                    row_key = epochs
+                left = np.searchsorted(sorted_key, row_key, "left")
+                counts = np.searchsorted(sorted_key, row_key, "right") - left
+                take = _ranges_take(left, counts)
+                rows = np.concatenate([row_of_out,
+                                       np.repeat(np.arange(n_rows), counts)])
+                cols = np.concatenate([vo, sorted_col[take]])
+                data = np.concatenate([np.ones(len(vo)),
+                                       -np.ones(len(take))])
+                model.add_constr_coo(rows, cols, data, -np.inf, 0.0,
+                                     num_rows=n_rows)
+
+    def _coo_capacity(self, model, f_grids, links, E: int, K: int) -> None:
+        """Per-link capacity, windowed over κ epochs where occupancy > 1."""
+        f_idx_all = np.stack([grid[2] for grid in f_grids])  # (Q, E, K)
+        any_f = (f_idx_all >= 0).any(axis=0)
+        row_parts, col_parts, uppers = [], [], []
+        row_counter = 0
+        for l, (i, j) in enumerate(links):
+            kappa = self.plan.occupancy[(i, j)]
+            sel = f_idx_all[:, l, :] >= 0  # (Q, K)
+            if not sel.any():
+                continue
+            qs, ks = np.nonzero(sel)
+            vs = f_idx_all[:, l, :][sel]
+            if kappa == 1:
+                k_idx = np.nonzero(any_f[l])[0]
+                row_map = np.full(K, -1, dtype=np.int64)
+                row_map[k_idx] = row_counter + np.arange(len(k_idx))
+                row_parts.append(row_map[ks])
+                col_parts.append(vs)
+                uppers.extend(
+                    float(math.floor(self._capacity_value(i, j, int(k))
+                                     + _EPS))
+                    for k in k_idx)
+            else:
+                # a send at k' occupies the wire through k' + κ − 1
+                present = np.zeros(K, dtype=bool)
+                for shift in range(kappa):
+                    present[shift:] |= any_f[l][:K - shift]
+                k_idx = np.nonzero(present)[0]
+                row_map = np.full(K, -1, dtype=np.int64)
+                row_map[k_idx] = row_counter + np.arange(len(k_idx))
+                span = (ks[:, None] + np.arange(kappa)[None, :]).ravel()
+                span_v = np.repeat(vs, kappa)
+                inside = span <= K - 1
+                row_parts.append(row_map[span[inside]])
+                col_parts.append(span_v[inside])
+                uppers.extend(
+                    float(max(1, math.floor(
+                        kappa * self._capacity_value(i, j, int(k)) + _EPS)))
+                    for k in k_idx)
+            row_counter += len(k_idx)
+        if row_counter:
+            model.add_constr_coo(np.concatenate(row_parts),
+                                 np.concatenate(col_parts),
+                                 np.ones(sum(len(p) for p in col_parts)),
+                                 -np.inf, np.asarray(uppers),
+                                 num_rows=row_counter)
+
+    def _coo_destination(self, model, r_meta, b_grids, node_pos, K: int,
+                         ) -> None:
+        """``R[q,d,k] ≤ B[q,d,k+1]`` — read only once the chunk is there."""
+        grid_of = {q: grid for q, grid in zip(self.commodities, b_grids)}
+        rows, cols, data = [], [], []
+        row = 0
+        for q, d, first_k, idx in r_meta:
+            count = len(idx)
+            row_ids = row + np.arange(count)
+            rows.append(row_ids)
+            cols.append(idx)
+            data.append(np.ones(count))
+            _b_mask, b_idx = grid_of[q]
+            bb = b_idx[int(node_pos[d]), first_k + 1:K + 1]
+            okb = bb >= 0
+            rows.append(row_ids[okb])
+            cols.append(bb[okb])
+            data.append(-np.ones(int(okb.sum())))
+            row += count
+        model.add_constr_coo(np.concatenate(rows), np.concatenate(cols),
+                             np.concatenate(data), -np.inf, 0.0,
+                             num_rows=row)
+
+    def _coo_buffer_limit(self, model, b_grids, node_pos, G: int, K: int,
+                          ) -> None:
+        limit = self.config.buffer_limit_chunks
+        if limit is None:
+            return
+        present = np.zeros(G * (K + 1), dtype=bool)
+        flat_parts, col_parts = [], []
+        for q, (b_mask, b_idx) in zip(self.commodities, b_grids):
+            keep = b_mask.copy()
+            # sources hold their data and destinations must keep theirs;
+            # the limit governs the relay buffer only
+            for n in self.initial_holders.get(q, set()):
+                if node_pos[n] >= 0:
+                    keep[int(node_pos[n]), :] = False
+            for n in self.demand.destinations(*q):
+                if node_pos[n] >= 0:
+                    keep[int(node_pos[n]), :] = False
+            ns, ks = np.nonzero(keep)
+            flat = ns * (K + 1) + ks
+            present[flat] = True
+            flat_parts.append(flat)
+            col_parts.append(b_idx[keep])
+        row_of = np.cumsum(present) - 1
+        rows = np.concatenate([row_of[flat] for flat in flat_parts])
+        cols = np.concatenate(col_parts)
+        model.add_constr_coo(rows, cols, np.ones(len(rows)), -np.inf,
+                             float(limit), num_rows=int(present.sum()))
+
+    def _coo_hyper_edge_limits(self, model, f_grids, links, K: int) -> None:
+        if not self.hyper_groups:
+            return
+        f_idx_all = np.stack([grid[2] for grid in f_grids])  # (Q, E, K)
+        link_pos = {link: l for l, link in enumerate(links)}
+
+        def cols_at(edge: tuple[int, int], k: int) -> np.ndarray:
+            column = f_idx_all[:, link_pos[edge], k]
+            return column[column >= 0]
+
+        rows, cols, uppers = [], [], []
+        row = 0
+        for group in self.hyper_groups:
+            edges = group.edges
+            out_by_node: dict[int, list[tuple[int, int]]] = {}
+            in_by_node: dict[int, list[tuple[int, int]]] = {}
+            for (i, j) in edges:
+                out_by_node.setdefault(i, []).append((i, j))
+                in_by_node.setdefault(j, []).append((i, j))
+            for k in range(K):
+                total = [cols_at(edge, k) for edge in edges]
+                flat = np.concatenate(total) if total else np.empty(0, int)
+                if len(flat):
+                    cols.append(flat)
+                    rows.append(np.full(len(flat), row))
+                    uppers.append(float(group.usage_limit))
+                    row += 1
+                for node_edges in out_by_node.values():
+                    flat = np.concatenate(
+                        [cols_at(edge, k) for edge in node_edges])
+                    if len(flat):
+                        cols.append(flat)
+                        rows.append(np.full(len(flat), row))
+                        uppers.append(1.0)
+                        row += 1
+                for node_edges in in_by_node.values():
+                    flat = np.concatenate(
+                        [cols_at(edge, k) for edge in node_edges])
+                    if len(flat):
+                        cols.append(flat)
+                        rows.append(np.full(len(flat), row))
+                        uppers.append(1.0)
+                        row += 1
+        if row:
+            all_cols = np.concatenate(cols)
+            model.add_constr_coo(np.concatenate(rows), all_cols,
+                                 np.ones(len(all_cols)), -np.inf,
+                                 np.asarray(uppers), num_rows=row)
+
+    def _coo_objective(self, model, r_meta, K: int) -> None:
+        idx_parts, coef_parts = [], []
+        for (s, c), d, first_k, idx in r_meta:
+            weight = self.config.weight(s, c, d)
+            idx_parts.append(idx)
+            coef_parts.append(weight / (np.arange(first_k, K) + 1))
+        model.set_objective_array(
+            np.concatenate(idx_parts) if idx_parts else np.empty(0, int),
+            np.concatenate(coef_parts) if coef_parts else np.empty(0))
+
 
 # ----------------------------------------------------------------------
 # solve facade
@@ -458,8 +932,12 @@ def solve_milp(topology: Topology, demand: Demand, config: TecclConfig,
         plan = build_epoch_plan(topology, config, num_epochs=num_epochs)
         builder = MilpBuilder(topology, demand, config, plan,
                               hyper_groups=hyper_groups)
+        start = time.perf_counter()
         problem = builder.build()
+        build_time = time.perf_counter() - start
         result = problem.model.solve(config.solver)
+        result.stats["build_time"] = build_time
+        result.stats["construction"] = problem.construction
         if result.status.has_solution:
             return extract_outcome(problem, result)
         from repro.solver import SolveStatus

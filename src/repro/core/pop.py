@@ -19,6 +19,7 @@ monolithic LP.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, replace
 
 from repro.collectives.demand import Demand
@@ -169,8 +170,12 @@ def _solve_at_horizon(topology: Topology, config: TecclConfig,
             config, num_epochs=num_epochs,
             capacity_fn=_scaled_capacity_fn(topology, config, part.share))
         builder = LpBuilder(topology, part.demand, sub_config, plan)
+        start = time.perf_counter()
         problem = builder.build()
+        build_time = time.perf_counter() - start
         result = problem.model.solve(sub_config.solver)
+        result.stats["build_time"] = build_time
+        result.stats["construction"] = problem.construction
         if not result.status.has_solution:
             raise InfeasibleError(
                 f"POP partition {part.index} infeasible at K={num_epochs}",

@@ -10,12 +10,13 @@ Public surface::
 from repro.solver.expr import (Constraint, LinExpr, Relation, Sense, Variable,
                                VarType, quicksum)
 from repro.solver.io import lp_statistics, save_lp, write_lp
-from repro.solver.model import Model
+from repro.solver.model import CompiledModel, Model, compiled_equal
 from repro.solver.options import DEFAULT_OPTIONS, EARLY_STOP_30, SolverOptions
 from repro.solver.result import SolveResult, SolveStatus
 
 __all__ = [
-    "Model", "Sense", "VarType", "Variable", "LinExpr", "Constraint",
+    "Model", "CompiledModel", "compiled_equal",
+    "Sense", "VarType", "Variable", "LinExpr", "Constraint",
     "Relation", "quicksum",
     "SolverOptions", "DEFAULT_OPTIONS", "EARLY_STOP_30",
     "SolveResult", "SolveStatus",

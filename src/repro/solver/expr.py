@@ -78,7 +78,7 @@ class Variable:
         return NotImplemented
 
     def to_expr(self) -> "LinExpr":
-        return LinExpr({self.index: 1.0}, 0.0)
+        return LinExpr({self.index: 1.0}, 0.0, self._model_id)
 
     # -- arithmetic --------------------------------------------------------
     def __add__(self, other: ExprLike) -> "LinExpr":
@@ -112,13 +112,33 @@ class Variable:
 
 
 class LinExpr:
-    """An affine expression ``sum(coef_i * var_i) + const``."""
+    """An affine expression ``sum(coef_i * var_i) + const``.
 
-    __slots__ = ("terms", "const")
+    Expressions remember which model their variables belong to
+    (``model_id``): combining variables of two different models raises
+    immediately, and :meth:`repro.solver.model.Model.add_constr` rejects
+    expressions owned by a foreign model even when every index happens to be
+    in range (a variable from a *smaller* model would otherwise silently
+    alias a same-index variable here). Constant expressions carry no owner
+    (``model_id is None``) and combine with anything.
+    """
 
-    def __init__(self, terms: dict[int, float] | None = None, const: float = 0.0):
+    __slots__ = ("terms", "const", "model_id")
+
+    def __init__(self, terms: dict[int, float] | None = None, const: float = 0.0,
+                 model_id: int | None = None):
         self.terms: dict[int, float] = terms if terms is not None else {}
         self.const = float(const)
+        self.model_id = model_id
+
+    def _merge_owner(self, model_id: int | None) -> None:
+        if model_id is None:
+            return
+        if self.model_id is None:
+            self.model_id = model_id
+        elif self.model_id != model_id:
+            raise ModelError(
+                "cannot combine variables from two different models")
 
     # -- construction helpers ---------------------------------------------
     @staticmethod
@@ -132,10 +152,11 @@ class LinExpr:
         raise ModelError(f"cannot use {type(value).__name__} in a linear expression")
 
     def copy(self) -> "LinExpr":
-        return LinExpr(dict(self.terms), self.const)
+        return LinExpr(dict(self.terms), self.const, self.model_id)
 
     # -- in-place accumulation (used by quicksum for speed) ----------------
     def _iadd_expr(self, other: "LinExpr", scale: float = 1.0) -> None:
+        self._merge_owner(other.model_id)
         terms = self.terms
         for idx, coef in other.terms.items():
             new = terms.get(idx, 0.0) + scale * coef
@@ -147,6 +168,7 @@ class LinExpr:
 
     def add_term(self, var: Variable, coef: float) -> None:
         """Accumulate ``coef * var`` in place."""
+        self._merge_owner(var._model_id)
         new = self.terms.get(var.index, 0.0) + coef
         if new == 0.0:
             self.terms.pop(var.index, None)
@@ -179,7 +201,7 @@ class LinExpr:
         if scale == 0.0:
             return LinExpr({}, 0.0)
         return LinExpr({i: c * scale for i, c in self.terms.items()},
-                       self.const * scale)
+                       self.const * scale, self.model_id)
 
     __rmul__ = __mul__
 

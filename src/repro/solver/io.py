@@ -7,6 +7,10 @@ TE-CCL instance can be inspected by eye or loaded into any external solver.
 
 Only the features the modeling layer produces are emitted: a linear
 objective, (in)equality rows, finite bounds, binary/general integer markers.
+Rows are read back from the compiled COO buffers, so models built through
+the bulk path (:meth:`Model.add_constr_coo`) export the same way as
+expression-built ones; two-sided (ranged) rows are split into a ``<=`` and a
+``>=`` line sharing a label stem.
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ import re
 from pathlib import Path
 
 from repro.errors import ModelError
-from repro.solver.expr import Relation, Sense, VarType
+from repro.solver.expr import Sense, VarType
 from repro.solver.model import Model
 
 _INF = float("inf")
@@ -46,28 +50,41 @@ def _terms(expr_terms: dict[int, float], names: list[str]) -> str:
     return " ".join(parts) if parts else "0 " + names[0]
 
 
+def _row_lines(row: int, name: str, terms: dict[int, float],
+               lower: float, upper: float, names: list[str]) -> list[str]:
+    label = _lp_name(name, row) if name else f"c{row}"
+    body = _terms(terms, names)
+    if lower == upper:
+        return [f" {label}: {body} = {lower:g}"]
+    lines = []
+    if upper < _INF:
+        lines.append(f" {label}: {body} <= {upper:g}")
+    if lower > -_INF:
+        suffix = "_lo" if upper < _INF else ""
+        lines.append(f" {label}{suffix}: {body} >= {lower:g}")
+    if not lines:  # free row: keep it visible rather than dropping it
+        lines.append(f" {label}: {body} >= -inf")
+    return lines
+
+
 def write_lp(model: Model) -> str:
     """Serialise the model as LP-format text."""
-    if not model._vars:
+    if not model.num_vars:
         raise ModelError("cannot export a model with no variables")
-    names = [_lp_name(v.name, v.index) for v in model._vars]
+    variables = list(model.variables())
+    names = [_lp_name(v.name, v.index) for v in variables]
     if len(set(names)) != len(names):  # collisions after sanitising
         names = [f"{n}_{i}" for i, n in enumerate(names)]
 
     lines = [f"\\ {model.name}"]
     lines.append("Maximize" if model.sense is Sense.MAXIMIZE else "Minimize")
-    lines.append(" obj: " + _terms(model._objective.terms, names))
+    obj_terms, _ = model.objective_terms()
+    lines.append(" obj: " + _terms(obj_terms, names))
     lines.append("Subject To")
-    for row, constraint in enumerate(model._constraints):
-        rhs = -constraint.expr.const
-        op = {Relation.LE: "<=", Relation.GE: ">=",
-              Relation.EQ: "="}[constraint.relation]
-        label = _lp_name(constraint.name, row) if constraint.name \
-            else f"c{row}"
-        lines.append(f" {label}: "
-                     f"{_terms(constraint.expr.terms, names)} {op} {rhs:g}")
+    for row, (name, terms, lower, upper) in enumerate(model.rows()):
+        lines.extend(_row_lines(row, name, terms, lower, upper, names))
     lines.append("Bounds")
-    for var, name in zip(model._vars, names):
+    for var, name in zip(variables, names):
         if var.vtype is VarType.BINARY:
             continue  # implied 0/1
         lower = f"{var.lb:g}" if var.lb != -_INF else "-inf"
@@ -75,12 +92,12 @@ def write_lp(model: Model) -> str:
         if var.lb == 0.0 and var.ub == _INF:
             continue  # the LP-format default
         lines.append(f" {lower} <= {name} <= {upper}")
-    binaries = [name for var, name in zip(model._vars, names)
+    binaries = [name for var, name in zip(variables, names)
                 if var.vtype is VarType.BINARY]
     if binaries:
         lines.append("Binaries")
         lines.extend(f" {name}" for name in binaries)
-    generals = [name for var, name in zip(model._vars, names)
+    generals = [name for var, name in zip(variables, names)
                 if var.vtype is VarType.INTEGER]
     if generals:
         lines.append("Generals")

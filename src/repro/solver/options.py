@@ -31,6 +31,15 @@ class SolverOptions:
             paper's ``method = 2`` Gurobi setting for large ALLTOALLs) and
             the default simplex otherwise; or force ``"highs"``,
             ``"highs-ds"``, ``"highs-ipm"``.
+        construction: which model-construction path the formulation
+            builders use. ``"auto"`` (default) takes the vectorized COO
+            bulk path whenever the instance supports it (everything except
+            the A* round models) and falls back to the gurobipy-style
+            expression path otherwise; ``"coo"`` requires the bulk path
+            (raises if the instance needs expression-only features);
+            ``"expr"`` forces the legacy expression path. The two paths
+            compile to identical matrices — see
+            ``tests/test_model_equivalence.py``.
     """
 
     time_limit: float | None = None
@@ -39,6 +48,7 @@ class SolverOptions:
     verbose: bool = False
     presolve: bool = True
     lp_method: str = "auto"
+    construction: str = "auto"
 
     #: model size at which "auto" switches the LP algorithm to IPM
     AUTO_IPM_THRESHOLD = 20_000
@@ -52,6 +62,8 @@ class SolverOptions:
             raise ModelError("node_limit must be positive")
         if self.lp_method not in ("auto", "highs", "highs-ds", "highs-ipm"):
             raise ModelError(f"unknown lp_method {self.lp_method!r}")
+        if self.construction not in ("auto", "coo", "expr"):
+            raise ModelError(f"unknown construction {self.construction!r}")
 
     def resolve_lp_method(self, num_vars: int) -> str:
         if self.lp_method != "auto":
@@ -70,6 +82,7 @@ class SolverOptions:
             "verbose": bool(self.verbose),
             "presolve": bool(self.presolve),
             "lp_method": self.lp_method,
+            "construction": self.construction,
         }
 
     @staticmethod
@@ -84,7 +97,8 @@ class SolverOptions:
                             else int(data["node_limit"])),
                 verbose=bool(data.get("verbose", False)),
                 presolve=bool(data.get("presolve", True)),
-                lp_method=str(data.get("lp_method", "auto")))
+                lp_method=str(data.get("lp_method", "auto")),
+                construction=str(data.get("construction", "auto")))
         except (TypeError, ValueError) as exc:
             raise ModelError(
                 f"malformed solver options document: {exc}") from exc

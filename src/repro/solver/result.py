@@ -52,12 +52,20 @@ class SolveResult:
     message: str = ""
     stats: dict = field(default_factory=dict)
 
-    def value(self, item: Variable | LinExpr) -> float:
-        """Evaluate a variable or expression at the returned primal point."""
+    def value(self, item: Variable | LinExpr | int | np.integer) -> float:
+        """Evaluate a variable, raw column index, or expression at the
+        returned primal point.
+
+        Raw indices are what the bulk construction path
+        (:meth:`repro.solver.model.Model.add_var_array`) hands around
+        instead of :class:`Variable` objects.
+        """
         if self.values is None:
             raise ModelError(f"no solution available (status={self.status.value})")
         if isinstance(item, Variable):
             return float(self.values[item.index])
+        if isinstance(item, (int, np.integer)):
+            return float(self.values[item])
         if isinstance(item, LinExpr):
             total = item.const
             for idx, coef in item.terms.items():

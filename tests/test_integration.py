@@ -106,6 +106,7 @@ class TestMultiTenant:
 
 
 class TestScalePath:
+    @pytest.mark.slow
     def test_astar_on_8_chassis_internal2(self):
         """Table 4's direction: A* handles fabrics the MILP struggles with."""
         topo = topology.internal2(8)  # 16 GPUs + switch
@@ -116,6 +117,7 @@ class TestScalePath:
         report = verify(out.schedule, topo, demand, out.plan)
         assert report.ok
 
+    @pytest.mark.slow
     def test_lp_on_8_chassis_internal2_alltoall(self):
         topo = topology.internal2(8)
         demand = collectives.alltoall(topo.gpus, 1)

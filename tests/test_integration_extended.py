@@ -121,6 +121,7 @@ class TestDesignSearchOnFabrics:
 
 
 class TestMultiTenantSimulation:
+    @pytest.mark.slow
     def test_merged_tenants_schedule_simulates_clean(self):
         from repro.collectives import TenantDemand
         from repro.core import synthesize_multi_tenant

@@ -85,6 +85,7 @@ def horizon_for(topo, demand, cfg) -> int:
 # properties
 # ----------------------------------------------------------------------
 class TestMilpProperties:
+    @pytest.mark.slow
     @SETTINGS
     @given(topology_and_demand())
     def test_milp_schedule_always_simulates_clean(self, case):
@@ -96,6 +97,7 @@ class TestMilpProperties:
         report = simulate(out.schedule, topo, demand, out.plan)
         assert report.ok, report.violations
 
+    @pytest.mark.slow
     @SETTINGS
     @given(topology_and_demand())
     def test_pruning_only_removes(self, case):
@@ -154,6 +156,7 @@ class TestAstarProperties:
         report = simulate(out.schedule, topo, demand, out.plan)
         assert report.ok, report.violations
 
+    @pytest.mark.slow
     @SETTINGS
     @given(topology_and_demand())
     def test_finish_times_respect_path_lower_bound(self, case):

@@ -72,7 +72,7 @@ class TestWriteLp:
         stats = lp_statistics(write_lp(problem.model))
         assert stats["num_constraints"] == problem.model.num_constraints
         assert stats["num_binaries"] == sum(
-            1 for v in problem.model._vars
+            1 for v in problem.model.variables()
             if v.vtype is VarType.BINARY)
 
 

@@ -1,0 +1,78 @@
+"""Conformance sweep benchmark: the oracle over every producer, as data.
+
+Runs the randomized cross-producer harness (the same sweep
+``tests/test_conformance.py`` asserts on) and publishes
+``benchmarks/results/BENCH_conformance.json``: per-producer replay counts,
+violation totals, and the replayed-vs-claimed finish-time deltas for the
+producers that state an objective. A regression anywhere in the producer
+stack — a constraint dropped from a formulation, a baseline booking over
+capacity, a serialisation bug in the cache path — shows up here as a
+non-zero violation count or a widening finish delta.
+"""
+
+import json
+import time
+
+from _common import RESULTS_DIR, write_result
+from repro.analysis import Table
+from repro.simulate import PRODUCERS, sweep
+
+SEEDS = range(32)
+
+
+def test_conformance_sweep(benchmark):
+    start = time.perf_counter()
+    records = sweep(SEEDS)
+    sweep_time = time.perf_counter() - start
+
+    table = Table("Conformance sweep — every producer, randomized instances",
+                  columns=["replays", "skips", "violations", "|finish Δ|max",
+                           "claims"])
+    summary = {}
+    for name in PRODUCERS:
+        mine = [r for r in records if r.producer == name]
+        replayed = [r for r in mine if not r.skipped]
+        deltas = [abs(r.finish_delta) for r in replayed
+                  if r.finish_delta is not None]
+        violations = sum(r.num_violations for r in replayed)
+        summary[name] = {
+            "replays": len(replayed),
+            "skips": len(mine) - len(replayed),
+            "violations": violations,
+            "claims_compared": len(deltas),
+            "max_abs_finish_delta": max(deltas, default=0.0),
+        }
+        table.add(name, **{
+            "replays": len(replayed),
+            "skips": len(mine) - len(replayed),
+            "violations": violations,
+            "|finish Δ|max": max(deltas, default=0.0),
+            "claims": len(deltas)})
+
+    write_result("conformance", table.render())
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_conformance.json").write_text(
+        json.dumps({
+            "seeds": len(SEEDS),
+            "sweep_time_s": sweep_time,
+            "producers": summary,
+            "total_replays": sum(s["replays"] for s in summary.values()),
+            "total_violations": sum(s["violations"]
+                                    for s in summary.values()),
+            "note": "cross-producer conformance replay; zero violations "
+                    "and float-tight finish agreement are the invariants "
+                    "(PR 3)",
+        }, indent=2) + "\n", encoding="utf-8")
+
+    # the PR's acceptance bar, re-asserted on every bench run
+    assert sum(s["violations"] for s in summary.values()) == 0, summary
+    deep = [n for n, s in summary.items() if s["replays"] >= 20]
+    assert len(deep) >= 8, summary
+    for name in ("milp", "lp", "pop"):
+        assert summary[name]["claims_compared"] >= 20
+
+    # representative single replay for pytest-benchmark tracking
+    from repro.simulate.harness import random_instance, run_producer
+
+    topo, demand, config = random_instance(0)
+    benchmark(lambda: run_producer("milp", topo, demand, config, 0))

@@ -3,7 +3,7 @@
 from repro.baselines.blink_like import (Arborescence, blink_allgather,
                                         blink_broadcast, pack_arborescences,
                                         split_chunks)
-from repro.baselines.common import GreedyScheduler, LinkLedger
+from repro.baselines.common import GreedyScheduler, LinkLedger, replay_plan
 from repro.baselines.ring import (find_ring, ring_allgather,
                                   ring_allgather_time, ring_demand)
 from repro.baselines.sccl_like import (ScclOutcome, barrier_finish_time,
@@ -17,7 +17,7 @@ from repro.baselines.trees import (LogicalTree, binomial_broadcast,
                                    schedule_tree_broadcast, tree_allgather)
 
 __all__ = [
-    "GreedyScheduler", "LinkLedger",
+    "GreedyScheduler", "LinkLedger", "replay_plan",
     "find_ring", "ring_allgather", "ring_allgather_time", "ring_demand",
     "shortest_path", "shortest_path_schedule",
     "taccl_like", "TacclOutcome",

@@ -12,12 +12,27 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.core.epochs import EpochPlan
+from repro.core.config import TecclConfig
+from repro.core.epochs import EpochPlan, plan_with_tau
 from repro.core.schedule import Schedule, Send
 from repro.errors import InfeasibleError
 from repro.topology.topology import Topology
 
 _EPS = 1e-9
+
+
+def replay_plan(topology: Topology, config: TecclConfig,
+                schedule: Schedule) -> EpochPlan:
+    """Reconstruct the epoch plan a baseline schedule was booked against.
+
+    Baselines return bare :class:`~repro.core.schedule.Schedule` objects but
+    carry τ; capacities, occupancy windows, and delays are pure functions of
+    (topology, chunk size, τ), so the conformance engine can rebuild the
+    exact discretisation the :class:`LinkLedger` enforced and replay the
+    schedule against it.
+    """
+    return plan_with_tau(topology, config.chunk_bytes, schedule.tau,
+                         schedule.num_epochs)
 
 
 @dataclass

@@ -85,10 +85,16 @@ def _build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--mip-gap", type=float, default=0.0)
     synth.add_argument("--export", metavar="FILE", default=None,
                        help="write the schedule as MSCCL XML")
+    synth.add_argument("--export-json", metavar="FILE", default=None,
+                       help="write the full synthesis result as JSON "
+                            "(replayable with `teccl verify --schedule`)")
     synth.add_argument("--timeline", action="store_true",
                        help="print the per-link ASCII timeline")
     synth.add_argument("--events", action="store_true",
                        help="also report the continuous-time (event) finish")
+    synth.add_argument("--check", action="store_true",
+                       help="replay the schedule through the conformance "
+                            "engine before reporting it")
 
     sweep = sub.add_parser("sweep", help="sweep chunk sizes (§5)")
     sweep.add_argument("--topology", choices=sorted(_TOPOLOGIES),
@@ -114,10 +120,19 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--time-limit", type=float, default=60.0)
 
     verify_cmd = sub.add_parser(
-        "verify", help="execute an exported MSCCL program (interpreter)")
-    verify_cmd.add_argument("--xml", metavar="FILE", required=True)
+        "verify",
+        help="verify a schedule: conformance-replay a synthesis result "
+             "(--schedule) or execute an exported MSCCL program (--xml)")
+    what = verify_cmd.add_mutually_exclusive_group(required=True)
+    what.add_argument("--xml", metavar="FILE", default=None,
+                      help="exported MSCCL program (runs the interpreter)")
+    what.add_argument("--schedule", metavar="FILE", default=None,
+                      help="synthesis-result JSON (runs the conformance "
+                           "engine; see `teccl synth --export-json`)")
     verify_cmd.add_argument("--topology", choices=sorted(_TOPOLOGIES),
-                            required=True)
+                            default=None,
+                            help="required with --xml; ignored with "
+                                 "--schedule (the document carries its own)")
     verify_cmd.add_argument("--chassis", type=int, default=1)
     verify_cmd.add_argument("--collective", choices=sorted(_COLLECTIVES),
                             default="allgather")
@@ -174,6 +189,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="solve-pool executor kind")
     serve.add_argument("--timeout", type=float, default=None,
                        help="per-request wall-clock budget in seconds")
+    serve.add_argument("--check", action="store_true",
+                       help="conformance-replay every served schedule; "
+                            "non-conformant plans become errors")
 
     cache = sub.add_parser(
         "cache", help="inspect or purge an on-disk schedule cache")
@@ -235,7 +253,40 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         with open(args.export, "w", encoding="utf-8") as handle:
             handle.write(xml)
         print(f"exported     : {args.export}")
+    if args.export_json:
+        import json
+
+        with open(args.export_json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"exported     : {args.export_json}")
+    if args.check:
+        from repro.simulate import check_result
+
+        report = check_result(result, config=config)
+        _print_conformance(report)
+        if not report.ok:
+            return 1
     return 0
+
+
+def _print_conformance(report) -> None:
+    """Render a ConformanceReport the way the synth/verify verbs share."""
+    verdict = "conformant" if report.ok else "VIOLATIONS"
+    print(f"conformance  : {verdict}")
+    print(f"replayed     : {report.finish_time * 1e6:.3f} us")
+    if report.claimed_finish_time is not None:
+        print(f"claimed      : {report.claimed_finish_time * 1e6:.3f} us "
+              f"(delta {report.finish_delta * 1e6:+.3f} us)")
+    if report.utilization:
+        peak = max(report.utilization.items(), key=lambda kv: kv[1])
+        print(f"utilization  : peak {100 * peak[1]:.1f}% on link "
+              f"{peak[0][0]}->{peak[0][1]}")
+    for kind, count in sorted(report.counts_by_kind().items()):
+        print(f"  {kind:<12}: {count}")
+    for violation in report.violations[:10]:
+        print(f"  ! {violation}")
+    if len(report.violations) > 10:
+        print(f"  ... and {len(report.violations) - 10} more")
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -321,8 +372,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
+    if args.schedule is not None:
+        return _cmd_verify_schedule(args)
+    from repro.errors import ServiceError
     from repro.msccl import verify_program
 
+    if args.topology is None:
+        raise ServiceError("--xml verification needs --topology")
     topo, demand = _build_instance(args)
     with open(args.xml, "r", encoding="utf-8") as handle:
         document = handle.read()
@@ -333,6 +389,28 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     print(f"finish time  : {report.finish_time * 1e6:.3f} us")
     print("delivery     : all demanded chunks delivered")
     return 0
+
+
+def _cmd_verify_schedule(args: argparse.Namespace) -> int:
+    """Replay a serialised synthesis result through the conformance engine."""
+    import json
+
+    from repro.core.solve import SynthesisResult
+    from repro.errors import ModelError
+    from repro.simulate import check_result
+
+    with open(args.schedule, "r", encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ModelError(
+                f"invalid JSON in {args.schedule}: {exc}") from exc
+    result = SynthesisResult.from_dict(document)
+    report = check_result(result)
+    print(f"schedule     : {args.schedule}")
+    print(f"method       : {result.method.value}")
+    _print_conformance(report)
+    return 0 if report.ok else 1
 
 
 def _cmd_impact(args: argparse.Namespace) -> int:
@@ -463,7 +541,8 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         raise ServiceError("--requests file must hold a JSON list")
     requests = [_request_from_spec(spec, i) for i, spec in enumerate(specs)]
     with Planner(executor=args.pool_kind, max_workers=args.workers,
-                 cache_dir=args.cache_dir, timeout=args.timeout) as planner:
+                 cache_dir=args.cache_dir, timeout=args.timeout,
+                 check_conformance=args.check) as planner:
         responses = planner.plan_batch(requests)
         stats = planner.stats()
     print(f"{'tag':<28} {'served':<9} {'finish us':>12} {'serve ms':>9}")
@@ -483,6 +562,9 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     print(f"cache        : {stats['hits']} hits / {stats['misses']} misses")
     print(f"solves       : {stats['solves']} "
           f"({stats['coalesced']} coalesced)")
+    if args.check:
+        print(f"conformance  : {stats['conformance_checks']} checked / "
+              f"{stats['conformance_failures']} failed")
     return 1 if failures else 0
 
 

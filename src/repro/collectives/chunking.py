@@ -37,6 +37,39 @@ class ChunkPlan:
         if self.chunk_bytes <= 0:
             raise DemandError("chunk size must be positive")
 
+    def split(self, factor: int) -> "ChunkPlan":
+        """A finer plan: each chunk cut into ``factor`` pieces.
+
+        Conserves both invariants the evaluation relies on — the chunk
+        count scales by exactly ``factor`` and the byte totals
+        (``chunk_bytes × chunks_per_source``, the output buffer, the
+        transfer size) are preserved. This is the §5 chunk-size sweep's
+        move along one axis without touching the collective's geometry.
+        """
+        if factor < 1:
+            raise DemandError("split factor must be at least 1")
+        return ChunkPlan(chunk_bytes=self.chunk_bytes / factor,
+                         chunks_per_source=self.chunks_per_source * factor,
+                         output_buffer_bytes=self.output_buffer_bytes,
+                         transfer_bytes=self.transfer_bytes)
+
+    def merged(self, factor: int) -> "ChunkPlan":
+        """The inverse of :meth:`split`: ``factor`` chunks fused into one.
+
+        Requires the chunk count to divide evenly — merging may never drop
+        or pad bytes.
+        """
+        if factor < 1:
+            raise DemandError("merge factor must be at least 1")
+        if self.chunks_per_source % factor:
+            raise DemandError(
+                f"cannot merge {self.chunks_per_source} chunks by "
+                f"{factor}: count does not divide")
+        return ChunkPlan(chunk_bytes=self.chunk_bytes * factor,
+                         chunks_per_source=self.chunks_per_source // factor,
+                         output_buffer_bytes=self.output_buffer_bytes,
+                         transfer_bytes=self.transfer_bytes)
+
 
 def allgather_plan(num_gpus: int, output_buffer_bytes: float,
                    chunks_per_gpu: int = 1) -> ChunkPlan:

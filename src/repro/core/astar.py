@@ -92,6 +92,11 @@ def solve_astar(topology: Topology, demand: Demand, config: TecclConfig,
     astar = astar or AStarConfig()
     demand.validate(topology)
     topology.validate()
+    if not config.store_and_forward:
+        raise ModelError(
+            "the A* round decomposition carries chunks across round "
+            "boundaries in GPU buffers and cannot honour the "
+            "store_and_forward=False ablation; use the single-shot MILP")
 
     probe = build_epoch_plan(topology, config, num_epochs=1)
     max_offset = max(probe.arrival_offset(i, j) for (i, j) in topology.links)
@@ -163,7 +168,8 @@ def solve_astar(topology: Topology, demand: Demand, config: TecclConfig,
     raw = Schedule(sends=sorted(all_sends), tau=round_plan.tau,
                    chunk_bytes=config.chunk_bytes, num_epochs=total_epochs)
     delivered = _delivered_epochs(raw, global_plan, demand)
-    pruned = prune_sends(raw, demand, topology, global_plan, delivered)
+    pruned = prune_sends(raw, demand, topology, global_plan, delivered,
+                         store_and_forward=config.store_and_forward)
     return AStarOutcome(schedule=pruned, raw_schedule=raw, plan=global_plan,
                         rounds=rounds,
                         finish_time=pruned.finish_time(topology))

@@ -971,7 +971,8 @@ def extract_outcome(problem: MilpProblem, result: SolveResult) -> MilpOutcome:
         return var is not None and result.value(var) > 0.5
 
     pruned = prune_sends(raw, problem.demand, problem.topology, plan,
-                         delivered, buffer_values=holds)
+                         delivered, buffer_values=holds,
+                         store_and_forward=problem.config.store_and_forward)
     return MilpOutcome(schedule=pruned, raw_schedule=raw, result=result,
                        plan=plan, delivered_epoch=delivered,
                        finish_time=pruned.finish_time(problem.topology))

@@ -28,6 +28,7 @@ def prune_sends(schedule: Schedule, demand: Demand, topology: Topology,
                 plan: EpochPlan,
                 delivered_epoch: dict[tuple[int, int, int], int],
                 buffer_values: Callable[[int, int, int, int], bool] | None = None,
+                store_and_forward: bool = True,
                 ) -> Schedule:
     """Drop sends that serve no demanded triple.
 
@@ -39,6 +40,10 @@ def prune_sends(schedule: Schedule, demand: Demand, topology: Topology,
             the solution kept the chunk buffered at n at the start of epoch k.
             When omitted, buffering is assumed unlimited (chunks persist once
             they arrive) — correct whenever the model had no buffer limit.
+        store_and_forward: whether the model let non-source GPUs buffer
+            before relaying. Under the Figure 9 ablation a relayed send is
+            fed by an arrival in that exact epoch (reads still draw the
+            destination's buffer).
 
     The walk starts from every demanded triple and follows providers backwards
     in the time-expanded graph; a send is kept iff some demand transitively
@@ -56,32 +61,39 @@ def prune_sends(schedule: Schedule, demand: Demand, topology: Topology,
 
     switches = topology.switches
     kept: set[Send] = set()
-    # memo of satisfied needs: (source, chunk, node, epoch-of-need)
-    satisfied: set[tuple[int, int, int, int]] = set()
+    # memo of satisfied needs: (source, chunk, node, epoch-of-need, relayed)
+    satisfied: set[tuple[int, int, int, int, bool]] = set()
 
     def holds(s: int, c: int, n: int, k: int) -> bool:
         if buffer_values is None:
             return True
         return buffer_values(s, c, n, k)
 
-    def satisfy(s: int, c: int, node: int, k: int) -> None:
-        """Ensure chunk (s, c) is available at `node` at buffer index k."""
-        key = (s, c, node, k)
+    def satisfy(s: int, c: int, node: int, k: int,
+                relayed: bool = False) -> None:
+        """Ensure chunk (s, c) is available at `node` at buffer index k.
+
+        ``relayed`` marks a need created by an outgoing send under the
+        no-store-and-forward ablation: the chunk cannot come from the
+        buffer, it must be arriving in that exact epoch.
+        """
+        key = (s, c, node, k, relayed)
         if key in satisfied:
             return
         satisfied.add(key)
         if node == s:
             return  # the source holds its own chunk from epoch 0
-        if node in switches:
-            # A switch holds nothing: the chunk must be *arriving* exactly at
-            # buffer index k (sent Δ+1 epochs earlier).
+        if node in switches or relayed:
+            # A switch (or a no-SF relay) holds nothing: the chunk must be
+            # *arriving* exactly at buffer index k (sent Δ+1 epochs earlier).
             for buffer_epoch, send in arrivals.get((s, c, node), []):
                 if buffer_epoch == k:
                     _require_send(s, c, send)
                     return
             raise ScheduleError(
-                f"chunk ({s},{c}) needed at switch {node} at epoch {k} "
-                "but no send arrives then")
+                f"chunk ({s},{c}) needed at "
+                f"{'switch' if node in switches else 'relay'} {node} at "
+                f"epoch {k} but no send arrives then")
         # GPU: find the latest arrival at buffer index k' <= k such that the
         # chunk stayed buffered from k' through k.
         best: tuple[int, Send] | None = None
@@ -100,8 +112,10 @@ def prune_sends(schedule: Schedule, demand: Demand, topology: Topology,
         if send in kept:
             return
         kept.add(send)
-        # The sender needed the chunk at the send's start epoch.
-        satisfy(s, c, send.src, send.epoch)
+        # The sender needed the chunk at the send's start epoch; under the
+        # Figure 9 ablation a non-source sender relays an arrival instead.
+        satisfy(s, c, send.src, send.epoch,
+                relayed=not store_and_forward and send.src != s)
 
     for (s, c, d), epoch in delivered_epoch.items():
         if not demand.wants(s, c, d):

@@ -53,6 +53,12 @@ class SynthesisResult:
     topology_used: Topology | None = None
     #: the demand in the schedule's node-id space (remapped when hyper)
     demand_used: Demand | None = None
+    #: the config the schedule was synthesized under — the model-variant
+    #: flags (switch copy semantics, store-and-forward, buffer budget) a
+    #: conformance replay must honour. Serialised without ``capacity_fn``
+    #: (a callable; replays of deserialised results fall back to the plan's
+    #: static capacities, as they always have).
+    config: TecclConfig | None = None
 
     def algorithmic_bandwidth(self, output_buffer_bytes: float) -> float:
         """TACCL's metric: output buffer size / collective finish time."""
@@ -84,6 +90,9 @@ class SynthesisResult:
                               else self.topology_used.to_dict()),
             "demand_used": (None if self.demand_used is None
                             else self.demand_used.to_dict()),
+            "config": (None if self.config is None
+                       else replace(self.config,
+                                    capacity_fn=None).to_dict()),
         }
 
     @staticmethod
@@ -108,7 +117,10 @@ class SynthesisResult:
                     else Topology.from_dict(data["topology_used"])),
                 demand_used=(
                     None if data.get("demand_used") is None
-                    else Demand.from_dict(data["demand_used"])))
+                    else Demand.from_dict(data["demand_used"])),
+                config=(
+                    None if data.get("config") is None
+                    else TecclConfig.from_dict(data["config"])))
         except (KeyError, TypeError, ValueError) as exc:
             raise ModelError(
                 f"malformed synthesis result document: {exc}") from exc
@@ -162,7 +174,7 @@ def synthesize(topology: Topology, demand: Demand, config: TecclConfig, *,
             finish_time=outcome.finish_time,
             solve_time=outcome.solve_time, plan=outcome.plan,
             outcome=outcome, hyper=hyper, topology_used=work_topology,
-            demand_used=work_demand)
+            demand_used=work_demand, config=config)
 
     if method is Method.MILP:
         outcome = solve_milp(work_topology, work_demand, config,
@@ -172,7 +184,7 @@ def synthesize(topology: Topology, demand: Demand, config: TecclConfig, *,
             finish_time=outcome.finish_time,
             solve_time=outcome.solve_time, plan=outcome.plan,
             outcome=outcome, hyper=hyper, topology_used=work_topology,
-            demand_used=work_demand)
+            demand_used=work_demand, config=config)
 
     if method is Method.ASTAR:
         if hyper_groups:
@@ -186,7 +198,7 @@ def synthesize(topology: Topology, demand: Demand, config: TecclConfig, *,
             finish_time=outcome.finish_time,
             solve_time=outcome.solve_time, plan=outcome.plan,
             outcome=outcome, hyper=hyper, topology_used=work_topology,
-            demand_used=work_demand)
+            demand_used=work_demand, config=config)
 
     raise ModelError(f"unknown method {method!r}")
 

@@ -164,6 +164,23 @@ class RepairOutcome:
             raise ModelError("unfailed finish time must be positive")
         return (self.total_time - unfailed_finish) / unfailed_finish
 
+    def check_conformance(self, config: TecclConfig | None = None):
+        """Replay the residual schedule on the degraded fabric.
+
+        Returns the :class:`~repro.simulate.ConformanceReport` for the
+        repair synthesis (``None`` when the failure struck after everything
+        was delivered and there is nothing to replay). The residual
+        schedule must be executable on the *degraded* topology — exactly
+        what an operator needs to trust before shipping the repair.
+        """
+        if self.synthesis is None:
+            return None
+        from repro.simulate import check_result
+
+        replay_config = None if config is None else replace(
+            config, num_epochs=None, priorities=None)
+        return check_result(self.synthesis, config=replay_config)
+
 
 def repair_schedule(topology: Topology, demand: Demand, config: TecclConfig,
                     schedule: Schedule, plan: EpochPlan,

@@ -7,12 +7,13 @@ validating the whole synthesis → lowering pipeline.
 """
 
 from repro.msccl.export import (collapse_switch_hops, parse_msccl_xml,
-                                schedule_from_msccl_xml, to_msccl_xml)
+                                roundtrip_schedule, schedule_from_msccl_xml,
+                                to_msccl_xml)
 from repro.msccl.interpreter import (Instruction, InterpretationReport,
                                      Program, interpret, load_program,
                                      verify_program)
 
 __all__ = ["to_msccl_xml", "parse_msccl_xml", "schedule_from_msccl_xml",
-           "collapse_switch_hops",
+           "collapse_switch_hops", "roundtrip_schedule",
            "Program", "Instruction", "InterpretationReport",
            "load_program", "interpret", "verify_program"]

@@ -206,6 +206,21 @@ def schedule_from_msccl_xml(document: str, *, tau: float,
                     num_epochs=num_epochs)
 
 
+def roundtrip_schedule(schedule: Schedule, topology: Topology,
+                       demand: Demand, *, name: str = "roundtrip",
+                       ) -> Schedule:
+    """Export to MSCCL XML and re-ingest in one move.
+
+    The conformance harness replays the returned schedule against the same
+    oracle as the original: the lowering is correct iff delivery and finish
+    are identical. On switch topologies the result lives in the collapsed
+    (switch-free) node space — see :func:`collapse_switch_hops`.
+    """
+    xml = to_msccl_xml(schedule, topology, demand, name=name)
+    return schedule_from_msccl_xml(xml, tau=schedule.tau,
+                                   chunk_bytes=schedule.chunk_bytes)
+
+
 def parse_msccl_xml(document: str) -> dict:
     """Parse an exported document back into a comparable structure.
 

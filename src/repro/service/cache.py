@@ -139,6 +139,22 @@ class ScheduleCache:
             return False
         return self._path(fingerprint).exists()
 
+    def evict(self, fingerprint: str) -> bool:
+        """Drop one entry from both tiers; True if anything was removed.
+
+        The planner's post-solve conformance gate uses this to expel a
+        cached schedule that fails its replay, so the next request for the
+        fingerprint re-solves instead of failing forever.
+        """
+        self._check_fingerprint(fingerprint)
+        removed = self._memory.pop(fingerprint, None) is not None
+        if self.directory is not None:
+            path = self._path(fingerprint)
+            if path.exists():
+                path.unlink(missing_ok=True)
+                removed = True
+        return removed
+
     def purge(self) -> int:
         """Drop every entry from both tiers; returns *logical* entries
         removed (an entry resident in both tiers counts once)."""

@@ -37,9 +37,13 @@ class PlannerStats:
 
     requests: int = 0
     timeouts: int = 0
+    conformance_checks: int = 0
+    conformance_failures: int = 0
 
     def to_dict(self) -> dict:
-        return {"requests": self.requests, "timeouts": self.timeouts}
+        return {"requests": self.requests, "timeouts": self.timeouts,
+                "conformance_checks": self.conformance_checks,
+                "conformance_failures": self.conformance_failures}
 
 
 class Planner:
@@ -53,6 +57,12 @@ class Planner:
         cache_capacity: in-memory LRU size.
         timeout: default per-request wall-clock budget in seconds
             (``None`` = wait forever); overridable per call.
+        check_conformance: replay every served schedule through the
+            conformance engine (:func:`repro.simulate.check_result`) before
+            handing it out; a non-conformant result becomes a failed
+            response instead of reaching the caller. Covers cache hits too
+            (a stale or corrupted cache entry is exactly what the oracle
+            exists to catch).
         cache / pool: inject pre-built components (tests, shared caches).
     """
 
@@ -61,6 +71,7 @@ class Planner:
                  cache_dir: str | Path | None = None,
                  cache_capacity: int = 128,
                  timeout: float | None = None,
+                 check_conformance: bool = False,
                  cache: ScheduleCache | None = None,
                  pool: SolvePool | None = None) -> None:
         self.cache = cache if cache is not None else ScheduleCache(
@@ -68,6 +79,7 @@ class Planner:
         self.pool = pool if pool is not None else SolvePool(
             max_workers=max_workers, executor=executor)
         self.default_timeout = timeout
+        self.check_conformance = check_conformance
         self._stats = PlannerStats()
         # Guards the cache-probe → pool-submit step and the archive callback
         # as one atomic unit (RLock: the inline executor archives on the
@@ -153,11 +165,45 @@ class Planner:
         with self._lock:
             self.cache.put(fingerprint, future.result())
 
+    def _post_check(self, request: PlanRequest, response: PlanResponse,
+                    raise_errors: bool) -> PlanResponse:
+        """Optional post-solve conformance replay (``check_conformance``)."""
+        if not self.check_conformance or response.result is None:
+            return response
+        from repro.simulate import check_result
+
+        report = check_result(response.result, config=request.config)
+        response.conformance = report.to_dict()
+        with self._lock:
+            self._stats.conformance_checks += 1
+            if not report.ok:
+                self._stats.conformance_failures += 1
+        if not report.ok:
+            response.error = (
+                "schedule failed conformance replay: "
+                + "; ".join(str(v) for v in report.violations[:3]))
+            if raise_errors:
+                raise ServiceError(response.error)
+        return response
+
     def _finish(self, request: PlanRequest, fingerprint: str, pending,
                 *, timeout: float | None,
                 raise_errors: bool) -> PlanResponse:
         if isinstance(pending, PlanResponse):
-            return pending
+            checked = self._post_check(request, pending, raise_errors=False)
+            if checked.ok:
+                return checked
+            # A *cached* schedule failed its replay: the entry is poisoned
+            # (bit-rot, a stale format, a buggy producer of an earlier
+            # version). Expel it and fall through to a fresh solve rather
+            # than failing this fingerprint forever.
+            t0 = time.perf_counter()
+            with self._lock:
+                self.cache.evict(fingerprint)
+                future, coalesced = self.pool.submit(
+                    fingerprint, request.to_dict(),
+                    on_complete=self._archive)
+            pending = (future, coalesced, t0)
         future, coalesced, t0 = pending
         try:
             payload = self.pool.wait(future, timeout)
@@ -174,11 +220,11 @@ class Planner:
             return PlanResponse(fingerprint=fingerprint, error=str(exc),
                                 coalesced=coalesced, tag=request.tag,
                                 serve_time=time.perf_counter() - t0)
-        return PlanResponse(
+        return self._post_check(request, PlanResponse(
             fingerprint=fingerprint,
             result=SynthesisResult.from_dict(payload),
             coalesced=coalesced, tag=request.tag,
-            serve_time=time.perf_counter() - t0)
+            serve_time=time.perf_counter() - t0), raise_errors)
 
     # ------------------------------------------------------------------
     # introspection & lifecycle

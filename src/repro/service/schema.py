@@ -81,10 +81,21 @@ class PlanResponse:
     #: solver time lives in result.solve_time)
     serve_time: float = 0.0
     tag: str = ""
+    #: post-solve conformance replay summary (a
+    #: :meth:`repro.simulate.ConformanceReport.to_dict` document); only set
+    #: when the planner runs with ``check_conformance=True``.
+    conformance: dict | None = None
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def conformant(self) -> bool | None:
+        """Whether the replay was clean (``None`` when no check ran)."""
+        if self.conformance is None:
+            return None
+        return bool(self.conformance.get("ok"))
 
     def to_dict(self) -> dict:
         return {
@@ -95,6 +106,7 @@ class PlanResponse:
             "coalesced": self.coalesced,
             "serve_time": self.serve_time,
             "tag": self.tag,
+            "conformance": self.conformance,
         }
 
     @staticmethod
@@ -108,6 +120,7 @@ class PlanResponse:
                 cache_hit=bool(data.get("cache_hit", False)),
                 coalesced=bool(data.get("coalesced", False)),
                 serve_time=float(data.get("serve_time", 0.0)),
-                tag=str(data.get("tag", "")))
+                tag=str(data.get("tag", "")),
+                conformance=data.get("conformance"))
         except (KeyError, TypeError, ValueError) as exc:
             raise ServiceError(f"malformed plan response: {exc}") from exc

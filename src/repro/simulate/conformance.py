@@ -1,0 +1,688 @@
+"""The schedule conformance engine: a strict replay oracle for every producer.
+
+The paper's central claim is that the optimizer's objective *is* the
+collective's finish time — which is only true if the schedule it emits is
+*executable* under the model of §3: per-epoch link capacities (with the
+Appendix F occupancy windows on links slower than the epoch grid), α–β
+transfer costs, zero-buffer switches that copy or merely forward (§3.1),
+bounded GPU relay buffers (Appendix B), and the store-and-forward ablation
+(Figure 9). This module replays a schedule against that model — written from
+the paper, independently of any producer's code — and returns a structured
+:class:`ConformanceReport` instead of a bare pass/fail: every violation
+carries its epoch/link/commodity provenance, and the report includes the
+replayed α–β finish time and per-link utilization so callers can compare the
+replay against the solver's claimed objective.
+
+Three entry points:
+
+* :func:`check_schedule` — integral :class:`~repro.core.schedule.Schedule`
+  (MILP, A*, baselines, MSCCL round-trips, repair residuals);
+* :func:`check_flow` — fractional :class:`~repro.core.schedule.FlowSchedule`
+  (LP, POP), checked against the LP's conservation/causality equalities;
+* :func:`check_result` — a whole :class:`~repro.core.solve.SynthesisResult`,
+  dispatching on the schedule kind and comparing the replayed finish time
+  with the producer's claimed objective within model tolerance.
+
+The cross-producer randomized harness (:mod:`repro.simulate.harness`) sweeps
+every producer in the repo through this oracle; ``teccl verify`` and the
+planner service expose the same engine to operators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.collectives.demand import Demand
+from repro.core.config import SwitchModel, TecclConfig
+from repro.core.epochs import EpochPlan
+from repro.core.schedule import FlowSchedule, Schedule
+from repro.errors import ScheduleError
+from repro.topology.topology import Topology
+
+_EPS = 1e-9
+
+#: Relative tolerance for replayed-vs-claimed finish-time agreement. The
+#: replay recomputes arrivals from the same α–β inputs the solver used, so
+#: agreement is float-roundoff tight; anything beyond this is a real
+#: disagreement between the objective and the executable schedule.
+FINISH_RTOL = 1e-6
+
+#: Absolute tolerance on fractional chunk amounts (LP flows are ~1.0-scaled
+#: and solved to 1e-7-ish feasibility by the backend).
+FLOW_ATOL = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken model invariant, with provenance.
+
+    Attributes:
+        kind: invariant family — ``"link"`` (send on a nonexistent link),
+            ``"horizon"`` (activity beyond the epoch plan), ``"availability"``
+            (transmit before holding), ``"relay"`` (store-and-forward
+            ablation broken), ``"switch"`` (forward without a matching
+            arrival, or duplication on a no-copy switch), ``"stranded"``
+            (chunk enters a switch and never leaves), ``"capacity"``,
+            ``"buffer"`` (relay-buffer budget exceeded), ``"conservation"``
+            (flow mass appears from nowhere), ``"delivery"`` (demand unmet),
+            ``"finish"`` (replayed finish disagrees with the claimed
+            objective).
+        message: human-readable description.
+        epoch: the epoch (or pool index, for flows) where it happened.
+        link: the (src, dst) pair involved, when link-local.
+        commodity: the (source, chunk) pair — or aggregated source id —
+            involved, when commodity-local.
+        node: the node involved, when node-local.
+    """
+
+    kind: str
+    message: str
+    epoch: int | None = None
+    link: tuple[int, int] | None = None
+    commodity: tuple[int, int] | int | None = None
+    node: int | None = None
+
+    def __str__(self) -> str:
+        return self.message
+
+
+@dataclass
+class ConformanceReport:
+    """The outcome of one conformance replay.
+
+    Attributes:
+        violations: every broken invariant (empty means conformant).
+        finish_time: the replayed α–β finish — the latest demanded delivery
+            for integral schedules, the latest serialized per-link arrival
+            for flows. Computed by the replay, never copied from the
+            producer.
+        claimed_finish_time: the producer's objective value, when supplied.
+        finish_epoch: last epoch with any activity (−1 when empty).
+        delivered: per demanded triple, the α–β delivery time (integral) —
+            or per ``(commodity, destination)``, the amount read (flows).
+        utilization: per link, busy fraction over the replayed duration.
+        num_sends: integral sends replayed (0 for flows).
+        total_flow: fractional chunk mass replayed (0.0 for integral).
+        total_bytes: bytes placed on the wire.
+    """
+
+    violations: list[Violation] = field(default_factory=list)
+    finish_time: float = 0.0
+    claimed_finish_time: float | None = None
+    finish_epoch: int = -1
+    delivered: dict = field(default_factory=dict)
+    utilization: dict[tuple[int, int], float] = field(default_factory=dict)
+    num_sends: int = 0
+    total_flow: float = 0.0
+    total_bytes: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def finish_delta(self) -> float | None:
+        """Replayed minus claimed finish time (``None`` when no claim)."""
+        if self.claimed_finish_time is None:
+            return None
+        return self.finish_time - self.claimed_finish_time
+
+    def counts_by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for v in self.violations:
+            out[v.kind] = out.get(v.kind, 0) + 1
+        return out
+
+    def raise_on_violation(self) -> "ConformanceReport":
+        if not self.ok:
+            raise ScheduleError("; ".join(
+                str(v) for v in self.violations[:5]))
+        return self
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (violations keep their provenance fields)."""
+        return {
+            "ok": self.ok,
+            "finish_time": self.finish_time,
+            "claimed_finish_time": self.claimed_finish_time,
+            "finish_delta": self.finish_delta,
+            "finish_epoch": self.finish_epoch,
+            "num_sends": self.num_sends,
+            "total_flow": self.total_flow,
+            "total_bytes": self.total_bytes,
+            "violation_counts": self.counts_by_kind(),
+            "violations": [
+                {"kind": v.kind, "message": v.message, "epoch": v.epoch,
+                 "link": list(v.link) if v.link else None,
+                 "commodity": (list(v.commodity)
+                               if isinstance(v.commodity, tuple)
+                               else v.commodity),
+                 "node": v.node}
+                for v in self.violations],
+            "utilization": {f"{i}->{j}": u
+                            for (i, j), u in sorted(self.utilization.items())},
+        }
+
+
+# ----------------------------------------------------------------------
+# shared helpers
+# ----------------------------------------------------------------------
+def _epoch_capacity(plan: EpochPlan, config: TecclConfig | None,
+                    i: int, j: int, k: int) -> float:
+    """Per-epoch chunk budget, honouring a time-varying capacity hook."""
+    if config is not None and config.capacity_fn is not None:
+        return config.capacity_fn(i, j, k) * plan.tau / plan.chunk_bytes
+    return plan.cap_chunks[(i, j)]
+
+
+def _finish_compare(report: ConformanceReport, rtol: float) -> None:
+    claimed = report.claimed_finish_time
+    if claimed is None:
+        return
+    tol = rtol * max(abs(claimed), abs(report.finish_time)) + 1e-12
+    if abs(report.finish_time - claimed) > tol:
+        report.violations.append(Violation(
+            kind="finish",
+            message=(f"replayed finish {report.finish_time:.9g}s disagrees "
+                     f"with the claimed objective {claimed:.9g}s "
+                     f"(delta {report.finish_time - claimed:+.3g}s)")))
+
+
+# ----------------------------------------------------------------------
+# integral schedules
+# ----------------------------------------------------------------------
+def check_schedule(schedule: Schedule, topology: Topology, demand: Demand,
+                   plan: EpochPlan, *, config: TecclConfig | None = None,
+                   strict_switches: bool = True,
+                   claimed_finish_time: float | None = None,
+                   finish_rtol: float = FINISH_RTOL) -> ConformanceReport:
+    """Replay an integral schedule against the paper's execution model.
+
+    Args:
+        config: supplies the model variant the schedule was produced under —
+            switch copy semantics, the store-and-forward ablation, the
+            relay-buffer budget, and any time-varying capacity hook.
+            ``None`` replays under the paper's defaults (copy switches,
+            store-and-forward on, unbounded buffers).
+        strict_switches: additionally require that every chunk entering a
+            switch leaves in the very next epoch (zero-buffer semantics);
+            disable for baselines that intentionally buffer at switches.
+        claimed_finish_time: the producer's objective; when given, the
+            replayed finish must agree within ``finish_rtol`` or a
+            ``"finish"`` violation is reported.
+    """
+    report = ConformanceReport(claimed_finish_time=claimed_finish_time,
+                               num_sends=schedule.num_sends,
+                               total_bytes=schedule.total_bytes(),
+                               finish_epoch=schedule.finish_epoch)
+    violations = report.violations
+    copy_switches = (config is None
+                     or config.switch_model is not SwitchModel.NO_COPY)
+    store_and_forward = config is None or config.store_and_forward
+    buffer_limit = None if config is None else config.buffer_limit_chunks
+
+    sends_sorted = sorted(schedule.sends)
+    valid = []
+    for send in sends_sorted:
+        if not topology.has_link(send.src, send.dst):
+            violations.append(Violation(
+                kind="link", epoch=send.epoch, link=send.link,
+                commodity=send.commodity,
+                message=f"send on nonexistent link ({send.src},{send.dst})"))
+            continue
+        if send.epoch >= plan.num_epochs:
+            violations.append(Violation(
+                kind="horizon", epoch=send.epoch, link=send.link,
+                commodity=send.commodity,
+                message=(f"send at epoch {send.epoch} beyond the plan "
+                         f"horizon K={plan.num_epochs}")))
+        valid.append(send)
+
+    # --- availability, relay and switch semantics ----------------------
+    # One ordered pass suffices: arrivals land strictly after their send
+    # epoch, so every provider is seen before its consumers.
+    # (source, chunk, gpu) -> earliest buffer epoch the chunk is held
+    available: dict[tuple[int, int, int], int] = {}
+    for s, c in demand.commodities():
+        available[(s, c, s)] = 0
+    # (source, chunk, node) -> {buffer epoch: arrival count}
+    arrivals: dict[tuple[int, int, int], dict[int, int]] = {}
+    # (source, chunk, switch, epoch) -> outgoing send count (no-copy check)
+    switch_out: dict[tuple[int, int, int, int], int] = {}
+
+    for send in valid:
+        key = (send.source, send.chunk, send.src)
+        arrived_here = arrivals.get(key, {})
+        if topology.is_switch(send.src):
+            if send.epoch not in arrived_here:
+                violations.append(Violation(
+                    kind="switch", epoch=send.epoch, link=send.link,
+                    commodity=send.commodity, node=send.src,
+                    message=(f"switch {send.src} forwards chunk "
+                             f"({send.source},{send.chunk}) at epoch "
+                             f"{send.epoch} without an arrival in the "
+                             "previous epoch")))
+            elif not copy_switches:
+                out_key = (send.source, send.chunk, send.src, send.epoch)
+                switch_out[out_key] = switch_out.get(out_key, 0) + 1
+                if switch_out[out_key] > arrived_here[send.epoch]:
+                    violations.append(Violation(
+                        kind="switch", epoch=send.epoch, link=send.link,
+                        commodity=send.commodity, node=send.src,
+                        message=(f"no-copy switch {send.src} duplicates "
+                                 f"chunk ({send.source},{send.chunk}) at "
+                                 f"epoch {send.epoch} "
+                                 f"({switch_out[out_key]} sends for "
+                                 f"{arrived_here[send.epoch]} arrivals)")))
+        elif not store_and_forward and send.src != send.source:
+            # Figure 9 ablation: non-source GPUs relay on arrival, like a
+            # switch — holding a chunk across epochs is the disabled feature.
+            if send.epoch not in arrived_here:
+                violations.append(Violation(
+                    kind="relay", epoch=send.epoch, link=send.link,
+                    commodity=send.commodity, node=send.src,
+                    message=(f"store-and-forward is disabled but node "
+                             f"{send.src} sends chunk ({send.source},"
+                             f"{send.chunk}) at epoch {send.epoch} without "
+                             "an arrival in the previous epoch")))
+        else:
+            have = available.get(key)
+            if have is None or have > send.epoch:
+                violations.append(Violation(
+                    kind="availability", epoch=send.epoch, link=send.link,
+                    commodity=send.commodity, node=send.src,
+                    message=(f"node {send.src} sends chunk ({send.source},"
+                             f"{send.chunk}) at epoch {send.epoch} before "
+                             f"holding it (available at {have})")))
+        buffer_epoch = send.epoch + plan.arrival_offset(send.src, send.dst) + 1
+        dst_key = (send.source, send.chunk, send.dst)
+        arrivals.setdefault(dst_key, {})
+        arrivals[dst_key][buffer_epoch] = \
+            arrivals[dst_key].get(buffer_epoch, 0) + 1
+        if not topology.is_switch(send.dst):
+            current = available.get(dst_key)
+            if current is None or buffer_epoch < current:
+                available[dst_key] = buffer_epoch
+
+    if strict_switches:
+        out_epochs: dict[tuple[int, int, int], set[int]] = {}
+        for send in valid:
+            if topology.is_switch(send.src):
+                out_epochs.setdefault(
+                    (send.source, send.chunk, send.src), set()).add(send.epoch)
+        for (s, c, node), pools in arrivals.items():
+            if not topology.is_switch(node):
+                continue
+            left = out_epochs.get((s, c, node), set())
+            for epoch in sorted(pools):
+                if epoch not in left:
+                    violations.append(Violation(
+                        kind="stranded", epoch=epoch, node=node,
+                        commodity=(s, c),
+                        message=(f"chunk ({s},{c}) stranded at switch "
+                                 f"{node} (arrived for epoch {epoch}, "
+                                 "never left)")))
+
+    # --- per-epoch link capacity (Appendix F windows) -------------------
+    load: dict[tuple[int, int, int], int] = {}
+    for send in valid:
+        load[(send.src, send.dst, send.epoch)] = load.get(
+            (send.src, send.dst, send.epoch), 0) + 1
+    for (i, j) in sorted({(a, b) for (a, b, _) in load}):
+        kappa = plan.occupancy[(i, j)]
+        epochs = [k for (a, b, k) in load if (a, b) == (i, j)]
+        for k in range(min(epochs), max(epochs) + 1):
+            cap = _epoch_capacity(plan, config, i, j, k)
+            if kappa == 1:
+                used = load.get((i, j, k), 0)
+                limit = math.floor(cap + _EPS)
+            else:
+                used = sum(load.get((i, j, kk), 0)
+                           for kk in range(max(0, k - kappa + 1), k + 1))
+                limit = max(1, math.floor(kappa * cap + _EPS))
+            if used > limit:
+                violations.append(Violation(
+                    kind="capacity", epoch=k, link=(i, j),
+                    message=(f"link ({i},{j}) carries {used} chunks in the "
+                             f"window ending at epoch {k}, capacity "
+                             f"{limit}")))
+
+    # --- relay-buffer occupancy (Appendix B) ----------------------------
+    if buffer_limit is not None:
+        _check_buffer_occupancy(report, valid, topology, demand, plan,
+                                arrivals, buffer_limit)
+
+    # --- demand delivery and the replayed α–β finish --------------------
+    finish = 0.0
+    last_hop: dict[tuple[int, int, int], float] = {}
+    for send in valid:
+        t = send.epoch * plan.tau + topology.link(
+            send.src, send.dst).transfer_time(plan.chunk_bytes)
+        key = (send.source, send.chunk, send.dst)
+        if key not in last_hop or t < last_hop[key]:
+            last_hop[key] = t
+    for s, c in demand.commodities():
+        for d in demand.destinations(s, c):
+            if (s, c, d) not in available:
+                violations.append(Violation(
+                    kind="delivery", commodity=(s, c), node=d,
+                    message=f"demand unmet: chunk ({s},{c}) never "
+                            f"reaches {d}"))
+                continue
+            t = last_hop.get((s, c, d), 0.0)
+            report.delivered[(s, c, d)] = t
+            finish = max(finish, t)
+    report.finish_time = finish
+
+    # --- utilization ----------------------------------------------------
+    busy: dict[tuple[int, int], float] = {}
+    for send in valid:
+        link = topology.link(send.src, send.dst)
+        busy[send.link] = busy.get(send.link, 0.0) \
+            + plan.chunk_bytes / link.capacity
+    if finish > 0:
+        report.utilization = {key: b / finish for key, b in busy.items()}
+    else:
+        report.utilization = {key: 0.0 for key in busy}
+
+    _finish_compare(report, finish_rtol)
+    return report
+
+
+def _check_buffer_occupancy(report: ConformanceReport, sends, topology,
+                            demand: Demand, plan: EpochPlan,
+                            arrivals: dict, limit: float) -> None:
+    """Least-commitment relay-buffer replay against the Appendix B budget.
+
+    A relay chunk must sit in the buffer from some arrival until each send
+    that uses it; the minimal feasible occupancy for a (commodity, node)
+    pair is the union over its sends of ``[latest arrival ≤ send epoch,
+    send epoch]``. A schedule violates the budget only if even this minimal
+    assignment exceeds it. Sources and demand destinations are exempt (the
+    input/output buffers of §3.1 hold that data regardless).
+    """
+    sends_from: dict[tuple[int, int, int], list[int]] = {}
+    for send in sends:
+        if topology.is_switch(send.src):
+            continue
+        sends_from.setdefault(
+            (send.source, send.chunk, send.src), []).append(send.epoch)
+    occupancy: dict[int, dict[int, int]] = {}  # node -> epoch -> count
+    for (s, c, node), epochs in sends_from.items():
+        if node == s or node in demand.destinations(s, c):
+            continue
+        pools = sorted(arrivals.get((s, c, node), {}))
+        if not pools:
+            continue  # availability violation already recorded
+        intervals: list[tuple[int, int]] = []
+        for t in sorted(epochs):
+            candidates = [p for p in pools if p <= t]
+            if not candidates:
+                continue  # availability violation already recorded
+            intervals.append((candidates[-1], t))
+        per_node = occupancy.setdefault(node, {})
+        covered: set[int] = set()
+        for lo, hi in intervals:
+            covered.update(range(lo, hi + 1))
+        for k in covered:
+            per_node[k] = per_node.get(k, 0) + 1
+    budget = math.floor(limit + _EPS)
+    for node in sorted(occupancy):
+        for k in sorted(occupancy[node]):
+            if occupancy[node][k] > budget:
+                report.violations.append(Violation(
+                    kind="buffer", epoch=k, node=node,
+                    message=(f"node {node} needs {occupancy[node][k]} relay "
+                             f"buffer slots at epoch {k}, budget "
+                             f"{budget}")))
+
+
+# ----------------------------------------------------------------------
+# fractional (LP) schedules
+# ----------------------------------------------------------------------
+def _commodity_origin(key) -> int:
+    return key[0] if isinstance(key, tuple) else key
+
+
+def _demand_amounts(demand: Demand, keys) -> dict:
+    """Per commodity key, the (supply, {sink: amount}) the LP was fed."""
+    out = {}
+    for key in keys:
+        if isinstance(key, tuple):
+            dests = demand.destinations(*key)
+            out[key] = (float(len(dests)), {d: 1.0 for d in dests})
+        else:
+            sinks: dict[int, float] = {}
+            supply = 0.0
+            for c in demand.chunks_of(key):
+                for d in demand.destinations(key, c):
+                    sinks[d] = sinks.get(d, 0.0) + 1.0
+                    supply += 1.0
+            out[key] = (supply, sinks)
+    return out
+
+
+def check_flow(flow: FlowSchedule, topology: Topology, demand: Demand,
+               plan: EpochPlan, *, config: TecclConfig | None = None,
+               claimed_finish_time: float | None = None,
+               atol: float = FLOW_ATOL,
+               finish_rtol: float = FINISH_RTOL) -> ConformanceReport:
+    """Replay a fractional schedule against the LP model of §4.1.
+
+    Checks per-epoch link capacity (the LP has no occupancy windows — its
+    fractional amounts are rate-limited per epoch directly), causality and
+    mass conservation per commodity (consumption can never outrun arrivals
+    plus the origin supply), zero-buffer switch forwarding, the relay-buffer
+    budget, read legality, and full demand delivery within ``atol``.
+    """
+    report = ConformanceReport(claimed_finish_time=claimed_finish_time,
+                               total_flow=sum(flow.flows.values()),
+                               total_bytes=flow.total_bytes(),
+                               finish_epoch=flow.finish_epoch)
+    violations = report.violations
+    buffer_limit = None if config is None else config.buffer_limit_chunks
+    K = plan.num_epochs
+
+    keys = {q for (q, _, _, _) in flow.flows} \
+        | {q for (q, _, _) in flow.reads}
+    amounts = _demand_amounts(demand, keys)
+
+    link_load: dict[tuple[int, int, int], float] = {}
+    for (q, i, j, k), amount in flow.flows.items():
+        if amount < -atol:
+            violations.append(Violation(
+                kind="conservation", epoch=k, link=(i, j), commodity=q,
+                message=f"negative flow {amount:.3g} on ({i},{j}) at "
+                        f"epoch {k}"))
+        if not topology.has_link(i, j):
+            violations.append(Violation(
+                kind="link", epoch=k, link=(i, j), commodity=q,
+                message=f"flow on nonexistent link ({i},{j})"))
+            continue
+        if k >= K or k + plan.arrival_offset(i, j) + 1 > K:
+            violations.append(Violation(
+                kind="horizon", epoch=k, link=(i, j), commodity=q,
+                message=(f"flow sent at epoch {k} on ({i},{j}) cannot land "
+                         f"within the horizon K={K}")))
+        link_load[(i, j, k)] = link_load.get((i, j, k), 0.0) + amount
+
+    for (i, j, k), used in sorted(link_load.items()):
+        if (i, j) not in topology.links:
+            continue
+        cap = _epoch_capacity(plan, config, i, j, k)
+        if used > cap + atol:
+            violations.append(Violation(
+                kind="capacity", epoch=k, link=(i, j),
+                message=(f"link ({i},{j}) carries {used:.6g} chunks at "
+                         f"epoch {k}, capacity {cap:.6g}")))
+
+    # --- causality & conservation per commodity -------------------------
+    # Normalise every event to a pool index p: a send at epoch e arrives at
+    # pool e + Δ + 1; a send consumes its node's pool at index e; a read at
+    # epoch r consumes pool r + 1 (R[k] ≤ B[k+1] in the LP). The invariant
+    # is prefix-wise: consumption through p never exceeds arrivals through p
+    # plus the origin's supply.
+    arrives: dict[tuple, dict[int, float]] = {}   # (q, node) -> pool -> mass
+    consumes: dict[tuple, dict[int, float]] = {}
+    for (q, i, j, k), amount in flow.flows.items():
+        if not topology.has_link(i, j):
+            continue
+        pool = k + plan.arrival_offset(i, j) + 1
+        arrives.setdefault((q, j), {})
+        arrives[(q, j)][pool] = arrives[(q, j)].get(pool, 0.0) + amount
+        consumes.setdefault((q, i), {})
+        consumes[(q, i)][k] = consumes[(q, i)].get(k, 0.0) + amount
+    for (q, d, k), amount in flow.reads.items():
+        supply, sinks = amounts[q]
+        if d not in sinks:
+            violations.append(Violation(
+                kind="delivery", epoch=k, commodity=q, node=d,
+                message=(f"read of commodity {q} at node {d} which never "
+                         "demanded it")))
+        consumes.setdefault((q, d), {})
+        consumes[(q, d)][k + 1] = consumes[(q, d)].get(k + 1, 0.0) + amount
+
+    # node -> pool -> implied relay-buffer mass held at that pool index
+    implied_buffers: dict[int, dict[int, float]] = {}
+    for (q, node) in sorted(consumes, key=str):
+        if topology.is_switch(node):
+            continue
+        supply = amounts[q][0] if _commodity_origin(q) == node else 0.0
+        inflow = arrives.get((q, node), {})
+        pools = sorted(set(inflow) | set(consumes[(q, node)]))
+        running = supply
+        for idx, p in enumerate(pools):
+            running += inflow.get(p, 0.0)
+            running -= consumes[(q, node)].get(p, 0.0)
+            if running < -atol:
+                violations.append(Violation(
+                    kind="conservation", epoch=p, commodity=q, node=node,
+                    message=(f"node {node} consumes {-running:.6g} more of "
+                             f"commodity {q} than has arrived by pool "
+                             f"index {p}")))
+                running = 0.0  # report each deficit once, then re-anchor
+            elif supply == 0.0 and running > atol:
+                # Held-over mass at a relay: the implied LP buffer. It
+                # persists until the next event, so spread it over the gap.
+                until = pools[idx + 1] if idx + 1 < len(pools) else p + 1
+                per_node = implied_buffers.setdefault(node, {})
+                for k in range(p, min(until, K + 2)):
+                    per_node[k] = per_node.get(k, 0.0) + running
+
+    # --- zero-buffer switches: the LP's in(k) == out(k+1) equality -------
+    # (in pool-index terms both sides land on the same index p). Forwarding
+    # more than arrived is a causality break; forwarding less strands mass
+    # at a bufferless node — the fractional analogue of "stranded".
+    switch_keys = {key for key in consumes if topology.is_switch(key[1])} \
+        | {key for key in arrives if topology.is_switch(key[1])}
+    for (q, node) in sorted(switch_keys, key=str):
+        inflow = arrives.get((q, node), {})
+        outflow = consumes.get((q, node), {})
+        for p in sorted(set(inflow) | set(outflow)):
+            landed = inflow.get(p, 0.0)
+            forwarded = outflow.get(p, 0.0)
+            if forwarded > landed + atol:
+                violations.append(Violation(
+                    kind="switch", epoch=p, commodity=q, node=node,
+                    message=(f"switch {node} forwards {forwarded:.6g} of "
+                             f"commodity {q} at epoch {p} but only "
+                             f"{landed:.6g} arrived for that epoch")))
+            elif landed > forwarded + atol:
+                violations.append(Violation(
+                    kind="stranded", epoch=p, commodity=q, node=node,
+                    message=(f"{landed - forwarded:.6g} of commodity {q} "
+                             f"stranded at switch {node} (arrived for "
+                             f"epoch {p}, never forwarded)")))
+
+    if buffer_limit is not None:
+        for node in sorted(implied_buffers):
+            for p, mass in sorted(implied_buffers[node].items()):
+                if mass > buffer_limit + atol:
+                    violations.append(Violation(
+                        kind="buffer", epoch=p, node=node,
+                        message=(f"node {node} buffers {mass:.6g} chunks "
+                                 f"at pool index {p}, budget "
+                                 f"{buffer_limit:g}")))
+
+    # --- demand delivery -------------------------------------------------
+    read_totals: dict[tuple, float] = {}
+    for (q, d, _), amount in flow.reads.items():
+        read_totals[(q, d)] = read_totals.get((q, d), 0.0) + amount
+    for q in sorted(keys, key=str):
+        _, sinks = amounts[q]
+        for d, amount in sorted(sinks.items()):
+            got = read_totals.get((q, d), 0.0)
+            report.delivered[(q, d)] = got
+            if got < amount - atol:
+                violations.append(Violation(
+                    kind="delivery", commodity=q, node=d,
+                    message=(f"demand unmet: sink {d} read {got:.6g} of "
+                             f"{amount:g} demanded of commodity {q}")))
+    # commodities with no flow and no reads at all (entirely undelivered)
+    demanded_keys = set()
+    if demand.benefits_from_copy() or any(
+            isinstance(k, tuple) for k in keys) or not keys:
+        demanded_keys = set(demand.commodities())
+    else:
+        demanded_keys = set(demand.sources)
+    for q in sorted(demanded_keys - keys, key=str):
+        violations.append(Violation(
+            kind="delivery", commodity=q,
+            message=f"demand unmet: commodity {q} never moves"))
+
+    # --- replayed finish: serialized per-link α–β arrival ----------------
+    finish = 0.0
+    busy: dict[tuple[int, int], float] = {}
+    for (i, j, k), amount in link_load.items():
+        if (i, j) not in topology.links:
+            continue
+        link = topology.link(i, j)
+        finish = max(finish, k * plan.tau
+                     + link.transfer_time(amount * plan.chunk_bytes))
+        busy[(i, j)] = busy.get((i, j), 0.0) \
+            + amount * plan.chunk_bytes / link.capacity
+    report.finish_time = finish
+    if finish > 0:
+        report.utilization = {key: b / finish for key, b in busy.items()}
+    else:
+        report.utilization = {key: 0.0 for key in busy}
+
+    _finish_compare(report, finish_rtol)
+    return report
+
+
+# ----------------------------------------------------------------------
+# synthesis results
+# ----------------------------------------------------------------------
+def check_result(result, *, topology: Topology | None = None,
+                 demand: Demand | None = None,
+                 config: TecclConfig | None = None,
+                 strict_switches: bool = True,
+                 compare_finish: bool = True,
+                 finish_rtol: float = FINISH_RTOL) -> ConformanceReport:
+    """Conformance-check a :class:`~repro.core.solve.SynthesisResult`.
+
+    Uses the topology/demand the schedule is expressed over (the
+    hyper-edge-transformed fabric when the Appendix C transform ran) and
+    the synthesis config's model-variant flags, all of which the result
+    carries; pass ``topology``/``demand``/``config`` explicitly only to
+    override. With ``compare_finish`` the replayed finish must agree with
+    ``result.finish_time`` within ``finish_rtol``.
+    """
+    topo = topology if topology is not None else result.topology_used
+    dem = demand if demand is not None else result.demand_used
+    if config is None:
+        config = result.config
+    if topo is None or dem is None:
+        raise ScheduleError(
+            "result carries no topology/demand; pass them explicitly")
+    claimed = result.finish_time if compare_finish else None
+    if isinstance(result.schedule, FlowSchedule):
+        return check_flow(result.schedule, topo, dem, result.plan,
+                          config=config, claimed_finish_time=claimed,
+                          finish_rtol=finish_rtol)
+    return check_schedule(result.schedule, topo, dem, result.plan,
+                          config=config, strict_switches=strict_switches,
+                          claimed_finish_time=claimed,
+                          finish_rtol=finish_rtol)

@@ -22,8 +22,6 @@ by construction (the paper validated the same estimates on a DGX1).
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from dataclasses import dataclass, field
 
 from repro.collectives.demand import Demand
@@ -72,12 +70,6 @@ class EventReport:
                 for key, busy in self.link_busy.items()}
 
 
-@dataclass(order=True)
-class _QueuedSend:
-    priority: tuple[int, int]
-    send: Send = field(compare=False)
-
-
 def run_events(schedule: Schedule, topology: Topology, demand: Demand,
                ) -> EventReport:
     """Execute the schedule in continuous time; returns arrivals and finish.
@@ -85,14 +77,6 @@ def run_events(schedule: Schedule, topology: Topology, demand: Demand,
     Raises :class:`ScheduleError` if the schedule deadlocks (a send waits on
     a chunk that never arrives) or leaves demands unmet.
     """
-    order = itertools.count()
-    pending: dict[tuple[int, int, int], list[_QueuedSend]] = {}
-    for send in sorted(schedule.sends):
-        key = (send.source, send.chunk, send.src)
-        pending.setdefault(key, [])
-        pending[key].append(_QueuedSend(priority=(send.epoch, next(order)),
-                                        send=send))
-
     # availability time per (source, chunk, node); sources start at 0
     available: dict[tuple[int, int, int], float] = {}
     for s, c in demand.commodities():
@@ -107,15 +91,19 @@ def run_events(schedule: Schedule, topology: Topology, demand: Demand,
     # possible start. A heap keyed by (earliest start, epoch, order) would
     # need re-keying as links free up; with schedule sizes in the thousands a
     # simple scan per dispatch is fast enough and obviously correct.
+    #
+    # Ties are frequent (float-equal start times whenever several chunks
+    # become eligible at an epoch boundary), so the dispatch key breaks them
+    # all the way down to the send's identity. The trace is therefore a pure
+    # function of the schedule's *set* of sends — independent of list order —
+    # which the determinism regression test in tests/test_events.py pins.
     remaining: list[Send] = sorted(schedule.sends)
     dispatched: set[int] = set()
     arrivals: list[ChunkArrival] = []
     transmissions: list[Transmission] = []
-    progress = True
     while len(dispatched) < len(remaining):
-        progress = False
         best_index = -1
-        best_start = float("inf")
+        best_key: tuple | None = None
         for idx, send in enumerate(remaining):
             if idx in dispatched:
                 continue
@@ -124,11 +112,12 @@ def run_events(schedule: Schedule, topology: Topology, demand: Demand,
                 continue
             start = max(ready, link_free[send.link])
             # epoch ordering is preserved per link: a later-epoch send never
-            # jumps an earlier one on the same link
-            if (start, send.epoch) < (best_start,
-                                      remaining[best_index].epoch
-                                      if best_index >= 0 else 1 << 30):
-                best_start, best_index = start, idx
+            # jumps an earlier one on the same link; beyond that the send's
+            # identity is the stable tie-break under float-equal starts
+            key = (start, send.epoch, send.src, send.dst, send.source,
+                   send.chunk)
+            if best_key is None or key < best_key:
+                best_key, best_index = key, idx
         if best_index < 0:
             stuck = [remaining[i] for i in range(len(remaining))
                      if i not in dispatched]
@@ -136,8 +125,8 @@ def run_events(schedule: Schedule, topology: Topology, demand: Demand,
                 f"event simulation deadlocked with {len(stuck)} sends "
                 f"waiting (first: {stuck[0]})")
         send = remaining[best_index]
+        best_start = best_key[0]
         dispatched.add(best_index)
-        progress = True
         link = topology.link(send.src, send.dst)
         transmit = schedule.chunk_bytes / link.capacity
         end_of_wire = best_start + transmit
@@ -163,8 +152,10 @@ def run_events(schedule: Schedule, topology: Topology, demand: Demand,
                     f"demand unmet in event simulation: ({s},{c})->{d}")
             delivered[(s, c, d)] = t
             finish = max(finish, t)
-    arrivals.sort(key=lambda a: a.time)
-    transmissions.sort(key=lambda t: (t.start, t.link))
+    # Stable full-identity keys: float-equal timestamps must not leave the
+    # trace order at the mercy of the dispatch history.
+    arrivals.sort(key=lambda a: (a.time, a.source, a.chunk, a.node))
+    transmissions.sort(key=lambda t: (t.start, t.link, t.source, t.chunk))
     return EventReport(finish_time=finish, arrivals=arrivals,
                        link_busy=link_busy, delivered=delivered,
                        transmissions=transmissions)

@@ -1,0 +1,392 @@
+"""Randomized cross-producer conformance harness.
+
+Every schedule producer in the repo — the MILP, the LP, the A* round
+decomposition, POP partitioning, hierarchical synthesis, the heuristic
+baselines, the MSCCL export/ingest round-trip, and failure repair — is
+registered here as a *producer*: a function that, given one randomized
+``(topology, demand, config)`` instance, emits the
+:class:`ReplayCase` records the conformance engine should replay. The
+harness sweeps producers over :func:`random_instance` seeds and reports one
+:class:`SweepRecord` per replay; ``tests/test_conformance.py`` asserts zero
+violations plus solver-objective agreement, and
+``benchmarks/bench_conformance.py`` publishes the same sweep as a JSON
+artifact.
+
+A producer may *skip* an instance it does not support (a ring schedule on a
+line fabric, POP on a single-source demand); it signals that by returning no
+cases or raising a :class:`~repro.errors.ReproError`, which the sweep
+records as a skip rather than a failure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.collectives.demand import Demand
+from repro.core.config import TecclConfig
+from repro.core.epochs import EpochPlan
+from repro.core.schedule import FlowSchedule, Schedule
+from repro.errors import ReproError
+from repro.simulate.conformance import (ConformanceReport, check_flow,
+                                        check_schedule)
+from repro.topology.topology import Topology
+
+
+# ----------------------------------------------------------------------
+# randomized instances (shared with tests/conftest.py, which re-exports it)
+# ----------------------------------------------------------------------
+def random_instance(seed: int) -> tuple[Topology, Demand, TecclConfig]:
+    """A deterministic pseudo-random (topology, demand, config) triple.
+
+    Sweeps the surface every producer must agree on: ring/line/star/mesh
+    shapes (with and without a switch), mixed link speeds and α delays
+    (which exercise occupancy windows under the default fastest-link
+    epochs), unicast and multicast chunks, optional buffer limits, and the
+    store-and-forward ablation.
+    """
+    from repro import topology as topo_builders
+    from repro.solver import SolverOptions
+
+    rng = random.Random(seed)
+    kind = rng.choice(["ring", "line", "star", "mesh"])
+    n = rng.randint(3, 5)
+    if kind == "ring":
+        topo = topo_builders.ring(n, capacity=1.0, alpha=0.0)
+    elif kind == "line":
+        topo = topo_builders.line(n, capacity=1.0, alpha=0.0)
+    elif kind == "star":
+        topo = topo_builders.star(n, capacity=1.0, alpha=0.0,
+                                  hub_is_switch=True)
+    else:
+        topo = Topology(name=f"mesh{n}", num_nodes=n)
+        for a in range(n):
+            for b in range(a + 1, n):
+                topo.add_bidirectional(a, b, capacity=1.0)
+    # re-roll link speeds and delays (replaces the uniform builder links)
+    for (a, b) in list(topo.links):
+        topo.add_link(a, b, capacity=rng.choice([1.0, 1.0, 2.0]),
+                      alpha=rng.choice([0.0, 0.0, 0.5]))
+    topo.validate()
+
+    gpus = topo.gpus
+    triples = []
+    for s in gpus:
+        for c in range(rng.randint(1, 2)):
+            others = [d for d in gpus if d != s]
+            for d in rng.sample(others, rng.randint(1, min(2, len(others)))):
+                triples.append((s, c, d))
+    demand = Demand.from_triples(triples)
+
+    config = TecclConfig(
+        chunk_bytes=1.0,
+        store_and_forward=rng.random() > 0.25,
+        buffer_limit_chunks=rng.choice([None, None, None, 2]),
+        tighten=rng.random() > 0.2,
+        solver=SolverOptions(time_limit=60))
+    return topo, demand, config
+
+
+# ----------------------------------------------------------------------
+# replay cases and records
+# ----------------------------------------------------------------------
+@dataclass
+class ReplayCase:
+    """One schedule to replay through the conformance engine.
+
+    Attributes:
+        producer: registry name of the producer that emitted it.
+        label: disambiguates multiple cases from one producer (phases).
+        schedule: integral or fractional schedule.
+        topology / demand / plan: the space the schedule is expressed over
+            (hyper-transformed or induced subfabrics when applicable).
+        claimed_finish: the producer's objective value, when it makes one.
+        compare_finish: require replayed == claimed within model tolerance.
+        config: model-variant flags the schedule was produced under
+            (``None`` replays under paper defaults).
+        strict_switches: forward-on-arrival switch strictness.
+    """
+
+    producer: str
+    schedule: Schedule | FlowSchedule
+    topology: Topology
+    demand: Demand
+    plan: EpochPlan
+    label: str = ""
+    claimed_finish: float | None = None
+    compare_finish: bool = False
+    config: TecclConfig | None = None
+    strict_switches: bool = True
+
+
+@dataclass
+class SweepRecord:
+    """One replay (or skip) from a sweep."""
+
+    producer: str
+    seed: int
+    label: str = ""
+    report: ConformanceReport | None = None
+    error: str | None = None
+
+    @property
+    def skipped(self) -> bool:
+        return self.report is None
+
+    @property
+    def ok(self) -> bool:
+        return self.report is not None and self.report.ok
+
+    @property
+    def num_violations(self) -> int:
+        return 0 if self.report is None else len(self.report.violations)
+
+    @property
+    def finish_delta(self) -> float | None:
+        return None if self.report is None else self.report.finish_delta
+
+
+def replay_case(case: ReplayCase) -> ConformanceReport:
+    """Run one case through the conformance engine."""
+    claimed = case.claimed_finish if case.compare_finish else None
+    if isinstance(case.schedule, FlowSchedule):
+        return check_flow(case.schedule, case.topology, case.demand,
+                          case.plan, config=case.config,
+                          claimed_finish_time=claimed)
+    return check_schedule(case.schedule, case.topology, case.demand,
+                          case.plan, config=case.config,
+                          strict_switches=case.strict_switches,
+                          claimed_finish_time=claimed)
+
+
+def _baseline_plan(topology: Topology, config: TecclConfig,
+                   schedule: Schedule) -> EpochPlan:
+    """The exact epoch plan a baseline booked against (see ``replay_plan``)."""
+    from repro.baselines import replay_plan
+
+    return replay_plan(topology, config, schedule)
+
+
+# ----------------------------------------------------------------------
+# producers
+# ----------------------------------------------------------------------
+def _produce_milp(topo, demand, config, seed):
+    from repro.core.milp import solve_milp
+
+    outcome = solve_milp(topo, demand, config)
+    return [ReplayCase(producer="milp", schedule=outcome.schedule,
+                       topology=topo, demand=demand, plan=outcome.plan,
+                       claimed_finish=outcome.finish_time,
+                       compare_finish=True, config=config)]
+
+
+def _produce_lp(topo, demand, config, seed):
+    from repro.core.lp import solve_lp
+
+    # Mirror the facade: multicast demands fall back to the (sound but
+    # weaker) per-chunk no-copy LP.
+    outcome = solve_lp(topo, demand, config,
+                       aggregate=not demand.benefits_from_copy())
+    return [ReplayCase(producer="lp", schedule=outcome.schedule,
+                       topology=topo, demand=demand, plan=outcome.plan,
+                       claimed_finish=outcome.finish_time,
+                       compare_finish=True, config=config)]
+
+
+def _produce_astar(topo, demand, config, seed):
+    from repro.core.astar import solve_astar
+
+    # A* buffers chunks across round boundaries, so it only exists in the
+    # store-and-forward world (solve_astar rejects the Figure 9 ablation).
+    config = replace(config, store_and_forward=True)
+    outcome = solve_astar(topo, demand, config)
+    return [ReplayCase(producer="astar", schedule=outcome.schedule,
+                       topology=topo, demand=demand, plan=outcome.plan,
+                       claimed_finish=outcome.finish_time,
+                       compare_finish=True, config=config)]
+
+
+def _produce_pop(topo, demand, config, seed):
+    from repro import collectives
+    from repro.core.pop import solve_lp_pop
+
+    if demand.benefits_from_copy():
+        # POP applies to the LP form only; keep the producer in the sweep by
+        # deriving the canonical copy-free collective on the same fabric.
+        demand = collectives.alltoall(topo.gpus, 1)
+    if len(demand.sources) < 2:
+        return []
+    outcome = solve_lp_pop(topo, demand, config, num_partitions=2, seed=seed)
+    return [ReplayCase(producer="pop", schedule=outcome.schedule,
+                       topology=topo, demand=demand, plan=outcome.plan,
+                       claimed_finish=outcome.finish_time,
+                       compare_finish=True, config=config)]
+
+
+def _produce_hierarchical(topo, demand, config, seed):
+    from repro.core.hierarchical import ChassisPlan, hierarchical_allgather
+
+    gpus = topo.gpus
+    if topo.switches or len(gpus) < 4:
+        return []  # induced chassis subfabrics need direct GPU links
+    half = len(gpus) // 2
+    # Leaders sit at the split boundary so the induced leader fabric is
+    # connected on ring/line-numbered topologies.
+    chassis = [ChassisPlan(gpus=tuple(gpus[:half]), leader=gpus[half - 1]),
+               ChassisPlan(gpus=tuple(gpus[half:]), leader=gpus[half])]
+    outcome = hierarchical_allgather(topo, config, chassis=chassis)
+    cases = []
+    for phase in outcome.phases():
+        synthesis = phase.synthesis
+        cases.append(ReplayCase(
+            producer="hierarchical", label=phase.label,
+            schedule=synthesis.schedule,
+            topology=synthesis.topology_used, demand=synthesis.demand_used,
+            plan=synthesis.plan, claimed_finish=synthesis.finish_time,
+            compare_finish=True, config=config))
+    return cases
+
+
+def _produce_shortest_path(topo, demand, config, seed):
+    from repro.baselines import shortest_path_schedule
+
+    schedule = shortest_path_schedule(topo, demand, config)
+    return [ReplayCase(producer="shortest_path", schedule=schedule,
+                       topology=topo, demand=demand,
+                       plan=_baseline_plan(topo, config, schedule))]
+
+
+def _produce_ring(topo, demand, config, seed):
+    from repro import collectives
+    from repro.baselines import ring_allgather
+
+    schedule = ring_allgather(topo, config, 1)
+    ag = collectives.allgather(topo.gpus, 1)
+    return [ReplayCase(producer="ring", schedule=schedule, topology=topo,
+                       demand=ag,
+                       plan=_baseline_plan(topo, config, schedule))]
+
+
+def _produce_trees(topo, demand, config, seed):
+    from repro import collectives
+    from repro.baselines import tree_allgather
+
+    schedule = tree_allgather(topo, config, 1)
+    ag = collectives.allgather(topo.gpus, 1)
+    return [ReplayCase(producer="trees", schedule=schedule, topology=topo,
+                       demand=ag,
+                       plan=_baseline_plan(topo, config, schedule))]
+
+
+def _produce_blink(topo, demand, config, seed):
+    from repro import collectives
+    from repro.baselines import blink_allgather
+
+    schedule = blink_allgather(topo, config, 1)
+    ag = collectives.allgather(topo.gpus, 1)
+    return [ReplayCase(producer="blink", schedule=schedule, topology=topo,
+                       demand=ag,
+                       plan=_baseline_plan(topo, config, schedule))]
+
+
+def _produce_taccl(topo, demand, config, seed):
+    from repro.baselines import taccl_like
+
+    outcome = taccl_like(topo, demand, config, seed=seed)
+    return [ReplayCase(producer="taccl", schedule=outcome.schedule,
+                       topology=outcome.topology, demand=outcome.demand,
+                       plan=_baseline_plan(outcome.topology, config,
+                                           outcome.schedule))]
+
+
+def _produce_msccl_roundtrip(topo, demand, config, seed):
+    from repro import collectives
+    from repro.baselines import tree_allgather
+    from repro.msccl import roundtrip_schedule
+
+    if topo.switches:
+        return []  # the export collapses switch hops into logical links
+    schedule = tree_allgather(topo, config, 1)
+    ag = collectives.allgather(topo.gpus, 1)
+    back = roundtrip_schedule(schedule, topo, ag, name="harness")
+    return [ReplayCase(producer="msccl_roundtrip", schedule=back,
+                       topology=topo, demand=ag,
+                       plan=_baseline_plan(topo, config, back))]
+
+
+def _produce_repair(topo, demand, config, seed):
+    from repro.failures.inject import FailureEvent, degraded_topology
+    from repro.failures.repair import repair_schedule
+    from repro.baselines import shortest_path_schedule
+
+    schedule = shortest_path_schedule(topo, demand, config)
+    plan = _baseline_plan(topo, config, schedule)
+    # Fail a link the schedule actually uses, preferring one whose loss
+    # keeps the fabric connected (otherwise repair is rightly infeasible).
+    rng = random.Random(seed)
+    used = sorted(schedule.links_used())
+    rng.shuffle(used)
+    for link in used:
+        try:
+            degraded_topology(topo, [FailureEvent(epoch=1, link=link)]) \
+                .validate()
+        except ReproError:
+            continue
+        outcome = repair_schedule(topo, demand, config, schedule, plan,
+                                  [FailureEvent(epoch=1, link=link)])
+        if outcome.synthesis is None:
+            return []
+        synthesis = outcome.synthesis
+        return [ReplayCase(
+            producer="repair", label=f"fail{link[0]}-{link[1]}",
+            schedule=synthesis.schedule, topology=synthesis.topology_used,
+            demand=synthesis.demand_used, plan=synthesis.plan,
+            claimed_finish=synthesis.finish_time, compare_finish=True,
+            config=replace(config, num_epochs=None, priorities=None))]
+    return []
+
+
+PRODUCERS = {
+    "milp": _produce_milp,
+    "lp": _produce_lp,
+    "astar": _produce_astar,
+    "pop": _produce_pop,
+    "hierarchical": _produce_hierarchical,
+    "shortest_path": _produce_shortest_path,
+    "ring": _produce_ring,
+    "trees": _produce_trees,
+    "blink": _produce_blink,
+    "taccl": _produce_taccl,
+    "msccl_roundtrip": _produce_msccl_roundtrip,
+    "repair": _produce_repair,
+}
+
+
+# ----------------------------------------------------------------------
+# sweeping
+# ----------------------------------------------------------------------
+def run_producer(name: str, topo: Topology, demand: Demand,
+                 config: TecclConfig, seed: int) -> list[SweepRecord]:
+    """Produce and replay one producer on one instance."""
+    try:
+        cases = PRODUCERS[name](topo, demand, config, seed)
+    except ReproError as exc:
+        return [SweepRecord(producer=name, seed=seed,
+                            error=f"{type(exc).__name__}: {exc}")]
+    if not cases:
+        return [SweepRecord(producer=name, seed=seed, error="unsupported")]
+    return [SweepRecord(producer=name, seed=seed, label=case.label,
+                        report=replay_case(case))
+            for case in cases]
+
+
+def sweep(seeds, producers=None, instance_fn=random_instance,
+          ) -> list[SweepRecord]:
+    """Replay the given producers over the given instance seeds."""
+    names = list(PRODUCERS) if producers is None else list(producers)
+    records: list[SweepRecord] = []
+    for seed in seeds:
+        topo, demand, config = instance_fn(seed)
+        for name in names:
+            records.extend(run_producer(name, topo, demand, config, seed))
+    return records

@@ -1,39 +1,30 @@
-"""An α–β discrete-time executor for integral schedules.
+"""Back-compat façade over the conformance engine (the original simulator).
 
-The paper validates solver output by lowering schedules to MSCCL and running
-them on a DGX1, then uses the α–β cost model for every topology it cannot
-run on hardware. This module is that methodology in code: it *executes* a
-:class:`~repro.core.schedule.Schedule` against a topology and demand,
-independently of any solver, checking
-
-* availability — no node transmits a chunk before holding it (sources hold
-  their own chunks; everyone else must wait for an arrival to complete);
-* capacity — each link carries at most its per-epoch chunk budget, with the
-  Appendix F sliding window on links slower than the epoch grid;
-* switch semantics — switches relay in the next epoch and never hold chunks;
-* delivery — every demanded (source, chunk, destination) triple arrives.
-
-It reports the finish time under the same continuous α–β estimate the paper
-uses for its collective-time numbers.
+The original 190-line epoch-grid simulator grew into the schedule
+conformance engine (:mod:`repro.simulate.conformance`); this module keeps
+the historical ``simulate``/``verify`` API — a flat
+:class:`SimulationReport` with string violations — as a thin adapter so
+existing callers and tests keep working. New code should call
+:func:`repro.simulate.check_schedule` (or :func:`~repro.simulate.check_flow`
+/ :func:`~repro.simulate.check_result`) and consume the structured
+:class:`~repro.simulate.conformance.ConformanceReport` directly.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from repro.collectives.demand import Demand
 from repro.core.epochs import EpochPlan
-from repro.core.schedule import Schedule, Send
+from repro.core.schedule import Schedule
 from repro.errors import ScheduleError
+from repro.simulate.conformance import check_schedule
 from repro.topology.topology import Topology
-
-_EPS = 1e-9
 
 
 @dataclass
 class SimulationReport:
-    """Outcome of one simulated schedule execution."""
+    """Outcome of one simulated schedule execution (flat legacy shape)."""
 
     ok: bool
     finish_time: float
@@ -58,129 +49,15 @@ def simulate(schedule: Schedule, topology: Topology, demand: Demand,
             epoch right after it arrives (zero-buffer semantics). Disable for
             baselines that intentionally model buffered switches.
     """
-    violations: list[str] = []
-    # (source, chunk, node) -> buffer epoch at which the chunk is available.
-    available: dict[tuple[int, int, int], int] = {}
-    for s, c in demand.commodities():
-        available[(s, c, s)] = 0
-
-    sends_sorted = sorted(schedule.sends)
-    # --- availability & switch semantics -------------------------------
-    # Multiple passes are unnecessary: process in epoch order; arrivals land
-    # strictly after their send epoch, so a single ordered pass sees every
-    # provider before its consumers.
-    arrivals_at_switch: dict[tuple[int, int, int], set[int]] = {}
-    missing_links = False
-    for send in sends_sorted:
-        key = (send.source, send.chunk, send.src)
-        if not topology.has_link(send.src, send.dst):
-            violations.append(
-                f"send on nonexistent link ({send.src},{send.dst})")
-            missing_links = True
-            continue
-        offset = plan.arrival_offset(send.src, send.dst)
-        if topology.is_switch(send.src):
-            arrived = arrivals_at_switch.get(
-                (send.source, send.chunk, send.src), set())
-            if send.epoch not in arrived:
-                violations.append(
-                    f"switch {send.src} forwards chunk ({send.source},"
-                    f"{send.chunk}) at epoch {send.epoch} without an arrival "
-                    "in the previous epoch")
-        else:
-            have = available.get(key)
-            if have is None or have > send.epoch:
-                violations.append(
-                    f"node {send.src} sends chunk ({send.source},{send.chunk})"
-                    f" at epoch {send.epoch} before holding it "
-                    f"(available at {have})")
-        arrival_epoch = send.epoch + offset + 1
-        dst_key = (send.source, send.chunk, send.dst)
-        if topology.is_switch(send.dst):
-            arrivals_at_switch.setdefault(dst_key, set()).add(arrival_epoch)
-        else:
-            current = available.get(dst_key)
-            if current is None or arrival_epoch < current:
-                available[dst_key] = arrival_epoch
-
-    if strict_switches:
-        # every chunk that enters a switch must leave exactly one epoch later
-        out_epochs: dict[tuple[int, int, int], set[int]] = {}
-        for send in sends_sorted:
-            if topology.is_switch(send.src):
-                out_epochs.setdefault(
-                    (send.source, send.chunk, send.src), set()).add(send.epoch)
-        for key, arrived in arrivals_at_switch.items():
-            left = out_epochs.get(key, set())
-            for epoch in arrived:
-                if epoch not in left:
-                    violations.append(
-                        f"chunk ({key[0]},{key[1]}) stranded at switch "
-                        f"{key[2]} (arrived for epoch {epoch}, never left)")
-
-    # --- capacity -------------------------------------------------------
-    load: dict[tuple[int, int, int], int] = {}
-    for send in sends_sorted:
-        if missing_links and not topology.has_link(send.src, send.dst):
-            continue
-        load[(send.src, send.dst, send.epoch)] = load.get(
-            (send.src, send.dst, send.epoch), 0) + 1
-    for (i, j) in {(a, b) for (a, b, _) in load}:
-        kappa = plan.occupancy[(i, j)]
-        cap = plan.cap_chunks[(i, j)]
-        epochs = [k for (a, b, k) in load if (a, b) == (i, j)]
-        for k in range(min(epochs), max(epochs) + 1):
-            if kappa == 1:
-                used = load.get((i, j, k), 0)
-                limit = math.floor(cap + _EPS)
-            else:
-                used = sum(load.get((i, j, kk), 0)
-                           for kk in range(max(0, k - kappa + 1), k + 1))
-                limit = max(1, math.floor(kappa * cap + _EPS))
-            if used > limit:
-                violations.append(
-                    f"link ({i},{j}) carries {used} chunks in window ending "
-                    f"at epoch {k}, capacity {limit}")
-
-    # --- delivery -------------------------------------------------------
-    delivered: dict[tuple[int, int, int], float] = {}
-    finish_time = 0.0
-    for s, c in demand.commodities():
-        for d in demand.destinations(s, c):
-            buffer_epoch = available.get((s, c, d))
-            if buffer_epoch is None:
-                violations.append(
-                    f"demand unmet: chunk ({s},{c}) never reaches {d}")
-                continue
-            # continuous arrival estimate for the last hop into d
-            t = _continuous_arrival(schedule, topology, plan, s, c, d)
-            delivered[(s, c, d)] = t
-            finish_time = max(finish_time, t)
-
+    report = check_schedule(schedule, topology, demand, plan,
+                            strict_switches=strict_switches)
     return SimulationReport(
-        ok=not violations,
-        finish_time=finish_time,
+        ok=report.ok,
+        finish_time=report.finish_time,
         finish_epoch=schedule.finish_epoch,
-        delivered=delivered,
-        violations=violations,
+        delivered=report.delivered,
+        violations=[str(v) for v in report.violations],
         total_bytes=schedule.total_bytes())
-
-
-def _continuous_arrival(schedule: Schedule, topology: Topology,
-                        plan: EpochPlan, s: int, c: int, d: int) -> float:
-    """Earliest α + β·S completion among sends of (s, c) into d."""
-    best = math.inf
-    for send in schedule.sends:
-        if send.source == s and send.chunk == c and send.dst == d:
-            if not topology.has_link(send.src, send.dst):
-                continue
-            link = topology.link(send.src, send.dst)
-            best = min(best, send.epoch * plan.tau
-                       + link.transfer_time(plan.chunk_bytes))
-    if math.isinf(best):
-        # the chunk was already at d (d == s handled upstream)
-        return 0.0
-    return best
 
 
 def verify(schedule: Schedule, topology: Topology, demand: Demand,

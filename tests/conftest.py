@@ -7,15 +7,10 @@ prove the expression and COO construction paths build identical models.
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
 from repro import collectives, topology
-from repro.collectives.demand import Demand
 from repro.core import TecclConfig
-from repro.solver import SolverOptions
-from repro.topology.topology import Topology
 
 
 @pytest.fixture
@@ -66,53 +61,12 @@ def atoa_ring4(ring4):
 
 
 # ----------------------------------------------------------------------
-# randomized instances for the differential (expr vs COO) tests
+# randomized instances for the differential (expr vs COO) tests and the
+# cross-producer conformance harness. The generator itself lives in
+# repro.simulate.harness so the benchmarks and the CLI share it; this
+# module keeps the historical import point.
 # ----------------------------------------------------------------------
-def random_instance(seed: int) -> tuple[Topology, Demand, TecclConfig]:
-    """A deterministic pseudo-random (topology, demand, config) triple.
-
-    Sweeps the formulation surface the two construction paths must agree
-    on: ring/line/star/mesh shapes (with and without a switch), mixed link
-    speeds and α delays (which exercise occupancy windows under the default
-    fastest-link epochs), unicast and multicast chunks, optional buffer
-    limits, and the store-and-forward ablation.
-    """
-    rng = random.Random(seed)
-    kind = rng.choice(["ring", "line", "star", "mesh"])
-    n = rng.randint(3, 5)
-    if kind == "ring":
-        topo = topology.ring(n, capacity=1.0, alpha=0.0)
-    elif kind == "line":
-        topo = topology.line(n, capacity=1.0, alpha=0.0)
-    elif kind == "star":
-        topo = topology.star(n, capacity=1.0, alpha=0.0, hub_is_switch=True)
-    else:
-        topo = Topology(name=f"mesh{n}", num_nodes=n)
-        for a in range(n):
-            for b in range(a + 1, n):
-                topo.add_bidirectional(a, b, capacity=1.0)
-    # re-roll link speeds and delays (replaces the uniform builder links)
-    for (a, b) in list(topo.links):
-        topo.add_link(a, b, capacity=rng.choice([1.0, 1.0, 2.0]),
-                      alpha=rng.choice([0.0, 0.0, 0.5]))
-    topo.validate()
-
-    gpus = topo.gpus
-    triples = []
-    for s in gpus:
-        for c in range(rng.randint(1, 2)):
-            others = [d for d in gpus if d != s]
-            for d in rng.sample(others, rng.randint(1, min(2, len(others)))):
-                triples.append((s, c, d))
-    demand = Demand.from_triples(triples)
-
-    config = TecclConfig(
-        chunk_bytes=1.0,
-        store_and_forward=rng.random() > 0.25,
-        buffer_limit_chunks=rng.choice([None, None, None, 2]),
-        tighten=rng.random() > 0.2,
-        solver=SolverOptions(time_limit=60))
-    return topo, demand, config
+from repro.simulate.harness import random_instance  # noqa: E402,F401
 
 
 @pytest.fixture

@@ -68,3 +68,64 @@ class TestAlgorithmicBandwidth:
     def test_rejects_zero_time(self):
         with pytest.raises(DemandError):
             algorithmic_bandwidth(1e9, 0.0)
+
+
+class TestSplitMergeInvariants:
+    """Chunk-count conservation and byte-total preservation (randomized)."""
+
+    def test_split_scales_count_and_conserves_bytes(self):
+        import random
+
+        rng = random.Random(7)
+        for _ in range(200):
+            gpus = rng.randint(2, 32)
+            buffer_bytes = rng.uniform(1e3, 1e10)
+            chunks = rng.randint(1, 8)
+            factor = rng.randint(1, 6)
+            maker = rng.choice([allgather_plan, alltoall_plan])
+            plan = maker(gpus, buffer_bytes, chunks)
+            fine = plan.split(factor)
+            assert fine.chunks_per_source == plan.chunks_per_source * factor
+            assert fine.chunk_bytes * fine.chunks_per_source == pytest.approx(
+                plan.chunk_bytes * plan.chunks_per_source)
+            assert fine.output_buffer_bytes == plan.output_buffer_bytes
+            assert fine.transfer_bytes == plan.transfer_bytes
+
+    def test_split_then_merge_roundtrips(self):
+        import random
+
+        rng = random.Random(11)
+        for _ in range(200):
+            gpus = rng.randint(2, 16)
+            plan = allgather_plan(gpus, rng.uniform(1.0, 1e9),
+                                  rng.randint(1, 5))
+            factor = rng.randint(1, 9)
+            back = plan.split(factor).merged(factor)
+            assert back.chunks_per_source == plan.chunks_per_source
+            assert back.chunk_bytes == pytest.approx(plan.chunk_bytes)
+            assert back.output_buffer_bytes == plan.output_buffer_bytes
+            assert back.transfer_bytes == plan.transfer_bytes
+
+    def test_total_transfer_equals_chunk_total(self):
+        # the invariant the solver relies on: scheduling units sum to the
+        # bytes each GPU contributes, for both collective geometries
+        for gpus in (2, 3, 8):
+            for chunks in (1, 2, 5):
+                ag = allgather_plan(gpus, 6e6, chunks)
+                assert ag.chunk_bytes * ag.chunks_per_source \
+                    == pytest.approx(ag.transfer_bytes)
+                a2a = alltoall_plan(gpus, 6e6, chunks)
+                assert a2a.chunk_bytes * a2a.chunks_per_source \
+                    == pytest.approx(a2a.transfer_bytes)
+
+    def test_merge_rejects_nondividing_count(self):
+        plan = allgather_plan(4, 1e6, chunks_per_gpu=3)
+        with pytest.raises(DemandError):
+            plan.merged(2)
+
+    def test_rejects_bad_factors(self):
+        plan = allgather_plan(4, 1e6)
+        with pytest.raises(DemandError):
+            plan.split(0)
+        with pytest.raises(DemandError):
+            plan.merged(0)

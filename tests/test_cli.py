@@ -79,3 +79,56 @@ class TestSweep:
         out = capsys.readouterr().out
         assert "best chunk size" in out
         assert out.count("\n") >= 4  # header + 2 rows + best line
+
+
+class TestConformanceVerbs:
+    def test_synth_check_reports_conformant(self, capsys):
+        code = main(["synth", "--topology", "dgx1",
+                     "--collective", "allgather",
+                     "--chunk-size", "25e3", "--epochs", "10", "--check"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "conformance  : conformant" in out
+        assert "replayed" in out and "claimed" in out
+
+    def test_export_json_then_verify_schedule(self, tmp_path, capsys):
+        target = tmp_path / "result.json"
+        assert main(["synth", "--topology", "dgx1",
+                     "--collective", "allgather",
+                     "--chunk-size", "25e3", "--epochs", "10",
+                     "--export-json", str(target)]) == 0
+        capsys.readouterr()
+        assert main(["verify", "--schedule", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "conformance  : conformant" in out
+        assert "method       : milp" in out
+
+    def test_verify_schedule_flags_corruption(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "result.json"
+        assert main(["synth", "--topology", "dgx1",
+                     "--collective", "allgather",
+                     "--chunk-size", "25e3", "--epochs", "10",
+                     "--export-json", str(target)]) == 0
+        document = json.loads(target.read_text())
+        for send in document["schedule"]["sends"]:
+            send[0] = 0  # collapse every send onto epoch 0
+        target.write_text(json.dumps(document))
+        capsys.readouterr()
+        assert main(["verify", "--schedule", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATIONS" in out
+        assert "capacity" in out
+
+    def test_verify_xml_still_needs_topology(self, tmp_path, capsys):
+        xml = tmp_path / "algo.xml"
+        assert main(["synth", "--topology", "dgx1",
+                     "--collective", "allgather",
+                     "--chunk-size", "25e3", "--epochs", "10",
+                     "--export", str(xml)]) == 0
+        capsys.readouterr()
+        assert main(["verify", "--xml", str(xml)]) == 1
+        assert "--topology" in capsys.readouterr().err
+        assert main(["verify", "--xml", str(xml), "--topology", "dgx1",
+                     "--chunk-size", "25e3"]) == 0

@@ -92,3 +92,53 @@ class TestAgainstSolver:
                          TecclConfig(chunk_bytes=1.0, num_epochs=6))
         report = run_events(out.schedule, ring4, ag_ring4)
         assert set(report.delivered) == set(ag_ring4.triples())
+
+
+class TestDeterminism:
+    """Event ordering must be a pure function of the schedule's send *set*.
+
+    Regression for the float-equal-timestamp tie-break: with many sends
+    becoming eligible at the same instant, the dispatch order (and hence the
+    whole trace) must not depend on the order the sends were listed in.
+    """
+
+    def _trace(self, schedule, topo, demand):
+        report = run_events(schedule, topo, demand)
+        return (report.finish_time,
+                [(a.time, a.source, a.chunk, a.node)
+                 for a in report.arrivals],
+                [(t.link, t.start, t.end, t.arrival, t.source, t.chunk)
+                 for t in report.transmissions])
+
+    def test_replay_twice_identical(self):
+        import random
+
+        topo = topology.ring(4, capacity=1.0, alpha=0.0)
+        demand = collectives.allgather(topo.gpus, 1)
+        from repro.baselines import tree_allgather
+
+        schedule = tree_allgather(topo, TecclConfig(chunk_bytes=1.0), 1)
+        first = self._trace(schedule, topo, demand)
+        second = self._trace(schedule, topo, demand)
+        assert first == second
+
+        # shuffle the send list: the trace must not move
+        for seed in range(5):
+            shuffled = list(schedule.sends)
+            random.Random(seed).shuffle(shuffled)
+            permuted = Schedule(sends=shuffled, tau=schedule.tau,
+                                chunk_bytes=schedule.chunk_bytes,
+                                num_epochs=schedule.num_epochs)
+            assert self._trace(permuted, topo, demand) == first
+
+    def test_equal_timestamp_ties_are_ordered(self):
+        # four sends all eligible at t=0 on four distinct links: equal
+        # starts, so ordering falls to the identity tie-break
+        topo = topology.ring(4, capacity=1.0, alpha=0.0)
+        demand = collectives.Demand.from_triples(
+            [(g, 0, (g + 1) % 4) for g in range(4)])
+        sends = [send(0, g, (g + 1) % 4, source=g) for g in range(4)]
+        report = run_events(sched(sends), topo, demand)
+        starts = [(t.start, t.link) for t in report.transmissions]
+        assert starts == sorted(starts)
+        assert all(t.start == 0.0 for t in report.transmissions)

@@ -217,3 +217,23 @@ class TestFailureImpact:
         [row] = rows
         assert not row.survivable
         assert row.finish_time == float("inf")
+
+
+class TestRepairConformance:
+    def test_residual_schedule_replays_clean(self):
+        topo, demand, outcome = solved_ring4()
+        repair = repair_schedule(topo, demand, cfg(), outcome.schedule,
+                                 outcome.plan, [FailureEvent(1, (0, 1))])
+        report = repair.check_conformance(cfg())
+        assert report is not None
+        assert report.ok, [str(v) for v in report.violations]
+        # the replayed finish is the residual objective the repair reports
+        assert report.finish_time == pytest.approx(
+            repair.residual_finish_time)
+
+    def test_nothing_to_replay_after_late_failure(self):
+        topo, demand, outcome = solved_ring4()
+        late = outcome.schedule.num_epochs + 4
+        repair = repair_schedule(topo, demand, cfg(), outcome.schedule,
+                                 outcome.plan, [FailureEvent(late, (0, 1))])
+        assert repair.check_conformance() is None

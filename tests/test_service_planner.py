@@ -228,3 +228,53 @@ class TestProcessPool:
         assert response.ok
         assert response.result.method is Method.LP
         assert response.result.schedule.flows  # FlowSchedule round-trip
+
+
+class TestConformanceCheck:
+    def test_post_solve_replay_attaches_report(self):
+        with Planner(executor="inline", check_conformance=True) as planner:
+            response = planner.plan(_request())
+        assert response.ok
+        assert response.conformant is True
+        assert response.conformance["ok"] is True
+        assert response.conformance["violation_counts"] == {}
+        assert response.conformance["finish_time"] == pytest.approx(
+            response.result.finish_time)
+        stats = planner.stats()
+        assert stats["conformance_checks"] == 1
+        assert stats["conformance_failures"] == 0
+
+    def test_cache_hits_are_checked_too(self):
+        with Planner(executor="inline", check_conformance=True) as planner:
+            planner.plan(_request())
+            hit = planner.plan(_request())
+        assert hit.cache_hit and hit.conformant is True
+        assert planner.stats()["conformance_checks"] == 2
+
+    def test_corrupted_cache_entry_is_evicted_and_resolved(self):
+        import copy
+
+        with Planner(executor="inline", check_conformance=True) as planner:
+            first = planner.plan(_request())
+            # sabotage the cached document: every send collapses to epoch 0
+            payload = copy.deepcopy(planner.cache.get(first.fingerprint))
+            for send in payload["schedule"]["sends"]:
+                send[0] = 0
+            planner.cache.put(first.fingerprint, payload)
+            healed = planner.plan(_request())
+            again = planner.plan(_request())
+        # the poisoned entry was expelled and the request re-solved fresh
+        assert healed.ok and healed.conformant is True
+        assert not healed.cache_hit
+        # ... and the replacement entry serves clean hits afterwards
+        assert again.ok and again.cache_hit and again.conformant is True
+        stats = planner.stats()
+        assert stats["conformance_failures"] == 1
+        assert stats["solves"] == 2
+
+    def test_disabled_by_default(self):
+        with Planner(executor="inline") as planner:
+            response = planner.plan(_request())
+        assert response.conformance is None
+        assert response.conformant is None
+        assert planner.stats()["conformance_checks"] == 0

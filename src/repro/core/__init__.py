@@ -9,10 +9,11 @@ from repro.core.epochs import (EpochPlan, algorithm1_num_epochs,
 from repro.core.hierarchical import (ChassisPlan, HierarchicalOutcome,
                                      PhaseResult, chassis_groups,
                                      hierarchical_allgather)
-from repro.core.lp import (LpOutcome, minimize_epochs_lp, solve_lp)
+from repro.core.lp import (IncrementalLp, LpOutcome, minimize_epochs_lp,
+                           solve_lp)
 from repro.core.milp import MilpOutcome, solve_milp
 from repro.core.pop import (Partition, PopOutcome, merge_flow_schedules,
-                            partition_demand, solve_lp_pop)
+                            partition_demand, pop_auto_horizon, solve_lp_pop)
 from repro.core.schedule import FlowSchedule, Schedule, Send
 from repro.core.solve import (Method, SynthesisResult, synthesize,
                               synthesize_multi_tenant)
@@ -22,13 +23,13 @@ __all__ = [
     "EpochPlan", "build_epoch_plan", "plan_with_tau", "epoch_duration",
     "algorithm1_num_epochs", "path_based_epoch_bound",
     "solve_milp", "MilpOutcome",
-    "solve_lp", "minimize_epochs_lp", "LpOutcome",
+    "solve_lp", "minimize_epochs_lp", "LpOutcome", "IncrementalLp",
     "solve_astar", "AStarOutcome",
     "synthesize", "synthesize_multi_tenant", "Method", "SynthesisResult",
     "Schedule", "FlowSchedule", "Send",
-    "decompose", "strips_to_schedule", "PathStrip",
     "solve_lp_pop", "partition_demand", "merge_flow_schedules",
-    "Partition", "PopOutcome",
+    "Partition", "PopOutcome", "pop_auto_horizon",
+    "decompose", "strips_to_schedule", "PathStrip",
     "hierarchical_allgather", "chassis_groups", "ChassisPlan",
     "HierarchicalOutcome", "PhaseResult",
 ]

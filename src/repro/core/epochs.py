@@ -70,19 +70,46 @@ class EpochPlan:
 
     @staticmethod
     def from_dict(data: dict) -> "EpochPlan":
-        """Parse the :meth:`to_dict` representation."""
+        """Parse the :meth:`to_dict` representation, rejecting malformed
+        documents: duplicate ``links`` rows (silent last-wins would let a
+        corrupted cache entry change a link's capacity), non-finite or
+        non-positive capacities, and occupancy/delay outside their domains.
+        """
         try:
             cap_chunks: dict[tuple[int, int], float] = {}
             occupancy: dict[tuple[int, int], int] = {}
             delay: dict[tuple[int, int], int] = {}
             for src, dst, cap, occ, dly in data["links"]:
                 key = (int(src), int(dst))
-                cap_chunks[key] = float(cap)
-                occupancy[key] = int(occ)
-                delay[key] = int(dly)
-            return EpochPlan(tau=float(data["tau"]),
-                             num_epochs=int(data["num_epochs"]),
-                             chunk_bytes=float(data["chunk_bytes"]),
+                if key in cap_chunks:
+                    raise ModelError(
+                        f"duplicate links row for {key}")
+                cap_f, occ_i, dly_i = float(cap), int(occ), int(dly)
+                if not math.isfinite(cap_f) or cap_f <= 0:
+                    raise ModelError(
+                        f"link {key}: capacity {cap!r} must be a finite "
+                        "positive number of chunks per epoch")
+                if occ_i < 1:
+                    raise ModelError(
+                        f"link {key}: occupancy {occ!r} must be >= 1")
+                if dly_i < 0:
+                    raise ModelError(
+                        f"link {key}: delay {dly!r} must be >= 0")
+                cap_chunks[key] = cap_f
+                occupancy[key] = occ_i
+                delay[key] = dly_i
+            tau = float(data["tau"])
+            num_epochs = int(data["num_epochs"])
+            chunk_bytes = float(data["chunk_bytes"])
+            if not math.isfinite(tau) or tau <= 0:
+                raise ModelError(f"tau {data['tau']!r} must be positive")
+            if num_epochs < 1:
+                raise ModelError("num_epochs must be at least 1")
+            if not math.isfinite(chunk_bytes) or chunk_bytes <= 0:
+                raise ModelError(
+                    f"chunk_bytes {data['chunk_bytes']!r} must be positive")
+            return EpochPlan(tau=tau, num_epochs=num_epochs,
+                             chunk_bytes=chunk_bytes,
                              cap_chunks=cap_chunks, occupancy=occupancy,
                              delay=delay)
         except (KeyError, TypeError, ValueError) as exc:
@@ -94,8 +121,11 @@ def epoch_duration(topology: Topology, chunk_bytes: float,
                    multiplier: float = 1.0) -> float:
     """Pick τ per §5: chunk time on the slowest or fastest link, times EM.
 
-    Applies the paper's guard: if max α exceeds 200·τ, stretch τ by 5×
-    (α dominates, a finer grid only bloats the model).
+    Applies the paper's guard: while max α exceeds 200·τ, stretch τ by 5×
+    (α dominates, a finer grid only bloats the model). The guard iterates —
+    an α thousands of times τ needs several stretches before the grid stops
+    being α-bloated; a single application (the ratio merely above 200) is
+    bit-identical to one multiplication by 5.
     """
     if chunk_bytes <= 0:
         raise ModelError("chunk_bytes must be positive")
@@ -104,7 +134,11 @@ def epoch_duration(topology: Topology, chunk_bytes: float,
         raise ModelError("topology has no links")
     base = max(times) if mode is EpochMode.SLOWEST_LINK else min(times)
     tau = base * multiplier
-    if topology.max_alpha > ALPHA_TAU_RATIO_LIMIT * tau:
+    if tau <= 0:
+        raise ModelError(
+            f"epoch duration collapsed to {tau} (multiplier {multiplier}, "
+            f"base {base}); must be positive")
+    while topology.max_alpha > ALPHA_TAU_RATIO_LIMIT * tau:
         tau *= ALPHA_TAU_STRETCH
     return tau
 
@@ -254,6 +288,18 @@ def path_based_epoch_bound(topology: Topology, demand: Demand,
         (math.ceil(count / rate(key)) for key, count in load.items()),
         default=1)
     return max(2, max_path + queueing)
+
+
+def next_horizon(num_epochs: int, bound: int | None) -> int:
+    """Retry ladder for infeasible auto horizons.
+
+    An undershot warm hint steps up to the sound path bound first (the
+    horizon a cold solve would have used), then doubles — shared by the LP
+    and MILP facades so their escalation policies cannot diverge.
+    """
+    if bound is not None and num_epochs < bound:
+        return bound
+    return num_epochs * 2
 
 
 def candidate_completion_times(topology: Topology, demand: Demand,

@@ -26,7 +26,7 @@ import numpy as np
 from repro.collectives.demand import Demand
 from repro.core.config import TecclConfig
 from repro.core.epochs import (EpochPlan, build_epoch_plan,
-                               earliest_arrival_epochs,
+                               earliest_arrival_epochs, next_horizon,
                                path_based_epoch_bound, plan_with_tau)
 from repro.core.postprocess import prune_fractional
 from repro.core.schedule import FlowSchedule
@@ -102,8 +102,13 @@ class LpProblem:
     f_vars: dict[tuple, object] = field(default_factory=dict)
     b_vars: dict[tuple, object] = field(default_factory=dict)
     r_vars: dict[tuple, object] = field(default_factory=dict)
-    #: which construction path built this model ("expr" or "coo")
+    #: which construction path built this model ("expr", "coo" or
+    #: "incremental")
     construction: str = "expr"
+    #: row-placement records emitted by the bulk path under
+    #: ``track_rows=True`` — what :class:`IncrementalLp` needs to patch
+    #: existing constraint rows when the horizon grows. ``None`` otherwise.
+    row_layout: list[tuple] | None = None
 
 
 @dataclass
@@ -135,7 +140,8 @@ class LpBuilder:
 
     def __init__(self, topology: Topology, demand: Demand,
                  config: TecclConfig, plan: EpochPlan, *,
-                 aggregate: bool = True, construction: str | None = None):
+                 aggregate: bool = True, construction: str | None = None,
+                 track_rows: bool = False):
         demand.validate(topology)
         topology.validate()
         if config.priorities is not None:
@@ -150,6 +156,10 @@ class LpBuilder:
         if requested not in ("auto", "coo", "expr"):
             raise ModelError(f"unknown construction {requested!r}")
         self.construction = "expr" if requested == "expr" else "coo"
+        if track_rows and self.construction != "coo":
+            raise ModelError(
+                "row tracking is a bulk-path feature (construction='coo')")
+        self._track_rows = track_rows
 
     # ------------------------------------------------------------------
     def build(self) -> LpProblem:
@@ -441,6 +451,7 @@ class LpBuilder:
                 for s, k, v in zip(ss.tolist(), ks.tolist(),
                                    r_idx[r_mask].tolist()))
 
+        self._layout: list[tuple] | None = [] if self._track_rows else None
         self._coo_initialization(model, per_q, src, node_pos)
         self._coo_conservation(model, per_q, src, dst, offs, node_pos, G, K)
         if SW:
@@ -450,6 +461,7 @@ class LpBuilder:
         self._coo_demand_met(model, per_q, K)
         self._coo_buffer_limit(model, per_q, gpus, G, K)
         self._coo_objective(model, per_q)
+        problem.row_layout = self._layout
 
     def _coo_initialization(self, model: Model, per_q, src, node_pos) -> None:
         """``B[origin,0] + out(origin,0) == supply``, one row per commodity."""
@@ -464,13 +476,16 @@ class LpBuilder:
             rows.extend([r] * len(out0))
             lower.append(q.supply)
         bounds = np.asarray(lower, dtype=float)
-        model.add_constr_coo(rows, cols, np.ones(len(cols)), bounds, bounds,
-                             num_rows=len(per_q))
+        first = model.add_constr_coo(rows, cols, np.ones(len(cols)), bounds,
+                                     bounds, num_rows=len(per_q))
+        if self._layout is not None:
+            self._layout.append(("init", first))
 
     def _coo_conservation(self, model: Model, per_q, src, dst, offs,
                           node_pos, G: int, K: int) -> None:
         """arrivals(k) + B[k] − B[k+1] − R[k] − sends(k+1) == 0 per GPU."""
-        for q, f_mask, f_idx, b_mask, b_idx, sinks, r_mask, r_idx in per_q:
+        for qi, (q, f_mask, f_idx, b_mask, b_idx, sinks, r_mask, r_idx) \
+                in enumerate(per_q):
             origin_flat = int(node_pos[q.origin]) * K  # (origin, k=0)
             row_parts, col_parts, dat_parts = [], [], []
 
@@ -515,13 +530,16 @@ class LpBuilder:
             present = np.zeros(G * K, dtype=bool)
             present[flat] = True  # trivial 0 == 0 rows never materialise
             row_of = np.cumsum(present) - 1
-            model.add_constr_coo(row_of[flat], cols, data, 0.0, 0.0,
-                                 num_rows=int(present.sum()))
+            first = model.add_constr_coo(row_of[flat], cols, data, 0.0, 0.0,
+                                         num_rows=int(present.sum()))
+            if self._layout is not None:
+                self._layout.append(("cons", qi, first,
+                                     np.nonzero(present)[0]))
 
     def _coo_switch_conservation(self, model: Model, per_q, src, dst, offs,
                                  sw_pos, SW: int, K: int) -> None:
         """Switches neither buffer nor consume: in(k) == out(k+1)."""
-        for q, f_mask, f_idx, *_rest in per_q:
+        for qi, (q, f_mask, f_idx, *_rest) in enumerate(per_q):
             ls, ks = np.nonzero(f_mask)
             vs = f_idx[f_mask]
             into = sw_pos[dst[ls]] >= 0
@@ -535,8 +553,11 @@ class LpBuilder:
             present = np.zeros(SW * K, dtype=bool)
             present[flat] = True
             row_of = np.cumsum(present) - 1
-            model.add_constr_coo(row_of[flat], cols, data, 0.0, 0.0,
-                                 num_rows=int(present.sum()))
+            first = model.add_constr_coo(row_of[flat], cols, data, 0.0, 0.0,
+                                         num_rows=int(present.sum()))
+            if self._layout is not None:
+                self._layout.append(("swc", qi, first,
+                                     np.nonzero(present)[0]))
 
     def _coo_capacity(self, model: Model, per_q, links, E: int, K: int,
                       ) -> None:
@@ -564,15 +585,18 @@ class LpBuilder:
             for out, (l, k) in enumerate(zip(ls.tolist(), ks.tolist())):
                 i, j = links[l]
                 caps[out] = self._capacity_value(i, j, k)
-        model.add_constr_coo(rows, cols, np.ones(len(rows)),
-                             -np.inf, caps, num_rows=len(caps))
+        first = model.add_constr_coo(rows, cols, np.ones(len(rows)),
+                                     -np.inf, caps, num_rows=len(caps))
+        if self._layout is not None:
+            self._layout.append(("cap", first, np.nonzero(flat_present)[0]))
 
     def _coo_demand_met(self, model: Model, per_q, K: int) -> None:
         """Each sink reads exactly its demanded amount over the horizon."""
         rows, cols, amounts = [], [], []
+        pairs: list[tuple[int, int]] = []
         r = 0
-        for q, _f_mask, _f_idx, _b_mask, _b_idx, sinks, r_mask, r_idx \
-                in per_q:
+        for qi, (q, _f_mask, _f_idx, _b_mask, _b_idx, sinks, r_mask, r_idx) \
+                in enumerate(per_q):
             for s, d in enumerate(sinks):
                 reads = r_idx[s][r_mask[s]]
                 if not len(reads):
@@ -582,10 +606,13 @@ class LpBuilder:
                 cols.extend(reads.tolist())
                 rows.extend([r] * len(reads))
                 amounts.append(q.sinks[d])
+                pairs.append((qi, d))
                 r += 1
         bounds = np.asarray(amounts, dtype=float)
-        model.add_constr_coo(rows, cols, np.ones(len(cols)), bounds, bounds,
-                             num_rows=r)
+        first = model.add_constr_coo(rows, cols, np.ones(len(cols)), bounds,
+                                     bounds, num_rows=r)
+        if self._layout is not None:
+            self._layout.append(("met", first, pairs))
 
     def _coo_buffer_limit(self, model: Model, per_q, gpus, G: int, K: int,
                           ) -> None:
@@ -605,9 +632,11 @@ class LpBuilder:
         row_of = np.cumsum(present) - 1
         rows = np.concatenate([row_of[flat] for flat in row_parts])
         cols = np.concatenate(col_parts)
-        model.add_constr_coo(rows, cols, np.ones(len(rows)),
-                             -np.inf, float(limit),
-                             num_rows=int(present.sum()))
+        first = model.add_constr_coo(rows, cols, np.ones(len(rows)),
+                                     -np.inf, float(limit),
+                                     num_rows=int(present.sum()))
+        if self._layout is not None:
+            self._layout.append(("buflim", first, np.nonzero(present)[0]))
 
     def _coo_objective(self, model: Model, per_q) -> None:
         """Maximise weighted reads, earlier epochs worth more (1/(k+1))."""
@@ -630,30 +659,373 @@ class LpBuilder:
 
 
 # ----------------------------------------------------------------------
+# incremental re-solving
+# ----------------------------------------------------------------------
+class IncrementalLp:
+    """One growing LP instance: shared-horizon model reuse for re-solves.
+
+    The §6 horizon procedures (the ``minimize_epochs`` binary search, POP's
+    infeasible-horizon doubling, replanning after a perturbation) are
+    sequences of near-identical instances that differ only in the horizon K.
+    This class keeps **one** compiled model alive across the sequence:
+
+    * the initial build is the vectorized bulk path (``track_rows=True``
+      records where every constraint family landed);
+    * :meth:`grow` appends the epoch-delta — new columns for the epochs
+      ``K..K'``, new rows for the new epochs, and
+      :meth:`~repro.solver.Model.add_coo_terms` patches into the rows that
+      span the horizon (demand-met, initialization, capacity rows gaining
+      newly eligible late-landing flow variables) — on top of a
+      :meth:`~repro.solver.Model.extend` compile prefix, so nothing built
+      before is re-stacked;
+    * :meth:`restrict` answers "is horizon K'' < K feasible?" on the *same*
+      model by zero-bounding every variable that cannot act before K''
+      (reads at or past K'', flows landing past it, buffers beyond it). The
+      supply/demand-met equalities make this exactly equivalent to the cold
+      horizon-K'' model: every unit of supply must be read, so a feasible
+      point can put no mass on the clamped variables.
+
+    Solutions captured as :class:`~repro.solver.WarmStart` pad onto the
+    grown model (new columns start idle), so each attempt can seed the next.
+    """
+
+    def __init__(self, topology: Topology, demand: Demand,
+                 config: TecclConfig, num_epochs: int, *,
+                 aggregate: bool = True):
+        plan = build_epoch_plan(topology, config, num_epochs=num_epochs)
+        self.builder = LpBuilder(topology, demand, config, plan,
+                                 aggregate=aggregate, construction="coo",
+                                 track_rows=True)
+        start = time.perf_counter()
+        self.problem = self.builder.build()
+        self.build_time = time.perf_counter() - start
+        self.model = self.problem.model
+        self.topology = topology
+        self.demand = demand
+        self.config = config
+        self.plan = plan
+        self.num_epochs = num_epochs
+        self._initial_epochs = num_epochs
+        self.commodities = self.builder.commodities
+        self.f_vars = self.problem.f_vars
+        self.b_vars = self.problem.b_vars
+        self.r_vars = self.problem.r_vars
+        self._rows: dict[tuple, int] | None = None  # materialised on demand
+        self._restricted: np.ndarray | None = None
+        idx, coef, _ = self.model._objective_arrays()
+        self._obj_idx: list[int] = idx.tolist()
+        self._obj_coef: list[float] = coef.tolist()
+
+    # ------------------------------------------------------------------
+    # row registry (only needed once the model starts growing)
+    # ------------------------------------------------------------------
+    def _materialize_rows(self) -> None:
+        """Decode the builder's layout records into a row-key registry."""
+        layout = self.problem.row_layout or []
+        K0 = self._initial_epochs
+        gpus = list(self.topology.gpus)
+        switches = list(self.topology.switches)
+        links = list(self.topology.links)
+        rows: dict[tuple, int] = {}
+        for rec in layout:
+            kind = rec[0]
+            if kind == "init":
+                for qi in range(len(self.commodities)):
+                    rows[("init", qi)] = rec[1] + qi
+            elif kind == "cons":
+                _, qi, first, flat = rec
+                for li, f in enumerate(flat.tolist()):
+                    rows[("cons", qi, gpus[f // K0], f % K0)] = first + li
+            elif kind == "swc":
+                _, qi, first, flat = rec
+                for li, f in enumerate(flat.tolist()):
+                    rows[("swc", qi, switches[f // K0], f % K0)] = first + li
+            elif kind == "cap":
+                _, first, flat = rec
+                for li, f in enumerate(flat.tolist()):
+                    i, j = links[f // K0]
+                    rows[("cap", i, j, f % K0)] = first + li
+            elif kind == "met":
+                _, first, pairs = rec
+                for li, (qi, d) in enumerate(pairs):
+                    rows[("met", qi, d)] = first + li
+            elif kind == "buflim":
+                _, first, flat = rec
+                for li, f in enumerate(flat.tolist()):
+                    rows[("buflim", gpus[f // (K0 + 1)],
+                          f % (K0 + 1))] = first + li
+        self._rows = rows
+
+    # ------------------------------------------------------------------
+    # growth
+    # ------------------------------------------------------------------
+    def grow(self, num_epochs: int) -> None:
+        """Extend the horizon in place: append the K→K' epoch delta.
+
+        Emits exactly the variables and constraint entries by which the
+        cold horizon-K' model exceeds the horizon-K one (the formulation's
+        eligibility masks are monotone in K), so the grown model matches a
+        fresh build in variable/row/nonzero counts and in every solve.
+        """
+        old_K, K = self.num_epochs, num_epochs
+        if K <= old_K:
+            raise ModelError(
+                f"cannot grow from K={old_K} to K={K}; horizons only grow")
+        if self._rows is None:
+            self._materialize_rows()
+        self.release()
+        self.model.extend()
+        topo, config = self.topology, self.config
+        sf = config.store_and_forward
+        limit = config.buffer_limit_chunks
+        links = list(topo.links)
+        offsets = {link: self.plan.arrival_offset(*link) for link in links}
+        switches = set(topo.switches)
+
+        new_f: list[tuple] = []
+        new_b: list[tuple] = []
+        new_r: list[tuple] = []
+        for qi, q in enumerate(self.commodities):
+            earliest = self.builder._earliest[q.origin]
+            for (i, j) in links:
+                e_i = earliest.get(i)
+                if e_i is None:
+                    continue
+                off = offsets[(i, j)]
+                for k in range(max(e_i, old_K - off), K - off):
+                    new_f.append((qi, q.key, i, j, k))
+            for n in topo.gpus:
+                if not sf and n != q.origin:
+                    continue
+                for k in range(old_K + 1, K + 1):
+                    if n != q.origin:
+                        e_n = earliest.get(n)
+                        if e_n is None or e_n > k:
+                            continue
+                    new_b.append((qi, q.key, n, k))
+            for d in q.sinks:
+                e_d = earliest.get(d)
+                if e_d is None:
+                    continue
+                for k in range(max(old_K, e_d - 1), K):
+                    new_r.append((qi, q.key, d, k))
+
+        total = len(new_f) + len(new_b) + len(new_r)
+        col = self.model.num_vars
+        if total:
+            self.model.add_var_array(total, name="lpgrow")
+
+        entries: list[tuple[tuple, int, float]] = []
+        new_rows: dict[tuple, tuple[float, float]] = {}
+        rows = self._rows
+        assert rows is not None
+
+        def add(row_key: tuple, column: int, coef: float,
+                lb: float = 0.0, ub: float = 0.0) -> None:
+            if row_key not in rows and row_key not in new_rows:
+                new_rows[row_key] = (lb, ub)
+            entries.append((row_key, column, coef))
+
+        for (qi, key, i, j, k) in new_f:
+            q = self.commodities[qi]
+            self.f_vars[(key, i, j, k)] = col
+            off = offsets[(i, j)]
+            add(("cap", i, j, k), col, 1.0, -np.inf,
+                self.builder._capacity_value(i, j, k))
+            if k == 0:
+                # only the origin holds mass at epoch 0: the init row
+                entries.append((("init", qi), col, 1.0))
+            elif i in switches:
+                add(("swc", qi, i, k - 1), col, -1.0)
+            elif not (i == q.origin and k - 1 == 0):
+                add(("cons", qi, i, k - 1), col, -1.0)
+            land = k + off
+            if j in switches:
+                add(("swc", qi, j, land), col, 1.0)
+            elif not (j == q.origin and land == 0):
+                add(("cons", qi, j, land), col, 1.0)
+            col += 1
+
+        for (qi, key, n, k) in new_b:
+            q = self.commodities[qi]
+            self.b_vars[(key, n, k)] = col
+            if k <= K - 1 and not (n == q.origin and k == 0):
+                add(("cons", qi, n, k), col, 1.0)
+            if k >= 1 and not (n == q.origin and k - 1 == 0):
+                add(("cons", qi, n, k - 1), col, -1.0)
+            if limit is not None and n != q.origin:
+                add(("buflim", n, k), col, 1.0, -np.inf, float(limit))
+            col += 1
+        # Boundary fix-up: at horizon K the last buffer epoch old_K had no
+        # "held" entry (its row did not exist); the grown horizon
+        # materialises row (n, old_K), which must see B[old_K] on its left.
+        for qi, q in enumerate(self.commodities):
+            for n in topo.gpus:
+                held = self.b_vars.get((q.key, n, old_K))
+                if held is None or (n == q.origin and old_K == 0):
+                    continue
+                add(("cons", qi, n, old_K), int(held), 1.0)
+
+        for (qi, key, d, k) in new_r:
+            q = self.commodities[qi]
+            self.r_vars[(key, d, k)] = col
+            add(("cons", qi, d, k), col, -1.0)
+            entries.append((("met", qi, d), col, 1.0))
+            weight = 1.0
+            if config.priorities is not None and isinstance(key, tuple):
+                weight = config.weight(key[0], key[1], d)
+            self._obj_idx.append(col)
+            self._obj_coef.append(weight / (k + 1))
+            col += 1
+
+        local_index = {rk: i for i, rk in enumerate(new_rows)}
+        blk_rows: list[int] = []
+        blk_cols: list[int] = []
+        blk_data: list[float] = []
+        patch_rows: list[int] = []
+        patch_cols: list[int] = []
+        patch_data: list[float] = []
+        for rk, column, coef in entries:
+            li = local_index.get(rk)
+            if li is not None:
+                blk_rows.append(li)
+                blk_cols.append(column)
+                blk_data.append(coef)
+            else:
+                patch_rows.append(rows[rk])
+                patch_cols.append(column)
+                patch_data.append(coef)
+        if new_rows:
+            bounds = list(new_rows.values())
+            first = self.model.add_constr_coo(
+                blk_rows, blk_cols, blk_data,
+                np.asarray([b[0] for b in bounds]),
+                np.asarray([b[1] for b in bounds]),
+                num_rows=len(new_rows))
+            for rk, li in local_index.items():
+                rows[rk] = first + li
+        if patch_rows:
+            self.model.add_coo_terms(patch_rows, patch_cols, patch_data)
+        self.model.set_objective_array(
+            np.asarray(self._obj_idx, dtype=np.int64),
+            np.asarray(self._obj_coef))
+        self.plan = self.plan.with_num_epochs(K)
+        self.problem.plan = self.plan
+        self.num_epochs = K
+
+    # ------------------------------------------------------------------
+    # bound-restricted probing
+    # ------------------------------------------------------------------
+    def horizon_lower_bound(self) -> int:
+        """No horizon below this can be feasible (earliest arrivals)."""
+        lo = 1
+        for q in self.commodities:
+            earliest = self.builder._earliest[q.origin]
+            for d in q.sinks:
+                e = earliest.get(d)
+                if e is not None:
+                    lo = max(lo, e)
+        return lo
+
+    def restrict(self, num_epochs: int) -> None:
+        """Clamp the model to the horizon-``num_epochs`` subspace."""
+        if not 1 <= num_epochs <= self.num_epochs:
+            raise ModelError(
+                f"restriction K={num_epochs} outside [1, {self.num_epochs}]")
+        self.release()
+        plan = self.plan
+        cols: list[int] = []
+        for (key, i, j, k), v in self.f_vars.items():
+            if k + plan.arrival_offset(i, j) + 1 > num_epochs:
+                cols.append(int(v))
+        for (key, n, k), v in self.b_vars.items():
+            if k > num_epochs:
+                cols.append(int(v))
+        for (key, d, k), v in self.r_vars.items():
+            if k >= num_epochs:
+                cols.append(int(v))
+        clamped = np.asarray(cols, dtype=np.int64)
+        self.model.set_var_bounds(clamped, ub=0.0)
+        self._restricted = clamped
+
+    def release(self) -> None:
+        """Lift any active horizon restriction (bounds back to +inf)."""
+        if self._restricted is not None and len(self._restricted):
+            self.model.set_var_bounds(self._restricted, ub=np.inf)
+        self._restricted = None
+
+    def solve_at(self, num_epochs: int, *,
+                 warm_start=None, options=None) -> SolveResult:
+        """Solve the instance at one horizon (restricted or full)."""
+        if num_epochs == self.num_epochs:
+            self.release()
+        else:
+            self.restrict(num_epochs)
+        return self.model.solve(options if options is not None
+                                else self.config.solver,
+                                warm_start=warm_start)
+
+    def extract(self, result: SolveResult, num_epochs: int) -> LpOutcome:
+        """An :class:`LpOutcome` over the horizon-``num_epochs`` view."""
+        plan_k = self.plan.with_num_epochs(num_epochs)
+        view = LpProblem(model=self.model, plan=plan_k,
+                         topology=self.topology,
+                         commodities=self.commodities,
+                         construction="incremental")
+        view.f_vars = {
+            key: v for key, v in self.f_vars.items()
+            if key[3] + plan_k.arrival_offset(key[1], key[2]) + 1
+            <= num_epochs}
+        view.b_vars = {key: v for key, v in self.b_vars.items()
+                       if key[2] <= num_epochs}
+        view.r_vars = {key: v for key, v in self.r_vars.items()
+                       if key[2] < num_epochs}
+        return extract_lp_outcome(view, result)
+
+
+# ----------------------------------------------------------------------
 # facades
 # ----------------------------------------------------------------------
 def solve_lp(topology: Topology, demand: Demand, config: TecclConfig,
-             *, aggregate: bool = True) -> LpOutcome:
+             *, aggregate: bool = True,
+             initial_epochs: int | None = None) -> LpOutcome:
     """Build and solve the LP; returns a pruned fractional schedule.
 
     Like :func:`repro.core.milp.solve_milp`, an automatically estimated
-    horizon is retried with a doubled K if it proves infeasible (the bound
-    is a heuristic).
+    horizon is retried with an escalated K if it proves infeasible (the
+    bound is a heuristic). ``initial_epochs`` is the warm-start hint a
+    :func:`repro.failures.repair.replan` derives from a prior solution's
+    achieved extent — clamped to the path bound (a hint may only shrink
+    the model), and stepped back up to the bound, then doubled, if it
+    undershoots.
     """
     auto = config.num_epochs is None
+    bound = None
     if auto:
         probe = build_epoch_plan(topology, config, num_epochs=1)
-        num_epochs = path_based_epoch_bound(topology, demand, probe)
+        bound = path_based_epoch_bound(topology, demand, probe)
+        num_epochs = bound
+        if initial_epochs is not None:
+            # A warm hint may only *shrink* the model: its estimates can
+            # overshoot the grid, and the path bound is a sound ceiling.
+            num_epochs = max(2, min(initial_epochs, bound))
     else:
         num_epochs = config.num_epochs
     attempts = 3 if auto else 1
     last_error: InfeasibleError | None = None
     for _ in range(attempts):
         plan = build_epoch_plan(topology, config, num_epochs=num_epochs)
-        builder = LpBuilder(topology, demand, config, plan,
-                            aggregate=aggregate)
-        start = time.perf_counter()
-        problem = builder.build()
+        try:
+            builder = LpBuilder(topology, demand, config, plan,
+                                aggregate=aggregate)
+            start = time.perf_counter()
+            problem = builder.build()
+        except InfeasibleError as err:
+            # A horizon below the earliest arrival (possible when a warm
+            # hint undershoots) is just an infeasible attempt: escalate.
+            last_error = err
+            num_epochs = next_horizon(num_epochs, bound)
+            continue
         build_time = time.perf_counter() - start
         result = problem.model.solve(config.solver)
         result.stats["build_time"] = build_time
@@ -666,7 +1038,7 @@ def solve_lp(topology: Topology, demand: Demand, config: TecclConfig,
             result.require_solution()
         last_error = InfeasibleError(
             f"infeasible at horizon K={num_epochs}", status="horizon")
-        num_epochs *= 2
+        num_epochs = next_horizon(num_epochs, bound)
     raise last_error
 
 
@@ -702,15 +1074,36 @@ def lp_feasible_horizon(topology: Topology, demand: Demand,
 
 def minimize_epochs_lp(topology: Topology, demand: Demand,
                        config: TecclConfig, *, max_epochs: int | None = None,
-                       ) -> LpOutcome:
+                       incremental: bool = True) -> LpOutcome:
     """Binary search for the smallest feasible horizon (§6 "TE-CCL variants").
 
     The paper runs the ALLTOALL solver in a loop, binary-searching the number
     of epochs; the returned schedule is the optimum for the minimal K.
+
+    By default the search runs on the incremental engine: **one** model is
+    built at the horizon bound, its full-horizon optimum brackets the search
+    (the last read epoch is a feasibility witness; the earliest-arrival
+    bound a floor), and the remaining probes are bound restrictions on the
+    same model, each warm-started from the last feasible solution — no
+    rebuilds, and usually only one or two extra solves. Every incremental
+    result is replayed through the conformance oracle before it is returned;
+    a violation falls back to the cold per-horizon search
+    (``incremental=False``), which builds and solves a fresh model per probe.
     """
+    estimate = None
     if max_epochs is None:
         probe = build_epoch_plan(topology, config, num_epochs=1)
-        max_epochs = path_based_epoch_bound(topology, demand, probe)
+        estimate = path_based_epoch_bound(topology, demand, probe)
+        max_epochs = estimate
+    if incremental:
+        return _minimize_epochs_incremental(topology, demand, config,
+                                            max_epochs, estimate=estimate)
+    return _minimize_epochs_cold(topology, demand, config, max_epochs)
+
+
+def _minimize_epochs_cold(topology: Topology, demand: Demand,
+                          config: TecclConfig, max_epochs: int) -> LpOutcome:
+    """The pre-incremental search: fresh build + cold solve per probe."""
     lo, hi = 1, max_epochs
     best: LpOutcome | None = None
     while lo <= hi:
@@ -728,6 +1121,121 @@ def minimize_epochs_lp(topology: Topology, demand: Demand,
         raise InfeasibleError(
             f"no feasible horizon up to K={max_epochs}", status="horizon")
     return best
+
+
+def _minimize_epochs_incremental(topology: Topology, demand: Demand,
+                                 config: TecclConfig, max_epochs: int,
+                                 estimate: int | None = None) -> LpOutcome:
+    """One shared growing model: anchor cheap, gallop down, refine.
+
+    The anchor solve starts at the path-bound *estimate*, not the caller's
+    ``max_epochs``: a generous search bound should cost the search nothing
+    (the cold bisection pays an expensive feasible solve per halving of
+    it). An infeasible estimate grows the same model geometrically — the
+    infeasible-horizon attempts are exactly the cheap solves — until the
+    first feasible anchor, whose last read epoch then brackets the descent.
+    """
+    from repro.solver import SolveStatus
+
+    if estimate is None:
+        try:
+            probe_plan = build_epoch_plan(topology, config, num_epochs=1)
+            estimate = path_based_epoch_bound(topology, demand, probe_plan)
+        except ModelError:
+            estimate = max_epochs
+    k = min(max_epochs, max(2, estimate))
+    inc: IncrementalLp | None = None
+    anchor: SolveResult | None = None
+    anchor_solves = 0
+    while True:
+        attempt = None
+        try:
+            if inc is None:
+                inc = IncrementalLp(topology, demand, config, k)
+            elif inc.num_epochs < k:
+                inc.grow(k)
+            attempt = inc.solve_at(k)
+            anchor_solves += 1
+        except InfeasibleError:
+            pass  # horizon below earliest arrival: grow on
+        if attempt is not None and attempt.status.has_solution:
+            anchor = attempt
+            break
+        if attempt is not None \
+                and attempt.status is not SolveStatus.INFEASIBLE:
+            attempt.require_solution()
+        if k >= max_epochs:
+            raise InfeasibleError(
+                f"no feasible horizon up to K={max_epochs}",
+                status="horizon")
+        k = min(max_epochs, k * 2)
+    anchor.stats["build_time"] = inc.build_time
+    anchor.stats["construction"] = "incremental"
+
+    # Bracket the search from the anchor optimum: all reads land by the
+    # last read epoch, so last_read + 1 is a *witnessed* feasible horizon
+    # (total supply must be read, hence nothing can sit on later epochs);
+    # no horizon can beat the earliest-arrival floor.
+    values = anchor.values
+    last_read = -1
+    for (_key, _d, read_k), v in inc.r_vars.items():
+        if read_k > last_read and values[int(v)] > 1e-9:
+            last_read = read_k
+    best_k = min(inc.num_epochs, max(1, last_read + 1))
+    best_result = anchor
+    lo = inc.horizon_lower_bound()
+    warm = anchor.warm_start()
+    solves = anchor_solves
+
+    def probe(k: int):
+        nonlocal solves
+        result = inc.solve_at(k, warm_start=warm)
+        solves += 1
+        if result.status.has_solution:
+            return result
+        if result.status is not SolveStatus.INFEASIBLE:
+            result.require_solution()
+        return None
+
+    # Galloping descent: the anchor's 1/(k+1) objective pushes reads early,
+    # so its witnessed horizon is usually already minimal — one adjacent
+    # probe proves it. When it is not, back off exponentially, then binary
+    # search the last bracket; same minimal K, O(log) probes worst case.
+    step = 1
+    while lo < best_k:
+        probe_k = max(lo, best_k - step)
+        result = probe(probe_k)
+        if result is not None:
+            best_k, best_result = probe_k, result
+            warm = result.warm_start()
+            step *= 2
+        else:
+            lo = probe_k + 1
+            break
+    while lo < best_k:
+        mid = (lo + best_k) // 2
+        result = probe(mid)
+        if result is not None:
+            best_k, best_result = mid, result
+            warm = result.warm_start()
+        else:
+            lo = mid + 1
+    best_result.stats["horizon_solves"] = solves
+    # probe results never passed through the anchor's stat stamping
+    best_result.stats.setdefault("build_time", inc.build_time)
+    best_result.stats.setdefault("construction", "incremental")
+    outcome = inc.extract(best_result, best_k)
+
+    # PR 3 conformance gate: a warm-started result never reaches a caller
+    # unchecked. A replay violation (a bug in the incremental machinery,
+    # not in the solver) falls back to the cold search.
+    from repro.simulate import check_flow
+
+    report = check_flow(outcome.schedule, topology, demand, outcome.plan,
+                        config=config)
+    if not report.ok:
+        return _minimize_epochs_cold(topology, demand, config, max_epochs)
+    return outcome
 
 
 def _try_horizon(topology: Topology, demand: Demand, config: TecclConfig,

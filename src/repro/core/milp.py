@@ -31,7 +31,7 @@ import numpy as np
 from repro.collectives.demand import Demand
 from repro.core.config import SwitchModel, TecclConfig
 from repro.core.epochs import (EpochPlan, build_epoch_plan,
-                               earliest_arrival_epochs,
+                               earliest_arrival_epochs, next_horizon,
                                path_based_epoch_bound)
 from repro.core.postprocess import prune_sends
 from repro.core.schedule import Schedule, Send
@@ -911,29 +911,46 @@ class MilpBuilder:
 # ----------------------------------------------------------------------
 def solve_milp(topology: Topology, demand: Demand, config: TecclConfig,
                *, hyper_groups: list[HyperEdgeGroup] | None = None,
-               ) -> MilpOutcome:
+               initial_epochs: int | None = None) -> MilpOutcome:
     """Build and solve the general formulation; returns a pruned schedule.
 
     With an explicit ``num_epochs`` an infeasible horizon raises
     :class:`InfeasibleError`. With the automatic horizon, the path-based
     bound is a heuristic (side constraints such as hyper-edge usage limits
     can invalidate it), so the solve retries with a doubled horizon before
-    giving up.
+    giving up. ``initial_epochs`` is a warm hint — typically derived from
+    a prior solution's achieved extent by
+    :func:`repro.failures.repair.replan` — clamped to the path bound (a
+    hint may only shrink the model) and escalated back to the bound, then
+    doubled, if it undershoots.
     """
     auto = config.num_epochs is None
+    bound = None
     if auto:
         probe = build_epoch_plan(topology, config, num_epochs=1)
-        num_epochs = path_based_epoch_bound(topology, demand, probe)
+        bound = path_based_epoch_bound(topology, demand, probe)
+        num_epochs = bound
+        if initial_epochs is not None:
+            # A warm hint may only *shrink* the model: its estimates can
+            # overshoot the grid, and the path bound is a sound ceiling.
+            num_epochs = max(2, min(initial_epochs, bound))
     else:
         num_epochs = config.num_epochs
     attempts = 3 if auto else 1
     last_error: InfeasibleError | None = None
     for _ in range(attempts):
         plan = build_epoch_plan(topology, config, num_epochs=num_epochs)
-        builder = MilpBuilder(topology, demand, config, plan,
-                              hyper_groups=hyper_groups)
-        start = time.perf_counter()
-        problem = builder.build()
+        try:
+            builder = MilpBuilder(topology, demand, config, plan,
+                                  hyper_groups=hyper_groups)
+            start = time.perf_counter()
+            problem = builder.build()
+        except InfeasibleError as err:
+            # A horizon below the earliest arrival (possible when a warm
+            # hint undershoots) is just an infeasible attempt: escalate.
+            last_error = err
+            num_epochs = next_horizon(num_epochs, bound)
+            continue
         build_time = time.perf_counter() - start
         result = problem.model.solve(config.solver)
         result.stats["build_time"] = build_time
@@ -946,7 +963,7 @@ def solve_milp(topology: Topology, demand: Demand, config: TecclConfig,
             result.require_solution()  # raises with the backend message
         last_error = InfeasibleError(
             f"infeasible at horizon K={num_epochs}", status="horizon")
-        num_epochs *= 2
+        num_epochs = next_horizon(num_epochs, bound)
     raise last_error
 
 

@@ -18,6 +18,7 @@ monolithic LP.
 
 from __future__ import annotations
 
+import math
 import random
 import time
 from dataclasses import dataclass, replace
@@ -25,9 +26,11 @@ from dataclasses import dataclass, replace
 from repro.collectives.demand import Demand
 from repro.core.config import TecclConfig
 from repro.core.epochs import EpochPlan, build_epoch_plan, path_based_epoch_bound
-from repro.core.lp import LpBuilder, LpOutcome, extract_lp_outcome
+from repro.core.lp import (IncrementalLp, LpBuilder, LpOutcome,
+                           extract_lp_outcome)
 from repro.core.schedule import FlowSchedule
 from repro.errors import InfeasibleError, ModelError
+from repro.solver.result import WarmStart
 from repro.topology.topology import Topology
 
 
@@ -58,6 +61,8 @@ class PopOutcome:
     sub_outcomes: list[LpOutcome]
     plan: EpochPlan
     finish_time: float
+    #: horizon attempts it took (1 = the auto bound was feasible first try)
+    attempts: int = 1
 
     @property
     def serial_solve_time(self) -> float:
@@ -123,14 +128,40 @@ def _scaled_capacity_fn(topology: Topology, config: TecclConfig,
     return capacity
 
 
+def pop_auto_horizon(num_epochs: int, num_partitions: int) -> int:
+    """Auto-horizon for capacity-split subproblems: real slack, always.
+
+    Partitioned capacity stretches a subproblem's completion by roughly the
+    partition count, so the joint path bound is scaled by ``ceil(K·P/2)``
+    with a floor of one genuine slack epoch. The previous formula,
+    ``max(K, int(K · P · 0.5))``, was a no-op at the default ``P = 2``
+    (``int(K · 1.0) == K``): default POP runs got *zero* slack and burned an
+    infeasible-retry solve whenever the joint bound was tight.
+    """
+    if num_partitions <= 1:
+        return num_epochs  # no capacity splitting, no stretch to cover
+    stretched = math.ceil(num_epochs * num_partitions * 0.5)
+    return max(num_epochs + 1, stretched)
+
+
 def solve_lp_pop(topology: Topology, demand: Demand, config: TecclConfig, *,
-                 num_partitions: int = 2, seed: int = 0) -> PopOutcome:
+                 num_partitions: int = 2, seed: int = 0,
+                 incremental: bool = True) -> PopOutcome:
     """Solve the LP via POP partitioning and merge the sub-schedules.
 
     All subproblems share one epoch plan (same τ, same horizon) so their
     flow variables line up for the merge. An automatically estimated
     horizon is doubled and retried when any subproblem is infeasible —
     capacity splitting can stretch a partition past the joint optimum.
+
+    With ``incremental=True`` (the default) each partition keeps one
+    :class:`~repro.core.lp.IncrementalLp` model across the retries: an
+    infeasible horizon grows every model in place (epoch blocks appended,
+    nothing recompiled) and each attempt is warm-started from its own
+    partition's last shared-plan solution (sibling partitions' points are
+    never crossed over — their columns describe different commodities).
+    The merged result is replayed through the conformance oracle; a
+    violation falls back to the cold per-attempt rebuild path.
     """
     demand.validate(topology)
     topology.validate()
@@ -144,43 +175,95 @@ def solve_lp_pop(topology: Topology, demand: Demand, config: TecclConfig, *,
     if auto:
         probe = build_epoch_plan(topology, config, num_epochs=1)
         # Partitioned capacity stretches completion by ~1/share; be generous.
-        num_epochs = path_based_epoch_bound(topology, demand, probe)
-        num_epochs = max(num_epochs, int(num_epochs * num_partitions * 0.5))
+        num_epochs = pop_auto_horizon(
+            path_based_epoch_bound(topology, demand, probe), num_partitions)
     else:
         num_epochs = config.num_epochs
 
     attempts = 3 if auto else 1
+    models: list[IncrementalLp | None] | None = \
+        [None] * len(partitions) if incremental else None
+    warms: list[WarmStart | None] = [None] * len(partitions)
     last_error: InfeasibleError | None = None
-    for _ in range(attempts):
+    for attempt in range(attempts):
         try:
-            return _solve_at_horizon(topology, config, partitions, num_epochs)
+            outcome = _solve_at_horizon(topology, config, partitions,
+                                        num_epochs, models=models,
+                                        warms=warms)
+            outcome.attempts = attempt + 1
         except InfeasibleError as err:
             last_error = err
             num_epochs *= 2
+            continue
+        if models is not None and not _pop_conformant(
+                outcome, topology, demand, config):
+            # A violation means the incremental machinery (not the solver)
+            # mis-built a model; serve the cold path rather than speed.
+            outcome = _solve_at_horizon(topology, config, partitions,
+                                        num_epochs, models=None,
+                                        warms=[None] * len(partitions))
+            outcome.attempts = attempt + 1
+        return outcome
     raise last_error
 
 
+def _pop_conformant(outcome: PopOutcome, topology: Topology, demand: Demand,
+                    config: TecclConfig) -> bool:
+    """PR 3 gate: replay the merged schedule before handing it out."""
+    from repro.simulate import check_flow
+
+    report = check_flow(outcome.schedule, topology, demand, outcome.plan,
+                        config=config)
+    return report.ok
+
+
 def _solve_at_horizon(topology: Topology, config: TecclConfig,
-                      partitions: list[Partition],
-                      num_epochs: int) -> PopOutcome:
+                      partitions: list[Partition], num_epochs: int,
+                      models: list[IncrementalLp | None] | None = None,
+                      warms: list[WarmStart | None] | None = None,
+                      ) -> PopOutcome:
     plan = build_epoch_plan(topology, config, num_epochs=num_epochs)
     sub_outcomes: list[LpOutcome] = []
-    for part in partitions:
+    for pi, part in enumerate(partitions):
         sub_config = replace(
             config, num_epochs=num_epochs,
             capacity_fn=_scaled_capacity_fn(topology, config, part.share))
-        builder = LpBuilder(topology, part.demand, sub_config, plan)
-        start = time.perf_counter()
-        problem = builder.build()
-        build_time = time.perf_counter() - start
-        result = problem.model.solve(sub_config.solver)
-        result.stats["build_time"] = build_time
-        result.stats["construction"] = problem.construction
+        if models is None:
+            builder = LpBuilder(topology, part.demand, sub_config, plan)
+            start = time.perf_counter()
+            problem = builder.build()
+            build_time = time.perf_counter() - start
+            result = problem.model.solve(sub_config.solver)
+            result.stats["build_time"] = build_time
+            result.stats["construction"] = problem.construction
+            if not result.status.has_solution:
+                raise InfeasibleError(
+                    f"POP partition {part.index} infeasible at "
+                    f"K={num_epochs}", status="horizon")
+            sub_outcomes.append(extract_lp_outcome(problem, result))
+            continue
+        inc = models[pi]
+        if inc is None:
+            inc = models[pi] = IncrementalLp(topology, part.demand,
+                                             sub_config, num_epochs)
+        elif inc.num_epochs < num_epochs:
+            inc.grow(num_epochs)
+        # Warm-start: this partition's own last shared-plan solution.
+        # A sibling's point is never handed across, even when variable
+        # counts coincide — the columns describe a *different* partition's
+        # commodities, so it would be an arbitrary seed the moment a
+        # backend starts consuming x0.
+        warm = warms[pi] if warms is not None else None
+        result = inc.solve_at(num_epochs, warm_start=warm)
+        result.stats["build_time"] = inc.build_time
+        result.stats["construction"] = "incremental"
         if not result.status.has_solution:
             raise InfeasibleError(
                 f"POP partition {part.index} infeasible at K={num_epochs}",
                 status="horizon")
-        sub_outcomes.append(extract_lp_outcome(problem, result))
+        if warms is not None:
+            warms[pi] = result.warm_start()
+        sub_outcomes.append(inc.extract(result, num_epochs))
     merged = merge_flow_schedules([o.schedule for o in sub_outcomes])
     return PopOutcome(schedule=merged, partitions=partitions,
                       sub_outcomes=sub_outcomes, plan=plan,

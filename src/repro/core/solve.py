@@ -10,12 +10,13 @@ transformation and the multi-tenant merge of §5.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, replace
 
 from repro.collectives.demand import Demand, TenantDemand, merge_tenants
 from repro.core.astar import AStarOutcome, solve_astar
 from repro.core.config import AStarConfig, SwitchModel, TecclConfig
-from repro.core.epochs import EpochPlan
+from repro.core.epochs import EpochPlan, epoch_duration
 from repro.core.lp import LpOutcome, minimize_epochs_lp, solve_lp
 from repro.core.milp import MilpOutcome, solve_milp
 from repro.core.schedule import FlowSchedule, Schedule
@@ -129,7 +130,8 @@ class SynthesisResult:
 def synthesize(topology: Topology, demand: Demand, config: TecclConfig, *,
                method: Method = Method.AUTO,
                astar_config: AStarConfig | None = None,
-               minimize_epochs: bool = False) -> SynthesisResult:
+               minimize_epochs: bool = False,
+               warm_from: SynthesisResult | None = None) -> SynthesisResult:
     """Synthesize routes and a schedule for one collective demand.
 
     Args:
@@ -138,6 +140,14 @@ def synthesize(topology: Topology, demand: Demand, config: TecclConfig, *,
         minimize_epochs: for the LP, binary-search the smallest feasible
             horizon instead of solving one fixed horizon (§6's procedure for
             the numerically tricky large ALLTOALLs).
+        warm_from: a prior result for a near-identical instance (same or
+            perturbed fabric/demand). With the automatic horizon, its
+            achieved finish time seeds the horizon estimate — usually far
+            tighter than the generous path bound, so the re-solve builds a
+            much smaller model (the infeasible-horizon doubling retries
+            make a too-tight seed safe). Exactness is untouched: the seed
+            changes how many epochs are modelled, never the optimum within
+            them.
     """
     work_topology = topology
     work_demand = demand
@@ -160,15 +170,19 @@ def synthesize(topology: Topology, demand: Demand, config: TecclConfig, *,
     if method is Method.AUTO:
         method = Method.LP if not demand.benefits_from_copy() else Method.MILP
 
+    initial_epochs = _warm_horizon_hint(work_topology, config, warm_from)
+
     if method is Method.LP:
         if work_demand.benefits_from_copy():
             # Sound but deliberately weaker: LP == the no-copy ablation.
             outcome = solve_lp(work_topology, work_demand, config,
-                               aggregate=False)
+                               aggregate=False,
+                               initial_epochs=initial_epochs)
         elif minimize_epochs:
             outcome = minimize_epochs_lp(work_topology, work_demand, config)
         else:
-            outcome = solve_lp(work_topology, work_demand, config)
+            outcome = solve_lp(work_topology, work_demand, config,
+                               initial_epochs=initial_epochs)
         return SynthesisResult(
             method=Method.LP, schedule=outcome.schedule,
             finish_time=outcome.finish_time,
@@ -178,7 +192,8 @@ def synthesize(topology: Topology, demand: Demand, config: TecclConfig, *,
 
     if method is Method.MILP:
         outcome = solve_milp(work_topology, work_demand, config,
-                             hyper_groups=hyper_groups)
+                             hyper_groups=hyper_groups,
+                             initial_epochs=initial_epochs)
         return SynthesisResult(
             method=Method.MILP, schedule=outcome.schedule,
             finish_time=outcome.finish_time,
@@ -201,6 +216,31 @@ def synthesize(topology: Topology, demand: Demand, config: TecclConfig, *,
             demand_used=work_demand, config=config)
 
     raise ModelError(f"unknown method {method!r}")
+
+
+def _warm_horizon_hint(topology: Topology, config: TecclConfig,
+                       warm_from: SynthesisResult | None) -> int | None:
+    """Epochs the prior solution suggests the new instance needs.
+
+    Two estimates, take the larger (overshooting is safe — the solvers
+    clamp the hint to the sound path bound; undershooting burns an extra
+    infeasible attempt): the prior schedule's discrete epoch extent
+    (capacity-rescaled fabrics need the same *number* of epochs — the
+    per-epoch chunk capacity is scale-invariant), and its wall-clock
+    finish re-gridded onto the new instance's τ (covers τ changes from
+    chunk-size or α shifts).
+    """
+    if warm_from is None or config.num_epochs is not None:
+        return None
+    if warm_from.finish_time <= 0:
+        return None
+    tau = epoch_duration(topology, config.chunk_bytes, config.epoch_mode,
+                         config.epoch_multiplier)
+    hint = math.ceil(warm_from.finish_time / tau)
+    extent = getattr(warm_from.schedule, "finish_epoch", None)
+    if extent is not None and extent >= 0:
+        hint = max(hint, int(extent) + 1)
+    return max(2, hint + 1)
 
 
 def synthesize_multi_tenant(topology: Topology, tenants: list[TenantDemand],

@@ -24,8 +24,11 @@ Quickstart::
 
 from repro.service.cache import (CACHE_FORMAT_VERSION, CacheEntryInfo,
                                  CacheStats, ScheduleCache)
-from repro.service.fingerprint import (FINGERPRINT_VERSION, canonical_request,
-                                       fingerprint_request)
+from repro.service.fingerprint import (FINGERPRINT_VERSION,
+                                       canonical_near_request,
+                                       canonical_request,
+                                       fingerprint_request,
+                                       near_fingerprint_request)
 from repro.service.planner import Planner, PlannerStats
 from repro.service.pool import PoolStats, SolvePool, solve_request
 from repro.service.schema import PlanRequest, PlanResponse
@@ -35,4 +38,5 @@ __all__ = [
     "ScheduleCache", "CacheStats", "CacheEntryInfo", "CACHE_FORMAT_VERSION",
     "SolvePool", "PoolStats", "solve_request",
     "canonical_request", "fingerprint_request", "FINGERPRINT_VERSION",
+    "canonical_near_request", "near_fingerprint_request",
 ]

@@ -129,3 +129,45 @@ def fingerprint_request(topology: Topology, demand: Demand,
     return fingerprint_canonical(canonical_request(
         topology, demand, config, method=method, astar_config=astar_config,
         minimize_epochs=minimize_epochs))
+
+
+def canonical_near_request(topology: Topology, demand: Demand,
+                           config: TecclConfig, *,
+                           method: Method = Method.AUTO,
+                           astar_config: AStarConfig | None = None,
+                           minimize_epochs: bool = False) -> dict:
+    """The canonical document with horizon/capacity *scalars* factored out.
+
+    Two requests share a near-fingerprint when they describe the same
+    fabric shape, demand and model variant but differ in the knobs a warm
+    start tolerates: the horizon ``num_epochs`` (dropped from the document)
+    and a uniform rescaling of link capacities (normalised by the fastest
+    link — a renegotiated-bandwidth fabric keeps its class). A prior
+    schedule for one member of the class is a sound *seed* for any other —
+    it informs horizon estimates, never the optimum within them — which is
+    exactly what the planner's donor lookup needs on a cache miss.
+    """
+    document = canonical_request(
+        topology, demand, config, method=method, astar_config=astar_config,
+        minimize_epochs=minimize_epochs)
+    document["near"] = True  # never collides with an exact fingerprint
+    document["config"]["num_epochs"] = None
+    links = document["topology"]["links"]
+    scale = max((link["capacity"] for link in links), default=0.0)
+    if scale > 0:
+        for link in links:
+            # round the quotient: (0.1*s)/(1.0*s) must hash like 0.1/1.0
+            # for every scale s, not only the bit-exact ones
+            link["capacity"] = round(link["capacity"] / scale, 12)
+    return document
+
+
+def near_fingerprint_request(topology: Topology, demand: Demand,
+                             config: TecclConfig, *,
+                             method: Method = Method.AUTO,
+                             astar_config: AStarConfig | None = None,
+                             minimize_epochs: bool = False) -> str:
+    """Fingerprint of the :func:`canonical_near_request` equivalence class."""
+    return fingerprint_canonical(canonical_near_request(
+        topology, demand, config, method=method, astar_config=astar_config,
+        minimize_epochs=minimize_epochs))

@@ -26,7 +26,8 @@ from pathlib import Path
 from repro.core.solve import SynthesisResult
 from repro.errors import ReproError, ServiceError
 from repro.service.cache import ScheduleCache
-from repro.service.fingerprint import fingerprint_request
+from repro.service.fingerprint import (fingerprint_request,
+                                       near_fingerprint_request)
 from repro.service.pool import SolvePool
 from repro.service.schema import PlanRequest, PlanResponse
 
@@ -39,11 +40,14 @@ class PlannerStats:
     timeouts: int = 0
     conformance_checks: int = 0
     conformance_failures: int = 0
+    #: fresh solves that were seeded by a near-fingerprint cache donor
+    warm_donors: int = 0
 
     def to_dict(self) -> dict:
         return {"requests": self.requests, "timeouts": self.timeouts,
                 "conformance_checks": self.conformance_checks,
-                "conformance_failures": self.conformance_failures}
+                "conformance_failures": self.conformance_failures,
+                "warm_donors": self.warm_donors}
 
 
 class Planner:
@@ -132,7 +136,12 @@ class Planner:
         """Fingerprint + cache probe + (on miss) pool submission.
 
         Returns ``(fingerprint, pending)`` where pending is either a ready
-        :class:`PlanResponse` (cache hit) or ``(future, coalesced, t0)``.
+        :class:`PlanResponse` (cache hit) or ``(future, coalesced, t0,
+        warm_donor)``.
+
+        A miss also probes the cache's *near* index: a schedule solved for
+        the same fabric shape and demand under a different horizon or
+        capacity scale rides along as the solve's warm-start seed.
         """
         t0 = time.perf_counter()
         with self._lock:
@@ -150,20 +159,52 @@ class Planner:
                     cache_hit=True, tag=request.tag,
                     serve_time=time.perf_counter() - t0)
                 return fingerprint, response
+        # Misses only, and outside the lock: the near key is a second
+        # canonicalisation and to_dict() serialises the whole request —
+        # pure CPU work that must neither tax the cache-hit hot path nor
+        # stall concurrent requests on self._lock.
+        near = near_fingerprint_request(
+            request.topology, request.demand, request.config,
+            method=request.method, astar_config=request.astar_config,
+            minimize_epochs=request.minimize_epochs)
+        request_dict = request.to_dict()
+        with self._lock:
+            # re-probe: the solve of an identical request may have been
+            # archived while we were canonicalising (peek, not get: the
+            # miss was already counted once above)
+            payload = self.cache.peek(fingerprint)
+            if payload is not None:
+                response = PlanResponse(
+                    fingerprint=fingerprint,
+                    result=SynthesisResult.from_dict(payload),
+                    cache_hit=True, tag=request.tag,
+                    serve_time=time.perf_counter() - t0)
+                return fingerprint, response
+            donor = self.cache.get_near(near)
+            if donor is not None:
+                request_dict["_warm_from"] = donor
             # Atomic with the probe above: the pool either coalesces onto an
             # in-flight solve or starts one; _archive (which runs before the
             # pool retires the fingerprint) also serialises on self._lock, so
             # no request can fall between "not cached" and "not in flight".
             future, coalesced = self.pool.submit(
-                fingerprint, request.to_dict(), on_complete=self._archive)
-        return fingerprint, (future, coalesced, t0)
+                fingerprint, request_dict,
+                on_complete=lambda fp, fut: self._archive(fp, fut, near))
+            # A coalesced join discarded request_dict — the in-flight solve
+            # was submitted by someone else and may not carry the seed.
+            warm_donor = donor is not None and not coalesced
+            if warm_donor:
+                self._stats.warm_donors += 1
+        return fingerprint, (future, coalesced, t0, warm_donor)
 
-    def _archive(self, fingerprint: str, future) -> None:
+    def _archive(self, fingerprint: str, future,
+                 near: str | None = None) -> None:
         """Store a completed solve in the cache (runs on the pool's thread)."""
         if future.cancelled() or future.exception() is not None:
             return
         with self._lock:
-            self.cache.put(fingerprint, future.result())
+            self.cache.put(fingerprint, future.result(),
+                           meta=None if near is None else {"near": near})
 
     def _post_check(self, request: PlanRequest, response: PlanResponse,
                     raise_errors: bool) -> PlanResponse:
@@ -196,15 +237,16 @@ class Planner:
             # A *cached* schedule failed its replay: the entry is poisoned
             # (bit-rot, a stale format, a buggy producer of an earlier
             # version). Expel it and fall through to a fresh solve rather
-            # than failing this fingerprint forever.
+            # than failing this fingerprint forever (and solve cold: a
+            # poisoned class should not seed its own replacement).
             t0 = time.perf_counter()
             with self._lock:
                 self.cache.evict(fingerprint)
                 future, coalesced = self.pool.submit(
                     fingerprint, request.to_dict(),
                     on_complete=self._archive)
-            pending = (future, coalesced, t0)
-        future, coalesced, t0 = pending
+            pending = (future, coalesced, t0, False)
+        future, coalesced, t0, warm_donor = pending
         try:
             payload = self.pool.wait(future, timeout)
         except ServiceError as exc:  # timeout
@@ -213,17 +255,19 @@ class Planner:
                 raise
             return PlanResponse(fingerprint=fingerprint, error=str(exc),
                                 coalesced=coalesced, tag=request.tag,
+                                warm_donor=warm_donor,
                                 serve_time=time.perf_counter() - t0)
         except ReproError as exc:  # solver-side failure (infeasible, ...)
             if raise_errors:
                 raise
             return PlanResponse(fingerprint=fingerprint, error=str(exc),
                                 coalesced=coalesced, tag=request.tag,
+                                warm_donor=warm_donor,
                                 serve_time=time.perf_counter() - t0)
         return self._post_check(request, PlanResponse(
             fingerprint=fingerprint,
             result=SynthesisResult.from_dict(payload),
-            coalesced=coalesced, tag=request.tag,
+            coalesced=coalesced, tag=request.tag, warm_donor=warm_donor,
             serve_time=time.perf_counter() - t0), raise_errors)
 
     # ------------------------------------------------------------------

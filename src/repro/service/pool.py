@@ -34,15 +34,27 @@ _EXECUTOR_KINDS = ("process", "thread", "inline")
 
 
 def solve_request(request_dict: dict) -> dict:
-    """Solve one serialised request; module-level so workers can pickle it."""
-    from repro.core.solve import synthesize
+    """Solve one serialised request; module-level so workers can pickle it.
+
+    ``request_dict["_warm_from"]`` (a serialised
+    :class:`~repro.core.solve.SynthesisResult`, attached by the planner's
+    near-fingerprint donor lookup) seeds the solve: the prior schedule's
+    achieved finish informs the horizon estimate, so the re-solve builds a
+    much smaller model than the cold path bound. The seed crosses the
+    process boundary as the same plain dict the cache stores.
+    """
+    from repro.core.solve import SynthesisResult, synthesize
     from repro.service.schema import PlanRequest
 
+    warm_doc = request_dict.get("_warm_from")
+    warm_from = (SynthesisResult.from_dict(warm_doc)
+                 if warm_doc is not None else None)
     request = PlanRequest.from_dict(request_dict)
     result = synthesize(request.topology, request.demand, request.config,
                         method=request.method,
                         astar_config=request.astar_config,
-                        minimize_epochs=request.minimize_epochs)
+                        minimize_epochs=request.minimize_epochs,
+                        warm_from=warm_from)
     return result.to_dict()
 
 

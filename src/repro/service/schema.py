@@ -81,6 +81,9 @@ class PlanResponse:
     #: solver time lives in result.solve_time)
     serve_time: float = 0.0
     tag: str = ""
+    #: the fresh solve was seeded by a near-fingerprint cache donor (a
+    #: prior schedule for the same fabric shape under different scalars)
+    warm_donor: bool = False
     #: post-solve conformance replay summary (a
     #: :meth:`repro.simulate.ConformanceReport.to_dict` document); only set
     #: when the planner runs with ``check_conformance=True``.
@@ -106,6 +109,7 @@ class PlanResponse:
             "coalesced": self.coalesced,
             "serve_time": self.serve_time,
             "tag": self.tag,
+            "warm_donor": self.warm_donor,
             "conformance": self.conformance,
         }
 
@@ -121,6 +125,7 @@ class PlanResponse:
                 coalesced=bool(data.get("coalesced", False)),
                 serve_time=float(data.get("serve_time", 0.0)),
                 tag=str(data.get("tag", "")),
+                warm_donor=bool(data.get("warm_donor", False)),
                 conformance=data.get("conformance"))
         except (KeyError, TypeError, ValueError) as exc:
             raise ServiceError(f"malformed plan response: {exc}") from exc

@@ -149,3 +149,84 @@ class TestHorizonBounds:
         cfg = TecclConfig(chunk_bytes=1e6)
         bound = algorithm1_num_epochs(topo, demand, cfg)
         assert bound >= 1
+
+
+class TestAlphaStretchIteration:
+    """The α > 200·τ guard must iterate (PR 4 satellite bugfix)."""
+
+    def _alpha_topo(self, alpha: float) -> Topology:
+        topo = Topology("a", num_nodes=2)
+        topo.add_bidirectional(0, 1, 1.0, alpha=alpha)
+        return topo
+
+    def test_single_stretch_stays_bit_identical(self):
+        # 200 < α/τ <= 1000: exactly one 5x stretch, as before the fix
+        tau = epoch_duration(self._alpha_topo(300.0), 1.0,
+                             EpochMode.FASTEST_LINK)
+        assert tau == 1.0 * 5.0  # bit-identical to one multiplication
+
+    def test_extreme_alpha_stretches_until_guard_holds(self):
+        # α = 1e6·τ: one stretch (the old behaviour) leaves α = 200_000·τ,
+        # still grid-bloating; the guard must iterate until α <= 200·τ
+        tau = epoch_duration(self._alpha_topo(1e6), 1.0,
+                             EpochMode.FASTEST_LINK)
+        assert 1e6 <= 200.0 * tau
+        assert tau == 5.0 ** 6  # the minimal power of 5 that satisfies it
+
+    def test_no_stretch_below_ratio(self):
+        tau = epoch_duration(self._alpha_topo(199.0), 1.0,
+                             EpochMode.FASTEST_LINK)
+        assert tau == pytest.approx(1.0)
+
+
+class TestEpochPlanDocumentValidation:
+    """EpochPlan.from_dict must reject malformed documents (PR 4)."""
+
+    def _plan(self):
+        cfg = TecclConfig(chunk_bytes=4.0)
+        return build_epoch_plan(hetero_topo(), cfg, num_epochs=6)
+
+    def test_roundtrip(self):
+        plan = self._plan()
+        back = plan.__class__.from_dict(plan.to_dict())
+        assert back.tau == plan.tau
+        assert back.num_epochs == plan.num_epochs
+        assert back.cap_chunks == plan.cap_chunks
+        assert back.occupancy == plan.occupancy
+        assert back.delay == plan.delay
+
+    def test_duplicate_links_rejected(self):
+        doc = self._plan().to_dict()
+        doc["links"].append(list(doc["links"][0]))
+        with pytest.raises(ModelError, match="duplicate"):
+            self._plan().__class__.from_dict(doc)
+
+    def test_nan_capacity_rejected(self):
+        doc = self._plan().to_dict()
+        doc["links"][0][2] = float("nan")
+        with pytest.raises(ModelError, match="capacity"):
+            self._plan().__class__.from_dict(doc)
+
+    def test_negative_capacity_rejected(self):
+        doc = self._plan().to_dict()
+        doc["links"][0][2] = -1.0
+        with pytest.raises(ModelError, match="capacity"):
+            self._plan().__class__.from_dict(doc)
+
+    def test_zero_occupancy_rejected(self):
+        doc = self._plan().to_dict()
+        doc["links"][0][3] = 0
+        with pytest.raises(ModelError, match="occupancy"):
+            self._plan().__class__.from_dict(doc)
+
+    def test_negative_delay_rejected(self):
+        doc = self._plan().to_dict()
+        doc["links"][0][4] = -1
+        with pytest.raises(ModelError, match="delay"):
+            self._plan().__class__.from_dict(doc)
+
+    def test_bad_tau_rejected(self):
+        doc = self._plan().to_dict()
+        doc["tau"] = 0.0
+        with pytest.raises(ModelError, match="tau"):
+            self._plan().__class__.from_dict(doc)

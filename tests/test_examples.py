@@ -38,7 +38,8 @@ class TestExamples:
     def test_failure_adaptation(self):
         out = run_example("failure_adaptation.py")
         assert "ring" in out and "broken" in out
-        assert "re-synthesized" in out
+        assert "re-planned" in out
+        assert "seeded from the healthy solve" in out
         assert "validated on the degraded fabric" in out
 
     def test_topology_design(self):

@@ -278,3 +278,53 @@ class TestConformanceCheck:
         assert response.conformance is None
         assert response.conformant is None
         assert planner.stats()["conformance_checks"] == 0
+
+
+class TestNearFingerprintDonors:
+    """Cache misses probe the near index for a warm-start donor (PR 4)."""
+
+    def _scaled_request(self, factor: float) -> PlanRequest:
+        topo = topology.scale_capacity(
+            topology.ring(4, capacity=1.0, alpha=0.0), factor)
+        return PlanRequest(
+            topology=topo, demand=collectives.alltoall(topo.gpus, 1),
+            config=TecclConfig(chunk_bytes=1.0))
+
+    def test_rescaled_fabric_rides_a_donor(self):
+        with Planner(executor="inline") as planner:
+            first = planner.plan(self._scaled_request(1.0))
+            second = planner.plan(self._scaled_request(2.0))
+        assert not first.cache_hit and not first.warm_donor
+        assert not second.cache_hit   # a different exact fingerprint...
+        assert second.warm_donor      # ...but the same near class
+        stats = planner.stats()
+        assert stats["warm_donors"] == 1
+        assert stats["cache"]["near_hits"] == 1
+        assert stats["solves"] == 2
+
+    def test_donor_solve_matches_cold_solve(self):
+        request = self._scaled_request(2.0)
+        with Planner(executor="inline") as planner:
+            planner.plan(self._scaled_request(1.0))  # the donor
+            seeded = planner.plan(request)
+        with Planner(executor="inline") as cold_planner:
+            cold = cold_planner.plan(request)
+        assert seeded.result.finish_time == pytest.approx(
+            cold.result.finish_time, rel=1e-6) or \
+            seeded.result.finish_time <= cold.result.finish_time + 1e-9
+
+    def test_cache_hits_never_mark_donors(self):
+        with Planner(executor="inline") as planner:
+            planner.plan(_request())
+            hit = planner.plan(_request())
+        assert hit.cache_hit and not hit.warm_donor
+        assert planner.stats()["warm_donors"] == 0
+
+    def test_donor_flag_roundtrips_the_wire(self):
+        from repro.service import PlanResponse
+
+        with Planner(executor="inline") as planner:
+            planner.plan(self._scaled_request(1.0))
+            response = planner.plan(self._scaled_request(0.5))
+        back = PlanResponse.from_dict(response.to_dict())
+        assert back.warm_donor == response.warm_donor is True

@@ -1,0 +1,100 @@
+"""SolvePool lifecycle: in-flight retirement, coalescing, warm payloads.
+
+The regression that matters here (PR 4 satellite): a solve that *fails*
+must leave the in-flight registry, so a later identical request re-solves
+instead of inheriting the old exception forever.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import ModelError
+from repro.service import Planner, ScheduleCache, SolvePool
+
+FP = "f" * 64
+
+
+def _boom(request_dict):
+    """Module-level so the process executor can pickle it."""
+    raise ModelError("boom")
+
+
+def _wait_retired(pool, timeout=5.0):
+    """Done-callbacks run on executor threads; give them a beat."""
+    deadline = time.monotonic() + timeout
+    while pool.inflight_count and time.monotonic() < deadline:
+        time.sleep(0.01)
+    return pool.inflight_count == 0
+
+
+class TestFailedSolveRetirement:
+    def test_inline_executor_retires_and_resolves(self):
+        calls = {"n": 0}
+
+        def flaky(request_dict):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ModelError("boom")
+            return {"attempt": calls["n"]}
+
+        pool = SolvePool(executor="inline", solve_fn=flaky)
+        future, coalesced = pool.submit(FP, {})
+        assert not coalesced
+        with pytest.raises(ModelError, match="boom"):
+            pool.wait(future)
+        assert pool.inflight_count == 0
+        # the identical request must re-solve, not join the dead future
+        retry, coalesced = pool.submit(FP, {})
+        assert not coalesced
+        assert pool.wait(retry) == {"attempt": 2}
+        assert pool.stats.solves == 2
+        assert pool.stats.errors == 1
+        assert pool.stats.completed == 1
+
+    def test_process_executor_retires_and_resolves(self):
+        pool = SolvePool(max_workers=1, executor="process", solve_fn=_boom)
+        try:
+            future, coalesced = pool.submit(FP, {})
+            assert not coalesced
+            with pytest.raises(ModelError, match="boom"):
+                pool.wait(future)
+            assert _wait_retired(pool)
+            retry, coalesced = pool.submit(FP, {})
+            assert not coalesced  # a fresh solve, not the dead future
+            with pytest.raises(ModelError, match="boom"):
+                pool.wait(retry)
+            assert pool.stats.solves == 2
+            assert pool.stats.errors >= 1
+        finally:
+            pool.shutdown()
+
+    def test_planner_retries_after_failed_solve(self):
+        """End to end: a failed plan() does not poison the fingerprint."""
+        from repro import collectives, topology
+        from repro.core import TecclConfig
+        from repro.service import PlanRequest
+
+        calls = {"n": 0}
+
+        def flaky(request_dict):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ModelError("first call dies")
+            from repro.service.pool import solve_request
+
+            return solve_request(request_dict)
+
+        topo = topology.ring(4, capacity=1.0)
+        request = PlanRequest(
+            topology=topo, demand=collectives.alltoall(topo.gpus, 1),
+            config=TecclConfig(chunk_bytes=1.0, num_epochs=4))
+        planner = Planner(cache=ScheduleCache(capacity=4),
+                          pool=SolvePool(executor="inline", solve_fn=flaky))
+        with planner:
+            with pytest.raises(ModelError):
+                planner.plan(request)
+            response = planner.plan(request)
+            assert response.ok and not response.cache_hit \
+                and not response.coalesced
+            assert calls["n"] == 2

@@ -198,6 +198,66 @@ def _build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--dir", dest="cache_dir", required=True)
     cache.add_argument("--action", choices=["stats", "list", "purge"],
                        default="stats")
+
+    bench_sweep = sub.add_parser(
+        "bench-sweep",
+        help="hccl_demo-style message-size sweep: algbw/busbw per 2^k size")
+    bench_sweep.add_argument("--topology", choices=sorted(_TOPOLOGIES),
+                             required=True)
+    bench_sweep.add_argument("--chassis", type=int, default=1)
+    bench_sweep.add_argument("--collective",
+                             choices=["allgather", "alltoall", "allreduce"],
+                             default="allgather")
+    bench_sweep.add_argument("--min-size", type=float, default=4096,
+                             help="smallest buffer in bytes (rounded up to "
+                                  "a power of two)")
+    bench_sweep.add_argument("--max-size", type=float, default=4194304,
+                             help="largest buffer in bytes")
+    bench_sweep.add_argument("--mip-gap", type=float, default=0.1)
+    bench_sweep.add_argument("--time-limit", type=float, default=30.0)
+    bench_sweep.add_argument("--output", default=None,
+                             help="JSON results file (default: "
+                                  "benchmarks/results/BENCH_fleet_sweep"
+                                  ".json when run from the repo root)")
+
+    fleet = sub.add_parser(
+        "fleet", help="fleet control plane: telemetry-driven adaptation")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_run = fleet_sub.add_parser(
+        "run", help="run the adaptation daemon over a seeded scenario")
+    fleet_run.add_argument("--topology", choices=sorted(_TOPOLOGIES),
+                           required=True)
+    fleet_run.add_argument("--chassis", type=int, default=1)
+    fleet_run.add_argument("--jobs", default="alltoall",
+                           help="comma-separated collectives, one fleet "
+                                "job each (e.g. alltoall,allgather)")
+    fleet_run.add_argument("--chunks", type=int, default=1)
+    fleet_run.add_argument("--chunk-size", type=float, default=1e6)
+    fleet_run.add_argument("--steps", type=int, default=8,
+                           help="telemetry polls to run")
+    fleet_run.add_argument("--seed", type=int, default=0)
+    fleet_run.add_argument("--drift", type=float, default=0.0,
+                           help="random-walk capacity drift sigma "
+                                "(0 = stable fabric)")
+    fleet_run.add_argument("--degrade", action="append", default=[],
+                           metavar="SRC,DST,FACTOR,AT",
+                           help="scripted degradation, repeatable "
+                                "(e.g. 0,1,0.5,2)")
+    fleet_run.add_argument("--fail", action="append", default=[],
+                           metavar="SRC,DST,AT",
+                           help="scripted link failure, repeatable")
+    fleet_run.add_argument("--pool", dest="pool_kind", default="inline",
+                           choices=["process", "thread", "inline"])
+    fleet_run.add_argument("--mip-gap", type=float, default=0.1)
+    fleet_run.add_argument("--time-limit", type=float, default=30.0)
+    fleet_run.add_argument("--status-file", default=None,
+                           help="write the final fleet status as JSON "
+                                "(readable with `teccl fleet status`)")
+
+    fleet_status = fleet_sub.add_parser(
+        "status", help="render a status file written by `teccl fleet run`")
+    fleet_status.add_argument("--status-file", required=True)
     return parser
 
 
@@ -598,6 +658,230 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_sizes(min_size: float, max_size: float) -> list[int]:
+    """The 2^k buffer sizes between min and max, hccl_demo-style."""
+    from repro.errors import ServiceError
+
+    if min_size <= 0 or max_size < min_size:
+        raise ServiceError("need 0 < --min-size <= --max-size")
+    import math
+
+    low = math.ceil(math.log2(min_size))
+    high = math.floor(math.log2(max_size))
+    if high < low:
+        raise ServiceError(
+            "no power-of-two size between --min-size and --max-size")
+    return [2 ** k for k in range(low, high + 1)]
+
+
+def _bench_sweep_config(topo, chunk_bytes: float, args) -> TecclConfig:
+    """Per-size config with an α-guard epoch multiplier.
+
+    Same guard idea as the benches' ``auto_epoch_multiplier`` (coarsen the
+    grid when α would span more than ~10 epochs), computed on the raw
+    fabric because the sweep solves under the COPY switch model — no
+    hyper-edge rewrite is involved here.
+    """
+    from repro.solver import SolverOptions
+
+    base_tau = chunk_bytes / topo.max_capacity
+    alpha = topo.max_alpha
+    multiplier = 1.0 if alpha <= 10 * base_tau else alpha / (10 * base_tau)
+    return TecclConfig(
+        chunk_bytes=chunk_bytes, epoch_multiplier=multiplier,
+        solver=SolverOptions(mip_gap=args.mip_gap,
+                             time_limit=args.time_limit))
+
+
+def _cmd_bench_sweep(args: argparse.Namespace) -> int:
+    """Message-size sweep reporting algbw/busbw per size (hccl_demo-style).
+
+    algbw = buffer/finish; busbw applies the collective's traffic factor
+    ((N−1)/N for allgather/alltoall, 2(N−1)/N for allreduce) so numbers
+    are comparable across GPU counts — the convention NCCL/hccl_demo use.
+    """
+    import json
+    import pathlib
+
+    from repro.collectives import (allgather_plan, alltoall_plan,
+                                   synthesize_allreduce)
+
+    builder = _TOPOLOGIES[args.topology]
+    topo = builder(args.chassis) if args.topology != "dgx1" else builder(1)
+    n = topo.num_gpus
+    rows = []
+    print(f"{'size':>12} {'finish us':>12} {'algbw GB/s':>11} "
+          f"{'busbw GB/s':>11} {'solve s':>8}")
+    for size in _sweep_sizes(args.min_size, args.max_size):
+        if args.collective == "allreduce":
+            config = _bench_sweep_config(topo, size / n, args)
+            outcome = synthesize_allreduce(topo, config)
+            finish, solve = outcome.finish_time, outcome.solve_time
+            busbw = outcome.bus_bandwidth(n, size)
+        else:
+            plan = (allgather_plan(n, size)
+                    if args.collective == "allgather"
+                    else alltoall_plan(n, size))
+            demand = _COLLECTIVES[args.collective](topo.gpus, 1)
+            config = _bench_sweep_config(topo, plan.chunk_bytes, args)
+            result = synthesize(topo, demand, config)
+            finish, solve = result.finish_time, result.solve_time
+            busbw = (size / finish) * (n - 1) / n
+        algbw = size / finish
+        rows.append({"size_bytes": size, "finish_time": finish,
+                     "algbw": algbw, "busbw": busbw, "solve_time": solve})
+        print(f"{size:>12} {finish * 1e6:>12.3f} {algbw / 1e9:>11.3f} "
+              f"{busbw / 1e9:>11.3f} {solve:>8.2f}")
+    output = args.output
+    if output is None:
+        output = str(pathlib.Path("benchmarks") / "results"
+                     / "BENCH_fleet_sweep.json")
+    from repro.errors import ServiceError
+
+    path = pathlib.Path(output)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({
+            "topology": topo.name, "gpus": n,
+            "collective": args.collective, "rows": rows,
+            "note": "hccl_demo-style sweep: algbw = buffer/finish, busbw "
+                    "applies the collective's traffic factor",
+        }, indent=2) + "\n", encoding="utf-8")
+    except OSError as exc:
+        raise ServiceError(f"cannot write --output: {exc}") from exc
+    print(f"published    : {path}")
+    return 0
+
+
+def _parse_fleet_events(args: argparse.Namespace):
+    """--degrade/--fail flags → scripted telemetry events."""
+    from repro.errors import ServiceError
+    from repro.fleet import LinkEvent
+
+    events = []
+    for spec in args.degrade:
+        parts = spec.split(",")
+        if len(parts) != 4:
+            raise ServiceError(
+                f"--degrade wants SRC,DST,FACTOR,AT, got {spec!r}")
+        src, dst, factor, at = parts
+        try:
+            events.append(LinkEvent(at=float(at),
+                                    link=(int(src), int(dst)),
+                                    factor=float(factor)))
+        except ValueError as exc:
+            raise ServiceError(f"bad --degrade {spec!r}: {exc}") from exc
+    for spec in args.fail:
+        parts = spec.split(",")
+        if len(parts) != 3:
+            raise ServiceError(f"--fail wants SRC,DST,AT, got {spec!r}")
+        src, dst, at = parts
+        try:
+            events.append(LinkEvent(at=float(at),
+                                    link=(int(src), int(dst)), down=True))
+        except ValueError as exc:
+            raise ServiceError(f"bad --fail {spec!r}: {exc}") from exc
+    return events
+
+
+def _cmd_fleet_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ServiceError
+    from repro.fleet import (FleetJob, FleetOrchestrator, SyntheticTelemetry)
+    from repro.service import Planner
+    from repro.simulate import DriftModel
+    from repro.solver import SolverOptions
+
+    builder = _TOPOLOGIES[args.topology]
+    topo = builder(args.chassis) if args.topology != "dgx1" else builder(1)
+    events = _parse_fleet_events(args)
+    job_names = [name.strip() for name in args.jobs.split(",")
+                 if name.strip()]
+    for name in job_names:
+        if name not in _COLLECTIVES:
+            raise ServiceError(f"unknown collective {name!r} in --jobs")
+    source = SyntheticTelemetry(
+        topo, events=events, seed=args.seed,
+        drift=DriftModel(sigma=args.drift) if args.drift > 0 else None)
+    config = TecclConfig(
+        chunk_bytes=args.chunk_size,
+        solver=SolverOptions(mip_gap=args.mip_gap,
+                             time_limit=args.time_limit))
+    with Planner(executor=args.pool_kind) as planner:
+        fleet = FleetOrchestrator(topo, source, planner)
+        for index, name in enumerate(job_names):
+            job = FleetJob(name=f"{name}#{index}",
+                           demand=_COLLECTIVES[name](topo.gpus, args.chunks),
+                           config=config)
+            entry = fleet.admit(job)
+            print(f"admitted     : {job.name} "
+                  f"(finish {entry.result.finish_time * 1e6:.3f} us, "
+                  f"method {entry.result.method.value})")
+        for _ in range(args.steps):
+            for decision in fleet.step():
+                print(f"  {decision}")
+        status = fleet.status()
+        stats = status["stats"]
+    fabric = status["fabric"]
+    print(f"fabric       : {fabric['health']['healthy']} healthy / "
+          f"{fabric['health']['degraded']} degraded / "
+          f"{fabric['health']['down']} down")
+    print(f"transitions  : {stats['transitions']}")
+    print(f"adaptations  : {stats['replans']} replans, {stats['kept']} "
+          f"kept, {stats['rollbacks']} rollbacks, {stats['failed']} failed")
+    print(f"solve budget : {stats['adaptation_solve_time']:.3f} s "
+          "spent adapting")
+    if args.status_file:
+        try:
+            with open(args.status_file, "w", encoding="utf-8") as handle:
+                json.dump(status, handle, indent=2)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot write --status-file: {exc}") from exc
+        print(f"status       : {args.status_file}")
+    return 0
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ServiceError
+
+    try:
+        with open(args.status_file, "r", encoding="utf-8") as handle:
+            status = json.load(handle)
+    except OSError as exc:
+        raise ServiceError(f"cannot read status file: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ServiceError(
+            f"invalid JSON in {args.status_file}: {exc}") from exc
+    fabric = status.get("fabric", {})
+    health = fabric.get("health", {})
+    print(f"fabric       : {fabric.get('topology')} "
+          f"({fabric.get('links')} links)")
+    print(f"health       : {health.get('healthy', 0)} healthy / "
+          f"{health.get('degraded', 0)} degraded / "
+          f"{health.get('down', 0)} down")
+    for link, factor in sorted(fabric.get("degraded", {}).items()):
+        print(f"  degraded   : {link} at {100 * factor:.0f}% capacity")
+    for link in fabric.get("down", []):
+        print(f"  down       : {link}")
+    active = status.get("registry", {}).get("active", {})
+    print(f"{'job':<20} {'status':<8} {'finish us':>12} {'conformant':>11}")
+    for name, entry in sorted(active.items()):
+        print(f"{name:<20} {entry['status']:<8} "
+              f"{entry['finish_time'] * 1e6:>12.3f} "
+              f"{str(entry['conformance_ok']):>11}")
+    stats = status.get("stats", {})
+    print(f"adaptations  : {stats.get('replans', 0)} replans, "
+          f"{stats.get('kept', 0)} kept, "
+          f"{stats.get('rollbacks', 0)} rollbacks")
+    for line in status.get("decisions", []):
+        print(f"  {line}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -611,6 +895,10 @@ def main(argv: list[str] | None = None) -> int:
         "workload": lambda: _cmd_workload(args),
         "serve-batch": lambda: _cmd_serve_batch(args),
         "cache": lambda: _cmd_cache(args),
+        "bench-sweep": lambda: _cmd_bench_sweep(args),
+        "fleet": lambda: (_cmd_fleet_run(args)
+                          if args.fleet_command == "run"
+                          else _cmd_fleet_status(args)),
     }
     try:
         return handlers[args.command]()

@@ -42,3 +42,7 @@ class ExportError(ReproError):
 
 class ServiceError(ReproError):
     """The planner service failed (timeout, uncacheable request, bad spec)."""
+
+
+class FleetError(ReproError):
+    """The fleet control plane failed (bad telemetry, estimator misuse...)."""

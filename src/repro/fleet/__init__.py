@@ -1,0 +1,58 @@
+"""The fleet control plane: telemetry → estimate → replan, online.
+
+Everything below the planner service is offline machinery — solvers,
+caches, warm starts, a conformance oracle. This package is the loop that
+*drives* them from observed fabric state, turning the repo from a solver
+library into a serving system:
+
+* :mod:`~repro.fleet.telemetry` — pluggable link-metric streams
+  (synthetic seeded scenarios, recorded traces);
+* :mod:`~repro.fleet.estimate` — EWMA + hysteresis fabric estimation,
+  producing a live :class:`~repro.topology.Topology` view;
+* :mod:`~repro.fleet.controller` — the adaptation daemon: cost-gated warm
+  replans through the :class:`~repro.service.Planner`, every activation
+  vetted by the conformance oracle, with an active/pending/rollback
+  schedule registry;
+* :mod:`~repro.fleet.orchestrator` — multi-job admission with priority
+  capacity shares and batched replan fan-out.
+
+Quickstart::
+
+    from repro import collectives, topology
+    from repro.core import TecclConfig
+    from repro.fleet import (AdaptationController, FleetJob, LinkEvent,
+                             SyntheticTelemetry)
+    from repro.service import Planner
+
+    topo = topology.ring(8, capacity=1.0)
+    source = SyntheticTelemetry(
+        topo, events=[LinkEvent(at=2.0, link=(0, 1), factor=0.5)])
+    with Planner(executor="inline") as planner:
+        daemon = AdaptationController(topo, source, planner)
+        daemon.add_job(FleetJob(name="alltoall",
+                                demand=collectives.alltoall(topo.gpus, 1),
+                                config=TecclConfig(chunk_bytes=1.0)))
+        for _ in range(6):
+            for decision in daemon.step():
+                print(decision)
+"""
+
+from repro.fleet.controller import (AdaptationController, AdaptationDecision,
+                                    CostGate, FleetJob, RegistryEntry,
+                                    ScheduleRegistry, ScheduleStatus,
+                                    links_used_by, predicted_finish)
+from repro.fleet.estimate import (FabricEstimator, LinkEstimate, LinkHealth,
+                                  LinkTransition)
+from repro.fleet.orchestrator import FleetOrchestrator
+from repro.fleet.telemetry import (LinkEvent, LinkSample, SyntheticTelemetry,
+                                   TelemetrySource, TraceTelemetry)
+
+__all__ = [
+    "LinkSample", "LinkEvent", "TelemetrySource", "SyntheticTelemetry",
+    "TraceTelemetry",
+    "FabricEstimator", "LinkEstimate", "LinkHealth", "LinkTransition",
+    "AdaptationController", "AdaptationDecision", "CostGate", "FleetJob",
+    "RegistryEntry", "ScheduleRegistry", "ScheduleStatus",
+    "predicted_finish", "links_used_by",
+    "FleetOrchestrator",
+]

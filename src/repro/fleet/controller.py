@@ -1,0 +1,619 @@
+"""The adaptation daemon: estimator transitions → cost-gated replans.
+
+This closes the paper's loop (§2, §5.4): the planner can *react* to
+failures, congestion, and heterogeneous bandwidth instead of shipping one
+fixed algorithm — but only if something watches the fabric and decides when
+a re-solve pays. That something is the :class:`AdaptationController`:
+
+1. poll telemetry, fold it into the :class:`~repro.fleet.FabricEstimator`;
+2. on a health transition, *predict* what the live fabric does to each
+   job's active schedule (a dead link breaks it; a degraded link stretches
+   it by the worst capacity ratio along its used links);
+3. gate replan-vs-keep on cost: the predicted finish-time regression,
+   amortised over the iterations a plan serves, must outweigh the
+   predicted re-solve cost (the prior solve time is the estimate);
+4. route replans through the :class:`~repro.service.Planner` — warm-seeded
+   by each job's active schedule (``warm_from=``), batched so a fabric
+   event fans out across the solve pool;
+5. vet every adapted schedule through the conformance oracle *before*
+   activation; a failed replay rolls back to the incumbent. The registry
+   enforces the invariant: a non-conformant schedule can never activate.
+
+The model of a "job" here is a recurring collective (one training step's
+ALLREDUCE, say): adaptation replans *future* iterations; rescuing the
+iteration in flight is :func:`repro.failures.repair_schedule`'s business.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro.collectives.demand import Demand
+from repro.core.config import TecclConfig
+from repro.core.schedule import Schedule
+from repro.core.solve import Method, SynthesisResult
+from repro.errors import FleetError
+from repro.fleet.estimate import (FabricEstimator, LinkHealth,
+                                  LinkTransition)
+from repro.fleet.telemetry import TelemetrySource
+from repro.service.planner import Planner
+from repro.service.schema import PlanRequest
+from repro.topology.topology import Topology
+
+
+@dataclass
+class FleetJob:
+    """One recurring collective the fleet keeps planned.
+
+    Attributes:
+        name: registry key; unique per controller.
+        demand: the collective's demand matrix.
+        config: synthesis knobs (chunk size, switch model, ...).
+        method: formulation override (AUTO = the paper's selection rule).
+        priority: relative weight for capacity shares (the orchestrator's
+            admission uses it; the controller itself treats jobs equally).
+    """
+
+    name: str
+    demand: Demand
+    config: TecclConfig
+    method: Method = Method.AUTO
+    priority: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FleetError("a fleet job needs a name")
+        if self.priority <= 0:
+            raise FleetError(f"job {self.name!r}: priority must be positive")
+
+
+@dataclass(frozen=True)
+class CostGate:
+    """Replan-vs-keep: is the predicted regression worth a re-solve?
+
+    A plan serves ``amortize_iterations`` runs of its collective, so a
+    finish-time regression of ``r`` seconds costs ``r × iterations``
+    wall-clock before the next natural re-plan — replan when that exceeds
+    the predicted solve cost. Regressions under ``min_regression``
+    (relative) are ignored outright: re-fingerprinting the fleet for noise
+    is how a control plane melts its own solver pool.
+    """
+
+    min_regression: float = 0.05
+    amortize_iterations: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.min_regression < 0:
+            raise FleetError("min_regression must be non-negative")
+        if self.amortize_iterations <= 0:
+            raise FleetError("amortize_iterations must be positive")
+
+    def should_replan(self, *, predicted: float, active: float,
+                      solve_cost: float) -> bool:
+        if predicted == float("inf"):
+            return True  # the active schedule uses a dead link
+        regression = predicted - active
+        if regression <= self.min_regression * active:
+            return False
+        return regression * self.amortize_iterations >= solve_cost
+
+
+def links_used_by(result: SynthesisResult,
+                  declared: Topology) -> set[tuple[int, int]] | None:
+    """Links a result's schedule occupies, in declared-fabric ids.
+
+    ``None`` when the schedule lives in a transformed (hyper-edge) node
+    space or references links outside the declared fabric — callers must
+    then assume the whole fabric is in play.
+    """
+    schedule = result.schedule
+    if isinstance(schedule, Schedule):
+        used = set(schedule.links_used())
+    else:
+        used = {(i, j) for (_, i, j, _) in schedule.flows}
+    if result.hyper is not None \
+            or any(link not in declared.links for link in used):
+        return None
+    return used
+
+
+def predicted_finish(result: SynthesisResult, declared: Topology,
+                     live: Topology) -> float:
+    """What the live fabric does to an existing schedule, without solving.
+
+    ``inf`` when the schedule uses a link the live view dropped. Otherwise
+    the finish time stretched by the worst declared→live capacity ratio
+    over the links the schedule actually uses — exact for a schedule
+    bottlenecked on the degraded link, conservative otherwise (β scales
+    with 1/capacity; α is unchanged by degradation). Schedules in a
+    transformed (hyper-edge) node space fall back to scanning the whole
+    fabric, which is more conservative still.
+    """
+    used = links_used_by(result, declared)
+    if used is None:
+        used = set(declared.links)
+    worst = 1.0
+    for link in used:
+        if link not in live.links:
+            return float("inf")
+        worst = min(worst,
+                    live.links[link].capacity / declared.links[link].capacity)
+    if worst <= 0:
+        return float("inf")
+    return result.finish_time / worst
+
+
+class ScheduleStatus(enum.Enum):
+    """Lifecycle of one schedule in the registry."""
+
+    PENDING = "pending"
+    ACTIVE = "active"
+    ROLLED_BACK = "rolled_back"
+    RETIRED = "retired"
+
+
+@dataclass
+class RegistryEntry:
+    """One schedule the registry has seen, with its vetting verdict.
+
+    ``fabric`` is the live view the schedule was planned against — the
+    baseline for later regression predictions (predicting against the
+    declared fabric would double-count degradation the plan already paid
+    for).
+    """
+
+    job: str
+    result: SynthesisResult
+    status: ScheduleStatus
+    time: float
+    conformance_ok: bool | None = None
+    note: str = ""
+    fabric: Topology | None = None
+
+    def to_dict(self) -> dict:
+        return {"job": self.job, "status": self.status.value,
+                "time": self.time, "conformance_ok": self.conformance_ok,
+                "finish_time": self.result.finish_time,
+                "solve_time": self.result.solve_time,
+                "method": self.result.method.value, "note": self.note}
+
+
+class ScheduleRegistry:
+    """Active/pending/rollback bookkeeping with one hard invariant.
+
+    Every schedule enters as PENDING via :meth:`propose`; it becomes
+    ACTIVE only through :meth:`activate`, which *refuses* entries whose
+    conformance verdict is not an explicit pass — the acceptance
+    criterion "zero non-conformant schedules ever activate" is enforced
+    here, in one place, rather than by every caller remembering to check.
+    """
+
+    def __init__(self, history_limit: int = 1000) -> None:
+        self._active: dict[str, RegistryEntry] = {}
+        # bounded: a long-running daemon proposes schedules indefinitely;
+        # active entries stay reachable through _active regardless
+        self.history: deque[RegistryEntry] = deque(maxlen=history_limit)
+        self._lock = threading.Lock()
+
+    def propose(self, job: str, result: SynthesisResult, time: float,
+                fabric: Topology | None = None) -> RegistryEntry:
+        entry = RegistryEntry(job=job, result=result,
+                              status=ScheduleStatus.PENDING, time=time,
+                              fabric=fabric)
+        with self._lock:
+            self.history.append(entry)
+        return entry
+
+    def activate(self, entry: RegistryEntry) -> RegistryEntry:
+        if entry.conformance_ok is not True:
+            raise FleetError(
+                f"refusing to activate schedule for job {entry.job!r}: "
+                f"conformance verdict is {entry.conformance_ok!r}, not a "
+                "pass")
+        with self._lock:
+            incumbent = self._active.get(entry.job)
+            if incumbent is not None:
+                incumbent.status = ScheduleStatus.RETIRED
+            entry.status = ScheduleStatus.ACTIVE
+            self._active[entry.job] = entry
+        return entry
+
+    def rollback(self, entry: RegistryEntry, reason: str) -> RegistryEntry:
+        with self._lock:
+            entry.status = ScheduleStatus.ROLLED_BACK
+            entry.note = reason
+        return entry
+
+    def retire(self, job: str) -> None:
+        """Drop a job's active schedule (the job left the fleet)."""
+        with self._lock:
+            entry = self._active.pop(job, None)
+            if entry is not None:
+                entry.status = ScheduleStatus.RETIRED
+
+    def active(self, job: str) -> RegistryEntry | None:
+        with self._lock:
+            return self._active.get(job)
+
+    def active_jobs(self) -> list[str]:
+        with self._lock:
+            return sorted(self._active)
+
+    def counts(self) -> dict[str, int]:
+        """Status counts over the retained history window."""
+        with self._lock:
+            counts = {status.value: 0 for status in ScheduleStatus}
+            for entry in self.history:
+                counts[entry.status.value] += 1
+        return counts
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "active": {job: entry.to_dict()
+                           for job, entry in sorted(self._active.items())},
+                "history": [entry.to_dict() for entry in self.history],
+            }
+
+
+@dataclass(frozen=True)
+class AdaptationDecision:
+    """One job's outcome for one fabric event (what ``step`` returns)."""
+
+    job: str
+    time: float
+    action: str  # "replan" | "keep" | "rollback" | "failed"
+    reason: str
+    predicted: float | None = None
+    active_finish: float | None = None
+    new_finish: float | None = None
+    solve_time: float | None = None
+
+    def __str__(self) -> str:
+        parts = [f"[t={self.time:g}] {self.job}: {self.action}"]
+        if self.action == "replan" and self.new_finish is not None:
+            parts.append(f"finish {self.active_finish:.3g} -> "
+                         f"{self.new_finish:.3g}s")
+        parts.append(f"({self.reason})")
+        return " ".join(parts)
+
+
+class AdaptationController:
+    """The online adaptation daemon over one planner and one fabric.
+
+    Args:
+        topology: the declared fabric.
+        source: the telemetry stream to poll.
+        planner: the serving layer replans route through.
+        estimator: a pre-configured estimator (default: fresh, default
+            thresholds).
+        gate: the replan-vs-keep cost gate.
+        fabric_view: optional per-job view of the live fabric — the
+            orchestrator injects priority capacity shares here. Called as
+            ``fabric_view(job, live_topology) -> Topology``.
+    """
+
+    def __init__(self, topology: Topology, source: TelemetrySource,
+                 planner: Planner, *,
+                 estimator: FabricEstimator | None = None,
+                 gate: CostGate | None = None,
+                 fabric_view=None) -> None:
+        self.topology = topology
+        self.source = source
+        self.planner = planner
+        self.estimator = estimator if estimator is not None \
+            else FabricEstimator(topology)
+        if self.estimator.topology is not topology:
+            raise FleetError(
+                "estimator and controller must share one declared fabric")
+        self.gate = gate if gate is not None else CostGate()
+        self.fabric_view = fabric_view
+        self.registry = ScheduleRegistry()
+        self.jobs: dict[str, FleetJob] = {}
+        # jobs is mutated by admission/retirement threads while the daemon
+        # thread iterates it; mutate and snapshot under this lock.
+        self._jobs_lock = threading.Lock()
+        #: recent decisions (bounded: the daemon emits them indefinitely)
+        self.decisions: deque[AdaptationDecision] = deque(maxlen=500)
+        self.now = 0.0
+        self._stats = {"polls": 0, "samples": 0, "transitions": 0,
+                       "replans": 0, "kept": 0, "rollbacks": 0,
+                       "failed": 0, "errors": 0,
+                       "adaptation_solve_time": 0.0}
+        #: last exception the daemon loop swallowed (None = healthy)
+        self.last_error: str | None = None
+        self._stats_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    # jobs
+    # ------------------------------------------------------------------
+    def _view(self, job: FleetJob, live: Topology) -> Topology:
+        if self.fabric_view is None:
+            return live
+        return self.fabric_view(job, live)
+
+    def _request(self, job: FleetJob, live: Topology) -> PlanRequest:
+        return PlanRequest(topology=self._view(job, live),
+                           demand=job.demand, config=job.config,
+                           method=job.method, tag=job.name)
+
+    def add_job(self, job: FleetJob) -> RegistryEntry:
+        """Admit a job: plan it on the current live fabric and activate.
+
+        The initial plan is vetted exactly like an adapted one — the
+        registry's invariant holds from the first schedule, not just from
+        the first adaptation.
+        """
+        with self._jobs_lock:
+            if job.name in self.jobs:
+                raise FleetError(f"job {job.name!r} already admitted")
+            self.jobs[job.name] = job
+        try:
+            live = self.estimator.live_topology()
+            response = self.planner.plan(self._request(job, live))
+            entry = self.registry.propose(job.name, response.result,
+                                          self.now, fabric=live)
+            entry.conformance_ok = self._vet(response.result)
+            if entry.conformance_ok is not True:
+                self.registry.rollback(entry,
+                                       "initial plan failed conformance")
+                raise FleetError(
+                    f"initial plan for job {job.name!r} failed conformance "
+                    "replay; refusing to admit")
+        except BaseException:
+            # a failed admission must not leave a ghost job (it would block
+            # re-admission and distort the orchestrator's shares forever)
+            with self._jobs_lock:
+                self.jobs.pop(job.name, None)
+            raise
+        return self.registry.activate(entry)
+
+    def remove_job(self, name: str) -> None:
+        with self._jobs_lock:
+            if name not in self.jobs:
+                raise FleetError(f"no job {name!r}")
+            del self.jobs[name]
+        self.registry.retire(name)
+
+    def _jobs_snapshot(self) -> dict[str, FleetJob]:
+        with self._jobs_lock:
+            return dict(self.jobs)
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+    def step(self) -> list[AdaptationDecision]:
+        """One daemon tick: poll → estimate → (maybe) adapt."""
+        samples = self.source.poll()
+        self._bump(polls=1, samples=len(samples))
+        if samples:
+            self.now = max(self.now, max(s.time for s in samples))
+        transitions = self.estimator.observe_all(samples)
+        if not transitions:
+            return []
+        self._bump(transitions=len(transitions))
+        decisions = self.adapt(transitions)
+        self.decisions.extend(decisions)
+        return decisions
+
+    def adapt(self, transitions: list[LinkTransition],
+              ) -> list[AdaptationDecision]:
+        """React to fabric transitions: gate each job, fan out replans.
+
+        Regressions (a link got worse) replan the jobs whose schedules the
+        change actually hurts, gated on amortised cost. Recoveries (a link
+        got better) *speculatively* warm-replan every job — an improved
+        fabric cannot be exploited by a schedule that was planned to avoid
+        the sick link — but the fresh schedule only activates if it
+        actually beats the incumbent, so recovery can never cause churn.
+        """
+        live = self.estimator.live_topology()
+        rank = {LinkHealth.HEALTHY: 0, LinkHealth.DEGRADED: 1,
+                LinkHealth.DOWN: 2}
+        worsened = {t.link for t in transitions
+                    if rank[t.new] > rank[t.old]}
+        recovered = any(rank[t.new] < rank[t.old] for t in transitions)
+        to_replan: list[tuple[FleetJob, RegistryEntry, float, bool]] = []
+        decisions: list[AdaptationDecision] = []
+        jobs = self._jobs_snapshot()
+        for name in sorted(jobs):
+            job = jobs[name]
+            entry = self.registry.active(name)
+            if entry is None:
+                continue
+            # Baseline: the fabric the incumbent was planned on. Against
+            # the declared fabric a schedule that already paid for a
+            # degradation would be charged for it again on every later
+            # event, inflating regressions and disabling the cost gate.
+            baseline = entry.fabric if entry.fabric is not None \
+                else self.topology
+            predicted = predicted_finish(entry.result, baseline, live)
+            active = entry.result.finish_time
+            hurt = predicted == float("inf") or self._uses(entry, worsened)
+            if hurt and self.gate.should_replan(
+                    predicted=predicted, active=active,
+                    solve_cost=entry.result.solve_time):
+                to_replan.append((job, entry, predicted, False))
+                continue
+            if recovered:
+                to_replan.append((job, entry, predicted, True))
+                continue
+            self._bump(kept=1)
+            decisions.append(AdaptationDecision(
+                job=name, time=self.now, action="keep",
+                reason=("cost gate: regression below the replan bar"
+                        if hurt
+                        else "schedule does not use the changed links"),
+                predicted=predicted, active_finish=active))
+        decisions.extend(self._replan(
+            [job for job, _, _, _ in to_replan], live,
+            priors=[e for _, e, _, _ in to_replan],
+            predicted=[p for _, _, p, _ in to_replan],
+            speculative=[s for _, _, _, s in to_replan]))
+        return decisions
+
+    def _uses(self, entry: RegistryEntry, changed: set) -> bool:
+        used = links_used_by(entry.result, self.topology)
+        if used is None:
+            return True  # transformed node space: assume affected
+        return bool(used & changed)
+
+    def _replan(self, jobs: list[FleetJob], live: Topology, *,
+                priors: list[RegistryEntry],
+                predicted: list[float],
+                speculative: list[bool] | None = None,
+                ) -> list[AdaptationDecision]:
+        """Warm-replan a batch of jobs through the planner's solve pool.
+
+        A ``speculative`` replan (recovery probing) only activates when it
+        strictly improves on the incumbent's finish; a mandatory one
+        (regression) activates any conformant result.
+        """
+        if not jobs:
+            return []
+        if speculative is None:
+            speculative = [False] * len(jobs)
+        requests = [self._request(job, live) for job in jobs]
+        responses = self.planner.plan_batch(
+            requests, warm_from=[p.result for p in priors])
+        decisions = []
+        for job, prior, pred, probe, response in zip(jobs, priors,
+                                                     predicted,
+                                                     speculative,
+                                                     responses):
+            if not response.ok:
+                self._bump(failed=1)
+                decisions.append(AdaptationDecision(
+                    job=job.name, time=self.now, action="failed",
+                    reason=f"replan failed: {response.error}",
+                    predicted=pred,
+                    active_finish=prior.result.finish_time))
+                continue
+            result = response.result
+            self._bump(adaptation_solve_time=result.solve_time)
+            if probe and result.finish_time >= prior.result.finish_time:
+                self._bump(kept=1)
+                decisions.append(AdaptationDecision(
+                    job=job.name, time=self.now, action="keep",
+                    reason="recovery probe did not beat the incumbent",
+                    predicted=pred,
+                    active_finish=prior.result.finish_time,
+                    new_finish=result.finish_time,
+                    solve_time=result.solve_time))
+                continue
+            entry = self.registry.propose(job.name, result, self.now,
+                                          fabric=live)
+            entry.conformance_ok = self._vet(result)
+            if entry.conformance_ok is not True:
+                self.registry.rollback(
+                    entry, "adapted schedule failed conformance replay")
+                self._bump(rollbacks=1)
+                decisions.append(AdaptationDecision(
+                    job=job.name, time=self.now, action="rollback",
+                    reason="adapted schedule failed conformance replay; "
+                           "incumbent stays active",
+                    predicted=pred,
+                    active_finish=prior.result.finish_time,
+                    new_finish=result.finish_time,
+                    solve_time=result.solve_time))
+                continue
+            self.registry.activate(entry)
+            self._bump(replans=1)
+            decisions.append(AdaptationDecision(
+                job=job.name, time=self.now, action="replan",
+                reason=("recovery probe beat the incumbent" if probe
+                        else "warm replan on the live fabric"),
+                predicted=pred, active_finish=prior.result.finish_time,
+                new_finish=result.finish_time,
+                solve_time=result.solve_time))
+        return decisions
+
+    def replan_all(self, reason: str,
+                   names: list[str] | None = None,
+                   ) -> list[AdaptationDecision]:
+        """Re-plan jobs on the current live view (admission changes).
+
+        ``names`` restricts the batch (default: every job with an active
+        schedule); the replans are warm-seeded and fanned out through the
+        solve pool exactly like degradation-driven ones.
+        """
+        live = self.estimator.live_topology()
+        snapshot = self._jobs_snapshot()
+        jobs, priors = [], []
+        for name in sorted(snapshot if names is None else names):
+            entry = self.registry.active(name)
+            if entry is None or name not in snapshot:
+                continue
+            jobs.append(snapshot[name])
+            priors.append(entry)
+        decisions = self._replan(
+            jobs, live, priors=priors,
+            predicted=[p.result.finish_time for p in priors])
+        self.decisions.extend(decisions)
+        return decisions
+
+    def _vet(self, result: SynthesisResult) -> bool:
+        """Conformance-replay one result (the activation gate)."""
+        from repro.simulate import check_result
+
+        return bool(check_result(result).ok)
+
+    # ------------------------------------------------------------------
+    # daemon mode
+    # ------------------------------------------------------------------
+    def start(self, interval: float = 1.0) -> None:
+        """Run ``step`` on a daemon thread every ``interval`` seconds."""
+        if self._thread is not None:
+            raise FleetError("controller daemon already running")
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop, args=(interval,),
+                                        name="teccl-fleet", daemon=True)
+        self._thread.start()
+
+    def _loop(self, interval: float) -> None:
+        while not self._stop.wait(interval):
+            try:
+                self.step()
+            except Exception as exc:  # noqa: BLE001 - daemon must survive
+                # A dead daemon thread is worse than a skipped tick: record
+                # the error where stats()/status() surface it and keep
+                # polling (the next tick may see a healed fabric).
+                self.last_error = f"{type(exc).__name__}: {exc}"
+                self._bump(errors=1)
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def _bump(self, **deltas) -> None:
+        with self._stats_lock:
+            for key, delta in deltas.items():
+                self._stats[key] += delta
+
+    def stats(self) -> dict:
+        with self._stats_lock:
+            return dict(self._stats)
+
+    def status(self) -> dict:
+        """JSON-ready fleet status (``teccl fleet status`` renders this)."""
+        return {
+            "jobs": {name: {"priority": job.priority,
+                            "method": job.method.value}
+                     for name, job in sorted(self._jobs_snapshot().items())},
+            "fabric": self.estimator.snapshot(),
+            "registry": self.registry.to_dict(),
+            "stats": self.stats(),
+            "last_error": self.last_error,
+            "decisions": [str(d) for d in self.decisions],
+        }

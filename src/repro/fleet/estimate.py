@@ -1,0 +1,252 @@
+"""Fabric-state estimation: telemetry samples → a live ``Topology`` view.
+
+The estimator keeps one EWMA of achieved bandwidth per link and classifies
+each link as healthy, degraded (with a capacity factor), or down. Two
+mechanisms keep transient noise from thrashing the planner:
+
+* **margin hysteresis** — leaving a bad state needs the estimate to clear
+  the entry threshold by ``recover_margin``, so an estimate hovering at
+  the boundary cannot oscillate;
+* **a transition cool-down** — after any transition a link's state is
+  frozen for ``cooldown`` scenario-seconds, so a flapping link yields at
+  most one transition (and hence at most one replan) per window.
+
+Transitions — not states — are the control plane's events: ``observe``
+returns a :class:`LinkTransition` exactly when a link's classification
+changes, and the controller reacts to those.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import FleetError
+from repro.fleet.telemetry import LinkSample
+from repro.topology.topology import Topology
+from repro.topology.transforms import with_capacity_overrides
+
+
+class LinkHealth(enum.Enum):
+    """The estimator's per-link verdict."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    DOWN = "down"
+
+
+@dataclass
+class LinkEstimate:
+    """Live state of one link.
+
+    Attributes:
+        capacity: declared bytes/s (the fabric's advertised rate).
+        ewma: smoothed achieved bandwidth; ``None`` before any sample.
+        health: current classification.
+        samples: observations folded in so far.
+        last_transition: scenario time of the last classification change.
+    """
+
+    capacity: float
+    ewma: float | None = None
+    health: LinkHealth = LinkHealth.HEALTHY
+    samples: int = 0
+    last_transition: float | None = None
+
+    @property
+    def factor(self) -> float:
+        """Estimated fraction of declared capacity the link delivers."""
+        if self.ewma is None:
+            return 1.0
+        return self.ewma / self.capacity
+
+    def to_dict(self) -> dict:
+        return {"capacity": self.capacity, "ewma": self.ewma,
+                "health": self.health.value, "factor": self.factor,
+                "samples": self.samples,
+                "last_transition": self.last_transition}
+
+
+@dataclass(frozen=True)
+class LinkTransition:
+    """One classification change — the event the controller reacts to."""
+
+    link: tuple[int, int]
+    time: float
+    old: LinkHealth
+    new: LinkHealth
+    factor: float
+
+    def __str__(self) -> str:
+        return (f"link {self.link[0]}->{self.link[1]} "
+                f"{self.old.value} -> {self.new.value} "
+                f"(factor {self.factor:.2f}) at t={self.time:g}")
+
+
+class FabricEstimator:
+    """EWMA + hysteresis fabric-state estimator over one declared fabric.
+
+    Args:
+        topology: the declared fabric; samples for unknown links are
+            rejected (they mean crossed wires, not news).
+        smoothing: EWMA weight of the newest sample (1.0 = trust the last
+            sample entirely).
+        degraded_below: factor below which a link counts as degraded.
+        down_below: factor below which a link counts as down (lost probes
+            — ``loss >= 1`` — force this regardless of bandwidth).
+        recover_margin: extra factor a link must clear *above* a
+            threshold to leave the worse state (margin hysteresis).
+        cooldown: scenario-seconds after a transition during which the
+            link's classification is frozen (flap suppression).
+        min_samples: observations required before the first transition —
+            one outlier cannot reclassify a link.
+    """
+
+    def __init__(self, topology: Topology, *, smoothing: float = 0.5,
+                 degraded_below: float = 0.8, down_below: float = 0.05,
+                 recover_margin: float = 0.1, cooldown: float = 0.0,
+                 min_samples: int = 2) -> None:
+        if not 0 < smoothing <= 1:
+            raise FleetError("smoothing must be in (0, 1]")
+        if not 0 < down_below < degraded_below < 1:
+            raise FleetError(
+                "need 0 < down_below < degraded_below < 1")
+        if recover_margin < 0 or cooldown < 0:
+            raise FleetError(
+                "recover_margin and cooldown must be non-negative")
+        if degraded_below + recover_margin >= 1:
+            raise FleetError(
+                "degraded_below + recover_margin must stay below 1, or a "
+                "healed link could never re-classify as healthy (the EWMA "
+                "only approaches declared capacity asymptotically)")
+        if min_samples < 1:
+            raise FleetError("min_samples must be at least 1")
+        self.topology = topology
+        self.smoothing = smoothing
+        self.degraded_below = degraded_below
+        self.down_below = down_below
+        self.recover_margin = recover_margin
+        self.cooldown = cooldown
+        self.min_samples = min_samples
+        self._links: dict[tuple[int, int], LinkEstimate] = {
+            key: LinkEstimate(capacity=link.capacity)
+            for key, link in topology.links.items()}
+        #: recent transitions (bounded: a daemon observes indefinitely)
+        self.transitions: deque[LinkTransition] = deque(maxlen=1000)
+
+    # ------------------------------------------------------------------
+    # folding samples in
+    # ------------------------------------------------------------------
+    def observe(self, sample: LinkSample) -> LinkTransition | None:
+        """Fold one sample in; returns the transition it caused, if any."""
+        estimate = self._links.get(sample.link)
+        if estimate is None:
+            raise FleetError(
+                f"sample for link {sample.link} not in "
+                f"{self.topology.name}")
+        if sample.loss >= 1.0:
+            # Every probe lost is a hard signal — the smoothed history is
+            # stale, not a counterweight. (min_samples and the cool-down
+            # still guard against a single blip replanning the fleet.)
+            estimate.ewma = 0.0
+        elif estimate.ewma is None:
+            estimate.ewma = sample.bandwidth
+        else:
+            estimate.ewma = (self.smoothing * sample.bandwidth
+                             + (1 - self.smoothing) * estimate.ewma)
+        estimate.samples += 1
+
+        target = self._classify(estimate)
+        if target is estimate.health:
+            return None
+        if estimate.samples < self.min_samples:
+            return None
+        if (estimate.last_transition is not None
+                and sample.time - estimate.last_transition < self.cooldown):
+            return None  # flap suppression: state frozen inside the window
+        transition = LinkTransition(link=sample.link, time=sample.time,
+                                    old=estimate.health, new=target,
+                                    factor=estimate.factor)
+        estimate.health = target
+        estimate.last_transition = sample.time
+        self.transitions.append(transition)
+        return transition
+
+    def observe_all(self, samples: list[LinkSample]) -> list[LinkTransition]:
+        """Fold a whole collection interval in; returns its transitions."""
+        out = []
+        for sample in samples:
+            transition = self.observe(sample)
+            if transition is not None:
+                out.append(transition)
+        return out
+
+    def _classify(self, estimate: LinkEstimate) -> LinkHealth:
+        """Threshold classification with asymmetric (hysteresis) exits."""
+        factor = estimate.factor
+        current = estimate.health
+        down_exit = self.down_below + self.recover_margin
+        degraded_exit = self.degraded_below + self.recover_margin
+        if factor < self.down_below:
+            return LinkHealth.DOWN
+        if current is LinkHealth.DOWN and factor < down_exit:
+            return LinkHealth.DOWN
+        if factor < self.degraded_below:
+            return LinkHealth.DEGRADED
+        if (current in (LinkHealth.DEGRADED, LinkHealth.DOWN)
+                and factor < degraded_exit):
+            return LinkHealth.DEGRADED
+        return LinkHealth.HEALTHY
+
+    # ------------------------------------------------------------------
+    # the live view
+    # ------------------------------------------------------------------
+    def estimate(self, link: tuple[int, int]) -> LinkEstimate:
+        try:
+            return self._links[link]
+        except KeyError:
+            raise FleetError(f"no link {link} in {self.topology.name}") \
+                from None
+
+    def degraded_links(self) -> dict[tuple[int, int], float]:
+        """Degraded links and their estimated capacity factors.
+
+        Factors are clamped to ``[down_below, 1]``: a cooldown-frozen
+        DEGRADED link whose latest probes were all lost has EWMA 0 but
+        must keep positive live capacity until the estimator may declare
+        it down, and one whose EWMA wandered above declared capacity must
+        not advertise bandwidth the fabric does not have.
+        """
+        return {key: min(1.0, max(e.factor, self.down_below))
+                for key, e in sorted(self._links.items())
+                if e.health is LinkHealth.DEGRADED}
+
+    def down_links(self) -> list[tuple[int, int]]:
+        return sorted(key for key, e in self._links.items()
+                      if e.health is LinkHealth.DOWN)
+
+    def live_topology(self, name: str | None = None) -> Topology:
+        """The fabric as estimated: degraded capacities, dead links cut.
+
+        Healthy links keep their *declared* capacity — trusting small EWMA
+        wobbles would re-fingerprint every plan request on every poll.
+        """
+        return with_capacity_overrides(
+            self.topology, self.degraded_links(), drop=self.down_links(),
+            name=name or f"{self.topology.name}-live")
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary for ``teccl fleet status`` and dashboards."""
+        counts = {health.value: 0 for health in LinkHealth}
+        for estimate in self._links.values():
+            counts[estimate.health.value] += 1
+        return {
+            "topology": self.topology.name,
+            "links": len(self._links),
+            "health": counts,
+            "degraded": {f"{s}->{d}": round(f, 4)
+                         for (s, d), f in self.degraded_links().items()},
+            "down": [f"{s}->{d}" for s, d in self.down_links()],
+            "transitions": len(self.transitions),
+        }

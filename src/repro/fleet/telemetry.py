@@ -1,0 +1,222 @@
+"""Link-metric telemetry: the fleet control plane's sensory input.
+
+A telemetry source is anything that yields :class:`LinkSample` records —
+per-link achieved bandwidth, latency, and loss, the shape a netconf-style
+collector emits. The control plane never asks *why* a link is slow; it only
+folds samples into the estimator and lets hysteresis decide what is real.
+
+Two sources ship here:
+
+* :class:`SyntheticTelemetry` — a seeded generator over the declared
+  fabric, combining slow random-walk drift
+  (:class:`repro.simulate.DriftModel`, the perturbation module's scenario
+  generator), measurement noise, and scripted :class:`LinkEvent`\\ s
+  (degradations, failures, flaps). This is the test double every
+  adaptation experiment in the repo replays from a seed.
+* :class:`TraceTelemetry` — replays a recorded list of samples, grouped by
+  collection timestamp; the bridge to real collector dumps.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import FleetError
+from repro.simulate.perturb import DriftModel, drift_step
+from repro.topology.topology import Topology
+
+
+@dataclass(frozen=True)
+class LinkSample:
+    """One measurement of one directed link.
+
+    Attributes:
+        link: the ``(src, dst)`` pair the sample describes.
+        time: collection timestamp in seconds (scenario time, not wall
+            clock — the whole control plane is clocked by sample times so
+            experiments replay deterministically).
+        bandwidth: achieved bytes/second.
+        latency: observed one-way latency in seconds.
+        loss: fraction of probes lost in the interval; ``1.0`` marks a
+            link that answered nothing (down, as far as telemetry can see).
+    """
+
+    link: tuple[int, int]
+    time: float
+    bandwidth: float
+    latency: float = 0.0
+    loss: float = 0.0
+
+    def __post_init__(self) -> None:
+        # finiteness first: NaN slips through ordinary comparisons and
+        # would poison the estimator's EWMA for the link permanently
+        for name in ("time", "bandwidth", "latency", "loss"):
+            if not math.isfinite(getattr(self, name)):
+                raise FleetError(f"sample for link {self.link}: "
+                                 f"{name} must be finite")
+        if self.bandwidth < 0:
+            raise FleetError(f"sample for link {self.link}: "
+                             "bandwidth must be non-negative")
+        if not 0.0 <= self.loss <= 1.0:
+            raise FleetError(f"sample for link {self.link}: "
+                             "loss must be in [0, 1]")
+
+    def to_dict(self) -> dict:
+        return {"src": self.link[0], "dst": self.link[1],
+                "time": self.time, "bandwidth": self.bandwidth,
+                "latency": self.latency, "loss": self.loss}
+
+    @staticmethod
+    def from_dict(data: dict) -> "LinkSample":
+        try:
+            return LinkSample(
+                link=(int(data["src"]), int(data["dst"])),
+                time=float(data["time"]),
+                bandwidth=float(data["bandwidth"]),
+                latency=float(data.get("latency", 0.0)),
+                loss=float(data.get("loss", 0.0)))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FleetError(f"malformed link sample: {exc}") from exc
+
+
+class TelemetrySource(abc.ABC):
+    """A pluggable stream of link samples.
+
+    ``poll()`` advances one collection interval and returns its samples;
+    an empty list means the stream is (currently) dry, which the fleet
+    daemon treats as "nothing changed".
+    """
+
+    @abc.abstractmethod
+    def poll(self) -> list[LinkSample]:
+        """Collect the next interval's samples."""
+
+
+@dataclass(frozen=True)
+class LinkEvent:
+    """A scripted fabric event for synthetic scenarios.
+
+    Attributes:
+        at: scenario time the event takes effect.
+        link: the directed link it affects.
+        factor: achieved-bandwidth multiplier while active (``0.5`` =
+            the link runs at half its declared capacity). Ignored when
+            ``down``.
+        down: the link stops answering entirely (bandwidth 0, loss 1).
+        until: end of the event (``None`` = permanent). A flap is one
+            event with a short ``[at, until)`` window — or several.
+    """
+
+    at: float
+    link: tuple[int, int]
+    factor: float = 1.0
+    down: bool = False
+    until: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise FleetError("event factor must be positive")
+        if self.until is not None and self.until <= self.at:
+            raise FleetError("event must end after it starts")
+
+    def active_at(self, time: float) -> bool:
+        return self.at <= time and (self.until is None or time < self.until)
+
+
+class SyntheticTelemetry(TelemetrySource):
+    """Seeded synthetic telemetry over a declared fabric.
+
+    Every ``poll()`` emits one sample per link at ``step × period``
+    scenario seconds: declared capacity, shaped by the random-walk drift
+    (when a :class:`~repro.simulate.DriftModel` is given), scaled by every
+    active scripted event, and blurred by multiplicative Gaussian
+    measurement noise. Two instances built with the same arguments and
+    seed produce identical streams.
+
+    Args:
+        topology: the declared fabric to sample.
+        period: seconds between collections.
+        drift: optional slow capacity drift (``None`` = stable fabric).
+        noise: std-dev of the multiplicative measurement noise.
+        events: scripted degradations/failures/flaps.
+        seed: seeds the internal generator; ignored when ``rng`` is given.
+        rng: an explicit generator, threaded through drift and noise.
+    """
+
+    def __init__(self, topology: Topology, *, period: float = 1.0,
+                 drift: DriftModel | None = None, noise: float = 0.0,
+                 events: tuple[LinkEvent, ...] | list[LinkEvent] = (),
+                 seed: int = 0, rng: random.Random | None = None) -> None:
+        if period <= 0:
+            raise FleetError("telemetry period must be positive")
+        if noise < 0:
+            raise FleetError("telemetry noise must be non-negative")
+        for event in events:
+            if event.link not in topology.links:
+                raise FleetError(
+                    f"scripted event targets unknown link {event.link}")
+        self.topology = topology
+        self.period = period
+        self.drift = drift
+        self.noise = noise
+        self.events = tuple(events)
+        self._rng = rng if rng is not None else random.Random(seed)
+        self._factors = {key: 1.0 for key in topology.links}
+        self._step = 0
+
+    @property
+    def now(self) -> float:
+        """Scenario time of the next collection."""
+        return self._step * self.period
+
+    def poll(self) -> list[LinkSample]:
+        time = self.now
+        if self.drift is not None:
+            self._factors = drift_step(self._factors, self.drift, self._rng)
+        samples = []
+        for key in sorted(self.topology.links):
+            link = self.topology.links[key]
+            down = False
+            factor = self._factors[key]
+            for event in self.events:
+                if event.link == key and event.active_at(time):
+                    down = down or event.down
+                    factor *= event.factor
+            if down:
+                samples.append(LinkSample(link=key, time=time, bandwidth=0.0,
+                                          latency=link.alpha, loss=1.0))
+                continue
+            bandwidth = link.capacity * factor
+            if self.noise > 0:
+                bandwidth *= max(0.0, self._rng.gauss(1.0, self.noise))
+            samples.append(LinkSample(link=key, time=time,
+                                      bandwidth=bandwidth,
+                                      latency=link.alpha, loss=0.0))
+        self._step += 1
+        return samples
+
+
+class TraceTelemetry(TelemetrySource):
+    """Replay a recorded sample list, one collection timestamp per poll."""
+
+    def __init__(self, samples: list[LinkSample]) -> None:
+        self._samples = sorted(samples, key=lambda s: (s.time, s.link))
+        self._cursor = 0
+
+    def poll(self) -> list[LinkSample]:
+        if self._cursor >= len(self._samples):
+            return []
+        time = self._samples[self._cursor].time
+        batch = []
+        while (self._cursor < len(self._samples)
+               and self._samples[self._cursor].time == time):
+            batch.append(self._samples[self._cursor])
+            self._cursor += 1
+        return batch
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._samples)

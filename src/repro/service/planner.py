@@ -42,12 +42,15 @@ class PlannerStats:
     conformance_failures: int = 0
     #: fresh solves that were seeded by a near-fingerprint cache donor
     warm_donors: int = 0
+    #: fresh solves seeded by an explicit prior result (``warm_from=`` —
+    #: the fleet controller's replan path)
+    replans: int = 0
 
     def to_dict(self) -> dict:
         return {"requests": self.requests, "timeouts": self.timeouts,
                 "conformance_checks": self.conformance_checks,
                 "conformance_failures": self.conformance_failures,
-                "warm_donors": self.warm_donors}
+                "warm_donors": self.warm_donors, "replans": self.replans}
 
 
 class Planner:
@@ -89,27 +92,56 @@ class Planner:
         # as one atomic unit (RLock: the inline executor archives on the
         # submitting thread, re-entering while _start still holds the lock).
         self._lock = threading.RLock()
+        # One lock for every mutable stats counter: the fleet daemon thread
+        # bumps them concurrently with pool callbacks and caller threads.
+        self._stats_lock = threading.Lock()
+
+    def _bump(self, **deltas: int) -> None:
+        """Atomically add ``deltas`` to the named stats counters."""
+        with self._stats_lock:
+            for field_name, delta in deltas.items():
+                setattr(self._stats, field_name,
+                        getattr(self._stats, field_name) + delta)
 
     # ------------------------------------------------------------------
     # serving
     # ------------------------------------------------------------------
     def plan(self, request: PlanRequest, *,
-             timeout: float | None = None) -> PlanResponse:
-        """Serve one request; raises :class:`ReproError` on failure."""
-        fingerprint, pending = self._start(request)
+             timeout: float | None = None,
+             warm_from: SynthesisResult | None = None) -> PlanResponse:
+        """Serve one request; raises :class:`ReproError` on failure.
+
+        ``warm_from`` seeds a fresh solve from an explicit prior result —
+        the fleet controller's replan path, where the caller *knows* the
+        best donor (the schedule currently active for this job) and should
+        not rely on the near-fingerprint index finding it. Cache hits still
+        win: a seed only matters when the request actually solves.
+        """
+        fingerprint, pending = self._start(request, warm_from=warm_from)
         return self._finish(request, fingerprint, pending,
                             timeout=self._budget(timeout), raise_errors=True)
 
     def plan_batch(self, requests: list[PlanRequest], *,
-                   timeout: float | None = None) -> list[PlanResponse]:
+                   timeout: float | None = None,
+                   warm_from: list[SynthesisResult | None] | None = None,
+                   ) -> list[PlanResponse]:
         """Serve many requests; errors land in ``response.error``.
 
         All misses are submitted before any result is awaited, so distinct
         instances overlap across the pool and identical ones coalesce.
+        ``warm_from``, when given, aligns with ``requests`` and seeds each
+        fresh solve from its prior result (the fleet fan-out path).
         """
+        if warm_from is not None and len(warm_from) != len(requests):
+            raise ServiceError(
+                f"warm_from has {len(warm_from)} entries for "
+                f"{len(requests)} requests")
         budget = self._budget(timeout)
         deadline = None if budget is None else time.perf_counter() + budget
-        started = [self._start(request) for request in requests]
+        started = [self._start(request,
+                               warm_from=None if warm_from is None
+                               else warm_from[i])
+                   for i, request in enumerate(requests)]
         responses = []
         for request, (fingerprint, pending) in zip(requests, started):
             remaining = None if deadline is None \
@@ -132,7 +164,8 @@ class Planner:
     def _budget(self, timeout: float | None) -> float | None:
         return self.default_timeout if timeout is None else timeout
 
-    def _start(self, request: PlanRequest):
+    def _start(self, request: PlanRequest,
+               warm_from: SynthesisResult | None = None):
         """Fingerprint + cache probe + (on miss) pool submission.
 
         Returns ``(fingerprint, pending)`` where pending is either a ready
@@ -141,11 +174,12 @@ class Planner:
 
         A miss also probes the cache's *near* index: a schedule solved for
         the same fabric shape and demand under a different horizon or
-        capacity scale rides along as the solve's warm-start seed.
+        capacity scale rides along as the solve's warm-start seed. An
+        explicit ``warm_from`` result outranks the near index — the caller
+        knows its donor is fresher than anything the cache can offer.
         """
         t0 = time.perf_counter()
-        with self._lock:
-            self._stats.requests += 1
+        self._bump(requests=1)
         fingerprint = fingerprint_request(
             request.topology, request.demand, request.config,
             method=request.method, astar_config=request.astar_config,
@@ -180,9 +214,13 @@ class Planner:
                     cache_hit=True, tag=request.tag,
                     serve_time=time.perf_counter() - t0)
                 return fingerprint, response
-            donor = self.cache.get_near(near)
-            if donor is not None:
-                request_dict["_warm_from"] = donor
+            explicit_seed = warm_from is not None
+            if explicit_seed:
+                request_dict["_warm_from"] = warm_from.to_dict()
+            else:
+                donor = self.cache.get_near(near)
+                if donor is not None:
+                    request_dict["_warm_from"] = donor
             # Atomic with the probe above: the pool either coalesces onto an
             # in-flight solve or starts one; _archive (which runs before the
             # pool retires the fingerprint) also serialises on self._lock, so
@@ -192,10 +230,13 @@ class Planner:
                 on_complete=lambda fp, fut: self._archive(fp, fut, near))
             # A coalesced join discarded request_dict — the in-flight solve
             # was submitted by someone else and may not carry the seed.
-            warm_donor = donor is not None and not coalesced
-            if warm_donor:
-                self._stats.warm_donors += 1
-        return fingerprint, (future, coalesced, t0, warm_donor)
+            seeded = "_warm_from" in request_dict and not coalesced
+            warm_donor = seeded and not explicit_seed
+        if warm_donor:
+            self._bump(warm_donors=1)
+        if seeded and explicit_seed:
+            self._bump(replans=1)
+        return fingerprint, (future, coalesced, t0, seeded)
 
     def _archive(self, fingerprint: str, future,
                  near: str | None = None) -> None:
@@ -215,10 +256,8 @@ class Planner:
 
         report = check_result(response.result, config=request.config)
         response.conformance = report.to_dict()
-        with self._lock:
-            self._stats.conformance_checks += 1
-            if not report.ok:
-                self._stats.conformance_failures += 1
+        self._bump(conformance_checks=1,
+                   conformance_failures=0 if report.ok else 1)
         if not report.ok:
             response.error = (
                 "schedule failed conformance replay: "
@@ -250,7 +289,7 @@ class Planner:
         try:
             payload = self.pool.wait(future, timeout)
         except ServiceError as exc:  # timeout
-            self._stats.timeouts += 1
+            self._bump(timeouts=1)
             if raise_errors:
                 raise
             return PlanResponse(fingerprint=fingerprint, error=str(exc),
@@ -274,11 +313,13 @@ class Planner:
     # introspection & lifecycle
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """One dict with the planner, cache, and pool counters."""
+        """One dict with the planner, cache, and pool counters (a snapshot)."""
         cache = self.cache.stats
         pool = self.pool.stats
+        with self._stats_lock:
+            planner_stats = self._stats.to_dict()
         return {
-            **self._stats.to_dict(),
+            **planner_stats,
             "hits": cache.hits,
             "misses": cache.misses,
             "solves": pool.solves,

@@ -81,8 +81,9 @@ class PlanResponse:
     #: solver time lives in result.solve_time)
     serve_time: float = 0.0
     tag: str = ""
-    #: the fresh solve was seeded by a near-fingerprint cache donor (a
-    #: prior schedule for the same fabric shape under different scalars)
+    #: the fresh solve was seeded by a prior schedule — a near-fingerprint
+    #: cache donor (same fabric shape under different scalars) or an
+    #: explicit ``warm_from=`` prior (the fleet replan path)
     warm_donor: bool = False
     #: post-solve conformance replay summary (a
     #: :meth:`repro.simulate.ConformanceReport.to_dict` document); only set

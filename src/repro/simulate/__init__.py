@@ -19,8 +19,9 @@ from repro.simulate.events import (ChunkArrival, EventReport,
 from repro.simulate.harness import (PRODUCERS, ReplayCase, SweepRecord,
                                     random_instance, replay_case,
                                     run_producer, sweep)
-from repro.simulate.perturb import (PerturbationModel, RobustnessReport,
-                                    congestion_robustness,
+from repro.simulate.perturb import (DriftModel, PerturbationModel,
+                                    RobustnessReport, congestion_robustness,
+                                    drift_step, drift_trace,
                                     perturbed_topology)
 from repro.simulate.simulator import SimulationReport, simulate, verify
 
@@ -32,5 +33,5 @@ __all__ = [
     "SimulationReport", "simulate", "verify",
     "run_events", "EventReport", "ChunkArrival", "quantisation_gap",
     "PerturbationModel", "RobustnessReport", "congestion_robustness",
-    "perturbed_topology",
+    "perturbed_topology", "DriftModel", "drift_step", "drift_trace",
 ]

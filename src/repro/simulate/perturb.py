@@ -54,9 +54,17 @@ class PerturbationModel:
 
 
 def perturbed_topology(topology: Topology, model: PerturbationModel,
-                       seed: int) -> Topology:
-    """One congestion trial: the fabric with jitter and slowdowns applied."""
-    rng = random.Random(seed)
+                       seed: int = 0, *,
+                       rng: random.Random | None = None) -> Topology:
+    """One congestion trial: the fabric with jitter and slowdowns applied.
+
+    Determinism contract: passing the same ``seed`` (or an ``rng`` in the
+    same state) yields the same perturbed fabric. An explicit ``rng`` lets
+    callers thread one generator through a whole scenario instead of
+    re-seeding per call.
+    """
+    if rng is None:
+        rng = random.Random(seed)
     links = sorted(topology.links)
     congested: set[tuple[int, int]] = set()
     if model.congested_fraction > 0:
@@ -75,6 +83,66 @@ def perturbed_topology(topology: Topology, model: PerturbationModel,
         out.links[key] = Link(key[0], key[1], capacity=capacity,
                               alpha=link.alpha * alpha_factor)
     return out
+
+
+@dataclass(frozen=True)
+class DriftModel:
+    """Slow multiplicative random-walk drift of per-link capacity.
+
+    Where :class:`PerturbationModel` draws independent jitter per trial,
+    drift is *correlated over time*: each step multiplies every link's
+    achieved-capacity factor by a small lognormal-ish nudge, so a link that
+    wandered low stays low for a while — the shape the fleet estimator's
+    EWMA and hysteresis are designed against.
+
+    Attributes:
+        sigma: std-dev of the per-step multiplicative nudge.
+        floor: lowest factor the walk may reach (clamped).
+        ceiling: highest factor the walk may reach (clamped).
+    """
+
+    sigma: float = 0.02
+    floor: float = 0.25
+    ceiling: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ModelError("drift sigma must be non-negative")
+        if not 0 < self.floor <= 1 <= self.ceiling:
+            raise ModelError("drift needs 0 < floor <= 1 <= ceiling")
+
+
+def drift_step(factors: dict[tuple[int, int], float], model: DriftModel,
+               rng: random.Random) -> dict[tuple[int, int], float]:
+    """Advance every link's capacity factor by one random-walk step.
+
+    Links are visited in sorted order so the trace depends only on the
+    ``rng`` state, never on dict insertion order.
+    """
+    out: dict[tuple[int, int], float] = {}
+    for key in sorted(factors):
+        nudged = factors[key] * max(0.0, rng.gauss(1.0, model.sigma))
+        out[key] = min(model.ceiling, max(model.floor, nudged))
+    return out
+
+
+def drift_trace(topology: Topology, model: DriftModel, steps: int, *,
+                rng: random.Random,
+                ) -> list[dict[tuple[int, int], float]]:
+    """A seeded per-link capacity-factor trace, one dict per step.
+
+    This is the scenario generator behind the fleet telemetry's synthetic
+    sources: two calls with generators seeded identically produce identical
+    traces (regression-tested), so every adaptation experiment replays.
+    """
+    if steps < 1:
+        raise ModelError("need at least one drift step")
+    factors = {key: 1.0 for key in topology.links}
+    trace = []
+    for _ in range(steps):
+        factors = drift_step(factors, model, rng)
+        trace.append(dict(factors))
+    return trace
 
 
 @dataclass

@@ -12,7 +12,9 @@ from repro.topology.io import (from_dict, from_edge_list, load_json,
 from repro.topology.topology import GB, US, Link, Topology
 from repro.topology.transforms import (HyperEdgeGroup, HyperEdgeTopology,
                                        scale_capacity, subset_gpus,
-                                       to_hyper_edges, without_links)
+                                       to_hyper_edges,
+                                       with_capacity_overrides,
+                                       without_links)
 
 __all__ = [
     "Topology", "Link", "GB", "US",
@@ -22,5 +24,6 @@ __all__ = [
     "leaf_spine", "fat_tree", "torus2d", "hypercube", "dragonfly",
     "to_hyper_edges", "HyperEdgeGroup", "HyperEdgeTopology",
     "scale_capacity", "subset_gpus", "without_links",
+    "with_capacity_overrides",
     "from_edge_list", "from_dict", "to_dict", "save_json", "load_json",
 ]

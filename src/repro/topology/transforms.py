@@ -10,6 +10,7 @@ single transmission delay to cross the switch instead of two.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.errors import TopologyError
@@ -113,6 +114,42 @@ def scale_capacity(topo: Topology, factor: float,
     for (src, dst), link in topo.links.items():
         out.links[(src, dst)] = Link(src, dst, link.capacity * factor,
                                      link.alpha)
+    return out
+
+
+def with_capacity_overrides(topo: Topology,
+                            factors: dict[tuple[int, int], float], *,
+                            drop: Iterable[tuple[int, int]] = (),
+                            name: str | None = None) -> Topology:
+    """A live view of the fabric: per-link capacity factors, dead links cut.
+
+    This is the fleet estimator's bridge from telemetry to the solvers: a
+    link measured at 60% of its declared bandwidth gets ``factors[link] =
+    0.6``; a link declared down goes in ``drop``. Links mentioned in
+    neither keep their declared capacity. Unknown links are an error — an
+    estimate for a link the fabric does not have means the caller mixed up
+    topologies.
+    """
+    dead = set(drop)
+    for key in list(factors) + list(dead):
+        if key not in topo.links:
+            raise TopologyError(
+                f"no link {key} in {topo.name}; cannot apply live view")
+    for key, factor in factors.items():
+        if factor <= 0:
+            raise TopologyError(
+                f"live capacity factor for link {key} must be positive")
+    out = Topology(name=name or f"{topo.name}-live",
+                   num_nodes=topo.num_nodes, switches=topo.switches)
+    for (src, dst), link in topo.links.items():
+        if (src, dst) in dead:
+            continue
+        factor = factors.get((src, dst), 1.0)
+        out.links[(src, dst)] = Link(src, dst, link.capacity * factor,
+                                     link.alpha)
+    if not out.links:
+        raise TopologyError(
+            f"live view of {topo.name} dropped every link")
     return out
 
 

@@ -42,6 +42,13 @@ class TestExamples:
         assert "seeded from the healthy solve" in out
         assert "validated on the degraded fabric" in out
 
+    def test_fleet_control(self):
+        out = run_example("fleet_control.py")
+        assert "link 0->1 drops to 40% capacity" in out
+        assert "replan" in out
+        assert "conformance-vetted before activation" in out
+        assert "zero non-conformant schedules activated: ok" in out
+
     def test_topology_design(self):
         out = run_example("topology_design.py")
         assert "greedy augmentation" in out

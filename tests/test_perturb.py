@@ -1,12 +1,15 @@
 """Tests for congestion-perturbation robustness (simulate.perturb)."""
 
+import random
+
 import pytest
 
 from repro import collectives, topology
 from repro.baselines import ring_allgather, ring_demand
 from repro.core import TecclConfig, solve_milp
 from repro.errors import ModelError
-from repro.simulate import (PerturbationModel, congestion_robustness,
+from repro.simulate import (DriftModel, PerturbationModel,
+                            congestion_robustness, drift_trace,
                             perturbed_topology, run_events)
 
 
@@ -102,3 +105,53 @@ class TestRobustness:
         theirs = congestion_robustness(ring_sched, topo, demand, model=model,
                                        trials=10, seed=3)
         assert ours.mean <= theirs.mean * 1.05
+
+
+class TestDriftScenarios:
+    """Seeded determinism of the scenario generators (PR 5 satellite)."""
+
+    def test_same_seed_identical_trace(self):
+        topo = topology.ring(6, capacity=1.0)
+        model = DriftModel(sigma=0.1)
+        traces = [drift_trace(topo, model, 10, rng=random.Random(42))
+                  for _ in range(2)]
+        assert traces[0] == traces[1]
+
+    def test_different_seeds_diverge(self):
+        topo = topology.ring(6, capacity=1.0)
+        model = DriftModel(sigma=0.1)
+        a = drift_trace(topo, model, 10, rng=random.Random(1))
+        b = drift_trace(topo, model, 10, rng=random.Random(2))
+        assert a != b
+
+    def test_factors_stay_clamped(self):
+        topo = topology.ring(4, capacity=1.0)
+        model = DriftModel(sigma=0.8, floor=0.5, ceiling=1.1)
+        for step in drift_trace(topo, model, 25, rng=random.Random(0)):
+            for factor in step.values():
+                assert model.floor <= factor <= model.ceiling
+
+    def test_trace_covers_every_link_every_step(self):
+        topo = topology.ring(4, capacity=1.0)
+        trace = drift_trace(topo, DriftModel(), 3, rng=random.Random(0))
+        assert len(trace) == 3
+        for step in trace:
+            assert set(step) == set(topo.links)
+
+    def test_validation(self):
+        topo = topology.ring(4, capacity=1.0)
+        with pytest.raises(ModelError):
+            drift_trace(topo, DriftModel(), 0, rng=random.Random(0))
+        with pytest.raises(ModelError):
+            DriftModel(sigma=-0.1)
+        with pytest.raises(ModelError):
+            DriftModel(floor=0.0)
+
+    def test_perturbed_topology_accepts_explicit_rng(self):
+        topo = topology.ring(4, capacity=1.0)
+        model = PerturbationModel(beta_jitter=0.2)
+        seeded = perturbed_topology(topo, model, seed=9)
+        threaded = perturbed_topology(topo, model, rng=random.Random(9))
+        for key in topo.links:
+            assert seeded.links[key].capacity == pytest.approx(
+                threaded.links[key].capacity)

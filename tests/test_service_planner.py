@@ -328,3 +328,53 @@ class TestNearFingerprintDonors:
             response = planner.plan(self._scaled_request(0.5))
         back = PlanResponse.from_dict(response.to_dict())
         assert back.warm_donor == response.warm_donor is True
+
+
+class TestStatsThreadSafety:
+    """The stats counters survive concurrent hammering (PR 5 satellite).
+
+    The fleet daemon thread bumps counters alongside pool callbacks and
+    caller threads; before the single stats lock, concurrent increments
+    could be lost (read-modify-write races on the dataclass fields).
+    """
+
+    def test_concurrent_plans_count_exactly(self):
+        with Planner(executor="inline") as planner:
+            planner.plan(_request())  # populate the cache
+            threads_n, per_thread = 8, 25
+            errors = []
+
+            def hammer():
+                try:
+                    for _ in range(per_thread):
+                        assert planner.plan(_request()).ok
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=hammer)
+                       for _ in range(threads_n)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            stats = planner.stats()
+            assert stats["requests"] == 1 + threads_n * per_thread
+            assert stats["hits"] == threads_n * per_thread
+
+    def test_explicit_warm_from_counts_as_replan(self):
+        with Planner(executor="inline") as planner:
+            prior = planner.plan(_request()).result
+            # a different instance, seeded by the prior result
+            response = planner.plan(_request(chunk_bytes=0.5),
+                                    warm_from=prior)
+        assert response.ok and response.warm_donor
+        stats = planner.stats()
+        assert stats["replans"] == 1
+        # the near-donor counter is reserved for cache-index donors
+        assert stats["warm_donors"] == 0
+
+    def test_warm_from_batch_must_align(self):
+        with Planner(executor="inline") as planner:
+            with pytest.raises(ServiceError):
+                planner.plan_batch([_request()], warm_from=[])

@@ -10,7 +10,11 @@ process so sibling benches (Figure 4 and Figure 5 share a grid) pay once.
 from __future__ import annotations
 
 import functools
+import json
+import os
 import pathlib
+import platform
+import subprocess
 import time
 from dataclasses import dataclass
 
@@ -57,10 +61,63 @@ def auto_epoch_multiplier(topo, chunk_bytes: float, hyper: bool) -> float:
     return alpha / (MAX_DELAY_EPOCHS * base)
 
 
-def write_result(name: str, text: str) -> None:
+#: version of the JSON artifact envelope below; bump on breaking changes
+BENCH_SCHEMA_VERSION = 1
+
+
+def _git_rev() -> str | None:
+    """Current commit hash, or None outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else None
+
+
+def bench_envelope(bench: str, data, *,
+                   phases: dict | None = None) -> dict:
+    """The common JSON-artifact envelope every bench publishes under.
+
+    ``data`` is the bench-specific payload (unchanged from what each bench
+    used to write at top level); the envelope adds the provenance a future
+    regression hunt needs — schema version, commit, host/python, wall-clock
+    timestamp, and coarse per-phase timings in seconds.
+    """
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "bench": bench,
+        "created_unix": time.time(),
+        "git_rev": _git_rev(),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "phases": dict(phases or {}),
+        "data": data,
+    }
+
+
+def write_result(name: str, text: str, *, data=None,
+                 phases: dict | None = None,
+                 json_name: str | None = None) -> None:
+    """Publish a bench: the rendered table always, a JSON artifact opt-in.
+
+    With ``data``, also writes ``results/{json_name or name}.json`` holding
+    :func:`bench_envelope` around it (``phases`` maps phase name → seconds).
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
     print("\n" + text)
+    if data is not None:
+        stem = json_name or name
+        (RESULTS_DIR / f"{stem}.json").write_text(
+            json.dumps(bench_envelope(stem, data, phases=phases),
+                       indent=2) + "\n", encoding="utf-8")
 
 
 @dataclass

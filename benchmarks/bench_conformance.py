@@ -10,10 +10,9 @@ capacity, a serialisation bug in the cache path — shows up here as a
 non-zero violation count or a widening finish delta.
 """
 
-import json
 import time
 
-from _common import RESULTS_DIR, write_result
+from _common import write_result
 from repro.analysis import Table
 from repro.simulate import PRODUCERS, sweep
 
@@ -49,10 +48,10 @@ def test_conformance_sweep(benchmark):
             "|finish Δ|max": max(deltas, default=0.0),
             "claims": len(deltas)})
 
-    write_result("conformance", table.render())
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_conformance.json").write_text(
-        json.dumps({
+    write_result(
+        "conformance", table.render(),
+        json_name="BENCH_conformance",
+        data={
             "seeds": len(SEEDS),
             "sweep_time_s": sweep_time,
             "producers": summary,
@@ -62,7 +61,8 @@ def test_conformance_sweep(benchmark):
             "note": "cross-producer conformance replay; zero violations "
                     "and float-tight finish agreement are the invariants "
                     "(PR 3)",
-        }, indent=2) + "\n", encoding="utf-8")
+        },
+        phases={"sweep": sweep_time})
 
     # the PR's acceptance bar, re-asserted on every bench run
     assert sum(s["violations"] for s in summary.values()) == 0, summary

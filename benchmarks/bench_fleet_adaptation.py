@@ -20,12 +20,11 @@ bar is >= 2x, re-asserted on every run.
 Publishes ``benchmarks/results/BENCH_fleet_adaptation.json``.
 """
 
-import json
 import time
 
 import pytest
 
-from _common import RESULTS_DIR, write_result
+from _common import write_result
 from repro import collectives, topology
 from repro.analysis import Table
 from repro.core import TecclConfig
@@ -122,11 +121,12 @@ def test_fleet_adaptation_speedup(benchmark):
         "speedup": round(speedup, 2), "jobs": len(daemon.jobs),
         "solves": planner_stats["solves"] - 2,  # minus the 2 admission solves
         "rollbacks": stats["rollbacks"]})
-    write_result("fleet_adaptation", table.render())
-
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_fleet_adaptation.json").write_text(
-        json.dumps({
+    write_result(
+        "fleet_adaptation", table.render(),
+        json_name="BENCH_fleet_adaptation",
+        phases={"admission": admission_s, "warm_adaptation": warm_wall,
+                "cold_resynthesis": cold_wall},
+        data={
             "topology": topo.name,
             "jobs": sorted(daemon.jobs),
             "congestion_factor": CONGESTION_FACTOR,
@@ -147,7 +147,7 @@ def test_fleet_adaptation_speedup(benchmark):
                     "= from-scratch synthesize of every affected job on "
                     "the degraded fabric. The >= 2x bar is the PR's "
                     "acceptance criterion.",
-        }, indent=2) + "\n", encoding="utf-8")
+        })
 
     # representative single adaptation for pytest-benchmark tracking
     def one_adaptation():

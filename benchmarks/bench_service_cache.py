@@ -8,11 +8,10 @@ DGX-1 ALLGATHER instance and emits both the human table and a machine-read
 JSON artifact (``benchmarks/results/service_cache.json``).
 """
 
-import json
 import threading
 import time
 
-from _common import RESULTS_DIR, single_solve_benchmark, write_result
+from _common import single_solve_benchmark, write_result
 from repro import collectives, topology
 from repro.analysis import Table
 from repro.core import TecclConfig
@@ -89,8 +88,6 @@ def test_service_cache_latency(benchmark, tmp_path):
                              "vs cold": speedup_disk})
     table.add(f"coalesced wave of {WAVE}",
               **{"latency ms": wave_s * 1e3, "vs cold": cold_s / wave_s})
-    write_result("service_cache", table.render())
-
     payload = {
         "bench": "service_cache",
         "instance": "dgx1/allgather/2x25e3",
@@ -104,9 +101,11 @@ def test_service_cache_latency(benchmark, tmp_path):
         "memory_hit_speedup": speedup_mem,
         "disk_hit_speedup": speedup_disk,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "service_cache.json").write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    write_result(
+        "service_cache", table.render(),
+        data=payload,
+        phases={"cold_solve": cold_s, "memory_hit": hit_s,
+                "disk_hit": disk_s, "coalesced_wave": wave_s})
 
     # the acceptance bar: a hit is >= 10x cheaper than the solve it replaces
     assert speedup_mem >= 10.0

@@ -19,12 +19,11 @@ Publishes ``benchmarks/results/BENCH_warm_start.json`` with the build/solve
 splits and asserts the speedup and the warm==cold result agreement.
 """
 
-import json
 import time
 
 import pytest
 
-from _common import RESULTS_DIR, write_result
+from _common import write_result
 from repro import collectives, topology
 from repro.analysis import Table
 from repro.core import TecclConfig
@@ -133,16 +132,18 @@ def test_warm_start_speedup(benchmark):
         "K cold": scratch.plan.num_epochs,
         "K warm": seeded.plan.num_epochs, "warm solves": 1})
 
-    write_result("warm_start", table.render())
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_warm_start.json").write_text(
-        json.dumps({
+    write_result(
+        "warm_start", table.render(),
+        json_name="BENCH_warm_start",
+        data={
             "scenarios": results,
             "note": "cold = fresh build+solve per attempt; warm = one "
                     "growing model with bound-restricted probes and "
                     "seeded horizons (PR 4). The horizon-search speedup "
                     "is the acceptance headline (>= 2x).",
-        }, indent=2) + "\n", encoding="utf-8")
+        },
+        phases={f"{scenario}_{kind}": results[scenario][f"{kind}_s"]
+                for scenario in results for kind in ("cold", "warm")})
 
     # the PR's acceptance bar, re-asserted on every bench run
     assert warm_s * 2 <= cold_s, results["horizon_search"]

@@ -14,15 +14,15 @@ Quickstart::
 __version__ = "1.1.0"
 
 from repro import (analysis, baselines, collectives, core, failures, msccl,
-                   service, simulate, solver, toposearch, topology)
+                   obs, service, simulate, solver, toposearch, topology)
 from repro.errors import (DemandError, ExportError, InfeasibleError,
-                          ModelError, ReproError, ScheduleError, ServiceError,
-                          TopologyError)
+                          ModelError, ObservabilityError, ReproError,
+                          ScheduleError, ServiceError, TopologyError)
 
 __all__ = [
-    "collectives", "core", "service", "simulate", "solver", "topology",
-    "analysis", "baselines", "failures", "msccl", "toposearch",
+    "collectives", "core", "obs", "service", "simulate", "solver",
+    "topology", "analysis", "baselines", "failures", "msccl", "toposearch",
     "ReproError", "TopologyError", "DemandError", "ModelError",
     "InfeasibleError", "ScheduleError", "ExportError", "ServiceError",
-    "__version__",
+    "ObservabilityError", "__version__",
 ]

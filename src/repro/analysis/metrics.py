@@ -71,7 +71,7 @@ class Table:
         return "\n".join(lines)
 
     def show(self) -> None:
-        print("\n" + self.render() + "\n")
+        print("\n" + self.render() + "\n")  # lint: allow-print
 
 
 def human_bytes(num: float) -> str:

@@ -15,6 +15,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro import collectives, topology
@@ -95,6 +96,9 @@ def _build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--check", action="store_true",
                        help="replay the schedule through the conformance "
                             "engine before reporting it")
+    synth.add_argument("--trace", metavar="FILE", default=None,
+                       help="write a phase-level span trace (JSONL); "
+                            "inspect with `teccl obs summary|export-trace`")
 
     sweep = sub.add_parser("sweep", help="sweep chunk sizes (§5)")
     sweep.add_argument("--topology", choices=sorted(_TOPOLOGIES),
@@ -192,6 +196,12 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--check", action="store_true",
                        help="conformance-replay every served schedule; "
                             "non-conformant plans become errors")
+    serve.add_argument("--trace", metavar="FILE", default=None,
+                       help="write a span trace (JSONL) of every serve, "
+                            "worker-process solve spans included")
+    serve.add_argument("--metrics-file", metavar="FILE", default=None,
+                       help="write the planner+pool metrics snapshot as "
+                            "JSON (render with `teccl obs metrics`)")
 
     cache = sub.add_parser(
         "cache", help="inspect or purge an on-disk schedule cache")
@@ -254,10 +264,41 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet_run.add_argument("--status-file", default=None,
                            help="write the final fleet status as JSON "
                                 "(readable with `teccl fleet status`)")
+    fleet_run.add_argument("--trace", metavar="FILE", default=None,
+                           help="write a span trace (JSONL) of the run: "
+                                "poll/estimate/gate/replan per step")
 
     fleet_status = fleet_sub.add_parser(
         "status", help="render a status file written by `teccl fleet run`")
     fleet_status.add_argument("--status-file", required=True)
+
+    obs = sub.add_parser(
+        "obs", help="observability: inspect traces and metrics snapshots")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    obs_summary = obs_sub.add_parser(
+        "summary",
+        help="per-phase totals, self time, and leaf coverage of a trace")
+    obs_summary.add_argument("--trace", metavar="FILE", required=True,
+                             help="JSONL trace (see `synth --trace`)")
+    obs_summary.add_argument("--top", type=int, default=20,
+                             help="phases to show (by total time)")
+
+    obs_export = obs_sub.add_parser(
+        "export-trace",
+        help="convert a JSONL trace to Chrome trace-event JSON "
+             "(loadable in chrome://tracing or https://ui.perfetto.dev)")
+    obs_export.add_argument("--trace", metavar="FILE", required=True)
+    obs_export.add_argument("--output", metavar="FILE", required=True)
+
+    obs_metrics = obs_sub.add_parser(
+        "metrics",
+        help="render a metrics snapshot (see `serve-batch --metrics-file`)")
+    obs_metrics.add_argument("--file", metavar="FILE", required=True,
+                             help="metrics snapshot JSON")
+    obs_metrics.add_argument("--format", dest="metrics_format",
+                             choices=["table", "prometheus", "json"],
+                             default="table")
     return parser
 
 
@@ -269,6 +310,22 @@ def _cmd_topologies() -> int:
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
+    if not args.trace:
+        return _run_synth(args)
+    from repro import obs
+
+    obs.configure(args.trace)
+    try:
+        code = _run_synth(args)
+    finally:
+        obs.disable()
+    summary = obs.summarize(obs.read_events(args.trace))
+    print(f"trace        : {args.trace} ({summary['num_spans']} spans, "
+          f"leaf coverage {100 * summary['coverage']:.1f}%)")
+    return code
+
+
+def _run_synth(args: argparse.Namespace) -> int:
     from repro.solver import SolverOptions
 
     builder = _TOPOLOGIES[args.topology]
@@ -602,9 +659,12 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     requests = [_request_from_spec(spec, i) for i, spec in enumerate(specs)]
     with Planner(executor=args.pool_kind, max_workers=args.workers,
                  cache_dir=args.cache_dir, timeout=args.timeout,
-                 check_conformance=args.check) as planner:
+                 check_conformance=args.check,
+                 sink=args.trace) as planner:
         responses = planner.plan_batch(requests)
         stats = planner.stats()
+        latency = planner.serve_latency()
+        metrics = planner.metrics_snapshot() if args.metrics_file else None
     print(f"{'tag':<28} {'served':<9} {'finish us':>12} {'serve ms':>9}")
     failures = 0
     for response in responses:
@@ -625,6 +685,20 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     if args.check:
         print(f"conformance  : {stats['conformance_checks']} checked / "
               f"{stats['conformance_failures']} failed")
+    if latency["count"]:
+        print(f"latency      : p50 {latency['p50'] * 1e3:.2f} ms / "
+              f"p95 {latency['p95'] * 1e3:.2f} ms / "
+              f"p99 {latency['p99'] * 1e3:.2f} ms")
+    if metrics is not None:
+        try:
+            with open(args.metrics_file, "w", encoding="utf-8") as handle:
+                json.dump(metrics, handle, indent=2)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot write --metrics-file: {exc}") from exc
+        print(f"metrics      : {args.metrics_file}")
+    if args.trace:
+        print(f"trace        : {args.trace}")
     return 1 if failures else 0
 
 
@@ -808,7 +882,7 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
         chunk_bytes=args.chunk_size,
         solver=SolverOptions(mip_gap=args.mip_gap,
                              time_limit=args.time_limit))
-    with Planner(executor=args.pool_kind) as planner:
+    with Planner(executor=args.pool_kind, sink=args.trace) as planner:
         fleet = FleetOrchestrator(topo, source, planner)
         for index, name in enumerate(job_names):
             job = FleetJob(name=f"{name}#{index}",
@@ -832,6 +906,8 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
           f"kept, {stats['rollbacks']} rollbacks, {stats['failed']} failed")
     print(f"solve budget : {stats['adaptation_solve_time']:.3f} s "
           "spent adapting")
+    if args.trace:
+        print(f"trace        : {args.trace}")
     if args.status_file:
         try:
             with open(args.status_file, "w", encoding="utf-8") as handle:
@@ -877,8 +953,64 @@ def _cmd_fleet_status(args: argparse.Namespace) -> int:
     print(f"adaptations  : {stats.get('replans', 0)} replans, "
           f"{stats.get('kept', 0)} kept, "
           f"{stats.get('rollbacks', 0)} rollbacks")
+    latency = status.get("serve_latency", {})
+    if latency.get("count"):
+        print(f"serve latency: p50 {latency['p50'] * 1e3:.2f} ms / "
+              f"p95 {latency['p95'] * 1e3:.2f} ms / "
+              f"p99 {latency['p99'] * 1e3:.2f} ms "
+              f"({latency['count']} serves)")
     for line in status.get("decisions", []):
         print(f"  {line}")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+    from repro.errors import ObservabilityError
+
+    if args.obs_command == "summary":
+        summary = obs.summarize(obs.read_events(args.trace))
+        print(obs.format_summary(summary, top=args.top))
+        return 0
+    if args.obs_command == "export-trace":
+        events = obs.read_events(args.trace)
+        path = obs.write_chrome_trace(events, args.output)
+        spans = sum(1 for e in events if e.get("kind") == "span")
+        print(f"exported     : {path} ({spans} spans; load in "
+              "chrome://tracing or https://ui.perfetto.dev)")
+        return 0
+    # metrics: render a snapshot written by `serve-batch --metrics-file`
+    try:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    except OSError as exc:
+        raise ObservabilityError(
+            f"cannot read metrics file: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ObservabilityError(
+            f"invalid JSON in {args.file}: {exc}") from exc
+    if not isinstance(snapshot, dict):
+        raise ObservabilityError(
+            "metrics file must hold a JSON object (registry snapshot)")
+    if args.metrics_format == "json":
+        print(json.dumps(snapshot, indent=2))
+    elif args.metrics_format == "prometheus":
+        print(obs.prometheus_from_snapshot(snapshot), end="")
+    else:
+        print(f"{'metric':<44} {'type':<10} value")
+        for name in sorted(snapshot):
+            entry = snapshot[name]
+            kind = entry.get("type", "?")
+            if kind == "histogram":
+                value = (f"count {entry.get('count', 0)} "
+                         f"p50 {entry.get('p50', 0.0):.6g} "
+                         f"p95 {entry.get('p95', 0.0):.6g} "
+                         f"p99 {entry.get('p99', 0.0):.6g}")
+            else:
+                value = f"{entry.get('value', 0.0):g}"
+            print(f"{name:<44} {kind:<10} {value}")
     return 0
 
 
@@ -899,11 +1031,18 @@ def main(argv: list[str] | None = None) -> int:
         "fleet": lambda: (_cmd_fleet_run(args)
                           if args.fleet_command == "run"
                           else _cmd_fleet_status(args)),
+        "obs": lambda: _cmd_obs(args),
     }
     try:
         return handlers[args.command]()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. `teccl obs summary | head`);
+        # park stdout on devnull so the interpreter's shutdown flush
+        # doesn't raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 1
 
 

@@ -31,6 +31,7 @@ from repro.core.epochs import (EpochPlan, build_epoch_plan,
 from repro.core.postprocess import prune_fractional
 from repro.core.schedule import FlowSchedule
 from repro.errors import InfeasibleError, ModelError
+from repro.obs.trace import span as _obs_span
 from repro.solver import Model, Sense, SolveResult, SolverOptions, quicksum
 from repro.topology.topology import Topology
 
@@ -163,24 +164,30 @@ class LpBuilder:
 
     # ------------------------------------------------------------------
     def build(self) -> LpProblem:
-        model = Model("teccl-lp", sense=Sense.MAXIMIZE)
-        problem = LpProblem(model=model, plan=self.plan,
-                            topology=self.topology,
-                            commodities=self.commodities,
-                            construction=self.construction)
-        self._check_horizon()
-        if self.construction == "coo":
-            self._build_coo(problem)
+        with _obs_span("lp.build", construction=self.construction,
+                       epochs=self.plan.num_epochs,
+                       commodities=len(self.commodities)):
+            model = Model("teccl-lp", sense=Sense.MAXIMIZE)
+            problem = LpProblem(model=model, plan=self.plan,
+                                topology=self.topology,
+                                commodities=self.commodities,
+                                construction=self.construction)
+            self._check_horizon()
+            if self.construction == "coo":
+                self._build_coo(problem)
+                return problem
+            for fam, step in (
+                    ("vars", self._make_vars),
+                    ("initialization", self._initialization),
+                    ("conservation", self._conservation),
+                    ("switch_conservation", self._switch_conservation),
+                    ("capacity", self._capacity),
+                    ("demand_met", self._demand_met),
+                    ("buffer_limit", self._buffer_limit),
+                    ("objective", self._objective)):
+                with _obs_span(f"lp.family.{fam}"):
+                    step(problem)
             return problem
-        self._make_vars(problem)
-        self._initialization(problem)
-        self._conservation(problem)
-        self._switch_conservation(problem)
-        self._capacity(problem)
-        self._demand_met(problem)
-        self._buffer_limit(problem)
-        self._objective(problem)
-        return problem
 
     def _check_horizon(self) -> None:
         K = self.plan.num_epochs
@@ -394,73 +401,83 @@ class LpBuilder:
         k_send = np.arange(K, dtype=np.int64)
 
         # -- variable index grids, in the expression path's creation order
-        per_q = []
-        base = 0
-        for q in self.commodities:
-            earliest = np.full(num_nodes, _FAR, dtype=np.int64)
-            for node, epoch in self._earliest[q.origin].items():
-                earliest[node] = epoch
-            f_mask = ((earliest[src][:, None] <= k_send[None, :])
-                      & (k_send[None, :] + offs[:, None] + 1 <= K))
-            f_idx = np.full((E, K), -1, dtype=np.int64)
-            nf = int(np.count_nonzero(f_mask))
-            f_idx[f_mask] = base + np.arange(nf)
-            base += nf
+        with _obs_span("lp.family.vars"):
+            per_q = []
+            base = 0
+            for q in self.commodities:
+                earliest = np.full(num_nodes, _FAR, dtype=np.int64)
+                for node, epoch in self._earliest[q.origin].items():
+                    earliest[node] = epoch
+                f_mask = ((earliest[src][:, None] <= k_send[None, :])
+                          & (k_send[None, :] + offs[:, None] + 1 <= K))
+                f_idx = np.full((E, K), -1, dtype=np.int64)
+                nf = int(np.count_nonzero(f_mask))
+                f_idx[f_mask] = base + np.arange(nf)
+                base += nf
 
-            origin_row = int(node_pos[q.origin])
-            b_mask = earliest[gpu_ids][:, None] <= np.arange(K + 1)[None, :]
-            b_mask[origin_row, :] = True
-            if not sf:
-                only_origin = np.zeros(G, dtype=bool)
-                only_origin[origin_row] = True
-                b_mask &= only_origin[:, None]
-            b_idx = np.full((G, K + 1), -1, dtype=np.int64)
-            nb = int(np.count_nonzero(b_mask))
-            b_idx[b_mask] = base + np.arange(nb)
-            base += nb
+                origin_row = int(node_pos[q.origin])
+                b_mask = earliest[gpu_ids][:, None] \
+                    <= np.arange(K + 1)[None, :]
+                b_mask[origin_row, :] = True
+                if not sf:
+                    only_origin = np.zeros(G, dtype=bool)
+                    only_origin[origin_row] = True
+                    b_mask &= only_origin[:, None]
+                b_idx = np.full((G, K + 1), -1, dtype=np.int64)
+                nb = int(np.count_nonzero(b_mask))
+                b_idx[b_mask] = base + np.arange(nb)
+                base += nb
 
-            sinks = list(q.sinks)
-            S = len(sinks)
-            sink_ids = np.asarray(sinks, dtype=np.int64)
-            r_mask = (earliest[sink_ids][:, None] <= k_send[None, :] + 1) \
-                if S else np.zeros((0, K), dtype=bool)
-            r_idx = np.full((S, K), -1, dtype=np.int64)
-            nr = int(np.count_nonzero(r_mask))
-            r_idx[r_mask] = base + np.arange(nr)
-            base += nr
-            per_q.append((q, f_mask, f_idx, b_mask, b_idx, sinks, r_mask,
-                          r_idx))
-        model.add_var_array(base, name="lpvar")
+                sinks = list(q.sinks)
+                S = len(sinks)
+                sink_ids = np.asarray(sinks, dtype=np.int64)
+                r_mask = (earliest[sink_ids][:, None] <= k_send[None, :] + 1) \
+                    if S else np.zeros((0, K), dtype=bool)
+                r_idx = np.full((S, K), -1, dtype=np.int64)
+                nr = int(np.count_nonzero(r_mask))
+                r_idx[r_mask] = base + np.arange(nr)
+                base += nr
+                per_q.append((q, f_mask, f_idx, b_mask, b_idx, sinks, r_mask,
+                              r_idx))
+            model.add_var_array(base, name="lpvar")
 
-        # -- handle dicts for extraction (raw column indices as values)
-        for q, f_mask, f_idx, b_mask, b_idx, sinks, r_mask, r_idx in per_q:
-            key = q.key
-            ls, ks = np.nonzero(f_mask)
-            problem.f_vars.update(
-                ((key, links[l][0], links[l][1], k), v)
-                for l, k, v in zip(ls.tolist(), ks.tolist(),
-                                   f_idx[f_mask].tolist()))
-            ns, ks = np.nonzero(b_mask)
-            problem.b_vars.update(
-                ((key, gpus[n], k), v)
-                for n, k, v in zip(ns.tolist(), ks.tolist(),
-                                   b_idx[b_mask].tolist()))
-            ss, ks = np.nonzero(r_mask)
-            problem.r_vars.update(
-                ((key, sinks[s], k), v)
-                for s, k, v in zip(ss.tolist(), ks.tolist(),
-                                   r_idx[r_mask].tolist()))
+            # -- handle dicts for extraction (raw column indices as values)
+            for q, f_mask, f_idx, b_mask, b_idx, sinks, r_mask, r_idx in per_q:
+                key = q.key
+                ls, ks = np.nonzero(f_mask)
+                problem.f_vars.update(
+                    ((key, links[l][0], links[l][1], k), v)
+                    for l, k, v in zip(ls.tolist(), ks.tolist(),
+                                       f_idx[f_mask].tolist()))
+                ns, ks = np.nonzero(b_mask)
+                problem.b_vars.update(
+                    ((key, gpus[n], k), v)
+                    for n, k, v in zip(ns.tolist(), ks.tolist(),
+                                       b_idx[b_mask].tolist()))
+                ss, ks = np.nonzero(r_mask)
+                problem.r_vars.update(
+                    ((key, sinks[s], k), v)
+                    for s, k, v in zip(ss.tolist(), ks.tolist(),
+                                       r_idx[r_mask].tolist()))
 
         self._layout: list[tuple] | None = [] if self._track_rows else None
-        self._coo_initialization(model, per_q, src, node_pos)
-        self._coo_conservation(model, per_q, src, dst, offs, node_pos, G, K)
+        with _obs_span("lp.family.initialization"):
+            self._coo_initialization(model, per_q, src, node_pos)
+        with _obs_span("lp.family.conservation"):
+            self._coo_conservation(model, per_q, src, dst, offs, node_pos,
+                                   G, K)
         if SW:
-            self._coo_switch_conservation(model, per_q, src, dst, offs,
-                                          sw_pos, SW, K)
-        self._coo_capacity(model, per_q, links, E, K)
-        self._coo_demand_met(model, per_q, K)
-        self._coo_buffer_limit(model, per_q, gpus, G, K)
-        self._coo_objective(model, per_q)
+            with _obs_span("lp.family.switch_conservation"):
+                self._coo_switch_conservation(model, per_q, src, dst, offs,
+                                              sw_pos, SW, K)
+        with _obs_span("lp.family.capacity"):
+            self._coo_capacity(model, per_q, links, E, K)
+        with _obs_span("lp.family.demand_met"):
+            self._coo_demand_met(model, per_q, K)
+        with _obs_span("lp.family.buffer_limit"):
+            self._coo_buffer_limit(model, per_q, gpus, G, K)
+        with _obs_span("lp.family.objective"):
+            self._coo_objective(model, per_q)
         problem.row_layout = self._layout
 
     def _coo_initialization(self, model: Model, per_q, src, node_pos) -> None:
@@ -767,6 +784,11 @@ class IncrementalLp:
         eligibility masks are monotone in K), so the grown model matches a
         fresh build in variable/row/nonzero counts and in every solve.
         """
+        with _obs_span("lp.incremental.grow", old=self.num_epochs,
+                       new=num_epochs):
+            self._grow(num_epochs)
+
+    def _grow(self, num_epochs: int) -> None:
         old_K, K = self.num_epochs, num_epochs
         if K <= old_K:
             raise ModelError(
@@ -957,13 +979,15 @@ class IncrementalLp:
     def solve_at(self, num_epochs: int, *,
                  warm_start=None, options=None) -> SolveResult:
         """Solve the instance at one horizon (restricted or full)."""
-        if num_epochs == self.num_epochs:
-            self.release()
-        else:
-            self.restrict(num_epochs)
-        return self.model.solve(options if options is not None
-                                else self.config.solver,
-                                warm_start=warm_start)
+        with _obs_span("lp.incremental.solve_at", epochs=num_epochs,
+                       warm=warm_start is not None):
+            if num_epochs == self.num_epochs:
+                self.release()
+            else:
+                self.restrict(num_epochs)
+            return self.model.solve(options if options is not None
+                                    else self.config.solver,
+                                    warm_start=warm_start)
 
     def extract(self, result: SolveResult, num_epochs: int) -> LpOutcome:
         """An :class:`LpOutcome` over the horizon-``num_epochs`` view."""
@@ -1043,19 +1067,21 @@ def solve_lp(topology: Topology, demand: Demand, config: TecclConfig,
 
 
 def extract_lp_outcome(problem: LpProblem, result: SolveResult) -> LpOutcome:
-    flows = {key: result.value(var)
-             for key, var in problem.f_vars.items()}
-    reads = {key: result.value(var)
-             for key, var in problem.r_vars.items()}
-    raw = FlowSchedule(flows=flows, reads=reads, tau=problem.plan.tau,
-                       chunk_bytes=problem.plan.chunk_bytes,
-                       num_epochs=problem.plan.num_epochs)
-    buffers = {key: result.value(var) for key, var in problem.b_vars.items()}
-    pruned = prune_fractional(raw, problem.topology, problem.plan,
-                              buffers=buffers)
-    return LpOutcome(schedule=pruned, raw_schedule=raw, result=result,
-                     plan=problem.plan,
-                     finish_time=pruned.finish_time(problem.topology))
+    with _obs_span("lp.extract", construction=problem.construction):
+        flows = {key: result.value(var)
+                 for key, var in problem.f_vars.items()}
+        reads = {key: result.value(var)
+                 for key, var in problem.r_vars.items()}
+        raw = FlowSchedule(flows=flows, reads=reads, tau=problem.plan.tau,
+                           chunk_bytes=problem.plan.chunk_bytes,
+                           num_epochs=problem.plan.num_epochs)
+        buffers = {key: result.value(var)
+                   for key, var in problem.b_vars.items()}
+        pruned = prune_fractional(raw, problem.topology, problem.plan,
+                                  buffers=buffers)
+        return LpOutcome(schedule=pruned, raw_schedule=raw, result=result,
+                         plan=problem.plan,
+                         finish_time=pruned.finish_time(problem.topology))
 
 
 def lp_feasible_horizon(topology: Topology, demand: Demand,

@@ -36,6 +36,7 @@ from repro.core.epochs import (EpochPlan, build_epoch_plan,
 from repro.core.postprocess import prune_sends
 from repro.core.schedule import Schedule, Send
 from repro.errors import InfeasibleError, ModelError
+from repro.obs.trace import span as _obs_span
 from repro.solver import (Model, Sense, SolveResult, VarType, quicksum)
 from repro.topology.topology import Topology
 from repro.topology.transforms import HyperEdgeGroup
@@ -195,27 +196,32 @@ class MilpBuilder:
 
     # ------------------------------------------------------------------
     def build(self) -> MilpProblem:
-        K = self.plan.num_epochs
-        self._precheck_horizon()
-        model = Model("teccl-milp", sense=Sense.MAXIMIZE)
-        problem = MilpProblem(model=model, plan=self.plan,
-                              topology=self.topology, demand=self.demand,
-                              config=self.config, earliest=self.earliest,
-                              construction=self.construction)
-        if self.construction == "coo":
-            self._build_coo(problem)
+        with _obs_span("milp.build", construction=self.construction,
+                       epochs=self.plan.num_epochs,
+                       commodities=len(self.commodities)):
+            self._precheck_horizon()
+            model = Model("teccl-milp", sense=Sense.MAXIMIZE)
+            problem = MilpProblem(model=model, plan=self.plan,
+                                  topology=self.topology, demand=self.demand,
+                                  config=self.config, earliest=self.earliest,
+                                  construction=self.construction)
+            if self.construction == "coo":
+                self._build_coo(problem)
+                return problem
+            for fam, step in (
+                    ("vars", self._make_flow_vars),
+                    ("buffer_vars", self._make_buffer_vars),
+                    ("buffer_recurrence", self._buffer_recurrence),
+                    ("availability", self._availability),
+                    ("switch_constraints", self._switch_constraints),
+                    ("capacity", self._capacity),
+                    ("destination", self._destination),
+                    ("buffer_limit", self._buffer_limit),
+                    ("hyper_edge_limits", self._hyper_edge_limits),
+                    ("objective", self._objective)):
+                with _obs_span(f"milp.family.{fam}"):
+                    step(problem)
             return problem
-        self._make_flow_vars(problem)
-        self._make_buffer_vars(problem)
-        self._buffer_recurrence(problem)
-        self._availability(problem)
-        self._switch_constraints(problem)
-        self._capacity(problem)
-        self._destination(problem)
-        self._buffer_limit(problem)
-        self._hyper_edge_limits(problem)
-        self._objective(problem)
-        return problem
 
     def _precheck_horizon(self) -> None:
         if not self.require_completion:
@@ -608,16 +614,25 @@ class MilpBuilder:
                 ((q, d, k), v)
                 for k, v in zip(range(first_k, K), idx.tolist()))
 
-        self._coo_buffer_recurrence(model, f_grids, b_grids, src, dst, offs,
-                                    node_pos, G, K)
-        self._coo_availability(model, f_grids, b_grids, src, dst, offs,
-                               node_pos, num_nodes, K, sf)
-        self._coo_switch_constraints(model, f_grids, links, src, dst, offs, K)
-        self._coo_capacity(model, f_grids, links, E, K)
-        self._coo_destination(model, r_meta, b_grids, node_pos, K)
-        self._coo_buffer_limit(model, b_grids, node_pos, G, K)
-        self._coo_hyper_edge_limits(model, f_grids, links, K)
-        self._coo_objective(model, r_meta, K)
+        with _obs_span("milp.family.buffer_recurrence"):
+            self._coo_buffer_recurrence(model, f_grids, b_grids, src, dst,
+                                        offs, node_pos, G, K)
+        with _obs_span("milp.family.availability"):
+            self._coo_availability(model, f_grids, b_grids, src, dst, offs,
+                                   node_pos, num_nodes, K, sf)
+        with _obs_span("milp.family.switch_constraints"):
+            self._coo_switch_constraints(model, f_grids, links, src, dst,
+                                         offs, K)
+        with _obs_span("milp.family.capacity"):
+            self._coo_capacity(model, f_grids, links, E, K)
+        with _obs_span("milp.family.destination"):
+            self._coo_destination(model, r_meta, b_grids, node_pos, K)
+        with _obs_span("milp.family.buffer_limit"):
+            self._coo_buffer_limit(model, b_grids, node_pos, G, K)
+        with _obs_span("milp.family.hyper_edge_limits"):
+            self._coo_hyper_edge_limits(model, f_grids, links, K)
+        with _obs_span("milp.family.objective"):
+            self._coo_objective(model, r_meta, K)
 
     def _coo_buffer_recurrence(self, model, f_grids, b_grids, src, dst, offs,
                                node_pos, G: int, K: int) -> None:
@@ -969,27 +984,30 @@ def solve_milp(topology: Topology, demand: Demand, config: TecclConfig,
 
 def extract_outcome(problem: MilpProblem, result: SolveResult) -> MilpOutcome:
     """Turn a solved MILP into a pruned :class:`Schedule`."""
-    plan = problem.plan
-    sends = []
-    for (q, i, j, k), var in problem.f_vars.items():
-        if result.value(var) > 0.5:
-            sends.append(Send(epoch=k, source=q[0], chunk=q[1], src=i, dst=j))
-    raw = Schedule(sends=sorted(sends), tau=plan.tau,
-                   chunk_bytes=plan.chunk_bytes, num_epochs=plan.num_epochs)
+    with _obs_span("milp.extract", construction=problem.construction):
+        plan = problem.plan
+        sends = []
+        for (q, i, j, k), var in problem.f_vars.items():
+            if result.value(var) > 0.5:
+                sends.append(Send(epoch=k, source=q[0], chunk=q[1],
+                                  src=i, dst=j))
+        raw = Schedule(sends=sorted(sends), tau=plan.tau,
+                       chunk_bytes=plan.chunk_bytes,
+                       num_epochs=plan.num_epochs)
 
-    delivered: dict[tuple[int, int, int], int] = {}
-    for ((s, c), d, k), r in sorted(problem.r_vars.items(),
-                                    key=lambda item: item[0][2]):
-        if result.value(r) > 0.5 and (s, c, d) not in delivered:
-            delivered[(s, c, d)] = k
+        delivered: dict[tuple[int, int, int], int] = {}
+        for ((s, c), d, k), r in sorted(problem.r_vars.items(),
+                                        key=lambda item: item[0][2]):
+            if result.value(r) > 0.5 and (s, c, d) not in delivered:
+                delivered[(s, c, d)] = k
 
-    def holds(s: int, c: int, n: int, k: int) -> bool:
-        var = problem.b_vars.get(((s, c), n, k))
-        return var is not None and result.value(var) > 0.5
+        def holds(s: int, c: int, n: int, k: int) -> bool:
+            var = problem.b_vars.get(((s, c), n, k))
+            return var is not None and result.value(var) > 0.5
 
-    pruned = prune_sends(raw, problem.demand, problem.topology, plan,
-                         delivered, buffer_values=holds,
-                         store_and_forward=problem.config.store_and_forward)
-    return MilpOutcome(schedule=pruned, raw_schedule=raw, result=result,
-                       plan=plan, delivered_epoch=delivered,
-                       finish_time=pruned.finish_time(problem.topology))
+        pruned = prune_sends(raw, problem.demand, problem.topology, plan,
+                             delivered, buffer_values=holds,
+                             store_and_forward=problem.config.store_and_forward)
+        return MilpOutcome(schedule=pruned, raw_schedule=raw, result=result,
+                           plan=plan, delivered_epoch=delivered,
+                           finish_time=pruned.finish_time(problem.topology))

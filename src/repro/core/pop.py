@@ -30,6 +30,7 @@ from repro.core.lp import (IncrementalLp, LpBuilder, LpOutcome,
                            extract_lp_outcome)
 from repro.core.schedule import FlowSchedule
 from repro.errors import InfeasibleError, ModelError
+from repro.obs.trace import span as _obs_span
 from repro.solver.result import WarmStart
 from repro.topology.topology import Topology
 
@@ -224,50 +225,62 @@ def _solve_at_horizon(topology: Topology, config: TecclConfig,
                       ) -> PopOutcome:
     plan = build_epoch_plan(topology, config, num_epochs=num_epochs)
     sub_outcomes: list[LpOutcome] = []
-    for pi, part in enumerate(partitions):
-        sub_config = replace(
-            config, num_epochs=num_epochs,
-            capacity_fn=_scaled_capacity_fn(topology, config, part.share))
-        if models is None:
-            builder = LpBuilder(topology, part.demand, sub_config, plan)
-            start = time.perf_counter()
-            problem = builder.build()
-            build_time = time.perf_counter() - start
-            result = problem.model.solve(sub_config.solver)
-            result.stats["build_time"] = build_time
-            result.stats["construction"] = problem.construction
-            if not result.status.has_solution:
-                raise InfeasibleError(
-                    f"POP partition {part.index} infeasible at "
-                    f"K={num_epochs}", status="horizon")
-            sub_outcomes.append(extract_lp_outcome(problem, result))
-            continue
-        inc = models[pi]
-        if inc is None:
-            inc = models[pi] = IncrementalLp(topology, part.demand,
-                                             sub_config, num_epochs)
-        elif inc.num_epochs < num_epochs:
-            inc.grow(num_epochs)
-        # Warm-start: this partition's own last shared-plan solution.
-        # A sibling's point is never handed across, even when variable
-        # counts coincide — the columns describe a *different* partition's
-        # commodities, so it would be an arbitrary seed the moment a
-        # backend starts consuming x0.
-        warm = warms[pi] if warms is not None else None
-        result = inc.solve_at(num_epochs, warm_start=warm)
-        result.stats["build_time"] = inc.build_time
-        result.stats["construction"] = "incremental"
-        if not result.status.has_solution:
-            raise InfeasibleError(
-                f"POP partition {part.index} infeasible at K={num_epochs}",
-                status="horizon")
-        if warms is not None:
-            warms[pi] = result.warm_start()
-        sub_outcomes.append(inc.extract(result, num_epochs))
-    merged = merge_flow_schedules([o.schedule for o in sub_outcomes])
-    return PopOutcome(schedule=merged, partitions=partitions,
-                      sub_outcomes=sub_outcomes, plan=plan,
-                      finish_time=merged.finish_time(topology))
+    with _obs_span("pop.solve", partitions=len(partitions),
+                   epochs=num_epochs,
+                   incremental=models is not None):
+        for pi, part in enumerate(partitions):
+            sub_config = replace(
+                config, num_epochs=num_epochs,
+                capacity_fn=_scaled_capacity_fn(topology, config,
+                                                part.share))
+            if models is None:
+                with _obs_span("pop.partition", index=part.index,
+                               share=round(part.share, 6),
+                               construction="cold", warm=False):
+                    builder = LpBuilder(topology, part.demand, sub_config,
+                                        plan)
+                    start = time.perf_counter()
+                    problem = builder.build()
+                    build_time = time.perf_counter() - start
+                    result = problem.model.solve(sub_config.solver)
+                    result.stats["build_time"] = build_time
+                    result.stats["construction"] = problem.construction
+                    if not result.status.has_solution:
+                        raise InfeasibleError(
+                            f"POP partition {part.index} infeasible at "
+                            f"K={num_epochs}", status="horizon")
+                    sub_outcomes.append(extract_lp_outcome(problem, result))
+                continue
+            inc = models[pi]
+            warm = warms[pi] if warms is not None else None
+            with _obs_span("pop.partition", index=part.index,
+                           share=round(part.share, 6),
+                           construction="incremental",
+                           fresh=inc is None, warm=warm is not None):
+                if inc is None:
+                    inc = models[pi] = IncrementalLp(topology, part.demand,
+                                                     sub_config, num_epochs)
+                elif inc.num_epochs < num_epochs:
+                    inc.grow(num_epochs)
+                # Warm-start: this partition's own last shared-plan
+                # solution. A sibling's point is never handed across, even
+                # when variable counts coincide — the columns describe a
+                # *different* partition's commodities, so it would be an
+                # arbitrary seed the moment a backend starts consuming x0.
+                result = inc.solve_at(num_epochs, warm_start=warm)
+                result.stats["build_time"] = inc.build_time
+                result.stats["construction"] = "incremental"
+                if not result.status.has_solution:
+                    raise InfeasibleError(
+                        f"POP partition {part.index} infeasible at "
+                        f"K={num_epochs}", status="horizon")
+                if warms is not None:
+                    warms[pi] = result.warm_start()
+                sub_outcomes.append(inc.extract(result, num_epochs))
+        merged = merge_flow_schedules([o.schedule for o in sub_outcomes])
+        return PopOutcome(schedule=merged, partitions=partitions,
+                          sub_outcomes=sub_outcomes, plan=plan,
+                          finish_time=merged.finish_time(topology))
 
 
 def merge_flow_schedules(schedules: list[FlowSchedule]) -> FlowSchedule:

@@ -21,6 +21,7 @@ from repro.core.lp import LpOutcome, minimize_epochs_lp, solve_lp
 from repro.core.milp import MilpOutcome, solve_milp
 from repro.core.schedule import FlowSchedule, Schedule
 from repro.errors import ModelError
+from repro.obs.trace import span as _obs_span
 from repro.topology.topology import Topology
 from repro.topology.transforms import HyperEdgeTopology, to_hyper_edges
 
@@ -149,6 +150,23 @@ def synthesize(topology: Topology, demand: Demand, config: TecclConfig, *,
             changes how many epochs are modelled, never the optimum within
             them.
     """
+    with _obs_span("synthesize", method=method.value,
+                   gpus=len(topology.gpus),
+                   minimize_epochs=minimize_epochs,
+                   warm=warm_from is not None) as sp:
+        result = _synthesize(topology, demand, config, method=method,
+                             astar_config=astar_config,
+                             minimize_epochs=minimize_epochs,
+                             warm_from=warm_from)
+        sp.set_attr(resolved_method=result.method.value,
+                    finish_time=result.finish_time)
+        return result
+
+
+def _synthesize(topology: Topology, demand: Demand, config: TecclConfig, *,
+                method: Method, astar_config: AStarConfig | None,
+                minimize_epochs: bool,
+                warm_from: SynthesisResult | None) -> SynthesisResult:
     work_topology = topology
     work_demand = demand
     hyper: HyperEdgeTopology | None = None
@@ -159,13 +177,14 @@ def synthesize(topology: Topology, demand: Demand, config: TecclConfig, *,
             raise ModelError(
                 "per-triple priorities are keyed by original node ids and "
                 "are not supported together with the hyper-edge transform")
-        hyper = to_hyper_edges(topology)
-        work_topology = hyper.topology
-        hyper_groups = hyper.groups
-        old_to_new = {old: new for new, old in hyper.node_map.items()}
-        work_demand = Demand.from_triples(
-            (old_to_new[s], c, old_to_new[d])
-            for s, c, d in demand.triples())
+        with _obs_span("synthesize.hyper_transform"):
+            hyper = to_hyper_edges(topology)
+            work_topology = hyper.topology
+            hyper_groups = hyper.groups
+            old_to_new = {old: new for new, old in hyper.node_map.items()}
+            work_demand = Demand.from_triples(
+                (old_to_new[s], c, old_to_new[d])
+                for s, c, d in demand.triples())
 
     if method is Method.AUTO:
         method = Method.LP if not demand.benefits_from_copy() else Method.MILP

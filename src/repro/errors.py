@@ -46,3 +46,7 @@ class ServiceError(ReproError):
 
 class FleetError(ReproError):
     """The fleet control plane failed (bad telemetry, estimator misuse...)."""
+
+
+class ObservabilityError(ReproError):
+    """The observability layer failed (bad sink, corrupt trace, bad metric)."""

@@ -38,6 +38,8 @@ from repro.core.solve import Method, SynthesisResult
 from repro.errors import FleetError
 from repro.fleet.estimate import (FabricEstimator, LinkHealth,
                                   LinkTransition)
+from repro.obs import trace as _obs
+from repro.obs.metrics import MetricsRegistry
 from repro.fleet.telemetry import TelemetrySource
 from repro.service.planner import Planner
 from repro.service.schema import PlanRequest
@@ -294,13 +296,21 @@ class AdaptationController:
         fabric_view: optional per-job view of the live fabric — the
             orchestrator injects priority capacity shares here. Called as
             ``fabric_view(job, live_topology) -> Topology``.
+        sink: enable process-wide tracing into this sink (a path makes a
+            JSONL file) for the controller's lifetime — daemon-thread
+            spans and the replans they fan out land there.
     """
+
+    #: integer stats keys, in the legacy ``stats()`` dict order
+    _COUNT_KEYS = ("polls", "samples", "transitions", "replans", "kept",
+                   "rollbacks", "failed", "errors")
 
     def __init__(self, topology: Topology, source: TelemetrySource,
                  planner: Planner, *,
                  estimator: FabricEstimator | None = None,
                  gate: CostGate | None = None,
-                 fabric_view=None) -> None:
+                 fabric_view=None,
+                 sink: str | _obs.Sink | None = None) -> None:
         self.topology = topology
         self.source = source
         self.planner = planner
@@ -319,10 +329,21 @@ class AdaptationController:
         #: recent decisions (bounded: the daemon emits them indefinitely)
         self.decisions: deque[AdaptationDecision] = deque(maxlen=500)
         self.now = 0.0
-        self._stats = {"polls": 0, "samples": 0, "transitions": 0,
-                       "replans": 0, "kept": 0, "rollbacks": 0,
-                       "failed": 0, "errors": 0,
-                       "adaptation_solve_time": 0.0}
+        # Stats live on a per-controller metrics registry (``metrics`` —
+        # ``registry`` is the schedule registry); stats() keeps the
+        # legacy flat-dict shape (regression-pinned) on top of it.
+        self.metrics = MetricsRegistry()
+        self._stat_counters = {
+            key: self.metrics.counter(
+                f"fleet_{key}_total", f"fleet {key} (cumulative)")
+            for key in self._COUNT_KEYS}
+        self._stat_counters["adaptation_solve_time"] = \
+            self.metrics.counter(
+                "fleet_adaptation_solve_seconds_total",
+                "wall-clock spent in adaptation replans (cumulative)")
+        self._owns_tracer = sink is not None
+        if sink is not None:
+            _obs.configure(sink)
         #: last exception the daemon loop swallowed (None = healthy)
         self.last_error: str | None = None
         self._stats_lock = threading.Lock()
@@ -389,17 +410,22 @@ class AdaptationController:
     # ------------------------------------------------------------------
     def step(self) -> list[AdaptationDecision]:
         """One daemon tick: poll → estimate → (maybe) adapt."""
-        samples = self.source.poll()
-        self._bump(polls=1, samples=len(samples))
-        if samples:
-            self.now = max(self.now, max(s.time for s in samples))
-        transitions = self.estimator.observe_all(samples)
-        if not transitions:
-            return []
-        self._bump(transitions=len(transitions))
-        decisions = self.adapt(transitions)
-        self.decisions.extend(decisions)
-        return decisions
+        with _obs.span("fleet.step") as step_sp:
+            with _obs.span("fleet.poll"):
+                samples = self.source.poll()
+            self._bump(polls=1, samples=len(samples))
+            if samples:
+                self.now = max(self.now, max(s.time for s in samples))
+            with _obs.span("fleet.estimate", samples=len(samples)):
+                transitions = self.estimator.observe_all(samples)
+            step_sp.set_attr(samples=len(samples),
+                             transitions=len(transitions))
+            if not transitions:
+                return []
+            self._bump(transitions=len(transitions))
+            decisions = self.adapt(transitions)
+            self.decisions.extend(decisions)
+            return decisions
 
     def adapt(self, transitions: list[LinkTransition],
               ) -> list[AdaptationDecision]:
@@ -421,6 +447,23 @@ class AdaptationController:
         to_replan: list[tuple[FleetJob, RegistryEntry, float, bool]] = []
         decisions: list[AdaptationDecision] = []
         jobs = self._jobs_snapshot()
+        gate_sp = _obs.span("fleet.cost_gate", jobs=len(jobs),
+                            transitions=len(transitions))
+        with gate_sp:
+            self._gate_jobs(jobs, live, worsened, recovered,
+                            to_replan, decisions)
+            gate_sp.set_attr(replans=len(to_replan))
+        decisions.extend(self._replan(
+            [job for job, _, _, _ in to_replan], live,
+            priors=[e for _, e, _, _ in to_replan],
+            predicted=[p for _, _, p, _ in to_replan],
+            speculative=[s for _, _, _, s in to_replan]))
+        return decisions
+
+    def _gate_jobs(self, jobs: dict[str, FleetJob], live: Topology,
+                   worsened: set, recovered: bool,
+                   to_replan: list, decisions: list) -> None:
+        """Run the cost gate over every active job (fills the two lists)."""
         for name in sorted(jobs):
             job = jobs[name]
             entry = self.registry.active(name)
@@ -450,12 +493,6 @@ class AdaptationController:
                         if hurt
                         else "schedule does not use the changed links"),
                 predicted=predicted, active_finish=active))
-        decisions.extend(self._replan(
-            [job for job, _, _, _ in to_replan], live,
-            priors=[e for _, e, _, _ in to_replan],
-            predicted=[p for _, _, p, _ in to_replan],
-            speculative=[s for _, _, _, s in to_replan]))
-        return decisions
 
     def _uses(self, entry: RegistryEntry, changed: set) -> bool:
         used = links_used_by(entry.result, self.topology)
@@ -479,8 +516,9 @@ class AdaptationController:
         if speculative is None:
             speculative = [False] * len(jobs)
         requests = [self._request(job, live) for job in jobs]
-        responses = self.planner.plan_batch(
-            requests, warm_from=[p.result for p in priors])
+        with _obs.span("fleet.replan", jobs=len(jobs)):
+            responses = self.planner.plan_batch(
+                requests, warm_from=[p.result for p in priors])
         decisions = []
         for job, prior, pred, probe, response in zip(jobs, priors,
                                                      predicted,
@@ -523,6 +561,8 @@ class AdaptationController:
                     solve_time=result.solve_time))
                 continue
             self.registry.activate(entry)
+            _obs.event("fleet.activate", job=job.name,
+                       finish_time=result.finish_time)
             self._bump(replans=1)
             decisions.append(AdaptationDecision(
                 job=job.name, time=self.now, action="replan",
@@ -561,7 +601,10 @@ class AdaptationController:
         """Conformance-replay one result (the activation gate)."""
         from repro.simulate import check_result
 
-        return bool(check_result(result).ok)
+        with _obs.span("fleet.vet") as sp:
+            ok = bool(check_result(result).ok)
+            sp.set_attr(ok=ok)
+            return ok
 
     # ------------------------------------------------------------------
     # daemon mode
@@ -587,11 +630,13 @@ class AdaptationController:
                 self._bump(errors=1)
 
     def stop(self) -> None:
-        if self._thread is None:
-            return
-        self._stop.set()
-        self._thread.join()
-        self._thread = None
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join()
+            self._thread = None
+        if self._owns_tracer:
+            self._owns_tracer = False
+            _obs.disable()
 
     # ------------------------------------------------------------------
     # introspection
@@ -599,11 +644,15 @@ class AdaptationController:
     def _bump(self, **deltas) -> None:
         with self._stats_lock:
             for key, delta in deltas.items():
-                self._stats[key] += delta
+                self._stat_counters[key].inc(delta)
 
     def stats(self) -> dict:
         with self._stats_lock:
-            return dict(self._stats)
+            out: dict = {key: int(self._stat_counters[key].value)
+                         for key in self._COUNT_KEYS}
+            out["adaptation_solve_time"] = \
+                self._stat_counters["adaptation_solve_time"].value
+            return out
 
     def status(self) -> dict:
         """JSON-ready fleet status (``teccl fleet status`` renders this)."""
@@ -614,6 +663,7 @@ class AdaptationController:
             "fabric": self.estimator.snapshot(),
             "registry": self.registry.to_dict(),
             "stats": self.stats(),
+            "serve_latency": self.planner.serve_latency(),
             "last_error": self.last_error,
             "decisions": [str(d) for d in self.decisions],
         }

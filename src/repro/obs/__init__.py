@@ -1,0 +1,46 @@
+"""Unified observability: structured tracing, metrics, exporters.
+
+The three pieces and how they fit:
+
+* :mod:`repro.obs.trace` — nested spans with monotonic timing, a
+  process-global tracer behind a zero-overhead ``span()`` switch, and
+  carrier-based stitching across the solve pool's process boundary;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms the legacy
+  stats dicts (planner, pool, fleet controller) now sit on;
+* :mod:`repro.obs.export` — JSONL → Chrome/Perfetto traces, per-phase
+  summaries with leaf coverage, Prometheus text exposition.
+
+Enable tracing for a run::
+
+    from repro import obs
+    obs.configure("run.trace.jsonl")
+    result = synthesize(topo, demand, config)
+    obs.disable()
+
+then ``teccl obs summary --trace run.trace.jsonl`` or
+``teccl obs export-trace --trace run.trace.jsonl --output run.json``
+(load the output in https://ui.perfetto.dev).
+"""
+
+from repro.obs.export import (chrome_trace, format_summary, read_events,
+                              summarize, write_chrome_trace)
+from repro.obs.metrics import (LATENCY_BUCKETS, Counter, Gauge, Histogram,
+                               MetricsRegistry, exponential_buckets,
+                               get_registry, prometheus_from_snapshot)
+from repro.obs.trace import (NOOP_SPAN, TRACE_ENV_VAR, TRACE_SCHEMA_VERSION,
+                             JsonlSink, MemorySink, Sink, Span, Tracer,
+                             activate, configure, current_context, disable,
+                             event, get_tracer, span)
+
+__all__ = [
+    # trace
+    "Span", "Tracer", "Sink", "JsonlSink", "MemorySink", "NOOP_SPAN",
+    "span", "event", "configure", "disable", "get_tracer",
+    "current_context", "activate", "TRACE_SCHEMA_VERSION", "TRACE_ENV_VAR",
+    # metrics
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "get_registry",
+    "exponential_buckets", "LATENCY_BUCKETS", "prometheus_from_snapshot",
+    # export
+    "read_events", "chrome_trace", "write_chrome_trace", "summarize",
+    "format_summary",
+]

@@ -1,0 +1,194 @@
+"""Trace exporters: JSONL → Chrome trace events, summaries, coverage.
+
+The JSONL sink (:class:`repro.obs.trace.JsonlSink`) is the durable
+format; this module turns it into things humans and tools consume:
+
+* :func:`chrome_trace` — the Chrome trace-event JSON that
+  ``chrome://tracing`` and Perfetto (https://ui.perfetto.dev) load
+  directly, so a traced synthesize run renders as a flame chart with
+  worker-process solve spans stitched under the submitting request;
+* :func:`summarize` — per-phase totals plus *coverage*: how much of the
+  root span's wall time is accounted for by leaf phases.  The
+  acceptance bar for the instrumentation is coverage ≥ 0.95 on a traced
+  Table-4 run — anything less means a hot phase is untraced;
+* :func:`read_events` — the parser everything above shares.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.errors import ObservabilityError
+
+
+def read_events(source) -> list[dict]:
+    """Parse span/event records from a JSONL path or an iterable of dicts.
+
+    Lines that fail to parse raise — a corrupt record means the sink's
+    atomicity contract was violated, which the concurrency tests exist
+    to catch; silently skipping would hide exactly that bug.
+    """
+    if isinstance(source, (str, Path)):
+        records = []
+        path = Path(source)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ObservabilityError(
+                f"cannot read trace file {path}: {exc}") from exc
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ObservabilityError(
+                    f"{path}:{lineno}: corrupt trace record: {exc}") from exc
+            if not isinstance(record, dict):
+                raise ObservabilityError(
+                    f"{path}:{lineno}: trace record is not an object")
+            records.append(record)
+        return records
+    return [dict(r) for r in source]
+
+
+def spans_only(events: list[dict]) -> list[dict]:
+    return [e for e in events if e.get("kind") == "span"]
+
+
+def chrome_trace(events: list[dict]) -> dict:
+    """Convert to the Chrome trace-event format (Perfetto-loadable).
+
+    Spans become complete ("ph": "X") events with microsecond wall-clock
+    timestamps; zero-duration log events become instants ("ph": "i").
+    pid/tid come straight from the records, so multi-process traces lay
+    out one track per worker.
+    """
+    trace_events = []
+    for record in events:
+        base = {
+            "name": record.get("name", "?"),
+            "pid": record.get("pid", 0),
+            "tid": record.get("tid", 0),
+            "ts": float(record.get("t0", 0.0)) * 1e6,
+            "args": record.get("attrs", {}),
+        }
+        if record.get("kind") == "span":
+            trace_events.append({**base, "ph": "X", "cat": "teccl",
+                                 "dur": float(record.get("dur", 0.0)) * 1e6})
+        elif record.get("kind") == "event":
+            trace_events.append({**base, "ph": "i", "cat": "teccl",
+                                 "s": "t"})
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: list[dict], path: str | Path) -> Path:
+    path = Path(path)
+    try:
+        path.write_text(json.dumps(chrome_trace(events)) + "\n",
+                        encoding="utf-8")
+    except OSError as exc:
+        raise ObservabilityError(
+            f"cannot write chrome trace {path}: {exc}") from exc
+    return path
+
+
+# ----------------------------------------------------------------------
+# summaries
+# ----------------------------------------------------------------------
+def _children_index(spans: list[dict]) -> dict[str | None, list[dict]]:
+    by_parent: dict[str | None, list[dict]] = {}
+    for span in spans:
+        by_parent.setdefault(span.get("parent"), []).append(span)
+    return by_parent
+
+
+def summarize(events: list[dict]) -> dict:
+    """Aggregate a trace: per-phase totals, roots, and leaf coverage.
+
+    Returns::
+
+        {
+          "phases": {name: {"count", "total", "self", "min", "max"}},
+          "roots":  [{"name", "dur", "trace", "coverage"}],
+          "coverage": <leaf-time of the longest root / its duration>,
+        }
+
+    ``self`` time is a span's duration minus its direct children — the
+    attributable flame.  *Coverage* sums the leaf spans under a root
+    against the root's wall time; untraced gaps (work between spans)
+    lower it, which is exactly what makes it the instrumentation-
+    completeness metric.
+    """
+    spans = spans_only(events)
+    phases: dict[str, dict] = {}
+    ids = {s.get("span") for s in spans}
+    by_parent = _children_index(spans)
+    for span in spans:
+        dur = float(span.get("dur", 0.0))
+        children = by_parent.get(span.get("span"), [])
+        child_time = sum(float(c.get("dur", 0.0)) for c in children)
+        entry = phases.setdefault(span.get("name", "?"), {
+            "count": 0, "total": 0.0, "self": 0.0,
+            "min": math.inf, "max": 0.0})
+        entry["count"] += 1
+        entry["total"] += dur
+        entry["self"] += max(0.0, dur - child_time)
+        entry["min"] = min(entry["min"], dur)
+        entry["max"] = max(entry["max"], dur)
+    for entry in phases.values():
+        if entry["min"] is math.inf:
+            entry["min"] = 0.0
+
+    roots = [s for s in spans if s.get("parent") not in ids]
+    root_rows = []
+    for root in sorted(roots, key=lambda s: -float(s.get("dur", 0.0))):
+        cov = _leaf_coverage(root, by_parent)
+        root_rows.append({
+            "name": root.get("name", "?"),
+            "dur": float(root.get("dur", 0.0)),
+            "trace": root.get("trace"),
+            "coverage": cov,
+        })
+    return {
+        "phases": dict(sorted(phases.items(),
+                              key=lambda kv: -kv[1]["total"])),
+        "roots": root_rows,
+        "coverage": root_rows[0]["coverage"] if root_rows else 0.0,
+        "num_spans": len(spans),
+    }
+
+
+def _leaf_coverage(root: dict, by_parent: dict) -> float:
+    """Leaf-span time under ``root`` divided by the root's duration."""
+    root_dur = float(root.get("dur", 0.0))
+    if root_dur <= 0:
+        return 0.0
+    leaf_time = 0.0
+    stack = [root]
+    while stack:
+        span = stack.pop()
+        children = by_parent.get(span.get("span"), [])
+        if not children:
+            leaf_time += float(span.get("dur", 0.0))
+        else:
+            # a span's own untracked remainder is a gap, not a leaf
+            stack.extend(children)
+    return min(1.0, leaf_time / root_dur)
+
+
+def format_summary(summary: dict, *, top: int = 20) -> str:
+    """Human-readable rendering of :func:`summarize` (the CLI verb)."""
+    lines = [f"{'phase':<40} {'count':>6} {'total s':>10} {'self s':>10} "
+             f"{'max s':>10}"]
+    for name, entry in list(summary["phases"].items())[:top]:
+        lines.append(f"{name:<40} {entry['count']:>6} "
+                     f"{entry['total']:>10.4f} {entry['self']:>10.4f} "
+                     f"{entry['max']:>10.4f}")
+    for root in summary["roots"][:5]:
+        lines.append(f"root {root['name']:<24} {root['dur']:.4f} s "
+                     f"(leaf coverage {100 * root['coverage']:.1f}%)")
+    lines.append(f"spans        : {summary['num_spans']}")
+    return "\n".join(lines)

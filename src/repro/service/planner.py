@@ -20,11 +20,12 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.solve import SynthesisResult
 from repro.errors import ReproError, ServiceError
+from repro.obs import trace as _obs
+from repro.obs.metrics import MetricsRegistry
 from repro.service.cache import ScheduleCache
 from repro.service.fingerprint import (fingerprint_request,
                                        near_fingerprint_request)
@@ -32,25 +33,51 @@ from repro.service.pool import SolvePool
 from repro.service.schema import PlanRequest, PlanResponse
 
 
-@dataclass
 class PlannerStats:
-    """Aggregated serving counters (cumulative since construction)."""
+    """Aggregated serving counters (cumulative since construction).
 
-    requests: int = 0
-    timeouts: int = 0
-    conformance_checks: int = 0
-    conformance_failures: int = 0
-    #: fresh solves that were seeded by a near-fingerprint cache donor
-    warm_donors: int = 0
-    #: fresh solves seeded by an explicit prior result (``warm_from=`` —
-    #: the fleet controller's replan path)
-    replans: int = 0
+    The counters live on a per-planner
+    :class:`~repro.obs.metrics.MetricsRegistry`; plain attribute reads
+    and writes (``stats.requests += 1``) still work, and :meth:`to_dict`
+    keeps the exact pre-registry key set, so nothing upstream notices
+    the move.
+
+    Fields: ``requests``, ``timeouts``, ``conformance_checks``,
+    ``conformance_failures``, ``warm_donors`` (fresh solves seeded by a
+    near-fingerprint cache donor), ``replans`` (fresh solves seeded by
+    an explicit prior result — the fleet controller's replan path).
+    """
+
+    _FIELDS = ("requests", "timeouts", "conformance_checks",
+               "conformance_failures", "warm_donors", "replans")
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(
+                f"planner_{name}_total",
+                f"planner {name.replace('_', ' ')} (cumulative)")
+            for name in self._FIELDS}
 
     def to_dict(self) -> dict:
-        return {"requests": self.requests, "timeouts": self.timeouts,
-                "conformance_checks": self.conformance_checks,
-                "conformance_failures": self.conformance_failures,
-                "warm_donors": self.warm_donors, "replans": self.replans}
+        return {name: int(c.value) for name, c in self._counters.items()}
+
+
+def _stat_property(field_name: str) -> property:
+    """Attribute facade over a registry counter (legacy ``+=`` support)."""
+    def _get(self):
+        return int(self._counters[field_name].value)
+
+    def _set(self, value):
+        self._counters[field_name].set_total(value)
+
+    return property(_get, _set)
+
+
+for _field in PlannerStats._FIELDS:
+    setattr(PlannerStats, _field, _stat_property(_field))
+del _field
 
 
 class Planner:
@@ -71,6 +98,9 @@ class Planner:
             (a stale or corrupted cache entry is exactly what the oracle
             exists to catch).
         cache / pool: inject pre-built components (tests, shared caches).
+        sink: enable process-wide tracing into this sink (a path makes a
+            JSONL file) for the planner's lifetime — spans from every
+            layer under it (solver phases, pool workers) land there too.
     """
 
     def __init__(self, *, executor: str = "process",
@@ -80,7 +110,8 @@ class Planner:
                  timeout: float | None = None,
                  check_conformance: bool = False,
                  cache: ScheduleCache | None = None,
-                 pool: SolvePool | None = None) -> None:
+                 pool: SolvePool | None = None,
+                 sink: str | Path | _obs.Sink | None = None) -> None:
         self.cache = cache if cache is not None else ScheduleCache(
             capacity=cache_capacity, directory=cache_dir)
         self.pool = pool if pool is not None else SolvePool(
@@ -88,6 +119,13 @@ class Planner:
         self.default_timeout = timeout
         self.check_conformance = check_conformance
         self._stats = PlannerStats()
+        self.registry = self._stats.registry
+        self._serve_latency = self.registry.histogram(
+            "planner_serve_latency_seconds",
+            "end-to-end serve latency per request")
+        self._owns_tracer = sink is not None
+        if sink is not None:
+            _obs.configure(sink)
         # Guards the cache-probe → pool-submit step and the archive callback
         # as one atomic unit (RLock: the inline executor archives on the
         # submitting thread, re-entering while _start still holds the lock).
@@ -180,12 +218,14 @@ class Planner:
         """
         t0 = time.perf_counter()
         self._bump(requests=1)
-        fingerprint = fingerprint_request(
-            request.topology, request.demand, request.config,
-            method=request.method, astar_config=request.astar_config,
-            minimize_epochs=request.minimize_epochs)
-        with self._lock:
+        with _obs.span("planner.fingerprint"):
+            fingerprint = fingerprint_request(
+                request.topology, request.demand, request.config,
+                method=request.method, astar_config=request.astar_config,
+                minimize_epochs=request.minimize_epochs)
+        with _obs.span("planner.cache_lookup") as lookup_sp, self._lock:
             payload = self.cache.get(fingerprint)
+            lookup_sp.set_attr(hit=payload is not None)
             if payload is not None:
                 response = PlanResponse(
                     fingerprint=fingerprint,
@@ -197,12 +237,13 @@ class Planner:
         # canonicalisation and to_dict() serialises the whole request —
         # pure CPU work that must neither tax the cache-hit hot path nor
         # stall concurrent requests on self._lock.
-        near = near_fingerprint_request(
-            request.topology, request.demand, request.config,
-            method=request.method, astar_config=request.astar_config,
-            minimize_epochs=request.minimize_epochs)
-        request_dict = request.to_dict()
-        with self._lock:
+        with _obs.span("planner.near_donor"):
+            near = near_fingerprint_request(
+                request.topology, request.demand, request.config,
+                method=request.method, astar_config=request.astar_config,
+                minimize_epochs=request.minimize_epochs)
+            request_dict = request.to_dict()
+        with _obs.span("planner.submit") as submit_sp, self._lock:
             # re-probe: the solve of an identical request may have been
             # archived while we were canonicalising (peek, not get: the
             # miss was already counted once above)
@@ -221,6 +262,9 @@ class Planner:
                 donor = self.cache.get_near(near)
                 if donor is not None:
                     request_dict["_warm_from"] = donor
+            ctx = _obs.current_context()
+            if ctx is not None:
+                request_dict["_obs"] = ctx
             # Atomic with the probe above: the pool either coalesces onto an
             # in-flight solve or starts one; _archive (which runs before the
             # pool retires the fingerprint) also serialises on self._lock, so
@@ -232,11 +276,18 @@ class Planner:
             # was submitted by someone else and may not carry the seed.
             seeded = "_warm_from" in request_dict and not coalesced
             warm_donor = seeded and not explicit_seed
+            submit_sp.set_attr(coalesced=coalesced, seeded=seeded)
         if warm_donor:
             self._bump(warm_donors=1)
         if seeded and explicit_seed:
             self._bump(replans=1)
         return fingerprint, (future, coalesced, t0, seeded)
+
+    def _observe(self, response: PlanResponse) -> PlanResponse:
+        """Record the response's end-to-end latency in the histogram."""
+        if response.serve_time is not None:
+            self._serve_latency.observe(response.serve_time)
+        return response
 
     def _archive(self, fingerprint: str, future,
                  near: str | None = None) -> None:
@@ -272,17 +323,21 @@ class Planner:
         if isinstance(pending, PlanResponse):
             checked = self._post_check(request, pending, raise_errors=False)
             if checked.ok:
-                return checked
+                return self._observe(checked)
             # A *cached* schedule failed its replay: the entry is poisoned
             # (bit-rot, a stale format, a buggy producer of an earlier
             # version). Expel it and fall through to a fresh solve rather
             # than failing this fingerprint forever (and solve cold: a
             # poisoned class should not seed its own replacement).
             t0 = time.perf_counter()
+            request_dict = request.to_dict()
+            ctx = _obs.current_context()
+            if ctx is not None:
+                request_dict["_obs"] = ctx
             with self._lock:
                 self.cache.evict(fingerprint)
                 future, coalesced = self.pool.submit(
-                    fingerprint, request.to_dict(),
+                    fingerprint, request_dict,
                     on_complete=self._archive)
             pending = (future, coalesced, t0, False)
         future, coalesced, t0, warm_donor = pending
@@ -292,22 +347,24 @@ class Planner:
             self._bump(timeouts=1)
             if raise_errors:
                 raise
-            return PlanResponse(fingerprint=fingerprint, error=str(exc),
-                                coalesced=coalesced, tag=request.tag,
-                                warm_donor=warm_donor,
-                                serve_time=time.perf_counter() - t0)
+            return self._observe(PlanResponse(
+                fingerprint=fingerprint, error=str(exc),
+                coalesced=coalesced, tag=request.tag,
+                warm_donor=warm_donor,
+                serve_time=time.perf_counter() - t0))
         except ReproError as exc:  # solver-side failure (infeasible, ...)
             if raise_errors:
                 raise
-            return PlanResponse(fingerprint=fingerprint, error=str(exc),
-                                coalesced=coalesced, tag=request.tag,
-                                warm_donor=warm_donor,
-                                serve_time=time.perf_counter() - t0)
-        return self._post_check(request, PlanResponse(
+            return self._observe(PlanResponse(
+                fingerprint=fingerprint, error=str(exc),
+                coalesced=coalesced, tag=request.tag,
+                warm_donor=warm_donor,
+                serve_time=time.perf_counter() - t0))
+        return self._observe(self._post_check(request, PlanResponse(
             fingerprint=fingerprint,
             result=SynthesisResult.from_dict(payload),
             coalesced=coalesced, tag=request.tag, warm_donor=warm_donor,
-            serve_time=time.perf_counter() - t0), raise_errors)
+            serve_time=time.perf_counter() - t0), raise_errors))
 
     # ------------------------------------------------------------------
     # introspection & lifecycle
@@ -328,8 +385,29 @@ class Planner:
             "pool": pool.to_dict(),
         }
 
+    def metrics_snapshot(self) -> dict:
+        """JSON-ready dump of every planner *and* pool instrument.
+
+        The planner and its pool keep separate registry scopes (metric
+        name prefixes keep them collision-free); this merges both for
+        persistence — ``teccl serve-batch --metrics-file`` writes it,
+        ``teccl obs metrics`` renders it.
+        """
+        return {**self.registry.snapshot(),
+                **self.pool.stats.registry.snapshot()}
+
+    def serve_latency(self) -> dict:
+        """Serve-latency summary: ``{count, sum, p50, p95, p99}``.
+
+        Kept out of :meth:`stats` on purpose — that dict's shape is
+        pinned by downstream consumers and regression tests.
+        """
+        return self._serve_latency.summary()
+
     def close(self) -> None:
         self.pool.shutdown()
+        if self._owns_tracer:
+            _obs.disable()
 
     def __enter__(self) -> "Planner":
         return self

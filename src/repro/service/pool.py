@@ -26,9 +26,10 @@ from __future__ import annotations
 
 import concurrent.futures as _futures
 import threading
-from dataclasses import dataclass
 
 from repro.errors import ServiceError
+from repro.obs import trace as _obs
+from repro.obs.metrics import MetricsRegistry
 
 _EXECUTOR_KINDS = ("process", "thread", "inline")
 
@@ -42,6 +43,11 @@ def solve_request(request_dict: dict) -> dict:
     achieved finish informs the horizon estimate, so the re-solve builds a
     much smaller model than the cold path bound. The seed crosses the
     process boundary as the same plain dict the cache stores.
+
+    ``request_dict["_obs"]`` is the submitting request's trace carrier:
+    activating it stitches this solve's spans (which may run in another
+    process) back under the submitting trace, appending to the same
+    JSONL sink.
     """
     from repro.core.solve import SynthesisResult, synthesize
     from repro.service.schema import PlanRequest
@@ -50,22 +56,36 @@ def solve_request(request_dict: dict) -> dict:
     warm_from = (SynthesisResult.from_dict(warm_doc)
                  if warm_doc is not None else None)
     request = PlanRequest.from_dict(request_dict)
-    result = synthesize(request.topology, request.demand, request.config,
-                        method=request.method,
-                        astar_config=request.astar_config,
-                        minimize_epochs=request.minimize_epochs,
-                        warm_from=warm_from)
+    with _obs.activate(request_dict.get("_obs")):
+        with _obs.span("pool.solve", method=request.method.value,
+                       warm=warm_from is not None):
+            result = synthesize(request.topology, request.demand,
+                                request.config,
+                                method=request.method,
+                                astar_config=request.astar_config,
+                                minimize_epochs=request.minimize_epochs,
+                                warm_from=warm_from)
     return result.to_dict()
 
 
-@dataclass
 class PoolStats:
-    """Counters for one pool instance (cumulative since construction)."""
+    """Counters for one pool instance (cumulative since construction).
 
-    submitted: int = 0
-    coalesced: int = 0
-    completed: int = 0
-    errors: int = 0
+    Backed by a per-pool :class:`~repro.obs.metrics.MetricsRegistry`;
+    the attribute surface (``submitted``, ``coalesced``, ``completed``,
+    ``errors``, the derived ``solves``) and the :meth:`to_dict` shape
+    are unchanged from the pre-registry dataclass.
+    """
+
+    _FIELDS = ("submitted", "coalesced", "completed", "errors")
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(
+                f"pool_{name}_total", f"pool {name} requests (cumulative)")
+            for name in self._FIELDS}
 
     @property
     def solves(self) -> int:
@@ -79,6 +99,22 @@ class PoolStats:
             "completed": self.completed,
             "errors": self.errors,
         }
+
+
+def _pool_stat_property(field_name: str) -> property:
+    """Attribute facade over a registry counter (legacy ``+=`` support)."""
+    def _get(self):
+        return int(self._counters[field_name].value)
+
+    def _set(self, value):
+        self._counters[field_name].set_total(value)
+
+    return property(_get, _set)
+
+
+for _field in PoolStats._FIELDS:
+    setattr(PoolStats, _field, _pool_stat_property(_field))
+del _field
 
 
 class SolvePool:

@@ -38,6 +38,7 @@ from repro.core.config import SwitchModel, TecclConfig
 from repro.core.epochs import EpochPlan
 from repro.core.schedule import FlowSchedule, Schedule
 from repro.errors import ScheduleError
+from repro.obs.trace import span as _obs_span
 from repro.topology.topology import Topology
 
 _EPS = 1e-9
@@ -212,6 +213,23 @@ def check_schedule(schedule: Schedule, topology: Topology, demand: Demand,
             replayed finish must agree within ``finish_rtol`` or a
             ``"finish"`` violation is reported.
     """
+    with _obs_span("conformance.check", kind="schedule",
+                   sends=schedule.num_sends) as sp:
+        report = _check_schedule_impl(
+            schedule, topology, demand, plan, config=config,
+            strict_switches=strict_switches,
+            claimed_finish_time=claimed_finish_time,
+            finish_rtol=finish_rtol)
+        sp.set_attr(ok=report.ok, violations=len(report.violations))
+        return report
+
+
+def _check_schedule_impl(schedule: Schedule, topology: Topology,
+                         demand: Demand, plan: EpochPlan, *,
+                         config: TecclConfig | None,
+                         strict_switches: bool,
+                         claimed_finish_time: float | None,
+                         finish_rtol: float) -> ConformanceReport:
     report = ConformanceReport(claimed_finish_time=claimed_finish_time,
                                num_sends=schedule.num_sends,
                                total_bytes=schedule.total_bytes(),
@@ -476,6 +494,20 @@ def check_flow(flow: FlowSchedule, topology: Topology, demand: Demand,
     plus the origin supply), zero-buffer switch forwarding, the relay-buffer
     budget, read legality, and full demand delivery within ``atol``.
     """
+    with _obs_span("conformance.check", kind="flow",
+                   flows=len(flow.flows)) as sp:
+        report = _check_flow_impl(
+            flow, topology, demand, plan, config=config,
+            claimed_finish_time=claimed_finish_time, atol=atol,
+            finish_rtol=finish_rtol)
+        sp.set_attr(ok=report.ok, violations=len(report.violations))
+        return report
+
+
+def _check_flow_impl(flow: FlowSchedule, topology: Topology, demand: Demand,
+                     plan: EpochPlan, *, config: TecclConfig | None,
+                     claimed_finish_time: float | None,
+                     atol: float, finish_rtol: float) -> ConformanceReport:
     report = ConformanceReport(claimed_finish_time=claimed_finish_time,
                                total_flow=sum(flow.flows.values()),
                                total_bytes=flow.total_bytes(),

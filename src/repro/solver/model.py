@@ -57,6 +57,7 @@ from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, linprog, milp
 
 from repro.errors import ModelError
+from repro.obs.trace import span as _obs_span
 from repro.solver.expr import (Constraint, LinExpr, Relation, Sense, Variable,
                                VarType, quicksum)
 from repro.solver.options import DEFAULT_OPTIONS, SolverOptions
@@ -603,18 +604,22 @@ class Model:
         compile to :meth:`CompiledModel.canonical`-equal tuples regardless
         of which construction path built them.
         """
-        matrix, lower, upper = self._stacked_matrix()
-        indices, coefs, const = self._objective_arrays()
-        c = np.zeros(len(self._lb))
-        np.add.at(c, indices, coefs)
-        return CompiledModel(
-            A=matrix, row_lower=lower, row_upper=upper, c=c, obj_const=const,
-            col_lower=np.asarray(self._lb, dtype=float),
-            col_upper=np.asarray(self._ub, dtype=float),
-            integrality=np.fromiter(
-                (0 if v is VarType.CONTINUOUS else 1 for v in self._vtype),
-                dtype=np.int64, count=len(self._vtype)),
-            sense=self.sense)
+        with _obs_span("solver.compile", vars=self.num_vars,
+                       rows=self.num_constraints):
+            matrix, lower, upper = self._stacked_matrix()
+            indices, coefs, const = self._objective_arrays()
+            c = np.zeros(len(self._lb))
+            np.add.at(c, indices, coefs)
+            return CompiledModel(
+                A=matrix, row_lower=lower, row_upper=upper, c=c,
+                obj_const=const,
+                col_lower=np.asarray(self._lb, dtype=float),
+                col_upper=np.asarray(self._ub, dtype=float),
+                integrality=np.fromiter(
+                    (0 if v is VarType.CONTINUOUS else 1
+                     for v in self._vtype),
+                    dtype=np.int64, count=len(self._vtype)),
+                sense=self.sense)
 
     def solve(self, options: SolverOptions = DEFAULT_OPTIONS,
               warm_start: WarmStart | None = None) -> SolveResult:
@@ -666,10 +671,13 @@ class Model:
         if self.num_constraints:
             matrix, lower, upper = self._stacked_matrix()
             constraints = LinearConstraint(matrix, lower, upper)
-        res = milp(c, constraints=constraints,
-                   integrality=compiled.integrality,
-                   bounds=Bounds(compiled.col_lower, compiled.col_upper),
-                   options=options.to_scipy())
+        with _obs_span("solver.backend", backend="highs-milp",
+                       vars=self.num_vars, rows=self.num_constraints) as sp:
+            res = milp(c, constraints=constraints,
+                       integrality=compiled.integrality,
+                       bounds=Bounds(compiled.col_lower, compiled.col_upper),
+                       options=options.to_scipy())
+            sp.set_attr(status=int(res.status))
         wrapped = self._wrap(res, options, is_mip=True)
         if warm_start is not None:
             # scipy.optimize.milp accepts no incumbent seed.
@@ -678,49 +686,54 @@ class Model:
 
     def _solve_lp(self, options: SolverOptions,
                   warm_start: WarmStart | None = None) -> SolveResult:
-        c = self._objective_vector()
-        matrix, lower, upper = self._stacked_matrix()
-        # linprog wants A_ub/b_ub and A_eq/b_eq; split the two-sided rows.
-        finite_lo = lower > -_INF
-        finite_up = upper < _INF
-        eq_mask = finite_lo & finite_up & (lower == upper)
-        up_mask = finite_up & ~eq_mask
-        lo_mask = finite_lo & ~eq_mask
-        a_ub = b_ub = a_eq = b_eq = None
-        if np.any(up_mask) or np.any(lo_mask):
-            parts = []
-            rhs_parts = []
-            if np.any(up_mask):
-                parts.append(matrix[up_mask])
-                rhs_parts.append(upper[up_mask])
-            if np.any(lo_mask):
-                parts.append(-matrix[lo_mask])
-                rhs_parts.append(-lower[lo_mask])
-            a_ub = sparse.vstack(parts, format="csr") if len(parts) > 1 \
-                else parts[0]
-            b_ub = np.concatenate(rhs_parts)
-        if np.any(eq_mask):
-            a_eq = matrix[eq_mask]
-            b_eq = lower[eq_mask]
-        lp_options: dict = {"disp": options.verbose,
-                            "presolve": options.presolve}
-        if options.time_limit is not None:
-            lp_options["time_limit"] = float(options.time_limit)
-        method = options.resolve_lp_method(len(self._lb))
-        x0 = None
-        warm_status = None
-        if warm_start is not None:
-            if method in _LINPROG_X0_METHODS:
-                x0 = warm_start.padded(len(self._lb))
-                warm_status = "applied"
-            else:
-                warm_status = "unsupported"
-        res = linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
-                      bounds=np.column_stack([
-                          np.asarray(self._lb),
-                          np.asarray(self._ub)]),
-                      method=method, x0=x0,
-                      options=lp_options)
+        with _obs_span("solver.prepare", vars=self.num_vars,
+                       rows=self.num_constraints):
+            c = self._objective_vector()
+            matrix, lower, upper = self._stacked_matrix()
+            # linprog wants A_ub/b_ub and A_eq/b_eq; split two-sided rows.
+            finite_lo = lower > -_INF
+            finite_up = upper < _INF
+            eq_mask = finite_lo & finite_up & (lower == upper)
+            up_mask = finite_up & ~eq_mask
+            lo_mask = finite_lo & ~eq_mask
+            a_ub = b_ub = a_eq = b_eq = None
+            if np.any(up_mask) or np.any(lo_mask):
+                parts = []
+                rhs_parts = []
+                if np.any(up_mask):
+                    parts.append(matrix[up_mask])
+                    rhs_parts.append(upper[up_mask])
+                if np.any(lo_mask):
+                    parts.append(-matrix[lo_mask])
+                    rhs_parts.append(-lower[lo_mask])
+                a_ub = sparse.vstack(parts, format="csr") \
+                    if len(parts) > 1 else parts[0]
+                b_ub = np.concatenate(rhs_parts)
+            if np.any(eq_mask):
+                a_eq = matrix[eq_mask]
+                b_eq = lower[eq_mask]
+            lp_options: dict = {"disp": options.verbose,
+                                "presolve": options.presolve}
+            if options.time_limit is not None:
+                lp_options["time_limit"] = float(options.time_limit)
+            method = options.resolve_lp_method(len(self._lb))
+            x0 = None
+            warm_status = None
+            if warm_start is not None:
+                if method in _LINPROG_X0_METHODS:
+                    x0 = warm_start.padded(len(self._lb))
+                    warm_status = "applied"
+                else:
+                    warm_status = "unsupported"
+        with _obs_span("solver.backend", backend=f"highs-lp:{method}",
+                       vars=self.num_vars, rows=self.num_constraints) as sp:
+            res = linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
+                          bounds=np.column_stack([
+                              np.asarray(self._lb),
+                              np.asarray(self._ub)]),
+                          method=method, x0=x0,
+                          options=lp_options)
+            sp.set_attr(status=int(res.status))
         wrapped = self._wrap(res, options, is_mip=False)
         if warm_status is not None:
             wrapped.stats["warm_start"] = warm_status

@@ -76,6 +76,13 @@ class TestExamples:
         assert "== dlrm:" in out and "== moe:" in out
         assert out.count("step total") == 2
 
+    def test_observability(self):
+        out = run_example("observability.py")
+        assert "synthesized   : milp" in out
+        assert "leaf coverage" in out
+        assert "chrome trace" in out
+        assert "spans" in out
+
     def test_planner_service(self):
         out = run_example("planner_service.py")
         assert "cold solve" in out
@@ -89,6 +96,7 @@ class TestExamples:
         "topology_design.py", "msccl_pipeline.py", "calibration_loop.py",
         "congestion_study.py", "allreduce_composition.py",
         "training_job_scheduling.py", "planner_service.py",
+        "observability.py",
     ])
     def test_examples_compile(self, name):
         source = (EXAMPLES / name).read_text(encoding="utf-8")

@@ -1,0 +1,142 @@
+"""Regression pins: legacy stats facades atop the metrics registry.
+
+PR 6 moved ``PlannerStats``, ``PoolStats``, and the fleet controller's
+counters onto :class:`repro.obs.metrics.MetricsRegistry`.  Every test in
+this file pins the *old* public surface — dict keys, value types,
+attribute ``+=`` mutation — byte-for-byte, so downstream consumers of
+``stats()`` dicts (status files, benches, the CLI) cannot silently
+break.
+"""
+
+import json
+
+import pytest
+
+from repro import collectives, topology
+from repro.core import TecclConfig
+from repro.fleet import AdaptationController, FleetJob, SyntheticTelemetry
+from repro.service import Planner
+from repro.service.planner import PlannerStats
+from repro.service.pool import PoolStats, SolvePool
+
+pytestmark = pytest.mark.obs
+
+
+class TestPlannerStats:
+    def test_dict_shape_pinned(self):
+        stats = PlannerStats()
+        assert stats.to_dict() == {
+            "requests": 0, "timeouts": 0, "conformance_checks": 0,
+            "conformance_failures": 0, "warm_donors": 0, "replans": 0}
+        assert list(stats.to_dict()) == [
+            "requests", "timeouts", "conformance_checks",
+            "conformance_failures", "warm_donors", "replans"]
+
+    def test_values_stay_ints(self):
+        stats = PlannerStats()
+        stats.requests += 3
+        stats.warm_donors = 2
+        assert stats.requests == 3
+        assert isinstance(stats.requests, int)
+        assert all(isinstance(v, int) for v in stats.to_dict().values())
+        json.dumps(stats.to_dict())  # JSON-safe, as status files require
+
+    def test_backed_by_registry(self):
+        stats = PlannerStats()
+        stats.requests += 1
+        snapshot = stats.registry.snapshot()
+        assert snapshot["planner_requests_total"]["value"] == 1
+        text = stats.registry.prometheus_text()
+        assert "planner_requests_total 1" in text
+
+
+class TestPoolStats:
+    def test_dict_shape_pinned(self):
+        stats = PoolStats()
+        assert stats.to_dict() == {
+            "solves": 0, "coalesced": 0, "completed": 0, "errors": 0}
+        assert list(stats.to_dict()) == [
+            "solves", "coalesced", "completed", "errors"]
+
+    def test_solves_mirrors_submitted(self):
+        stats = PoolStats()
+        stats.submitted += 2
+        assert stats.solves == 2
+        assert isinstance(stats.solves, int)
+        assert stats.registry.snapshot()["pool_submitted_total"]["value"] == 2
+
+    def test_live_pool_counts(self):
+        with SolvePool(executor="inline",
+                       solve_fn=lambda request_dict: {"ok": True}) as pool:
+            future, coalesced = pool.submit("fp", {})
+            assert not coalesced
+            assert pool.wait(future) == {"ok": True}
+        assert pool.stats.to_dict() == {
+            "solves": 1, "coalesced": 0, "completed": 1, "errors": 0}
+
+
+class TestPlannerFacade:
+    def test_stats_dict_shape_pinned(self):
+        with Planner(executor="inline") as planner:
+            stats = planner.stats()
+        assert list(stats) == [
+            "requests", "timeouts", "conformance_checks",
+            "conformance_failures", "warm_donors", "replans",
+            "hits", "misses", "solves", "coalesced", "cache", "pool"]
+        assert list(stats["cache"]) == [
+            "hits", "memory_hits", "disk_hits", "misses", "stores",
+            "evictions", "invalidations", "near_hits", "near_misses"]
+        assert list(stats["pool"]) == ["solves", "coalesced", "completed",
+                                       "errors"]
+
+    def test_serve_latency_outside_stats(self):
+        """The latency summary is additive API, not a stats() key."""
+        with Planner(executor="inline") as planner:
+            assert "serve_latency" not in planner.stats()
+            latency = planner.serve_latency()
+        assert set(latency) == {"count", "sum", "p50", "p95", "p99"}
+        assert latency["count"] == 0
+
+    def test_metrics_snapshot_merges_pool_scope(self):
+        with Planner(executor="inline") as planner:
+            snapshot = planner.metrics_snapshot()
+        assert "planner_requests_total" in snapshot
+        assert "planner_serve_latency_seconds" in snapshot
+        assert "pool_submitted_total" in snapshot
+
+
+class TestControllerStats:
+    def test_stats_dict_shape_pinned(self):
+        topo = topology.ring(4, capacity=1.0)
+        with Planner(executor="inline") as planner:
+            daemon = AdaptationController(
+                topo, SyntheticTelemetry(topo), planner)
+            daemon.add_job(FleetJob(
+                name="a2a", demand=collectives.alltoall(topo.gpus, 1),
+                config=TecclConfig(chunk_bytes=1.0)))
+            daemon.step()
+            stats = daemon.stats()
+            status = daemon.status()
+        assert list(stats) == [
+            "polls", "samples", "transitions", "replans", "kept",
+            "rollbacks", "failed", "errors", "adaptation_solve_time"]
+        for key, value in stats.items():
+            if key == "adaptation_solve_time":
+                assert isinstance(value, float)
+            else:
+                assert isinstance(value, int)
+        assert stats["polls"] == 1
+        # the histogram-backed latency summary rides status(), not stats()
+        assert set(status["serve_latency"]) == {"count", "sum", "p50",
+                                                "p95", "p99"}
+        json.dumps(status)  # the fleet status file must stay JSON-safe
+
+    def test_counters_visible_in_metrics_registry(self):
+        topo = topology.ring(4, capacity=1.0)
+        with Planner(executor="inline") as planner:
+            daemon = AdaptationController(
+                topo, SyntheticTelemetry(topo), planner)
+            daemon.step()
+            snapshot = daemon.metrics.snapshot()
+        assert snapshot["fleet_polls_total"]["value"] == 1
+        assert "fleet_adaptation_solve_seconds_total" in snapshot

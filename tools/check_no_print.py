@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Lint: no stray ``print()`` calls in library code under ``src/``.
+
+Library output belongs on the tracer/metrics registry (``repro.obs``) or
+behind an explicit presentation surface — stray prints corrupt machine
+consumers of the CLI (``--json`` modes, status files piped to tools).
+
+Walks the AST (so ``print(...)`` inside docstrings and string literals
+does not false-positive) and flags every call whose function is the bare
+name ``print``.  Two escape hatches:
+
+* ``ALLOWED_FILES`` — whole files whose job *is* terminal output
+  (the CLI front-end).
+* a trailing ``# lint: allow-print`` comment on the offending line, for
+  deliberate presentation helpers.
+
+Exit status 0 when clean, 1 with a findings listing otherwise.
+"""
+
+import ast
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+# Whole files whose purpose is terminal output.
+ALLOWED_FILES = frozenset({
+    "repro/cli.py",
+})
+
+WAIVER = "# lint: allow-print"
+
+
+def find_prints(path: pathlib.Path) -> list[tuple[int, str]]:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [(exc.lineno or 0, f"syntax error: {exc.msg}")]
+    lines = source.splitlines()
+    findings = []
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"):
+            line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+            if WAIVER in line:
+                continue
+            findings.append((node.lineno, line.strip()))
+    return findings
+
+
+def main() -> int:
+    failures = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        if rel in ALLOWED_FILES:
+            continue
+        for lineno, text in find_prints(path):
+            failures.append(f"{path.relative_to(REPO)}:{lineno}: {text}")
+    if failures:
+        print(f"{len(failures)} stray print() call(s) in library code "
+              "(route output through repro.obs, the CLI, or add "
+              f"'{WAIVER}'):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"print-lint: clean ({len(ALLOWED_FILES)} file(s) allowlisted)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -99,6 +99,20 @@ def _build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--trace", metavar="FILE", default=None,
                        help="write a phase-level span trace (JSONL); "
                             "inspect with `teccl obs summary|export-trace`")
+    synth.add_argument("--partitions", type=int, default=0,
+                       help="solve via POP partitioning with this many "
+                            "client groups (LP-shaped demands only, e.g. "
+                            "alltoall; 0 = monolithic solve). The merged "
+                            "schedule is fractional, so --export/--timeline"
+                            "/--events do not apply")
+    synth.add_argument("--parallel", action="store_true",
+                       help="fan independent decomposition sub-solves out "
+                            "on threads (with --partitions: one thread per "
+                            "POP partition; see README 'Parallel "
+                            "decomposition solving')")
+    synth.add_argument("--jobs", type=int, default=None,
+                       help="fan-out width for --parallel "
+                            "(default: CPU count)")
 
     sweep = sub.add_parser("sweep", help="sweep chunk sizes (§5)")
     sweep.add_argument("--topology", choices=sorted(_TOPOLOGIES),
@@ -338,6 +352,8 @@ def _run_synth(args: argparse.Namespace) -> int:
         switch_model=SwitchModel(args.switch_model),
         solver=SolverOptions(time_limit=args.time_limit,
                              mip_gap=args.mip_gap))
+    if getattr(args, "partitions", 0):
+        return _run_synth_pop(args, topo, demand, config)
     result = synthesize(topo, demand, config, method=Method(args.method))
     print(f"topology     : {topo!r}")
     print(f"demand       : {demand!r}")
@@ -380,6 +396,41 @@ def _run_synth(args: argparse.Namespace) -> int:
         from repro.simulate import check_result
 
         report = check_result(result, config=config)
+        _print_conformance(report)
+        if not report.ok:
+            return 1
+    return 0
+
+
+def _run_synth_pop(args: argparse.Namespace, topo, demand, config) -> int:
+    """The `synth --partitions N` route: POP-partitioned LP solving."""
+    from repro.core.pop import solve_lp_pop
+
+    outcome = solve_lp_pop(topo, demand, config,
+                           num_partitions=args.partitions,
+                           parallel=args.parallel, jobs=args.jobs)
+    print(f"topology     : {topo!r}")
+    print(f"demand       : {demand!r}")
+    print(f"method       : pop-lp ({args.partitions} partitions"
+          f"{', parallel' if args.parallel else ''})")
+    print(f"epoch (tau)  : {outcome.plan.tau * 1e6:.3f} us")
+    print(f"horizon (K)  : {outcome.plan.num_epochs} epochs "
+          f"({outcome.attempts} attempt(s))")
+    print(f"solver time  : {outcome.parallel_solve_time:.3f} s critical "
+          f"path ({outcome.serial_solve_time:.3f} s summed)")
+    print(f"finish time  : {outcome.finish_time * 1e6:.3f} us")
+    print(f"schedule     : {outcome.schedule!r}")
+    if args.export_json:
+        import json
+
+        with open(args.export_json, "w", encoding="utf-8") as handle:
+            json.dump(outcome.schedule.to_dict(), handle, indent=2)
+        print(f"exported     : {args.export_json}")
+    if args.check:
+        from repro.simulate import check_flow
+
+        report = check_flow(outcome.schedule, topo, demand, outcome.plan,
+                            config=config)
         _print_conformance(report)
         if not report.ok:
             return 1

@@ -17,17 +17,31 @@ subfabrics are disjoint up to shared uplinks, which phase-1/3 traffic does
 not need). The price of the decomposition is the leader bottleneck — every
 remote byte enters a chassis through one GPU — which is exactly the
 suboptimality the flat formulations avoid; the ablation bench measures it.
+
+The *solves* mirror the runtime concurrency: every per-chassis instance in
+every phase is independent, so ``parallel=True`` fans the whole batch out
+on threads (:func:`~repro.core.subsolve.run_subsolves`), and ``dedup=True``
+canonicalizes each induced subfabric + demand through the service
+fingerprint machinery and solves each distinct instance once — a symmetric
+G-chassis fabric pays for 1 chassis solve instead of G per phase, with the
+shared result remapped through each chassis's own :class:`_SubFabric` id
+maps. Every dedup hit is vetted by replaying the shared schedule against
+the hitting chassis's own fabric and demand (the PR 3 conformance oracle);
+a replay violation falls back to a private cold solve for that chassis.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.collectives.demand import Demand
 from repro.collectives.patterns import allgather, broadcast
 from repro.core.config import TecclConfig
 from repro.core.solve import Method, SynthesisResult, synthesize
-from repro.errors import DemandError, TopologyError
+from repro.core.subsolve import SubSolveCache, run_subsolves
+from repro.errors import DemandError, ServiceError, TopologyError
+from repro.obs.trace import span as _obs_span
 from repro.topology.topology import Topology
 
 
@@ -107,12 +121,19 @@ def _induce(topology: Topology, gpus: list[int], name: str) -> _SubFabric:
 
 @dataclass
 class PhaseResult:
-    """One synthesized phase on one subfabric."""
+    """One synthesized phase on one subfabric.
+
+    ``deduped`` marks results served from the sub-instance cache: the
+    ``synthesis`` object is then *shared* with the phase that solved the
+    identical instance, and this phase's own ``fabric`` id maps translate
+    it back to full-fabric GPU ids.
+    """
 
     label: str
     fabric: _SubFabric
     demand: Demand
     synthesis: SynthesisResult
+    deduped: bool = False
 
     @property
     def finish_time(self) -> float:
@@ -128,14 +149,18 @@ class HierarchicalOutcome:
     """All three phases of a hierarchical ALLGATHER.
 
     Attributes:
-        local_gather: one result per chassis (phase 1).
+        local_gather: one result per multi-GPU chassis (phase 1).
         leader_exchange: the single cross-chassis result (phase 2).
-        local_broadcast: one result per chassis (phase 3).
+        local_broadcast: one result per multi-GPU chassis (phase 3).
+        sub_solves: solver invocations actually paid for (after dedup).
+        dedup_hits: phase instances served from an identical solve.
     """
 
     local_gather: list[PhaseResult]
     leader_exchange: PhaseResult
     local_broadcast: list[PhaseResult]
+    sub_solves: int = 0
+    dedup_hits: int = 0
 
     @property
     def finish_time(self) -> float:
@@ -153,6 +178,13 @@ class HierarchicalOutcome:
 
     @property
     def serial_solve_time(self) -> float:
+        """As-if-sequential solver time: every phase instance summed.
+
+        Deduped phases share one synthesis object, so its solve time is
+        counted once per phase on purpose — this is the cost a sequential,
+        dedup-free run would have paid, the baseline the speedup benches
+        divide by.
+        """
         return (sum(p.solve_time for p in self.local_gather)
                 + self.leader_exchange.solve_time
                 + sum(p.solve_time for p in self.local_broadcast))
@@ -166,65 +198,173 @@ def hierarchical_allgather(topology: Topology, config: TecclConfig, *,
                            chassis: list[ChassisPlan],
                            chunks_per_gpu: int = 1,
                            method: Method = Method.AUTO,
+                           parallel: bool = False,
+                           jobs: int | None = None,
+                           dedup: bool = True,
                            ) -> HierarchicalOutcome:
     """Synthesize an ALLGATHER hierarchically over the given chassis.
 
     Every phase is an independent TE-CCL synthesis with an automatically
     estimated horizon; chunk size is uniform across phases (the phase-2/3
     payloads are *more chunks*, not bigger ones, so one τ fits all).
+
+    Args:
+        parallel: fan every phase instance (all three phases are mutually
+            independent solves) out on threads via
+            :func:`~repro.core.subsolve.run_subsolves`.
+        jobs: fan-out width for ``parallel`` (default: CPU count).
+        dedup: solve each *distinct* sub-instance once, keyed by the
+            service-layer canonical fingerprint of (subfabric, demand,
+            config, method); identical chassis share the result. Hits are
+            vetted by conformance replay against the hitting chassis's own
+            fabric/demand and fall back to a private solve on violation.
+            Automatically disabled when ``config.capacity_fn`` is set — a
+            Python callable has no canonical form to hash.
     """
     _check_chassis(topology, chassis)
     if chunks_per_gpu < 1:
         raise DemandError("chunks_per_gpu must be at least 1")
+    multi = [index for index, plan in enumerate(chassis)
+             if len(plan.gpus) >= 2]
+    if not multi:
+        # fail before any solve is paid for, not after the leader exchange
+        raise DemandError(
+            "hierarchical synthesis needs at least one multi-GPU chassis")
     config = _auto_horizon(config)
 
-    local_gather: list[PhaseResult] = []
-    for index, plan in enumerate(chassis):
-        if len(plan.gpus) < 2:
-            continue  # single-GPU chassis has nothing to gather locally
+    # ---- build every phase instance up front (no solves yet) ----------
+    specs: list[tuple[str, _SubFabric, Demand]] = []
+    for index in multi:
+        plan = chassis[index]
         fabric = _induce(topology, list(plan.gpus), f"chassis-{index}")
         demand = allgather([fabric.to_sub[g] for g in plan.gpus],
                            chunks_per_gpu)
-        synthesis = synthesize(fabric.topology, demand, config,
-                               method=method)
-        local_gather.append(PhaseResult(
-            label=f"gather@{index}", fabric=fabric, demand=demand,
-            synthesis=synthesis))
+        specs.append((f"gather@{index}", fabric, demand))
 
     leaders = [plan.leader for plan in chassis]
     leader_fabric = _induce(topology, leaders, "leaders")
-    # each leader forwards its whole chassis aggregate
-    exchange_chunks = max(len(plan.gpus) for plan in chassis) \
-        * chunks_per_gpu
-    exchange_demand = allgather([leader_fabric.to_sub[l] for l in leaders],
-                                exchange_chunks)
-    leader_exchange = PhaseResult(
-        label="leader-exchange", fabric=leader_fabric,
-        demand=exchange_demand,
-        synthesis=synthesize(leader_fabric.topology, exchange_demand,
-                             config, method=method))
+    # Each leader forwards exactly its own chassis aggregate: chunk
+    # (leader, c) is the c-th chunk of that chassis's payload, wanted by
+    # every other leader. Sizing every payload by the *largest* chassis
+    # (the old uniform-allgather formula) modeled small-chassis leaders
+    # forwarding chunks they do not have, inflating phase 2 and phase 3
+    # on heterogeneous chassis.
+    exchange_triples = []
+    for plan in chassis:
+        src = leader_fabric.to_sub[plan.leader]
+        for c in range(len(plan.gpus) * chunks_per_gpu):
+            for other in chassis:
+                if other.leader != plan.leader:
+                    exchange_triples.append(
+                        (src, c, leader_fabric.to_sub[other.leader]))
+    exchange_demand = Demand.from_triples(exchange_triples)
+    specs.append(("leader-exchange", leader_fabric, exchange_demand))
 
-    remote_chunks = (len(chassis) - 1) * exchange_chunks
-    local_broadcast: list[PhaseResult] = []
-    for index, plan in enumerate(chassis):
-        if len(plan.gpus) < 2:
-            continue
+    for index in multi:
+        plan = chassis[index]
         fabric = _induce(topology, list(plan.gpus), f"chassis-{index}")
+        # what arrives from outside: every *other* chassis's aggregate
+        remote_chunks = sum(
+            len(other.gpus) for j, other in enumerate(chassis)
+            if j != index) * chunks_per_gpu
         demand = broadcast(fabric.to_sub[plan.leader],
                            [fabric.to_sub[g] for g in plan.gpus],
                            remote_chunks)
-        synthesis = synthesize(fabric.topology, demand, config,
-                               method=method)
-        local_broadcast.append(PhaseResult(
-            label=f"broadcast@{index}", fabric=fabric, demand=demand,
-            synthesis=synthesis))
+        specs.append((f"broadcast@{index}", fabric, demand))
 
-    if not local_gather or not local_broadcast:
-        raise DemandError(
-            "hierarchical synthesis needs at least one multi-GPU chassis")
-    return HierarchicalOutcome(local_gather=local_gather,
-                               leader_exchange=leader_exchange,
-                               local_broadcast=local_broadcast)
+    # ---- solve the whole batch: fan out, dedup by fingerprint ---------
+    dedup_on = dedup and config.capacity_fn is None
+    cache = SubSolveCache()
+    stats = {"solves": 0, "hits": 0}
+    vetted: dict[str, bool] = {}
+    stats_lock = threading.Lock()
+
+    def solve_one(label: str, fabric: _SubFabric,
+                  demand: Demand) -> tuple[SynthesisResult, bool]:
+        def cold() -> SynthesisResult:
+            with stats_lock:
+                stats["solves"] += 1
+            with _obs_span("hier.phase", label=label,
+                           gpus=len(fabric.topology.gpus)):
+                return synthesize(fabric.topology, demand, config,
+                                  method=method)
+
+        key = _phase_fingerprint(fabric.topology, demand, config,
+                                 method) if dedup_on else None
+        if key is None:
+            return cold(), False
+        synthesis, hit = cache.solve(key, cold)
+        if hit:
+            # Vet the first hit per fingerprint by replaying the shared
+            # schedule through the conformance oracle against the hitting
+            # chassis's own fabric and demand; later hits for the same
+            # (canonically identical) instance reuse that verdict instead
+            # of paying for a replay each.
+            with stats_lock:
+                verdict = vetted.get(key)
+            if verdict is None:
+                verdict = _replays_clean(synthesis, fabric, demand)
+                with stats_lock:
+                    vetted[key] = verdict
+            if not verdict:
+                # a fingerprint said "identical" but the replay disagrees
+                # — trust the oracle and pay for a private solve
+                return cold(), False
+            with stats_lock:
+                stats["hits"] += 1
+        return synthesis, hit
+
+    with _obs_span("hier.solve", chassis=len(chassis), instances=len(specs),
+                   parallel=bool(parallel), dedup=dedup_on) as span:
+        tasks = [lambda s=spec: solve_one(*s) for spec in specs]
+        if parallel:
+            solved = run_subsolves(tasks, jobs=jobs, label="hier")
+        else:
+            solved = [task() for task in tasks]
+        span.set_attr(sub_solves=stats["solves"], dedup_hits=stats["hits"])
+
+    results = [PhaseResult(label=label, fabric=fabric, demand=demand,
+                           synthesis=synthesis, deduped=hit)
+               for (label, fabric, demand), (synthesis, hit)
+               in zip(specs, solved)]
+    return HierarchicalOutcome(
+        local_gather=[r for r in results if r.label.startswith("gather@")],
+        leader_exchange=next(r for r in results
+                             if r.label == "leader-exchange"),
+        local_broadcast=[r for r in results
+                         if r.label.startswith("broadcast@")],
+        sub_solves=stats["solves"],
+        dedup_hits=stats["hits"])
+
+
+def _phase_fingerprint(topology: Topology, demand: Demand,
+                       config: TecclConfig, method: Method) -> str | None:
+    """Canonical key for one phase instance; ``None`` when unhashable."""
+    from repro.service.fingerprint import fingerprint_request
+
+    try:
+        return fingerprint_request(topology, demand, config, method=method)
+    except ServiceError:
+        return None
+
+
+def _replays_clean(synthesis: SynthesisResult, fabric: _SubFabric,
+                   demand: Demand) -> bool:
+    """Vet a dedup hit: replay the shared schedule on *this* chassis.
+
+    When the Appendix C transform rewrote the topology the schedule lives
+    in the transformed space the result itself carries; replaying there
+    still checks internal consistency, just not against the hitting
+    fabric's raw ids.
+    """
+    from repro.simulate import check_result
+
+    if synthesis.hyper is None:
+        report = check_result(synthesis, topology=fabric.topology,
+                              demand=demand)
+    else:
+        report = check_result(synthesis)
+    return report.ok
 
 
 def _check_chassis(topology: Topology, chassis: list[ChassisPlan]) -> None:

@@ -32,7 +32,8 @@ from repro.core.postprocess import prune_fractional
 from repro.core.schedule import FlowSchedule
 from repro.errors import InfeasibleError, ModelError
 from repro.obs.trace import span as _obs_span
-from repro.solver import Model, Sense, SolveResult, SolverOptions, quicksum
+from repro.solver import (Model, Sense, SolveResult, SolveStatus,
+                          SolverOptions, quicksum)
 from repro.topology.topology import Topology
 
 _EPS = 1e-9
@@ -125,6 +126,50 @@ class LpOutcome:
     @property
     def solve_time(self) -> float:
         return self.result.solve_time
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for crossing a process boundary (POP fan-out).
+
+        The schedules are already extracted, so the solver's primal vector
+        does not travel: :meth:`from_dict` rebuilds the
+        :class:`~repro.solver.result.SolveResult` with ``values=None``
+        (status, objective, timings, and JSON-safe stats survive).
+        """
+        return {
+            "schedule": self.schedule.to_dict(),
+            "raw_schedule": self.raw_schedule.to_dict(),
+            "plan": self.plan.to_dict(),
+            "finish_time": self.finish_time,
+            "result": {
+                "status": self.result.status.value,
+                "objective": self.result.objective,
+                "solve_time": self.result.solve_time,
+                "mip_gap": self.result.mip_gap,
+                "message": self.result.message,
+                "stats": {k: v for k, v in self.result.stats.items()
+                          if v is None
+                          or isinstance(v, (bool, int, float, str))},
+            },
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "LpOutcome":
+        """Parse the :meth:`to_dict` representation (no primal point)."""
+        res = data["result"]
+        result = SolveResult(
+            status=SolveStatus(res["status"]),
+            objective=res["objective"],
+            values=None,
+            solve_time=float(res["solve_time"]),
+            mip_gap=res.get("mip_gap"),
+            message=res.get("message", ""),
+            stats=dict(res.get("stats", {})))
+        return LpOutcome(
+            schedule=FlowSchedule.from_dict(data["schedule"]),
+            raw_schedule=FlowSchedule.from_dict(data["raw_schedule"]),
+            result=result,
+            plan=EpochPlan.from_dict(data["plan"]),
+            finish_time=float(data["finish_time"]))
 
 
 class LpBuilder:

@@ -29,7 +29,9 @@ from repro.core.epochs import EpochPlan, build_epoch_plan, path_based_epoch_boun
 from repro.core.lp import (IncrementalLp, LpBuilder, LpOutcome,
                            extract_lp_outcome)
 from repro.core.schedule import FlowSchedule
+from repro.core.subsolve import run_subsolves
 from repro.errors import InfeasibleError, ModelError
+from repro.obs.trace import current_context as _obs_context
 from repro.obs.trace import span as _obs_span
 from repro.solver.result import WarmStart
 from repro.topology.topology import Topology
@@ -147,7 +149,8 @@ def pop_auto_horizon(num_epochs: int, num_partitions: int) -> int:
 
 def solve_lp_pop(topology: Topology, demand: Demand, config: TecclConfig, *,
                  num_partitions: int = 2, seed: int = 0,
-                 incremental: bool = True) -> PopOutcome:
+                 incremental: bool = True, parallel: bool = False,
+                 jobs: int | None = None, pool=None) -> PopOutcome:
     """Solve the LP via POP partitioning and merge the sub-schedules.
 
     All subproblems share one epoch plan (same τ, same horizon) so their
@@ -161,8 +164,22 @@ def solve_lp_pop(topology: Topology, demand: Demand, config: TecclConfig, *,
     nothing recompiled) and each attempt is warm-started from its own
     partition's last shared-plan solution (sibling partitions' points are
     never crossed over — their columns describe different commodities).
-    The merged result is replayed through the conformance oracle; a
-    violation falls back to the cold per-attempt rebuild path.
+
+    The partitions are independent by construction, so ``parallel=True``
+    fans them out concurrently: on **threads**
+    (:func:`~repro.core.subsolve.run_subsolves`, width ``jobs``) for the
+    incremental path — the growing models and warm-start slots stay
+    in-process — or, when a :class:`~repro.service.pool.SolvePool` is
+    passed as ``pool``, across **processes** for the cold path (each
+    partition crosses the boundary as plain dicts and is rebuilt by
+    :func:`solve_pop_partition`). ``pool`` requires ``incremental=False``
+    (a live scipy model cannot be pickled) and falls back to the thread
+    path when ``config.capacity_fn`` is set (a Python callable cannot
+    cross the boundary either).
+
+    Every merged result produced by the incremental or any parallel path
+    is replayed through the conformance oracle; a violation falls back to
+    the sequential cold rebuild path.
     """
     demand.validate(topology)
     topology.validate()
@@ -170,6 +187,11 @@ def solve_lp_pop(topology: Topology, demand: Demand, config: TecclConfig, *,
         raise ModelError(
             "POP partitioning applies to the LP form only; multicast "
             "demands need the MILP (use solve_milp or A*)")
+    if pool is not None and incremental:
+        raise ModelError(
+            "process fan-out cannot share in-process incremental models; "
+            "pass incremental=False to solve cold partitions on a "
+            "SolvePool")
     partitions = partition_demand(demand, num_partitions, seed=seed)
 
     auto = config.num_epochs is None
@@ -190,16 +212,18 @@ def solve_lp_pop(topology: Topology, demand: Demand, config: TecclConfig, *,
         try:
             outcome = _solve_at_horizon(topology, config, partitions,
                                         num_epochs, models=models,
-                                        warms=warms)
+                                        warms=warms, parallel=parallel,
+                                        jobs=jobs, pool=pool)
             outcome.attempts = attempt + 1
         except InfeasibleError as err:
             last_error = err
             num_epochs *= 2
             continue
-        if models is not None and not _pop_conformant(
-                outcome, topology, demand, config):
-            # A violation means the incremental machinery (not the solver)
-            # mis-built a model; serve the cold path rather than speed.
+        if (models is not None or parallel or pool is not None) \
+                and not _pop_conformant(outcome, topology, demand, config):
+            # A violation means the incremental/parallel machinery (not
+            # the solver) mis-built or mis-merged a model; serve the
+            # sequential cold path rather than speed.
             outcome = _solve_at_horizon(topology, config, partitions,
                                         num_epochs, models=None,
                                         warms=[None] * len(partitions))
@@ -222,65 +246,178 @@ def _solve_at_horizon(topology: Topology, config: TecclConfig,
                       partitions: list[Partition], num_epochs: int,
                       models: list[IncrementalLp | None] | None = None,
                       warms: list[WarmStart | None] | None = None,
-                      ) -> PopOutcome:
+                      parallel: bool = False, jobs: int | None = None,
+                      pool=None) -> PopOutcome:
     plan = build_epoch_plan(topology, config, num_epochs=num_epochs)
-    sub_outcomes: list[LpOutcome] = []
-    with _obs_span("pop.solve", partitions=len(partitions),
-                   epochs=num_epochs,
-                   incremental=models is not None):
-        for pi, part in enumerate(partitions):
-            sub_config = replace(
-                config, num_epochs=num_epochs,
-                capacity_fn=_scaled_capacity_fn(topology, config,
-                                                part.share))
-            if models is None:
-                with _obs_span("pop.partition", index=part.index,
-                               share=round(part.share, 6),
-                               construction="cold", warm=False):
-                    builder = LpBuilder(topology, part.demand, sub_config,
-                                        plan)
-                    start = time.perf_counter()
-                    problem = builder.build()
-                    build_time = time.perf_counter() - start
-                    result = problem.model.solve(sub_config.solver)
-                    result.stats["build_time"] = build_time
-                    result.stats["construction"] = problem.construction
-                    if not result.status.has_solution:
-                        raise InfeasibleError(
-                            f"POP partition {part.index} infeasible at "
-                            f"K={num_epochs}", status="horizon")
-                    sub_outcomes.append(extract_lp_outcome(problem, result))
-                continue
-            inc = models[pi]
-            warm = warms[pi] if warms is not None else None
+    pooled = (pool is not None and models is None
+              and config.capacity_fn is None)
+
+    def solve_one(pi: int) -> LpOutcome:
+        part = partitions[pi]
+        sub_config = replace(
+            config, num_epochs=num_epochs,
+            capacity_fn=_scaled_capacity_fn(topology, config, part.share))
+        if models is None:
             with _obs_span("pop.partition", index=part.index,
                            share=round(part.share, 6),
-                           construction="incremental",
-                           fresh=inc is None, warm=warm is not None):
-                if inc is None:
-                    inc = models[pi] = IncrementalLp(topology, part.demand,
-                                                     sub_config, num_epochs)
-                elif inc.num_epochs < num_epochs:
-                    inc.grow(num_epochs)
-                # Warm-start: this partition's own last shared-plan
-                # solution. A sibling's point is never handed across, even
-                # when variable counts coincide — the columns describe a
-                # *different* partition's commodities, so it would be an
-                # arbitrary seed the moment a backend starts consuming x0.
-                result = inc.solve_at(num_epochs, warm_start=warm)
-                result.stats["build_time"] = inc.build_time
-                result.stats["construction"] = "incremental"
+                           construction="cold", warm=False):
+                builder = LpBuilder(topology, part.demand, sub_config,
+                                    plan)
+                start = time.perf_counter()
+                problem = builder.build()
+                build_time = time.perf_counter() - start
+                result = problem.model.solve(sub_config.solver)
+                result.stats["build_time"] = build_time
+                result.stats["construction"] = problem.construction
                 if not result.status.has_solution:
                     raise InfeasibleError(
                         f"POP partition {part.index} infeasible at "
                         f"K={num_epochs}", status="horizon")
-                if warms is not None:
-                    warms[pi] = result.warm_start()
-                sub_outcomes.append(inc.extract(result, num_epochs))
+                return extract_lp_outcome(problem, result)
+        inc = models[pi]
+        warm = warms[pi] if warms is not None else None
+        with _obs_span("pop.partition", index=part.index,
+                       share=round(part.share, 6),
+                       construction="incremental",
+                       fresh=inc is None, warm=warm is not None):
+            if inc is None:
+                inc = models[pi] = IncrementalLp(topology, part.demand,
+                                                 sub_config, num_epochs)
+            elif inc.num_epochs < num_epochs:
+                inc.grow(num_epochs)
+            # Warm-start: this partition's own last shared-plan
+            # solution. A sibling's point is never handed across, even
+            # when variable counts coincide — the columns describe a
+            # *different* partition's commodities, so it would be an
+            # arbitrary seed the moment a backend starts consuming x0.
+            result = inc.solve_at(num_epochs, warm_start=warm)
+            result.stats["build_time"] = inc.build_time
+            result.stats["construction"] = "incremental"
+            if not result.status.has_solution:
+                raise InfeasibleError(
+                    f"POP partition {part.index} infeasible at "
+                    f"K={num_epochs}", status="horizon")
+            if warms is not None:
+                warms[pi] = result.warm_start()
+            return inc.extract(result, num_epochs)
+
+    with _obs_span("pop.solve", partitions=len(partitions),
+                   epochs=num_epochs,
+                   incremental=models is not None,
+                   parallel=bool(parallel), pooled=pooled):
+        if pooled:
+            sub_outcomes = _solve_partitions_pooled(
+                topology, config, partitions, num_epochs, pool)
+        else:
+            # Each closure touches only its own models/warms slot, so the
+            # batch is safe to fan out on threads. Sequential dispatch
+            # goes through the same executor at width 1: every partition
+            # runs even when a sibling is infeasible, so grown models and
+            # warm starts reach the retry in the same state either way —
+            # the parallel path stays bit-identical to the sequential one.
+            tasks = [lambda pi=pi: solve_one(pi)
+                     for pi in range(len(partitions))]
+            sub_outcomes = run_subsolves(
+                tasks, jobs=jobs if parallel else 1, label="pop")
         merged = merge_flow_schedules([o.schedule for o in sub_outcomes])
         return PopOutcome(schedule=merged, partitions=partitions,
                           sub_outcomes=sub_outcomes, plan=plan,
                           finish_time=merged.finish_time(topology))
+
+
+def solve_pop_partition(request_dict: dict) -> dict:
+    """Solve one serialised POP partition; module-level so workers pickle it.
+
+    The :class:`~repro.service.pool.SolvePool` worker for the cold process
+    fan-out: the fabric, the partition's demand slice, and the config cross
+    the boundary as plain dicts, the capacity scaling is rebuilt from the
+    ``share`` scalar, and the solved :class:`~repro.core.lp.LpOutcome`
+    travels back as its dict form (primal vectors stay behind — the
+    schedules are already extracted). Infeasibility is reported as a
+    payload, not an exception, so it survives any executor's pickling of
+    errors: ``{"infeasible": True, "message": ...}``.
+    """
+    topology = Topology.from_dict(request_dict["topology"])
+    demand = Demand.from_dict(request_dict["demand"])
+    config = TecclConfig.from_dict(request_dict["config"])
+    share = float(request_dict["share"])
+    num_epochs = int(request_dict["num_epochs"])
+    sub_config = replace(
+        config, capacity_fn=_scaled_capacity_fn(topology, config, share))
+    from repro.obs import trace as _obs
+
+    with _obs.activate(request_dict.get("_obs")):
+        with _obs.span("pop.partition", index=request_dict["index"],
+                       share=round(share, 6), construction="pooled",
+                       warm=False):
+            plan = build_epoch_plan(topology, config,
+                                    num_epochs=num_epochs)
+            try:
+                builder = LpBuilder(topology, demand, sub_config, plan)
+                start = time.perf_counter()
+                problem = builder.build()
+                build_time = time.perf_counter() - start
+                result = problem.model.solve(sub_config.solver)
+            except InfeasibleError as err:
+                return {"infeasible": True, "message": str(err)}
+            result.stats["build_time"] = build_time
+            result.stats["construction"] = problem.construction
+            if not result.status.has_solution:
+                return {"infeasible": True,
+                        "message": f"POP partition {request_dict['index']} "
+                                   f"infeasible at K={num_epochs}"}
+            outcome = extract_lp_outcome(problem, result)
+    return {"infeasible": False, "outcome": outcome.to_dict()}
+
+
+def _solve_partitions_pooled(topology: Topology, config: TecclConfig,
+                             partitions: list[Partition], num_epochs: int,
+                             pool) -> list[LpOutcome]:
+    """Fan cold partition solves out across a SolvePool's processes.
+
+    Submissions are keyed by a ``pop-partition`` canonical fingerprint —
+    distinct from the planner's request keys, so they never collide in a
+    shared pool, while identical concurrent partition solves still
+    coalesce onto one worker.
+    """
+    from repro.service.fingerprint import (FINGERPRINT_VERSION,
+                                           canonical_config,
+                                           canonical_demand,
+                                           canonical_topology,
+                                           fingerprint_canonical)
+    from repro.service.pool import SolvePool
+
+    sub_config = replace(config, num_epochs=num_epochs)
+    topo_doc = topology.to_dict()
+    config_doc = sub_config.to_dict()
+    canonical_topo = canonical_topology(topology)
+    canonical_cfg = canonical_config(sub_config)
+    context = _obs_context()
+    futures = []
+    for part in partitions:
+        request = {"kind": "pop-partition", "index": part.index,
+                   "share": part.share, "num_epochs": num_epochs,
+                   "topology": topo_doc, "demand": part.demand.to_dict(),
+                   "config": config_doc}
+        if context is not None:
+            request["_obs"] = context
+        key = "pop:" + fingerprint_canonical({
+            "kind": "pop-partition", "version": FINGERPRINT_VERSION,
+            "topology": canonical_topo,
+            "demand": canonical_demand(part.demand),
+            "config": canonical_cfg, "share": float(part.share)})
+        future, _ = pool.submit(key, request, solve_fn=solve_pop_partition)
+        futures.append(future)
+    sub_outcomes: list[LpOutcome] = []
+    for part, future in zip(partitions, futures):
+        payload = SolvePool.wait(future)
+        if payload.get("infeasible"):
+            raise InfeasibleError(
+                payload.get("message")
+                or f"POP partition {part.index} infeasible at "
+                   f"K={num_epochs}", status="horizon")
+        sub_outcomes.append(LpOutcome.from_dict(payload["outcome"]))
+    return sub_outcomes
 
 
 def merge_flow_schedules(schedules: list[FlowSchedule]) -> FlowSchedule:

@@ -114,6 +114,10 @@ class Planner:
                  sink: str | Path | _obs.Sink | None = None) -> None:
         self.cache = cache if cache is not None else ScheduleCache(
             capacity=cache_capacity, directory=cache_dir)
+        # An injected pool may be shared with other planners or with
+        # library-level fan-out (repro.service.pool.shared_pool); only a
+        # pool this planner created is shut down by close().
+        self._owns_pool = pool is None
         self.pool = pool if pool is not None else SolvePool(
             max_workers=max_workers, executor=executor)
         self.default_timeout = timeout
@@ -405,7 +409,8 @@ class Planner:
         return self._serve_latency.summary()
 
     def close(self) -> None:
-        self.pool.shutdown()
+        if self._owns_pool:
+            self.pool.shutdown()
         if self._owns_tracer:
             _obs.disable()
 

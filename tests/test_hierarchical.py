@@ -126,3 +126,97 @@ class TestHierarchicalAllgather:
         plans = chassis_groups(topo, 2)
         out = hierarchical_allgather(topo, cfg(num_epochs=3), chassis=plans)
         assert out.finish_time > 0
+
+
+def _heterogeneous_plans():
+    """3+2+1 chassis over internal2(3)'s six GPUs (unequal on purpose)."""
+    return [ChassisPlan(gpus=(0, 1, 2), leader=0),
+            ChassisPlan(gpus=(3, 4), leader=3),
+            ChassisPlan(gpus=(5,), leader=5)]
+
+
+class TestHeterogeneousChassisPayloads:
+    """Regression: exchange/broadcast demand sized per chassis, not by max.
+
+    The old formulas sized *every* leader's exchange payload by the
+    largest chassis (``max(len(plan.gpus))``) and broadcast
+    ``(G-1) * that`` into every chassis — leaders of smaller chassis were
+    modeled forwarding chunks they do not have.
+    """
+
+    def test_exchange_payload_matches_each_chassis(self):
+        topo = topology.internal2(3)
+        out = hierarchical_allgather(topo, cfg(), chassis=_heterogeneous_plans())
+        exchange = out.leader_exchange
+        per_leader = {
+            exchange.fabric.to_full[source]:
+                len(exchange.demand.chunks_of(source))
+            for source in exchange.demand.sources}
+        # leader 0 fronts 3 GPUs, leader 3 fronts 2, leader 5 fronts 1
+        assert per_leader == {0: 3, 3: 2, 5: 1}
+
+    def test_broadcast_payload_is_sum_of_other_chassis(self):
+        topo = topology.internal2(3)
+        out = hierarchical_allgather(topo, cfg(), chassis=_heterogeneous_plans())
+        remote = {}
+        for phase in out.local_broadcast:
+            (source,) = phase.demand.sources
+            remote[phase.label] = len(phase.demand.chunks_of(source))
+        # chassis 0 receives the 2+1 foreign chunks, chassis 1 the 3+1;
+        # the single-GPU chassis has no local broadcast at all
+        assert remote == {"broadcast@0": 3, "broadcast@1": 4}
+        assert len(out.local_broadcast) == 2
+
+    def test_strictly_faster_than_old_uniform_formula(self):
+        from repro.collectives.patterns import allgather, broadcast
+        from repro.core.hierarchical import _induce
+
+        topo = topology.internal2(3)
+        plans = _heterogeneous_plans()
+        config = TecclConfig(chunk_bytes=1e6,
+                             solver=SolverOptions(mip_gap=0.0,
+                                                  time_limit=60))
+        out = hierarchical_allgather(topo, config, chassis=plans)
+
+        # reconstruct the old formula's phase 2/3 demands: a uniform
+        # max-sized allgather and (G-1)*max broadcast into every chassis
+        old_chunks = max(len(plan.gpus) for plan in plans)
+        leader_fabric = _induce(topo, [p.leader for p in plans], "leaders")
+        old_exchange = synthesize(
+            leader_fabric.topology,
+            allgather([leader_fabric.to_sub[p.leader] for p in plans],
+                      old_chunks),
+            config)
+        old_broadcast = []
+        for plan in plans:
+            if len(plan.gpus) < 2:
+                continue
+            fabric = _induce(topo, list(plan.gpus), "c")
+            demand = broadcast(fabric.to_sub[plan.leader],
+                               [fabric.to_sub[g] for g in plan.gpus],
+                               (len(plans) - 1) * old_chunks)
+            old_broadcast.append(
+                synthesize(fabric.topology, demand, config).finish_time)
+        old_finish = (max(p.finish_time for p in out.local_gather)
+                      + old_exchange.finish_time + max(old_broadcast))
+        assert out.finish_time < old_finish
+
+
+class TestFailFast:
+    def test_degenerate_chassis_fail_before_any_solve(self, monkeypatch):
+        """All-single-GPU chassis must be rejected pre-synthesis, not
+        after paying for the leader-exchange solve."""
+        import repro.core.hierarchical as hier
+
+        calls = {"n": 0}
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            raise AssertionError("a degenerate input reached the solver")
+
+        monkeypatch.setattr(hier, "synthesize", counting)
+        topo = topology.ring(4, capacity=1.0)
+        plans = [ChassisPlan(gpus=(g,), leader=g) for g in topo.gpus]
+        with pytest.raises(DemandError, match="multi-GPU chassis"):
+            hierarchical_allgather(topo, cfg(), chassis=plans)
+        assert calls["n"] == 0

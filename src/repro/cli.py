@@ -278,6 +278,19 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet_run.add_argument("--status-file", default=None,
                            help="write the final fleet status as JSON "
                                 "(readable with `teccl fleet status`)")
+    fleet_run.add_argument("--wal", metavar="FILE", default=None,
+                           help="write-ahead log: every lifecycle "
+                                "transition is durably journaled before "
+                                "it applies (see repro.fleet.wal)")
+    fleet_run.add_argument("--recover", action="store_true",
+                           help="rehydrate the control plane from --wal "
+                                "before running (crash recovery); "
+                                "recovered schedules are re-vetted "
+                                "through the conformance oracle")
+    fleet_run.add_argument("--takeover", action="store_true",
+                           help="fence a previous daemon generation and "
+                                "take the --wal lease even if its holder "
+                                "is still alive")
     fleet_run.add_argument("--trace", metavar="FILE", default=None,
                            help="write a span trace (JSONL) of the run: "
                                 "poll/estimate/gate/replan per step")
@@ -910,14 +923,15 @@ def _parse_fleet_events(args: argparse.Namespace):
 
 
 def _cmd_fleet_run(args: argparse.Namespace) -> int:
-    import json
-
     from repro.errors import ServiceError
-    from repro.fleet import (FleetJob, FleetOrchestrator, SyntheticTelemetry)
+    from repro.fleet import (FleetJob, FleetOrchestrator, SyntheticTelemetry,
+                             WriteAheadLog, atomic_write_json)
     from repro.service import Planner
     from repro.simulate import DriftModel
     from repro.solver import SolverOptions
 
+    if args.recover and not args.wal:
+        raise ServiceError("--recover needs --wal (nothing to recover from)")
     builder = _TOPOLOGIES[args.topology]
     topo = builder(args.chassis) if args.topology != "dgx1" else builder(1)
     events = _parse_fleet_events(args)
@@ -933,10 +947,33 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
         chunk_bytes=args.chunk_size,
         solver=SolverOptions(mip_gap=args.mip_gap,
                              time_limit=args.time_limit))
+    wal = None
+    if args.wal:
+        wal = WriteAheadLog(args.wal)
+        generation = wal.attach_lease(takeover=args.takeover)
+        print(f"wal          : {args.wal} (generation {generation})")
     with Planner(executor=args.pool_kind, sink=args.trace) as planner:
-        fleet = FleetOrchestrator(topo, source, planner)
+        fleet = FleetOrchestrator(topo, source, planner, wal=wal)
+        if args.recover:
+            if wal.has_state():
+                provenance = fleet.recover()
+                print(f"recovered    : {provenance['entries_recovered']} "
+                      f"schedule(s), {len(provenance['entries_dropped'])} "
+                      f"dropped, {provenance['steps_completed']} steps "
+                      "already completed")
+            else:
+                print("recovered    : nothing durable on disk; "
+                      "starting fresh")
+        recovered_jobs = set(fleet.controller.registry.active_jobs())
         for index, name in enumerate(job_names):
-            job = FleetJob(name=f"{name}#{index}",
+            job_name = f"{name}#{index}"
+            if job_name in recovered_jobs:
+                entry = fleet.controller.registry.active(job_name)
+                print(f"resumed      : {job_name} "
+                      f"(finish {entry.result.finish_time * 1e6:.3f} us, "
+                      "recovered from WAL)")
+                continue
+            job = FleetJob(name=job_name,
                            demand=_COLLECTIVES[name](topo.gpus, args.chunks),
                            config=config)
             entry = fleet.admit(job)
@@ -948,6 +985,8 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
                 print(f"  {decision}")
         status = fleet.status()
         stats = status["stats"]
+    if wal is not None:
+        wal.close()
     fabric = status["fabric"]
     print(f"fabric       : {fabric['health']['healthy']} healthy / "
           f"{fabric['health']['degraded']} degraded / "
@@ -961,8 +1000,9 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
         print(f"trace        : {args.trace}")
     if args.status_file:
         try:
-            with open(args.status_file, "w", encoding="utf-8") as handle:
-                json.dump(status, handle, indent=2)
+            # atomic: a concurrent `teccl fleet status` (or a crash
+            # mid-dump) sees the previous complete file, never half a one
+            atomic_write_json(args.status_file, status)
         except OSError as exc:
             raise ServiceError(
                 f"cannot write --status-file: {exc}") from exc
@@ -983,6 +1023,24 @@ def _cmd_fleet_status(args: argparse.Namespace) -> int:
     except json.JSONDecodeError as exc:
         raise ServiceError(
             f"invalid JSON in {args.status_file}: {exc}") from exc
+    recovery = status.get("recovery")
+    if recovery:
+        dropped = recovery.get("entries_dropped", [])
+        print(f"recovery     : generation {recovery.get('generation')}, "
+              f"{recovery.get('entries_recovered', 0)} schedule(s) "
+              f"rehydrated, {recovery.get('steps_completed', 0)} steps "
+              "resumed"
+              + (" (from snapshot)" if recovery.get("snapshot") else ""))
+        for drop in dropped:
+            print(f"  dropped    : {drop.get('job')} seq "
+                  f"{drop.get('seq')} ({drop.get('reason')})")
+    wal = status.get("wal")
+    if wal:
+        print(f"wal          : {wal.get('path')} "
+              f"(generation {wal.get('generation')}, "
+              f"{wal.get('records_written', 0)} records, "
+              f"{wal.get('compactions', 0)} compactions"
+              + (", FENCED" if wal.get("fenced") else "") + ")")
     fabric = status.get("fabric", {})
     health = fabric.get("health", {})
     print(f"fabric       : {fabric.get('topology')} "

@@ -14,7 +14,11 @@ library into a serving system:
   vetted by the conformance oracle, with an active/pending/rollback
   schedule registry;
 * :mod:`~repro.fleet.orchestrator` — multi-job admission with priority
-  capacity shares and batched replan fan-out.
+  capacity shares and batched replan fan-out;
+* :mod:`~repro.fleet.wal` — write-ahead persistence: a checksummed,
+  fsync'd JSONL log of every lifecycle transition, snapshot compaction,
+  crash recovery (:meth:`AdaptationController.recover`), and
+  generation-lease fencing for graceful daemon handoff.
 
 Quickstart::
 
@@ -46,6 +50,8 @@ from repro.fleet.estimate import (FabricEstimator, LinkEstimate, LinkHealth,
 from repro.fleet.orchestrator import FleetOrchestrator
 from repro.fleet.telemetry import (LinkEvent, LinkSample, SyntheticTelemetry,
                                    TelemetrySource, TraceTelemetry)
+from repro.fleet.wal import (GenerationLease, WalState, WriteAheadLog,
+                             atomic_write_json)
 
 __all__ = [
     "LinkSample", "LinkEvent", "TelemetrySource", "SyntheticTelemetry",
@@ -55,4 +61,5 @@ __all__ = [
     "RegistryEntry", "ScheduleRegistry", "ScheduleStatus",
     "predicted_finish", "links_used_by",
     "FleetOrchestrator",
+    "WriteAheadLog", "GenerationLease", "WalState", "atomic_write_json",
 ]

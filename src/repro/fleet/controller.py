@@ -29,7 +29,7 @@ from __future__ import annotations
 import enum
 import threading
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.collectives.demand import Demand
 from repro.core.config import TecclConfig
@@ -38,11 +38,15 @@ from repro.core.solve import Method, SynthesisResult
 from repro.errors import FleetError
 from repro.fleet.estimate import (FabricEstimator, LinkHealth,
                                   LinkTransition)
+from repro.fleet.wal import WriteAheadLog
 from repro.obs import trace as _obs
 from repro.obs.metrics import MetricsRegistry
 from repro.fleet.telemetry import TelemetrySource
+from repro.service.cache import make_envelope, open_envelope
+from repro.service.fingerprint import fingerprint_canonical
 from repro.service.planner import Planner
-from repro.service.schema import PlanRequest
+from repro.service.schema import (REGISTRY_STATE_VERSION, PlanRequest,
+                                  check_registry_state)
 from repro.topology.topology import Topology
 
 
@@ -70,6 +74,24 @@ class FleetJob:
             raise FleetError("a fleet job needs a name")
         if self.priority <= 0:
             raise FleetError(f"job {self.name!r}: priority must be positive")
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (round-trips via :meth:`from_dict`)."""
+        return {"name": self.name, "demand": self.demand.to_dict(),
+                "config": self.config.to_dict(),
+                "method": self.method.value, "priority": self.priority}
+
+    @staticmethod
+    def from_dict(data: dict) -> "FleetJob":
+        try:
+            return FleetJob(
+                name=str(data["name"]),
+                demand=Demand.from_dict(data["demand"]),
+                config=TecclConfig.from_dict(data["config"]),
+                method=Method(data.get("method", Method.AUTO.value)),
+                priority=float(data.get("priority", 1.0)))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FleetError(f"malformed fleet job document: {exc}") from exc
 
 
 @dataclass(frozen=True)
@@ -174,13 +196,62 @@ class RegistryEntry:
     conformance_ok: bool | None = None
     note: str = ""
     fabric: Topology | None = None
+    #: registry-assigned identity; WAL lifecycle records reference it
+    seq: int = 0
 
     def to_dict(self) -> dict:
+        """Status-display summary (lossy by design; the WAL uses
+        :meth:`to_wire`, which round-trips the full entry)."""
         return {"job": self.job, "status": self.status.value,
                 "time": self.time, "conformance_ok": self.conformance_ok,
                 "finish_time": self.result.finish_time,
                 "solve_time": self.result.solve_time,
                 "method": self.result.method.value, "note": self.note}
+
+    def to_wire(self) -> dict:
+        """Full-fidelity document (round-trips via :meth:`from_wire`).
+
+        The schedule payload rides inside the disk cache's versioned
+        envelope, so a WAL snapshot written by an older package version
+        is invalidated by the same rule as a stale cache entry.
+        """
+        payload = self.result.to_dict()
+        return {
+            "seq": self.seq,
+            "job": self.job,
+            "status": self.status.value,
+            "time": self.time,
+            "conformance_ok": self.conformance_ok,
+            "note": self.note,
+            "result": make_envelope(fingerprint_canonical(payload), payload,
+                                    {"kind": "fleet-registry-entry"}),
+            "fabric": (None if self.fabric is None
+                       else self.fabric.to_dict()),
+        }
+
+    @staticmethod
+    def from_wire(data: dict) -> "RegistryEntry":
+        try:
+            payload = open_envelope(data["result"])
+            if payload is None:
+                raise FleetError(
+                    f"registry entry for job {data.get('job')!r}: schedule "
+                    "envelope is stale or malformed (version or package "
+                    "mismatch)")
+            return RegistryEntry(
+                job=str(data["job"]),
+                result=SynthesisResult.from_dict(payload),
+                status=ScheduleStatus(data["status"]),
+                time=float(data["time"]),
+                conformance_ok=(None if data.get("conformance_ok") is None
+                                else bool(data["conformance_ok"])),
+                note=str(data.get("note", "")),
+                fabric=(None if data.get("fabric") is None
+                        else Topology.from_dict(data["fabric"])),
+                seq=int(data.get("seq", 0)))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FleetError(
+                f"malformed registry entry document: {exc}") from exc
 
 
 class ScheduleRegistry:
@@ -193,19 +264,31 @@ class ScheduleRegistry:
     here, in one place, rather than by every caller remembering to check.
     """
 
-    def __init__(self, history_limit: int = 1000) -> None:
+    def __init__(self, history_limit: int = 1000,
+                 journal=None) -> None:
         self._active: dict[str, RegistryEntry] = {}
         # bounded: a long-running daemon proposes schedules indefinitely;
         # active entries stay reachable through _active regardless
         self.history: deque[RegistryEntry] = deque(maxlen=history_limit)
         self._lock = threading.Lock()
+        self._seq = 0
+        # write-ahead hook: called as journal(kind, data) *before* the
+        # matching state mutation; a raise (a fenced WAL) aborts the
+        # transition, so a fenced daemon can never activate anything
+        self._journal = journal
+
+    def _log(self, kind: str, data: dict) -> None:
+        if self._journal is not None:
+            self._journal(kind, data)
 
     def propose(self, job: str, result: SynthesisResult, time: float,
                 fabric: Topology | None = None) -> RegistryEntry:
-        entry = RegistryEntry(job=job, result=result,
-                              status=ScheduleStatus.PENDING, time=time,
-                              fabric=fabric)
         with self._lock:
+            self._seq += 1
+            entry = RegistryEntry(job=job, result=result,
+                                  status=ScheduleStatus.PENDING, time=time,
+                                  fabric=fabric, seq=self._seq)
+            self._log("propose", entry.to_wire())
             self.history.append(entry)
         return entry
 
@@ -216,6 +299,8 @@ class ScheduleRegistry:
                 f"conformance verdict is {entry.conformance_ok!r}, not a "
                 "pass")
         with self._lock:
+            self._log("activate", {"job": entry.job, "seq": entry.seq,
+                                   "conformance_ok": True})
             incumbent = self._active.get(entry.job)
             if incumbent is not None:
                 incumbent.status = ScheduleStatus.RETIRED
@@ -225,6 +310,8 @@ class ScheduleRegistry:
 
     def rollback(self, entry: RegistryEntry, reason: str) -> RegistryEntry:
         with self._lock:
+            self._log("rollback", {"job": entry.job, "seq": entry.seq,
+                                   "reason": reason})
             entry.status = ScheduleStatus.ROLLED_BACK
             entry.note = reason
         return entry
@@ -232,9 +319,45 @@ class ScheduleRegistry:
     def retire(self, job: str) -> None:
         """Drop a job's active schedule (the job left the fleet)."""
         with self._lock:
-            entry = self._active.pop(job, None)
+            entry = self._active.get(job)
             if entry is not None:
+                self._log("retire", {"job": job, "seq": entry.seq})
+                del self._active[job]
                 entry.status = ScheduleStatus.RETIRED
+
+    # ------------------------------------------------------------------
+    # recovery (no journaling: the WAL is the *source* here)
+    # ------------------------------------------------------------------
+    def restore(self, entries: list[RegistryEntry],
+                active: dict[str, int], seq: int) -> None:
+        """Rehydrate from recovered state, bypassing the journal.
+
+        ``entries`` arrive in seq order (the history window); ``active``
+        maps job name to the seq of its incumbent. Every incumbent must
+        already carry an explicit conformance pass — recovery re-vets
+        before calling this, and the invariant holds across restarts.
+        """
+        by_seq = {entry.seq: entry for entry in entries}
+        for job, entry_seq in active.items():
+            entry = by_seq.get(entry_seq)
+            if entry is None:
+                raise FleetError(
+                    f"cannot restore job {job!r}: active entry seq "
+                    f"{entry_seq} is not in the recovered window")
+            if entry.conformance_ok is not True:
+                raise FleetError(
+                    f"refusing to restore job {job!r} without a "
+                    "conformance pass")
+        with self._lock:
+            self.history.clear()
+            self.history.extend(entries)
+            self._active = {job: by_seq[entry_seq]
+                            for job, entry_seq in active.items()}
+            self._seq = max(seq, self._seq)
+
+    def seq(self) -> int:
+        with self._lock:
+            return self._seq
 
     def active(self, job: str) -> RegistryEntry | None:
         with self._lock:
@@ -282,6 +405,36 @@ class AdaptationDecision:
         parts.append(f"({self.reason})")
         return " ".join(parts)
 
+    def to_dict(self) -> dict:
+        """JSON-ready representation (round-trips via :meth:`from_dict`).
+
+        ``predicted`` may legitimately be ``inf`` (a dead used link);
+        it is encoded as ``None``-safe JSON via Python's non-strict
+        ``Infinity`` literal, which :func:`json.loads` parses back.
+        """
+        return {"job": self.job, "time": self.time, "action": self.action,
+                "reason": self.reason, "predicted": self.predicted,
+                "active_finish": self.active_finish,
+                "new_finish": self.new_finish,
+                "solve_time": self.solve_time}
+
+    @staticmethod
+    def from_dict(data: dict) -> "AdaptationDecision":
+        def _opt(key):
+            return None if data.get(key) is None else float(data[key])
+
+        try:
+            return AdaptationDecision(
+                job=str(data["job"]), time=float(data["time"]),
+                action=str(data["action"]), reason=str(data["reason"]),
+                predicted=_opt("predicted"),
+                active_finish=_opt("active_finish"),
+                new_finish=_opt("new_finish"),
+                solve_time=_opt("solve_time"))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FleetError(
+                f"malformed adaptation decision document: {exc}") from exc
+
 
 class AdaptationController:
     """The online adaptation daemon over one planner and one fabric.
@@ -299,6 +452,13 @@ class AdaptationController:
         sink: enable process-wide tracing into this sink (a path makes a
             JSONL file) for the controller's lifetime — daemon-thread
             spans and the replans they fan out land there.
+        wal: a :class:`~repro.fleet.wal.WriteAheadLog`. Every registry
+            lifecycle transition, decision, and estimator cool-down clock
+            is durably appended *before* it is applied; :meth:`recover`
+            rehydrates from it after a crash. ``None`` keeps the control
+            plane in-memory (the pre-WAL behaviour).
+        compact_every: fold the WAL into a snapshot once this many
+            records accumulate since the last compaction.
     """
 
     #: integer stats keys, in the legacy ``stats()`` dict order
@@ -310,7 +470,9 @@ class AdaptationController:
                  estimator: FabricEstimator | None = None,
                  gate: CostGate | None = None,
                  fabric_view=None,
-                 sink: str | _obs.Sink | None = None) -> None:
+                 sink: str | _obs.Sink | None = None,
+                 wal: WriteAheadLog | None = None,
+                 compact_every: int = 256) -> None:
         self.topology = topology
         self.source = source
         self.planner = planner
@@ -321,7 +483,15 @@ class AdaptationController:
                 "estimator and controller must share one declared fabric")
         self.gate = gate if gate is not None else CostGate()
         self.fabric_view = fabric_view
-        self.registry = ScheduleRegistry()
+        if compact_every < 1:
+            raise FleetError("compact_every must be at least 1")
+        self.wal = wal
+        self.compact_every = compact_every
+        self._last_compact_records = 0
+        #: recovery provenance (``None`` until :meth:`recover` ran)
+        self.recovery: dict | None = None
+        self.registry = ScheduleRegistry(
+            journal=None if wal is None else self._journal)
         self.jobs: dict[str, FleetJob] = {}
         # jobs is mutated by admission/retirement threads while the daemon
         # thread iterates it; mutate and snapshot under this lock.
@@ -341,6 +511,17 @@ class AdaptationController:
             self.metrics.counter(
                 "fleet_adaptation_solve_seconds_total",
                 "wall-clock spent in adaptation replans (cumulative)")
+        # durability counters live on the metrics registry only — the
+        # legacy stats() dict shape is regression-pinned and stays as-is
+        self._wal_records = self.metrics.counter(
+            "fleet_wal_records_total",
+            "records durably appended to the write-ahead log")
+        self._recoveries = self.metrics.counter(
+            "fleet_recoveries_total",
+            "successful crash recoveries from the WAL")
+        self._recovery_dropped = self.metrics.counter(
+            "fleet_recovery_dropped_total",
+            "recovered schedules dropped (failed conformance or stale)")
         self._owns_tracer = sink is not None
         if sink is not None:
             _obs.configure(sink)
@@ -349,6 +530,73 @@ class AdaptationController:
         self._stats_lock = threading.Lock()
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
+        # serialises control-plane operations (step / admission /
+        # retirement / recovery): a sync step() can never interleave with
+        # a daemon tick, and stop() joining the thread implies the last
+        # step ran to completion
+        self._op_lock = threading.Lock()
+        self._step_index = 0
+
+    # ------------------------------------------------------------------
+    # the write-ahead log
+    # ------------------------------------------------------------------
+    def _journal(self, kind: str, data: dict | None = None) -> None:
+        """Durably record one transition before it happens (write-ahead).
+
+        Raises when the WAL is fenced — the caller's transition is then
+        aborted, which is what makes takeover safe: a fenced generation
+        cannot persist, and therefore cannot activate, anything.
+        """
+        if self.wal is None:
+            return
+        self.wal.append(kind, data, now=self.now)
+        self._wal_records.inc()
+
+    def _maybe_compact(self) -> None:
+        if self.wal is None:
+            return
+        grown = self.wal.records_written - self._last_compact_records
+        if grown < self.compact_every:
+            return
+        with _obs.span("fleet.wal_compact", records=grown):
+            self.wal.compact(self.registry_state())
+        self._last_compact_records = self.wal.records_written
+
+    def registry_state(self) -> dict:
+        """The compaction snapshot: full control-plane state, as data.
+
+        Shape-checked by :func:`repro.service.schema.check_registry_state`
+        (the registry-state wire schema), so an unparseable snapshot is
+        refused at write time rather than at the recovery that needed it.
+        """
+        entries: dict[int, RegistryEntry] = {}
+        with self.registry._lock:
+            for entry in self.registry.history:
+                entries[entry.seq] = entry
+            for entry in self.registry._active.values():
+                entries[entry.seq] = entry
+            active = {job: entry.seq
+                      for job, entry in self.registry._active.items()}
+            seq = self.registry._seq
+        estimator = {
+            f"{src}->{dst}": {
+                "health": est.health.value, "ewma": est.ewma,
+                "last_transition": est.last_transition,
+                "samples": est.samples}
+            for (src, dst), est in sorted(self.estimator._links.items())}
+        state = {
+            "registry_state_version": REGISTRY_STATE_VERSION,
+            "now": self.now,
+            "steps_completed": self._step_index,
+            "entry_seq": seq,
+            "jobs": {name: job.to_dict()
+                     for name, job in sorted(self._jobs_snapshot().items())},
+            "entries": [entries[s].to_wire() for s in sorted(entries)],
+            "active": active,
+            "estimator": estimator,
+            "decisions": [d.to_dict() for d in self.decisions],
+        }
+        return check_registry_state(state)
 
     # ------------------------------------------------------------------
     # jobs
@@ -368,38 +616,51 @@ class AdaptationController:
 
         The initial plan is vetted exactly like an adapted one — the
         registry's invariant holds from the first schedule, not just from
-        the first adaptation.
+        the first adaptation. With a WAL the whole admission is one
+        transaction: a crash mid-admission leaves no committed trace, and
+        recovery sees a fleet the job never joined.
         """
-        with self._jobs_lock:
-            if job.name in self.jobs:
-                raise FleetError(f"job {job.name!r} already admitted")
-            self.jobs[job.name] = job
-        try:
-            live = self.estimator.live_topology()
-            response = self.planner.plan(self._request(job, live))
-            entry = self.registry.propose(job.name, response.result,
-                                          self.now, fabric=live)
-            entry.conformance_ok = self._vet(response.result)
-            if entry.conformance_ok is not True:
-                self.registry.rollback(entry,
-                                       "initial plan failed conformance")
-                raise FleetError(
-                    f"initial plan for job {job.name!r} failed conformance "
-                    "replay; refusing to admit")
-        except BaseException:
-            # a failed admission must not leave a ghost job (it would block
-            # re-admission and distort the orchestrator's shares forever)
+        with self._op_lock:
             with self._jobs_lock:
-                self.jobs.pop(job.name, None)
-            raise
-        return self.registry.activate(entry)
+                if job.name in self.jobs:
+                    raise FleetError(f"job {job.name!r} already admitted")
+                self.jobs[job.name] = job
+            try:
+                self._journal("begin", {"op": "admit", "job": job.name})
+                self._journal("job_admit", job.to_dict())
+                live = self.estimator.live_topology()
+                response = self.planner.plan(self._request(job, live))
+                entry = self.registry.propose(job.name, response.result,
+                                              self.now, fabric=live)
+                entry.conformance_ok = self._vet(response.result)
+                if entry.conformance_ok is not True:
+                    self.registry.rollback(entry,
+                                           "initial plan failed conformance")
+                    raise FleetError(
+                        f"initial plan for job {job.name!r} failed "
+                        "conformance replay; refusing to admit")
+                activated = self.registry.activate(entry)
+                self._journal("commit", {"op": "admit", "job": job.name})
+            except BaseException:
+                # a failed admission must not leave a ghost job (it would
+                # block re-admission and distort the orchestrator's shares
+                # forever)
+                with self._jobs_lock:
+                    self.jobs.pop(job.name, None)
+                raise
+            self._maybe_compact()
+            return activated
 
     def remove_job(self, name: str) -> None:
-        with self._jobs_lock:
-            if name not in self.jobs:
-                raise FleetError(f"no job {name!r}")
-            del self.jobs[name]
-        self.registry.retire(name)
+        with self._op_lock:
+            with self._jobs_lock:
+                if name not in self.jobs:
+                    raise FleetError(f"no job {name!r}")
+                del self.jobs[name]
+            self._journal("begin", {"op": "remove", "job": name})
+            self._journal("job_remove", {"job": name})
+            self.registry.retire(name)
+            self._journal("commit", {"op": "remove", "job": name})
 
     def _jobs_snapshot(self) -> dict[str, FleetJob]:
         with self._jobs_lock:
@@ -409,8 +670,20 @@ class AdaptationController:
     # the loop
     # ------------------------------------------------------------------
     def step(self) -> list[AdaptationDecision]:
-        """One daemon tick: poll → estimate → (maybe) adapt."""
+        """One daemon tick: poll → estimate → (maybe) adapt.
+
+        With a WAL, a step is one transaction (``begin`` … ``commit``):
+        recovery discards an interrupted step wholesale and the restarted
+        daemon re-executes it from committed state, so a crash can never
+        half-apply a tick.
+        """
+        with self._op_lock:
+            return self._step_locked()
+
+    def _step_locked(self) -> list[AdaptationDecision]:
         with _obs.span("fleet.step") as step_sp:
+            index = self._step_index
+            self._journal("begin", {"op": "step", "index": index})
             with _obs.span("fleet.poll"):
                 samples = self.source.poll()
             self._bump(polls=1, samples=len(samples))
@@ -420,11 +693,23 @@ class AdaptationController:
                 transitions = self.estimator.observe_all(samples)
             step_sp.set_attr(samples=len(samples),
                              transitions=len(transitions))
-            if not transitions:
-                return []
-            self._bump(transitions=len(transitions))
-            decisions = self.adapt(transitions)
-            self.decisions.extend(decisions)
+            decisions: list[AdaptationDecision] = []
+            if transitions:
+                self._bump(transitions=len(transitions))
+                for transition in transitions:
+                    self._journal("transition", {
+                        "link": list(transition.link),
+                        "time": transition.time,
+                        "old": transition.old.value,
+                        "new": transition.new.value,
+                        "factor": transition.factor})
+                decisions = self.adapt(transitions)
+                self.decisions.extend(decisions)
+                for decision in decisions:
+                    self._journal("decision", decision.to_dict())
+            self._journal("commit", {"op": "step", "index": index})
+            self._step_index = index + 1
+            self._maybe_compact()
             return decisions
 
     def adapt(self, transitions: list[LinkTransition],
@@ -582,20 +867,26 @@ class AdaptationController:
         schedule); the replans are warm-seeded and fanned out through the
         solve pool exactly like degradation-driven ones.
         """
-        live = self.estimator.live_topology()
-        snapshot = self._jobs_snapshot()
-        jobs, priors = [], []
-        for name in sorted(snapshot if names is None else names):
-            entry = self.registry.active(name)
-            if entry is None or name not in snapshot:
-                continue
-            jobs.append(snapshot[name])
-            priors.append(entry)
-        decisions = self._replan(
-            jobs, live, priors=priors,
-            predicted=[p.result.finish_time for p in priors])
-        self.decisions.extend(decisions)
-        return decisions
+        with self._op_lock:
+            self._journal("begin", {"op": "replan_all", "reason": reason})
+            live = self.estimator.live_topology()
+            snapshot = self._jobs_snapshot()
+            jobs, priors = [], []
+            for name in sorted(snapshot if names is None else names):
+                entry = self.registry.active(name)
+                if entry is None or name not in snapshot:
+                    continue
+                jobs.append(snapshot[name])
+                priors.append(entry)
+            decisions = self._replan(
+                jobs, live, priors=priors,
+                predicted=[p.result.finish_time for p in priors])
+            self.decisions.extend(decisions)
+            for decision in decisions:
+                self._journal("decision", decision.to_dict())
+            self._journal("commit", {"op": "replan_all", "reason": reason})
+            self._maybe_compact()
+            return decisions
 
     def _vet(self, result: SynthesisResult) -> bool:
         """Conformance-replay one result (the activation gate)."""
@@ -619,7 +910,19 @@ class AdaptationController:
         self._thread.start()
 
     def _loop(self, interval: float) -> None:
+        # Event.wait, never time.sleep: stop() setting the event wakes the
+        # loop immediately instead of burning the rest of the interval.
         while not self._stop.wait(interval):
+            if self.wal is not None and self.wal.fenced():
+                # A newer generation took the lease. Yield gracefully: the
+                # fence is only checked *between* steps, so an in-flight
+                # step always finishes — and had it tried to activate
+                # after the takeover, the WAL append itself would have
+                # refused (write-ahead: no record, no activation).
+                self.last_error = (
+                    f"fenced: generation {self.wal.generation} lost the "
+                    "lease; daemon yielded")
+                break
             try:
                 self.step()
             except Exception as exc:  # noqa: BLE001 - daemon must survive
@@ -630,6 +933,14 @@ class AdaptationController:
                 self._bump(errors=1)
 
     def stop(self) -> None:
+        """Stop the daemon thread.
+
+        Returns promptly — the loop waits on an :class:`threading.Event`,
+        so setting it wakes a sleeping loop immediately rather than after
+        the rest of the interval — and never interleaves with a
+        half-finished step: ``join`` only returns once the loop exited,
+        and any in-flight ``step`` holds ``_op_lock`` until it completes.
+        """
         if self._thread is not None:
             self._stop.set()
             self._thread.join()
@@ -637,6 +948,103 @@ class AdaptationController:
         if self._owns_tracer:
             self._owns_tracer = False
             _obs.disable()
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> dict:
+        """Rehydrate the control plane from the WAL; returns provenance.
+
+        Loads the compaction snapshot (if any), replays every *committed*
+        transaction on top, and discards the uncommitted tail (an
+        operation the crash interrupted — the resumed daemon re-executes
+        it). Every recovered incumbent is re-vetted through the
+        conformance oracle **before** re-activation: a recovery can never
+        silently activate a schedule the oracle would refuse — failed
+        replays are logged, counted, and dropped. Estimator cool-down
+        clocks resume where they stood, so a flap that straddles the
+        crash still yields at most one transition per window.
+
+        Must run on a fresh controller (no jobs admitted, no steps
+        taken); call it right after construction, before ``start()``.
+        """
+        if self.wal is None:
+            raise FleetError("recover() needs a WAL "
+                             "(AdaptationController(wal=...))")
+        with self._op_lock, _obs.span("fleet.recover") as sp:
+            if self._jobs_snapshot() or self._step_index:
+                raise FleetError(
+                    "recover() must run on a fresh controller, before any "
+                    "admission or step")
+            wal_state = self.wal.load()
+            parsed = _parse_wal(wal_state)
+            dropped: list[dict] = []
+            active: dict[str, int] = {}
+            for job, seq in parsed.active.items():
+                entry = parsed.entries.get(seq)
+                if entry is None:
+                    dropped.append({"job": job, "seq": seq,
+                                    "reason": "stale schedule envelope"})
+                    continue
+                if self._vet(entry.result):
+                    # an explicit re-vet *now*, not trust in the logged
+                    # verdict: solver or oracle semantics may have moved
+                    # under the persisted schedule
+                    entry.conformance_ok = True
+                    entry.status = ScheduleStatus.ACTIVE
+                    active[job] = seq
+                else:
+                    entry.conformance_ok = False
+                    entry.status = ScheduleStatus.ROLLED_BACK
+                    entry.note = "failed conformance replay on recovery"
+                    dropped.append({"job": job, "seq": seq,
+                                    "reason": "failed conformance replay"})
+                    _obs.event("fleet.recovery_drop", job=job, seq=seq)
+            self.registry.restore(
+                [parsed.entries[s] for s in sorted(parsed.entries)],
+                active, parsed.entry_seq)
+            with self._jobs_lock:
+                self.jobs = dict(parsed.jobs)
+            for link, state in parsed.estimator.items():
+                ewma = state["ewma"]
+                if ewma is None and state.get("factor") is not None:
+                    # transition records persist the factor; the declared
+                    # capacity turns it back into the smoothed estimate
+                    ewma = (float(state["factor"])
+                            * self.estimator.estimate(link).capacity)
+                samples = int(state["samples"])
+                if state.get("from_transition"):
+                    # a link that transitioned had cleared min_samples
+                    samples = max(samples, self.estimator.min_samples)
+                self.estimator.restore(
+                    link, health=LinkHealth(state["health"]),
+                    ewma=ewma,
+                    last_transition=state["last_transition"],
+                    samples=samples)
+            self.now = parsed.now
+            self._step_index = parsed.steps_completed
+            self.decisions.extend(parsed.decisions)
+            self._recoveries.inc()
+            self._recovery_dropped.inc(len(dropped))
+            self.recovery = {
+                "recovered": True,
+                "generation": self.wal.generation,
+                "snapshot": wal_state.snapshot is not None,
+                "records_replayed": len(wal_state.records),
+                "records_discarded": len(wal_state.uncommitted),
+                "torn_bytes": wal_state.torn_bytes,
+                "steps_completed": parsed.steps_completed,
+                "jobs": sorted(parsed.jobs),
+                "entries_recovered": len(active),
+                "entries_dropped": dropped,
+            }
+            sp.set_attr(jobs=len(parsed.jobs), recovered=len(active),
+                        dropped=len(dropped))
+            # fold everything into a fresh snapshot: replaying the same
+            # log twice must not exist as a failure mode
+            self.wal.compact(self.registry_state())
+            self._last_compact_records = self.wal.records_written
+            return self.recovery
 
     # ------------------------------------------------------------------
     # introspection
@@ -656,7 +1064,7 @@ class AdaptationController:
 
     def status(self) -> dict:
         """JSON-ready fleet status (``teccl fleet status`` renders this)."""
-        return {
+        status = {
             "jobs": {name: {"priority": job.priority,
                             "method": job.method.value}
                      for name, job in sorted(self._jobs_snapshot().items())},
@@ -666,4 +1074,132 @@ class AdaptationController:
             "serve_latency": self.planner.serve_latency(),
             "last_error": self.last_error,
             "decisions": [str(d) for d in self.decisions],
+            "recovery": self.recovery,
         }
+        if self.wal is not None:
+            status["wal"] = {
+                "path": str(self.wal.path),
+                "generation": self.wal.generation,
+                "records_written": self.wal.records_written,
+                "compactions": self.wal.compactions,
+                "fenced": self.wal.fenced(),
+            }
+        return status
+
+
+@dataclass
+class _ParsedWal:
+    """Control-plane state reconstructed from snapshot + committed log."""
+
+    jobs: dict[str, FleetJob] = field(default_factory=dict)
+    entries: dict[int, RegistryEntry] = field(default_factory=dict)
+    active: dict[str, int] = field(default_factory=dict)
+    estimator: dict[tuple[int, int], dict] = field(default_factory=dict)
+    decisions: list[AdaptationDecision] = field(default_factory=list)
+    now: float = 0.0
+    steps_completed: int = 0
+    entry_seq: int = 0
+
+
+def _parse_link_key(key: str) -> tuple[int, int]:
+    src, _, dst = key.partition("->")
+    return int(src), int(dst)
+
+
+def _parse_wal(wal_state) -> _ParsedWal:
+    """Snapshot + committed records → recovered state.
+
+    Stale schedule envelopes (older package or cache-format version) are
+    skipped here; if one was the incumbent, :meth:`AdaptationController
+    .recover` reports it dropped rather than resurrecting a schedule the
+    current code base never produced.
+    """
+    from repro.errors import ServiceError
+
+    parsed = _ParsedWal()
+    snapshot = wal_state.snapshot
+    if snapshot is not None:
+        try:
+            check_registry_state(snapshot)
+        except ServiceError as exc:
+            raise FleetError(f"cannot recover: {exc}") from exc
+        for name, doc in snapshot["jobs"].items():
+            parsed.jobs[name] = FleetJob.from_dict(doc)
+        for doc in snapshot["entries"]:
+            try:
+                entry = RegistryEntry.from_wire(doc)
+            except FleetError:
+                continue  # stale envelope: the entry did not survive
+            parsed.entries[entry.seq] = entry
+        parsed.active = {job: int(seq)
+                         for job, seq in snapshot["active"].items()}
+        for key, state in snapshot["estimator"].items():
+            parsed.estimator[_parse_link_key(key)] = dict(state)
+        parsed.decisions = [AdaptationDecision.from_dict(doc)
+                            for doc in snapshot["decisions"]]
+        parsed.now = float(snapshot["now"])
+        parsed.steps_completed = int(snapshot["steps_completed"])
+        parsed.entry_seq = int(snapshot["entry_seq"])
+
+    for record in wal_state.records:
+        kind = record.get("kind")
+        data = record.get("data", {})
+        if "now" in record:
+            parsed.now = max(parsed.now, float(record["now"]))
+        if kind == "job_admit":
+            job = FleetJob.from_dict(data)
+            parsed.jobs[job.name] = job
+        elif kind == "job_remove":
+            parsed.jobs.pop(data["job"], None)
+        elif kind == "propose":
+            try:
+                entry = RegistryEntry.from_wire(data)
+            except FleetError:
+                continue
+            parsed.entries[entry.seq] = entry
+            parsed.entry_seq = max(parsed.entry_seq, entry.seq)
+        elif kind == "activate":
+            job, seq = data["job"], int(data["seq"])
+            incumbent = parsed.active.get(job)
+            if incumbent is not None and incumbent in parsed.entries:
+                parsed.entries[incumbent].status = ScheduleStatus.RETIRED
+            if seq in parsed.entries:
+                parsed.entries[seq].status = ScheduleStatus.ACTIVE
+                # the propose record predates vetting (write-ahead), so it
+                # carries no verdict; the activate record *is* the verdict
+                # — the registry refuses to journal one without a pass
+                parsed.entries[seq].conformance_ok = True
+            parsed.active[job] = seq
+            parsed.entry_seq = max(parsed.entry_seq, seq)
+        elif kind == "rollback":
+            seq = int(data["seq"])
+            if seq in parsed.entries:
+                parsed.entries[seq].status = ScheduleStatus.ROLLED_BACK
+                parsed.entries[seq].note = str(data.get("reason", ""))
+                # the controller only rolls back on a failed replay
+                parsed.entries[seq].conformance_ok = False
+        elif kind == "retire":
+            parsed.active.pop(data["job"], None)
+            seq = int(data["seq"])
+            if seq in parsed.entries:
+                parsed.entries[seq].status = ScheduleStatus.RETIRED
+        elif kind == "transition":
+            link = tuple(data["link"])
+            prev = parsed.estimator.get(link, {})
+            parsed.estimator[link] = {
+                "health": data["new"],
+                "ewma": None,  # recover() rebuilds it from the factor
+                "factor": float(data["factor"]),
+                "last_transition": float(data["time"]),
+                "samples": int(prev.get("samples", 0)),
+                "from_transition": True,
+            }
+        elif kind == "decision":
+            parsed.decisions.append(AdaptationDecision.from_dict(data))
+        elif kind == "commit":
+            if data.get("op") == "step":
+                parsed.steps_completed = max(parsed.steps_completed,
+                                             int(data["index"]) + 1)
+        # "begin" markers carry no state; unknown kinds are ignored so a
+        # newer writer's extra record types do not brick recovery
+    return parsed

@@ -173,6 +173,29 @@ class FabricEstimator:
         self.transitions.append(transition)
         return transition
 
+    def restore(self, link: tuple[int, int], *, health: LinkHealth,
+                ewma: float | None, last_transition: float | None,
+                samples: int) -> None:
+        """Rehydrate one link's estimate after a daemon restart.
+
+        The fleet WAL replays recorded transitions through this hook so a
+        recovered daemon resumes with the same classification *and* the
+        same flap-suppression clock: a link that transitioned just before
+        the crash stays frozen for the remainder of its cool-down window
+        instead of getting a fresh window (which would let a flap that
+        straddles the crash trigger a second replan).
+        """
+        estimate = self._links.get(link)
+        if estimate is None:
+            raise FleetError(
+                f"cannot restore link {link}: not in {self.topology.name}")
+        if ewma is not None and (ewma < 0 or ewma != ewma):
+            raise FleetError(f"cannot restore link {link}: bad ewma {ewma}")
+        estimate.health = health
+        estimate.ewma = ewma
+        estimate.last_transition = last_transition
+        estimate.samples = max(int(samples), 0)
+
     def observe_all(self, samples: list[LinkSample]) -> list[LinkTransition]:
         """Fold a whole collection interval in; returns its transitions."""
         out = []

@@ -22,6 +22,7 @@ from repro.fleet.controller import (AdaptationController, AdaptationDecision,
                                     CostGate, FleetJob, RegistryEntry)
 from repro.fleet.estimate import FabricEstimator
 from repro.fleet.telemetry import TelemetrySource
+from repro.fleet.wal import WriteAheadLog
 from repro.service.planner import Planner
 from repro.topology.topology import Topology
 from repro.topology.transforms import scale_capacity
@@ -34,7 +35,9 @@ class FleetOrchestrator:
         topology: the declared shared fabric.
         source: the telemetry stream.
         planner: the serving layer all jobs' solves route through.
-        estimator / gate: forwarded to the controller.
+        estimator / gate / wal / compact_every: forwarded to the
+            controller (``wal`` makes every admission, retirement, and
+            adaptation durable; see :mod:`repro.fleet.wal`).
 
     Shares are plain priority proportions: job *j* sees the live fabric
     with every capacity scaled by ``priority_j / Σ priorities``. With one
@@ -45,10 +48,17 @@ class FleetOrchestrator:
     def __init__(self, topology: Topology, source: TelemetrySource,
                  planner: Planner, *,
                  estimator: FabricEstimator | None = None,
-                 gate: CostGate | None = None) -> None:
+                 gate: CostGate | None = None,
+                 wal: WriteAheadLog | None = None,
+                 compact_every: int = 256) -> None:
         self.controller = AdaptationController(
             topology, source, planner, estimator=estimator, gate=gate,
-            fabric_view=self._job_view)
+            fabric_view=self._job_view, wal=wal,
+            compact_every=compact_every)
+
+    def recover(self) -> dict:
+        """Rehydrate from the WAL (delegates to the controller)."""
+        return self.controller.recover()
 
     # ------------------------------------------------------------------
     # capacity shares

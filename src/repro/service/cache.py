@@ -32,6 +32,38 @@ CACHE_FORMAT_VERSION = 1
 _FINGERPRINT_CHARS = set("0123456789abcdef")
 
 
+def make_envelope(fingerprint: str, payload: dict,
+                  meta: dict | None = None) -> dict:
+    """Wrap one schedule payload in the versioned disk envelope.
+
+    The same envelope serves both durable stores: the schedule cache's
+    per-fingerprint files and the fleet WAL's compaction snapshots
+    (:meth:`repro.fleet.wal.WriteAheadLog.compact`), so a payload written
+    under an older cache format or package version is invalidated by one
+    rule everywhere.
+    """
+    return {
+        "version": CACHE_FORMAT_VERSION,
+        "package": _package_version,
+        "fingerprint": fingerprint,
+        "meta": meta or {},
+        "payload": payload,
+    }
+
+
+def open_envelope(envelope: dict) -> dict | None:
+    """Unwrap an envelope; ``None`` when malformed or version-stale."""
+    try:
+        version = envelope["version"]
+        package = envelope["package"]
+        payload = envelope["payload"]
+    except (KeyError, TypeError):
+        return None
+    if version != CACHE_FORMAT_VERSION or package != _package_version:
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
 @dataclass
 class CacheStats:
     """Counters for one cache instance (cumulative since construction)."""
@@ -142,13 +174,7 @@ class ScheduleCache:
             index.pop(fingerprint, None)
             index[fingerprint] = None  # most recent donor last
         if self.directory is not None:
-            envelope = {
-                "version": CACHE_FORMAT_VERSION,
-                "package": _package_version,
-                "fingerprint": fingerprint,
-                "meta": meta or {},
-                "payload": payload,
-            }
+            envelope = make_envelope(fingerprint, payload, meta)
             path = self._path(fingerprint)
             tmp = path.with_suffix(".json.tmp")
             tmp.write_text(json.dumps(envelope), encoding="utf-8")
@@ -280,15 +306,13 @@ class ScheduleCache:
             return None
         try:
             envelope = json.loads(path.read_text(encoding="utf-8"))
-            version = envelope["version"]
-            package = envelope["package"]
-            payload = envelope["payload"]
-        except (json.JSONDecodeError, KeyError, TypeError, OSError):
+        except (json.JSONDecodeError, OSError):
             # Corrupt entry: worth dropping so it stops costing a parse.
             path.unlink(missing_ok=True)
             self.stats.invalidations += 1
             return None
-        if version != CACHE_FORMAT_VERSION or package != _package_version:
+        payload = open_envelope(envelope)
+        if payload is None:
             path.unlink(missing_ok=True)
             self.stats.invalidations += 1
             return None

@@ -121,7 +121,8 @@ class PlanResponse:
                 fingerprint=str(data["fingerprint"]),
                 result=(None if data.get("result") is None
                         else SynthesisResult.from_dict(data["result"])),
-                error=data.get("error"),
+                error=(None if data.get("error") is None
+                       else str(data["error"])),
                 cache_hit=bool(data.get("cache_hit", False)),
                 coalesced=bool(data.get("coalesced", False)),
                 serve_time=float(data.get("serve_time", 0.0)),
@@ -130,3 +131,56 @@ class PlanResponse:
                 conformance=data.get("conformance"))
         except (KeyError, TypeError, ValueError) as exc:
             raise ServiceError(f"malformed plan response: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# registry-state snapshots (the fleet WAL's compaction document)
+# ----------------------------------------------------------------------
+
+#: bump when the registry-state snapshot layout changes incompatibly
+REGISTRY_STATE_VERSION = 1
+
+#: required top-level fields and the types a reader may rely on
+_REGISTRY_STATE_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "registry_state_version": int,
+    "now": (int, float),
+    "steps_completed": int,
+    "entry_seq": int,
+    "jobs": dict,
+    "entries": list,
+    "active": dict,
+    "estimator": dict,
+    "decisions": list,
+}
+
+
+def check_registry_state(doc: dict) -> dict:
+    """Validate a registry-state snapshot document (round-trip contract).
+
+    The fleet WAL writes this document on compaction and trusts it again
+    on recovery; both directions funnel through this check so a snapshot
+    that would not rehydrate is refused at *write* time, not discovered
+    after the crash it was supposed to survive. Returns the document.
+    """
+    if not isinstance(doc, dict):
+        raise ServiceError(
+            f"registry state must be a dict, got {type(doc).__name__}")
+    version = doc.get("registry_state_version")
+    if version != REGISTRY_STATE_VERSION:
+        raise ServiceError(
+            f"registry state version {version!r} is not "
+            f"{REGISTRY_STATE_VERSION} (stale snapshot?)")
+    for key, expected in _REGISTRY_STATE_FIELDS.items():
+        if key not in doc:
+            raise ServiceError(f"registry state is missing {key!r}")
+        if not isinstance(doc[key], expected) or isinstance(doc[key], bool):
+            raise ServiceError(
+                f"registry state field {key!r} has type "
+                f"{type(doc[key]).__name__}")
+    for job, seq in doc["active"].items():
+        if not isinstance(job, str) or isinstance(seq, bool) \
+                or not isinstance(seq, int):
+            raise ServiceError(
+                f"registry state active map entry {job!r}: {seq!r} is not "
+                "job-name -> entry seq")
+    return doc

@@ -98,6 +98,52 @@ class TestFleetRunStatus:
                      "--fail", "0,x,1"]) == 1
         assert "bad --fail" in capsys.readouterr().err
 
+    def test_wal_recover_resumes_the_fleet(self, tmp_path, capsys):
+        wal = tmp_path / "fleet.wal"
+        status_file = tmp_path / "fleet.json"
+        code = main(["fleet", "run", "--topology", "dgx1",
+                     "--jobs", "alltoall", "--chunk-size", "1e6",
+                     "--steps", "4", "--degrade", "0,1,0.4,2",
+                     "--wal", str(wal), "--status-file", str(status_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wal          :" in out and "generation 1" in out
+
+        # a second generation recovers the schedule instead of replanning
+        code = main(["fleet", "run", "--topology", "dgx1",
+                     "--jobs", "alltoall", "--chunk-size", "1e6",
+                     "--steps", "1", "--wal", str(wal),
+                     "--recover", "--takeover",
+                     "--status-file", str(status_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "generation 2" in out
+        assert "recovered    : 1 schedule(s)" in out
+        assert "resumed      : alltoall#0" in out
+
+        code = main(["fleet", "status", "--status-file", str(status_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovery     : generation 2" in out
+        assert "wal          :" in out
+
+    def test_recover_without_wal_rejected(self, capsys):
+        assert main(["fleet", "run", "--topology", "dgx1",
+                     "--recover"]) == 1
+        assert "--recover needs --wal" in capsys.readouterr().err
+
+    def test_takeover_required_while_holder_lives(self, tmp_path, capsys):
+        # same process = same pid = still the holder, so simulate another
+        # live daemon by planting init's pid in the lease
+        from repro.fleet import atomic_write_json
+
+        wal = tmp_path / "fleet.wal"
+        atomic_write_json(str(wal) + ".lease", {"generation": 3, "pid": 1})
+        assert main(["fleet", "run", "--topology", "dgx1",
+                     "--jobs", "alltoall", "--chunk-size", "1e6",
+                     "--steps", "1", "--wal", str(wal)]) == 1
+        assert "--takeover" in capsys.readouterr().err
+
     def test_unwritable_status_file_rejected(self, capsys):
         assert main(["fleet", "run", "--topology", "dgx1",
                      "--jobs", "alltoall", "--chunk-size", "1e6",

@@ -49,6 +49,15 @@ class TestExamples:
         assert "conformance-vetted before activation" in out
         assert "zero non-conformant schedules activated: ok" in out
 
+    def test_fleet_recovery(self):
+        out = run_example("fleet_recovery.py")
+        assert "lease acquired" in out
+        assert "recovered 1 schedule(s)" in out
+        assert "conformance_ok=True" in out
+        assert "matches the pre-crash incumbent exactly" in out
+        assert "fenced generation 2" in out
+        assert "durable control plane: ok" in out
+
     def test_topology_design(self):
         out = run_example("topology_design.py")
         assert "greedy augmentation" in out

@@ -1,0 +1,243 @@
+"""Crash-injection sweep: SIGKILL the fleet daemon, recover, compare.
+
+The acceptance criterion for the durable control plane: a daemon killed
+at *any* WAL-record boundary and restarted with recovery must converge to
+exactly the state of a daemon that never crashed — zero lost activations,
+zero duplicate replans, zero non-conformant activations, cool-down clocks
+resumed.
+
+The harness runs the daemon in a subprocess whose WAL ``append`` is
+instrumented to ``SIGKILL`` the process the moment record *N* is durable
+— the worst possible moment, inside the write-ahead window where the
+record exists but the state transition it announces has not been applied.
+The restarted child recovers, fast-forwards its deterministic telemetry
+stream past the committed steps, finishes the scenario, and dumps a
+normalized state summary; the parent compares it against the never-killed
+oracle's summary.
+
+Tier-1 runs a sampled subset of kill points (``durability`` lane); the
+weekly job sweeps every record boundary (``slow``).
+
+The estimator is run memoryless (``smoothing=1.0``, ``min_samples=1``) so
+its state is fully determined by the journaled transitions; the summary
+therefore compares health and cool-down clocks, not the EWMA itself —
+the EWMA is rebuilt by the first post-recovery poll by construction.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+pytestmark = pytest.mark.durability
+
+SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+
+#: the scenario every child runs (determinism is the whole harness)
+STEPS = 6
+
+CHILD = '''
+import os
+import signal
+import sys
+
+from repro import collectives, topology
+from repro.core import TecclConfig
+from repro.fleet import (AdaptationController, FabricEstimator, FleetJob,
+                         LinkEvent, SyntheticTelemetry, WriteAheadLog,
+                         atomic_write_json)
+from repro.service import Planner
+from repro.service.fingerprint import fingerprint_canonical
+
+walpath, out, steps, kill_after = (sys.argv[1], sys.argv[2],
+                                   int(sys.argv[3]), int(sys.argv[4]))
+
+topo = topology.ring(4, capacity=1.0)
+events = [LinkEvent(at=2.0, link=(0, 1), factor=0.4),
+          LinkEvent(at=2.0, link=(1, 2), factor=0.3, until=4.0)]
+source = SyntheticTelemetry(topo, events=events)
+wal = WriteAheadLog(walpath)
+wal.attach_lease(takeover=True)
+if kill_after:
+    original = wal.append
+    count = {"n": 0}
+
+    def append(kind, data=None, *, now=None):
+        seq = original(kind, data, now=now)
+        count["n"] += 1
+        if count["n"] >= kill_after:
+            os.kill(os.getpid(), signal.SIGKILL)  # dies mid-transition
+        return seq
+
+    wal.append = append
+
+estimator = FabricEstimator(topo, smoothing=1.0, min_samples=1)
+with Planner(executor="inline") as planner:
+    daemon = AdaptationController(topo, source, planner, wal=wal,
+                                  estimator=estimator)
+    if wal.has_state():
+        daemon.recover()
+        # resume the deterministic telemetry stream where the committed
+        # history left it: a poll per completed step
+        for _ in range(daemon._step_index):
+            source.poll()
+    if "a2a" not in daemon.jobs:
+        daemon.add_job(FleetJob(
+            name="a2a", demand=collectives.alltoall(topo.gpus, 1),
+            config=TecclConfig(chunk_bytes=1.0)))
+    while daemon._step_index < steps:
+        daemon.step()
+
+    def fp(result):
+        doc = result.to_dict()
+        doc.pop("solve_time", None)  # wall clock differs run to run
+        return fingerprint_canonical(doc)
+
+    registry = daemon.registry
+    with registry._lock:
+        entries = {e.seq: e for e in registry.history}
+        for e in registry._active.values():
+            entries[e.seq] = e
+        active = {job: e.seq for job, e in registry._active.items()}
+    summary = {
+        "jobs": sorted(daemon.jobs),
+        "steps": daemon._step_index,
+        "now": daemon.now,
+        "active": {job: [seq, fp(entries[seq].result)]
+                   for job, seq in sorted(active.items())},
+        "entries": [[s, entries[s].job, entries[s].status.value,
+                     entries[s].conformance_ok, fp(entries[s].result)]
+                    for s in sorted(entries)],
+        # health + cool-down clock are the durability contract; raw
+        # sample counts are not journaled per-poll by design (a poll per
+        # record would defeat write-ahead batching)
+        "estimator": {
+            "%d->%d" % link: [est.health.value, est.last_transition]
+            for link, est in sorted(daemon.estimator._links.items())},
+        "decisions": [[d.job, d.time, d.action] for d in daemon.decisions],
+    }
+    atomic_write_json(out, summary)
+wal.close()
+print("RECORDS", wal.records_written)
+'''
+
+
+def run_child(tmp_path, wal, out, *, kill_after=0, steps=STEPS):
+    script = tmp_path / "child.py"
+    if not script.exists():
+        script.write_text(CHILD, encoding="utf-8")
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    return subprocess.run(
+        [sys.executable, str(script), str(wal), str(out), str(steps),
+         str(kill_after)],
+        env=env, capture_output=True, text=True, timeout=120)
+
+
+def oracle_summary(tmp_path):
+    """One clean, never-killed run of the scenario."""
+    done = subprocess.CompletedProcess
+    wal = tmp_path / "oracle" / "fleet.wal"
+    wal.parent.mkdir()
+    out = tmp_path / "oracle" / "summary.json"
+    done = run_child(tmp_path, wal, out)
+    assert done.returncode == 0, done.stderr
+    records = int(done.stdout.split("RECORDS")[-1].strip().split()[0])
+    return json.loads(out.read_text(encoding="utf-8")), records
+
+
+def sweep_kill_points(tmp_path, kill_points, oracle):
+    for kill_after in kill_points:
+        workdir = tmp_path / f"kill{kill_after}"
+        workdir.mkdir()
+        wal = workdir / "fleet.wal"
+        out = workdir / "summary.json"
+        crashed = run_child(tmp_path, wal, out, kill_after=kill_after)
+        assert crashed.returncode == -signal.SIGKILL, (
+            f"kill point {kill_after}: child survived past the whole "
+            f"scenario\n{crashed.stderr}")
+        assert not out.exists()  # died before finishing, as intended
+        resumed = run_child(tmp_path, wal, out)
+        assert resumed.returncode == 0, (
+            f"kill point {kill_after}: recovery failed\n{resumed.stderr}")
+        summary = json.loads(out.read_text(encoding="utf-8"))
+        assert summary == oracle, (
+            f"kill point {kill_after}: recovered state diverged from the "
+            "never-crashed oracle")
+
+
+class TestCrashRecoverySweep:
+    def test_oracle_scenario_adapts(self, tmp_path):
+        # the scenario must actually exercise the machinery being crashed:
+        # a replan (new activation), a retirement, and >= 2 transitions
+        oracle, records = oracle_summary(tmp_path)
+        statuses = [row[2] for row in oracle["entries"]]
+        assert "active" in statuses and "retired" in statuses
+        assert any(action == "replan" for _, _, action
+                   in oracle["decisions"])
+        assert records >= 15
+        # every surviving activation is conformance-vetted
+        for row in oracle["entries"]:
+            if row[2] in ("active", "retired"):
+                assert row[3] is True
+
+    def test_kill_sweep_fast_subset(self, tmp_path):
+        """Tier-1: sampled kill points across the record sequence."""
+        import random
+
+        oracle, records = oracle_summary(tmp_path)
+        rng = random.Random(0)
+        # always the nastiest boundaries (first record, mid-admission,
+        # final commit) plus a random sample in between
+        points = {1, 3, records}
+        points.update(rng.sample(range(2, records), 3))
+        sweep_kill_points(tmp_path, sorted(points), oracle)
+
+    @pytest.mark.slow
+    def test_kill_sweep_every_record_boundary(self, tmp_path):
+        """Weekly: SIGKILL after every single record in the scenario."""
+        oracle, records = oracle_summary(tmp_path)
+        sweep_kill_points(tmp_path, range(1, records + 1), oracle)
+
+
+class TestStatusFileCrash:
+    def test_kill_mid_dump_never_leaves_a_torn_status_file(self, tmp_path):
+        """Satellite: --status-file is temp+rename, so a reader (or a
+        crash mid-dump) sees a complete document or the previous one."""
+        status = tmp_path / "status.json"
+        # a deliberately large document so the dump has a wide kill window
+        writer = tmp_path / "writer.py"
+        writer.write_text(
+            "import sys\n"
+            "from repro.fleet import atomic_write_json\n"
+            "doc = {'generation': 0, 'pad': ['x' * 64] * 20000}\n"
+            "i = 0\n"
+            "while True:\n"
+            "    i += 1\n"
+            "    doc['generation'] = i\n"
+            "    atomic_write_json(sys.argv[1], doc)\n",
+            encoding="utf-8")
+        env = dict(os.environ, PYTHONPATH=str(SRC))
+        proc = subprocess.Popen([sys.executable, str(writer), str(status)],
+                                env=env)
+        try:
+            deadline = time.monotonic() + 30
+            while not status.exists():
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            for _ in range(20):  # kill and restart across many dumps
+                time.sleep(0.02)
+                proc.kill()
+                proc.wait()
+                doc = json.loads(status.read_text(encoding="utf-8"))
+                assert doc["generation"] >= 1  # complete, parseable, whole
+                assert len(doc["pad"]) == 20000
+                proc = subprocess.Popen(
+                    [sys.executable, str(writer), str(status)], env=env)
+        finally:
+            proc.kill()
+            proc.wait()

@@ -552,6 +552,24 @@ class AdaptationController:
         self.wal.append(kind, data, now=self.now)
         self._wal_records.inc()
 
+    def _journal_abort(self, op: str, job: str | None = None) -> None:
+        """Best-effort abort marker for a failed operation.
+
+        Without it, the operation's records would sit in front of the
+        next successful commit and recovery would replay them as if they
+        had happened (a ghost admission, a half-applied step). The append
+        may itself fail — a fenced WAL is one of the very reasons the
+        operation aborted — which is tolerable: recovery also discards
+        any ``begin`` that is never matched by a ``commit``.
+        """
+        data = {"op": op}
+        if job is not None:
+            data["job"] = job
+        try:
+            self._journal("abort", data)
+        except (FleetError, OSError):
+            pass
+
     def _maybe_compact(self) -> None:
         if self.wal is None:
             return
@@ -628,39 +646,93 @@ class AdaptationController:
             try:
                 self._journal("begin", {"op": "admit", "job": job.name})
                 self._journal("job_admit", job.to_dict())
-                live = self.estimator.live_topology()
-                response = self.planner.plan(self._request(job, live))
-                entry = self.registry.propose(job.name, response.result,
-                                              self.now, fabric=live)
-                entry.conformance_ok = self._vet(response.result)
-                if entry.conformance_ok is not True:
-                    self.registry.rollback(entry,
-                                           "initial plan failed conformance")
-                    raise FleetError(
-                        f"initial plan for job {job.name!r} failed "
-                        "conformance replay; refusing to admit")
-                activated = self.registry.activate(entry)
+                activated = self._plan_fresh(job, verb="admit")
                 self._journal("commit", {"op": "admit", "job": job.name})
             except BaseException:
                 # a failed admission must not leave a ghost job (it would
                 # block re-admission and distort the orchestrator's shares
-                # forever)
+                # forever) — neither in memory (the pop) nor in the WAL
+                # (the abort marker keeps recovery from replaying the
+                # admission once a later operation commits)
                 with self._jobs_lock:
                     self.jobs.pop(job.name, None)
+                self._journal_abort("admit", job.name)
                 raise
             self._maybe_compact()
             return activated
 
+    def _plan_fresh(self, job: FleetJob, *, verb: str) -> RegistryEntry:
+        """Plan ``job`` cold on the live fabric, vet, and activate.
+
+        The shared tail of admission and :meth:`plan_missing`; callers
+        hold ``_op_lock`` and bracket this in a WAL transaction.
+        """
+        live = self.estimator.live_topology()
+        response = self.planner.plan(self._request(job, live))
+        entry = self.registry.propose(job.name, response.result,
+                                      self.now, fabric=live)
+        entry.conformance_ok = self._vet(response.result)
+        if entry.conformance_ok is not True:
+            self.registry.rollback(entry,
+                                   "initial plan failed conformance")
+            raise FleetError(
+                f"initial plan for job {job.name!r} failed "
+                f"conformance replay; refusing to {verb}")
+        return self.registry.activate(entry)
+
+    def plan_missing(self, names: list[str] | None = None,
+                     ) -> dict[str, RegistryEntry]:
+        """Fresh-plan admitted jobs that have no active schedule.
+
+        Recovery can leave a job admitted but scheduleless: its
+        recovered incumbent failed conformance re-vetting and was
+        dropped. Nothing in the adaptation loop replans such a job —
+        the cost gate and :meth:`replan_all` both iterate incumbents —
+        so this is the path back to a schedule: each one is planned cold
+        on the current live fabric, vetted, and activated, journaled as
+        its own transaction. ``names`` restricts the sweep (default:
+        every admitted job without an active entry); jobs that already
+        have an incumbent are skipped, so the sweep is idempotent.
+        """
+        with self._op_lock:
+            snapshot = self._jobs_snapshot()
+            planned: dict[str, RegistryEntry] = {}
+            for name in sorted(snapshot if names is None else names):
+                job = snapshot.get(name)
+                if job is None or self.registry.active(name) is not None:
+                    continue
+                try:
+                    self._journal("begin", {"op": "plan", "job": name})
+                    planned[name] = self._plan_fresh(job, verb="activate")
+                    self._journal("commit", {"op": "plan", "job": name})
+                except BaseException:
+                    self._journal_abort("plan", name)
+                    raise
+            self._maybe_compact()
+            return planned
+
     def remove_job(self, name: str) -> None:
         with self._op_lock:
             with self._jobs_lock:
-                if name not in self.jobs:
+                job = self.jobs.get(name)
+                if job is None:
                     raise FleetError(f"no job {name!r}")
-                del self.jobs[name]
-            self._journal("begin", {"op": "remove", "job": name})
-            self._journal("job_remove", {"job": name})
-            self.registry.retire(name)
-            self._journal("commit", {"op": "remove", "job": name})
+            try:
+                # write-ahead, like add_job: journal the removal *before*
+                # mutating memory, so a refused append (a fenced WAL)
+                # leaves both the in-memory and the durable fleet with
+                # the job still present
+                self._journal("begin", {"op": "remove", "job": name})
+                self._journal("job_remove", {"job": name})
+                with self._jobs_lock:
+                    self.jobs.pop(name, None)
+                self.registry.retire(name)
+                self._journal("commit", {"op": "remove", "job": name})
+            except BaseException:
+                with self._jobs_lock:
+                    self.jobs.setdefault(name, job)
+                self._journal_abort("remove", name)
+                raise
 
     def _jobs_snapshot(self) -> dict[str, FleetJob]:
         with self._jobs_lock:
@@ -684,30 +756,38 @@ class AdaptationController:
         with _obs.span("fleet.step") as step_sp:
             index = self._step_index
             self._journal("begin", {"op": "step", "index": index})
-            with _obs.span("fleet.poll"):
-                samples = self.source.poll()
-            self._bump(polls=1, samples=len(samples))
-            if samples:
-                self.now = max(self.now, max(s.time for s in samples))
-            with _obs.span("fleet.estimate", samples=len(samples)):
-                transitions = self.estimator.observe_all(samples)
-            step_sp.set_attr(samples=len(samples),
-                             transitions=len(transitions))
-            decisions: list[AdaptationDecision] = []
-            if transitions:
-                self._bump(transitions=len(transitions))
-                for transition in transitions:
-                    self._journal("transition", {
-                        "link": list(transition.link),
-                        "time": transition.time,
-                        "old": transition.old.value,
-                        "new": transition.new.value,
-                        "factor": transition.factor})
-                decisions = self.adapt(transitions)
-                self.decisions.extend(decisions)
-                for decision in decisions:
-                    self._journal("decision", decision.to_dict())
-            self._journal("commit", {"op": "step", "index": index})
+            try:
+                with _obs.span("fleet.poll"):
+                    samples = self.source.poll()
+                self._bump(polls=1, samples=len(samples))
+                if samples:
+                    self.now = max(self.now, max(s.time for s in samples))
+                with _obs.span("fleet.estimate", samples=len(samples)):
+                    transitions = self.estimator.observe_all(samples)
+                step_sp.set_attr(samples=len(samples),
+                                 transitions=len(transitions))
+                decisions: list[AdaptationDecision] = []
+                if transitions:
+                    self._bump(transitions=len(transitions))
+                    for transition in transitions:
+                        self._journal("transition", {
+                            "link": list(transition.link),
+                            "time": transition.time,
+                            "old": transition.old.value,
+                            "new": transition.new.value,
+                            "factor": transition.factor})
+                    decisions = self.adapt(transitions)
+                    self.decisions.extend(decisions)
+                    for decision in decisions:
+                        self._journal("decision", decision.to_dict())
+                self._journal("commit", {"op": "step", "index": index})
+            except BaseException:
+                # the daemon loop swallows step errors and keeps ticking;
+                # without the abort marker this step's records would sit
+                # in front of the next tick's commit and recovery would
+                # replay half a step
+                self._journal_abort("step")
+                raise
             self._step_index = index + 1
             self._maybe_compact()
             return decisions
@@ -869,22 +949,27 @@ class AdaptationController:
         """
         with self._op_lock:
             self._journal("begin", {"op": "replan_all", "reason": reason})
-            live = self.estimator.live_topology()
-            snapshot = self._jobs_snapshot()
-            jobs, priors = [], []
-            for name in sorted(snapshot if names is None else names):
-                entry = self.registry.active(name)
-                if entry is None or name not in snapshot:
-                    continue
-                jobs.append(snapshot[name])
-                priors.append(entry)
-            decisions = self._replan(
-                jobs, live, priors=priors,
-                predicted=[p.result.finish_time for p in priors])
-            self.decisions.extend(decisions)
-            for decision in decisions:
-                self._journal("decision", decision.to_dict())
-            self._journal("commit", {"op": "replan_all", "reason": reason})
+            try:
+                live = self.estimator.live_topology()
+                snapshot = self._jobs_snapshot()
+                jobs, priors = [], []
+                for name in sorted(snapshot if names is None else names):
+                    entry = self.registry.active(name)
+                    if entry is None or name not in snapshot:
+                        continue
+                    jobs.append(snapshot[name])
+                    priors.append(entry)
+                decisions = self._replan(
+                    jobs, live, priors=priors,
+                    predicted=[p.result.finish_time for p in priors])
+                self.decisions.extend(decisions)
+                for decision in decisions:
+                    self._journal("decision", decision.to_dict())
+                self._journal("commit",
+                              {"op": "replan_all", "reason": reason})
+            except BaseException:
+                self._journal_abort("replan_all")
+                raise
             self._maybe_compact()
             return decisions
 
@@ -956,9 +1041,10 @@ class AdaptationController:
         """Rehydrate the control plane from the WAL; returns provenance.
 
         Loads the compaction snapshot (if any), replays every *committed*
-        transaction on top, and discards the uncommitted tail (an
-        operation the crash interrupted — the resumed daemon re-executes
-        it). Every recovered incumbent is re-vetted through the
+        transaction on top, and discards aborted or unfinished ones —
+        the crash-interrupted tail, and any operation that failed mid-way
+        and was compensated (the resumed daemon re-executes what still
+        matters). Every recovered incumbent is re-vetted through the
         conformance oracle **before** re-activation: a recovery can never
         silently activate a schedule the oracle would refuse — failed
         replays are logged, counted, and dropped. Estimator cool-down
@@ -1200,6 +1286,8 @@ def _parse_wal(wal_state) -> _ParsedWal:
             if data.get("op") == "step":
                 parsed.steps_completed = max(parsed.steps_completed,
                                              int(data["index"]) + 1)
-        # "begin" markers carry no state; unknown kinds are ignored so a
-        # newer writer's extra record types do not brick recovery
+        # "begin" markers carry no state ("abort"ed operations never get
+        # here: _split_uncommitted already discarded them); unknown kinds
+        # are ignored so a newer writer's extra record types do not brick
+        # recovery
     return parsed

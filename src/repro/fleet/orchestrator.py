@@ -60,6 +60,13 @@ class FleetOrchestrator:
         """Rehydrate from the WAL (delegates to the controller)."""
         return self.controller.recover()
 
+    def plan_missing(self, names: list[str] | None = None,
+                     ) -> dict[str, RegistryEntry]:
+        """Fresh-plan admitted jobs whose schedule was dropped (e.g. a
+        recovered incumbent that failed conformance re-vetting); plans
+        run against each job's capacity share (delegates)."""
+        return self.controller.plan_missing(names)
+
     # ------------------------------------------------------------------
     # capacity shares
     # ------------------------------------------------------------------

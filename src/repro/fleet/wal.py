@@ -15,9 +15,11 @@ makes the *control state around them* durable too:
   by the framing and truncated away.
 * **Transactions** — records between a ``begin`` and its ``commit`` form
   one control-plane operation (one daemon ``step``, one admission).
-  Recovery applies only committed operations; an operation the crash
-  interrupted is discarded wholesale and re-executed by the restarted
-  daemon, which is what makes recovery idempotent.
+  Recovery applies only committed operations; an operation that ended in
+  an ``abort`` (the writer failed and compensated), or that never ended
+  at all (a crash, or a fenced writer), is discarded wholesale no matter
+  where in the log it sits, and is re-executed by the restarted daemon —
+  which is what makes recovery idempotent.
 * **Compaction** — the log is periodically folded into a snapshot
   (:meth:`WriteAheadLog.compact`) so it cannot grow without bound. Each
   schedule inside the snapshot is wrapped in the *same* versioned envelope
@@ -135,7 +137,8 @@ class WalState:
     snapshot: dict | None
     #: committed records, in append order, transaction markers included
     records: list[dict]
-    #: records after the last commit marker (an interrupted operation)
+    #: records of discarded operations: aborted, or begun but never
+    #: committed (the crash-interrupted tail included)
     uncommitted: list[dict] = field(default_factory=list)
     #: bytes of torn tail truncated away on open
     torn_bytes: int = 0
@@ -278,6 +281,12 @@ class WriteAheadLog:
         self._file = open(self.path, "ab")
         return self._file
 
+    def _raise_fenced(self) -> None:
+        raise FleetError(
+            f"WAL {self.path} is fenced: generation "
+            f"{self.generation} lost the lease to "
+            f"{(self.lease.holder() or {}).get('generation')}")
+
     def append(self, kind: str, data: dict | None = None, *,
                now: float | None = None) -> int:
         """Durably append one record *before* the caller applies it.
@@ -285,27 +294,45 @@ class WriteAheadLog:
         Raises :class:`~repro.errors.FleetError` when fenced — the
         caller's state transition must then not happen, which is exactly
         the write-ahead contract: no durable record, no transition.
+
+        Fencing is checked twice, both times under the lock: once before
+        the write, and again after the fsync. A takeover that lands
+        inside that window is detected by the re-check, and the record —
+        already durable — is truncated back off before the raise, so the
+        superseded generation leaves no trace (the truncation is skipped
+        if another writer already appended past us; the record is then an
+        orphan inside a transaction that can never commit, which recovery
+        discards anyway).
         """
-        if self.fenced():
-            raise FleetError(
-                f"WAL {self.path} is fenced: generation "
-                f"{self.generation} lost the lease to "
-                f"{(self.lease.holder() or {}).get('generation')}")
         record = {"seq": 0, "kind": str(kind), "data": data or {}}
         if now is not None:
             record["now"] = float(now)
         if self.generation is not None:
             record["gen"] = self.generation
         with self._lock:
+            if self.fenced():
+                self._raise_fenced()
             handle = self._open()
             self._seq += 1
             record["seq"] = self._seq
-            handle.write(_frame(json.dumps(record,
-                                           separators=(",", ":"),
-                                           sort_keys=True).encode("utf-8")))
+            frame = _frame(json.dumps(record,
+                                      separators=(",", ":"),
+                                      sort_keys=True).encode("utf-8"))
+            start = os.fstat(handle.fileno()).st_size
+            handle.write(frame)
             handle.flush()
             if self._fsync:
                 os.fsync(handle.fileno())
+            if self.fenced():
+                end = os.fstat(handle.fileno()).st_size
+                if end == start + len(frame):
+                    # nothing landed after us: unwrite the record
+                    handle.truncate(start)
+                    handle.flush()
+                    if self._fsync:
+                        os.fsync(handle.fileno())
+                self._seq -= 1
+                self._raise_fenced()
             self.records_written += 1
         return record["seq"]
 
@@ -325,6 +352,8 @@ class WriteAheadLog:
             raise FleetError("refusing to compact a fenced WAL")
         check_registry_state(state)
         with self._lock:
+            if self.fenced():  # re-check now that no append can race us
+                raise FleetError("refusing to compact a fenced WAL")
             atomic_write_json(self.snapshot_path, state)
             handle = self._open()
             handle.truncate(0)
@@ -348,15 +377,42 @@ class WriteAheadLog:
 
 def _split_uncommitted(records: list[dict]
                        ) -> tuple[list[dict], list[dict]]:
-    """Split the log at the last commit marker.
+    """Split the log into committed history and discarded records.
 
-    Everything up to and including the final ``commit`` record is the
-    committed history; the tail after it belongs to an operation the
-    crash interrupted, which recovery must discard (the restarted daemon
-    re-executes it from committed state).
+    Transaction-aware, not just tail-aware: an operation's records only
+    enter the committed history when its ``commit`` marker arrives. An
+    operation that ended in an ``abort`` (the writer failed mid-way and
+    compensated), or whose ``begin`` is never matched by either marker
+    (a crash — or a fenced writer that could not even append its abort
+    record, detectable because the next operation's ``begin`` or the end
+    of the log arrives first), is discarded wholesale *even when later
+    operations committed after it* — replaying a buried aborted admission
+    would resurrect a ghost job the daemon already compensated away.
+    Records outside any transaction pass through as committed.
     """
-    last_commit = -1
-    for index, record in enumerate(records):
-        if record.get("kind") == "commit":
-            last_commit = index
-    return records[:last_commit + 1], records[last_commit + 1:]
+    committed: list[dict] = []
+    discarded: list[dict] = []
+    pending: list[dict] | None = None
+    for record in records:
+        kind = record.get("kind")
+        if kind == "begin":
+            if pending is not None:
+                discarded.extend(pending)  # begun, never resolved
+            pending = [record]
+        elif kind == "commit":
+            if pending is not None:
+                committed.extend(pending)
+                pending = None
+            committed.append(record)
+        elif kind == "abort":
+            if pending is not None:
+                discarded.extend(pending)
+                pending = None
+            discarded.append(record)
+        elif pending is not None:
+            pending.append(record)
+        else:
+            committed.append(record)
+    if pending is not None:
+        discarded.extend(pending)
+    return committed, discarded

@@ -127,6 +127,49 @@ class TestFleetRunStatus:
         assert "recovery     : generation 2" in out
         assert "wal          :" in out
 
+    def test_recover_with_dropped_incumbent_replans(self, tmp_path,
+                                                    capsys):
+        # a recovered incumbent that fails conformance re-vetting is
+        # dropped; the run must then *replan* the still-admitted job
+        # rather than crash trying to re-admit it
+        import dataclasses
+
+        from repro.fleet import WriteAheadLog
+        from repro.fleet.controller import RegistryEntry
+
+        wal = tmp_path / "fleet.wal"
+        code = main(["fleet", "run", "--topology", "dgx1",
+                     "--jobs", "alltoall", "--chunk-size", "1e6",
+                     "--steps", "1", "--wal", str(wal)])
+        assert code == 0
+        capsys.readouterr()
+
+        # forge the durable schedule: claim a finish time the conformance
+        # replay cannot reproduce, so recovery must drop the incumbent
+        records = WriteAheadLog(wal).load().records
+        wal.unlink()
+        forged = WriteAheadLog(wal)
+        for record in records:
+            if record["kind"] == "propose":
+                entry = RegistryEntry.from_wire(record["data"])
+                entry.result = dataclasses.replace(
+                    entry.result,
+                    finish_time=entry.result.finish_time / 2)
+                forged.append("propose", entry.to_wire())
+            else:
+                forged.append(record["kind"], record["data"])
+        forged.close()
+
+        code = main(["fleet", "run", "--topology", "dgx1",
+                     "--jobs", "alltoall", "--chunk-size", "1e6",
+                     "--steps", "1", "--wal", str(wal),
+                     "--recover", "--takeover"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovered    : 0 schedule(s), 1 dropped" in out
+        assert "replanned    : alltoall#0" in out
+        assert "resumed" not in out and "admitted" not in out
+
     def test_recover_without_wal_rejected(self, capsys):
         assert main(["fleet", "run", "--topology", "dgx1",
                      "--recover"]) == 1

@@ -142,6 +142,37 @@ class TestWalFraming:
         assert state.snapshot is None and state.records == []
         assert not wal.has_state()
 
+    def test_aborted_transaction_mid_log_is_discarded(self, tmp_path):
+        # an admission that failed and was compensated (abort marker)
+        # must not be replayed even though a later operation committed
+        path = tmp_path / "w.wal"
+        wal = WriteAheadLog(path)
+        wal.append("begin", {"op": "admit", "job": "ghost"})
+        wal.append("job_admit", {"name": "ghost"})
+        wal.append("abort", {"op": "admit", "job": "ghost"})
+        wal.append("begin", {"op": "step", "index": 0})
+        wal.append("commit", {"op": "step", "index": 0})
+        wal.close()
+        state = WriteAheadLog(path).load()
+        assert [r["kind"] for r in state.records] == ["begin", "commit"]
+        assert [r["kind"] for r in state.uncommitted] \
+            == ["begin", "job_admit", "abort"]
+
+    def test_unmatched_begin_mid_log_is_discarded(self, tmp_path):
+        # a fenced writer cannot even append its abort marker; the buried
+        # open transaction is detected by the next begin and discarded
+        path = tmp_path / "w.wal"
+        wal = WriteAheadLog(path)
+        wal.append("begin", {"op": "admit", "job": "ghost"})
+        wal.append("job_admit", {"name": "ghost"})
+        wal.append("begin", {"op": "step", "index": 0})
+        wal.append("commit", {"op": "step", "index": 0})
+        wal.close()
+        state = WriteAheadLog(path).load()
+        assert [r["kind"] for r in state.records] == ["begin", "commit"]
+        assert [r["kind"] for r in state.uncommitted] \
+            == ["begin", "job_admit"]
+
 
 # ----------------------------------------------------------------------
 # generation leases (fencing)
@@ -173,6 +204,33 @@ class TestGenerationLease:
         # a pid that cannot exist: max_pid is bounded well below 2**31
         atomic_write_json(lease.path, {"generation": 3, "pid": 2**31 - 7})
         assert lease.acquire() == 4
+
+    def test_fence_lost_during_append_leaves_no_record(self, tmp_path):
+        # a takeover landing between append's pre-check and its fsync is
+        # caught by the post-fsync re-check: the already-durable record
+        # is truncated back off and the append still raises
+        path = tmp_path / "w.wal"
+        old = WriteAheadLog(path)
+        old.attach_lease()
+        old.append("begin", {"op": "step", "index": 0})
+        old.append("commit", {"op": "step", "index": 0})
+        new = WriteAheadLog(path)
+        real_fenced = old.fenced
+        state = {"first": True}
+
+        def fenced():
+            if state["first"]:  # the pre-check: lease not yet bumped
+                state["first"] = False
+                new.attach_lease(takeover=True)
+                return False
+            return real_fenced()
+
+        old.fenced = fenced
+        with pytest.raises(FleetError, match="fenced"):
+            old.append("activate", {"job": "a2a", "seq": 1})
+        records = WriteAheadLog(path).load().records
+        assert [r["kind"] for r in records] == ["begin", "commit"]
+        old.close()
 
     def test_release_only_by_owner(self, tmp_path):
         path = tmp_path / "l.lease"
@@ -277,6 +335,58 @@ class TestRecovery:
         assert fresh._step_index == 1
         fresh.wal.close()
 
+    def test_failed_admission_is_never_resurrected(self, tmp_path,
+                                                   planner):
+        # a failed admission journals an abort; even after later
+        # operations commit, recovery must not replay the buried
+        # job_admit and resurrect the ghost (which would permanently
+        # block re-admission)
+        topo = tiny_ring()
+        daemon = make_controller(topo, planner, tmp_path / "w.wal")
+        daemon.add_job(a2a_job(topo))
+        vet = daemon._vet
+        daemon._vet = lambda result: False  # force the admission to fail
+        with pytest.raises(FleetError, match="conformance"):
+            daemon.add_job(a2a_job(topo, name="ghost"))
+        daemon._vet = vet
+        assert "ghost" not in daemon.jobs  # in-memory compensation
+        daemon.step()  # a later committed operation buries the abort
+        daemon.wal.close()
+
+        fresh = make_controller(topo, planner, tmp_path / "w.wal",
+                                takeover=True)
+        fresh.recover()
+        assert sorted(fresh.jobs) == ["a2a"]  # the ghost never joined
+        # and re-admission is not blocked
+        entry = fresh.add_job(a2a_job(topo, name="ghost"))
+        assert entry.status is ScheduleStatus.ACTIVE
+        fresh.wal.close()
+
+    def test_plan_missing_replans_dropped_incumbent(self, tmp_path,
+                                                    planner):
+        # a recovered job whose incumbent failed re-vetting stays
+        # admitted but scheduleless; plan_missing is the path back
+        topo = tiny_ring()
+        daemon = make_controller(topo, planner, tmp_path / "w.wal")
+        daemon.add_job(a2a_job(topo))
+        daemon.wal.close()
+
+        fresh = make_controller(topo, planner, tmp_path / "w.wal",
+                                takeover=True)
+        vet = fresh._vet
+        fresh._vet = lambda result: False  # oracle refuses the recovery
+        provenance = fresh.recover()
+        fresh._vet = vet
+        assert provenance["entries_recovered"] == 0
+        assert sorted(fresh.jobs) == ["a2a"]
+        assert fresh.registry.active("a2a") is None
+        planned = fresh.plan_missing()
+        assert set(planned) == {"a2a"}
+        entry = fresh.registry.active("a2a")
+        assert entry is not None and entry.conformance_ok is True
+        assert fresh.plan_missing() == {}  # idempotent: nothing missing
+        fresh.wal.close()
+
     def test_nonconformant_recovery_dropped_never_activated(
             self, tmp_path, planner):
         topo = tiny_ring()
@@ -355,6 +465,21 @@ class TestRecovery:
         assert old.registry.active("a2a") is incumbent
         old.wal.close()
         new_wal.close()
+
+    def test_fenced_remove_job_keeps_the_job(self, tmp_path, planner):
+        # removal is write-ahead like admission: a refused journal append
+        # must leave memory and durable state agreeing the job is present
+        topo = tiny_ring()
+        daemon = make_controller(topo, planner, tmp_path / "w.wal")
+        daemon.add_job(a2a_job(topo))
+        other = WriteAheadLog(daemon.wal.path)
+        other.attach_lease(takeover=True)  # fence the daemon
+        with pytest.raises(FleetError, match="fenced"):
+            daemon.remove_job("a2a")
+        assert "a2a" in daemon.jobs
+        assert daemon.registry.active("a2a") is not None
+        daemon.wal.close()
+        other.close()
 
     def test_fenced_daemon_loop_yields(self, tmp_path, planner):
         topo = tiny_ring()

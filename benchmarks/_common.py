@@ -109,6 +109,9 @@ def write_result(name: str, text: str, *, data=None,
 
     With ``data``, also writes ``results/{json_name or name}.json`` holding
     :func:`bench_envelope` around it (``phases`` maps phase name → seconds).
+    When the JSON stem differs from ``name``, the same text summary is
+    written under the JSON stem too, so a ``results/*.json`` can never be
+    refreshed while its human-readable twin goes stale.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
@@ -118,6 +121,9 @@ def write_result(name: str, text: str, *, data=None,
         (RESULTS_DIR / f"{stem}.json").write_text(
             json.dumps(bench_envelope(stem, data, phases=phases),
                        indent=2) + "\n", encoding="utf-8")
+        if stem != name:
+            (RESULTS_DIR / f"{stem}.txt").write_text(text + "\n",
+                                                     encoding="utf-8")
 
 
 @dataclass

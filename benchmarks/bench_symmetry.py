@@ -1,0 +1,96 @@
+"""Symmetry reduction end-to-end benchmark on symmetric Table-4 instances.
+
+The quotient construction (``repro.core.symmetry``) solves one variable and
+constraint block per automorphism orbit and lifts the reduced solution back
+to the full fabric, replay-vetted by the conformance oracle. This bench
+times the full LP pipeline with ``symmetry=off`` vs ``symmetry=on`` on the
+symmetric members of the Table-4 family (uniform ring, 2-D torus), asserts
+the ≥2× end-to-end win and objective parity, and publishes per-orbit
+variable/constraint counts to ``benchmarks/results/BENCH_symmetry.json``
+so future PRs can track compression regressions.
+"""
+
+from _common import timed, write_result
+from repro import collectives, topology
+from repro.analysis import Table
+from repro.core import TecclConfig
+from repro.core.lp import solve_lp
+from repro.simulate import check_flow
+from repro.solver import SolverOptions
+
+#: (label, topology factory) — symmetric fabrics at Table-4 scale
+CELLS = (
+    ("Ring16 AtoA LP", lambda: topology.ring(16, capacity=1.0, alpha=0.0)),
+    ("Torus4x4 AtoA LP", lambda: topology.torus2d(4, 4, capacity=1.0,
+                                                  alpha=0.0)),
+)
+
+
+def _config(mode: str) -> TecclConfig:
+    return TecclConfig(chunk_bytes=1.0,
+                       solver=SolverOptions(symmetry=mode, time_limit=300))
+
+
+def test_symmetry_speedup(benchmark):
+    table = Table("Symmetry reduction — full vs quotient LP, end to end",
+                  columns=["cols", "cols/orbit", "rows", "rows/orbit",
+                           "gens", "off s", "on s", "speedup"])
+    records = []
+    speedups = {}
+    for label, factory in CELLS:
+        topo = factory()
+        demand = collectives.alltoall(topo.gpus, 1)
+
+        full, off_time = timed(solve_lp, topo, demand, _config("off"))
+        reduced, on_time = timed(solve_lp, topo, demand, _config("on"))
+
+        stats = reduced.result.stats
+        assert stats.get("symmetry_generators", 0) > 0, label
+        assert stats.get("symmetry_conformant") is True, label
+        # the quotient restriction is exact: equal LP optimum
+        assert abs(reduced.result.objective - full.result.objective) \
+            <= 1e-7 * max(1.0, abs(full.result.objective)), label
+        report = check_flow(reduced.schedule, topo, demand, reduced.plan,
+                            config=_config("on"))
+        assert report.ok, (label, [str(v) for v in report.violations[:3]])
+
+        speedup = off_time / on_time if on_time else float("inf")
+        speedups[label] = speedup
+        table.add(label,
+                  **{"cols": stats["symmetry_cols_full"],
+                     "cols/orbit": stats["symmetry_cols_reduced"],
+                     "rows": stats["symmetry_rows_full"],
+                     "rows/orbit": stats["symmetry_rows_reduced"],
+                     "gens": stats["symmetry_generators"],
+                     "off s": off_time, "on s": on_time,
+                     "speedup": speedup})
+        records.append({
+            "instance": label, "gpus": topo.num_gpus,
+            "cols_full": stats["symmetry_cols_full"],
+            "cols_reduced": stats["symmetry_cols_reduced"],
+            "rows_full": stats["symmetry_rows_full"],
+            "rows_reduced": stats["symmetry_rows_reduced"],
+            "generators": stats["symmetry_generators"],
+            "orbits": stats["symmetry_orbits"],
+            "solve_off_s": off_time, "solve_on_s": on_time,
+            "speedup": speedup,
+            "objective": reduced.result.objective,
+        })
+
+    write_result(
+        "symmetry", table.render(),
+        json_name="BENCH_symmetry",
+        data={"instances": records,
+              "note": "quotient-vs-full LP wall clock and per-orbit "
+                      "model sizes on symmetric fabrics (PR 9)"},
+        phases={"solve_off": sum(r["solve_off_s"] for r in records),
+                "solve_on": sum(r["solve_on_s"] for r in records)})
+
+    # the acceptance claim: ≥2× end to end on symmetric Table-4 instances
+    assert max(speedups.values()) >= 2.0, speedups
+
+    # representative quotient solve for pytest-benchmark tracking
+    topo = topology.ring(16, capacity=1.0, alpha=0.0)
+    demand = collectives.alltoall(topo.gpus, 1)
+    benchmark.pedantic(lambda: solve_lp(topo, demand, _config("on")),
+                       rounds=1, iterations=1)

@@ -84,6 +84,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        default=SwitchModel.COPY.value)
     synth.add_argument("--time-limit", type=float, default=None)
     synth.add_argument("--mip-gap", type=float, default=0.0)
+    synth.add_argument("--symmetry", choices=["auto", "on", "off"],
+                       default="auto",
+                       help="quotient the solve by verified fabric "
+                            "automorphisms (auto: large models only; "
+                            "results are always conformance-vetted with "
+                            "cold fallback, so this only affects speed)")
     synth.add_argument("--export", metavar="FILE", default=None,
                        help="write the schedule as MSCCL XML")
     synth.add_argument("--export-json", metavar="FILE", default=None,
@@ -364,7 +370,8 @@ def _run_synth(args: argparse.Namespace) -> int:
         epoch_mode=EpochMode(args.epoch_mode),
         switch_model=SwitchModel(args.switch_model),
         solver=SolverOptions(time_limit=args.time_limit,
-                             mip_gap=args.mip_gap))
+                             mip_gap=args.mip_gap,
+                             symmetry=args.symmetry))
     if getattr(args, "partitions", 0):
         return _run_synth_pop(args, topo, demand, config)
     result = synthesize(topo, demand, config, method=Method(args.method))

@@ -1096,11 +1096,16 @@ def solve_lp(topology: Topology, demand: Demand, config: TecclConfig,
             num_epochs = next_horizon(num_epochs, bound)
             continue
         build_time = time.perf_counter() - start
-        result = problem.model.solve(config.solver)
+        result, reduced = _solve_maybe_reduced(problem, topology, demand,
+                                               config)
         result.stats["build_time"] = build_time
         result.stats["construction"] = problem.construction
         if result.status.has_solution:
-            return extract_lp_outcome(problem, result)
+            outcome = extract_lp_outcome(problem, result)
+            if reduced:
+                outcome = _vet_reduced_outcome(outcome, problem, topology,
+                                               demand, config)
+            return outcome
         from repro.solver import SolveStatus
 
         if result.status is not SolveStatus.INFEASIBLE:
@@ -1109,6 +1114,55 @@ def solve_lp(topology: Topology, demand: Demand, config: TecclConfig,
             f"infeasible at horizon K={num_epochs}", status="horizon")
         num_epochs = next_horizon(num_epochs, bound)
     raise last_error
+
+
+def _solve_maybe_reduced(problem: LpProblem, topology: Topology,
+                         demand: Demand,
+                         config: TecclConfig) -> tuple[SolveResult, bool]:
+    """Solve the LP, through the symmetry quotient when one applies.
+
+    Returns ``(result, reduced)``; ``reduced`` flags a lifted quotient
+    solution that still needs the conformance vetting in
+    :func:`_vet_reduced_outcome`. Any failure to find or verify symmetry
+    falls through to the ordinary full-model solve.
+    """
+    from repro.core import symmetry as _symmetry
+
+    if _symmetry.symmetry_enabled(config.solver, problem.model.num_vars):
+        generators = _symmetry.find_generators(topology, demand)
+        if generators:
+            orbit_map = _symmetry.reduce_lp(
+                problem.model, generators, problem.model.num_vars,
+                problem.f_vars, problem.b_vars, problem.r_vars)
+            if orbit_map is not None:
+                result = _symmetry.solve_reduced(orbit_map, config.solver)
+                return result, True
+    return problem.model.solve(config.solver), False
+
+
+def _vet_reduced_outcome(outcome: LpOutcome, problem: LpProblem,
+                         topology: Topology, demand: Demand,
+                         config: TecclConfig) -> LpOutcome:
+    """Replay-vet a lifted quotient solution; cold fallback on violation.
+
+    The quotient is exact for a symmetric LP, so a violation here means a
+    verification layer was fooled (or the instance was not actually
+    symmetric) — the full model is re-solved from scratch and *that*
+    result returned, so symmetry can degrade performance but never
+    correctness.
+    """
+    from repro.simulate import check_flow
+
+    report = check_flow(outcome.schedule, topology, demand, outcome.plan,
+                        config=config)
+    if report.ok:
+        outcome.result.stats["symmetry_conformant"] = True
+        return outcome
+    result = problem.model.solve(config.solver)
+    result.stats["symmetry_fallback"] = "conformance"
+    result.stats["construction"] = problem.construction
+    result.require_solution()
+    return extract_lp_outcome(problem, result)
 
 
 def extract_lp_outcome(problem: LpProblem, result: SolveResult) -> LpOutcome:
@@ -1314,7 +1368,12 @@ def _try_horizon(topology: Topology, demand: Demand, config: TecclConfig,
     plan = build_epoch_plan(topology, config, num_epochs=num_epochs)
     builder = LpBuilder(topology, demand, config, plan)
     problem = builder.build()
-    result = problem.model.solve(config.solver)
+    result, reduced = _solve_maybe_reduced(problem, topology, demand,
+                                           config)
     if not result.status.has_solution:
         return None
-    return extract_lp_outcome(problem, result)
+    outcome = extract_lp_outcome(problem, result)
+    if reduced:
+        outcome = _vet_reduced_outcome(outcome, problem, topology, demand,
+                                       config)
+    return outcome

@@ -967,11 +967,18 @@ def solve_milp(topology: Topology, demand: Demand, config: TecclConfig,
             num_epochs = next_horizon(num_epochs, bound)
             continue
         build_time = time.perf_counter() - start
+        cuts = _maybe_add_symmetry_cuts(problem, topology, demand, config)
         result = problem.model.solve(config.solver)
         result.stats["build_time"] = build_time
         result.stats["construction"] = problem.construction
+        if cuts:
+            result.stats["symmetry_cuts"] = cuts
         if result.status.has_solution:
-            return extract_outcome(problem, result)
+            outcome = extract_outcome(problem, result)
+            if cuts:
+                outcome = _vet_cut_outcome(outcome, topology, demand,
+                                           config, plan, hyper_groups)
+            return outcome
         from repro.solver import SolveStatus
 
         if result.status is not SolveStatus.INFEASIBLE:
@@ -980,6 +987,56 @@ def solve_milp(topology: Topology, demand: Demand, config: TecclConfig,
             f"infeasible at horizon K={num_epochs}", status="horizon")
         num_epochs = next_horizon(num_epochs, bound)
     raise last_error
+
+
+def _maybe_add_symmetry_cuts(problem: MilpProblem, topology: Topology,
+                             demand: Demand, config: TecclConfig) -> int:
+    """Add lex-leader symmetry cuts to a built MILP when enabled.
+
+    The quotient restriction used for LPs is invalid for integer programs,
+    so the MILP path prunes symmetric branches with optimum-preserving
+    cuts instead (``repro.core.symmetry.add_symmetry_cuts``). Returns the
+    number of cut rows added (0 when symmetry is off, undetected, or
+    fails verification).
+    """
+    from repro.core import symmetry as _symmetry
+
+    if not _symmetry.symmetry_enabled(config.solver,
+                                      problem.model.num_vars):
+        return 0
+    generators = _symmetry.find_generators(topology, demand)
+    if not generators:
+        return 0
+    return _symmetry.add_symmetry_cuts(
+        problem.model, generators, problem.model.num_vars,
+        problem.f_vars, problem.b_vars, problem.r_vars)
+
+
+def _vet_cut_outcome(outcome: "MilpOutcome", topology: Topology,
+                     demand: Demand, config: TecclConfig, plan: EpochPlan,
+                     hyper_groups) -> "MilpOutcome":
+    """Replay-vet a schedule solved under symmetry cuts.
+
+    The cuts are optimum-preserving for any verified automorphism, so a
+    violation means a verification layer was fooled — rebuild the model
+    from scratch without cuts and return that solve instead. Symmetry can
+    cost a redundant solve here but never a wrong schedule.
+    """
+    from repro.simulate import check_schedule
+
+    report = check_schedule(outcome.schedule, topology, demand,
+                            outcome.plan, config=config)
+    if report.ok:
+        outcome.result.stats["symmetry_conformant"] = True
+        return outcome
+    builder = MilpBuilder(topology, demand, config, plan,
+                          hyper_groups=hyper_groups)
+    problem = builder.build()
+    result = problem.model.solve(config.solver)
+    result.stats["symmetry_fallback"] = "conformance"
+    result.stats["construction"] = problem.construction
+    result.require_solution()
+    return extract_outcome(problem, result)
 
 
 def extract_outcome(problem: MilpProblem, result: SolveResult) -> MilpOutcome:

@@ -27,6 +27,7 @@ from repro.collectives.demand import Demand
 from repro.core.config import TecclConfig
 from repro.core.epochs import EpochPlan, build_epoch_plan, path_based_epoch_bound
 from repro.core.lp import (IncrementalLp, LpBuilder, LpOutcome,
+                           _solve_maybe_reduced, _vet_reduced_outcome,
                            extract_lp_outcome)
 from repro.core.schedule import FlowSchedule
 from repro.core.subsolve import run_subsolves
@@ -266,14 +267,24 @@ def _solve_at_horizon(topology: Topology, config: TecclConfig,
                 start = time.perf_counter()
                 problem = builder.build()
                 build_time = time.perf_counter() - start
-                result = problem.model.solve(sub_config.solver)
+                # The quotient path applies per partition: the uniform
+                # capacity scaling keeps the fabric's automorphisms, and
+                # the compiled-matrix verification rejects anything a
+                # partition's demand slice breaks.
+                result, reduced = _solve_maybe_reduced(
+                    problem, topology, part.demand, sub_config)
                 result.stats["build_time"] = build_time
                 result.stats["construction"] = problem.construction
                 if not result.status.has_solution:
                     raise InfeasibleError(
                         f"POP partition {part.index} infeasible at "
                         f"K={num_epochs}", status="horizon")
-                return extract_lp_outcome(problem, result)
+                outcome = extract_lp_outcome(problem, result)
+                if reduced:
+                    outcome = _vet_reduced_outcome(
+                        outcome, problem, topology, part.demand,
+                        sub_config)
+                return outcome
         inc = models[pi]
         warm = warms[pi] if warms is not None else None
         with _obs_span("pop.partition", index=part.index,

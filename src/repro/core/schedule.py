@@ -120,6 +120,18 @@ class Schedule:
             tau=self.tau, chunk_bytes=self.chunk_bytes,
             num_epochs=self.num_epochs + epoch_offset)
 
+    def relabel(self, perm) -> "Schedule":
+        """The same schedule on a renamed fabric: every node id mapped
+        through ``perm`` (old id -> new id). Chunk ids and epochs are
+        untouched — used to translate results solved on a canonical
+        (symmetry-relabeled) instance back to the caller's node ids."""
+        return Schedule(
+            sends=[Send(epoch=s.epoch, source=perm[s.source],
+                        chunk=s.chunk, src=perm[s.src], dst=perm[s.dst])
+                   for s in self.sends],
+            tau=self.tau, chunk_bytes=self.chunk_bytes,
+            num_epochs=self.num_epochs)
+
     def merged_with(self, other: "Schedule") -> "Schedule":
         if abs(other.tau - self.tau) > 1e-15:
             raise ScheduleError("cannot merge schedules with different τ")
@@ -189,6 +201,22 @@ class FlowSchedule:
         last_flow = max((k[3] for k in self.flows), default=-1)
         last_read = max((k[2] for k in self.reads), default=-1)
         return max(last_flow, last_read)
+
+    def relabel(self, perm) -> "FlowSchedule":
+        """The same fractional schedule on a renamed fabric (see
+        :meth:`Schedule.relabel`). Commodity keys relabel their source —
+        aggregated int keys through ``perm`` directly, ``(source, chunk)``
+        pairs on the source only."""
+        def q_map(q):
+            return (perm[q[0]], q[1]) if isinstance(q, tuple) else perm[q]
+
+        return FlowSchedule(
+            flows={(q_map(q), perm[i], perm[j], k): v
+                   for (q, i, j, k), v in self.flows.items()},
+            reads={(q_map(q), perm[d], k): v
+                   for (q, d, k), v in self.reads.items()},
+            tau=self.tau, chunk_bytes=self.chunk_bytes,
+            num_epochs=self.num_epochs, tolerance=self.tolerance)
 
     def link_load(self, src: int, dst: int, epoch: int) -> float:
         return sum(v for (_, i, j, k), v in self.flows.items()

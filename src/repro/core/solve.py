@@ -62,6 +62,33 @@ class SynthesisResult:
     #: static capacities, as they always have).
     config: TecclConfig | None = None
 
+    def relabeled(self, perm) -> "SynthesisResult":
+        """The same result with every node id mapped through ``perm``.
+
+        Translates a result solved on a symmetry-relabeled instance back
+        to the caller's node ids (the planner's cache-canonicalization
+        path): schedule, demand and topology relabel; the epoch plan is
+        invariant under any fabric automorphism (capacities permute onto
+        equal capacities). The raw ``outcome``/``hyper`` records are
+        dropped — they index solver internals in the solved space. Not
+        valid for hyper-transformed results (their schedules live in the
+        rewritten node space; callers gate those out).
+        """
+        from repro.topology.transforms import relabel as _relabel_topology
+        return replace(
+            self,
+            schedule=self.schedule.relabel(perm),
+            outcome=None,
+            hyper=None,
+            topology_used=(None if self.topology_used is None
+                           else _relabel_topology(
+                               self.topology_used, perm,
+                               name=self.topology_used.name)),
+            demand_used=(None if self.demand_used is None
+                         else Demand.from_triples(
+                             (perm[s], c, perm[d])
+                             for (s, c, d) in self.demand_used.triples())))
+
     def algorithmic_bandwidth(self, output_buffer_bytes: float) -> float:
         """TACCL's metric: output buffer size / collective finish time."""
         if output_buffer_bytes <= 0:
@@ -132,12 +159,19 @@ def synthesize(topology: Topology, demand: Demand, config: TecclConfig, *,
                method: Method = Method.AUTO,
                astar_config: AStarConfig | None = None,
                minimize_epochs: bool = False,
-               warm_from: SynthesisResult | None = None) -> SynthesisResult:
+               warm_from: SynthesisResult | None = None,
+               symmetry: str | None = None) -> SynthesisResult:
     """Synthesize routes and a schedule for one collective demand.
 
     Args:
         method: force a formulation, or AUTO for the paper's selection rule
             (LP when copy cannot help, MILP otherwise).
+        symmetry: override ``config.solver.symmetry`` for this call —
+            ``"auto"``, ``"on"`` or ``"off"`` (``None`` keeps the config's
+            setting). Controls whether the LP/MILP solves may quotient the
+            instance by verified fabric automorphisms
+            (``repro.core.symmetry``); results are always conformance-vetted
+            with cold fallback, so the knob affects speed only.
         minimize_epochs: for the LP, binary-search the smallest feasible
             horizon instead of solving one fixed horizon (§6's procedure for
             the numerically tricky large ALLTOALLs).
@@ -150,6 +184,9 @@ def synthesize(topology: Topology, demand: Demand, config: TecclConfig, *,
             changes how many epochs are modelled, never the optimum within
             them.
     """
+    if symmetry is not None:
+        config = replace(config,
+                         solver=replace(config.solver, symmetry=symmetry))
     with _obs_span("synthesize", method=method.value,
                    gpus=len(topology.gpus),
                    minimize_epochs=minimize_epochs,

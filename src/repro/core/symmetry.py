@@ -1,0 +1,643 @@
+"""Symmetry reduction: quotient instances by fabric automorphisms (§2(a)).
+
+The paper's Table-4 fabrics — rings, tori, NDv2 pods, symmetric chassis
+groups — are riddled with automorphisms: node permutations that map the
+fabric onto itself (links to links with equal capacity and alpha) *and*
+leave the demand invariant. Under such a permutation whole families of
+flow/buffer/read variables are provably interchangeable, yet the LP/MILP
+builders emit every one of them. This module detects those automorphisms
+and collapses the instance:
+
+* **Detection** starts from cheap candidate families on the known builders
+  (ring/torus rotations and reflections, chassis/pod block permutations,
+  intra-block rotations, leaf exchanges within refinement color classes)
+  and *verifies* every candidate with :func:`is_automorphism` — a heuristic
+  miss only costs speedup, never correctness.
+* **LP quotient** (:func:`reduce_lp`): every verified node permutation
+  induces a column permutation of the built model; the model is averaged
+  onto the fixed subspace — one variable per column orbit, constraints
+  deduplicated — which preserves the exact optimum by convexity (the
+  orbit-average of any feasible point is feasible with equal objective).
+  The reduced solution lifts back by copying each orbit value to all
+  members.
+* **MILP cuts** (:func:`add_symmetry_cuts`): quotient restriction is *not*
+  valid for integer programs, so instead optimum-preserving lex-leader
+  cuts are added per verified generator — at least one optimal solution
+  (the lexicographically largest in its orbit) always survives.
+* **Cache canonicalization** (:func:`canonicalize_demand`): automorphisms
+  of the topology alone relabel the demand; the lexicographically minimal
+  relabeling is a canonical form, so symmetric requests collapse to one
+  cache entry (used by the planner, salted into ``FINGERPRINT_VERSION``).
+
+Every reduced result is replay-vetted by the conformance oracle at the
+call sites in ``core/lp.py`` / ``core/milp.py``, with automatic cold
+fallback to the full model on any violation. Soundness therefore never
+rests on the detection heuristics: the layers are (1) exact verification
+of each generator, (2) exact verification of the induced column
+permutation against the compiled matrix, (3) conformance replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from repro.collectives.demand import Demand
+from repro.obs.trace import span as _obs_span
+from repro.solver.model import CompiledModel, Model
+from repro.solver.options import SolverOptions
+from repro.solver.result import SolveResult
+from repro.topology.topology import Topology
+
+#: "auto" mode only attempts a reduction above this many columns — below
+#: it the detection/quotient overhead rivals the solve itself.
+AUTO_SYMMETRY_MIN_VARS = 2000
+
+#: cap on verified generators kept (more generators refine orbits with
+#: rapidly diminishing returns and linearly growing verification cost)
+MAX_GENERATORS = 32
+
+#: node-count ceiling for candidate enumeration (the families below are
+#: O(n^2) candidates each verified in O(links + demand))
+MAX_NODES = 256
+
+#: BFS budget (group elements visited) for demand canonicalization
+CANONICAL_BFS_BUDGET = 512
+
+
+# ----------------------------------------------------------------------
+# automorphism verification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Automorphism:
+    """A verified symmetry of one (topology, demand) instance.
+
+    ``perm`` maps old node id -> new node id. ``chunk_map`` carries the
+    per-source chunk relabeling that accompanies the node permutation:
+    chunk ids are arbitrary labels (e.g. ``collectives.alltoall`` encodes
+    the destination *index* in the chunk id), so the demand is stabilized
+    up to a bijection of each source's chunks — ``chunk_map[(s, c)] =
+    (perm[s], c')`` with the destination set of ``(s, c)`` mapping exactly
+    onto that of ``(perm[s], c')``. ``None`` when verified against the
+    topology alone.
+    """
+
+    perm: tuple[int, ...]
+    chunk_map: dict | None = None
+
+
+def chunk_relabeling(demand: Demand, perm) -> dict | None:
+    """The per-source chunk bijection under which ``perm`` stabilizes
+    ``demand``, or ``None`` when no such bijection exists.
+
+    Chunks are matched by the image of their destination set — two chunks
+    of one source with identical destination sets are interchangeable, so
+    a greedy exact matching is complete.
+    """
+    by_source: dict[int, dict[int, set]] = {}
+    for (s, c, d) in demand.triples():
+        by_source.setdefault(s, {}).setdefault(c, set()).add(d)
+    mapping: dict = {}
+    for s, chunks in by_source.items():
+        t = perm[s]
+        target = by_source.get(t)
+        if target is None or len(target) != len(chunks):
+            return None
+        pool: dict[frozenset, list[int]] = {}
+        for c, dests in target.items():
+            pool.setdefault(frozenset(dests), []).append(c)
+        for bucket in pool.values():
+            bucket.sort(reverse=True)
+        for c in sorted(chunks):
+            image = frozenset(perm[d] for d in chunks[c])
+            bucket = pool.get(image)
+            if not bucket:
+                return None
+            mapping[(s, c)] = (t, bucket.pop())
+    return mapping
+
+
+def is_automorphism(topology: Topology, demand: Demand | None,
+                    perm) -> bool:
+    """Exactly verify that ``perm`` is an automorphism of (topology, demand).
+
+    ``perm`` maps old node id -> new node id and must be a bijection on
+    ``range(num_nodes)``. Checks: switches map onto switches, every link
+    (i, j) maps onto a link (perm[i], perm[j]) with identical capacity and
+    alpha, and (when given) the demand is invariant under (s, c, d) ->
+    (perm[s], c, perm[d]) up to a per-source relabeling of its chunk ids
+    (see :func:`chunk_relabeling` — chunk ids are labels, not structure).
+    """
+    return _verify(topology, demand, perm) is not None
+
+
+def _verify(topology: Topology, demand: Demand | None,
+            perm) -> Automorphism | None:
+    n = topology.num_nodes
+    p = list(perm)
+    if len(p) != n or sorted(p) != list(range(n)):
+        return None
+    if frozenset(p[s] for s in topology.switches) != topology.switches:
+        return None
+    for (i, j), link in topology.links.items():
+        image = topology.links.get((p[i], p[j]))
+        if image is None or image.capacity != link.capacity \
+                or image.alpha != link.alpha:
+            return None
+    chunk_map = None
+    if demand is not None:
+        chunk_map = chunk_relabeling(demand, p)
+        if chunk_map is None:
+            return None
+    return Automorphism(perm=tuple(p), chunk_map=chunk_map)
+
+
+# ----------------------------------------------------------------------
+# candidate generator families
+# ----------------------------------------------------------------------
+def _wl_colors(topology: Topology, demand: Demand | None) -> list[int]:
+    """1-WL refinement colors: a necessary invariant of any automorphism."""
+    n = topology.num_nodes
+    triples = list(demand.triples()) if demand is not None else []
+    # chunk ids are labels, not structure (automorphisms may relabel them
+    # per source) — signatures use destination-set sizes and sink counts
+    chunk_dests: dict[tuple[int, int], int] = {}
+    dst_sig = {v: 0 for v in range(n)}
+    for (s, c, d) in triples:
+        chunk_dests[(s, c)] = chunk_dests.get((s, c), 0) + 1
+        dst_sig[d] += 1
+    src_sig: dict[int, list[int]] = {v: [] for v in range(n)}
+    for (s, _c), size in chunk_dests.items():
+        src_sig[s].append(size)
+    colors = {}
+    seen: dict[tuple, int] = {}
+    for v in range(n):
+        key = (topology.is_switch(v), tuple(sorted(src_sig[v])),
+               dst_sig[v])
+        colors[v] = seen.setdefault(key, len(seen))
+    for _ in range(n):
+        seen = {}
+        nxt = {}
+        for v in range(n):
+            outs = sorted((l.capacity, l.alpha, colors[l.dst])
+                          for l in topology.out_edges(v))
+            ins = sorted((l.capacity, l.alpha, colors[l.src])
+                         for l in topology.in_edges(v))
+            key = (colors[v], tuple(outs), tuple(ins))
+            nxt[v] = seen.setdefault(key, len(seen))
+        if len(set(nxt.values())) == len(set(colors.values())):
+            colors = nxt
+            break
+        colors = nxt
+    return [colors[v] for v in range(n)]
+
+
+def _candidate_perms(topology: Topology, demand: Demand | None):
+    """Yield candidate node permutations from the builder families.
+
+    Every yield is a *candidate* only — callers must run
+    :func:`is_automorphism` on each. Families: full rotations and
+    reflections (rings/tori), block rotations and adjacent block swaps for
+    every divisor block size (chassis/pod groups, node-numbered
+    block-major), simultaneous intra-block rotations (torus columns), and
+    transpositions within 1-WL color classes (leaf exchanges).
+    """
+    n = topology.num_nodes
+    ids = list(range(n))
+    for r in range(1, n):
+        yield [(i + r) % n for i in ids]
+    for a in range(n):
+        yield [(a - i) % n for i in ids]
+    for size in range(2, n // 2 + 1):
+        if n % size:
+            continue
+        blocks = n // size
+        # rotate blocks by one
+        yield [((i // size + 1) % blocks) * size + i % size for i in ids]
+        # swap the first two blocks
+        swap = list(ids)
+        for off in range(size):
+            swap[off], swap[size + off] = swap[size + off], swap[off]
+        yield swap
+        # rotate within every block simultaneously
+        yield [(i // size) * size + (i + 1) % size for i in ids]
+    classes: dict[int, list[int]] = {}
+    for v, color in enumerate(_wl_colors(topology, demand)):
+        classes.setdefault(color, []).append(v)
+    budget = 4 * n
+    for members in classes.values():
+        for a, b in zip(members, members[1:]):
+            if budget <= 0:
+                return
+            budget -= 1
+            t = list(ids)
+            t[a], t[b] = b, a
+            yield t
+
+
+def find_generators(topology: Topology, demand: Demand | None = None,
+                    max_generators: int = MAX_GENERATORS,
+                    ) -> list[Automorphism]:
+    """Verified, non-identity automorphism generators of (topology, demand).
+
+    Pass ``demand=None`` for automorphisms of the topology alone (the
+    group used for cache canonicalization, under which the demand is
+    *relabeled* rather than stabilized).
+    """
+    if topology.num_nodes > MAX_NODES:
+        return []
+    identity = list(range(topology.num_nodes))
+    out: list[Automorphism] = []
+    seen = {tuple(identity)}
+    with _obs_span("symmetry.detect", nodes=topology.num_nodes) as sp:
+        for cand in _candidate_perms(topology, demand):
+            key = tuple(cand)
+            if key in seen:
+                continue
+            seen.add(key)
+            auto = _verify(topology, demand, cand)
+            if auto is not None:
+                out.append(auto)
+                if len(out) >= max_generators:
+                    break
+        sp.set_attr(generators=len(out))
+    return out
+
+
+# ----------------------------------------------------------------------
+# induced column permutations
+# ----------------------------------------------------------------------
+def _col(var) -> int:
+    return var.index if hasattr(var, "index") else int(var)
+
+
+def _map_key(key, auto: Automorphism):
+    if isinstance(key, tuple):
+        if auto.chunk_map is not None:
+            return auto.chunk_map.get(key)
+        return (auto.perm[key[0]],) + key[1:]
+    return auto.perm[key]
+
+
+def induced_column_permutation(auto: Automorphism, num_cols: int,
+                               f_vars: dict, b_vars: dict, r_vars: dict):
+    """The column permutation a node automorphism induces on a built model.
+
+    Formulation keys map as ``f(q, i, j, k) -> (auto·q, perm[i], perm[j],
+    k)``, ``b(q, n, k) -> (auto·q, perm[n], k)`` and ``r(q, d, k) ->
+    (auto·q, perm[d], k)`` where ``auto·q`` relabels an aggregated int key
+    through the node permutation and an (s, c) commodity key through the
+    automorphism's chunk map. Returns ``None`` when any image key is
+    absent (the permutation does not act on this model) or the induced
+    map is not a bijection; columns in none of the dicts stay fixed —
+    :func:`verify_column_permutation` is the backstop for any auxiliary
+    structure.
+    """
+    perm = auto.perm
+    pi = np.arange(num_cols, dtype=np.int64)
+    for vars_ in (f_vars, b_vars, r_vars):
+        for key, var in vars_.items():
+            head = _map_key(key[0], auto)
+            if head is None:
+                return None
+            image = (head,) + tuple(
+                perm[x] for x in key[1:-1]) + (key[-1],)
+            target = vars_.get(image)
+            if target is None:
+                return None
+            pi[_col(var)] = _col(target)
+    if not np.array_equal(np.sort(pi), np.arange(num_cols)):
+        return None
+    return pi
+
+
+def verify_column_permutation(compiled: CompiledModel, pi,
+                              seed: int = 0) -> bool:
+    """Verify ``pi`` leaves the compiled model invariant.
+
+    A feasible ``x`` must map to a feasible ``x'`` with ``x'[pi[i]] =
+    x[i]`` and equal objective. Exact checks: ``c[pi] == c``, column
+    bounds and integrality invariant. The constraint set is checked as a
+    row multiset: for random ``w``, the multisets of ``(A w, lb, ub)`` and
+    ``(A w[pi], lb, ub)`` rows must agree — sound up to hash collision
+    odds, and the conformance replay at the call sites is the hard gate.
+    A spurious rejection only costs the reduction, never correctness.
+    """
+    pi = np.asarray(pi, dtype=np.int64)
+    if not (np.array_equal(compiled.c[pi], compiled.c)
+            and np.array_equal(compiled.col_lower[pi], compiled.col_lower)
+            and np.array_equal(compiled.col_upper[pi], compiled.col_upper)
+            and np.array_equal(compiled.integrality[pi],
+                               compiled.integrality)):
+        return False
+    rng = np.random.default_rng(seed)
+    w = rng.uniform(1.0, 2.0, size=(compiled.A.shape[1], 2))
+    u = compiled.A @ w
+    v = compiled.A @ w[pi]
+    return _row_multisets_match(u, v, compiled.row_lower, compiled.row_upper)
+
+
+def _bound_key(bounds: np.ndarray) -> np.ndarray:
+    return np.nan_to_num(bounds, posinf=1e300, neginf=-1e300)
+
+
+def _row_multisets_match(u: np.ndarray, v: np.ndarray, lb: np.ndarray,
+                         ub: np.ndarray) -> bool:
+    scale = max(1.0, float(np.abs(u).max(initial=0.0)))
+    uq = np.round(u * (1e7 / scale)).astype(np.int64)
+    vq = np.round(v * (1e7 / scale)).astype(np.int64)
+    lbq = _bound_key(lb)
+    ubq = _bound_key(ub)
+    order_u = np.lexsort((uq[:, 1], uq[:, 0], ubq, lbq))
+    order_v = np.lexsort((vq[:, 1], vq[:, 0], ubq, lbq))
+    return (np.array_equal(uq[order_u], vq[order_v])
+            and np.array_equal(lbq[order_u], lbq[order_v])
+            and np.array_equal(ubq[order_u], ubq[order_v]))
+
+
+# ----------------------------------------------------------------------
+# orbits
+# ----------------------------------------------------------------------
+def column_orbits(num_cols: int, perms) -> tuple[np.ndarray, np.ndarray]:
+    """Orbit partition of the columns under the given permutations.
+
+    Returns ``(orbit, reps)``: ``orbit[i]`` is the dense orbit id of
+    column ``i`` (ids ``0..k-1`` ordered by smallest member) and
+    ``reps[o]`` the smallest column in orbit ``o``.
+    """
+    parent = list(range(num_cols))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for p in perms:
+        for i, j in enumerate(np.asarray(p).tolist()):
+            if i == j:
+                continue
+            ri, rj = find(i), find(j)
+            if ri != rj:
+                if ri < rj:
+                    parent[rj] = ri
+                else:
+                    parent[ri] = rj
+    roots = np.fromiter((find(i) for i in range(num_cols)),
+                        dtype=np.int64, count=num_cols)
+    reps, orbit = np.unique(roots, return_inverse=True)
+    return orbit.astype(np.int64), reps
+
+
+# ----------------------------------------------------------------------
+# LP quotient
+# ----------------------------------------------------------------------
+@dataclass
+class OrbitMap:
+    """A verified reduction of a built model onto its symmetric subspace.
+
+    Attributes:
+        generators: the verified node permutations used.
+        orbit: dense orbit id per original column.
+        reps: representative (smallest) original column per orbit.
+        stats: reduction bookkeeping merged into the solve stats.
+    """
+
+    generators: list[Automorphism]
+    orbit: np.ndarray
+    reps: np.ndarray
+    reduced: Model | None = None
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def num_orbits(self) -> int:
+        return len(self.reps)
+
+
+def reduce_lp(model: Model, generators, num_cols: int, f_vars: dict,
+              b_vars: dict, r_vars: dict) -> OrbitMap | None:
+    """Build the quotient LP of ``model`` under verified generators.
+
+    Restricting a symmetric LP to the fixed subspace (all orbit members
+    equal) preserves the exact optimum: the orbit-average of any feasible
+    point is feasible by convexity, has equal objective by ``c[pi] == c``,
+    and lies in the subspace. The quotient substitutes ``x = S y`` (S the
+    0/1 column-orbit selector), deduplicates the rows that become
+    identical, and keeps representative bounds (constant on orbits by
+    generator verification). Returns ``None`` when nothing collapses or no
+    generator survives verification.
+    """
+    compiled = model.compile()
+    colperms = []
+    for gen in generators:
+        pi = induced_column_permutation(gen, num_cols, f_vars, b_vars,
+                                        r_vars)
+        if pi is not None and verify_column_permutation(compiled, pi):
+            colperms.append(pi)
+    if not colperms:
+        return None
+    if np.any(compiled.integrality != 0):
+        return None
+    orbit, reps = column_orbits(num_cols, colperms)
+    k = len(reps)
+    if k >= num_cols:
+        return None
+    with _obs_span("symmetry.quotient", cols=num_cols, orbits=k):
+        selector = sparse.csr_matrix(
+            (np.ones(num_cols), (np.arange(num_cols), orbit)),
+            shape=(num_cols, k))
+        a_red = (compiled.A @ selector).tocsr()
+        a_red.sort_indices()
+        keep = _dedup_rows(a_red, compiled.row_lower, compiled.row_upper)
+        a_red = a_red[keep]
+        reduced = Model(name="quotient", sense=compiled.sense)
+        reduced.add_var_array(k, lb=compiled.col_lower[reps],
+                              ub=compiled.col_upper[reps])
+        coo = a_red.tocoo()
+        reduced.add_constr_coo(coo.row, coo.col, coo.data,
+                               lb=compiled.row_lower[keep],
+                               ub=compiled.row_upper[keep],
+                               num_rows=a_red.shape[0])
+        c_red = np.zeros(k)
+        np.add.at(c_red, orbit, compiled.c)
+        reduced.set_objective_array(np.arange(k), c_red,
+                                    const=compiled.obj_const)
+        stats = {
+            "symmetry_generators": len(colperms),
+            "symmetry_orbits": k,
+            "symmetry_cols_full": num_cols,
+            "symmetry_cols_reduced": k,
+            "symmetry_rows_full": int(compiled.A.shape[0]),
+            "symmetry_rows_reduced": int(a_red.shape[0]),
+        }
+        return OrbitMap(generators=list(generators), orbit=orbit, reps=reps,
+                        reduced=reduced, stats=stats)
+
+
+def _dedup_rows(a: sparse.csr_matrix, lb: np.ndarray,
+                ub: np.ndarray) -> np.ndarray:
+    """Indices of rows to keep after dropping exact duplicates.
+
+    Candidate duplicates are grouped by a randomized hash and then
+    compared *exactly* (sparsity pattern, data, both bounds) against the
+    group representative — a float-association mismatch merely keeps the
+    row, which loses compression but never correctness.
+    """
+    m = a.shape[0]
+    rng = np.random.default_rng(1)
+    w = rng.integers(1, 1 << 30, size=(a.shape[1], 2)).astype(float)
+    h = a @ w
+    lbq = _bound_key(lb)
+    ubq = _bound_key(ub)
+    order = np.lexsort((h[:, 1], h[:, 0], ubq, lbq))
+    indptr, indices, data = a.indptr, a.indices, a.data
+
+    def _same(r1: int, r2: int) -> bool:
+        s1, e1 = indptr[r1], indptr[r1 + 1]
+        s2, e2 = indptr[r2], indptr[r2 + 1]
+        return (lb[r1] == lb[r2] and ub[r1] == ub[r2]
+                and e1 - s1 == e2 - s2
+                and np.array_equal(indices[s1:e1], indices[s2:e2])
+                and np.array_equal(data[s1:e1], data[s2:e2]))
+
+    keep = []
+    rep = -1
+    for r in order.tolist():
+        if rep >= 0 and h[r, 0] == h[rep, 0] and h[r, 1] == h[rep, 1] \
+                and _same(rep, r):
+            continue
+        rep = r
+        keep.append(r)
+    return np.sort(np.asarray(keep, dtype=np.int64))
+
+
+def solve_reduced(orbit_map: OrbitMap,
+                  options: SolverOptions) -> SolveResult:
+    """Solve the quotient model and lift the solution to the full fabric.
+
+    The lift copies each orbit value to every member (``x[i] =
+    y[orbit[i]]``), which is exactly the symmetric feasible point the
+    quotient optimizes over; statuses carry over unchanged (the quotient
+    is infeasible iff the full LP is).
+    """
+    with _obs_span("symmetry.solve", orbits=orbit_map.num_orbits):
+        result = orbit_map.reduced.solve(options)
+    values = None
+    if result.values is not None:
+        values = np.asarray(result.values)[orbit_map.orbit]
+    stats = dict(result.stats)
+    stats.update(orbit_map.stats)
+    return SolveResult(status=result.status, objective=result.objective,
+                       values=values, solve_time=result.solve_time,
+                       mip_gap=result.mip_gap, message=result.message,
+                       stats=stats)
+
+
+# ----------------------------------------------------------------------
+# MILP lex-leader cuts
+# ----------------------------------------------------------------------
+def add_symmetry_cuts(model: Model, generators, num_cols: int,
+                      f_vars: dict, b_vars: dict, r_vars: dict) -> int:
+    """Add optimum-preserving lex-leader cuts per verified generator.
+
+    For an integer program the quotient restriction is invalid (forcing an
+    orbit equal can lose every optimum), so instead each solution orbit is
+    pruned to representatives containing its lexicographically largest
+    element: for a generator ``pi`` with ``p`` the smallest moved column,
+    both ``pi`` and its inverse fix all columns below ``p``, so the
+    lex-max element satisfies ``x[p] >= x[pi(p)]`` and ``x[p] >=
+    x[pi^-1(p)]`` — every orbit keeps at least one optimum and the optimal
+    value is unchanged. Returns the number of cut rows added.
+    """
+    compiled = model.compile()
+    added = 0
+    for gen in generators:
+        pi = induced_column_permutation(gen, num_cols, f_vars, b_vars,
+                                        r_vars)
+        if pi is None or not verify_column_permutation(compiled, pi):
+            continue
+        moved = np.nonzero(pi != np.arange(num_cols))[0]
+        if not len(moved):
+            continue
+        p = int(moved[0])
+        inv = np.empty_like(pi)
+        inv[pi] = np.arange(num_cols)
+        for q in {int(pi[p]), int(inv[p])}:
+            model.add_constr_coo([0, 0], [p, q], [1.0, -1.0],
+                                 lb=0.0, ub=float("inf"), num_rows=1)
+            added += 1
+    return added
+
+
+# ----------------------------------------------------------------------
+# gating and cache canonicalization
+# ----------------------------------------------------------------------
+def symmetry_enabled(options: SolverOptions, num_vars: int) -> bool:
+    """Whether a reduction should even be attempted for this model."""
+    if options.symmetry == "off":
+        return False
+    if options.symmetry == "on":
+        return True
+    return num_vars >= AUTO_SYMMETRY_MIN_VARS
+
+
+def canonicalize_demand(topology: Topology, demand: Demand,
+                        budget: int = CANONICAL_BFS_BUDGET,
+                        generators: list[Automorphism] | None = None,
+                        ) -> tuple[Demand, list[int]]:
+    """Lexicographically minimal relabeling of ``demand`` under the
+    topology's automorphism group, with the permutation that achieves it.
+
+    Returns ``(canonical_demand, sigma)`` where ``canonical_demand ==
+    sigma · demand``. Two demands related by a topology automorphism map
+    to the same canonical form whenever the budgeted BFS over the
+    generator closure reaches the global minimum from both — a truncated
+    search can only miss a collapse, never produce a wrong equivalence.
+    ``sigma`` is the identity when no symmetry is found.
+    """
+    n = topology.num_nodes
+    identity = list(range(n))
+    if generators is None:
+        generators = find_generators(topology, None)
+    if not generators:
+        return demand, identity
+
+    def relabeled(sig: tuple) -> tuple:
+        return tuple(sorted((sig[s], c, sig[d])
+                            for (s, c, d) in demand.triples()))
+
+    best_sigma = tuple(identity)
+    best_key = relabeled(best_sigma)
+    seen = {best_sigma}
+    frontier = [best_sigma]
+    while frontier and len(seen) < budget:
+        nxt = []
+        for sigma in frontier:
+            for gen in generators:
+                comp = tuple(gen.perm[sigma[i]] for i in range(n))
+                if comp in seen:
+                    continue
+                seen.add(comp)
+                nxt.append(comp)
+                key = relabeled(comp)
+                if key < best_key:
+                    best_key = key
+                    best_sigma = comp
+                if len(seen) >= budget:
+                    break
+            if len(seen) >= budget:
+                break
+        frontier = nxt
+    if best_sigma == tuple(identity):
+        return demand, identity
+    return Demand.from_triples(best_key), list(best_sigma)
+
+
+def invert_permutation(perm) -> list[int]:
+    """The inverse node permutation (new id -> old id becomes old -> new)."""
+    inv = [0] * len(perm)
+    for i, j in enumerate(perm):
+        inv[j] = i
+    return inv

@@ -38,7 +38,10 @@ from repro.topology.topology import Topology
 #: Bump when the canonical form changes or when solver semantics change in a
 #: way that makes previously cached schedules stale. Hashed into every
 #: fingerprint, so a bump invalidates all existing cache entries.
-FINGERPRINT_VERSION = 1
+#: v2: the solver ``symmetry`` knob left the canonical form (it cannot
+#: change the solution) and the planner began canonicalizing demands by
+#: topology automorphism, collapsing symmetric requests to one entry.
+FINGERPRINT_VERSION = 2
 
 
 def _normalize(value, path: str):
@@ -92,6 +95,9 @@ def canonical_config(config: TecclConfig) -> dict:
     document = config.to_dict()
     # log verbosity cannot change the solution; keep it out of the key
     del document["solver"]["verbose"]
+    # symmetry reduction is conformance-vetted with cold fallback, so the
+    # knob affects speed only — keep it out of the key too
+    document["solver"].pop("symmetry", None)
     return _normalize(document, "config")
 
 

@@ -45,11 +45,15 @@ class PlannerStats:
     Fields: ``requests``, ``timeouts``, ``conformance_checks``,
     ``conformance_failures``, ``warm_donors`` (fresh solves seeded by a
     near-fingerprint cache donor), ``replans`` (fresh solves seeded by
-    an explicit prior result — the fleet controller's replan path).
+    an explicit prior result — the fleet controller's replan path),
+    ``symmetry_collapses`` (requests rewritten onto a canonical demand
+    under a topology automorphism, so symmetric variants share one cache
+    entry).
     """
 
     _FIELDS = ("requests", "timeouts", "conformance_checks",
-               "conformance_failures", "warm_donors", "replans")
+               "conformance_failures", "warm_donors", "replans",
+               "symmetry_collapses")
 
     def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self.registry = registry if registry is not None \
@@ -101,6 +105,14 @@ class Planner:
         sink: enable process-wide tracing into this sink (a path makes a
             JSONL file) for the planner's lifetime — spans from every
             layer under it (solver phases, pool workers) land there too.
+        symmetry: ``"auto"``/``"on"`` rewrite each request onto the
+            lexicographically minimal relabeling of its demand under the
+            topology's automorphism group before fingerprinting, so
+            symmetric requests collapse to one cache entry (and their
+            near-donor lookups cross symmetric variants); results are
+            relabeled back before being returned. ``"off"`` disables the
+            rewrite. Requests with priorities, a capacity hook, or the
+            hyper-edge switch model are never rewritten.
     """
 
     def __init__(self, *, executor: str = "process",
@@ -111,7 +123,11 @@ class Planner:
                  check_conformance: bool = False,
                  cache: ScheduleCache | None = None,
                  pool: SolvePool | None = None,
-                 sink: str | Path | _obs.Sink | None = None) -> None:
+                 sink: str | Path | _obs.Sink | None = None,
+                 symmetry: str = "auto") -> None:
+        if symmetry not in ("auto", "on", "off"):
+            raise ServiceError(f"unknown symmetry mode {symmetry!r}")
+        self.symmetry = symmetry
         self.cache = cache if cache is not None else ScheduleCache(
             capacity=cache_capacity, directory=cache_dir)
         # An injected pool may be shared with other planners or with
@@ -159,9 +175,12 @@ class Planner:
         not rely on the near-fingerprint index finding it. Cache hits still
         win: a seed only matters when the request actually solves.
         """
+        request, inverse = self._canonical_request(request)
         fingerprint, pending = self._start(request, warm_from=warm_from)
-        return self._finish(request, fingerprint, pending,
-                            timeout=self._budget(timeout), raise_errors=True)
+        response = self._finish(request, fingerprint, pending,
+                                timeout=self._budget(timeout),
+                                raise_errors=True)
+        return self._relabel_response(response, inverse)
 
     def plan_batch(self, requests: list[PlanRequest], *,
                    timeout: float | None = None,
@@ -180,17 +199,21 @@ class Planner:
                 f"{len(requests)} requests")
         budget = self._budget(timeout)
         deadline = None if budget is None else time.perf_counter() + budget
+        canonical = [self._canonical_request(request)
+                     for request in requests]
         started = [self._start(request,
                                warm_from=None if warm_from is None
                                else warm_from[i])
-                   for i, request in enumerate(requests)]
+                   for i, (request, _) in enumerate(canonical)]
         responses = []
-        for request, (fingerprint, pending) in zip(requests, started):
+        for (request, inverse), (fingerprint, pending) in zip(canonical,
+                                                              started):
             remaining = None if deadline is None \
                 else max(0.0, deadline - time.perf_counter())
-            responses.append(self._finish(request, fingerprint, pending,
-                                          timeout=remaining,
-                                          raise_errors=False))
+            response = self._finish(request, fingerprint, pending,
+                                    timeout=remaining,
+                                    raise_errors=False)
+            responses.append(self._relabel_response(response, inverse))
         return responses
 
     def warm(self, requests: list[PlanRequest], *,
@@ -205,6 +228,46 @@ class Planner:
     # ------------------------------------------------------------------
     def _budget(self, timeout: float | None) -> float | None:
         return self.default_timeout if timeout is None else timeout
+
+    def _canonical_request(self, request: PlanRequest):
+        """Rewrite a request onto its symmetry-canonical demand.
+
+        Returns ``(request, inverse)`` where ``inverse`` is the node
+        permutation mapping results on the canonical instance back to the
+        caller's node ids (``None`` when the request was left alone). The
+        rewrite is an exact relabeling under a *verified* topology
+        automorphism, so the canonical instance has the same optimum; a
+        truncated canonicalization search can only miss a cache collapse,
+        never produce a wrong equivalence.
+        """
+        if self.symmetry == "off":
+            return request, None
+        config = request.config
+        from repro.core.config import SwitchModel
+
+        if (config.priorities or config.capacity_fn is not None
+                or config.switch_model is SwitchModel.HYPER_EDGE):
+            return request, None
+        from dataclasses import replace as _replace
+
+        from repro.core import symmetry as _symmetry
+
+        with _obs.span("planner.canonicalize"):
+            demand, sigma = _symmetry.canonicalize_demand(
+                request.topology, request.demand)
+        if demand is request.demand:
+            return request, None
+        self._bump(symmetry_collapses=1)
+        return (_replace(request, demand=demand),
+                _symmetry.invert_permutation(sigma))
+
+    @staticmethod
+    def _relabel_response(response: PlanResponse,
+                          inverse) -> PlanResponse:
+        """Map a canonical-space result back to the caller's node ids."""
+        if inverse is not None and response.result is not None:
+            response.result = response.result.relabeled(inverse)
+        return response
 
     def _start(self, request: PlanRequest,
                warm_from: SynthesisResult | None = None):

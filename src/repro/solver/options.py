@@ -40,6 +40,13 @@ class SolverOptions:
             ``"expr"`` forces the legacy expression path. The two paths
             compile to identical matrices — see
             ``tests/test_model_equivalence.py``.
+        symmetry: whether the LP/MILP solves may exploit fabric
+            automorphisms (``repro.core.symmetry``). ``"auto"`` (default)
+            attempts a reduction on large models only; ``"on"`` always
+            attempts it; ``"off"`` disables it. Reductions are always
+            replay-vetted by the conformance oracle with cold fallback, so
+            the knob trades detection overhead against solve time — it
+            never changes what a correct result looks like.
     """
 
     time_limit: float | None = None
@@ -49,6 +56,7 @@ class SolverOptions:
     presolve: bool = True
     lp_method: str = "auto"
     construction: str = "auto"
+    symmetry: str = "auto"
 
     #: model size at which "auto" switches the LP algorithm to IPM
     AUTO_IPM_THRESHOLD = 20_000
@@ -64,6 +72,8 @@ class SolverOptions:
             raise ModelError(f"unknown lp_method {self.lp_method!r}")
         if self.construction not in ("auto", "coo", "expr"):
             raise ModelError(f"unknown construction {self.construction!r}")
+        if self.symmetry not in ("auto", "on", "off"):
+            raise ModelError(f"unknown symmetry mode {self.symmetry!r}")
 
     def resolve_lp_method(self, num_vars: int) -> str:
         if self.lp_method != "auto":
@@ -83,6 +93,7 @@ class SolverOptions:
             "presolve": bool(self.presolve),
             "lp_method": self.lp_method,
             "construction": self.construction,
+            "symmetry": self.symmetry,
         }
 
     @staticmethod
@@ -98,7 +109,8 @@ class SolverOptions:
                 verbose=bool(data.get("verbose", False)),
                 presolve=bool(data.get("presolve", True)),
                 lp_method=str(data.get("lp_method", "auto")),
-                construction=str(data.get("construction", "auto")))
+                construction=str(data.get("construction", "auto")),
+                symmetry=str(data.get("symmetry", "auto")))
         except (TypeError, ValueError) as exc:
             raise ModelError(
                 f"malformed solver options document: {exc}") from exc

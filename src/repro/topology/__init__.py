@@ -11,7 +11,7 @@ from repro.topology.io import (from_dict, from_edge_list, load_json,
                                save_json, to_dict)
 from repro.topology.topology import GB, US, Link, Topology
 from repro.topology.transforms import (HyperEdgeGroup, HyperEdgeTopology,
-                                       scale_capacity, subset_gpus,
+                                       relabel, scale_capacity, subset_gpus,
                                        to_hyper_edges,
                                        with_capacity_overrides,
                                        without_links)
@@ -23,7 +23,7 @@ __all__ = [
     "dgx1", "ndv2", "dgx2", "internal1", "internal2",
     "leaf_spine", "fat_tree", "torus2d", "hypercube", "dragonfly",
     "to_hyper_edges", "HyperEdgeGroup", "HyperEdgeTopology",
-    "scale_capacity", "subset_gpus", "without_links",
+    "relabel", "scale_capacity", "subset_gpus", "without_links",
     "with_capacity_overrides",
     "from_edge_list", "from_dict", "to_dict", "save_json", "load_json",
 ]

@@ -187,3 +187,32 @@ def subset_gpus(topo: Topology, gpus: list[int],
         if src in new_id and dst in new_id:
             out.add_link(new_id[src], new_id[dst], link.capacity, link.alpha)
     return out
+
+
+def relabel(topo: Topology, perm: dict[int, int] | list[int],
+            name: str | None = None) -> Topology:
+    """Rename every node through the permutation ``perm`` (old id -> new id).
+
+    Switches stay switches and each link (i, j) becomes
+    (perm[i], perm[j]) with its capacity and alpha untouched, so
+    ``relabel(topo, perm)`` is isomorphic to ``topo`` by construction. Used
+    by the automorphism checker (``repro.core.symmetry``) and by
+    rank-reordering workloads. ``relabel(relabel(topo, perm), inverse)`` is
+    the identity up to the name.
+    """
+    if isinstance(perm, dict):
+        mapping = dict(perm)
+    else:
+        mapping = {old: new for old, new in enumerate(perm)}
+    if (len(mapping) != topo.num_nodes
+            or set(mapping) != set(range(topo.num_nodes))
+            or set(mapping.values()) != set(range(topo.num_nodes))):
+        raise TopologyError(
+            f"relabel permutation must be a bijection on "
+            f"range({topo.num_nodes})")
+    out = Topology(name=name or f"{topo.name}-relabeled",
+                   num_nodes=topo.num_nodes,
+                   switches=frozenset(mapping[s] for s in topo.switches))
+    for (src, dst), link in topo.links.items():
+        out.add_link(mapping[src], mapping[dst], link.capacity, link.alpha)
+    return out

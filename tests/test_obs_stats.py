@@ -27,10 +27,12 @@ class TestPlannerStats:
         stats = PlannerStats()
         assert stats.to_dict() == {
             "requests": 0, "timeouts": 0, "conformance_checks": 0,
-            "conformance_failures": 0, "warm_donors": 0, "replans": 0}
+            "conformance_failures": 0, "warm_donors": 0, "replans": 0,
+            "symmetry_collapses": 0}
         assert list(stats.to_dict()) == [
             "requests", "timeouts", "conformance_checks",
-            "conformance_failures", "warm_donors", "replans"]
+            "conformance_failures", "warm_donors", "replans",
+            "symmetry_collapses"]
 
     def test_values_stay_ints(self):
         stats = PlannerStats()
@@ -82,6 +84,7 @@ class TestPlannerFacade:
         assert list(stats) == [
             "requests", "timeouts", "conformance_checks",
             "conformance_failures", "warm_donors", "replans",
+            "symmetry_collapses",
             "hits", "misses", "solves", "coalesced", "cache", "pool"]
         assert list(stats["cache"]) == [
             "hits", "memory_hits", "disk_hits", "misses", "stores",

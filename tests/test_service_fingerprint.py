@@ -141,3 +141,49 @@ class TestSensitivity:
         demand = collectives.allgather(ring4.gpus, 1)
         cfg = TecclConfig(chunk_bytes=1.0, num_epochs=8)
         assert _fp(ring4, demand, cfg) == _fp(ring4, demand, cfg)
+
+
+class TestCanonicalFormPin:
+    """Golden pins of the canonical form for FINGERPRINT_VERSION == 2.
+
+    Any change to the canonical document — a new normalised field, a field
+    ordering change, a float formatting change — alters every fingerprint in
+    every persisted cache, so it MUST come with a FINGERPRINT_VERSION bump.
+    These pins fail loudly if the form drifts while the version stands still;
+    when bumping the version, recompute and update the pinned digest.
+    """
+
+    PINNED_VERSION = 2
+    # sha256 of json.dumps(canonical_request(...), sort_keys=True,
+    # separators=(",", ":")) for the fixed instance below.
+    PINNED_SHA256 = ("72c023594c93b812afa16fc96649834a5d0d832539f3"
+                     "2f0fa53ef6299c385ca0")
+
+    @staticmethod
+    def _fixed_instance():
+        topo = topology.ring(4)
+        demand = collectives.allgather(topo.gpus, 1)
+        config = TecclConfig(chunk_bytes=1e6, num_epochs=8)
+        return topo, demand, config
+
+    def test_canonical_json_pin(self):
+        topo, demand, config = self._fixed_instance()
+        assert FINGERPRINT_VERSION == self.PINNED_VERSION, (
+            "FINGERPRINT_VERSION bumped: recompute PINNED_SHA256 for the "
+            "new canonical form")
+        fp = _fp(topo, demand, config, method=Method.MILP)
+        assert fp == self.PINNED_SHA256, (
+            "canonical request form changed without a FINGERPRINT_VERSION "
+            "bump — persisted caches would silently go stale")
+
+    def test_symmetry_knob_not_fingerprinted(self):
+        # v2 semantics: the symmetry knob changes how the model is solved,
+        # never what it computes, so all three settings share a cache entry.
+        topo, demand, config = self._fixed_instance()
+        import dataclasses
+        fps = {
+            _fp(topo, demand, dataclasses.replace(
+                config, solver=SolverOptions(symmetry=mode)))
+            for mode in ("auto", "on", "off")
+        }
+        assert len(fps) == 1

@@ -1,0 +1,319 @@
+"""Symmetry reduction: detection, quotient/cut differentials, cache collapse.
+
+The engine (``repro.core.symmetry``) is layered so that heuristics can only
+cost compression, never correctness: candidate permutations are exactly
+verified against the topology and demand, their induced column permutations
+are exactly verified against the compiled matrix, and every reduced solution
+is replay-vetted by the conformance oracle with a cold fallback.  These
+tests pin each layer and then the end-to-end contract: quotient and full
+builds agree on the objective, float-tight, and both replay clean.
+"""
+
+import pytest
+
+from repro import collectives
+from repro.collectives.demand import Demand
+from repro.core import TecclConfig
+from repro.core import symmetry
+from repro.core.lp import solve_lp
+from repro.core.milp import solve_milp
+from repro.core.symmetry import (Automorphism, canonicalize_demand,
+                                 chunk_relabeling, column_orbits,
+                                 find_generators, invert_permutation,
+                                 is_automorphism)
+from repro.service import Planner, PlanRequest
+from repro.simulate import check_flow, check_schedule
+from repro.simulate.harness import PRODUCERS, sweep
+from repro.solver import SolverOptions
+from repro.topology import line, ring, with_capacity_overrides
+
+pytestmark = pytest.mark.symmetry
+
+
+def _rotation(n, r):
+    return [(i + r) % n for i in range(n)]
+
+
+def _cfg(**kwargs):
+    solver = SolverOptions(symmetry=kwargs.pop("symmetry", "on"),
+                           time_limit=kwargs.pop("time_limit", 60.0))
+    return TecclConfig(chunk_bytes=1.0, solver=solver, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# detection
+# ----------------------------------------------------------------------
+class TestDetection:
+    def test_ring_rotation_is_automorphism(self):
+        topo = ring(6)
+        demand = collectives.allgather(topo.gpus, 1)
+        assert is_automorphism(topo, demand, _rotation(6, 1))
+        assert is_automorphism(topo, demand, _rotation(6, 3))
+
+    def test_non_bijection_and_broken_links_rejected(self):
+        topo = ring(6)
+        assert not is_automorphism(topo, None, [0] * 6)
+        # a transposition of adjacent ring nodes breaks the link structure
+        swap = list(range(6))
+        swap[0], swap[2] = swap[2], swap[0]
+        assert not is_automorphism(topo, None, swap)
+
+    def test_capacity_asymmetry_breaks_rotation(self):
+        topo = with_capacity_overrides(ring(6), {(0, 1): 0.5})
+        assert not is_automorphism(topo, None, _rotation(6, 1))
+
+    def test_alltoall_needs_chunk_relabeling(self):
+        # alltoall encodes the destination index in the chunk id, so a
+        # rotation is only demand-stabilizing through a per-source chunk
+        # bijection -- the raw triple set is NOT invariant.
+        demand = collectives.alltoall(list(range(4)), 1)
+        perm = _rotation(4, 1)
+        relabeled = {(perm[s], c, perm[d]) for s, c, d in demand.triples()}
+        assert relabeled != set(demand.triples())
+        mapping = chunk_relabeling(demand, perm)
+        assert mapping is not None
+        # the mapping is a per-source bijection landing on the rotated source
+        for (s, c), (t, c2) in mapping.items():
+            assert t == perm[s]
+        assert is_automorphism(demand=demand, topology=ring(4),
+                               perm=perm)
+
+    def test_generators_found_on_symmetric_instances(self):
+        topo = ring(8)
+        demand = collectives.allgather(topo.gpus, 1)
+        gens = find_generators(topo, demand)
+        assert gens
+        for gen in gens:
+            assert is_automorphism(topo, demand, list(gen.perm))
+
+    def test_no_generators_on_asymmetric_fabric(self):
+        # distinct capacities on every link kill all non-trivial symmetry
+        topo = ring(5)
+        factors = {pair: 1.0 / (3 + i)
+                   for i, pair in enumerate(sorted(topo.links))}
+        broken = with_capacity_overrides(topo, factors)
+        assert find_generators(broken) == []
+
+    def test_orbits_partition_columns(self):
+        gens = find_generators(ring(6))
+        perms = [list(g.perm) for g in gens]
+        orbit, reps = column_orbits(6, perms)
+        # the rotation group is transitive on ring nodes: one orbit
+        assert len(reps) == 1
+        assert set(orbit.tolist()) == {0}
+
+    def test_invert_permutation(self):
+        perm = [2, 0, 3, 1]
+        inv = invert_permutation(perm)
+        assert [perm[i] for i in inv] == [0, 1, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# canonicalization
+# ----------------------------------------------------------------------
+class TestCanonicalization:
+    def test_symmetric_variants_share_canonical_form(self):
+        topo = ring(6)
+        base = collectives.broadcast(0, [1, 2], 1)
+        shifted = Demand.from_triples(
+            [(2, 0, 3), (2, 0, 4)])  # the same pattern rotated by 2
+        canon_a, _ = canonicalize_demand(topo, base)
+        canon_b, _ = canonicalize_demand(topo, shifted)
+        assert sorted(canon_a.triples()) == sorted(canon_b.triples())
+
+    def test_sigma_relabels_to_canonical(self):
+        topo = ring(6)
+        demand = Demand.from_triples([(3, 0, 4)])
+        canon, sigma = canonicalize_demand(topo, demand)
+        relabeled = sorted((sigma[s], c, sigma[d])
+                           for s, c, d in demand.triples())
+        assert relabeled == sorted(canon.triples())
+
+    def test_asymmetric_instance_is_fixed_point(self):
+        topo = with_capacity_overrides(ring(4), {(0, 1): 0.125})
+        demand = collectives.broadcast(2, [0], 1)
+        canon, sigma = canonicalize_demand(topo, demand)
+        assert sorted(canon.triples()) == sorted(demand.triples())
+        assert sigma == list(range(4))
+
+
+# ----------------------------------------------------------------------
+# LP quotient differential
+# ----------------------------------------------------------------------
+class TestLpQuotient:
+    def test_quotient_matches_full_and_replays_clean(self):
+        topo = ring(8)
+        demand = collectives.alltoall(topo.gpus, 1)
+        config_on = _cfg(symmetry="on")
+        config_off = _cfg(symmetry="off")
+
+        reduced = solve_lp(topo, demand, config_on)
+        full = solve_lp(topo, demand, config_off)
+
+        stats = reduced.result.stats
+        assert stats.get("symmetry_generators", 0) > 0
+        assert stats["symmetry_cols_reduced"] < stats["symmetry_cols_full"]
+        assert stats.get("symmetry_conformant") is True
+        assert "symmetry_fallback" not in stats
+        # the quotient restriction is exact for LPs: equal optimum
+        assert reduced.result.objective == pytest.approx(
+            full.result.objective, rel=1e-7, abs=1e-7)
+        report = check_flow(reduced.schedule, topo, demand, reduced.plan,
+                            config=config_on)
+        assert report.ok, [str(v) for v in report.violations[:3]]
+
+    def test_off_never_reduces(self):
+        topo = ring(6)
+        demand = collectives.allgather(topo.gpus, 1)
+        out = solve_lp(topo, demand, _cfg(symmetry="off"))
+        assert "symmetry_generators" not in out.result.stats
+
+    def test_auto_skips_small_models(self):
+        # auto only engages at AUTO_SYMMETRY_MIN_VARS; a 4-ring allgather
+        # LP is far below it, so auto must behave like off here.
+        topo = ring(4)
+        demand = collectives.allgather(topo.gpus, 1)
+        out = solve_lp(topo, demand, _cfg(symmetry="auto"))
+        assert "symmetry_generators" not in out.result.stats
+
+
+# ----------------------------------------------------------------------
+# MILP lex-leader cuts differential
+# ----------------------------------------------------------------------
+class TestMilpCuts:
+    def test_cuts_preserve_optimum_and_replay_clean(self):
+        topo = ring(5)
+        demand = collectives.allgather(topo.gpus, 1)
+        config_on = _cfg(symmetry="on", num_epochs=8)
+        config_off = _cfg(symmetry="off", num_epochs=8)
+
+        cut = solve_milp(topo, demand, config_on)
+        full = solve_milp(topo, demand, config_off)
+
+        assert cut.result.stats.get("symmetry_cuts", 0) > 0
+        assert "symmetry_fallback" not in cut.result.stats
+        assert cut.result.objective == pytest.approx(
+            full.result.objective, rel=1e-7, abs=1e-7)
+        report = check_schedule(cut.schedule, topo, demand, cut.plan,
+                                config=config_on)
+        assert report.ok, [str(v) for v in report.violations[:3]]
+
+    def test_off_adds_no_cuts(self):
+        topo = ring(5)
+        demand = collectives.allgather(topo.gpus, 1)
+        out = solve_milp(topo, demand, _cfg(symmetry="off", num_epochs=8))
+        assert "symmetry_cuts" not in out.result.stats
+
+
+# ----------------------------------------------------------------------
+# planner cache collapse
+# ----------------------------------------------------------------------
+class TestPlannerCollapse:
+    @staticmethod
+    def _request(source):
+        topo = ring(6)
+        return PlanRequest(
+            topology=topo,
+            demand=collectives.broadcast(
+                source, [(source + 1) % 6, (source + 2) % 6], 1),
+            config=TecclConfig(chunk_bytes=1.0, num_epochs=8))
+
+    def test_symmetric_requests_share_one_entry(self):
+        with Planner(executor="inline") as planner:
+            first = planner.plan(self._request(0))
+            second = planner.plan(self._request(3))  # rotated by 3
+            stats = planner.stats()
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert stats["solves"] == 1
+        assert stats["symmetry_collapses"] >= 1
+
+    def test_relabeled_result_is_conformant(self):
+        request = self._request(3)
+        with Planner(executor="inline") as planner:
+            planner.plan(self._request(0))
+            response = planner.plan(request)
+        result = response.result
+        # the response is expressed in the caller's labels, not canonical
+        assert sorted(result.demand_used.triples()) == \
+            sorted(request.demand.triples())
+        report = check_schedule(result.schedule, result.topology_used,
+                                result.demand_used, result.plan,
+                                config=request.config)
+        assert report.ok, [str(v) for v in report.violations[:3]]
+
+    def test_symmetry_off_disables_collapse(self):
+        with Planner(executor="inline", symmetry="off") as planner:
+            planner.plan(self._request(0))
+            second = planner.plan(self._request(3))
+            stats = planner.stats()
+        assert not second.cache_hit
+        assert stats["solves"] == 2
+        assert stats["symmetry_collapses"] == 0
+
+
+# ----------------------------------------------------------------------
+# cross-producer replay on symmetric instances
+# ----------------------------------------------------------------------
+def symmetric_instance(seed):
+    """Symmetric seeds for the replay harness: uniform rings, symmetric
+    collectives, symmetry forced on so every producer runs through the
+    reduction paths it supports."""
+    import random
+
+    rng = random.Random(seed)
+    n = rng.choice([4, 5, 6])
+    topo = ring(n, capacity=rng.choice([1.0, 2.0]),
+                alpha=rng.choice([0.0, 0.5]))
+    if rng.random() < 0.5:
+        demand = collectives.allgather(topo.gpus, 1)
+    else:
+        demand = collectives.alltoall(topo.gpus, 1)
+    config = TecclConfig(
+        chunk_bytes=1.0,
+        buffer_limit_chunks=rng.choice([None, 2 * n]),
+        solver=SolverOptions(symmetry="on", time_limit=60.0))
+    return topo, demand, config
+
+
+def _assert_clean(records):
+    bad = [r for r in records if not r.skipped and not r.ok]
+    details = [(r.producer, r.seed, r.label,
+                [str(v) for v in r.report.violations[:3]]) for r in bad]
+    assert not bad, details
+
+
+class TestSymmetricSweep:
+    def test_fast_symmetric_sweep(self):
+        records = sweep(range(3), instance_fn=symmetric_instance)
+        _assert_clean(records)
+        replayed = {r.producer for r in records if not r.skipped}
+        assert len(replayed) >= 8
+
+    @pytest.mark.slow
+    def test_full_symmetric_sweep(self):
+        records = sweep(range(20), instance_fn=symmetric_instance)
+        _assert_clean(records)
+        ok_counts = {}
+        for r in records:
+            if r.ok:
+                ok_counts[r.producer] = ok_counts.get(r.producer, 0) + 1
+        # every producer in the registry replayed clean on symmetric seeds
+        assert set(ok_counts) == set(PRODUCERS), ok_counts
+
+    @pytest.mark.slow
+    def test_quotient_objective_sweep(self):
+        # quotient == full, float-tight, across seeded symmetric LPs
+        import random
+
+        for seed in range(8):
+            rng = random.Random(1000 + seed)
+            n = rng.choice([5, 6, 8])
+            topo = ring(n)
+            demand = (collectives.allgather(topo.gpus, 1)
+                      if rng.random() < 0.5
+                      else collectives.alltoall(topo.gpus, 1))
+            reduced = solve_lp(topo, demand, _cfg(symmetry="on"))
+            full = solve_lp(topo, demand, _cfg(symmetry="off"))
+            assert reduced.result.objective == pytest.approx(
+                full.result.objective, rel=1e-7, abs=1e-7), (seed, n)

@@ -3,8 +3,15 @@
 import pytest
 
 from repro.errors import TopologyError
-from repro.topology import (Topology, internal2, ndv2, ring, scale_capacity,
-                            star, subset_gpus, to_hyper_edges, without_links)
+from repro.topology import (Topology, internal2, ndv2, relabel, ring,
+                            scale_capacity, star, subset_gpus, to_hyper_edges,
+                            with_capacity_overrides, without_links)
+
+
+def _link_table(topo):
+    """(src, dst) -> (capacity, alpha) for structural comparison."""
+    return {pair: (link.capacity, link.alpha)
+            for pair, link in topo.links.items()}
 
 
 class TestHyperEdges:
@@ -126,3 +133,58 @@ class TestLinkFailures:
                          TecclConfig(chunk_bytes=1.0, num_epochs=6))
         # the only remaining route is the long way round
         assert out.schedule.num_sends == 3
+
+
+class TestRelabel:
+    def test_inverse_round_trip(self):
+        from repro.core.symmetry import invert_permutation
+
+        topo = star(4)  # 4 GPUs + hub switch: exercises switch mapping too
+        perm = [2, 0, 3, 1, 4]
+        back = relabel(relabel(topo, perm), invert_permutation(perm))
+        assert back.num_nodes == topo.num_nodes
+        assert back.switches == topo.switches
+        assert _link_table(back) == _link_table(topo)
+
+    def test_identity_is_noop(self):
+        topo = ring(5)
+        same = relabel(topo, list(range(5)))
+        assert _link_table(same) == _link_table(topo)
+        assert same.switches == topo.switches
+
+    def test_non_bijection_rejected(self):
+        with pytest.raises(TopologyError):
+            relabel(ring(4), [0, 0, 1, 2])
+        with pytest.raises(TopologyError):
+            relabel(ring(4), [0, 1, 2, 4])
+
+    def test_subset_commutes_with_relabel(self):
+        # subset_gpus(relabel(t, p), p(G)) == relabel(subset_gpus(t, G), q)
+        # where q is the permutation p induces on the kept nodes.
+        topo = ring(6)
+        perm = [(i + 2) % 6 for i in range(6)]  # rotation by 2
+        gpus = [0, 2, 3]
+
+        left = subset_gpus(relabel(topo, perm), [perm[g] for g in gpus])
+
+        keep_before = sorted(gpus)
+        keep_after = sorted(perm[g] for g in gpus)
+        induced = [keep_after.index(perm[g]) for g in keep_before]
+        right = relabel(subset_gpus(topo, gpus), induced)
+
+        assert left.num_nodes == right.num_nodes
+        assert left.switches == right.switches
+        assert _link_table(left) == _link_table(right)
+
+    def test_scale_commutes_with_overrides(self):
+        # scale_capacity o with_capacity_overrides ==
+        # with_capacity_overrides o scale_capacity (both give cap * k * f).
+        topo = ring(4)
+        factors = {(0, 1): 0.5, (2, 3): 0.25}
+        left = scale_capacity(with_capacity_overrides(topo, factors), 3.0)
+        right = with_capacity_overrides(scale_capacity(topo, 3.0), factors)
+        assert set(left.links) == set(right.links)
+        for pair, link in left.links.items():
+            other = right.links[pair]
+            assert link.capacity == pytest.approx(other.capacity, rel=1e-12)
+            assert link.alpha == other.alpha

@@ -10,7 +10,10 @@ Covers the full tracing loop:
    coverage* — the share of the root's wall time the instrumented
    phases account for,
 4. export a Chrome trace-event file, loadable as a flame chart in
-   chrome://tracing or https://ui.perfetto.dev.
+   chrome://tracing or https://ui.perfetto.dev,
+5. dump the always-on flight recorder — the bounded ring of recent
+   coarse spans and decision events that needs no configuration at
+   all — and pretty-print the snapshot.
 
 Run:  python examples/observability.py
 """
@@ -52,3 +55,12 @@ chrome_path = obs.write_chrome_trace(events, workdir / "synthesize.json")
 n_events = len(obs.chrome_trace(events)["traceEvents"])
 print(f"chrome trace  : {chrome_path} ({n_events} events; load in "
       "https://ui.perfetto.dev)")
+
+# 5. the flight recorder rode along the whole time: coarse spans
+# (synthesize, extraction) and decision events land in a bounded ring
+# with zero configuration — the post-incident "what just happened"
+# buffer. Dump it to JSONL and render the snapshot.
+dump_path = obs.get_recorder().dump(workdir / "flight.jsonl")
+flight = obs.read_dump(dump_path)  # header record first, then the ring
+print(f"flight dump   : {dump_path} ({len(flight) - 1} ring events)")
+print(obs.format_flight(flight, limit=6))

@@ -222,6 +222,32 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics-file", metavar="FILE", default=None,
                        help="write the planner+pool metrics snapshot as "
                             "JSON (render with `teccl obs metrics`)")
+    serve.add_argument("--responses-file", metavar="FILE", default=None,
+                       help="write every PlanResponse (JSON list, explain "
+                            "records included; render one with "
+                            "`teccl explain --response`)")
+    serve.add_argument("--flight-dir", default=None,
+                       help="flight-recorder directory: enables auto "
+                            "dumps on failure and `teccl explain --last`")
+
+    explain = sub.add_parser(
+        "explain",
+        help="render a plan's provenance record (where the schedule came "
+             "from and what each stage cost)")
+    explain_src = explain.add_mutually_exclusive_group(required=True)
+    explain_src.add_argument("--last", action="store_true",
+                             help="the most recent successful serve's "
+                                  "record (needs a flight dir: --flight-dir "
+                                  "or $TECCL_FLIGHT_DIR)")
+    explain_src.add_argument("--response", metavar="FILE",
+                             help="a PlanResponse JSON document "
+                                  "(see `serve-batch --responses-file`)")
+    explain.add_argument("--flight-dir", default=None,
+                         help="flight-recorder directory holding "
+                              "last_explain.json (default: "
+                              "$TECCL_FLIGHT_DIR)")
+    explain.add_argument("--json", dest="as_json", action="store_true",
+                         help="emit the raw record as JSON")
 
     cache = sub.add_parser(
         "cache", help="inspect or purge an on-disk schedule cache")
@@ -300,6 +326,10 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet_run.add_argument("--trace", metavar="FILE", default=None,
                            help="write a span trace (JSONL) of the run: "
                                 "poll/estimate/gate/replan per step")
+    fleet_run.add_argument("--flight-dir", default=None,
+                           help="flight-recorder directory: rollbacks, "
+                                "recovery drops, firing alerts and SIGUSR2 "
+                                "each dump the recent-event ring there")
 
     fleet_status = fleet_sub.add_parser(
         "status", help="render a status file written by `teccl fleet run`")
@@ -332,6 +362,37 @@ def _build_parser() -> argparse.ArgumentParser:
     obs_metrics.add_argument("--format", dest="metrics_format",
                              choices=["table", "prometheus", "json"],
                              default="table")
+
+    obs_dump = obs_sub.add_parser(
+        "dump",
+        help="flight recorder: render a dump file, or dump this "
+             "process's ring on demand")
+    obs_dump.add_argument("--file", metavar="FILE", default=None,
+                          help="an existing flight dump (JSONL) to render")
+    obs_dump.add_argument("--output", metavar="FILE", default=None,
+                          help="dump the in-process recorder ring here "
+                               "(then render it)")
+    obs_dump.add_argument("--limit", type=int, default=None,
+                          help="show only the newest N events")
+    obs_dump.add_argument("--json", dest="as_json", action="store_true",
+                          help="emit raw event records as JSON lines")
+
+    obs_alerts = obs_sub.add_parser(
+        "alerts",
+        help="evaluate SLO alert rules against a metrics snapshot, or "
+             "render the alerts a fleet status file recorded")
+    alerts_src = obs_alerts.add_mutually_exclusive_group(required=True)
+    alerts_src.add_argument("--metrics-file", metavar="FILE",
+                            help="metrics snapshot JSON (see "
+                                 "`serve-batch --metrics-file`)")
+    alerts_src.add_argument("--status-file", metavar="FILE",
+                            help="fleet status JSON: render the alerts "
+                                 "its last evaluation recorded")
+    obs_alerts.add_argument("--rules", metavar="FILE", default=None,
+                            help="JSON list of alert-rule dicts to use "
+                                 "instead of the built-in SLO set")
+    obs_alerts.add_argument("--json", dest="as_json", action="store_true",
+                            help="emit firing alerts as JSON")
     return parser
 
 
@@ -715,8 +776,11 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     import json
 
     from repro.errors import ServiceError
+    from repro.obs import recorder as _flight
     from repro.service import Planner
 
+    if args.flight_dir:
+        _flight.set_dump_dir(args.flight_dir)
     try:
         with open(args.requests, "r", encoding="utf-8") as handle:
             specs = json.load(handle)
@@ -768,6 +832,14 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
             raise ServiceError(
                 f"cannot write --metrics-file: {exc}") from exc
         print(f"metrics      : {args.metrics_file}")
+    if args.responses_file:
+        try:
+            with open(args.responses_file, "w", encoding="utf-8") as handle:
+                json.dump([r.to_dict() for r in responses], handle, indent=2)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot write --responses-file: {exc}") from exc
+        print(f"responses    : {args.responses_file}")
     if args.trace:
         print(f"trace        : {args.trace}")
     return 1 if failures else 0
@@ -933,12 +1005,20 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
     from repro.errors import ServiceError
     from repro.fleet import (FleetJob, FleetOrchestrator, SyntheticTelemetry,
                              WriteAheadLog, atomic_write_json)
+    from repro.obs import recorder as _flight
     from repro.service import Planner
     from repro.simulate import DriftModel
     from repro.solver import SolverOptions
 
     if args.recover and not args.wal:
         raise ServiceError("--recover needs --wal (nothing to recover from)")
+    if args.flight_dir:
+        _flight.set_dump_dir(args.flight_dir)
+        if _flight.install_signal_dump():
+            print(f"flight       : {args.flight_dir} "
+                  "(SIGUSR2 dumps the ring)")
+        else:
+            print(f"flight       : {args.flight_dir}")
     builder = _TOPOLOGIES[args.topology]
     topo = builder(args.chassis) if args.topology != "dgx1" else builder(1)
     events = _parse_fleet_events(args)
@@ -1020,6 +1100,11 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
           f"kept, {stats['rollbacks']} rollbacks, {stats['failed']} failed")
     print(f"solve budget : {stats['adaptation_solve_time']:.3f} s "
           "spent adapting")
+    for doc in status.get("alerts", []):
+        print(f"  alert      : [{doc.get('severity', '?')}] "
+              f"{doc.get('name')}: {doc.get('metric')} = "
+              f"{doc.get('value', 0.0):.6g} {doc.get('op')} "
+              f"{doc.get('threshold', 0.0):g}")
     if args.trace:
         print(f"trace        : {args.trace}")
     if args.status_file:
@@ -1086,6 +1171,13 @@ def _cmd_fleet_status(args: argparse.Namespace) -> int:
     print(f"adaptations  : {stats.get('replans', 0)} replans, "
           f"{stats.get('kept', 0)} kept, "
           f"{stats.get('rollbacks', 0)} rollbacks")
+    alerts = status.get("alerts", [])
+    if alerts:
+        print(f"alerts       : {len(alerts)} firing")
+        for doc in alerts:
+            print(f"  [{doc.get('severity', '?'):<8}] {doc.get('name')}: "
+                  f"{doc.get('metric')} = {doc.get('value', 0.0):.6g} "
+                  f"{doc.get('op')} {doc.get('threshold', 0.0):g}")
     latency = status.get("serve_latency", {})
     if latency.get("count"):
         print(f"serve latency: p50 {latency['p50'] * 1e3:.2f} ms / "
@@ -1114,6 +1206,10 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         print(f"exported     : {path} ({spans} spans; load in "
               "chrome://tracing or https://ui.perfetto.dev)")
         return 0
+    if args.obs_command == "dump":
+        return _cmd_obs_dump(args)
+    if args.obs_command == "alerts":
+        return _cmd_obs_alerts(args)
     # metrics: render a snapshot written by `serve-batch --metrics-file`
     try:
         with open(args.file, "r", encoding="utf-8") as handle:
@@ -1147,6 +1243,122 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_dump(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+    from repro.errors import ObservabilityError
+
+    if (args.file is None) == (args.output is None):
+        raise ObservabilityError(
+            "obs dump needs exactly one of --file (render an existing "
+            "dump) or --output (dump this process's ring)")
+    if args.output is not None:
+        path = obs.get_recorder().dump(args.output, reason="manual")
+        print(f"dumped       : {path}")
+        events = obs.read_dump(path)
+    else:
+        events = obs.read_dump(args.file)
+    if args.as_json:
+        for event in events[-args.limit:] if args.limit else events:
+            print(json.dumps(event, sort_keys=True))
+    else:
+        print(obs.format_flight(events, limit=args.limit))
+    return 0
+
+
+def _load_json(path: str, what: str) -> object:
+    import json
+
+    from repro.errors import ObservabilityError
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except OSError as exc:
+        raise ObservabilityError(f"cannot read {what}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ObservabilityError(f"invalid JSON in {path}: {exc}") from exc
+
+
+def _cmd_obs_alerts(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ObservabilityError
+    from repro.obs.alerts import AlertEngine, AlertRule
+
+    if args.status_file is not None:
+        status = _load_json(args.status_file, "status file")
+        if not isinstance(status, dict):
+            raise ObservabilityError("status file must hold a JSON object")
+        firing = status.get("alerts", [])
+        if args.as_json:
+            print(json.dumps(firing, indent=2))
+        elif not firing:
+            print("alerts       : none firing")
+        else:
+            for doc in firing:
+                print(f"  [{doc.get('severity', '?'):<8}] "
+                      f"{doc.get('name')}: {doc.get('metric')} = "
+                      f"{doc.get('value', 0.0):.6g} {doc.get('op')} "
+                      f"{doc.get('threshold', 0.0):g}")
+        return 1 if firing else 0
+    snapshot = _load_json(args.metrics_file, "metrics file")
+    if not isinstance(snapshot, dict):
+        raise ObservabilityError(
+            "metrics file must hold a JSON object (registry snapshot)")
+    rules = None
+    if args.rules:
+        docs = _load_json(args.rules, "rules file")
+        if not isinstance(docs, list):
+            raise ObservabilityError("--rules file must hold a JSON list")
+        rules = [AlertRule.from_dict(doc) for doc in docs]
+    engine = AlertEngine(rules)
+    firing = engine.evaluate(snapshot)
+    if args.as_json:
+        print(json.dumps([alert.to_dict() for alert in firing], indent=2))
+    else:
+        print(f"rules        : {len(engine.rules)} evaluated, "
+              f"{len(firing)} firing")
+        for alert in firing:
+            print(f"  {alert.render()}")
+    return 1 if firing else 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+    from repro.errors import ObservabilityError
+    from repro.obs.explain import ExplainRecord
+
+    if args.last:
+        docs = [obs.load_last_explain(args.flight_dir)]
+    else:
+        loaded = _load_json(args.response, "response file")
+        # accept a bare explain record, one PlanResponse document, or the
+        # JSON list `serve-batch --responses-file` writes
+        responses = loaded if isinstance(loaded, list) else [loaded]
+        docs = []
+        for response in responses:
+            if not isinstance(response, dict):
+                raise ObservabilityError(
+                    "response file must hold PlanResponse JSON objects")
+            doc = response.get("explain", response)
+            if doc is None:
+                raise ObservabilityError(
+                    "response carries no explain record (served by an "
+                    "older planner?)")
+            docs.append(doc)
+    records = [ExplainRecord.from_dict(doc) for doc in docs]
+    if args.as_json:
+        print(json.dumps([record.to_dict() for record in records],
+                         indent=2))
+    else:
+        print("\n".join(record.render() for record in records))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -1165,10 +1377,15 @@ def main(argv: list[str] | None = None) -> int:
                           if args.fleet_command == "run"
                           else _cmd_fleet_status(args)),
         "obs": lambda: _cmd_obs(args),
+        "explain": lambda: _cmd_explain(args),
     }
     try:
         return handlers[args.command]()
     except ReproError as exc:
+        # post-incident context: when a flight dir is configured the ring
+        # around the failure lands on disk (quiet no-op otherwise)
+        from repro.obs import recorder as _flight
+        _flight.auto_dump("error")
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except BrokenPipeError:

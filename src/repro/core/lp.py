@@ -31,6 +31,8 @@ from repro.core.epochs import (EpochPlan, build_epoch_plan,
 from repro.core.postprocess import prune_fractional
 from repro.core.schedule import FlowSchedule
 from repro.errors import InfeasibleError, ModelError
+from repro.obs.trace import event as _obs_event
+from repro.obs.trace import rspan as _obs_rspan
 from repro.obs.trace import span as _obs_span
 from repro.solver import (Model, Sense, SolveResult, SolveStatus,
                           SolverOptions, quicksum)
@@ -1082,7 +1084,7 @@ def solve_lp(topology: Topology, demand: Demand, config: TecclConfig,
         num_epochs = config.num_epochs
     attempts = 3 if auto else 1
     last_error: InfeasibleError | None = None
-    for _ in range(attempts):
+    for attempt in range(1, attempts + 1):
         plan = build_epoch_plan(topology, config, num_epochs=num_epochs)
         try:
             builder = LpBuilder(topology, demand, config, plan,
@@ -1100,6 +1102,8 @@ def solve_lp(topology: Topology, demand: Demand, config: TecclConfig,
                                                config)
         result.stats["build_time"] = build_time
         result.stats["construction"] = problem.construction
+        result.stats["horizon_attempts"] = attempt
+        result.stats["horizon_epochs"] = num_epochs
         if result.status.has_solution:
             outcome = extract_lp_outcome(problem, result)
             if reduced:
@@ -1151,6 +1155,7 @@ def _vet_reduced_outcome(outcome: LpOutcome, problem: LpProblem,
     result returned, so symmetry can degrade performance but never
     correctness.
     """
+    from repro.core import symmetry as _symmetry
     from repro.simulate import check_flow
 
     report = check_flow(outcome.schedule, topology, demand, outcome.plan,
@@ -1158,6 +1163,9 @@ def _vet_reduced_outcome(outcome: LpOutcome, problem: LpProblem,
     if report.ok:
         outcome.result.stats["symmetry_conformant"] = True
         return outcome
+    _symmetry.note_fallback()
+    _obs_event("symmetry.fallback", reason="conformance",
+               violations=len(report.violations))
     result = problem.model.solve(config.solver)
     result.stats["symmetry_fallback"] = "conformance"
     result.stats["construction"] = problem.construction
@@ -1166,7 +1174,7 @@ def _vet_reduced_outcome(outcome: LpOutcome, problem: LpProblem,
 
 
 def extract_lp_outcome(problem: LpProblem, result: SolveResult) -> LpOutcome:
-    with _obs_span("lp.extract", construction=problem.construction):
+    with _obs_rspan("lp.extract", construction=problem.construction):
         flows = {key: result.value(var)
                  for key, var in problem.f_vars.items()}
         reads = {key: result.value(var)

@@ -36,6 +36,8 @@ from repro.core.epochs import (EpochPlan, build_epoch_plan,
 from repro.core.postprocess import prune_sends
 from repro.core.schedule import Schedule, Send
 from repro.errors import InfeasibleError, ModelError
+from repro.obs.trace import event as _obs_event
+from repro.obs.trace import rspan as _obs_rspan
 from repro.obs.trace import span as _obs_span
 from repro.solver import (Model, Sense, SolveResult, VarType, quicksum)
 from repro.topology.topology import Topology
@@ -953,7 +955,7 @@ def solve_milp(topology: Topology, demand: Demand, config: TecclConfig,
         num_epochs = config.num_epochs
     attempts = 3 if auto else 1
     last_error: InfeasibleError | None = None
-    for _ in range(attempts):
+    for attempt in range(1, attempts + 1):
         plan = build_epoch_plan(topology, config, num_epochs=num_epochs)
         try:
             builder = MilpBuilder(topology, demand, config, plan,
@@ -971,6 +973,8 @@ def solve_milp(topology: Topology, demand: Demand, config: TecclConfig,
         result = problem.model.solve(config.solver)
         result.stats["build_time"] = build_time
         result.stats["construction"] = problem.construction
+        result.stats["horizon_attempts"] = attempt
+        result.stats["horizon_epochs"] = num_epochs
         if cuts:
             result.stats["symmetry_cuts"] = cuts
         if result.status.has_solution:
@@ -1007,9 +1011,14 @@ def _maybe_add_symmetry_cuts(problem: MilpProblem, topology: Topology,
     generators = _symmetry.find_generators(topology, demand)
     if not generators:
         return 0
-    return _symmetry.add_symmetry_cuts(
+    cuts = _symmetry.add_symmetry_cuts(
         problem.model, generators, problem.model.num_vars,
         problem.f_vars, problem.b_vars, problem.r_vars)
+    if cuts:
+        # a cut-constrained solve is a symmetry-assisted solve: count it
+        # so the alert engine's fallback-rate denominator covers both paths
+        _symmetry.note_reduction()
+    return cuts
 
 
 def _vet_cut_outcome(outcome: "MilpOutcome", topology: Topology,
@@ -1022,6 +1031,7 @@ def _vet_cut_outcome(outcome: "MilpOutcome", topology: Topology,
     from scratch without cuts and return that solve instead. Symmetry can
     cost a redundant solve here but never a wrong schedule.
     """
+    from repro.core import symmetry as _symmetry
     from repro.simulate import check_schedule
 
     report = check_schedule(outcome.schedule, topology, demand,
@@ -1029,6 +1039,9 @@ def _vet_cut_outcome(outcome: "MilpOutcome", topology: Topology,
     if report.ok:
         outcome.result.stats["symmetry_conformant"] = True
         return outcome
+    _symmetry.note_fallback()
+    _obs_event("symmetry.fallback", reason="conformance",
+               violations=len(report.violations))
     builder = MilpBuilder(topology, demand, config, plan,
                           hyper_groups=hyper_groups)
     problem = builder.build()
@@ -1041,7 +1054,7 @@ def _vet_cut_outcome(outcome: "MilpOutcome", topology: Topology,
 
 def extract_outcome(problem: MilpProblem, result: SolveResult) -> MilpOutcome:
     """Turn a solved MILP into a pruned :class:`Schedule`."""
-    with _obs_span("milp.extract", construction=problem.construction):
+    with _obs_rspan("milp.extract", construction=problem.construction):
         plan = problem.plan
         sends = []
         for (q, i, j, k), var in problem.f_vars.items():

@@ -33,6 +33,7 @@ from repro.core.schedule import FlowSchedule
 from repro.core.subsolve import run_subsolves
 from repro.errors import InfeasibleError, ModelError
 from repro.obs.trace import current_context as _obs_context
+from repro.obs.trace import event as _obs_event
 from repro.obs.trace import span as _obs_span
 from repro.solver.result import WarmStart
 from repro.topology.topology import Topology
@@ -229,6 +230,15 @@ def solve_lp_pop(topology: Topology, demand: Demand, config: TecclConfig, *,
                                         num_epochs, models=None,
                                         warms=[None] * len(partitions))
             outcome.attempts = attempt + 1
+        # the fan-out record the explain/flight layer surfaces: how many
+        # sub-solves this schedule came from and how hard the horizon fought
+        _obs_event("pop.fanout", partitions=len(partitions),
+                   attempts=outcome.attempts, parallel=parallel,
+                   pooled=pool is not None, epochs=num_epochs)
+        if outcome.sub_outcomes:
+            stats = outcome.sub_outcomes[0].result.stats
+            stats["pop_partitions"] = len(partitions)
+            stats["pop_attempts"] = outcome.attempts
         return outcome
     raise last_error
 

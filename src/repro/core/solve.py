@@ -21,7 +21,9 @@ from repro.core.lp import LpOutcome, minimize_epochs_lp, solve_lp
 from repro.core.milp import MilpOutcome, solve_milp
 from repro.core.schedule import FlowSchedule, Schedule
 from repro.errors import ModelError
-from repro.obs.trace import span as _obs_span
+from repro.obs import recorder as _flight
+from repro.obs.explain import solve_stats_subset
+from repro.obs.trace import rspan as _obs_rspan
 from repro.topology.topology import Topology
 from repro.topology.transforms import HyperEdgeTopology, to_hyper_edges
 
@@ -61,6 +63,11 @@ class SynthesisResult:
     #: (a callable; replays of deserialised results fall back to the plan's
     #: static capacities, as they always have).
     config: TecclConfig | None = None
+    #: provenance: how this result was produced (method, horizon attempts,
+    #: symmetry reduction, per-phase durations) — a JSON-safe dict built in
+    #: :func:`synthesize`, carried through serialisation so the planner's
+    #: explain report survives cache round-trips and process boundaries.
+    explain: dict | None = None
 
     def relabeled(self, perm) -> "SynthesisResult":
         """The same result with every node id mapped through ``perm``.
@@ -122,6 +129,7 @@ class SynthesisResult:
             "config": (None if self.config is None
                        else replace(self.config,
                                     capacity_fn=None).to_dict()),
+            "explain": self.explain,
         }
 
     @staticmethod
@@ -149,7 +157,8 @@ class SynthesisResult:
                     else Demand.from_dict(data["demand_used"])),
                 config=(
                     None if data.get("config") is None
-                    else TecclConfig.from_dict(data["config"])))
+                    else TecclConfig.from_dict(data["config"])),
+                explain=data.get("explain"))
         except (KeyError, TypeError, ValueError) as exc:
             raise ModelError(
                 f"malformed synthesis result document: {exc}") from exc
@@ -187,17 +196,51 @@ def synthesize(topology: Topology, demand: Demand, config: TecclConfig, *,
     if symmetry is not None:
         config = replace(config,
                          solver=replace(config.solver, symmetry=symmetry))
-    with _obs_span("synthesize", method=method.value,
-                   gpus=len(topology.gpus),
-                   minimize_epochs=minimize_epochs,
-                   warm=warm_from is not None) as sp:
-        result = _synthesize(topology, demand, config, method=method,
-                             astar_config=astar_config,
-                             minimize_epochs=minimize_epochs,
-                             warm_from=warm_from)
+    with _obs_rspan("synthesize", method=method.value,
+                    gpus=len(topology.gpus),
+                    minimize_epochs=minimize_epochs,
+                    warm=warm_from is not None) as sp:
+        with _flight.collect_phases() as phases:
+            result = _synthesize(topology, demand, config, method=method,
+                                 astar_config=astar_config,
+                                 minimize_epochs=minimize_epochs,
+                                 warm_from=warm_from)
         sp.set_attr(resolved_method=result.method.value,
                     finish_time=result.finish_time)
+        result.explain = _build_explain(result, warm_from is not None,
+                                        phases)
         return result
+
+
+def _build_explain(result: SynthesisResult, warm_seeded: bool,
+                   phases: dict) -> dict:
+    """The solve-side provenance dict riding a fresh SynthesisResult.
+
+    Everything here is lifted from data the solve already produced (the
+    outcome's stats, the recorded-span phase accumulator) — JSON-safe by
+    construction so it survives cache serialisation and the pool's
+    process boundary.
+    """
+    stats: dict = {}
+    outcome = result.outcome
+    if outcome is not None:
+        inner = getattr(outcome, "result", None)
+        stats = solve_stats_subset(getattr(inner, "stats", None))
+        # POP decomposition outcomes carry fan-out on the outcome itself
+        partitions = getattr(outcome, "partitions", None)
+        if partitions is not None:
+            stats["pop_partitions"] = len(partitions)
+            stats["pop_attempts"] = getattr(outcome, "attempts", 1)
+    return {
+        "method": result.method.value,
+        "finish_time": result.finish_time,
+        "solve_time": result.solve_time,
+        "horizon_epochs": result.plan.num_epochs,
+        "warm_seeded": warm_seeded,
+        "hyper_transform": result.hyper is not None,
+        "stats": stats,
+        "phases": {name: round(dur, 6) for name, dur in phases.items()},
+    }
 
 
 def _synthesize(topology: Topology, demand: Demand, config: TecclConfig, *,
@@ -214,7 +257,7 @@ def _synthesize(topology: Topology, demand: Demand, config: TecclConfig, *,
             raise ModelError(
                 "per-triple priorities are keyed by original node ids and "
                 "are not supported together with the hyper-edge transform")
-        with _obs_span("synthesize.hyper_transform"):
+        with _obs_rspan("synthesize.hyper_transform"):
             hyper = to_hyper_edges(topology)
             work_topology = hyper.topology
             hyper_groups = hyper.groups

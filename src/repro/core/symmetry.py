@@ -45,6 +45,8 @@ import numpy as np
 from scipy import sparse
 
 from repro.collectives.demand import Demand
+from repro.obs.metrics import get_registry as _default_registry
+from repro.obs.trace import rspan as _obs_rspan
 from repro.obs.trace import span as _obs_span
 from repro.solver.model import CompiledModel, Model
 from repro.solver.options import SolverOptions
@@ -513,6 +515,25 @@ def _dedup_rows(a: sparse.csr_matrix, lb: np.ndarray,
     return np.sort(np.asarray(keep, dtype=np.int64))
 
 
+def note_reduction() -> None:
+    """Count one attempted quotient solve in the process registry.
+
+    Together with :func:`note_fallback` this feeds the SLO alert engine's
+    symmetry-fallback-rate rule (:mod:`repro.obs.alerts`): a fabric where
+    a quarter of reduced solves fail vetting is burning the speedup twice.
+    """
+    _default_registry().counter(
+        "symmetry_reductions_total",
+        "Quotient (symmetry-reduced) solves attempted").inc()
+
+
+def note_fallback() -> None:
+    """Count one conformance-triggered fallback to the full model."""
+    _default_registry().counter(
+        "symmetry_fallbacks_total",
+        "Symmetry-reduced solves that fell back to the full model").inc()
+
+
 def solve_reduced(orbit_map: OrbitMap,
                   options: SolverOptions) -> SolveResult:
     """Solve the quotient model and lift the solution to the full fabric.
@@ -522,7 +543,10 @@ def solve_reduced(orbit_map: OrbitMap,
     quotient optimizes over; statuses carry over unchanged (the quotient
     is infeasible iff the full LP is).
     """
-    with _obs_span("symmetry.solve", orbits=orbit_map.num_orbits):
+    note_reduction()
+    with _obs_rspan("symmetry.solve", orbits=orbit_map.num_orbits,
+                    cols_full=orbit_map.stats.get("cols_full"),
+                    cols_reduced=orbit_map.stats.get("cols_reduced")):
         result = orbit_map.reduced.solve(options)
     values = None
     if result.values is not None:

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import enum
 import threading
+import time as _time
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -39,7 +40,9 @@ from repro.errors import FleetError
 from repro.fleet.estimate import (FabricEstimator, LinkHealth,
                                   LinkTransition)
 from repro.fleet.wal import WriteAheadLog
+from repro.obs import recorder as _flight
 from repro.obs import trace as _obs
+from repro.obs.alerts import Alert, AlertEngine, AlertRule
 from repro.obs.metrics import MetricsRegistry
 from repro.fleet.telemetry import TelemetrySource
 from repro.service.cache import make_envelope, open_envelope
@@ -459,6 +462,12 @@ class AdaptationController:
             plane in-memory (the pre-WAL behaviour).
         compact_every: fold the WAL into a snapshot once this many
             records accumulate since the last compaction.
+        alert_rules: SLO rules for the in-process alert engine
+            (default: :func:`repro.obs.alerts.builtin_rules`). Evaluated
+            at the tail of every step over the merged planner +
+            controller metrics snapshot; firing alerts surface in
+            :meth:`status` and newly-firing ones trigger a
+            flight-recorder dump.
     """
 
     #: integer stats keys, in the legacy ``stats()`` dict order
@@ -472,7 +481,8 @@ class AdaptationController:
                  fabric_view=None,
                  sink: str | _obs.Sink | None = None,
                  wal: WriteAheadLog | None = None,
-                 compact_every: int = 256) -> None:
+                 compact_every: int = 256,
+                 alert_rules: list[AlertRule] | None = None) -> None:
         self.topology = topology
         self.source = source
         self.planner = planner
@@ -522,6 +532,13 @@ class AdaptationController:
         self._recovery_dropped = self.metrics.counter(
             "fleet_recovery_dropped_total",
             "recovered schedules dropped (failed conformance or stale)")
+        self._wal_append_latency = self.metrics.histogram(
+            "fleet_wal_append_seconds",
+            "durable WAL append latency per record")
+        # the SLO alert engine (repro.obs.alerts): evaluated at the tail
+        # of every step over the merged planner+controller snapshot
+        self.alert_engine = AlertEngine(alert_rules)
+        self._alerts: list[Alert] = []
         self._owns_tracer = sink is not None
         if sink is not None:
             _obs.configure(sink)
@@ -549,7 +566,9 @@ class AdaptationController:
         """
         if self.wal is None:
             return
+        start = _time.perf_counter()
         self.wal.append(kind, data, now=self.now)
+        self._wal_append_latency.observe(_time.perf_counter() - start)
         self._wal_records.inc()
 
     def _journal_abort(self, op: str, job: str | None = None) -> None:
@@ -576,7 +595,7 @@ class AdaptationController:
         grown = self.wal.records_written - self._last_compact_records
         if grown < self.compact_every:
             return
-        with _obs.span("fleet.wal_compact", records=grown):
+        with _obs.rspan("fleet.wal_compact", records=grown):
             self.wal.compact(self.registry_state())
         self._last_compact_records = self.wal.records_written
 
@@ -675,6 +694,10 @@ class AdaptationController:
         if entry.conformance_ok is not True:
             self.registry.rollback(entry,
                                    "initial plan failed conformance")
+            self._bump(rollbacks=1)
+            _obs.event("fleet.rollback", job=job.name, seq=entry.seq,
+                       reason="initial-conformance")
+            _flight.auto_dump("fleet-rollback")
             raise FleetError(
                 f"initial plan for job {job.name!r} failed "
                 f"conformance replay; refusing to {verb}")
@@ -753,16 +776,16 @@ class AdaptationController:
             return self._step_locked()
 
     def _step_locked(self) -> list[AdaptationDecision]:
-        with _obs.span("fleet.step") as step_sp:
+        with _obs.rspan("fleet.step") as step_sp:
             index = self._step_index
             self._journal("begin", {"op": "step", "index": index})
             try:
-                with _obs.span("fleet.poll"):
+                with _obs.rspan("fleet.poll"):
                     samples = self.source.poll()
                 self._bump(polls=1, samples=len(samples))
                 if samples:
                     self.now = max(self.now, max(s.time for s in samples))
-                with _obs.span("fleet.estimate", samples=len(samples)):
+                with _obs.rspan("fleet.estimate", samples=len(samples)):
                     transitions = self.estimator.observe_all(samples)
                 step_sp.set_attr(samples=len(samples),
                                  transitions=len(transitions))
@@ -790,7 +813,29 @@ class AdaptationController:
                 raise
             self._step_index = index + 1
             self._maybe_compact()
+            self.evaluate_alerts()
             return decisions
+
+    def evaluate_alerts(self) -> list[Alert]:
+        """One alert-engine pass over the merged metrics snapshot.
+
+        Runs at the tail of every step; callable directly for status
+        tooling. An alert transitioning from quiet to firing triggers a
+        flight-recorder dump (once per transition, not per poll) — the
+        point of the recorder is that the evidence is already in the ring
+        when the alert notices the symptom.
+        """
+        firing = self.alert_engine.evaluate(self.alert_snapshot())
+        self._alerts = firing
+        if self.alert_engine.newly_fired:
+            _obs.event("fleet.alerts_fired",
+                       alerts=self.alert_engine.newly_fired)
+            _flight.auto_dump("alert")
+        return firing
+
+    def alert_snapshot(self) -> dict:
+        """Controller metrics merged over the planner's alert snapshot."""
+        return {**self.planner.alert_snapshot(), **self.metrics.snapshot()}
 
     def adapt(self, transitions: list[LinkTransition],
               ) -> list[AdaptationDecision]:
@@ -812,7 +857,7 @@ class AdaptationController:
         to_replan: list[tuple[FleetJob, RegistryEntry, float, bool]] = []
         decisions: list[AdaptationDecision] = []
         jobs = self._jobs_snapshot()
-        gate_sp = _obs.span("fleet.cost_gate", jobs=len(jobs),
+        gate_sp = _obs.rspan("fleet.cost_gate", jobs=len(jobs),
                             transitions=len(transitions))
         with gate_sp:
             self._gate_jobs(jobs, live, worsened, recovered,
@@ -881,7 +926,7 @@ class AdaptationController:
         if speculative is None:
             speculative = [False] * len(jobs)
         requests = [self._request(job, live) for job in jobs]
-        with _obs.span("fleet.replan", jobs=len(jobs)):
+        with _obs.rspan("fleet.replan", jobs=len(jobs)):
             responses = self.planner.plan_batch(
                 requests, warm_from=[p.result for p in priors])
         decisions = []
@@ -916,6 +961,9 @@ class AdaptationController:
                 self.registry.rollback(
                     entry, "adapted schedule failed conformance replay")
                 self._bump(rollbacks=1)
+                _obs.event("fleet.rollback", job=job.name, seq=entry.seq,
+                           reason="conformance")
+                _flight.auto_dump("fleet-rollback")
                 decisions.append(AdaptationDecision(
                     job=job.name, time=self.now, action="rollback",
                     reason="adapted schedule failed conformance replay; "
@@ -1057,7 +1105,7 @@ class AdaptationController:
         if self.wal is None:
             raise FleetError("recover() needs a WAL "
                              "(AdaptationController(wal=...))")
-        with self._op_lock, _obs.span("fleet.recover") as sp:
+        with self._op_lock, _obs.rspan("fleet.recover") as sp:
             if self._jobs_snapshot() or self._step_index:
                 raise FleetError(
                     "recover() must run on a fresh controller, before any "
@@ -1086,6 +1134,7 @@ class AdaptationController:
                     dropped.append({"job": job, "seq": seq,
                                     "reason": "failed conformance replay"})
                     _obs.event("fleet.recovery_drop", job=job, seq=seq)
+                    _flight.auto_dump("recovery-drop")
             self.registry.restore(
                 [parsed.entries[s] for s in sorted(parsed.entries)],
                 active, parsed.entry_seq)
@@ -1161,6 +1210,9 @@ class AdaptationController:
             "last_error": self.last_error,
             "decisions": [str(d) for d in self.decisions],
             "recovery": self.recovery,
+            # the last alert-engine evaluation (additive: the pinned
+            # contract covers stats()'s key list, not status()'s)
+            "alerts": [alert.to_dict() for alert in self._alerts],
         }
         if self.wal is not None:
             status["wal"] = {

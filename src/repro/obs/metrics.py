@@ -154,7 +154,14 @@ class Histogram:
             return self._sum
 
     def quantile(self, q: float) -> float:
-        """Estimated q-quantile (0 ≤ q ≤ 1); NaN when empty."""
+        """Estimated q-quantile (0 ≤ q ≤ 1); NaN when empty.
+
+        Linear interpolation within the containing bucket: the target
+        rank's fractional position among the bucket's observations maps
+        onto the bucket's ``(lo, hi]`` interval, with both ends clamped
+        to the observed min/max so estimates never leave the data range
+        (and the open-ended +Inf bucket uses the observed max).
+        """
         if not 0 <= q <= 1:
             raise ObservabilityError(f"quantile {q} not in [0, 1]")
         with self._lock:
@@ -166,12 +173,13 @@ class Histogram:
                 if count == 0:
                     continue
                 if seen + count >= target:
-                    lo = self.bounds[i - 1] if i > 0 else \
-                        min(self._min, self.bounds[0] if self.bounds else
-                            self._min)
-                    hi = self.bounds[i] if i < len(self.bounds) else self._max
-                    lo = max(lo, self._min)
-                    hi = min(hi, self._max) if hi != math.inf else self._max
+                    # every value in bucket 0 is >= the observed min, so
+                    # the min IS that bucket's lower edge
+                    lo = max(self.bounds[i - 1], self._min) if i > 0 \
+                        else self._min
+                    hi = self.bounds[i] if i < len(self.bounds) \
+                        else self._max
+                    hi = min(hi, self._max)
                     if hi <= lo:
                         return hi
                     frac = (target - seen) / count

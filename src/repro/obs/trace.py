@@ -42,6 +42,7 @@ import uuid
 from pathlib import Path
 
 from repro.errors import ObservabilityError
+from repro.obs import recorder as _flight
 
 #: bump when the span-record layout changes (exporters check it)
 TRACE_SCHEMA_VERSION = 1
@@ -72,15 +73,34 @@ class Sink:
 
 
 class MemorySink(Sink):
-    """Collects records in a list — tests and short-lived runs."""
+    """Collects records in a bounded list — tests and short-lived runs.
 
-    def __init__(self) -> None:
+    A long-lived daemon that configures tracing with no file sink must
+    not grow without limit: past ``capacity`` records the oldest are
+    evicted and counted in :attr:`dropped`. The default cap is generous
+    for test-sized traces; pass ``capacity=None`` for the historical
+    unbounded behaviour.
+    """
+
+    DEFAULT_CAPACITY = 100_000
+
+    def __init__(self, capacity: int | None = DEFAULT_CAPACITY) -> None:
+        if capacity is not None and capacity < 1:
+            raise ObservabilityError(
+                f"MemorySink capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
         self.records: list[dict] = []
+        self.dropped = 0
         self._lock = threading.Lock()
 
     def write(self, record: dict) -> None:
         with self._lock:
             self.records.append(record)
+            if self.capacity is not None and \
+                    len(self.records) > self.capacity:
+                excess = len(self.records) - self.capacity
+                del self.records[:excess]
+                self.dropped += excess
 
 
 class JsonlSink(Sink):
@@ -130,7 +150,8 @@ class Span:
     """One timed phase.  Use as a context manager via :meth:`Tracer.span`."""
 
     __slots__ = ("name", "trace_id", "span_id", "parent_id", "attrs",
-                 "_tracer", "_t0_wall", "_t0", "duration", "_token")
+                 "_tracer", "_t0_wall", "_t0", "duration", "_token",
+                 "_record")
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
         self.name = name
@@ -143,6 +164,9 @@ class Span:
         self._t0 = 0.0
         self.duration = 0.0
         self._token = None
+        # rspan() flips this: the closed span also lands in the flight
+        # recorder ring and the active phase accumulator
+        self._record = False
 
     def set_attr(self, **attrs) -> "Span":
         """Attach attributes after the span has opened (e.g. a result)."""
@@ -179,6 +203,9 @@ class Span:
             "dur": self.duration,
             "attrs": self.attrs,
         })
+        if self._record:
+            _flight.note_span(self.name, self._t0_wall, self.duration,
+                              self.attrs)
         return False
 
 
@@ -309,8 +336,37 @@ def span(name: str, **attrs):
     return tracer.span(name, **attrs)
 
 
+def rspan(name: str, **attrs):
+    """A *recorded* span: lands in the flight recorder ring always, and
+    in the trace sink too when tracing is enabled.
+
+    Only the coarse decision sites use this — planner serve phases, pool
+    solves, synthesis, solver milestones, fleet steps — roughly a dozen
+    per request, never the per-family model-build loops. The plain
+    :func:`span` keeps its pinned zero-overhead contract (a shared no-op
+    object when tracing is off); ``rspan`` trades two clock reads and a
+    deque push for always-on incident forensics, a cost the overhead
+    bench holds under the same budget.
+    """
+    tracer = _tracer
+    if tracer is not None:
+        sp = tracer.span(name, **attrs)
+        sp._record = True
+        return sp
+    rec = _flight.active()
+    if rec is not None:
+        return _flight.RecorderSpan(rec, name, attrs)
+    return NOOP_SPAN
+
+
 def event(name: str, **attrs) -> None:
-    """Emit a structured log event (no-op when disabled)."""
+    """Emit a structured log event (no-op when disabled).
+
+    Events additionally land in the always-on flight recorder: they are
+    rare, decision-shaped records (rollbacks, evictions, recovery
+    drops) — exactly what a post-incident dump should contain.
+    """
+    _flight.record("event", name, attrs if attrs else None)
     tracer = _tracer
     if tracer is not None:
         tracer.event(name, **attrs)

@@ -24,8 +24,11 @@ from pathlib import Path
 
 from repro.core.solve import SynthesisResult
 from repro.errors import ReproError, ServiceError
+from repro.obs import recorder as _flight
 from repro.obs import trace as _obs
+from repro.obs.explain import ExplainRecord
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import get_registry as _default_registry
 from repro.service.cache import ScheduleCache
 from repro.service.fingerprint import (fingerprint_request,
                                        near_fingerprint_request)
@@ -252,7 +255,7 @@ class Planner:
 
         from repro.core import symmetry as _symmetry
 
-        with _obs.span("planner.canonicalize"):
+        with _obs.rspan("planner.canonicalize"):
             demand, sigma = _symmetry.canonicalize_demand(
                 request.topology, request.demand)
         if demand is request.demand:
@@ -267,6 +270,8 @@ class Planner:
         """Map a canonical-space result back to the caller's node ids."""
         if inverse is not None and response.result is not None:
             response.result = response.result.relabeled(inverse)
+        if inverse is not None and response.explain is not None:
+            response.explain.symmetry_collapsed = True
         return response
 
     def _start(self, request: PlanRequest,
@@ -275,7 +280,7 @@ class Planner:
 
         Returns ``(fingerprint, pending)`` where pending is either a ready
         :class:`PlanResponse` (cache hit) or ``(future, coalesced, t0,
-        warm_donor)``.
+        warm_donor, explain)``.
 
         A miss also probes the cache's *near* index: a schedule solved for
         the same fabric shape and demand under a different horizon or
@@ -283,44 +288,63 @@ class Planner:
         explicit ``warm_from`` result outranks the near index — the caller
         knows its donor is fresher than anything the cache can offer.
         """
+        explain = ExplainRecord(tag=request.tag)
+        with _flight.collect_phases() as phases:
+            fingerprint, pending = self._start_inner(request, warm_from,
+                                                     explain)
+        explain.phases.update(phases)
+        return fingerprint, pending
+
+    def _start_inner(self, request: PlanRequest,
+                     warm_from: SynthesisResult | None,
+                     explain: ExplainRecord):
         t0 = time.perf_counter()
         self._bump(requests=1)
-        with _obs.span("planner.fingerprint"):
+        with _obs.rspan("planner.fingerprint"):
             fingerprint = fingerprint_request(
                 request.topology, request.demand, request.config,
                 method=request.method, astar_config=request.astar_config,
                 minimize_epochs=request.minimize_epochs)
-        with _obs.span("planner.cache_lookup") as lookup_sp, self._lock:
+        explain.fingerprint = fingerprint
+        with _obs.rspan("planner.cache_lookup") as lookup_sp, self._lock:
             payload = self.cache.get(fingerprint)
             lookup_sp.set_attr(hit=payload is not None)
             if payload is not None:
+                explain.source = "cache"
+                explain.cache_hit = True
                 response = PlanResponse(
                     fingerprint=fingerprint,
                     result=SynthesisResult.from_dict(payload),
                     cache_hit=True, tag=request.tag,
-                    serve_time=time.perf_counter() - t0)
+                    serve_time=time.perf_counter() - t0,
+                    explain=explain)
+                response.explain.solve = response.result.explain
                 return fingerprint, response
         # Misses only, and outside the lock: the near key is a second
         # canonicalisation and to_dict() serialises the whole request —
         # pure CPU work that must neither tax the cache-hit hot path nor
         # stall concurrent requests on self._lock.
-        with _obs.span("planner.near_donor"):
+        with _obs.rspan("planner.near_donor"):
             near = near_fingerprint_request(
                 request.topology, request.demand, request.config,
                 method=request.method, astar_config=request.astar_config,
                 minimize_epochs=request.minimize_epochs)
             request_dict = request.to_dict()
-        with _obs.span("planner.submit") as submit_sp, self._lock:
+        with _obs.rspan("planner.submit") as submit_sp, self._lock:
             # re-probe: the solve of an identical request may have been
             # archived while we were canonicalising (peek, not get: the
             # miss was already counted once above)
             payload = self.cache.peek(fingerprint)
             if payload is not None:
+                explain.source = "cache"
+                explain.cache_hit = True
                 response = PlanResponse(
                     fingerprint=fingerprint,
                     result=SynthesisResult.from_dict(payload),
                     cache_hit=True, tag=request.tag,
-                    serve_time=time.perf_counter() - t0)
+                    serve_time=time.perf_counter() - t0,
+                    explain=explain)
+                response.explain.solve = response.result.explain
                 return fingerprint, response
             explicit_seed = warm_from is not None
             if explicit_seed:
@@ -329,9 +353,13 @@ class Planner:
                 donor = self.cache.get_near(near)
                 if donor is not None:
                     request_dict["_warm_from"] = donor
+                    explain.warm_donor = near
             ctx = _obs.current_context()
             if ctx is not None:
                 request_dict["_obs"] = ctx
+            # the worker labels its flight-recorder records with this, so
+            # a dump correlates pool-side spans with the serving request
+            request_dict["_fingerprint"] = fingerprint
             # Atomic with the probe above: the pool either coalesces onto an
             # in-flight solve or starts one; _archive (which runs before the
             # pool retires the fingerprint) also serialises on self._lock, so
@@ -344,11 +372,16 @@ class Planner:
             seeded = "_warm_from" in request_dict and not coalesced
             warm_donor = seeded and not explicit_seed
             submit_sp.set_attr(coalesced=coalesced, seeded=seeded)
+        explain.source = "coalesced" if coalesced else "solve"
+        explain.coalesced = coalesced
+        explain.replan_seed = seeded and explicit_seed
+        if not warm_donor:
+            explain.warm_donor = None
         if warm_donor:
             self._bump(warm_donors=1)
         if seeded and explicit_seed:
             self._bump(replans=1)
-        return fingerprint, (future, coalesced, t0, seeded)
+        return fingerprint, (future, coalesced, t0, seeded, explain)
 
     def _observe(self, response: PlanResponse) -> PlanResponse:
         """Record the response's end-to-end latency in the histogram."""
@@ -387,6 +420,58 @@ class Planner:
     def _finish(self, request: PlanRequest, fingerprint: str, pending,
                 *, timeout: float | None,
                 raise_errors: bool) -> PlanResponse:
+        # every record inside carries the request fingerprint as its
+        # correlation label, so a flight dump reconstructs this serve
+        with _flight.context(fingerprint):
+            with _flight.collect_phases() as phases:
+                try:
+                    response = self._finish_inner(request, fingerprint,
+                                                  pending, timeout=timeout,
+                                                  raise_errors=raise_errors)
+                except ReproError as exc:
+                    # raise_errors path: the caller sees the exception, the
+                    # flight recorder keeps the full story (decision event
+                    # with the explain record, then an incident dump)
+                    self._record_failure(fingerprint, pending, exc, phases)
+                    raise
+            if response.explain is not None:
+                response.explain.phases.update(phases)
+                response.explain.serve_time = response.serve_time
+                response.explain.conformance = self._verdict(response)
+                if response.error is not None:
+                    response.explain.source = "error"
+                    response.explain.error = response.error
+                    _obs.event("planner.serve_failed",
+                               explain=response.explain.to_dict())
+                    _flight.auto_dump("planner-failure")
+                else:
+                    _flight.save_last_explain(response.explain.to_dict())
+        return response
+
+    @staticmethod
+    def _verdict(response: PlanResponse) -> str:
+        if response.conformance is None:
+            return "unchecked"
+        return "ok" if response.conformant else "failed"
+
+    def _record_failure(self, fingerprint: str, pending, exc,
+                        phases: dict) -> None:
+        """Flight-record a serve failure that is about to raise."""
+        explain = pending[4] if isinstance(pending, tuple) \
+            and len(pending) >= 5 else (
+                pending.explain if isinstance(pending, PlanResponse)
+                else None)
+        if explain is None:
+            explain = ExplainRecord(fingerprint=fingerprint)
+        explain.source = "error"
+        explain.error = str(exc)
+        explain.phases.update(phases)
+        _obs.event("planner.serve_failed", explain=explain.to_dict())
+        _flight.auto_dump("planner-failure")
+
+    def _finish_inner(self, request: PlanRequest, fingerprint: str,
+                      pending, *, timeout: float | None,
+                      raise_errors: bool) -> PlanResponse:
         if isinstance(pending, PlanResponse):
             checked = self._post_check(request, pending, raise_errors=False)
             if checked.ok:
@@ -396,18 +481,22 @@ class Planner:
             # version). Expel it and fall through to a fresh solve rather
             # than failing this fingerprint forever (and solve cold: a
             # poisoned class should not seed its own replacement).
+            _obs.event("planner.cache_poisoned", fingerprint=fingerprint)
             t0 = time.perf_counter()
             request_dict = request.to_dict()
             ctx = _obs.current_context()
             if ctx is not None:
                 request_dict["_obs"] = ctx
+            request_dict["_fingerprint"] = fingerprint
             with self._lock:
                 self.cache.evict(fingerprint)
                 future, coalesced = self.pool.submit(
                     fingerprint, request_dict,
                     on_complete=self._archive)
-            pending = (future, coalesced, t0, False)
-        future, coalesced, t0, warm_donor = pending
+            pending = (future, coalesced, t0, False,
+                       ExplainRecord(fingerprint=fingerprint,
+                                     tag=request.tag))
+        future, coalesced, t0, warm_donor, explain = pending
         try:
             payload = self.pool.wait(future, timeout)
         except ServiceError as exc:  # timeout
@@ -418,7 +507,7 @@ class Planner:
                 fingerprint=fingerprint, error=str(exc),
                 coalesced=coalesced, tag=request.tag,
                 warm_donor=warm_donor,
-                serve_time=time.perf_counter() - t0))
+                serve_time=time.perf_counter() - t0, explain=explain))
         except ReproError as exc:  # solver-side failure (infeasible, ...)
             if raise_errors:
                 raise
@@ -426,12 +515,15 @@ class Planner:
                 fingerprint=fingerprint, error=str(exc),
                 coalesced=coalesced, tag=request.tag,
                 warm_donor=warm_donor,
-                serve_time=time.perf_counter() - t0))
-        return self._observe(self._post_check(request, PlanResponse(
+                serve_time=time.perf_counter() - t0, explain=explain))
+        response = PlanResponse(
             fingerprint=fingerprint,
             result=SynthesisResult.from_dict(payload),
             coalesced=coalesced, tag=request.tag, warm_donor=warm_donor,
-            serve_time=time.perf_counter() - t0), raise_errors))
+            serve_time=time.perf_counter() - t0, explain=explain)
+        response.explain.solve = response.result.explain
+        return self._observe(self._post_check(request, response,
+                                              raise_errors))
 
     # ------------------------------------------------------------------
     # introspection & lifecycle
@@ -470,6 +562,23 @@ class Planner:
         pinned by downstream consumers and regression tests.
         """
         return self._serve_latency.summary()
+
+    def alert_snapshot(self) -> dict:
+        """The merged snapshot the SLO alert engine evaluates.
+
+        Planner + pool registries, the process default registry (symmetry
+        reduction/fallback counters live there — core code has no planner
+        handle), and the cache's hit/miss counters lifted into metric-
+        shaped entries so ratio rules can reach them.
+        """
+        snapshot = {**self.metrics_snapshot(),
+                    **_default_registry().snapshot()}
+        cache = self.cache.stats
+        snapshot["cache_hits_total"] = {"type": "counter",
+                                        "value": cache.hits}
+        snapshot["cache_misses_total"] = {"type": "counter",
+                                          "value": cache.misses}
+        return snapshot
 
     def close(self) -> None:
         if self._owns_pool:

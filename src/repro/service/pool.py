@@ -28,6 +28,7 @@ import concurrent.futures as _futures
 import threading
 
 from repro.errors import ServiceError
+from repro.obs import recorder as _flight
 from repro.obs import trace as _obs
 from repro.obs.metrics import MetricsRegistry
 
@@ -47,7 +48,9 @@ def solve_request(request_dict: dict) -> dict:
     ``request_dict["_obs"]`` is the submitting request's trace carrier:
     activating it stitches this solve's spans (which may run in another
     process) back under the submitting trace, appending to the same
-    JSONL sink.
+    JSONL sink. ``request_dict["_fingerprint"]`` labels this worker's
+    flight-recorder records so a post-incident dump correlates them with
+    the serving request.
     """
     from repro.core.solve import SynthesisResult, synthesize
     from repro.service.schema import PlanRequest
@@ -56,9 +59,10 @@ def solve_request(request_dict: dict) -> dict:
     warm_from = (SynthesisResult.from_dict(warm_doc)
                  if warm_doc is not None else None)
     request = PlanRequest.from_dict(request_dict)
-    with _obs.activate(request_dict.get("_obs")):
-        with _obs.span("pool.solve", method=request.method.value,
-                       warm=warm_from is not None):
+    with _obs.activate(request_dict.get("_obs")), \
+            _flight.context(request_dict.get("_fingerprint")):
+        with _obs.rspan("pool.solve", method=request.method.value,
+                        warm=warm_from is not None):
             result = synthesize(request.topology, request.demand,
                                 request.config,
                                 method=request.method,

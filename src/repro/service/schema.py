@@ -16,6 +16,7 @@ from repro.collectives.demand import Demand
 from repro.core.config import AStarConfig, TecclConfig
 from repro.core.solve import Method, SynthesisResult
 from repro.errors import ServiceError
+from repro.obs.explain import ExplainRecord
 from repro.topology.topology import Topology
 
 
@@ -89,6 +90,10 @@ class PlanResponse:
     #: :meth:`repro.simulate.ConformanceReport.to_dict` document); only set
     #: when the planner runs with ``check_conformance=True``.
     conformance: dict | None = None
+    #: plan provenance — where this schedule came from and what each stage
+    #: cost (:class:`repro.obs.explain.ExplainRecord`); assembled by the
+    #: planner on every serve, rendered by ``teccl explain``.
+    explain: ExplainRecord | None = None
 
     @property
     def ok(self) -> bool:
@@ -112,6 +117,8 @@ class PlanResponse:
             "tag": self.tag,
             "warm_donor": self.warm_donor,
             "conformance": self.conformance,
+            "explain": (None if self.explain is None
+                        else self.explain.to_dict()),
         }
 
     @staticmethod
@@ -128,7 +135,9 @@ class PlanResponse:
                 serve_time=float(data.get("serve_time", 0.0)),
                 tag=str(data.get("tag", "")),
                 warm_donor=bool(data.get("warm_donor", False)),
-                conformance=data.get("conformance"))
+                conformance=data.get("conformance"),
+                explain=(None if data.get("explain") is None
+                         else ExplainRecord.from_dict(data["explain"])))
         except (KeyError, TypeError, ValueError) as exc:
             raise ServiceError(f"malformed plan response: {exc}") from exc
 

@@ -96,6 +96,7 @@ with Planner(executor="inline") as planner:
     def fp(result):
         doc = result.to_dict()
         doc.pop("solve_time", None)  # wall clock differs run to run
+        doc.pop("explain", None)  # provenance carries wall-clock phases
         return fingerprint_canonical(doc)
 
     registry = daemon.registry

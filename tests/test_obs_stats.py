@@ -143,3 +143,147 @@ class TestControllerStats:
             snapshot = daemon.metrics.snapshot()
         assert snapshot["fleet_polls_total"]["value"] == 1
         assert "fleet_adaptation_solve_seconds_total" in snapshot
+
+
+class TestHistogramQuantile:
+    """Pinned interpolation arithmetic for ``Histogram.quantile``.
+
+    Worked example: buckets (1, 2, 4, 8), observations
+    (0.5, 1.5, 1.5, 3.0, 6.0) → per-bucket counts [1, 2, 1, 1, 0].
+    The estimator linearly interpolates the target rank's fractional
+    position inside the containing bucket, with both interval ends
+    clamped to the observed min/max.
+    """
+
+    def _hist(self):
+        from repro.obs.metrics import Histogram
+
+        hist = Histogram("t_q", buckets=(1.0, 2.0, 4.0, 8.0))
+        for value in (0.5, 1.5, 1.5, 3.0, 6.0):
+            hist.observe(value)
+        return hist
+
+    def test_median_interpolates_within_bucket(self):
+        # target rank 2.5 lands in the (1, 2] bucket after 1 prior
+        # observation: frac = (2.5 - 1) / 2 = 0.75 → 1 + 0.75 × 1
+        assert self._hist().quantile(0.5) == pytest.approx(1.75)
+
+    def test_extremes_clamp_to_observed_range(self):
+        hist = self._hist()
+        assert hist.quantile(0.0) == pytest.approx(0.5)   # observed min
+        assert hist.quantile(1.0) == pytest.approx(6.0)   # observed max
+
+    def test_bucket_boundary_rank(self):
+        # target rank 4.0 exactly exhausts the (2, 4] bucket → its hi end
+        assert self._hist().quantile(0.8) == pytest.approx(4.0)
+
+    def test_inf_bucket_uses_observed_max(self):
+        from repro.obs.metrics import Histogram
+
+        hist = Histogram("t_inf", buckets=(1.0,))
+        for value in (0.5, 10.0, 20.0):
+            hist.observe(value)
+        # rank 2 of 3 sits halfway through the +Inf bucket: the open
+        # interval is closed at the observed max → (1, 20], frac 0.5
+        assert hist.quantile(2 / 3) == pytest.approx(10.5)
+        assert hist.quantile(1.0) == pytest.approx(20.0)
+
+    def test_degenerate_bucket_returns_single_value(self):
+        from repro.obs.metrics import Histogram
+
+        hist = Histogram("t_one", buckets=(1.0, 2.0, 4.0, 8.0))
+        for _ in range(5):
+            hist.observe(5.0)
+        # lo and hi both clamp to 5.0 — no interval left to interpolate
+        assert hist.quantile(0.5) == 5.0
+
+    def test_empty_is_nan(self):
+        import math
+
+        from repro.obs.metrics import Histogram
+
+        assert math.isnan(Histogram("t_empty").quantile(0.5))
+
+    def test_out_of_range_q_raises(self):
+        from repro.errors import ObservabilityError
+
+        with pytest.raises(ObservabilityError):
+            self._hist().quantile(1.5)
+
+
+def _parse_prometheus(text: str):
+    """Parse exposition text into (help, types, series) dicts."""
+    helps, types, series = {}, {}, {}
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            name, _, rest = line[len("# HELP "):].partition(" ")
+            helps[name] = rest
+        elif line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE "):].partition(" ")
+            types[name] = kind
+        elif line:
+            name, _, value = line.rpartition(" ")
+            series[name] = float(value)
+    return helps, types, series
+
+
+class TestPrometheusRoundTrip:
+    """``prometheus_text`` must agree with ``snapshot()`` when parsed back."""
+
+    def _registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        counter = registry.counter("rt_requests_total", "requests served")
+        counter.inc(7)
+        registry.gauge("rt_inflight")  # description-less: no HELP line
+        hist = registry.histogram("rt_latency_seconds", "serve latency",
+                                  buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.7, 5.0):  # 5.0 → the +Inf bucket
+            hist.observe(value)
+        return registry
+
+    def test_help_and_type_lines(self):
+        registry = self._registry()
+        helps, types, _ = _parse_prometheus(registry.prometheus_text())
+        assert helps["rt_requests_total"] == "requests served"
+        assert "rt_inflight" not in helps  # no description, no HELP
+        assert types == {"rt_requests_total": "counter",
+                         "rt_inflight": "gauge",
+                         "rt_latency_seconds": "histogram"}
+
+    def test_series_match_snapshot(self):
+        registry = self._registry()
+        snapshot = registry.snapshot()
+        _, _, series = _parse_prometheus(registry.prometheus_text())
+        assert series["rt_requests_total"] == \
+            snapshot["rt_requests_total"]["value"]
+        assert series["rt_inflight"] == snapshot["rt_inflight"]["value"]
+        hist = snapshot["rt_latency_seconds"]
+        assert series["rt_latency_seconds_count"] == hist["count"]
+        assert series["rt_latency_seconds_sum"] == \
+            pytest.approx(hist["sum"])
+        for bound, count in hist["buckets"]:
+            le = bound if bound == "+Inf" else f"{bound:g}"
+            assert series[f'rt_latency_seconds_bucket{{le="{le}"}}'] == count
+
+    def test_inf_bucket_present_and_cumulative(self):
+        registry = self._registry()
+        _, _, series = _parse_prometheus(registry.prometheus_text())
+        buckets = [(name, value) for name, value in series.items()
+                   if name.startswith("rt_latency_seconds_bucket")]
+        assert any('le="+Inf"' in name for name, _ in buckets)
+        counts = [value for _, value in buckets]  # exposition order
+        assert counts == sorted(counts)  # cumulative → non-decreasing
+        assert counts[-1] == series["rt_latency_seconds_count"]
+
+    def test_snapshot_renderer_agrees_with_live_text(self):
+        from repro.obs.metrics import prometheus_from_snapshot
+
+        registry = self._registry()
+        live = _parse_prometheus(registry.prometheus_text())
+        offline = _parse_prometheus(
+            prometheus_from_snapshot(registry.snapshot()))
+        # the snapshot carries no descriptions; types + series must agree
+        assert offline[1] == live[1]
+        assert offline[2] == pytest.approx(live[2])

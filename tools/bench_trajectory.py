@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Aggregate ``benchmarks/results/BENCH_*.json`` envelopes into one table.
+
+Every benchmark publishes a versioned envelope (``benchmarks/_common.py``:
+schema_version / bench / created_unix / git_rev / host / phases / data).
+This tool folds whatever envelopes are present into a single *trajectory*
+view — one row per benchmark, its phase timings flattened alongside —
+so a weekly CI run (or a developer after an optimisation PR) can see the
+whole suite's perf posture at a glance and diff it across revisions.
+
+Usage::
+
+    python tools/bench_trajectory.py [--results DIR] [--json FILE]
+
+Exit status 0 when at least one envelope parsed, 1 when the results
+directory holds none (an empty trajectory usually means the bench lane
+never ran — fail loudly rather than upload an empty artifact).
+"""
+
+import argparse
+import datetime
+import glob
+import json
+import os
+import sys
+
+#: envelope fields every row reports
+_ROW_FIELDS = ("bench", "git_rev", "created", "phases")
+
+
+def load_envelopes(results_dir: str) -> list[dict]:
+    """Parse every ``BENCH_*.json`` envelope under *results_dir*.
+
+    Malformed or pre-envelope files are skipped with a note on stderr —
+    the trajectory must not go down because one lane wrote garbage.
+    """
+    envelopes = []
+    for path in sorted(glob.glob(os.path.join(results_dir, "BENCH_*.json"))):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"skipped {path}: {exc}", file=sys.stderr)
+            continue
+        if not isinstance(doc, dict) or "bench" not in doc:
+            print(f"skipped {path}: not a bench envelope", file=sys.stderr)
+            continue
+        envelopes.append(doc)
+    return envelopes
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def trajectory_rows(envelopes: list[dict]) -> list[dict]:
+    """One row per envelope: identity, age, and flattened phase timings."""
+    rows = []
+    for env in envelopes:
+        created = env.get("created_unix")
+        stamp = "?"
+        if isinstance(created, (int, float)):
+            stamp = datetime.datetime.fromtimestamp(
+                created, tz=datetime.timezone.utc).strftime("%Y-%m-%d")
+        phases = env.get("phases") or {}
+        rows.append({
+            "bench": str(env.get("bench", "?")),
+            "git_rev": str(env.get("git_rev", "?"))[:12],
+            "created": stamp,
+            "phases": {name: float(dur) for name, dur in phases.items()
+                       if isinstance(dur, (int, float))},
+        })
+    return rows
+
+
+def render(rows: list[dict]) -> str:
+    lines = [f"{'bench':<32} {'rev':<13} {'date':<11} phases"]
+    for row in rows:
+        phases = "  ".join(
+            f"{name}={_fmt_seconds(dur)}"
+            for name, dur in sorted(row["phases"].items())) or "-"
+        lines.append(f"{row['bench']:<32} {row['git_rev']:<13} "
+                     f"{row['created']:<11} {phases}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="aggregate bench envelopes into one trajectory table")
+    parser.add_argument(
+        "--results",
+        default=os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "benchmarks", "results"),
+        help="directory holding BENCH_*.json (default: repo's "
+             "benchmarks/results)")
+    parser.add_argument("--json", dest="json_out", metavar="FILE",
+                        default=None,
+                        help="also write the rows as a JSON document")
+    args = parser.parse_args(argv)
+
+    envelopes = load_envelopes(args.results)
+    if not envelopes:
+        print(f"no bench envelopes under {args.results}", file=sys.stderr)
+        return 1
+    rows = trajectory_rows(envelopes)
+    print(render(rows))
+    if args.json_out:
+        doc = {"trajectory_version": 1, "rows": rows}
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2)
+        print(f"wrote {args.json_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
